@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks: real wall-clock measurements of the
+//! suite's hot paths on the host CPU.
+//!
+//! These complement the simulated-machine tables: the simulator
+//! reproduces the paper's 1999-hardware shapes, while these benches
+//! verify the *code* itself behaves as the paper predicts on any
+//! cache-based machine — the tuned implementation beats the vector one
+//! serially, fused loops beat unfused ones, and the synchronization
+//! overhead of a doacross region is measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3d::bc::ZoneBcs;
+use f3d::blocktri::{identity, scale, solve_block_tridiagonal, BlockTriScratch};
+use f3d::risc_impl::RiscStepper;
+use f3d::solver::SolverConfig;
+use f3d::vector_impl::VectorStepper;
+use llp::{doacross, FusedRegion, Workers};
+use mesh::{Dims, Metrics};
+use std::hint::black_box;
+
+fn bench_f3d_serial(c: &mut Criterion) {
+    let d = Dims::new(20, 18, 16);
+    let metrics = Metrics::cartesian(d, (0.25, 0.25, 0.25));
+    let config = SolverConfig::supersonic();
+    let bcs = ZoneBcs::projectile();
+
+    let mut group = c.benchmark_group("f3d_step_serial");
+    group.sample_size(10);
+    group.bench_function("vector_impl", |b| {
+        let (mut zone, mut stepper) = VectorStepper::new_zone(config, metrics.clone());
+        b.iter(|| stepper.step(black_box(&mut zone), &bcs));
+    });
+    group.bench_function("risc_impl_1worker", |b| {
+        let (mut zone, mut stepper) = RiscStepper::new_zone(config, metrics.clone());
+        let workers = Workers::serial();
+        b.iter(|| stepper.step(black_box(&mut zone), &bcs, &workers, None));
+    });
+    group.finish();
+}
+
+fn bench_blocktri(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_tridiagonal");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let lower = vec![scale(&identity(), -0.3); n];
+            let diag = vec![scale(&identity(), 2.0); n];
+            let upper = vec![scale(&identity(), -0.3); n];
+            let mut scratch = BlockTriScratch::new(n);
+            b.iter(|| {
+                let mut rhs = vec![[1.0f64; 5]; n];
+                solve_block_tridiagonal(&lower, &diag, &upper, &mut rhs, &mut scratch);
+                black_box(rhs[n / 2][0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_llp_overhead(c: &mut Criterion) {
+    // The measured cost of one synchronization event (empty doacross):
+    // the Table 1 input for the host machine.
+    let workers = Workers::new(2);
+    c.bench_function("doacross_sync_overhead", |b| {
+        b.iter(|| doacross(&workers, black_box(2), |_| {}));
+    });
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let workers = Workers::new(2);
+    let n = 64usize;
+    let work = |i: usize| {
+        let mut acc = i as f64;
+        for k in 0..200 {
+            acc = (acc + k as f64).sqrt() + 1.0;
+        }
+        black_box(acc);
+    };
+    let mut group = c.benchmark_group("loop_fusion");
+    group.bench_function("fused_3_bodies", |b| {
+        b.iter(|| {
+            FusedRegion::over(n)
+                .then(work)
+                .then(work)
+                .then(work)
+                .run(&workers);
+        });
+    });
+    group.bench_function("unfused_3_bodies", |b| {
+        b.iter(|| {
+            FusedRegion::over(n)
+                .then(work)
+                .then(work)
+                .then(work)
+                .run_unfused(&workers);
+        });
+    });
+    group.finish();
+}
+
+fn bench_cachesim(c: &mut Criterion) {
+    use cachesim::patterns::GridTraversal;
+    use cachesim::presets::origin2000_r12k;
+    let dims = Dims::new(48, 40, 32);
+    let mut group = c.benchmark_group("cachesim_sweep");
+    group.sample_size(10);
+    group.bench_function("example4a", |b| {
+        b.iter(|| {
+            let mut h = origin2000_r12k().hierarchy();
+            h.run_loads(GridTraversal::example4a(dims).addresses());
+            black_box(h.counters().l1_misses)
+        });
+    });
+    group.finish();
+}
+
+fn bench_smpsim_exec(c: &mut Criterion) {
+    use f3d::trace::risc_step_trace;
+    use mesh::MultiZoneGrid;
+    let sgi = smpsim::presets::origin2000_r12k_128();
+    let trace = risc_step_trace(&MultiZoneGrid::paper_one_million(), &sgi.memory);
+    let exec = sgi.executor();
+    c.bench_function("smpsim_execute_1m_trace", |b| {
+        b.iter(|| black_box(exec.execute(&trace, black_box(64)).seconds));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_f3d_serial,
+    bench_blocktri,
+    bench_llp_overhead,
+    bench_fusion,
+    bench_cachesim,
+    bench_smpsim_exec
+);
+criterion_main!(benches);

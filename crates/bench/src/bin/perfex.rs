@@ -1,0 +1,68 @@
+//! A Perfex-style counter report (paper Section 6): run the solver's
+//! residual-sweep access pattern through each machine's simulated
+//! memory hierarchy and print the counters the paper's tuning decisions
+//! were based on — per-implementation miss rates, TLB behaviour,
+//! memory traffic, and the prof-minus-pixie stall estimate.
+//!
+//! This is the measurement side of the cost model: `f3d::costmodel`'s
+//! per-kernel constants encode what these counters show.
+
+use bench::{f, grouped, TextTable};
+use cachesim::patterns::SolverSweep;
+use cachesim::AccessKind;
+use mesh::Dims;
+
+fn main() {
+    // A zone shaped like the middle zone of the 1M case, scaled to keep
+    // the trace size tractable (miss *rates* are what matter).
+    let d = Dims::new(44, 38, 35);
+    println!(
+        "Perfex-style counters: residual sweep over a {d} zone ({} points)\n",
+        d.points()
+    );
+
+    for mem in cachesim::presets::all() {
+        let mut t = TextTable::new(&[
+            "impl",
+            "L1 miss %",
+            "TLB miss %",
+            "mem traffic (MB)",
+            "stall % (prof - pixie)",
+        ]);
+        for (label, sweep) in [
+            ("tuned (AoS)", SolverSweep::risc_rhs(d)),
+            ("vector (SoA)", SolverSweep::vector_rhs(d)),
+        ] {
+            let mut h = mem.hierarchy();
+            let mut accesses = 0u64;
+            for a in sweep.accesses() {
+                h.access(
+                    a.addr,
+                    if a.store { AccessKind::Store } else { AccessKind::Load },
+                );
+                accesses += 1;
+            }
+            let c = h.counters();
+            // ~2 instructions per access for the pixie estimate.
+            let instr = accesses * 2;
+            t.row(vec![
+                label.to_string(),
+                f(h.l1_miss_rate() * 100.0, 2),
+                f(h.tlb_miss_rate() * 100.0, 3),
+                f(h.memory_traffic_bytes() as f64 / 1e6, 2),
+                f(mem.cost.stall_fraction(instr, &c) * 100.0, 1),
+            ]);
+        }
+        println!("{}:\n{}", mem.name, t.render());
+    }
+    println!(
+        "accesses per interior point: 43 (7-point stencil x 5 components + 3 metrics\n\
+         + 5 result stores); total trace length {} accesses per implementation.",
+        grouped(d.interior_points() as u64 * 43)
+    );
+    println!(
+        "\nNote: the streaming residual sweep shows similar AoS/SoA rates — the\n\
+         vector code's real penalties (plane scratch, strided gathers, TLB) appear\n\
+         in the implicit sweeps; see `example4` and `serial_tuning` for those."
+    );
+}

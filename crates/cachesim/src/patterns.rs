@@ -1,0 +1,595 @@
+//! Access-pattern generators for structured-grid loop nests —
+//! the machinery behind the paper's Example 4 and Section 7.
+//!
+//! Example 4 contrasts three ways of sweeping `A(JMAX,KMAX,LMAX)`:
+//!
+//! * **(a)** loops `L, K, J` (outer→inner) over J-fastest storage —
+//!   perfectly sequential, "the best possible access ordering";
+//! * **(b)** loops `K, L, J` — unit-stride inner loop but plane-sized
+//!   jumps between pencils: "acceptable, but less desirable";
+//! * **(c)** a parallel J loop that gathers K-pencils through a
+//!   STRIDE-N pattern into a buffer — the cache miss rate *can still be
+//!   acceptable*, but on page-interleaved NUMA nodes the gather makes
+//!   every processor touch every page: "unacceptable" contention.
+//!
+//! [`GridTraversal`] generates the address streams for (a) and (b),
+//! [`PencilGather`] for (c), and [`page_sharing`] quantifies how many
+//! pages end up shared between workers of a statically-scheduled
+//! parallel loop — the input to `smpsim`'s contention model.
+
+use mesh::{Axis, Dims, Ijk, Layout};
+use std::collections::HashMap;
+
+/// Bytes per grid-point element (f64).
+pub const ELEM_BYTES: u64 = 8;
+
+/// A full sweep of one zone array in a given loop order.
+#[derive(Debug, Clone, Copy)]
+pub struct GridTraversal {
+    /// Zone dimensions.
+    pub dims: Dims,
+    /// Storage layout of the array.
+    pub layout: Layout,
+    /// Loop nesting, outermost first.
+    pub order: [Axis; 3],
+}
+
+impl GridTraversal {
+    /// Example 4(a): loops L, K, J over J-fastest storage.
+    #[must_use]
+    pub fn example4a(dims: Dims) -> Self {
+        Self {
+            dims,
+            layout: Layout::jkl(),
+            order: [Axis::L, Axis::K, Axis::J],
+        }
+    }
+
+    /// Example 4(b): loops K, L, J over J-fastest storage.
+    #[must_use]
+    pub fn example4b(dims: Dims) -> Self {
+        Self {
+            dims,
+            layout: Layout::jkl(),
+            order: [Axis::K, Axis::L, Axis::J],
+        }
+    }
+
+    /// The byte-address stream of the sweep (one access per point).
+    pub fn addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        let [a0, a1, a2] = self.order;
+        let d = self.dims;
+        let lay = self.layout;
+        (0..d.extent(a0)).flat_map(move |i0| {
+            (0..d.extent(a1)).flat_map(move |i1| {
+                (0..d.extent(a2)).map(move |i2| {
+                    let mut p = Ijk::new(0, 0, 0);
+                    for (axis, idx) in [(a0, i0), (a1, i1), (a2, i2)] {
+                        match axis {
+                            Axis::J => p.j = idx,
+                            Axis::K => p.k = idx,
+                            Axis::L => p.l = idx,
+                        }
+                    }
+                    lay.offset(d, p) as u64 * ELEM_BYTES
+                })
+            })
+        })
+    }
+
+    /// The stride, in bytes, of the innermost loop.
+    #[must_use]
+    pub fn inner_stride_bytes(&self) -> u64 {
+        self.layout.stride_along(self.dims, self.order[2]) as u64 * ELEM_BYTES
+    }
+}
+
+/// Example 4(c): for each (parallel_axis, third-axis) iteration, gather
+/// a pencil along `gather_axis` into a buffer — the STRIDE-N batching
+/// pattern of the vector code's SUBA.
+#[derive(Debug, Clone, Copy)]
+pub struct PencilGather {
+    /// Zone dimensions.
+    pub dims: Dims,
+    /// Storage layout of the array being gathered from.
+    pub layout: Layout,
+    /// The parallelized (outermost) axis.
+    pub parallel_axis: Axis,
+    /// The axis gathered into the buffer (the recurrence direction).
+    pub gather_axis: Axis,
+}
+
+impl PencilGather {
+    /// Example 4(c) exactly: parallel over J, gathering K-pencils from
+    /// J-fastest storage.
+    #[must_use]
+    pub fn example4c(dims: Dims) -> Self {
+        Self {
+            dims,
+            layout: Layout::jkl(),
+            parallel_axis: Axis::J,
+            gather_axis: Axis::K,
+        }
+    }
+
+    /// The third axis (neither parallel nor gathered).
+    #[must_use]
+    pub fn remaining_axis(&self) -> Axis {
+        Axis::ALL
+            .into_iter()
+            .find(|&a| a != self.parallel_axis && a != self.gather_axis)
+            .expect("three distinct axes")
+    }
+
+    /// Address stream of the full gather sweep (buffer writes excluded —
+    /// the buffer is cache-resident by construction).
+    pub fn addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.addresses_for_range(0..self.dims.extent(self.parallel_axis))
+    }
+
+    /// Address stream for a sub-range of the parallel axis — the
+    /// accesses one worker performs under static scheduling.
+    pub fn addresses_for_range(
+        &self,
+        par_range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = u64> + '_ {
+        let d = self.dims;
+        let lay = self.layout;
+        let pa = self.parallel_axis;
+        let ga = self.gather_axis;
+        let ra = self.remaining_axis();
+        par_range.flat_map(move |ip| {
+            (0..d.extent(ra)).flat_map(move |ir| {
+                (0..d.extent(ga)).map(move |ig| {
+                    let mut p = Ijk::new(0, 0, 0);
+                    for (axis, idx) in [(pa, ip), (ra, ir), (ga, ig)] {
+                        match axis {
+                            Axis::J => p.j = idx,
+                            Axis::K => p.k = idx,
+                            Axis::L => p.l = idx,
+                        }
+                    }
+                    lay.offset(d, p) as u64 * ELEM_BYTES
+                })
+            })
+        })
+    }
+
+    /// The gather stride in bytes (the "STRIDE-N" of the paper).
+    #[must_use]
+    pub fn gather_stride_bytes(&self) -> u64 {
+        self.layout.stride_along(self.dims, self.gather_axis) as u64 * ELEM_BYTES
+    }
+
+    /// The full Example 4(c) access stream *including* SUBB's work: for
+    /// each pencil, the STRIDE-N gather followed by `compute_passes`
+    /// sequential passes over the (cache-resident) buffer. The buffer
+    /// lives in its own address region just past the array. This is why
+    /// the paper says ordering (c) "can still have an acceptable cache
+    /// miss rate": the gather's misses are diluted by the buffer work.
+    pub fn addresses_with_compute(&self, compute_passes: usize) -> impl Iterator<Item = u64> + '_ {
+        let d = self.dims;
+        let ga = self.gather_axis;
+        let ra = self.remaining_axis();
+        let pa = self.parallel_axis;
+        let buffer_base = (d.points() as u64).next_power_of_two() * ELEM_BYTES * 2;
+        let glen = d.extent(ga);
+        (0..d.extent(pa)).flat_map(move |ip| {
+            (0..d.extent(ra)).flat_map(move |ir| {
+                let gather = self
+                    .addresses_for_range(ip..ip + 1)
+                    .skip(ir * glen)
+                    .take(glen);
+                let compute = (0..compute_passes)
+                    .flat_map(move |_| (0..glen as u64).map(move |i| buffer_base + i * ELEM_BYTES));
+                gather.chain(compute)
+            })
+        })
+    }
+}
+
+/// The access stream of one solver kernel over a zone, approximated at
+/// the address level: per interior point, reads of the state at the
+/// point and its six neighbors, metric reads, and a result write. Used
+/// to measure the per-kernel miss rates that justify the constants in
+/// `f3d::costmodel`.
+///
+/// Two storage styles are modeled:
+/// * **AoS** (tuned): 5 consecutive f64 per point, single array;
+/// * **SoA** (vector): 5 planes of one f64 per point each.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverSweep {
+    /// Zone dimensions.
+    pub dims: Dims,
+    /// Spatial layout.
+    pub layout: Layout,
+    /// Component-inner (AoS, `true`) or component-outer (SoA, `false`).
+    pub aos: bool,
+    /// Loop order of the sweep, outermost first.
+    pub order: [Axis; 3],
+}
+
+/// One memory access of a solver sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Whether the access is a store.
+    pub store: bool,
+}
+
+impl SolverSweep {
+    /// The tuned implementation's residual sweep: AoS storage, L outer /
+    /// K middle / J inner.
+    #[must_use]
+    pub fn risc_rhs(dims: Dims) -> Self {
+        Self {
+            dims,
+            layout: Layout::jkl(),
+            aos: true,
+            order: [Axis::L, Axis::K, Axis::J],
+        }
+    }
+
+    /// The vector implementation's residual sweep: SoA storage, same
+    /// loop order (the legacy code's problem is storage and scratch,
+    /// not this loop order).
+    #[must_use]
+    pub fn vector_rhs(dims: Dims) -> Self {
+        Self {
+            dims,
+            layout: Layout::jkl(),
+            aos: false,
+            order: [Axis::L, Axis::K, Axis::J],
+        }
+    }
+
+    /// Byte address of component `c` of the state at `p`.
+    fn q_addr(&self, p: Ijk, c: u64) -> u64 {
+        let spatial = self.layout.offset(self.dims, p) as u64;
+        if self.aos {
+            (spatial * 5 + c) * ELEM_BYTES
+        } else {
+            (c * self.dims.points() as u64 + spatial) * ELEM_BYTES
+        }
+    }
+
+    /// The access stream of a 7-point-stencil residual evaluation:
+    /// per interior point, all five components of the state at the
+    /// point and its six neighbors (loads), three metric values from a
+    /// separate region (loads), and the five-component result (stores).
+    pub fn accesses(&self) -> impl Iterator<Item = SweepAccess> + '_ {
+        let d = self.dims;
+        let [a0, a1, a2] = self.order;
+        // Disjoint address regions for the result and metric arrays.
+        let span = (d.points() as u64 * 5 * ELEM_BYTES).next_power_of_two();
+        let rhs_base = span * 2;
+        let met_base = span * 4;
+        (0..d.extent(a0)).flat_map(move |i0| {
+            (0..d.extent(a1)).flat_map(move |i1| {
+                (0..d.extent(a2)).flat_map(move |i2| {
+                    let mut p = Ijk::new(0, 0, 0);
+                    for (axis, idx) in [(a0, i0), (a1, i1), (a2, i2)] {
+                        match axis {
+                            Axis::J => p.j = idx,
+                            Axis::K => p.k = idx,
+                            Axis::L => p.l = idx,
+                        }
+                    }
+                    let interior = !d.on_boundary(p);
+                    let spatial = self.layout.offset(d, p) as u64;
+                    let mut out = Vec::with_capacity(if interior { 43 } else { 0 });
+                    if interior {
+                        // center + 6 neighbors, 5 components each
+                        let mut points = vec![p];
+                        for axis in Axis::ALL {
+                            points.push(p.offset(axis, -1));
+                            points.push(p.offset(axis, 1));
+                        }
+                        for q in points {
+                            for c in 0..5 {
+                                out.push(SweepAccess {
+                                    addr: self.q_addr(q, c),
+                                    store: false,
+                                });
+                            }
+                        }
+                        // metric gradients (3 values per point)
+                        for m in 0..3 {
+                            out.push(SweepAccess {
+                                addr: met_base + (spatial * 3 + m) * ELEM_BYTES,
+                                store: false,
+                            });
+                        }
+                        // result write, 5 components (AoS result array)
+                        for c in 0..5 {
+                            out.push(SweepAccess {
+                                addr: rhs_base + (spatial * 5 + c) * ELEM_BYTES,
+                                store: true,
+                            });
+                        }
+                    }
+                    out
+                })
+            })
+        })
+    }
+}
+
+/// Page-sharing statistics of a statically-scheduled parallel sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingStats {
+    /// Distinct pages touched by the whole sweep.
+    pub total_pages: u64,
+    /// Pages touched by two or more workers.
+    pub shared_pages: u64,
+    /// The largest number of workers touching any single page.
+    pub max_sharers: u32,
+}
+
+impl SharingStats {
+    /// Fraction of pages shared between workers, in `[0, 1]`.
+    #[must_use]
+    pub fn shared_fraction(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.shared_pages as f64 / self.total_pages as f64
+        }
+    }
+}
+
+/// Static block chunks of `0..n` over `p` workers (the `llp` schedule,
+/// duplicated here to keep this crate's dependencies to `mesh` only;
+/// equality with `llp::chunk_bounds` is asserted by integration tests).
+fn static_chunks(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(p > 0);
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = p.min(n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Compute page sharing when a zone array is swept by `workers` workers
+/// that statically split `parallel_axis`, each worker touching every
+/// point of its slab (any per-worker traversal order touches the same
+/// pages). `layout` is the array's storage order; `page_bytes` the NUMA
+/// interleaving granularity.
+#[must_use]
+pub fn page_sharing(
+    dims: Dims,
+    layout: Layout,
+    parallel_axis: Axis,
+    workers: usize,
+    page_bytes: u64,
+) -> SharingStats {
+    assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+    let n = dims.extent(parallel_axis);
+    let chunks = static_chunks(n, workers);
+    let mut sharers: HashMap<u64, u32> = HashMap::new();
+    let others: Vec<Axis> = Axis::ALL
+        .into_iter()
+        .filter(|&a| a != parallel_axis)
+        .collect();
+    for chunk in chunks {
+        let mut touched: Vec<u64> = Vec::new();
+        for ip in chunk {
+            for i1 in 0..dims.extent(others[0]) {
+                for i2 in 0..dims.extent(others[1]) {
+                    let mut p = Ijk::new(0, 0, 0);
+                    for (axis, idx) in [(parallel_axis, ip), (others[0], i1), (others[1], i2)] {
+                        match axis {
+                            Axis::J => p.j = idx,
+                            Axis::K => p.k = idx,
+                            Axis::L => p.l = idx,
+                        }
+                    }
+                    let addr = layout.offset(dims, p) as u64 * ELEM_BYTES;
+                    touched.push(addr / page_bytes);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for page in touched {
+            *sharers.entry(page).or_insert(0) += 1;
+        }
+    }
+    let total_pages = sharers.len() as u64;
+    let shared_pages = sharers.values().filter(|&&c| c > 1).count() as u64;
+    let max_sharers = sharers.values().copied().max().unwrap_or(0);
+    SharingStats {
+        total_pages,
+        shared_pages,
+        max_sharers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims::new(32, 24, 16)
+    }
+
+    #[test]
+    fn example4a_is_fully_sequential() {
+        let t = GridTraversal::example4a(dims());
+        let addrs: Vec<u64> = t.addresses().collect();
+        assert_eq!(addrs.len(), dims().points());
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(a, i as u64 * ELEM_BYTES, "position {i}");
+        }
+        assert_eq!(t.inner_stride_bytes(), ELEM_BYTES);
+    }
+
+    #[test]
+    fn example4b_unit_stride_inner_with_jumps() {
+        let t = GridTraversal::example4b(dims());
+        let addrs: Vec<u64> = t.addresses().collect();
+        assert_eq!(addrs.len(), dims().points());
+        // Inner loop still unit stride...
+        assert_eq!(addrs[1] - addrs[0], ELEM_BYTES);
+        // ...but the stream is not globally sequential.
+        assert!(addrs.windows(2).any(|w| w[1] != w[0] + ELEM_BYTES));
+        // Every address still visited exactly once.
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), dims().points());
+    }
+
+    #[test]
+    fn example4c_strides_by_jmax() {
+        let g = PencilGather::example4c(dims());
+        // Gathering along K from J-fastest storage strides by JMAX elems.
+        assert_eq!(g.gather_stride_bytes(), 32 * ELEM_BYTES);
+        let addrs: Vec<u64> = g.addresses().collect();
+        assert_eq!(addrs.len(), dims().points());
+        // consecutive gather accesses stride by JMAX*8
+        assert_eq!(addrs[1] - addrs[0], 32 * ELEM_BYTES);
+    }
+
+    #[test]
+    fn all_patterns_cover_all_points() {
+        for addrs in [
+            GridTraversal::example4a(dims()).addresses().collect::<Vec<_>>(),
+            GridTraversal::example4b(dims()).addresses().collect::<Vec<_>>(),
+            PencilGather::example4c(dims()).addresses().collect::<Vec<_>>(),
+        ] {
+            let mut s = addrs;
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), dims().points());
+            assert_eq!(s[0], 0);
+            assert_eq!(*s.last().unwrap(), (dims().points() as u64 - 1) * ELEM_BYTES);
+        }
+    }
+
+    #[test]
+    fn solver_sweep_access_counts() {
+        let d = Dims::new(8, 8, 8);
+        let s = SolverSweep::risc_rhs(d);
+        let n: usize = s.accesses().count();
+        // 43 accesses per interior point (7 points x 5 comps + 3
+        // metrics + 5 stores), none at boundary points.
+        assert_eq!(n, d.interior_points() * 43);
+        // Stores are exactly 5 per interior point.
+        let stores = s.accesses().filter(|a| a.store).count();
+        assert_eq!(stores, d.interior_points() * 5);
+    }
+
+    #[test]
+    fn aos_beats_soa_on_strided_state_access() {
+        // The paper's storage-arrangement claim, measured where it
+        // actually bites: a *strided* traversal (the K-pencil gathers of
+        // the implicit sweeps) reading all five components per point.
+        // AoS packs a point's state into 40 contiguous bytes (1-2
+        // lines); SoA spreads it across five planes (5 lines). Unit-
+        // stride streaming sweeps do NOT show this — footprints match.
+        use crate::cache::{Cache, CacheConfig};
+        let d = Dims::new(48, 48, 32);
+        let lay = Layout::jkl();
+        let run = |aos: bool| {
+            let mut c = Cache::new(CacheConfig::new(32 << 10, 32, 2));
+            // K-inner gather at every (l, j): K stride = jmax elements.
+            for l in 0..d.l {
+                for j in 0..d.j {
+                    for k in 0..d.k {
+                        let spatial = lay.offset(d, Ijk::new(j, k, l)) as u64;
+                        for comp in 0..5u64 {
+                            let addr = if aos {
+                                (spatial * 5 + comp) * ELEM_BYTES
+                            } else {
+                                (comp * d.points() as u64 + spatial) * ELEM_BYTES
+                            };
+                            c.access(addr);
+                        }
+                    }
+                }
+            }
+            c.misses()
+        };
+        let aos = run(true);
+        let soa = run(false);
+        assert!(
+            soa as f64 > 1.8 * aos as f64,
+            "SoA {soa} vs AoS {aos} misses"
+        );
+    }
+
+    #[test]
+    fn parallel_l_over_jkl_has_little_sharing() {
+        // Ordering (a) parallelized over L: slabs are contiguous, so
+        // only chunk-boundary pages are shared.
+        let s = page_sharing(dims(), Layout::jkl(), Axis::L, 4, 4096);
+        assert!(s.shared_fraction() < 0.15, "{s:?}");
+        assert!(s.max_sharers <= 2);
+    }
+
+    #[test]
+    fn parallel_j_over_jkl_shares_every_page() {
+        // Ordering (c): parallel over J with J-fastest storage — every
+        // worker strides through every page.
+        let s = page_sharing(dims(), Layout::jkl(), Axis::J, 4, 4096);
+        assert!(s.shared_fraction() > 0.99, "{s:?}");
+        assert_eq!(s.max_sharers, 4);
+    }
+
+    #[test]
+    fn single_worker_never_shares() {
+        let s = page_sharing(dims(), Layout::jkl(), Axis::J, 1, 4096);
+        assert_eq!(s.shared_pages, 0);
+        assert_eq!(s.max_sharers, 1);
+    }
+
+    #[test]
+    fn total_pages_matches_footprint() {
+        let s = page_sharing(dims(), Layout::jkl(), Axis::L, 3, 4096);
+        let bytes = dims().points() as u64 * ELEM_BYTES;
+        assert_eq!(s.total_pages, bytes.div_ceil(4096));
+    }
+
+    #[test]
+    fn remaining_axis_is_the_third() {
+        let g = PencilGather::example4c(dims());
+        assert_eq!(g.remaining_axis(), Axis::L);
+    }
+
+    #[test]
+    fn compute_passes_dilute_the_gather() {
+        let g = PencilGather::example4c(dims());
+        let with: Vec<u64> = g.addresses_with_compute(4).collect();
+        // gather points + 4 buffer passes per pencil
+        assert_eq!(with.len(), dims().points() * 5);
+        // The buffer region is disjoint from the array.
+        let array_top = dims().points() as u64 * ELEM_BYTES;
+        let buffer_accesses = with.iter().filter(|&&a| a >= array_top).count();
+        assert_eq!(buffer_accesses, dims().points() * 4);
+        // And the gather addresses still cover the whole array.
+        let mut arr: Vec<u64> = with.iter().copied().filter(|&a| a < array_top).collect();
+        arr.sort_unstable();
+        arr.dedup();
+        assert_eq!(arr.len(), dims().points());
+    }
+
+    #[test]
+    fn pencil_gather_range_splits_cleanly() {
+        let g = PencilGather::example4c(dims());
+        let whole: Vec<u64> = g.addresses().collect();
+        let mut parts: Vec<u64> = g.addresses_for_range(0..10).collect();
+        parts.extend(g.addresses_for_range(10..32));
+        assert_eq!(whole, parts);
+    }
+}

@@ -1,0 +1,366 @@
+//! Boundary conditions and zonal injection.
+//!
+//! Boundary-condition routines are the loops the paper deliberately
+//! leaves serial: they touch only a face of the zone, so their work per
+//! synchronization event is 2–4 orders of magnitude below the main
+//! sweeps (Table 2), and parallelizing them cannot pay for the barrier.
+//! Both implementations call these same serial routines.
+
+use crate::solver::ZoneSolver;
+use crate::state::Primitive;
+use mesh::{Axis, Ijk};
+
+/// Which boundary condition a face carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BcKind {
+    /// Dirichlet to the freestream state (far field / inflow).
+    Freestream,
+    /// Zeroth-order extrapolation from the adjacent interior point
+    /// (supersonic outflow).
+    Extrapolate,
+    /// Inviscid slip wall: interior state with the contravariant normal
+    /// velocity removed.
+    SlipWall,
+    /// Viscous no-slip wall: zero velocity, density and pressure taken
+    /// from the adjacent interior point (adiabatic wall) — the wall
+    /// condition of the thin-layer Navier–Stokes mode.
+    NoSlipWall,
+    /// Owned by a zonal interface — skipped by `apply_all` and filled
+    /// by [`inject`].
+    Zonal,
+}
+
+/// One face of a zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Face {
+    /// The axis normal to the face.
+    pub axis: Axis,
+    /// `false` for the low-index face, `true` for the high-index face.
+    pub high: bool,
+}
+
+impl Face {
+    /// All six faces.
+    #[must_use]
+    pub fn all() -> [Face; 6] {
+        [
+            Face { axis: Axis::J, high: false },
+            Face { axis: Axis::J, high: true },
+            Face { axis: Axis::K, high: false },
+            Face { axis: Axis::K, high: true },
+            Face { axis: Axis::L, high: false },
+            Face { axis: Axis::L, high: true },
+        ]
+    }
+
+    /// Index of this face in a `[T; 6]` table (J-/J+/K-/K+/L-/L+).
+    #[must_use]
+    pub fn table_index(&self) -> usize {
+        let base = match self.axis {
+            Axis::J => 0,
+            Axis::K => 2,
+            Axis::L => 4,
+        };
+        base + usize::from(self.high)
+    }
+}
+
+/// The boundary-condition assignment of a zone: one [`BcKind`] per face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneBcs {
+    /// Face table in `Face::table_index` order.
+    pub faces: [BcKind; 6],
+}
+
+impl ZoneBcs {
+    /// All faces freestream — the configuration for freestream-recovery
+    /// tests.
+    #[must_use]
+    pub fn all_freestream() -> Self {
+        Self {
+            faces: [BcKind::Freestream; 6],
+        }
+    }
+
+    /// The projectile-like default: freestream inflow (J−), extrapolated
+    /// outflow (J+), freestream far field (K±, L+), slip wall at the
+    /// body (L−).
+    #[must_use]
+    pub fn projectile() -> Self {
+        Self {
+            faces: [
+                BcKind::Freestream,  // J-
+                BcKind::Extrapolate, // J+
+                BcKind::Freestream,  // K-
+                BcKind::Freestream,  // K+
+                BcKind::SlipWall,    // L-
+                BcKind::Freestream,  // L+
+            ],
+        }
+    }
+
+    /// Get the kind for a face.
+    #[must_use]
+    pub fn kind(&self, face: Face) -> BcKind {
+        self.faces[face.table_index()]
+    }
+
+    /// Set the kind for a face (builder style).
+    #[must_use]
+    pub fn with(mut self, face: Face, kind: BcKind) -> Self {
+        self.faces[face.table_index()] = kind;
+        self
+    }
+}
+
+/// Iterate over the points of one face.
+fn face_points(zone: &ZoneSolver, face: Face) -> Vec<Ijk> {
+    let d = zone.dims();
+    let fixed = if face.high { d.extent(face.axis) - 1 } else { 0 };
+    let others: Vec<Axis> = Axis::ALL
+        .into_iter()
+        .filter(|&a| a != face.axis)
+        .collect();
+    let mut pts = Vec::with_capacity(d.extent(others[0]) * d.extent(others[1]));
+    for i1 in 0..d.extent(others[0]) {
+        for i2 in 0..d.extent(others[1]) {
+            let mut p = Ijk::new(0, 0, 0);
+            for (axis, idx) in [(face.axis, fixed), (others[0], i1), (others[1], i2)] {
+                match axis {
+                    Axis::J => p.j = idx,
+                    Axis::K => p.k = idx,
+                    Axis::L => p.l = idx,
+                }
+            }
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// Apply one face's boundary condition (serial, as in the paper).
+pub fn apply_face(zone: &mut ZoneSolver, face: Face, kind: BcKind) {
+    match kind {
+        BcKind::Zonal => {}
+        BcKind::Freestream => {
+            let fs = zone.config.flow.conserved();
+            for p in face_points(zone, face) {
+                zone.q.set(p, fs);
+            }
+        }
+        BcKind::Extrapolate => {
+            let delta: isize = if face.high { -1 } else { 1 };
+            for p in face_points(zone, face) {
+                let donor = p.offset(face.axis, delta);
+                let v = zone.q.get(donor);
+                zone.q.set(p, v);
+            }
+        }
+        BcKind::NoSlipWall => {
+            let delta: isize = if face.high { -1 } else { 1 };
+            for p in face_points(zone, face) {
+                let donor = p.offset(face.axis, delta);
+                let q = zone.q.get(donor);
+                let prim = Primitive::from_conserved(&q);
+                let wall = Primitive {
+                    rho: prim.rho,
+                    u: 0.0,
+                    v: 0.0,
+                    w: 0.0,
+                    p: prim.p,
+                };
+                zone.q.set(p, wall.to_conserved());
+            }
+        }
+        BcKind::SlipWall => {
+            let delta: isize = if face.high { -1 } else { 1 };
+            for p in face_points(zone, face) {
+                let donor = p.offset(face.axis, delta);
+                let q = zone.q.get(donor);
+                let prim = Primitive::from_conserved(&q);
+                // Remove the velocity component along the face normal
+                // (the contravariant direction of `face.axis`).
+                let n = zone.metrics.grad(p, face.axis);
+                let mag2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+                let vn = (prim.u * n[0] + prim.v * n[1] + prim.w * n[2]) / mag2;
+                let tangent = Primitive {
+                    rho: prim.rho,
+                    u: prim.u - vn * n[0],
+                    v: prim.v - vn * n[1],
+                    w: prim.w - vn * n[2],
+                    p: prim.p,
+                };
+                zone.q.set(p, tangent.to_conserved());
+            }
+        }
+    }
+}
+
+/// Apply all non-zonal boundary conditions of a zone.
+pub fn apply_all(zone: &mut ZoneSolver, bcs: &ZoneBcs) {
+    for face in Face::all() {
+        apply_face(zone, face, bcs.kind(face));
+    }
+}
+
+/// Zonal injection across one interface: the downstream zone's J=0
+/// plane receives the upstream zone's second-to-last J plane, and the
+/// upstream zone's last J plane receives the downstream zone's J=1
+/// plane (one-point overlap exchange, as in zonal F3D).
+///
+/// # Panics
+/// Panics if the zones do not share K and L extents.
+pub fn inject(upstream: &mut ZoneSolver, downstream: &mut ZoneSolver) {
+    let du = upstream.dims();
+    let dd = downstream.dims();
+    assert!(
+        du.k == dd.k && du.l == dd.l,
+        "zonal interface requires matching K x L faces"
+    );
+    assert!(du.j >= 2 && dd.j >= 2, "zones too thin for overlap");
+    for k in 0..du.k {
+        for l in 0..du.l {
+            let from_up = upstream.q.get(Ijk::new(du.j - 2, k, l));
+            let from_down = downstream.q.get(Ijk::new(1, k, l));
+            downstream.q.set(Ijk::new(0, k, l), from_up);
+            upstream.q.set(Ijk::new(du.j - 1, k, l), from_down);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+    use mesh::{Arrangement, Dims, Layout, Metrics};
+
+    fn zone(d: Dims) -> ZoneSolver {
+        ZoneSolver::freestream(
+            SolverConfig::supersonic(),
+            Metrics::cartesian(d, (0.5, 0.5, 0.5)),
+            Layout::jkl(),
+            Arrangement::ComponentInner,
+        )
+    }
+
+    #[test]
+    fn freestream_bc_resets_face() {
+        let mut z = zone(Dims::new(4, 4, 4));
+        let p = Ijk::new(0, 2, 2);
+        z.q.set(p, [9.0, 0.0, 0.0, 0.0, 99.0]);
+        apply_face(&mut z, Face { axis: Axis::J, high: false }, BcKind::Freestream);
+        assert_eq!(z.q.get(p), z.config.flow.conserved());
+    }
+
+    #[test]
+    fn extrapolate_copies_interior() {
+        let mut z = zone(Dims::new(5, 3, 3));
+        let interior = Ijk::new(3, 1, 1);
+        let marked = [2.0, 1.0, 0.5, 0.25, 8.0];
+        z.q.set(interior, marked);
+        apply_face(&mut z, Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+        assert_eq!(z.q.get(Ijk::new(4, 1, 1)), marked);
+    }
+
+    #[test]
+    fn slip_wall_removes_normal_velocity() {
+        let mut z = zone(Dims::new(3, 3, 4));
+        // Give the interior point above the wall some L-directed flow.
+        let donor = Ijk::new(1, 1, 1);
+        let prim = Primitive {
+            rho: 1.0,
+            u: 1.0,
+            v: 0.2,
+            w: 0.7,
+            p: 1.0,
+        };
+        z.q.set(donor, prim.to_conserved());
+        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::SlipWall);
+        let wall = Primitive::from_conserved(&z.q.get(Ijk::new(1, 1, 0)));
+        // Cartesian grid: L normal is z, so w must vanish, u/v kept.
+        assert!(wall.w.abs() < 1e-13, "w = {}", wall.w);
+        assert!((wall.u - 1.0).abs() < 1e-13);
+        assert!((wall.v - 0.2).abs() < 1e-13);
+        assert!((wall.p - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn slip_wall_preserves_freestream_tangent_flow() {
+        // Freestream along x over an L-normal wall: already tangent, so
+        // the wall BC must be a no-op.
+        let mut z = zone(Dims::new(4, 4, 4));
+        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::SlipWall);
+        assert_eq!(z.freestream_deviation(), 0.0);
+    }
+
+    #[test]
+    fn no_slip_wall_zeroes_velocity() {
+        let mut z = zone(Dims::new(3, 3, 4));
+        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::NoSlipWall);
+        let wall = Primitive::from_conserved(&z.q.get(Ijk::new(1, 1, 0)));
+        assert_eq!(wall.u, 0.0);
+        assert_eq!(wall.v, 0.0);
+        assert_eq!(wall.w, 0.0);
+        // rho and p from the interior freestream.
+        let fs = z.config.flow.primitive();
+        assert!((wall.rho - fs.rho).abs() < 1e-14);
+        assert!((wall.p - fs.p).abs() < 1e-14);
+    }
+
+    #[test]
+    fn apply_all_freestream_is_identity_on_freestream() {
+        let mut z = zone(Dims::new(4, 5, 6));
+        apply_all(&mut z, &ZoneBcs::all_freestream());
+        assert_eq!(z.freestream_deviation(), 0.0);
+    }
+
+    #[test]
+    fn zonal_faces_skipped() {
+        let mut z = zone(Dims::new(4, 4, 4));
+        let marked = [3.0, 0.1, 0.1, 0.1, 9.0];
+        z.q.set(Ijk::new(0, 1, 1), marked);
+        let bcs = ZoneBcs::all_freestream().with(Face { axis: Axis::J, high: false }, BcKind::Zonal);
+        apply_all(&mut z, &bcs);
+        assert_eq!(z.q.get(Ijk::new(0, 1, 1)), marked, "zonal face must not be overwritten");
+    }
+
+    #[test]
+    fn injection_exchanges_overlap_planes() {
+        let mut up = zone(Dims::new(5, 3, 3));
+        let mut down = zone(Dims::new(4, 3, 3));
+        let a = [2.0, 0.0, 0.0, 0.0, 9.0];
+        let b = [3.0, 0.1, 0.0, 0.0, 10.0];
+        up.q.set(Ijk::new(3, 1, 2), a); // j = jmax-2 of upstream
+        down.q.set(Ijk::new(1, 1, 2), b); // j = 1 of downstream
+        inject(&mut up, &mut down);
+        assert_eq!(down.q.get(Ijk::new(0, 1, 2)), a);
+        assert_eq!(up.q.get(Ijk::new(4, 1, 2)), b);
+    }
+
+    #[test]
+    fn face_table_indices_are_unique() {
+        let mut seen = [false; 6];
+        for f in Face::all() {
+            let i = f.table_index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn projectile_bcs_as_documented() {
+        let bcs = ZoneBcs::projectile();
+        assert_eq!(bcs.kind(Face { axis: Axis::J, high: false }), BcKind::Freestream);
+        assert_eq!(bcs.kind(Face { axis: Axis::J, high: true }), BcKind::Extrapolate);
+        assert_eq!(bcs.kind(Face { axis: Axis::L, high: false }), BcKind::SlipWall);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching K x L faces")]
+    fn mismatched_injection_panics() {
+        let mut up = zone(Dims::new(5, 3, 3));
+        let mut down = zone(Dims::new(4, 4, 3));
+        inject(&mut up, &mut down);
+    }
+}

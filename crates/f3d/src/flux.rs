@@ -1,0 +1,303 @@
+//! Directed Euler fluxes, Steger–Warming flux-vector splitting, and
+//! analytic flux Jacobians in generalized coordinates.
+//!
+//! F3D's scheme is *partially flux-split*: the streamwise (J) direction
+//! uses Steger–Warming upwinding — which is what creates the one-sided
+//! implicit recurrences the paper's loop analysis revolves around —
+//! while the K and L directions are centrally differenced. All three
+//! need the directed flux and its Jacobian for the implicit factors.
+//!
+//! Directions are described by the (unnormalized) metric gradient
+//! `n = ∇ξ` of the computational coordinate, so the directed flux is
+//! `F_n = n_x F + n_y G + n_z H` with contravariant velocity
+//! `θ = n·(u,v,w)`.
+
+use crate::state::{Primitive, GAMMA};
+use mesh::NCONS;
+
+/// The directed Euler flux `F_n(Q)` for direction `n`.
+#[must_use]
+pub fn directed_flux(q: &[f64; NCONS], n: [f64; 3]) -> [f64; NCONS] {
+    let prim = Primitive::from_conserved(q);
+    let theta = n[0] * prim.u + n[1] * prim.v + n[2] * prim.w;
+    [
+        q[0] * theta,
+        q[1] * theta + n[0] * prim.p,
+        q[2] * theta + n[1] * prim.p,
+        q[3] * theta + n[2] * prim.p,
+        (q[4] + prim.p) * theta,
+    ]
+}
+
+/// The three distinct eigenvalues of the directed flux Jacobian:
+/// `(θ, θ + a|n|, θ − a|n|)`.
+#[must_use]
+pub fn eigenvalues(q: &[f64; NCONS], n: [f64; 3]) -> (f64, f64, f64) {
+    let prim = Primitive::from_conserved(q);
+    let theta = n[0] * prim.u + n[1] * prim.v + n[2] * prim.w;
+    let m = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+    let a = prim.sound_speed();
+    (theta, theta + a * m, theta - a * m)
+}
+
+/// Spectral radius `|θ| + a|n|` — the time-step and approximate-Jacobian
+/// scale.
+#[must_use]
+pub fn spectral_radius(q: &[f64; NCONS], n: [f64; 3]) -> f64 {
+    let (l1, l4, l5) = eigenvalues(q, n);
+    l1.abs().max(l4.abs()).max(l5.abs())
+}
+
+/// Positive/negative part of an eigenvalue: `(λ ± |λ|) / 2`.
+#[inline]
+fn split(lambda: f64, positive: bool) -> f64 {
+    if positive {
+        0.5 * (lambda + lambda.abs())
+    } else {
+        0.5 * (lambda - lambda.abs())
+    }
+}
+
+/// Steger–Warming split flux `F_n^±(Q)`.
+///
+/// The classic formula built from the split eigenvalues; the defining
+/// identity `F⁺ + F⁻ = F_n` is enforced by tests, and `F⁺` (`F⁻`) has
+/// non-negative (non-positive) eigenvalue content so that backward
+/// (forward) differencing of it is stable — the upwind property the J
+/// sweeps rely on.
+#[must_use]
+pub fn steger_warming(q: &[f64; NCONS], n: [f64; 3], positive: bool) -> [f64; NCONS] {
+    let prim = Primitive::from_conserved(q);
+    let m = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+    assert!(m > 0.0, "direction vector must be nonzero");
+    let nt = [n[0] / m, n[1] / m, n[2] / m];
+    let a = prim.sound_speed();
+    let theta = n[0] * prim.u + n[1] * prim.v + n[2] * prim.w;
+    let l1 = split(theta, positive);
+    let l4 = split(theta + a * m, positive);
+    let l5 = split(theta - a * m, positive);
+
+    let g = GAMMA;
+    let c = prim.rho / (2.0 * g);
+    let (u, v, w) = (prim.u, prim.v, prim.w);
+    let q2 = u * u + v * v + w * w;
+    let up = [u + a * nt[0], v + a * nt[1], w + a * nt[2]];
+    let um = [u - a * nt[0], v - a * nt[1], w - a * nt[2]];
+    let up2 = up[0] * up[0] + up[1] * up[1] + up[2] * up[2];
+    let um2 = um[0] * um[0] + um[1] * um[1] + um[2] * um[2];
+
+    [
+        c * (2.0 * (g - 1.0) * l1 + l4 + l5),
+        c * (2.0 * (g - 1.0) * l1 * u + l4 * up[0] + l5 * um[0]),
+        c * (2.0 * (g - 1.0) * l1 * v + l4 * up[1] + l5 * um[1]),
+        c * (2.0 * (g - 1.0) * l1 * w + l4 * up[2] + l5 * um[2]),
+        c * ((g - 1.0) * l1 * q2
+            + 0.5 * l4 * up2
+            + 0.5 * l5 * um2
+            + (3.0 - g) * (l4 + l5) * a * a / (2.0 * (g - 1.0))),
+    ]
+}
+
+/// The analytic Jacobian `A_n = ∂F_n/∂Q` (5×5, row-major).
+#[must_use]
+pub fn flux_jacobian(q: &[f64; NCONS], n: [f64; 3]) -> [[f64; NCONS]; NCONS] {
+    let prim = Primitive::from_conserved(q);
+    let (u, v, w) = (prim.u, prim.v, prim.w);
+    let theta = n[0] * u + n[1] * v + n[2] * w;
+    let q2 = u * u + v * v + w * w;
+    let g1 = GAMMA - 1.0;
+    let h = (q[4] + prim.p) / prim.rho; // total enthalpy
+
+    let vel = [u, v, w];
+    let mut a = [[0.0; NCONS]; NCONS];
+
+    // Continuity row.
+    a[0] = [0.0, n[0], n[1], n[2], 0.0];
+
+    // Momentum rows.
+    for r in 0..3 {
+        let nr = n[r];
+        let ur = vel[r];
+        a[r + 1][0] = nr * g1 * q2 / 2.0 - ur * theta;
+        for c in 0..3 {
+            let nc = n[c];
+            let uc = vel[c];
+            a[r + 1][c + 1] = nc * ur - nr * g1 * uc + if r == c { theta } else { 0.0 };
+        }
+        a[r + 1][4] = nr * g1;
+    }
+
+    // Energy row.
+    a[4][0] = theta * (g1 * q2 / 2.0 - h);
+    for c in 0..3 {
+        a[4][c + 1] = -g1 * vel[c] * theta + h * n[c];
+    }
+    a[4][4] = GAMMA * theta;
+
+    a
+}
+
+/// Multiply a 5×5 matrix by a 5-vector.
+#[must_use]
+pub fn matvec(a: &[[f64; NCONS]; NCONS], x: &[f64; NCONS]) -> [f64; NCONS] {
+    let mut y = [0.0; NCONS];
+    for (yi, row) in y.iter_mut().zip(a.iter()) {
+        *yi = row.iter().zip(x.iter()).map(|(aij, xj)| aij * xj).sum();
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::FlowState;
+
+    fn states() -> Vec<[f64; NCONS]> {
+        vec![
+            FlowState::freestream(0.5, 0.0).conserved(),
+            FlowState::freestream(2.0, 0.05).conserved(),
+            Primitive {
+                rho: 1.4,
+                u: -0.3,
+                v: 0.7,
+                w: 0.2,
+                p: 2.0,
+            }
+            .to_conserved(),
+        ]
+    }
+
+    fn directions() -> Vec<[f64; 3]> {
+        vec![
+            [1.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0],
+            [0.3, -0.4, 1.2],
+        ]
+    }
+
+    #[test]
+    fn split_fluxes_sum_to_full_flux() {
+        for q in states() {
+            for n in directions() {
+                let full = directed_flux(&q, n);
+                let plus = steger_warming(&q, n, true);
+                let minus = steger_warming(&q, n, false);
+                for i in 0..NCONS {
+                    let sum = plus[i] + minus[i];
+                    assert!(
+                        (sum - full[i]).abs() < 1e-12 * (1.0 + full[i].abs()),
+                        "component {i}: {sum} vs {}",
+                        full[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supersonic_flow_is_one_sided() {
+        // At M=2 along +x, all eigenvalues are positive: F- = 0.
+        let q = FlowState::freestream(2.0, 0.0).conserved();
+        let minus = steger_warming(&q, [1.0, 0.0, 0.0], false);
+        let plus = steger_warming(&q, [1.0, 0.0, 0.0], true);
+        let full = directed_flux(&q, [1.0, 0.0, 0.0]);
+        for i in 0..NCONS {
+            assert!(minus[i].abs() < 1e-14, "F-[{i}] = {}", minus[i]);
+            assert!((plus[i] - full[i]).abs() < 1e-12);
+        }
+        // And against -x, F+ = 0.
+        let plus_rev = steger_warming(&q, [-1.0, 0.0, 0.0], true);
+        for (i, f) in plus_rev.iter().enumerate() {
+            assert!(f.abs() < 1e-14, "F+[{i}] = {f}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_bracket_theta() {
+        for q in states() {
+            for n in directions() {
+                let (l1, l4, l5) = eigenvalues(&q, n);
+                assert!(l5 < l1 && l1 < l4);
+                assert!(spectral_radius(&q, n) >= l1.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn flux_is_homogeneous_of_degree_one() {
+        // Perfect-gas Euler fluxes satisfy F(Q) = A(Q) Q exactly.
+        for q in states() {
+            for n in directions() {
+                let a = flux_jacobian(&q, n);
+                let aq = matvec(&a, &q);
+                let f = directed_flux(&q, n);
+                for i in 0..NCONS {
+                    assert!(
+                        (aq[i] - f[i]).abs() < 1e-11 * (1.0 + f[i].abs()),
+                        "component {i}: {} vs {}",
+                        aq[i],
+                        f[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let eps = 1e-7;
+        for q in states() {
+            for n in directions() {
+                let a = flux_jacobian(&q, n);
+                for j in 0..NCONS {
+                    let mut qp = q;
+                    let mut qm = q;
+                    let h = eps * (1.0 + q[j].abs());
+                    qp[j] += h;
+                    qm[j] -= h;
+                    let fp = directed_flux(&qp, n);
+                    let fm = directed_flux(&qm, n);
+                    for i in 0..NCONS {
+                        let fd = (fp[i] - fm[i]) / (2.0 * h);
+                        assert!(
+                            (a[i][j] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                            "A[{i}][{j}]: analytic {} vs fd {}",
+                            a[i][j],
+                            fd
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_direction_scales_flux() {
+        let q = states()[2];
+        let f1 = directed_flux(&q, [0.3, -0.4, 1.2]);
+        let f2 = directed_flux(&q, [0.6, -0.8, 2.4]);
+        for i in 0..NCONS {
+            assert!((f2[i] - 2.0 * f1[i]).abs() < 1e-12 * (1.0 + f1[i].abs()));
+        }
+    }
+
+    #[test]
+    fn split_parts_have_signed_eigen_content() {
+        // Subsonic: both parts nonzero; mass flux of F+ must be >= 0,
+        // of F- <= 0.
+        let q = FlowState::freestream(0.5, 0.0).conserved();
+        for n in directions() {
+            let plus = steger_warming(&q, n, true);
+            let minus = steger_warming(&q, n, false);
+            assert!(plus[0] >= -1e-14, "mass flux of F+ negative: {}", plus[0]);
+            assert!(minus[0] <= 1e-14, "mass flux of F- positive: {}", minus[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "direction vector must be nonzero")]
+    fn zero_direction_panics() {
+        let q = states()[0];
+        let _ = steger_warming(&q, [0.0, 0.0, 0.0], true);
+    }
+}

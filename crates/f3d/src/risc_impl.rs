@@ -1,0 +1,470 @@
+//! The **RISC-tuned shared-memory** implementation: the paper's
+//! production result.
+//!
+//! What changed relative to [`crate::vector_impl`], following
+//! Section 4 of the paper point by point:
+//!
+//! * **Component-inner (AoS) storage** — all five conserved variables
+//!   of a point share a cache line, maximizing work per cache miss.
+//! * **Pencil-sized scratch** — each implicit sweep processes one
+//!   pencil at a time from a scratch buffer that "comfortably fits in a
+//!   1-MB cache for zone dimensions ranging up to about 1,000"; one
+//!   scratch lives per *worker* and is reused across all its pencils
+//!   (paper Example 3: the parallel loop is hoisted into the parent and
+//!   the 2-D buffer shrinks to 1-D).
+//! * **Outer-loop doacross parallelism** — every sweep parallelizes an
+//!   outer loop orthogonal to its recurrence: the J and K factors and
+//!   the residual over L, the L factor over K (paper Example 1). Each
+//!   phase is a single synchronization event.
+//! * **Boundary conditions stay serial** — their work per sync event
+//!   cannot pay for a barrier (Table 2).
+//!
+//! The L factor needs one extra region: its pencils run across the
+//! L-slabs that partition memory, so workers first solve pencils into
+//! private buffers (parallel over K) and a second region scatters the
+//! results (parallel over L). Safe Rust makes the two-phase structure
+//! explicit where the Fortran original relied on the programmer's
+//! disjointness argument.
+
+use crate::bc::{self, ZoneBcs};
+use crate::solver::{
+    implicit_central_pencil, implicit_upwind_pencil, pencil_point, residual_point, PencilScratch,
+    SolverConfig, ZoneSolver,
+};
+use llp::{doacross_into_scratch, doacross_slabs, doacross_slabs_scratch, LoopProfiler, Workers};
+use mesh::{Arrangement, Axis, Ijk, Layout, Metrics, StateField, NCONS};
+use std::time::Instant;
+
+/// The tuned stepper.
+#[derive(Debug)]
+pub struct RiscStepper {
+    /// Residual / ΔQ field (AoS like the solution).
+    rhs: StateField,
+    /// Longest pencil of the zone (scratch sizing).
+    max_pencil: usize,
+}
+
+impl RiscStepper {
+    /// Build a zone initialized to freestream with the tuned storage
+    /// arrangement, plus its stepper.
+    #[must_use]
+    pub fn new_zone(config: SolverConfig, metrics: Metrics) -> (ZoneSolver, Self) {
+        let zone = ZoneSolver::freestream(
+            config,
+            metrics,
+            Layout::jkl(),
+            Arrangement::ComponentInner,
+        );
+        let stepper = Self::for_zone(&zone);
+        (zone, stepper)
+    }
+
+    /// Build a stepper sized for `zone`.
+    ///
+    /// # Panics
+    /// Panics if the zone does not use the tuned storage (J-fastest
+    /// layout, component-inner arrangement) — the slab arithmetic
+    /// depends on it.
+    #[must_use]
+    pub fn for_zone(zone: &ZoneSolver) -> Self {
+        assert_eq!(
+            zone.q.layout(),
+            Layout::jkl(),
+            "RiscStepper requires the JKL layout"
+        );
+        assert_eq!(
+            zone.q.arrangement(),
+            Arrangement::ComponentInner,
+            "RiscStepper requires component-inner (AoS) storage"
+        );
+        let d = zone.dims();
+        Self {
+            rhs: StateField::zeros(d, zone.q.layout(), zone.q.arrangement()),
+            max_pencil: d.j.max(d.k).max(d.l),
+        }
+    }
+
+    /// Bytes of scratch *per worker* — pencil-sized, the quantity the
+    /// paper fits into cache.
+    #[must_use]
+    pub fn scratch_bytes_per_worker(&self) -> usize {
+        PencilScratch::new(self.max_pencil).bytes()
+    }
+
+    /// Advance one time step using `workers`; phase timings are
+    /// recorded into `profiler` when given.
+    pub fn step(
+        &mut self,
+        zone: &mut ZoneSolver,
+        bcs: &ZoneBcs,
+        workers: &Workers,
+        profiler: Option<&LoopProfiler>,
+    ) {
+        let d = zone.dims();
+        let (jmax, kmax, lmax) = (d.j, d.k, d.l);
+        let eps2 = zone.config.eps2;
+        let eps_imp = zone.config.eps_imp;
+        let mu_vis = zone.config.viscosity;
+        let slab = jmax * kmax * NCONS;
+        let max_pencil = self.max_pencil;
+        // Element offset of (j, k, component c) within an L-slab under
+        // AoS + JKL layout.
+        let at = move |j: usize, k: usize, c: usize| (k * jmax + j) * NCONS + c;
+        let record = |name: &str, parallelism: u64, parallel: bool, t: Instant| {
+            if let Some(p) = profiler {
+                p.record(name, t.elapsed().as_secs_f64(), parallelism, parallel);
+            }
+        };
+
+        // --- Explicit residual: rhs = -dt R(Q); parallel over L. ---
+        let t = Instant::now();
+        {
+            let zone_ref: &ZoneSolver = zone;
+            doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
+                for k in 0..kmax {
+                    for j in 0..jmax {
+                        let p = Ijk::new(j, k, l);
+                        if d.on_boundary(p) {
+                            for c in 0..NCONS {
+                                slab_data[at(j, k, c)] = 0.0;
+                            }
+                        } else {
+                            let r = residual_point(zone_ref, p, eps2);
+                            let dt_p = crate::solver::local_dt(zone_ref, p);
+                            for c in 0..NCONS {
+                                slab_data[at(j, k, c)] = -dt_p * r[c];
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        record("rhs", lmax as u64, true, t);
+
+        // --- J factor: pencils along J, parallel over L, pencil scratch
+        // per worker (Example 3). Boundary pencils carry zero RHS and
+        // are skipped. ---
+        let t = Instant::now();
+        {
+            let zone_ref: &ZoneSolver = zone;
+            doacross_slabs_scratch(
+                workers,
+                self.rhs.as_mut_slice(),
+                slab,
+                || PencilScratch::new(max_pencil),
+                |l, slab_data, s| {
+                    if l == 0 || l == lmax - 1 {
+                        return;
+                    }
+                    for k in 1..kmax - 1 {
+                        let base = Ijk::new(0, k, l);
+                        s.gather(zone_ref, Axis::J, base);
+                        for j in 0..jmax {
+                            for c in 0..NCONS {
+                                s.rhs_line[j][c] = slab_data[at(j, k, c)];
+                            }
+                        }
+                        implicit_upwind_pencil(s, jmax);
+                        for j in 0..jmax {
+                            for c in 0..NCONS {
+                                slab_data[at(j, k, c)] = s.rhs_line[j][c];
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        record("j_factor", lmax as u64, true, t);
+
+        // --- K factor: pencils along K, parallel over L. ---
+        let t = Instant::now();
+        {
+            let zone_ref: &ZoneSolver = zone;
+            doacross_slabs_scratch(
+                workers,
+                self.rhs.as_mut_slice(),
+                slab,
+                || PencilScratch::new(max_pencil),
+                |l, slab_data, s| {
+                    if l == 0 || l == lmax - 1 {
+                        return;
+                    }
+                    for j in 1..jmax - 1 {
+                        let base = Ijk::new(j, 0, l);
+                        s.gather(zone_ref, Axis::K, base);
+                        for k in 0..kmax {
+                            for c in 0..NCONS {
+                                s.rhs_line[k][c] = slab_data[at(j, k, c)];
+                            }
+                        }
+                        implicit_central_pencil(s, kmax, eps_imp, 0.0);
+                        for k in 0..kmax {
+                            for c in 0..NCONS {
+                                slab_data[at(j, k, c)] = s.rhs_line[k][c];
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        record("k_factor", lmax as u64, true, t);
+
+        // --- L factor, phase 1: solve pencils along L into private
+        // per-K buffers; parallel over K. ---
+        let t = Instant::now();
+        let mut solutions: Vec<Vec<[f64; NCONS]>> = Vec::new();
+        solutions.resize(kmax, Vec::new());
+        {
+            let zone_ref: &ZoneSolver = zone;
+            let rhs_ref: &StateField = &self.rhs;
+            doacross_into_scratch(
+                workers,
+                &mut solutions,
+                || PencilScratch::new(max_pencil),
+                |k, s| {
+                    if k == 0 || k == kmax - 1 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![[0.0; NCONS]; (jmax - 2) * lmax];
+                    for j in 1..jmax - 1 {
+                        let base = Ijk::new(j, k, 0);
+                        s.gather(zone_ref, Axis::L, base);
+                        for l in 0..lmax {
+                            s.rhs_line[l] = rhs_ref.get(pencil_point(base, Axis::L, l));
+                        }
+                        implicit_central_pencil(s, lmax, eps_imp, mu_vis);
+                        for l in 0..lmax {
+                            out[(j - 1) * lmax + l] = s.rhs_line[l];
+                        }
+                    }
+                    out
+                },
+            );
+        }
+        record("l_factor_solve", kmax as u64, true, t);
+
+        // --- L factor, phase 2: scatter solutions; parallel over L. ---
+        let t = Instant::now();
+        {
+            let solutions_ref: &[Vec<[f64; NCONS]>] = &solutions;
+            doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
+                for k in 1..kmax - 1 {
+                    for j in 1..jmax - 1 {
+                        let v = solutions_ref[k][(j - 1) * lmax + l];
+                        for c in 0..NCONS {
+                            slab_data[at(j, k, c)] = v[c];
+                        }
+                    }
+                }
+            });
+        }
+        record("l_factor_scatter", lmax as u64, true, t);
+
+        // --- Update interior points; parallel over L. ---
+        let t = Instant::now();
+        {
+            let rhs_ref: &StateField = &self.rhs;
+            doacross_slabs(workers, zone.q.as_mut_slice(), slab, |l, slab_data| {
+                if l == 0 || l == lmax - 1 {
+                    return;
+                }
+                for k in 1..kmax - 1 {
+                    for j in 1..jmax - 1 {
+                        let dq = rhs_ref.get(Ijk::new(j, k, l));
+                        for c in 0..NCONS {
+                            slab_data[at(j, k, c)] += dq[c];
+                        }
+                    }
+                }
+            });
+        }
+        record("update", lmax as u64, true, t);
+
+        // --- Boundary conditions: serial, as the paper recommends. ---
+        let t = Instant::now();
+        bc::apply_all(zone, bcs);
+        record("bc", 1, false, t);
+    }
+}
+
+/// Parallel max-norm deviation from freestream: a doacross reduction
+/// over L-planes (one synchronization event). Max reductions are
+/// bitwise reproducible across worker counts, which is why the paper's
+/// convergence monitors could be parallelized without perturbing the
+/// convergence history.
+#[must_use]
+pub fn parallel_freestream_deviation(zone: &ZoneSolver, workers: &Workers) -> f64 {
+    let d = zone.dims();
+    let fs = zone.config.flow.conserved();
+    llp::doacross_reduce(
+        workers,
+        d.l,
+        0.0f64,
+        |l| {
+            let mut m = 0.0f64;
+            for k in 0..d.k {
+                for j in 0..d.j {
+                    let q = zone.q.get(Ijk::new(j, k, l));
+                    for c in 0..NCONS {
+                        m = m.max((q[c] - fs[c]).abs());
+                    }
+                }
+            }
+            m
+        },
+        f64::max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Dims;
+
+    fn small_case() -> (ZoneSolver, RiscStepper) {
+        let d = Dims::new(8, 7, 6);
+        RiscStepper::new_zone(
+            SolverConfig::supersonic(),
+            Metrics::cartesian(d, (0.25, 0.25, 0.25)),
+        )
+    }
+
+    #[test]
+    fn freestream_is_a_fixed_point() {
+        let (mut zone, mut stepper) = small_case();
+        let workers = Workers::new(3);
+        let bcs = ZoneBcs::all_freestream();
+        for _ in 0..3 {
+            stepper.step(&mut zone, &bcs, &workers, None);
+        }
+        assert!(
+            zone.freestream_deviation() < 1e-12,
+            "deviation {}",
+            zone.freestream_deviation()
+        );
+    }
+
+    #[test]
+    fn matches_vector_implementation_exactly() {
+        // The paper's hard constraint: the parallelized code runs the
+        // same algorithm. Both implementations must produce identical
+        // fields from identical initial conditions.
+        let d = Dims::new(9, 8, 7);
+        let metrics = Metrics::cartesian(d, (0.3, 0.3, 0.3));
+        let config = SolverConfig::subsonic();
+        let bcs = ZoneBcs::projectile();
+
+        let (mut vz, mut vstep) = crate::vector_impl::VectorStepper::new_zone(config, metrics.clone());
+        let (mut rz, mut rstep) = RiscStepper::new_zone(config, metrics);
+        // identical perturbed initial condition
+        for p in d.iter_jkl() {
+            let mut q = vz.q.get(p);
+            q[0] *= 1.0 + 0.02 * ((p.j + 2 * p.k + 3 * p.l) as f64).sin();
+            q[4] *= 1.0 + 0.01 * ((2 * p.j + p.k + p.l) as f64).cos();
+            vz.q.set(p, q);
+            rz.q.set(p, q);
+        }
+        let workers = Workers::new(4);
+        for step in 0..5 {
+            vstep.step(&mut vz, &bcs);
+            rstep.step(&mut rz, &bcs, &workers, None);
+            let diff = vz.q.max_abs_diff(&rz.q);
+            assert!(
+                diff < 1e-12,
+                "implementations diverged at step {step}: {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (z0, _) = small_case();
+        let bcs = ZoneBcs::projectile();
+        let mut results = Vec::new();
+        for nw in [1usize, 2, 5] {
+            let (mut zone, mut stepper) = small_case();
+            // re-derive the same perturbed IC
+            for p in z0.dims().iter_jkl() {
+                let mut q = zone.q.get(p);
+                q[0] *= 1.0 + 0.01 * (p.j as f64 - p.l as f64) / 10.0;
+                zone.q.set(p, q);
+            }
+            let workers = Workers::new(nw);
+            for _ in 0..3 {
+                stepper.step(&mut zone, &bcs, &workers, None);
+            }
+            results.push(zone.q.clone());
+        }
+        assert_eq!(results[0].max_abs_diff(&results[1]), 0.0);
+        assert_eq!(results[0].max_abs_diff(&results[2]), 0.0);
+    }
+
+    #[test]
+    fn profiler_sees_all_phases() {
+        let (mut zone, mut stepper) = small_case();
+        let workers = Workers::new(2);
+        let profiler = LoopProfiler::new();
+        stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, Some(&profiler));
+        let report = profiler.report();
+        let names: Vec<&str> = report.iter().map(|r| r.name.as_str()).collect();
+        for expect in [
+            "rhs",
+            "j_factor",
+            "k_factor",
+            "l_factor_solve",
+            "l_factor_scatter",
+            "update",
+            "bc",
+        ] {
+            assert!(names.contains(&expect), "missing phase {expect}");
+        }
+        // BC is flagged serial; sweeps parallel.
+        let bc = report.iter().find(|r| r.name == "bc").unwrap();
+        assert!(!bc.stats.parallelized);
+        let rhs = report.iter().find(|r| r.name == "rhs").unwrap();
+        assert!(rhs.stats.parallelized);
+        assert_eq!(rhs.stats.parallelism, 6); // L extent
+    }
+
+    #[test]
+    fn sync_events_per_step_are_counted() {
+        let (mut zone, mut stepper) = small_case();
+        let workers = Workers::new(2);
+        workers.reset_counters();
+        stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, None);
+        // rhs, j, k, l-solve, l-scatter, update: 6 parallel regions.
+        assert_eq!(workers.sync_event_count(), 6);
+    }
+
+    #[test]
+    fn parallel_deviation_matches_serial() {
+        let (mut zone, mut stepper) = small_case();
+        let workers = Workers::new(3);
+        stepper.step(&mut zone, &ZoneBcs::projectile(), &workers, None);
+        let serial = zone.freestream_deviation();
+        for nw in [1usize, 2, 5] {
+            let w = Workers::new(nw);
+            assert_eq!(parallel_freestream_deviation(&zone, &w), serial);
+        }
+    }
+
+    #[test]
+    fn scratch_is_pencil_sized() {
+        let (_, stepper) = small_case();
+        // Per-worker scratch must be tiny compared to a 1-MB cache.
+        assert!(stepper.scratch_bytes_per_worker() < 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "component-inner")]
+    fn wrong_arrangement_rejected() {
+        let d = Dims::new(4, 4, 4);
+        let zone = ZoneSolver::freestream(
+            SolverConfig::subsonic(),
+            Metrics::cartesian(d, (1.0, 1.0, 1.0)),
+            Layout::jkl(),
+            Arrangement::ComponentOuter,
+        );
+        let _ = RiscStepper::for_zone(&zone);
+    }
+}

@@ -1,0 +1,384 @@
+//! Workload-trace generation: one `smpsim` trace per solver time step.
+//!
+//! The trace is the bridge between the solver's loop schedule and the
+//! machine model: for each zone and each kernel, it records how much
+//! work the loop does (cycles, priced by [`crate::costmodel`] for a
+//! specific machine memory system), how much parallelism the
+//! parallelized loop level exposes (the zone extent orthogonal to the
+//! kernel's recurrence), its memory traffic, and its page-sharing
+//! fraction (computed by `cachesim::page_sharing`).
+//!
+//! Traces for the paper's full-size cases (59 million points) are
+//! generated analytically from the zone dimensions — no 2.4-GB field
+//! allocation required — but with exactly the loop schedule the real
+//! [`crate::risc_impl`] executes, as asserted by tests that compare the
+//! trace's phase list against a profiled run on a small grid.
+
+use crate::costmodel::{kernel_cost_on, ImplKind, Kernel};
+use cachesim::patterns::page_sharing;
+use cachesim::presets::MachineMemory;
+use mesh::{Axis, Dims, Layout, MultiZoneGrid};
+use smpsim::{ParallelLoop, SerialWork, WorkloadTrace};
+
+/// Reference worker count at which page-sharing fractions are measured
+/// (the fraction is nearly flat in the worker count for the patterns at
+/// hand; the contention *multiplier* scales with the actual count at
+/// execution time).
+pub const SHARING_REFERENCE_WORKERS: usize = 8;
+
+/// Which loop level each parallel kernel parallelizes, and therefore
+/// its available parallelism for a zone of dims `d`.
+#[must_use]
+pub fn kernel_parallel_axis(kernel: Kernel) -> Option<Axis> {
+    match kernel {
+        // Residual, J factor, K factor, update: doacross over L.
+        Kernel::Rhs | Kernel::JFactor | Kernel::KFactor | Kernel::Update => Some(Axis::L),
+        // L factor: its recurrence runs along L, so the solve phase
+        // parallelizes K.
+        Kernel::LFactor => Some(Axis::K),
+        Kernel::Bc | Kernel::Inject => None,
+    }
+}
+
+/// Boundary-face points of a zone (all six faces, no double counting).
+#[must_use]
+pub fn face_points(d: Dims) -> u64 {
+    (d.points() - d.interior_points()) as u64
+}
+
+/// Build the one-time-step trace of the **RISC-tuned parallel**
+/// implementation for `grid` on a machine with memory system `mem`.
+///
+/// Phase order per zone: rhs, J factor, K factor, L factor (solve +
+/// scatter), update — all parallel — then the serial boundary
+/// conditions; zonal injections close the step.
+#[must_use]
+pub fn risc_step_trace(grid: &MultiZoneGrid, mem: &MachineMemory) -> WorkloadTrace {
+    let mut t = WorkloadTrace::new();
+    for zone in grid.zones() {
+        t.extend(&risc_zone_trace(zone, mem));
+    }
+    t.extend(&injection_trace(grid, mem));
+    t
+}
+
+/// The one-step trace of a *single zone* of the tuned implementation
+/// (its five parallel sweeps plus its serial boundary conditions) —
+/// the unit that MLP runs concurrently across teams.
+#[must_use]
+pub fn risc_zone_trace(zone: &mesh::ZoneSpec, mem: &MachineMemory) -> WorkloadTrace {
+    let mut t = WorkloadTrace::new();
+    let page_bytes = 16 << 10;
+    let d = zone.dims;
+    let pts = d.points() as u64;
+    for kernel in [
+        Kernel::Rhs,
+        Kernel::JFactor,
+        Kernel::KFactor,
+        Kernel::LFactor,
+        Kernel::Update,
+    ] {
+        let axis = kernel_parallel_axis(kernel).expect("volume kernels are parallel");
+        let cost = kernel_cost_on(kernel, ImplKind::Risc, mem);
+        let sharing = page_sharing(
+            d,
+            Layout::jkl(),
+            axis,
+            SHARING_REFERENCE_WORKERS,
+            page_bytes,
+        );
+        t.parallel(ParallelLoop {
+            name: format!("{}:{kernel:?}", zone.name),
+            parallelism: d.extent(axis) as u64,
+            work_cycles: pts as f64 * cost.cycles_per_point(mem),
+            flops: pts * cost.flops_per_point,
+            traffic_bytes: pts as f64 * cost.unique_bytes_per_point,
+            shared_page_fraction: sharing.shared_fraction(),
+        });
+    }
+    // Boundary conditions: serial, face points only (Table 2's
+    // justification for leaving them so).
+    let bc_cost = kernel_cost_on(Kernel::Bc, ImplKind::Risc, mem);
+    let fpts = face_points(d);
+    t.serial(SerialWork {
+        name: format!("{}:Bc", zone.name),
+        work_cycles: fpts as f64 * bc_cost.cycles_per_point(mem),
+        flops: fpts * bc_cost.flops_per_point,
+        traffic_bytes: fpts as f64 * bc_cost.unique_bytes_per_point,
+    });
+    t
+}
+
+/// Per-zone one-step traces, in zone order — the MLP inputs for
+/// `smpsim::Machine::execute_mlp`.
+#[must_use]
+pub fn risc_zone_traces(grid: &MultiZoneGrid, mem: &MachineMemory) -> Vec<WorkloadTrace> {
+    grid.zones()
+        .iter()
+        .map(|z| risc_zone_trace(z, mem))
+        .collect()
+}
+
+/// The serial zonal-injection tail of a step (runs after all zones,
+/// under either parallelization mode).
+#[must_use]
+pub fn injection_trace(grid: &MultiZoneGrid, mem: &MachineMemory) -> WorkloadTrace {
+    let mut t = WorkloadTrace::new();
+    let inj_cost = kernel_cost_on(Kernel::Inject, ImplKind::Risc, mem);
+    for iface in grid.interfaces() {
+        let d = grid.zones()[iface.upstream].dims;
+        let pts = (d.k * d.l) as u64 * 2; // both overlap planes
+        t.serial(SerialWork {
+            name: format!("inject:{}->{}", iface.upstream, iface.downstream),
+            work_cycles: pts as f64 * inj_cost.cycles_per_point(mem),
+            flops: pts * inj_cost.flops_per_point,
+            traffic_bytes: pts as f64 * inj_cost.unique_bytes_per_point,
+        });
+    }
+    t
+}
+
+/// Build the one-time-step trace of the **vector** implementation:
+/// every phase serial (the baseline for the serial-tuning experiments).
+#[must_use]
+pub fn vector_step_trace(grid: &MultiZoneGrid, mem: &MachineMemory) -> WorkloadTrace {
+    let mut t = WorkloadTrace::new();
+    for zone in grid.zones() {
+        let d = zone.dims;
+        let pts = d.points() as u64;
+        for kernel in [
+            Kernel::Rhs,
+            Kernel::JFactor,
+            Kernel::KFactor,
+            Kernel::LFactor,
+            Kernel::Update,
+        ] {
+            let cost = kernel_cost_on(kernel, ImplKind::Vector, mem);
+            t.serial(SerialWork {
+                name: format!("{}:{kernel:?}", zone.name),
+                work_cycles: pts as f64 * cost.cycles_per_point(mem),
+                flops: pts * cost.flops_per_point,
+                traffic_bytes: pts as f64 * cost.unique_bytes_per_point,
+            });
+        }
+        let bc_cost = kernel_cost_on(Kernel::Bc, ImplKind::Vector, mem);
+        let fpts = face_points(d);
+        t.serial(SerialWork {
+            name: format!("{}:Bc", zone.name),
+            work_cycles: fpts as f64 * bc_cost.cycles_per_point(mem),
+            flops: fpts * bc_cost.flops_per_point,
+            traffic_bytes: fpts as f64 * bc_cost.unique_bytes_per_point,
+        });
+    }
+    t
+}
+
+/// A variant of [`risc_step_trace`] where the boundary conditions are
+/// parallelized too — the ablation behind the paper's "the more
+/// processors that are used, the harder it is to justify the overhead
+/// associated with the parallelization of boundary condition
+/// subroutines".
+///
+/// A real BC update is not one loop: each of the six faces is its own
+/// routine (and in production codes, several sub-loops per face). Each
+/// becomes a separate doacross region costing its own synchronization
+/// event; the face loops are thin in memory, so their pages are heavily
+/// shared between workers.
+#[must_use]
+pub fn risc_step_trace_parallel_bc(grid: &MultiZoneGrid, mem: &MachineMemory) -> WorkloadTrace {
+    let mut t = risc_step_trace(grid, mem);
+    let phases = std::mem::take(&mut t.phases);
+    for phase in phases {
+        match phase {
+            smpsim::Phase::Serial(s) if s.name.ends_with(":Bc") => {
+                // Zone dims from the grid (the name is "<zone>:Bc").
+                let zone_name = s.name.trim_end_matches(":Bc");
+                let d = grid
+                    .zones()
+                    .iter()
+                    .find(|z| z.name == zone_name)
+                    .expect("zone exists")
+                    .dims;
+                // Six face loops: J-/J+ (K x L faces), K-/K+ (J x L),
+                // L-/L+ (J x K); the parallelized level is the face's
+                // slower-varying extent.
+                let faces: [(u64, u64); 6] = [
+                    ((d.k * d.l) as u64, d.l as u64),
+                    ((d.k * d.l) as u64, d.l as u64),
+                    ((d.j * d.l) as u64, d.l as u64),
+                    ((d.j * d.l) as u64, d.l as u64),
+                    ((d.j * d.k) as u64, d.k as u64),
+                    ((d.j * d.k) as u64, d.k as u64),
+                ];
+                let total_pts: u64 = faces.iter().map(|&(p, _)| p).sum();
+                for (i, &(pts, parallelism)) in faces.iter().enumerate() {
+                    let share = pts as f64 / total_pts as f64;
+                    t.parallel(ParallelLoop {
+                        name: format!("{}[face{}]", s.name, i),
+                        parallelism,
+                        work_cycles: s.work_cycles * share,
+                        flops: (s.flops as f64 * share) as u64,
+                        traffic_bytes: s.traffic_bytes * share,
+                        shared_page_fraction: 0.6,
+                    });
+                }
+            }
+            other => t.phases.push(other),
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::presets;
+
+    fn small_grid() -> MultiZoneGrid {
+        MultiZoneGrid::small_test_case()
+    }
+
+    #[test]
+    fn trace_has_expected_phase_structure() {
+        let t = risc_step_trace(&small_grid(), &presets::origin2000_r12k());
+        // 3 zones x (5 parallel + 1 serial BC) + 2 injections.
+        assert_eq!(t.phases.len(), 3 * 6 + 2);
+        assert_eq!(t.sync_events(), 15);
+    }
+
+    #[test]
+    fn parallelism_matches_zone_extents() {
+        let grid = MultiZoneGrid::paper_one_million();
+        let t = risc_step_trace(&grid, &presets::origin2000_r12k());
+        // L-parallel kernels of every zone expose 70 units; the L-factor
+        // solve exposes K = 75.
+        let min = t.min_parallelism().unwrap();
+        assert_eq!(min, 70);
+        let lf = t
+            .phases
+            .iter()
+            .find_map(|p| match p {
+                smpsim::Phase::Parallel(pl) if pl.name.ends_with(":LFactor") => Some(pl),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(lf.parallelism, 75);
+    }
+
+    #[test]
+    fn fifty_nine_million_case_parallelism() {
+        let grid = MultiZoneGrid::paper_fifty_nine_million();
+        let t = risc_step_trace(&grid, &presets::origin2000_r12k());
+        assert_eq!(t.min_parallelism().unwrap(), 350);
+    }
+
+    #[test]
+    fn serial_fraction_is_small_but_nonzero() {
+        let grid = MultiZoneGrid::paper_one_million();
+        let t = risc_step_trace(&grid, &presets::origin2000_r12k());
+        let f = t.serial_work_fraction();
+        assert!(f > 0.0, "BC work must be present");
+        assert!(f < 0.05, "BC work must be small: {f}");
+    }
+
+    #[test]
+    fn flops_scale_with_grid_points() {
+        let mem = presets::origin2000_r12k();
+        let small = risc_step_trace(&MultiZoneGrid::paper_one_million(), &mem).total_flops();
+        let large =
+            risc_step_trace(&MultiZoneGrid::paper_fifty_nine_million(), &mem).total_flops();
+        let ratio = large as f64 / small as f64;
+        let pts_ratio = 59_377_500.0 / 1_002_750.0;
+        assert!((ratio / pts_ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn vector_trace_is_fully_serial_and_slower() {
+        let mem = presets::origin2000_r12k();
+        let grid = small_grid();
+        let v = vector_step_trace(&grid, &mem);
+        assert_eq!(v.sync_events(), 0);
+        assert_eq!(v.serial_work_fraction(), 1.0);
+        let r = risc_step_trace(&grid, &mem);
+        assert!(v.total_work_cycles() > 5.0 * r.total_work_cycles());
+        // Same algorithm, same flops (BC/inject bookkeeping differs only
+        // in the injections the serial trace omits).
+        let vf = v.total_flops() as f64;
+        let rf = r.total_flops() as f64;
+        assert!((vf / rf - 1.0).abs() < 0.01, "{vf} vs {rf}");
+    }
+
+    #[test]
+    fn sharing_fractions_are_low_for_slab_parallel_kernels() {
+        let t = risc_step_trace(&MultiZoneGrid::paper_one_million(), &presets::origin2000_r12k());
+        for p in &t.phases {
+            if let smpsim::Phase::Parallel(pl) = p {
+                if pl.name.ends_with(":Rhs") || pl.name.ends_with(":JFactor") {
+                    assert!(
+                        pl.shared_page_fraction < 0.2,
+                        "{}: {}",
+                        pl.name,
+                        pl.shared_page_fraction
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bc_ablation_flips_serial_phases() {
+        let mem = presets::origin2000_r12k();
+        let base = risc_step_trace(&small_grid(), &mem);
+        let abl = risc_step_trace_parallel_bc(&small_grid(), &mem);
+        // 6 face regions replace each zone's single serial BC phase.
+        assert_eq!(abl.sync_events(), base.sync_events() + 3 * 6);
+        assert!(abl.serial_work_fraction() < base.serial_work_fraction());
+        let (bf, af) = (base.total_flops() as f64, abl.total_flops() as f64);
+        assert!((af / bf - 1.0).abs() < 1e-6, "{bf} vs {af}");
+    }
+
+    #[test]
+    fn trace_matches_profiled_small_run_structure() {
+        // The analytic trace's per-zone parallel phase list must match
+        // what the real RiscStepper actually executes (names modulo the
+        // zone prefix, parallelism values exactly).
+        use crate::bc::ZoneBcs;
+        use crate::risc_impl::RiscStepper;
+        use crate::solver::SolverConfig;
+        use llp::{LoopProfiler, Workers};
+        use mesh::Metrics;
+
+        let d = Dims::new(6, 7, 8);
+        let (mut zone, mut stepper) = RiscStepper::new_zone(
+            SolverConfig::subsonic(),
+            Metrics::cartesian(d, (0.5, 0.5, 0.5)),
+        );
+        let workers = Workers::new(2);
+        let prof = LoopProfiler::new();
+        stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, Some(&prof));
+        // Real run: rhs/j/k/update parallel over L (8), l_factor over K (7).
+        assert_eq!(prof.get("rhs").unwrap().parallelism, 8);
+        assert_eq!(prof.get("j_factor").unwrap().parallelism, 8);
+        assert_eq!(prof.get("l_factor_solve").unwrap().parallelism, 7);
+        // Analytic trace for a single-zone grid of the same dims.
+        let grid = MultiZoneGrid::chained(vec![mesh::ZoneSpec {
+            name: "z".into(),
+            dims: d,
+        }]);
+        let t = risc_step_trace(&grid, &presets::origin2000_r12k());
+        let get = |suffix: &str| {
+            t.phases
+                .iter()
+                .find_map(|p| match p {
+                    smpsim::Phase::Parallel(pl) if pl.name.ends_with(suffix) => {
+                        Some(pl.parallelism)
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(get(":Rhs"), 8);
+        assert_eq!(get(":JFactor"), 8);
+        assert_eq!(get(":LFactor"), 7);
+    }
+}

@@ -1,0 +1,277 @@
+//! The incremental-parallelization advisor (paper Section 4).
+//!
+//! The paper's workflow: profile the serial code, then parallelize the
+//! expensive loops "one (or a few) at a time", leaving loops whose work
+//! cannot justify the synchronization overhead — boundary conditions
+//! above all — serial. The advisor automates the decision with the
+//! models of `perfmodel`:
+//!
+//! * a loop is worth parallelizing on `P` processors only if its work
+//!   per invocation exceeds the Table-1 bound `P × sync / f`;
+//! * the benefit is capped by the stair-step law of its available
+//!   parallelism;
+//! * the cost of the loops left serial is an Amdahl term.
+//!
+//! The resulting [`Advice`] both ranks the loops (what to parallelize
+//! first) and predicts the whole-program speedup of the recommended
+//! configuration.
+
+use crate::profile::LoopReport;
+use perfmodel::overhead::OverheadBound;
+use perfmodel::stairstep::ideal_speedup;
+
+/// Why a loop was or was not recommended for parallelization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopDecision {
+    /// Parallelize: the expected speedup of the loop at the target
+    /// processor count, overhead included.
+    Parallelize {
+        /// Predicted loop speedup (stair-step × overhead factor).
+        predicted_speedup: f64,
+    },
+    /// Leave serial: the loop's work cannot amortize a synchronization
+    /// event within the overhead budget (Table 1 test).
+    TooLittleWork {
+        /// Work per invocation, in cycles.
+        work_cycles: u64,
+        /// The Table-1 minimum for the target processor count.
+        required_cycles: u64,
+    },
+    /// Leave serial: fewer than two units of available parallelism.
+    NoParallelism,
+}
+
+/// Advice for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopAdvice {
+    /// Loop name (from the profile).
+    pub name: String,
+    /// Fraction of total profiled time.
+    pub fraction_of_total: f64,
+    /// The decision and its rationale.
+    pub decision: LoopDecision,
+}
+
+/// Whole-program advice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// Per-loop advice, ordered by descending cost (parallelize the top
+    /// of the list first — the incremental workflow).
+    pub loops: Vec<LoopAdvice>,
+    /// Fraction of profiled time left serial under the recommendation.
+    pub serial_fraction: f64,
+    /// Predicted whole-program speedup at the target processor count,
+    /// accounting for stair-step limits, synchronization overhead, and
+    /// the Amdahl cost of the loops left serial.
+    pub predicted_speedup: f64,
+}
+
+/// The advisor: machine parameters against which profiles are judged.
+#[derive(Debug, Clone, Copy)]
+pub struct Advisor {
+    /// Processor clock rate in Hz (converts profiled seconds to cycles).
+    pub clock_hz: f64,
+    /// Synchronization cost and overhead budget.
+    pub bound: OverheadBound,
+    /// Target processor count.
+    pub processors: u32,
+}
+
+impl Advisor {
+    /// Create an advisor.
+    ///
+    /// # Panics
+    /// Panics if `clock_hz` is not positive or `processors == 0`.
+    #[must_use]
+    pub fn new(clock_hz: f64, bound: OverheadBound, processors: u32) -> Self {
+        assert!(clock_hz > 0.0, "clock rate must be positive");
+        assert!(processors > 0, "processor count must be positive");
+        Self {
+            clock_hz,
+            bound,
+            processors,
+        }
+    }
+
+    /// Judge one loop: should it be parallelized on this machine?
+    #[must_use]
+    pub fn judge(&self, report: &LoopReport) -> LoopDecision {
+        if report.stats.parallelism < 2 {
+            return LoopDecision::NoParallelism;
+        }
+        let work_cycles = (report.seconds_per_invocation() * self.clock_hz) as u64;
+        let required = self.bound.min_work(self.processors);
+        if work_cycles < required {
+            return LoopDecision::TooLittleWork {
+                work_cycles,
+                required_cycles: required,
+            };
+        }
+        let stair = ideal_speedup(report.stats.parallelism, self.processors);
+        // Parallel time per invocation = serial/stair + sync cost.
+        let serial_s = report.seconds_per_invocation();
+        let sync_s = self.bound.sync_cost_cycles as f64 / self.clock_hz;
+        let par_s = serial_s / stair + sync_s;
+        LoopDecision::Parallelize {
+            predicted_speedup: serial_s / par_s,
+        }
+    }
+
+    /// Advise on a full profile.
+    #[must_use]
+    pub fn advise(&self, reports: &[LoopReport]) -> Advice {
+        let total: f64 = reports.iter().map(|r| r.stats.total_seconds).sum();
+        let mut loops = Vec::with_capacity(reports.len());
+        let mut serial_time = 0.0;
+        let mut predicted_time = 0.0;
+        let sync_s = self.bound.sync_cost_cycles as f64 / self.clock_hz;
+        for r in reports {
+            let decision = self.judge(r);
+            match decision {
+                LoopDecision::Parallelize { .. } => {
+                    let stair = ideal_speedup(r.stats.parallelism, self.processors);
+                    predicted_time += r.stats.total_seconds / stair
+                        + sync_s * r.stats.invocations as f64;
+                }
+                _ => {
+                    serial_time += r.stats.total_seconds;
+                    predicted_time += r.stats.total_seconds;
+                }
+            }
+            loops.push(LoopAdvice {
+                name: r.name.clone(),
+                fraction_of_total: r.fraction_of_total,
+                decision,
+            });
+        }
+        Advice {
+            loops,
+            serial_fraction: if total > 0.0 { serial_time / total } else { 0.0 },
+            predicted_speedup: if predicted_time > 0.0 && total > 0.0 {
+                total / predicted_time
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{LoopReport, LoopStats};
+
+    fn report(name: &str, seconds: f64, invocations: u64, parallelism: u64) -> LoopReport {
+        LoopReport {
+            name: name.into(),
+            stats: LoopStats {
+                invocations,
+                total_seconds: seconds,
+                parallelism,
+                parallelized: false,
+            },
+            fraction_of_total: 0.0,
+        }
+    }
+
+    fn advisor(processors: u32) -> Advisor {
+        // 300 MHz clock, 10k-cycle sync cost, 1% budget (Origin-like).
+        Advisor::new(300e6, OverheadBound::paper_default(10_000), processors)
+    }
+
+    #[test]
+    fn expensive_loop_is_parallelized() {
+        // 1 s per invocation at 300 MHz = 3e8 cycles >> Table-1 bound
+        // for 32 procs (3.2e7 cycles).
+        let a = advisor(32);
+        let r = report("rhs", 10.0, 10, 70);
+        match a.judge(&r) {
+            LoopDecision::Parallelize { predicted_speedup } => {
+                // stair-step: ceil(70/32)=3 -> 70/3 = 23.3; sync negligible
+                assert!((predicted_speedup - 70.0 / 3.0).abs() < 0.1);
+            }
+            other => panic!("expected Parallelize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_condition_left_serial() {
+        // 200 µs per invocation = 60k cycles < 3.2e7 bound for 32 procs:
+        // exactly the paper's "leave the BC routines unparallelized".
+        let a = advisor(32);
+        let r = report("bc_wall", 0.02, 100, 75);
+        match a.judge(&r) {
+            LoopDecision::TooLittleWork {
+                work_cycles,
+                required_cycles,
+            } => {
+                assert_eq!(work_cycles, 60_000);
+                assert_eq!(required_cycles, 32_000_000);
+            }
+            other => panic!("expected TooLittleWork, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_parallelism_left_serial() {
+        let a = advisor(8);
+        let r = report("scalar_reduce", 100.0, 1, 1);
+        assert_eq!(a.judge(&r), LoopDecision::NoParallelism);
+    }
+
+    #[test]
+    fn more_processors_raise_the_bar() {
+        // A loop that passes on 2 processors can fail on 128 — the
+        // paper's "the more processors that are used, the harder it is
+        // to justify the overhead".
+        let r = report("mid", 0.01, 1, 64); // 3e6 cycles
+        assert!(matches!(
+            advisor(2).judge(&r),
+            LoopDecision::Parallelize { .. }
+        ));
+        assert!(matches!(
+            advisor(128).judge(&r),
+            LoopDecision::TooLittleWork { .. }
+        ));
+    }
+
+    #[test]
+    fn advice_accounts_for_amdahl() {
+        let a = advisor(32);
+        let reports = vec![
+            report("rhs", 90.0, 10, 320), // parallelizable, stair 320/10=32x
+            report("bc", 10.0, 1000, 75), // too little work per invocation
+        ];
+        let advice = a.advise(&reports);
+        assert!((advice.serial_fraction - 0.1).abs() < 1e-9);
+        // Predicted: 90/32 + tiny sync + 10 serial ~ 12.8 s of 100 s.
+        assert!(advice.predicted_speedup > 7.0);
+        assert!(advice.predicted_speedup < 8.0, "{}", advice.predicted_speedup);
+    }
+
+    #[test]
+    fn empty_profile_is_neutral() {
+        let advice = advisor(8).advise(&[]);
+        assert_eq!(advice.predicted_speedup, 1.0);
+        assert_eq!(advice.serial_fraction, 0.0);
+        assert!(advice.loops.is_empty());
+    }
+
+    #[test]
+    fn sync_cost_degrades_prediction() {
+        // Same loop judged with a 1M-cycle sync cost machine must show a
+        // lower predicted speedup than with a 10k-cycle machine.
+        let cheap_sync = Advisor::new(300e6, OverheadBound::paper_default(10_000), 16);
+        let costly_sync = Advisor::new(300e6, OverheadBound::paper_default(1_000_000), 16);
+        let r = report("rhs", 600.0, 60, 64); // 10 s per invocation: 3e9 cycles
+        let s1 = match cheap_sync.judge(&r) {
+            LoopDecision::Parallelize { predicted_speedup } => predicted_speedup,
+            other => panic!("{other:?}"),
+        };
+        let s2 = match costly_sync.judge(&r) {
+            LoopDecision::Parallelize { predicted_speedup } => predicted_speedup,
+            other => panic!("{other:?}"),
+        };
+        assert!(s2 < s1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Doacross parallel regions (paper Example 1).
+//!
+//! ```fortran
+//! C$doacross local (L,J,K)
+//!       DO 10 L=1,LMAX
+//! ```
+//! becomes [`doacross`]`(&workers, lmax, |l| …)`. Iterations are
+//! scheduled with the static block rule of [`crate::schedule`] so that
+//! the measured behaviour matches the paper's stair-step analysis, and
+//! each call records exactly one synchronization event on the pool.
+
+use crate::pool::Workers;
+use crate::schedule::chunk_bounds;
+
+/// Execute `body(i)` for every `i` in `0..n` as one parallel region
+/// with static chunked scheduling.
+///
+/// Exactly one synchronization event is recorded regardless of `n` —
+/// outer-loop parallelization of a nest covers the whole nest per sync,
+/// the crux of the paper's Table 2.
+///
+/// ```
+/// use llp::{doacross, Workers};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let workers = Workers::new(4);
+/// let sum = AtomicU64::new(0);
+/// doacross(&workers, 100, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 4950);
+/// assert_eq!(workers.sync_event_count(), 1);
+/// ```
+pub fn doacross(workers: &Workers, n: usize, body: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    workers.region(|scope| {
+        let body = &body;
+        for chunk in chunks {
+            scope.spawn(move |_| {
+                for i in chunk {
+                    body(i);
+                }
+            });
+        }
+    });
+}
+
+/// Execute `body(i)` for every `i` in `0..out.len()`, storing the result
+/// in `out[i]`, as one statically-scheduled parallel region.
+///
+/// The output slice is partitioned along the chunk boundaries so every
+/// worker writes a disjoint contiguous range — the shared-memory
+/// analogue of `C$doacross` writing an array indexed by the parallel
+/// loop variable.
+pub fn doacross_into<T: Send>(
+    workers: &Workers,
+    out: &mut [T],
+    body: impl Fn(usize) -> T + Sync,
+) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    workers.region(|scope| {
+        let body = &body;
+        let mut rest = out;
+        let mut consumed = 0;
+        for chunk in chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.len());
+            rest = tail;
+            let start = consumed;
+            consumed += chunk.len();
+            debug_assert_eq!(start, chunk.start);
+            scope.spawn(move |_| {
+                for (off, slot) in mine.iter_mut().enumerate() {
+                    *slot = body(start + off);
+                }
+            });
+        }
+    });
+}
+
+/// Execute `body(s, slab)` for every length-`slab_len` slab of `data`,
+/// as one statically-scheduled parallel region.
+///
+/// This is the idiom for parallelizing the outer (L) loop of a field
+/// update: with an L-slowest storage layout, each L-plane is one
+/// contiguous slab, and the parallel loop hands disjoint planes to
+/// disjoint workers. `data.len()` must be a multiple of `slab_len`.
+///
+/// # Panics
+/// Panics if `slab_len == 0` or does not divide `data.len()`.
+pub fn doacross_slabs<T: Send + Sync>(
+    workers: &Workers,
+    data: &mut [T],
+    slab_len: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(slab_len > 0, "slab length must be positive");
+    assert!(
+        data.len().is_multiple_of(slab_len),
+        "data length {} is not a multiple of slab length {}",
+        data.len(),
+        slab_len
+    );
+    let n = data.len() / slab_len;
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    workers.region(|scope| {
+        let body = &body;
+        let mut rest = data;
+        for chunk in chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
+            rest = tail;
+            let first_slab = chunk.start;
+            scope.spawn(move |_| {
+                for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
+                    body(first_slab + s, slab);
+                }
+            });
+        }
+    });
+}
+
+/// A doacross with a reduction: `map(i)` is evaluated for every `i` in
+/// `0..n` and the results combined with `combine`, seeded per worker
+/// with `identity`. One parallel region, one synchronization event.
+///
+/// `combine` must be associative and commutative with `identity` as its
+/// neutral element — worker partials arrive in nondeterministic order.
+/// For floating-point sums this means results can differ from a serial
+/// sum by round-off (use max/min style reductions when bitwise
+/// reproducibility across worker counts is required, as the solver's
+/// residual monitors do).
+///
+/// ```
+/// use llp::{doacross_reduce, Workers};
+/// let workers = Workers::new(4);
+/// let max = doacross_reduce(&workers, 1000, f64::NEG_INFINITY,
+///     |i| (i as f64 * 0.37).sin(),
+///     f64::max);
+/// assert!(max <= 1.0 && max > 0.99);
+/// ```
+pub fn doacross_reduce<T: Send + Clone>(
+    workers: &Workers,
+    n: usize,
+    identity: T,
+    map: impl Fn(usize) -> T + Sync,
+    combine: impl Fn(T, T) -> T + Sync,
+) -> T {
+    if n == 0 {
+        return identity;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    let mut partials: Vec<Option<T>> = vec![None; chunks.len()];
+    let seeds: Vec<T> = (0..chunks.len()).map(|_| identity.clone()).collect();
+    workers.region(|scope| {
+        let map = &map;
+        let combine = &combine;
+        for ((chunk, slot), seed) in chunks.into_iter().zip(partials.iter_mut()).zip(seeds) {
+            scope.spawn(move |_| {
+                let mut acc = seed;
+                for i in chunk {
+                    acc = combine(acc, map(i));
+                }
+                *slot = Some(acc);
+            });
+        }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("every chunk ran"))
+        .fold(identity, combine)
+}
+
+/// [`doacross_slabs`] with per-worker scratch: each chunk creates its
+/// scratch once (paper Example 3) and reuses it across its slabs.
+///
+/// # Panics
+/// Panics if `slab_len == 0` or does not divide `data.len()`.
+pub fn doacross_slabs_scratch<T: Send + Sync, S: Send>(
+    workers: &Workers,
+    data: &mut [T],
+    slab_len: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    body: impl Fn(usize, &mut [T], &mut S) + Sync,
+) {
+    assert!(slab_len > 0, "slab length must be positive");
+    assert!(
+        data.len().is_multiple_of(slab_len),
+        "data length {} is not a multiple of slab length {}",
+        data.len(),
+        slab_len
+    );
+    let n = data.len() / slab_len;
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    workers.region(|scope| {
+        let body = &body;
+        let make_scratch = &make_scratch;
+        let mut rest = data;
+        for chunk in chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
+            rest = tail;
+            let first_slab = chunk.start;
+            scope.spawn(move |_| {
+                let mut scratch = make_scratch();
+                for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
+                    body(first_slab + s, slab, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+/// [`doacross_into`] with per-worker scratch.
+pub fn doacross_into_scratch<T: Send, S: Send>(
+    workers: &Workers,
+    out: &mut [T],
+    make_scratch: impl Fn() -> S + Sync,
+    body: impl Fn(usize, &mut S) -> T + Sync,
+) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_bounds(n, workers.processors());
+    workers.region(|scope| {
+        let body = &body;
+        let make_scratch = &make_scratch;
+        let mut rest = out;
+        for chunk in chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.len());
+            rest = tail;
+            let start = chunk.start;
+            scope.spawn(move |_| {
+                let mut scratch = make_scratch();
+                for (off, slot) in mine.iter_mut().enumerate() {
+                    *slot = body(start + off, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn doacross_visits_every_index_once() {
+        let w = Workers::new(4);
+        let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+        doacross(&w, hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn doacross_is_one_sync_event() {
+        let w = Workers::new(4);
+        doacross(&w, 1000, |_| {});
+        assert_eq!(w.sync_event_count(), 1);
+        doacross(&w, 0, |_| {}); // empty loop: no region at all
+        assert_eq!(w.sync_event_count(), 1);
+    }
+
+    #[test]
+    fn doacross_into_writes_results() {
+        let w = Workers::new(3);
+        let mut out = vec![0usize; 57];
+        doacross_into(&w, &mut out, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn doacross_into_empty_is_noop() {
+        let w = Workers::new(2);
+        let mut out: Vec<usize> = Vec::new();
+        doacross_into(&w, &mut out, |i| i);
+        assert_eq!(w.sync_event_count(), 0);
+    }
+
+    #[test]
+    fn slabs_partition_data() {
+        let w = Workers::new(4);
+        let mut data = vec![0u32; 12 * 5];
+        doacross_slabs(&w, &mut data, 5, |s, slab| {
+            assert_eq!(slab.len(), 5);
+            for v in slab.iter_mut() {
+                *v = s as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i / 5);
+        }
+        assert_eq!(w.sync_event_count(), 1);
+    }
+
+    #[test]
+    fn slabs_with_more_workers_than_slabs() {
+        let w = Workers::new(8);
+        let mut data = vec![1.0f64; 3 * 7];
+        doacross_slabs(&w, &mut data, 7, |_, slab| {
+            for v in slab.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn matches_serial_execution() {
+        // The parallel result equals the serial result for a
+        // dependency-free body — "if your code compiles, it typically
+        // does the same thing it did before."
+        let serial: Vec<f64> = (0..200).map(|i| (i as f64).sqrt().sin()).collect();
+        let w = Workers::new(4);
+        let mut par = vec![0.0f64; 200];
+        doacross_into(&w, &mut par, |i| (i as f64).sqrt().sin());
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn reduce_sums_and_maxes() {
+        let w = Workers::new(4);
+        let sum = doacross_reduce(&w, 101, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 5050);
+        let max = doacross_reduce(&w, 57, i32::MIN, |i| -(i as i32 - 30).abs(), i32::max);
+        assert_eq!(max, 0); // i = 30
+        assert_eq!(w.sync_event_count(), 2);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let w = Workers::new(3);
+        assert_eq!(doacross_reduce(&w, 0, 42u32, |_| 7, |a, b| a + b), 42);
+        assert_eq!(w.sync_event_count(), 0);
+    }
+
+    #[test]
+    fn reduce_max_is_worker_count_independent() {
+        // max-style reductions are bitwise reproducible across teams.
+        let f = |i: usize| ((i * 2654435761) % 1000) as f64 / 7.0;
+        let results: Vec<f64> = [1usize, 2, 3, 5]
+            .iter()
+            .map(|&p| {
+                let w = Workers::new(p);
+                doacross_reduce(&w, 500, f64::NEG_INFINITY, f, f64::max)
+            })
+            .collect();
+        assert!(results.windows(2).all(|x| x[0] == x[1]));
+    }
+
+    #[test]
+    fn slabs_scratch_reuses_per_chunk() {
+        let w = Workers::new(4);
+        let mut data = vec![0u64; 16 * 3];
+        let creations = AtomicUsize::new(0);
+        doacross_slabs_scratch(
+            &w,
+            &mut data,
+            3,
+            || {
+                creations.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |s, slab, seen| {
+                *seen += 1;
+                for v in slab.iter_mut() {
+                    *v = s as u64 * 100 + *seen;
+                }
+            },
+        );
+        assert_eq!(creations.load(Ordering::Relaxed), 4);
+        // 16 slabs over 4 workers -> each chunk sees 4 slabs; the
+        // scratch counts up within a chunk, proving reuse.
+        assert_eq!(data[0], 1); // slab 0: first slab of chunk 1
+        assert_eq!(data[3 * 3], 304); // slab 3: fourth slab of chunk 1
+        assert_eq!(data[4 * 3], 401); // slab 4: first slab of chunk 2
+        assert_eq!(w.sync_event_count(), 1);
+    }
+
+    #[test]
+    fn into_scratch_produces_outputs() {
+        let w = Workers::new(3);
+        let mut out = vec![0usize; 31];
+        doacross_into_scratch(
+            &w,
+            &mut out,
+            || vec![0u8; 8],
+            |i, scratch| {
+                scratch[0] = 1;
+                i * 3
+            },
+        );
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn slab_mismatch_panics() {
+        let w = Workers::new(2);
+        let mut data = vec![0u8; 10];
+        doacross_slabs(&w, &mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "slab length must be positive")]
+    fn zero_slab_panics() {
+        let w = Workers::new(2);
+        let mut data = vec![0u8; 10];
+        doacross_slabs(&w, &mut data, 0, |_, _| {});
+    }
+}

@@ -1,0 +1,54 @@
+//! **Loop-level parallelism** — the paper's primary contribution as a
+//! reusable Rust library.
+//!
+//! ARL-TR-2556 parallelizes vectorizable programs by applying
+//! `C$doacross`/OpenMP-style directives to *outer* loops of RISC-tuned
+//! code on shared-memory SMPs. This crate provides the same mechanism
+//! over [rayon], preserving the semantics the paper's analysis depends
+//! on:
+//!
+//! * **Static chunked scheduling** ([`schedule`]): iterations are
+//!   divided into at most `P` contiguous chunks with the largest chunk
+//!   of size `ceil(N / P)`, so measured speedups follow the stair-step
+//!   law of `perfmodel::stairstep`.
+//! * **Synchronization accounting** ([`pool`]): every parallel region
+//!   exit is one synchronization event, the quantity Tables 1 and 2 of
+//!   the paper budget for.
+//! * **Doacross regions** ([`doacross`]): parallel loops over index
+//!   ranges, slices and chunked slabs — the `C$doacross local(L,J,K)`
+//!   idiom (paper Example 1).
+//! * **Loop fusion** ([`fusion`]): merging adjacent loops under one
+//!   parallel region to reduce synchronization events (paper Example 2).
+//! * **Parent-loop hoisting with pencil scratch** ([`pencil`]): hoisting
+//!   the parallel loop into a parent subroutine while each worker
+//!   carries a cache-resident 1-D scratch buffer (paper Example 3) —
+//!   this reduced synchronization events by 1–3 orders of magnitude and
+//!   shrank plane-sized scratch arrays to pencils.
+//! * **Per-loop profiling** ([`profile`]) and an **incremental
+//!   parallelization advisor** ([`advisor`]): profile first, then
+//!   parallelize only the loops whose work justifies the synchronization
+//!   cost — the paper's alternative to all-or-nothing MPI/HPF porting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod doacross;
+pub mod fusion;
+pub mod pencil;
+pub mod pool;
+pub mod profile;
+pub mod schedule;
+pub mod teams;
+
+pub use advisor::{Advice, Advisor, LoopDecision};
+pub use doacross::{
+    doacross, doacross_into, doacross_into_scratch, doacross_reduce, doacross_slabs,
+    doacross_slabs_scratch,
+};
+pub use fusion::FusedRegion;
+pub use pencil::with_pencil_scratch;
+pub use pool::Workers;
+pub use profile::{LoopProfiler, LoopReport};
+pub use schedule::{chunk_bounds, Policy, StaticSchedule};
+pub use teams::{partition_processors, Teams};

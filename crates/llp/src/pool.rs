@@ -1,0 +1,156 @@
+//! The worker pool: a configured rayon thread pool plus the
+//! synchronization-event accounting the paper's cost model budgets for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared-memory worker team of `P` "processors".
+///
+/// Wraps a dedicated rayon [`ThreadPool`](rayon::ThreadPool) (not the
+/// global pool, so the processor count is an explicit experimental
+/// parameter) and counts **synchronization events**: each exit from a
+/// parallel region increments the counter by one, mirroring the paper's
+/// "the main cost of parallelization is … the synchronization cost
+/// associated with exiting a parallel section of code".
+pub struct Workers {
+    pool: rayon::ThreadPool,
+    processors: usize,
+    sync_events: Arc<AtomicU64>,
+    regions: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Workers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workers")
+            .field("processors", &self.processors)
+            .field("sync_events", &self.sync_event_count())
+            .finish()
+    }
+}
+
+impl Workers {
+    /// Create a team of `processors` workers.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0` or the thread pool cannot be built.
+    #[must_use]
+    pub fn new(processors: usize) -> Self {
+        assert!(processors > 0, "worker count must be positive");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(processors)
+            .thread_name(|i| format!("llp-worker-{i}"))
+            .build()
+            .expect("failed to build worker pool");
+        Self {
+            pool,
+            processors,
+            sync_events: Arc::new(AtomicU64::new(0)),
+            regions: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A single-worker team (serial execution through the same API).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of workers ("processors") in the team.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Total synchronization events (parallel-region exits) so far.
+    #[must_use]
+    pub fn sync_event_count(&self) -> u64 {
+        self.sync_events.load(Ordering::Relaxed)
+    }
+
+    /// Total parallel regions entered so far (equal to
+    /// [`Self::sync_event_count`] unless a region is currently active).
+    #[must_use]
+    pub fn region_count(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Reset the event counters (e.g. between benchmark phases).
+    pub fn reset_counters(&self) {
+        self.sync_events.store(0, Ordering::Relaxed);
+        self.regions.store(0, Ordering::Relaxed);
+    }
+
+    /// Run `f` inside the pool as one parallel region: `f` receives a
+    /// rayon scope in which it may spawn tasks; when all tasks complete,
+    /// one synchronization event is recorded.
+    ///
+    /// This is the primitive beneath [`crate::doacross`]; prefer the
+    /// higher-level entry points.
+    pub fn region<'scope, R: Send>(
+        &self,
+        f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send,
+    ) -> R {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        let out = self.pool.scope(f);
+        self.sync_events.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Run a closure on the pool without spawning (for serial sections
+    /// that should still execute on a worker thread).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn counts_sync_events() {
+        let w = Workers::new(2);
+        assert_eq!(w.sync_event_count(), 0);
+        w.region(|_| {});
+        w.region(|_| {});
+        assert_eq!(w.sync_event_count(), 2);
+        assert_eq!(w.region_count(), 2);
+        w.reset_counters();
+        assert_eq!(w.sync_event_count(), 0);
+    }
+
+    #[test]
+    fn region_runs_spawned_work() {
+        let w = Workers::new(3);
+        let counter = AtomicUsize::new(0);
+        w.region(|scope| {
+            for _ in 0..10 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // scope guarantees completion before region returns
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn region_returns_value() {
+        let w = Workers::serial();
+        let v = w.region(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn processors_reported() {
+        assert_eq!(Workers::new(4).processors(), 4);
+        assert_eq!(Workers::serial().processors(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count must be positive")]
+    fn zero_workers_panics() {
+        let _ = Workers::new(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Multi-level parallelism (MLP): teams of workers, one per zone.
+//!
+//! Section 8 of the paper discusses James Taft's OVERFLOW-MLP approach
+//! at NASA Ames: a coarse level of parallelism across zones, each zone
+//! internally parallelized with loop-level parallelism. "Straight
+//! loop-level parallelism and MLP appear to be complementary
+//! techniques" — MLP lifts the stair-step ceiling (the per-zone loop
+//! extent) by multiplying it across concurrently running zones, at the
+//! price of zone-level load imbalance.
+//!
+//! [`Teams`] realizes it: a processor budget is partitioned across
+//! teams (largest-remainder by zone weight), each team owns its own
+//! [`Workers`] pool, and [`Teams::run`] executes one closure per team
+//! concurrently on dedicated coordinator threads.
+
+use crate::pool::Workers;
+
+/// Partition `total` processors across `weights.len()` teams,
+/// proportional to the weights, each team receiving at least one
+/// processor (largest-remainder apportionment).
+///
+/// # Panics
+/// Panics if `weights` is empty, any weight is non-positive, or
+/// `total < weights.len()`.
+#[must_use]
+pub fn partition_processors(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one team");
+    assert!(
+        weights.iter().all(|&w| w > 0.0),
+        "weights must be positive"
+    );
+    assert!(
+        total >= weights.len(),
+        "need at least one processor per team ({} teams, {total} processors)",
+        weights.len()
+    );
+    let sum: f64 = weights.iter().sum();
+    let spare = total - weights.len(); // one guaranteed to each team
+    let exact: Vec<f64> = weights.iter().map(|w| w / sum * spare as f64).collect();
+    let mut alloc: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let mut remaining = spare - alloc.iter().sum::<usize>();
+    // Hand the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite").then(a.cmp(&b))
+    });
+    for &i in &order {
+        if remaining == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        remaining -= 1;
+    }
+    for a in &mut alloc {
+        *a += 1;
+    }
+    debug_assert_eq!(alloc.iter().sum::<usize>(), total);
+    alloc
+}
+
+/// A set of worker teams for multi-level parallelism.
+///
+/// ```
+/// use llp::{doacross, Teams};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// // One team per zone: a 1-processor team and a 3-processor team.
+/// let teams = Teams::with_sizes(&[1, 3]);
+/// assert_eq!(teams.team(0).processors(), 1);
+/// assert_eq!(teams.team(1).processors(), 3);
+/// assert_eq!(teams.total_processors(), 4);
+///
+/// // Zones run CONCURRENTLY; each runs doacross loops inside its team.
+/// let counts = [AtomicU64::new(0), AtomicU64::new(0)];
+/// teams.run(|zone, workers| {
+///     doacross(workers, 50, |_| {
+///         counts[zone].fetch_add(1, Ordering::Relaxed);
+///     });
+/// });
+/// assert_eq!(counts[0].load(Ordering::Relaxed), 50);
+/// assert_eq!(counts[1].load(Ordering::Relaxed), 50);
+/// ```
+pub struct Teams {
+    teams: Vec<Workers>,
+}
+
+impl std::fmt::Debug for Teams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Teams")
+            .field(
+                "sizes",
+                &self.teams.iter().map(Workers::processors).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Teams {
+    /// Split `total` processors into teams proportional to `weights`
+    /// (e.g. zone point counts).
+    #[must_use]
+    pub fn split(total: usize, weights: &[f64]) -> Self {
+        let sizes = partition_processors(total, weights);
+        Self {
+            teams: sizes.into_iter().map(Workers::new).collect(),
+        }
+    }
+
+    /// Explicit team sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty or contains a zero.
+    #[must_use]
+    pub fn with_sizes(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "need at least one team");
+        Self {
+            teams: sizes.iter().map(|&s| Workers::new(s)).collect(),
+        }
+    }
+
+    /// Number of teams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.teams.len()
+    }
+
+    /// Whether there are no teams (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.teams.is_empty()
+    }
+
+    /// One team's worker pool.
+    #[must_use]
+    pub fn team(&self, i: usize) -> &Workers {
+        &self.teams[i]
+    }
+
+    /// Total processors across teams.
+    #[must_use]
+    pub fn total_processors(&self) -> usize {
+        self.teams.iter().map(Workers::processors).sum()
+    }
+
+    /// Total synchronization events across teams.
+    #[must_use]
+    pub fn sync_event_count(&self) -> u64 {
+        self.teams.iter().map(Workers::sync_event_count).sum()
+    }
+
+    /// Run `f(team_index, team_workers)` for every team **concurrently**
+    /// (one coordinator thread per team), returning the per-team results
+    /// in team order. This is the MLP outer level; each closure
+    /// typically runs doacross regions on its team.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &Workers) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = (0..self.teams.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let f = &f;
+            for (i, (team, slot)) in self.teams.iter().zip(out.iter_mut()).enumerate() {
+                scope.spawn(move |_| {
+                    *slot = Some(f(i, team));
+                });
+            }
+        })
+        .expect("team thread panicked");
+        out.into_iter()
+            .map(|o| o.expect("every team ran"))
+            .collect()
+    }
+
+    /// Run a mutable workload per team concurrently: `items[i]` is
+    /// handed to team `i`'s closure together with its workers. The item
+    /// count must equal the team count.
+    ///
+    /// # Panics
+    /// Panics on a count mismatch.
+    pub fn run_on<I, F>(&self, items: &mut [I], f: F)
+    where
+        I: Send,
+        F: Fn(usize, &Workers, &mut I) + Sync,
+    {
+        assert_eq!(
+            items.len(),
+            self.teams.len(),
+            "one item per team required"
+        );
+        crossbeam::thread::scope(|scope| {
+            let f = &f;
+            for (i, (team, item)) in self.teams.iter().zip(items.iter_mut()).enumerate() {
+                scope.spawn(move |_| f(i, team, item));
+            }
+        })
+        .expect("team thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doacross::doacross;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_sums_to_total_with_min_one() {
+        // The paper's 1M case weights.
+        let weights = [78_750.0, 456_750.0, 467_250.0];
+        for total in [3usize, 8, 64, 124] {
+            let p = partition_processors(total, &weights);
+            assert_eq!(p.iter().sum::<usize>(), total, "total {total}");
+            assert!(p.iter().all(|&x| x >= 1));
+        }
+        // Proportionality at 124: zone1 ~ 10, zones 2/3 ~ 57 each.
+        let p = partition_processors(124, &weights);
+        assert!(p[0] >= 8 && p[0] <= 12, "{p:?}");
+        assert!(p[1] >= 54 && p[2] >= 54, "{p:?}");
+    }
+
+    #[test]
+    fn partition_equal_weights_is_even() {
+        assert_eq!(partition_processors(12, &[1.0, 1.0, 1.0]), vec![4, 4, 4]);
+        assert_eq!(partition_processors(13, &[1.0, 1.0, 1.0]).iter().sum::<usize>(), 13);
+    }
+
+    #[test]
+    fn teams_run_concurrently_and_return_in_order() {
+        let teams = Teams::with_sizes(&[1, 2, 1]);
+        assert_eq!(teams.len(), 3);
+        assert_eq!(teams.total_processors(), 4);
+        let results = teams.run(|i, w| (i, w.processors()));
+        assert_eq!(results, vec![(0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn teams_run_doacross_within_teams() {
+        let teams = Teams::split(4, &[1.0, 3.0]);
+        let counters: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        teams.run(|i, workers| {
+            doacross(workers, 50, |_| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counters[0].load(Ordering::Relaxed), 50);
+        assert_eq!(counters[1].load(Ordering::Relaxed), 50);
+        // Each team's doacross was one sync event.
+        assert_eq!(teams.sync_event_count(), 2);
+    }
+
+    #[test]
+    fn run_on_hands_each_team_its_item() {
+        let teams = Teams::with_sizes(&[2, 2]);
+        let mut items = vec![vec![0u32; 10], vec![0u32; 20]];
+        teams.run_on(&mut items, |i, workers, item| {
+            doacross(workers, item.len(), |_| {});
+            for v in item.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(items[0].iter().all(|&v| v == 1));
+        assert!(items[1].iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one item per team")]
+    fn run_on_count_mismatch_panics() {
+        let teams = Teams::with_sizes(&[1, 1]);
+        let mut items = vec![0u8];
+        teams.run_on(&mut items, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor per team")]
+    fn too_few_processors_panics() {
+        let _ = partition_processors(2, &[1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the loop-level parallelism runtime.
+
+use llp::schedule::Policy;
+use llp::{chunk_bounds, doacross, doacross_into, doacross_slabs, partition_processors, Workers};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static chunks tile the range exactly, in order, non-empty.
+    #[test]
+    fn chunks_tile(n in 0usize..5_000, p in 1usize..256) {
+        let chunks = chunk_bounds(n, p);
+        let mut expect = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, expect);
+            prop_assert!(c.end > c.start);
+            expect = c.end;
+        }
+        prop_assert_eq!(expect, n);
+        prop_assert!(chunks.len() <= p);
+    }
+
+    /// The largest static chunk is exactly ceil(n/p).
+    #[test]
+    fn max_chunk_is_ceil(n in 1usize..5_000, p in 1usize..256) {
+        let max = chunk_bounds(n, p).iter().map(|c| c.len()).max().unwrap();
+        prop_assert_eq!(max, n.div_ceil(p));
+    }
+
+    /// Every scheduling policy tiles the range.
+    #[test]
+    fn policies_tile(n in 0usize..2_000, p in 1usize..64, chunk in 1usize..50) {
+        for policy in [
+            Policy::Static,
+            Policy::Dynamic { chunk },
+            Policy::Guided { min_chunk: chunk },
+        ] {
+            let chunks = policy.chunks(n, p);
+            let mut expect = 0;
+            for c in &chunks {
+                prop_assert_eq!(c.start, expect, "{:?}", policy);
+                expect = c.end;
+            }
+            prop_assert_eq!(expect, n, "{:?}", policy);
+        }
+    }
+
+    /// No policy's makespan beats the perfect split or exceeds serial.
+    #[test]
+    fn makespan_bounds(n in 1usize..2_000, p in 1usize..64, chunk in 1usize..50) {
+        for policy in [
+            Policy::Static,
+            Policy::Dynamic { chunk },
+            Policy::Guided { min_chunk: chunk },
+        ] {
+            let m = policy.ideal_makespan(n, p);
+            prop_assert!(m >= n.div_ceil(p), "{:?}", policy);
+            prop_assert!(m <= n, "{:?}", policy);
+        }
+    }
+
+    /// Team partitioning sums to the total with each team >= 1, and is
+    /// monotone in the weights (a heavier team never gets fewer).
+    #[test]
+    fn partition_properties(
+        total_extra in 0usize..200,
+        w in prop::collection::vec(1.0f64..1000.0, 1..8)
+    ) {
+        let total = w.len() + total_extra;
+        let alloc = partition_processors(total, &w);
+        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+        prop_assert!(alloc.iter().all(|&a| a >= 1));
+        // Weak monotonicity up to largest-remainder rounding (±1).
+        for i in 0..w.len() {
+            for j in 0..w.len() {
+                if w[i] >= w[j] {
+                    prop_assert!(alloc[i] + 1 >= alloc[j], "{:?} {:?}", w, alloc);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Thread-spawning cases are more expensive; fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// doacross visits every index exactly once for arbitrary sizes and
+    /// worker counts.
+    #[test]
+    fn doacross_visits_once(n in 0usize..400, p in 1usize..6) {
+        let w = Workers::new(p);
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        doacross(&w, n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// doacross_into equals the serial map.
+    #[test]
+    fn doacross_into_equals_serial(n in 0usize..400, p in 1usize..6, seed in 0u64..1000) {
+        let w = Workers::new(p);
+        let f = |i: usize| (i as u64).wrapping_mul(seed ^ 0x9E37).wrapping_add(7);
+        let serial: Vec<u64> = (0..n).map(f).collect();
+        let mut par = vec![0u64; n];
+        doacross_into(&w, &mut par, f);
+        prop_assert_eq!(serial, par);
+    }
+
+    /// doacross_slabs writes each slab with its own index, disjointly.
+    #[test]
+    fn slabs_disjoint(slabs in 1usize..40, slab_len in 1usize..16, p in 1usize..6) {
+        let w = Workers::new(p);
+        let mut data = vec![u32::MAX; slabs * slab_len];
+        doacross_slabs(&w, &mut data, slab_len, |s, slab| {
+            for v in slab.iter_mut() {
+                *v = s as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(v as usize, i / slab_len);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Zone dimensions and index arithmetic.
+
+use std::fmt;
+
+/// Dimensions of one structured zone: the number of grid points along
+/// the J (streamwise), K, and L directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dims {
+    /// Points in the J (streamwise) direction.
+    pub j: usize,
+    /// Points in the K direction.
+    pub k: usize,
+    /// Points in the L direction.
+    pub l: usize,
+}
+
+impl Dims {
+    /// Create zone dimensions.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    #[must_use]
+    pub fn new(j: usize, k: usize, l: usize) -> Self {
+        assert!(j > 0 && k > 0 && l > 0, "zone extents must be positive");
+        Self { j, k, l }
+    }
+
+    /// Total number of grid points.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.j * self.k * self.l
+    }
+
+    /// Extent along one axis.
+    #[must_use]
+    pub fn extent(&self, axis: crate::layout::Axis) -> usize {
+        match axis {
+            crate::layout::Axis::J => self.j,
+            crate::layout::Axis::K => self.k,
+            crate::layout::Axis::L => self.l,
+        }
+    }
+
+    /// True if `(j, k, l)` is a valid point index.
+    #[must_use]
+    pub fn contains(&self, p: Ijk) -> bool {
+        p.j < self.j && p.k < self.k && p.l < self.l
+    }
+
+    /// True if the point lies on any face of the zone.
+    #[must_use]
+    pub fn on_boundary(&self, p: Ijk) -> bool {
+        debug_assert!(self.contains(p));
+        p.j == 0
+            || p.k == 0
+            || p.l == 0
+            || p.j == self.j - 1
+            || p.k == self.k - 1
+            || p.l == self.l - 1
+    }
+
+    /// Number of interior (non-face) points; zero for zones thinner than
+    /// three points in any direction.
+    #[must_use]
+    pub fn interior_points(&self) -> usize {
+        let f = |n: usize| n.saturating_sub(2);
+        f(self.j) * f(self.k) * f(self.l)
+    }
+
+    /// Iterate over all points in J-fastest (Fortran A(J,K,L)) order.
+    pub fn iter_jkl(&self) -> impl Iterator<Item = Ijk> + '_ {
+        let d = *self;
+        (0..d.l).flat_map(move |l| {
+            (0..d.k).flat_map(move |k| (0..d.j).map(move |j| Ijk { j, k, l }))
+        })
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.j, self.k, self.l)
+    }
+}
+
+/// A grid point index within a zone (0-based, unlike the Fortran
+/// original's 1-based loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ijk {
+    /// Index along J.
+    pub j: usize,
+    /// Index along K.
+    pub k: usize,
+    /// Index along L.
+    pub l: usize,
+}
+
+impl Ijk {
+    /// Create a point index.
+    #[must_use]
+    pub fn new(j: usize, k: usize, l: usize) -> Self {
+        Self { j, k, l }
+    }
+
+    /// Component along an axis.
+    #[must_use]
+    pub fn along(&self, axis: crate::layout::Axis) -> usize {
+        match axis {
+            crate::layout::Axis::J => self.j,
+            crate::layout::Axis::K => self.k,
+            crate::layout::Axis::L => self.l,
+        }
+    }
+
+    /// This point displaced by `delta` along `axis` (saturating at 0 for
+    /// negative deltas; caller must bounds-check the upper end).
+    #[must_use]
+    pub fn offset(&self, axis: crate::layout::Axis, delta: isize) -> Self {
+        let shift = |v: usize| -> usize {
+            if delta >= 0 {
+                v + delta as usize
+            } else {
+                v - delta.unsigned_abs()
+            }
+        };
+        let mut p = *self;
+        match axis {
+            crate::layout::Axis::J => p.j = shift(p.j),
+            crate::layout::Axis::K => p.k = shift(p.k),
+            crate::layout::Axis::L => p.l = shift(p.l),
+        }
+        p
+    }
+}
+
+impl fmt::Display for Ijk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.j, self.k, self.l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Axis;
+
+    #[test]
+    fn points_product() {
+        assert_eq!(Dims::new(15, 75, 70).points(), 78_750);
+        assert_eq!(Dims::new(1, 1, 1).points(), 1);
+    }
+
+    #[test]
+    fn paper_one_million_case_totals() {
+        let zones = [
+            Dims::new(15, 75, 70),
+            Dims::new(87, 75, 70),
+            Dims::new(89, 75, 70),
+        ];
+        let total: usize = zones.iter().map(Dims::points).sum();
+        // "l-million grid point test case" — three zones summing to ~1.0M.
+        assert_eq!(total, 1_002_750);
+    }
+
+    #[test]
+    fn paper_fifty_nine_million_case_totals() {
+        let zones = [
+            Dims::new(29, 450, 350),
+            Dims::new(173, 450, 350),
+            Dims::new(175, 450, 350),
+        ];
+        let total: usize = zones.iter().map(Dims::points).sum();
+        assert_eq!(total, 59_377_500);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let d = Dims::new(4, 5, 6);
+        assert!(d.on_boundary(Ijk::new(0, 2, 3)));
+        assert!(d.on_boundary(Ijk::new(3, 2, 3)));
+        assert!(d.on_boundary(Ijk::new(1, 0, 3)));
+        assert!(d.on_boundary(Ijk::new(1, 2, 5)));
+        assert!(!d.on_boundary(Ijk::new(1, 2, 3)));
+    }
+
+    #[test]
+    fn interior_count() {
+        let d = Dims::new(4, 5, 6);
+        assert_eq!(d.interior_points(), 2 * 3 * 4);
+        assert_eq!(Dims::new(2, 5, 6).interior_points(), 0);
+        // boundary + interior == total
+        let boundary = d.iter_jkl().filter(|&p| d.on_boundary(p)).count();
+        assert_eq!(boundary + d.interior_points(), d.points());
+    }
+
+    #[test]
+    fn iter_jkl_is_j_fastest() {
+        let d = Dims::new(2, 2, 2);
+        let pts: Vec<Ijk> = d.iter_jkl().collect();
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0], Ijk::new(0, 0, 0));
+        assert_eq!(pts[1], Ijk::new(1, 0, 0)); // J varies fastest
+        assert_eq!(pts[2], Ijk::new(0, 1, 0));
+        assert_eq!(pts[7], Ijk::new(1, 1, 1));
+    }
+
+    #[test]
+    fn offset_moves_along_axis() {
+        let p = Ijk::new(3, 4, 5);
+        assert_eq!(p.offset(Axis::J, 1), Ijk::new(4, 4, 5));
+        assert_eq!(p.offset(Axis::K, -2), Ijk::new(3, 2, 5));
+        assert_eq!(p.offset(Axis::L, 0), p);
+    }
+
+    #[test]
+    fn extent_per_axis() {
+        let d = Dims::new(7, 8, 9);
+        assert_eq!(d.extent(Axis::J), 7);
+        assert_eq!(d.extent(Axis::K), 8);
+        assert_eq!(d.extent(Axis::L), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zone extents must be positive")]
+    fn zero_extent_panics() {
+        let _ = Dims::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Reporting metrics (paper Section 5).
+//!
+//! The paper deliberately avoids raw speedup as a headline metric ("the
+//! lower the serial performance, the easier it is to show good speedup")
+//! and reports **time steps/hour** — which lets a user estimate run time
+//! directly and degenerates to the familiar linear curve for problems
+//! with abundant parallelism — and **delivered MFLOPS**, which exposes
+//! both parallel *and* serial efficiency.
+
+/// Seconds per hour, as an f64.
+pub const SECONDS_PER_HOUR: f64 = 3600.0;
+
+/// Time steps per hour given the wall-clock seconds consumed by one time
+/// step (start-up and termination costs excluded, as in the paper).
+///
+/// # Panics
+/// Panics if `seconds_per_step` is not positive and finite.
+#[must_use]
+pub fn time_steps_per_hour(seconds_per_step: f64) -> f64 {
+    assert!(
+        seconds_per_step.is_finite() && seconds_per_step > 0.0,
+        "seconds per step must be positive and finite, got {seconds_per_step}"
+    );
+    SECONDS_PER_HOUR / seconds_per_step
+}
+
+/// Delivered MFLOPS: floating-point operations executed divided by wall
+/// time, in units of 10^6 ops/second.
+///
+/// # Panics
+/// Panics if `seconds` is not positive and finite.
+#[must_use]
+pub fn delivered_mflops(flops: u64, seconds: f64) -> f64 {
+    assert!(
+        seconds.is_finite() && seconds > 0.0,
+        "seconds must be positive and finite, got {seconds}"
+    );
+    flops as f64 / seconds / 1.0e6
+}
+
+/// Parallel and serial efficiency of a run, following the paper's
+/// "compare products based on their delivered performance, not their
+/// peak performance" discussion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Delivered MFLOPS of the run.
+    pub delivered_mflops: f64,
+    /// Peak MFLOPS of one processor.
+    pub peak_mflops_per_processor: f64,
+    /// Number of processors used.
+    pub processors: u32,
+}
+
+impl Efficiency {
+    /// Delivered MFLOPS per processor.
+    #[must_use]
+    pub fn per_processor(&self) -> f64 {
+        self.delivered_mflops / f64::from(self.processors)
+    }
+
+    /// Fraction of aggregate peak achieved (`0.0..=1.0` for sane inputs).
+    #[must_use]
+    pub fn fraction_of_peak(&self) -> f64 {
+        self.delivered_mflops / (self.peak_mflops_per_processor * f64::from(self.processors))
+    }
+}
+
+/// Speedup relative to a single-processor run, for completeness (the
+/// paper computes it but prefers not to lead with it).
+#[must_use]
+pub fn speedup(serial_seconds: f64, parallel_seconds: f64) -> f64 {
+    assert!(serial_seconds > 0.0 && parallel_seconds > 0.0);
+    serial_seconds / parallel_seconds
+}
+
+/// Convert a (flops/step, seconds/step) pair into the paper's Table 4
+/// row entries: (time steps/hour, delivered MFLOPS).
+#[must_use]
+pub fn table4_entries(flops_per_step: u64, seconds_per_step: f64) -> (f64, f64) {
+    (
+        time_steps_per_hour(seconds_per_step),
+        delivered_mflops(flops_per_step, seconds_per_step),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_per_hour_inverse_of_seconds() {
+        assert!((time_steps_per_hour(3600.0) - 1.0).abs() < 1e-12);
+        assert!((time_steps_per_hour(1.0) - 3600.0).abs() < 1e-12);
+        // The paper's SUN 1p run: 138 steps/hr -> ~26 s/step.
+        let s = SECONDS_PER_HOUR / 138.0;
+        assert!((time_steps_per_hour(s) - 138.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mflops_units() {
+        assert!((delivered_mflops(1_000_000, 1.0) - 1.0).abs() < 1e-12);
+        assert!((delivered_mflops(600_000_000, 1.0) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_per_processor() {
+        // Paper: SGI R12000 peak 600 MFLOPS, delivered 237 serial.
+        let e = Efficiency {
+            delivered_mflops: 237.0,
+            peak_mflops_per_processor: 600.0,
+            processors: 1,
+        };
+        assert!((e.per_processor() - 237.0).abs() < 1e-9);
+        assert!((e.fraction_of_peak() - 0.395).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_scales_with_processors() {
+        let e = Efficiency {
+            delivered_mflops: 4830.0,
+            peak_mflops_per_processor: 600.0,
+            processors: 64,
+        };
+        assert!((e.per_processor() - 75.46875).abs() < 1e-9);
+        assert!(e.fraction_of_peak() < 0.2);
+    }
+
+    #[test]
+    fn table4_pair() {
+        let (steps, mflops) = table4_entries(2_370_000_000, 10.0);
+        assert!((steps - 360.0).abs() < 1e-9);
+        assert!((mflops - 237.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_basic() {
+        assert!((speedup(100.0, 10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "seconds per step must be positive")]
+    fn zero_step_time_panics() {
+        let _ = time_steps_per_hour(0.0);
+    }
+}

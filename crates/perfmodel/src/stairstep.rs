@@ -1,0 +1,214 @@
+//! The stair-step speedup law (paper Section 4, Table 3, Figure 1).
+//!
+//! Loop-level parallelism frequently parallelizes loops with between 10
+//! and 1,000 iterations — the "available parallelism" `U`. Under static
+//! scheduling, some processor must execute `ceil(U / P)` of those units,
+//! so the ideal speedup of the loop on `P` processors is
+//!
+//! ```text
+//! speedup(P; U) = U / ceil(U / P)
+//! ```
+//!
+//! When `P` is within roughly a factor of 10 of `U` this curve is not
+//! linear but a distinct stair step: it is flat wherever increasing `P`
+//! does not decrease `ceil(U / P)`, and jumps at `P = ceil(U / n)` for
+//! integer `n` — i.e. near `U/5, U/4, U/3, U/2, U` as the paper notes in
+//! Section 5.
+
+/// The number of units of parallelism used in Table 3.
+pub const TABLE3_UNITS: u32 = 15;
+
+/// The unit counts plotted in Figure 1.
+pub const FIG1_UNIT_COUNTS: [u32; 5] = [5, 15, 25, 35, 45];
+
+/// The maximum processor count plotted in Figure 1.
+pub const FIG1_MAX_PROCESSORS: u32 = 50;
+
+/// The largest number of parallelism units statically assigned to any
+/// single processor: `ceil(units / processors)`.
+///
+/// # Panics
+/// Panics if `processors == 0` or `units == 0`.
+#[must_use]
+pub fn max_units_per_processor(units: u64, processors: u32) -> u64 {
+    assert!(processors > 0, "processor count must be positive");
+    assert!(units > 0, "unit count must be positive");
+    units.div_ceil(u64::from(processors))
+}
+
+/// Ideal (overhead-free) speedup of a loop with `units` units of
+/// parallelism on `processors` processors under static scheduling:
+/// `units / ceil(units / processors)`.
+///
+/// For `units = 15` this reproduces Table 3 of the paper:
+///
+/// ```
+/// use perfmodel::ideal_speedup;
+/// assert_eq!(ideal_speedup(15, 4), 3.75);
+/// assert_eq!(ideal_speedup(15, 8), 7.5);
+/// // ...and the plateau: 8 through 14 processors all give 7.5.
+/// assert_eq!(ideal_speedup(15, 14), 7.5);
+/// assert_eq!(ideal_speedup(15, 15), 15.0);
+/// ```
+#[must_use]
+pub fn ideal_speedup(units: u64, processors: u32) -> f64 {
+    units as f64 / max_units_per_processor(units, processors) as f64
+}
+
+/// The speedup curve for `processors = 1..=max_processors`, as used to
+/// draw Figure 1.
+#[must_use]
+pub fn speedup_curve(units: u64, max_processors: u32) -> Vec<f64> {
+    (1..=max_processors)
+        .map(|p| ideal_speedup(units, p))
+        .collect()
+}
+
+/// The processor counts at which the stair-step curve jumps (the left
+/// edge of each plateau): the smallest `P` for each distinct value of
+/// `ceil(units / P)`, in increasing order of `P`.
+///
+/// For `units = 70` this includes 35 (ceil = 2) and 70 (ceil = 1) —
+/// explaining the paper's observed flat performance between 48 and 64
+/// processors for the 1-million-point case.
+#[must_use]
+pub fn plateau_edges(units: u64, max_processors: u32) -> Vec<u32> {
+    let mut edges = Vec::new();
+    let mut last = None;
+    for p in 1..=max_processors {
+        let m = max_units_per_processor(units, p);
+        if last != Some(m) {
+            edges.push(p);
+            last = Some(m);
+        }
+    }
+    edges
+}
+
+/// True if the curve is flat (no speedup change) over the closed
+/// processor-count interval `[lo, hi]`.
+#[must_use]
+pub fn is_plateau(units: u64, lo: u32, hi: u32) -> bool {
+    assert!(lo <= hi, "interval must be ordered");
+    max_units_per_processor(units, lo) == max_units_per_processor(units, hi)
+}
+
+/// Generate Table 3: for each processor count 1..=15, the maximum units
+/// assigned to a single processor and the predicted speedup, with a loop
+/// of [`TABLE3_UNITS`] units.
+#[must_use]
+pub fn table3() -> Vec<(u32, u64, f64)> {
+    (1..=TABLE3_UNITS)
+        .map(|p| {
+            let m = max_units_per_processor(u64::from(TABLE3_UNITS), p);
+            (p, m, ideal_speedup(u64::from(TABLE3_UNITS), p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        // Paper Table 3 (units = 15): rows grouped by plateau.
+        let expect = [
+            (1u32, 15u64, 1.0f64),
+            (2, 8, 15.0 / 8.0),
+            (3, 5, 3.0),
+            (4, 4, 3.75),
+            (5, 3, 5.0),
+            (6, 3, 5.0),
+            (7, 3, 5.0),
+            (8, 2, 7.5),
+            (14, 2, 7.5),
+            (15, 1, 15.0),
+        ];
+        for (p, m, s) in expect {
+            assert_eq!(max_units_per_processor(15, p), m, "P={p}");
+            let got = ideal_speedup(15, p);
+            assert!((got - s).abs() < 1e-12, "P={p}: got {got}, want {s}");
+        }
+    }
+
+    #[test]
+    fn speedup_is_monotone_nondecreasing() {
+        for units in [5u64, 15, 25, 35, 45, 70, 350, 1000] {
+            let curve = speedup_curve(units, 130);
+            for w in curve.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "units={units}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_processors_and_units() {
+        for units in [5u64, 15, 45, 350] {
+            for p in 1..=60u32 {
+                let s = ideal_speedup(units, p);
+                assert!(s <= f64::from(p) + 1e-12);
+                assert!(s <= units as f64 + 1e-12);
+                assert!(s >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_parallelism_reaches_unit_count() {
+        for units in [1u64, 5, 15, 70, 350] {
+            let s = ideal_speedup(units, u32::try_from(units).unwrap());
+            assert!((s - units as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_plateau_1m_case() {
+        // 1-million-point case: limiting loop dimension ~70 (L of the
+        // 15/87/89 x 75 x 70 zones): flat between 48 and 64 processors.
+        assert!(is_plateau(70, 48, 64));
+        assert!(!is_plateau(70, 64, 70));
+    }
+
+    #[test]
+    fn paper_plateau_59m_case() {
+        // 59-million-point case: limiting dimension ~350: flat between
+        // 88 and 104 processors (ceil(350/88)=4=ceil(350/104)).
+        assert!(is_plateau(350, 88, 104));
+        // ...and rises again by 117 (ceil=3).
+        assert!(!is_plateau(350, 104, 117));
+    }
+
+    #[test]
+    fn plateau_edges_are_jump_points() {
+        let edges = plateau_edges(15, 15);
+        assert_eq!(edges, vec![1, 2, 3, 4, 5, 8, 15]);
+    }
+
+    #[test]
+    fn plateau_edges_near_u_over_n() {
+        // Jumps occur at P = ceil(U/n): for U=70 expect ... 14(=70/5),
+        // 18(=ceil(70/4)), 24, 35, 70 among the edges.
+        let edges = plateau_edges(70, 70);
+        for e in [14u32, 18, 24, 35, 70] {
+            assert!(edges.contains(&e), "edge {e} missing from {edges:?}");
+        }
+    }
+
+    #[test]
+    fn curve_length_matches() {
+        assert_eq!(speedup_curve(45, 50).len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "processor count must be positive")]
+    fn zero_processors_panics() {
+        let _ = ideal_speedup(15, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit count must be positive")]
+    fn zero_units_panics() {
+        let _ = ideal_speedup(0, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! The page-contention model (paper Section 7, Example 4).
+//!
+//! On machines that interleave memory across nodes at page granularity,
+//! "one can easily have data from the same page being shared by
+//! multiple processors. In extreme cases, this results in a severe
+//! amount of contention with a resulting drop in performance." The
+//! tell-tale signature the paper describes: cache misses stay constant
+//! while CPU cycles grow with the processor count. The model therefore
+//! multiplies the *memory time* of a loop (not its compute time) by a
+//! factor that grows with both the shared-page fraction and the number
+//! of processors:
+//!
+//! ```text
+//! multiplier = 1 + coeff * shared_fraction * (P - 1)
+//! ```
+//!
+//! With `coeff = 0` (UMA or perfectly partitioned data) the model is
+//! inert; with the Convex Exemplar's large coefficient, a fully-shared
+//! access pattern collapses exactly the way the paper reports.
+
+/// Memory-time multiplier for a loop whose touched pages are shared
+/// between workers.
+///
+/// * `shared_fraction` — fraction of pages touched by ≥2 workers,
+///   in `[0, 1]` (from `cachesim::page_sharing`).
+/// * `processors` — workers participating in the loop.
+/// * `coeff` — machine sensitivity (`NumaConfig::contention_coeff`).
+///
+/// # Panics
+/// Panics if `shared_fraction` is outside `[0, 1]`, `coeff` is
+/// negative, or `processors == 0`.
+#[must_use]
+pub fn contention_multiplier(shared_fraction: f64, processors: u32, coeff: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&shared_fraction),
+        "shared fraction must be in [0, 1], got {shared_fraction}"
+    );
+    assert!(coeff >= 0.0, "contention coefficient must be non-negative");
+    assert!(processors > 0, "processor count must be positive");
+    1.0 + coeff * shared_fraction * f64::from(processors - 1)
+}
+
+/// The diagnostic the paper recommends: given per-processor-count
+/// measurements of (cycles, cache misses), flag contention when cycles
+/// grow while misses stay flat. Returns `true` when the cycle growth
+/// from the first to the last measurement exceeds `cycle_growth_tol`
+/// while miss counts stay within `miss_flat_tol` of the first.
+#[must_use]
+pub fn contention_signature(
+    runs: &[(u32, f64, f64)], // (processors, cpu_cycles, cache_misses)
+    cycle_growth_tol: f64,
+    miss_flat_tol: f64,
+) -> bool {
+    if runs.len() < 2 {
+        return false;
+    }
+    let (_, c0, m0) = runs[0];
+    let (_, c1, m1) = runs[runs.len() - 1];
+    if c0 <= 0.0 || m0 <= 0.0 {
+        return false;
+    }
+    let cycle_growth = c1 / c0 - 1.0;
+    let miss_growth = (m1 / m0 - 1.0).abs();
+    cycle_growth > cycle_growth_tol && miss_growth < miss_flat_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sharing_no_penalty() {
+        assert_eq!(contention_multiplier(0.0, 128, 1.0), 1.0);
+    }
+
+    #[test]
+    fn no_coeff_no_penalty() {
+        assert_eq!(contention_multiplier(1.0, 128, 0.0), 1.0);
+    }
+
+    #[test]
+    fn single_processor_never_contends() {
+        assert_eq!(contention_multiplier(1.0, 1, 10.0), 1.0);
+    }
+
+    #[test]
+    fn fully_shared_scales_with_processors() {
+        let m4 = contention_multiplier(1.0, 4, 0.5);
+        let m64 = contention_multiplier(1.0, 64, 0.5);
+        assert!((m4 - 2.5).abs() < 1e-12);
+        assert!((m64 - 32.5).abs() < 1e-12);
+        assert!(m64 > m4);
+    }
+
+    #[test]
+    fn partial_sharing_interpolates() {
+        let full = contention_multiplier(1.0, 16, 1.0);
+        let half = contention_multiplier(0.5, 16, 1.0);
+        assert!((half - 1.0 - (full - 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_detects_the_paper_symptom() {
+        // cycles rise 3x, misses flat: contention.
+        let runs = [(8u32, 1.0e9, 5.0e6), (32, 2.0e9, 5.05e6), (64, 3.0e9, 5.1e6)];
+        assert!(contention_signature(&runs, 0.5, 0.1));
+        // cycles rise because misses rise: not contention.
+        let honest = [(8u32, 1.0e9, 5.0e6), (64, 3.0e9, 15.0e6)];
+        assert!(!contention_signature(&honest, 0.5, 0.1));
+        // flat cycles: nothing wrong.
+        let fine = [(8u32, 1.0e9, 5.0e6), (64, 1.02e9, 5.0e6)];
+        assert!(!contention_signature(&fine, 0.5, 0.1));
+    }
+
+    #[test]
+    fn signature_needs_two_runs() {
+        assert!(!contention_signature(&[(8, 1.0, 1.0)], 0.1, 0.1));
+        assert!(!contention_signature(&[], 0.1, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared fraction must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        let _ = contention_multiplier(1.5, 4, 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Software distributed shared memory (paper Section 8, TreadMarks).
+//!
+//! "Attempting to maintain coherency with the 128-byte granularity used
+//! in the SGI Origin 2000 with a latency of 100 microseconds results in
+//! a per processor bandwidth for off node accesses of 1.3 MB/second.
+//! For programs that … inevitably have a high level of off node memory
+//! accesses, this low level of performance is virtually impossible to
+//! overcome."
+//!
+//! The model: a software-DSM machine is an SMP whose off-node bandwidth
+//! is [`dsm_effective_bandwidth`] and whose every remote page fault
+//! costs the network round trip — expressed by reusing the NUMA
+//! executor with the degraded bandwidth.
+
+use crate::machine::{MachineConfig, NumaConfig, SyncCostModel};
+
+/// The effective per-processor off-node bandwidth of a software-DSM
+/// system that moves `granularity_bytes` per coherence miss over a
+/// `latency_s` network: `granularity / latency`, in MB/s.
+///
+/// The paper's example: 128 B at 100 µs → 1.28 MB/s.
+///
+/// # Panics
+/// Panics for non-positive inputs.
+#[must_use]
+pub fn dsm_effective_bandwidth(granularity_bytes: u64, latency_s: f64) -> f64 {
+    assert!(granularity_bytes > 0, "granularity must be positive");
+    assert!(latency_s > 0.0, "latency must be positive");
+    granularity_bytes as f64 / latency_s / 1e6
+}
+
+/// A TreadMarks-style software-DSM cluster: Origin-class processors,
+/// page-granularity coherence over a 100-µs network. Synchronization
+/// (locks/barriers through the network) costs milliseconds.
+#[must_use]
+pub fn treadmarks_cluster(nodes: u32) -> MachineConfig {
+    // Coherence unit: a 4-KB page amortizes better than a cache line,
+    // but invalidations and diffs eat most of it; the paper's 128-B
+    // figure is the effective fine-grain sharing case. Use the paper's
+    // number for the remote path.
+    let remote = dsm_effective_bandwidth(128, 100e-6);
+    MachineConfig {
+        name: "Software DSM cluster (TreadMarks-style)",
+        max_processors: nodes,
+        clock_hz: 300e6,
+        peak_mflops_per_processor: 600.0,
+        sync: SyncCostModel {
+            // A barrier is a network round trip per node: ~100 µs * P at
+            // 300 MHz = 30,000 cycles per processor.
+            base_cycles: 30_000.0,
+            per_processor_cycles: 30_000.0,
+        },
+        numa: NumaConfig {
+            processors_per_node: 1,
+            page_bytes: 4 << 10,
+            local_bw_mbs: 400.0,
+            remote_bw_mbs: remote,
+            // Page-grain false sharing is the defining DSM failure mode.
+            contention_coeff: 0.5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Machine;
+    use crate::workload::{ParallelLoop, WorkloadTrace};
+
+    #[test]
+    fn paper_effective_bandwidth() {
+        let bw = dsm_effective_bandwidth(128, 100e-6);
+        assert!((bw - 1.28).abs() < 1e-9, "got {bw}");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_granularity_and_latency() {
+        assert!(
+            dsm_effective_bandwidth(4096, 100e-6) > dsm_effective_bandwidth(128, 100e-6)
+        );
+        assert!(
+            dsm_effective_bandwidth(128, 10e-6) > dsm_effective_bandwidth(128, 100e-6)
+        );
+    }
+
+    fn sweep_trace() -> WorkloadTrace {
+        // A 1M-point-ish sweep: 5.1e9 cycles of work, 660 MB of traffic.
+        let mut t = WorkloadTrace::new();
+        t.parallel(ParallelLoop {
+            name: "step".into(),
+            parallelism: 70,
+            work_cycles: 5.1e9,
+            flops: 4_500_000_000,
+            traffic_bytes: 660e6,
+            shared_page_fraction: 0.05,
+        });
+        t
+    }
+
+    #[test]
+    fn dsm_cannot_overcome_the_bandwidth_wall() {
+        // The paper's verdict: virtually impossible to overcome. A
+        // 16-node DSM run of the sweep is barely faster — or slower —
+        // than one processor, because the off-node path is 1.28 MB/s.
+        let dsm = Machine::new(treadmarks_cluster(16));
+        let s1 = dsm.execute(&sweep_trace(), 1).seconds;
+        let s16 = dsm.execute(&sweep_trace(), 16).seconds;
+        let speedup = s1 / s16;
+        assert!(speedup < 2.0, "DSM somehow scaled: {speedup}x");
+    }
+
+    #[test]
+    fn real_smp_crushes_dsm_on_the_same_trace() {
+        let dsm = Machine::new(treadmarks_cluster(16));
+        let smp = crate::presets::origin2000_r12k_128().executor();
+        let t = sweep_trace();
+        let dsm16 = dsm.execute(&t, 16).seconds;
+        let smp16 = smp.execute(&t, 16).seconds;
+        assert!(
+            dsm16 > 5.0 * smp16,
+            "DSM {dsm16} vs SMP {smp16}: gap too small"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Workload traces: the machine-independent description of one
+//! program phase sequence.
+//!
+//! A trace is what the paper's profiling pass produces: for each loop,
+//! how much work it does, how much parallelism it exposes, how much
+//! memory traffic it generates, and how badly its access pattern shares
+//! pages between workers. The `f3d` crate emits one trace per time step
+//! of the solver; [`crate::exec::Machine`] prices it on a machine.
+
+/// One parallelized loop (a doacross region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelLoop {
+    /// Loop name (for reports).
+    pub name: String,
+    /// Available parallelism: iteration count of the parallelized level.
+    pub parallelism: u64,
+    /// Total single-processor compute cycles for the whole loop,
+    /// *including* memory-stall cycles (calibrated via `cachesim`).
+    pub work_cycles: f64,
+    /// Floating-point operations performed by the loop.
+    pub flops: u64,
+    /// Main-memory traffic of the loop in bytes.
+    pub traffic_bytes: f64,
+    /// Fraction of touched pages shared between workers (from
+    /// `cachesim::page_sharing`); drives the NUMA contention penalty.
+    pub shared_page_fraction: f64,
+}
+
+/// One serial phase (e.g. an unparallelized boundary-condition routine
+/// or the zonal-interface injection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialWork {
+    /// Phase name.
+    pub name: String,
+    /// Compute cycles, memory stalls included.
+    pub work_cycles: f64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Main-memory traffic in bytes.
+    pub traffic_bytes: f64,
+}
+
+/// A phase of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// A doacross region.
+    Parallel(ParallelLoop),
+    /// A serial section.
+    Serial(SerialWork),
+}
+
+impl Phase {
+    /// The phase's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Phase::Parallel(p) => &p.name,
+            Phase::Serial(s) => &s.name,
+        }
+    }
+
+    /// Single-processor work cycles.
+    #[must_use]
+    pub fn work_cycles(&self) -> f64 {
+        match self {
+            Phase::Parallel(p) => p.work_cycles,
+            Phase::Serial(s) => s.work_cycles,
+        }
+    }
+
+    /// Floating-point operations.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        match self {
+            Phase::Parallel(p) => p.flops,
+            Phase::Serial(s) => s.flops,
+        }
+    }
+}
+
+/// A sequence of phases, typically one solver time step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadTrace {
+    /// The phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl WorkloadTrace {
+    /// Empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a parallel loop.
+    pub fn parallel(&mut self, p: ParallelLoop) -> &mut Self {
+        self.phases.push(Phase::Parallel(p));
+        self
+    }
+
+    /// Append a serial phase.
+    pub fn serial(&mut self, s: SerialWork) -> &mut Self {
+        self.phases.push(Phase::Serial(s));
+        self
+    }
+
+    /// Total flops across phases.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.phases.iter().map(Phase::flops).sum()
+    }
+
+    /// Total single-processor work cycles.
+    #[must_use]
+    pub fn total_work_cycles(&self) -> f64 {
+        self.phases.iter().map(Phase::work_cycles).sum()
+    }
+
+    /// Fraction of single-processor work in serial phases — the Amdahl
+    /// input.
+    #[must_use]
+    pub fn serial_work_fraction(&self) -> f64 {
+        let total = self.total_work_cycles();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let serial: f64 = self
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Serial(s) => Some(s.work_cycles),
+                Phase::Parallel(_) => None,
+            })
+            .sum();
+        serial / total
+    }
+
+    /// Number of synchronization events the trace will incur (one per
+    /// parallel phase).
+    #[must_use]
+    pub fn sync_events(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Parallel(_)))
+            .count() as u64
+    }
+
+    /// The minimum available parallelism across parallel phases — the
+    /// binding stair-step constraint. `None` if there are no parallel
+    /// phases.
+    #[must_use]
+    pub fn min_parallelism(&self) -> Option<u64> {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Parallel(pl) => Some(pl.parallelism),
+                Phase::Serial(_) => None,
+            })
+            .min()
+    }
+
+    /// Concatenate another trace after this one.
+    pub fn extend(&mut self, other: &WorkloadTrace) {
+        self.phases.extend(other.phases.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadTrace {
+        let mut t = WorkloadTrace::new();
+        t.parallel(ParallelLoop {
+            name: "rhs".into(),
+            parallelism: 70,
+            work_cycles: 9e6,
+            flops: 4_000_000,
+            traffic_bytes: 1e6,
+            shared_page_fraction: 0.05,
+        });
+        t.serial(SerialWork {
+            name: "bc".into(),
+            work_cycles: 1e6,
+            flops: 100_000,
+            traffic_bytes: 1e5,
+        });
+        t
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample();
+        assert_eq!(t.total_flops(), 4_100_000);
+        assert!((t.total_work_cycles() - 1e7).abs() < 1.0);
+        assert!((t.serial_work_fraction() - 0.1).abs() < 1e-9);
+        assert_eq!(t.sync_events(), 1);
+    }
+
+    #[test]
+    fn min_parallelism() {
+        let mut t = sample();
+        assert_eq!(t.min_parallelism(), Some(70));
+        t.parallel(ParallelLoop {
+            name: "lsweep".into(),
+            parallelism: 75,
+            work_cycles: 1e6,
+            flops: 0,
+            traffic_bytes: 0.0,
+            shared_page_fraction: 0.0,
+        });
+        assert_eq!(t.min_parallelism(), Some(70));
+        assert_eq!(WorkloadTrace::new().min_parallelism(), None);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(&b);
+        assert_eq!(a.phases.len(), 4);
+        assert_eq!(a.sync_events(), 2);
+    }
+
+    #[test]
+    fn empty_trace_fractions() {
+        let t = WorkloadTrace::new();
+        assert_eq!(t.serial_work_fraction(), 0.0);
+        assert_eq!(t.total_flops(), 0);
+    }
+
+    #[test]
+    fn phase_accessors() {
+        let t = sample();
+        assert_eq!(t.phases[0].name(), "rhs");
+        assert_eq!(t.phases[1].name(), "bc");
+        assert_eq!(t.phases[1].flops(), 100_000);
+    }
+}

@@ -1,0 +1,78 @@
+//! Example 4 interactively: sweep a 3-D array in the three orderings of
+//! the paper, watch the cache/TLB counters, then see what
+//! page-interleaved NUMA does to each under parallel execution.
+//!
+//! Run with: `cargo run --release --example contention`
+
+use cachesim::patterns::{page_sharing, GridTraversal, PencilGather};
+use cachesim::presets::origin2000_r12k;
+use cachesim::AccessKind;
+use mesh::{Axis, Dims, Layout};
+use smpsim::contention_multiplier;
+
+fn main() {
+    let dims = Dims::new(64, 64, 48);
+    let mem = origin2000_r12k();
+    println!("Example 4: the three access orderings over A(J,K,L) = {dims}\n");
+
+    let cases: Vec<(&str, Vec<u64>, u64)> = vec![
+        (
+            "(a) DO L / DO K / DO J  — best possible",
+            GridTraversal::example4a(dims).addresses().collect(),
+            GridTraversal::example4a(dims).inner_stride_bytes(),
+        ),
+        (
+            "(b) DO K / DO L / DO J  — acceptable",
+            GridTraversal::example4b(dims).addresses().collect(),
+            GridTraversal::example4b(dims).inner_stride_bytes(),
+        ),
+        (
+            "(c) DO J / DO L / gather K — STRIDE-N batching",
+            PencilGather::example4c(dims).addresses().collect(),
+            PencilGather::example4c(dims).gather_stride_bytes(),
+        ),
+    ];
+
+    for (name, addrs, stride) in cases {
+        let mut h = mem.hierarchy();
+        for a in addrs {
+            h.access(a, AccessKind::Load);
+        }
+        println!("{name}");
+        println!(
+            "   inner stride {stride} B | L1 miss {:5.2}% | TLB miss {:5.2}% | memory traffic {:.1} MB",
+            h.l1_miss_rate() * 100.0,
+            h.tlb_miss_rate() * 100.0,
+            h.memory_traffic_bytes() as f64 / 1e6
+        );
+    }
+
+    println!(
+        "\nNote (c): the cache miss rate 'can still be acceptable' — the problem is not\n\
+         the cache. Now parallelize each and look at page sharing (16-KB pages):\n"
+    );
+
+    for (name, axis) in [
+        ("(a)/(b) doacross over L", Axis::L),
+        ("(c) doacross over J", Axis::J),
+    ] {
+        let s = page_sharing(dims, Layout::jkl(), axis, 8, 16 << 10);
+        println!(
+            "{name}: {:.1}% of pages shared, worst page touched by {} of 8 workers",
+            s.shared_fraction() * 100.0,
+            s.max_sharers
+        );
+        for (machine, coeff) in [("Origin 2000", 0.05), ("Convex Exemplar", 0.8)] {
+            for p in [8u32, 16] {
+                let m = contention_multiplier(s.shared_fraction(), p, coeff);
+                println!("   on {machine:<16} at P={p:<3}: memory time x{m:.2}");
+            }
+        }
+    }
+
+    println!(
+        "\nThe paper's conclusion, reproduced: ordering (c) must be eliminated from the\n\
+         program entirely — no page migration or placement directive can fix a pattern\n\
+         where every processor touches every page."
+    );
+}

@@ -1,0 +1,107 @@
+//! The Section 6 tools workflow: prof, pixie, Perfex — rebuilt.
+//!
+//! "Without pixie, prof measures the actual run time … With pixie, prof
+//! measures the theoretical run time … assuming an infinitely fast
+//! memory system. By subtracting those two sets of numbers, one can
+//! then estimate the cost of cache and TLB misses."
+//!
+//! This example profiles three loop orderings of a grid sweep on the
+//! simulated Origin 2000 memory system, performs the prof-minus-pixie
+//! subtraction, and shows how the measurement drives the tuning
+//! decision. It finishes with the daily-version diff methodology: a
+//! deliberately seeded bug caught by field checksums.
+//!
+//! Run with: `cargo run --release --example profiling_tools`
+
+use cachesim::cost::CycleModel;
+use cachesim::patterns::{GridTraversal, PencilGather};
+use cachesim::presets::origin2000_r12k;
+use cachesim::AccessKind;
+use f3d::validation::FieldChecksum;
+use mesh::{Arrangement, Dims, Layout, StateField};
+
+fn main() {
+    let mem = origin2000_r12k();
+    let dims = Dims::new(80, 64, 48);
+    println!("prof/pixie on {} — sweeping a {dims} array\n", mem.name);
+
+    // ~8 instructions of work per point (load + address arithmetic +
+    // a little floating point), the pixie input.
+    let instr_per_point = 8u64;
+    let instructions = dims.points() as u64 * instr_per_point;
+    let model: CycleModel = mem.cost;
+
+    println!(
+        "{:44} {:>12} {:>12} {:>8} {:>10}",
+        "ordering", "prof (cyc)", "pixie (cyc)", "stall %", "TLB misses"
+    );
+    let mut results = Vec::new();
+    let orderings: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "(a) L,K,J sequential",
+            GridTraversal::example4a(dims).addresses().collect(),
+        ),
+        (
+            "(b) K,L,J plane-jumping",
+            GridTraversal::example4b(dims).addresses().collect(),
+        ),
+        (
+            "(c) STRIDE-N K-gather",
+            PencilGather::example4c(dims).addresses().collect(),
+        ),
+    ];
+    for (name, addrs) in orderings {
+        let mut h = mem.hierarchy();
+        for a in addrs {
+            h.access(a, AccessKind::Load);
+        }
+        let counters = h.counters();
+        let prof = model.total_cycles(instructions, &counters);
+        let pixie = model.pixie_cycles(instructions);
+        println!(
+            "{name:44} {prof:>12.0} {pixie:>12.0} {:>7.1}% {:>10}",
+            model.stall_fraction(instructions, &counters) * 100.0,
+            counters.tlb_misses
+        );
+        results.push((name, prof));
+    }
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    println!(
+        "\ntuning decision: keep ordering {:?} — the others pay {:.1}x / {:.1}x in stalls.\n",
+        best.0,
+        results[1].1 / best.1,
+        results[2].1 / best.1
+    );
+
+    // --- The version-diff methodology (Section 6's bug hunt). ---
+    println!("daily-version diff: checksumming fields to localize a seeded bug\n");
+    let d = Dims::new(12, 10, 8);
+    let mut v1 = StateField::zeros(d, Layout::jkl(), Arrangement::ComponentInner);
+    for (i, p) in d.iter_jkl().enumerate() {
+        v1.set(p, [1.0 + i as f64, 0.5, -0.25, 0.0, 2.0]);
+    }
+    // "version 2": the same field after an index-reordering rewrite —
+    // same values, different storage. The checksum must not change.
+    let v2 = v1.rearrange(Arrangement::ComponentOuter, Layout::kjl());
+    let c1 = FieldChecksum::of(&v1);
+    let c2 = FieldChecksum::of(&v2);
+    println!("v1 vs v2 (correct rewrite):  checksum diff = {:.3e}", c1.max_diff(&c2));
+
+    // "version 3": the rewrite with one transposed index — a read from
+    // (l,k,j) written to (j,k,l), clobbering the old value. The exact
+    // class of mistake the paper describes hunting by diff.
+    let mut v3 = v2.clone();
+    let wrong = v3.get(mesh::Ijk::new(1, 2, 3));
+    v3.set(mesh::Ijk::new(3, 2, 1), wrong);
+    let c3 = FieldChecksum::of(&v3);
+    println!("v1 vs v3 (transposed index): checksum diff = {:.3e}", c1.max_diff(&c3));
+    println!(
+        "\nThe cheap order-independent checksum is zero across a correct index-reordering\n\
+         rewrite and nonzero the moment one index is transposed — the mechanical form of\n\
+         the paper's daily-version \"diff\" hunt (\"the odds of getting this right proved\n\
+         to be vanishingly small\")."
+    );
+}

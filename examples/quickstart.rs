@@ -1,0 +1,88 @@
+//! Quickstart: parallelize a vectorizable loop nest with `llp`.
+//!
+//! The 60-second version of the paper's method: take an outer loop,
+//! put a doacross on it, keep the boundary loop serial, and let the
+//! profiler and advisor tell you whether each loop was worth it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use llp::{doacross_slabs, Advisor, LoopProfiler, Workers};
+use perfmodel::overhead::OverheadBound;
+use std::time::Instant;
+
+fn main() {
+    // A 3-D field, stored L-slowest so an L-slab is contiguous.
+    let (jmax, kmax, lmax) = (64usize, 64, 48);
+    let mut field = vec![0.0f64; jmax * kmax * lmax];
+
+    // A team of "processors" — the machine parameter of every
+    // experiment in the paper.
+    let workers = Workers::new(4);
+    let profiler = LoopProfiler::new();
+
+    // Example 1 of the paper: parallelize the OUTER loop. The doacross
+    // hands each worker a contiguous block of L-planes; one
+    // synchronization event for the whole nest.
+    let t = Instant::now();
+    doacross_slabs(&workers, &mut field, jmax * kmax, |l, plane| {
+        for k in 0..kmax {
+            for j in 0..jmax {
+                // some per-point work with no cross-iteration dependency
+                let x = (j as f64 + 1.0) * (k as f64 + 2.0) * (l as f64 + 3.0);
+                plane[k * jmax + j] = x.sqrt().sin();
+            }
+        }
+    });
+    profiler.record("main_sweep", t.elapsed().as_secs_f64(), lmax as u64, true);
+
+    // Boundary work: touches two faces only. The paper leaves loops
+    // like this serial — their work cannot amortize a barrier.
+    let t = Instant::now();
+    for k in 0..kmax {
+        for j in 0..jmax {
+            field[k * jmax + j] = 0.0; // L = 0 face
+            field[(lmax - 1) * kmax * jmax + k * jmax + j] = 0.0; // L = max
+        }
+    }
+    profiler.record("boundary", t.elapsed().as_secs_f64(), kmax as u64, false);
+
+    println!(
+        "swept {} points with {} workers, {} synchronization event(s)\n",
+        field.len(),
+        workers.processors(),
+        workers.sync_event_count()
+    );
+
+    // The profile-then-decide workflow of Section 4.
+    println!("profile:");
+    for row in profiler.report() {
+        println!(
+            "  {:12} {:8.3} ms  {:5.1}% of time  parallelism {}",
+            row.name,
+            row.stats.total_seconds * 1e3,
+            row.fraction_of_total * 100.0,
+            row.stats.parallelism
+        );
+    }
+
+    // Would these loops be worth parallelizing on an 8-processor SMP
+    // with a 2,000-cycle synchronization cost? (Table 1's question.)
+    let advisor = Advisor::new(300e6, OverheadBound::paper_default(2_000), 8);
+    let advice = advisor.advise(&profiler.report());
+    println!("\nadvisor at 8 processors (300 MHz, 2k-cycle sync):");
+    for l in &advice.loops {
+        println!("  {:12} -> {:?}", l.name, l.decision);
+    }
+    println!(
+        "\npredicted whole-program speedup: {:.1}x (serial fraction {:.1}%)",
+        advice.predicted_speedup,
+        advice.serial_fraction * 100.0
+    );
+    println!("\nideal stair-step for this nest: U = {lmax} L-planes:");
+    for p in [16u32, 24, 32, 48, 64] {
+        println!(
+            "  P={p:<3} speedup {:.2}",
+            perfmodel::ideal_speedup(lmax as u64, p)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The stair-step speedup, three ways:
+//!
+//! 1. the analytic law (`perfmodel`),
+//! 2. the static schedule that realizes it (`llp`),
+//! 3. the simulated Origin 2000 running the paper's 1M-point F3D case
+//!    (`smpsim` + `f3d::trace`) — including the flat stretch between
+//!    48 and 64 processors that the paper calls out.
+//!
+//! Run with: `cargo run --release --example stairstep`
+
+use f3d::trace::risc_step_trace;
+use llp::StaticSchedule;
+use mesh::MultiZoneGrid;
+use perfmodel::{ideal_speedup, plateau_edges};
+use smpsim::presets::origin2000_r12k_128;
+
+fn main() {
+    // --- 1. The law. ---
+    println!("1. ideal_speedup(U, P) = U / ceil(U / P), for U = 15 (paper Table 3):\n");
+    println!("   P:        1     2     3     4     5     8    15");
+    print!("   speedup: ");
+    for p in [1u32, 2, 3, 4, 5, 8, 15] {
+        print!("{:>5.2} ", ideal_speedup(15, p));
+    }
+    println!("\n");
+
+    // --- 2. The schedule. ---
+    println!("2. the static schedule realizes the law (U = 70, the 1M case's L extent):\n");
+    for p in [16usize, 32, 48, 64, 70, 96] {
+        let s = StaticSchedule::new(70, p);
+        println!(
+            "   P={p:<3} max chunk {} planes  -> speedup {:>5.2}",
+            s.max_chunk(),
+            s.ideal_speedup()
+        );
+    }
+    println!(
+        "\n   plateau edges for U=70 up to 128 processors: {:?}",
+        plateau_edges(70, 128)
+    );
+    println!("   (flat between 48 and 64, jump at 70 — exactly the paper's observation)\n");
+
+    // --- 3. The full machine. ---
+    println!("3. simulated 128p Origin 2000 running the 1M-point F3D case:\n");
+    let sgi = origin2000_r12k_128();
+    let grid = MultiZoneGrid::paper_one_million();
+    let trace = risc_step_trace(&grid, &sgi.memory);
+    let exec = sgi.executor();
+    let base = exec.execute(&trace, 1).seconds;
+    println!("   P    steps/hr   speedup   note");
+    let mut prev = 0.0;
+    for p in [1u32, 8, 16, 24, 32, 35, 40, 48, 56, 64, 70, 72, 88, 104, 124] {
+        let r = exec.execute(&trace, p);
+        let speedup = base / r.seconds;
+        let note = if p > 1 && (speedup - prev).abs() < 0.02 * speedup {
+            "<- flat (stair-step plateau)"
+        } else {
+            ""
+        };
+        println!(
+            "   {p:<4} {:>8.0}   {speedup:>7.2}   {note}",
+            r.time_steps_per_hour()
+        );
+        prev = speedup;
+    }
+    println!(
+        "\n   The jumps cluster near U/n for U = 70 (L extent) and 75 (K extent):\n   \
+         the available parallelism of the implicit sweeps, not the processor\n   \
+         count, bounds the speedup — Section 4's central claim."
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the loop-level-parallelism reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use a single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use cachesim;
+pub use f3d;
+pub use llp;
+pub use mesh;
+pub use perfmodel;
+pub use smpsim;

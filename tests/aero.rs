@@ -1,0 +1,89 @@
+//! Integration tests: aerodynamic observables on body-fitted grids —
+//! the quantities the paper's production F3D runs were for.
+
+use f3d::bc::{BcKind, Face, ZoneBcs};
+use f3d::forces::pressure_force;
+use f3d::risc_impl::RiscStepper;
+use f3d::solver::{SolverConfig, ZoneSolver};
+use f3d::state::FlowState;
+use llp::Workers;
+use mesh::{Arrangement, Axis, Dims, Layout, Zone};
+
+fn projectile_case(alpha: f64, steps: usize) -> ZoneSolver {
+    let d = Dims::new(14, 13, 10);
+    let grid = Zone::cylinder_segment(d, 6.0, 1.0, 7.0);
+    let config = SolverConfig {
+        flow: FlowState::freestream(2.0, alpha),
+        dt: 0.02,
+        eps2: 0.12,
+        eps_imp: 0.5,
+        viscosity: 0.0,
+        prandtl: 0.72,
+        local_cfl: None,
+    };
+    let bcs = ZoneBcs::all_freestream()
+        .with(Face { axis: Axis::L, high: false }, BcKind::SlipWall)
+        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+    let mut zone = ZoneSolver::freestream(
+        config,
+        grid.metrics(),
+        Layout::jkl(),
+        Arrangement::ComponentInner,
+    );
+    let mut stepper = RiscStepper::for_zone(&zone);
+    let workers = Workers::new(2);
+    for _ in 0..steps {
+        stepper.step(&mut zone, &bcs, &workers, None);
+    }
+    zone
+}
+
+#[test]
+fn incidence_produces_lift() {
+    let at_alpha = projectile_case(0.06, 50);
+    let f = pressure_force(&at_alpha, Face { axis: Axis::L, high: false });
+    let (_, lift) = f.drag_lift(&at_alpha, 2.0 * 6.0);
+    assert!(lift.is_finite());
+    assert!(lift > 1e-4, "no lift at incidence: {lift}");
+}
+
+#[test]
+fn lift_grows_with_incidence() {
+    let small = projectile_case(0.03, 50);
+    let large = projectile_case(0.08, 50);
+    let face = Face { axis: Axis::L, high: false };
+    let (_, cl_small) = pressure_force(&small, face).drag_lift(&small, 12.0);
+    let (_, cl_large) = pressure_force(&large, face).drag_lift(&large, 12.0);
+    assert!(
+        cl_large > cl_small,
+        "lift not increasing: {cl_small} -> {cl_large}"
+    );
+}
+
+#[test]
+fn zero_incidence_half_body_carries_no_sideforce() {
+    // At alpha = 0 the flow is symmetric about the x axis; the
+    // half-cylinder (theta in [0, pi]) sees symmetric pressure, so the
+    // y component (in-plane of the half-arc's symmetry) vanishes while
+    // x (axial) stays small.
+    let zone = projectile_case(0.0, 40);
+    let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+    let fs = zone.config.flow.primitive();
+    let q_area = 0.5 * fs.rho * fs.speed() * fs.speed() * 12.0;
+    assert!(
+        f.force[1].abs() / q_area < 5e-3,
+        "sideforce at zero incidence: {}",
+        f.force[1] / q_area
+    );
+}
+
+#[test]
+fn forces_are_worker_count_independent() {
+    // The observable inherits the solver's reproducibility.
+    let face = Face { axis: Axis::L, high: false };
+    let a = projectile_case(0.05, 20);
+    let fa = pressure_force(&a, face);
+    let b = projectile_case(0.05, 20);
+    let fb = pressure_force(&b, face);
+    assert_eq!(fa.force, fb.force);
+}

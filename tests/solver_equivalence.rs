@@ -1,0 +1,254 @@
+//! Integration tests: the two F3D implementations are the same
+//! algorithm — on Cartesian, stretched, and curvilinear grids, across
+//! boundary-condition sets, worker counts, and flow regimes.
+
+use f3d::bc::{BcKind, Face, ZoneBcs};
+use f3d::risc_impl::RiscStepper;
+use f3d::solver::{SolverConfig, ZoneSolver};
+use f3d::state::FlowState;
+use f3d::vector_impl::VectorStepper;
+use llp::Workers;
+use mesh::{Axis, Dims, Ijk, Metrics, Zone};
+
+fn perturb(zone: &mut ZoneSolver) {
+    for p in zone.dims().iter_jkl() {
+        let mut q = zone.q.get(p);
+        let phase = (2 * p.j + 3 * p.k + 5 * p.l) as f64;
+        q[0] *= 1.0 + 0.015 * phase.sin();
+        q[4] *= 1.0 + 0.008 * phase.cos();
+        zone.q.set(p, q);
+    }
+}
+
+fn run_both(
+    config: SolverConfig,
+    metrics: Metrics,
+    bcs: &ZoneBcs,
+    steps: usize,
+    workers: &Workers,
+) -> (ZoneSolver, ZoneSolver) {
+    let (mut vz, mut vstep) = VectorStepper::new_zone(config, metrics.clone());
+    let (mut rz, mut rstep) = RiscStepper::new_zone(config, metrics);
+    perturb(&mut vz);
+    perturb(&mut rz);
+    for _ in 0..steps {
+        vstep.step(&mut vz, bcs);
+        rstep.step(&mut rz, bcs, workers, None);
+    }
+    (vz, rz)
+}
+
+#[test]
+fn identical_on_cartesian_grid() {
+    let workers = Workers::new(3);
+    let (vz, rz) = run_both(
+        SolverConfig::supersonic(),
+        Metrics::cartesian(Dims::new(10, 9, 8), (0.25, 0.25, 0.25)),
+        &ZoneBcs::projectile(),
+        6,
+        &workers,
+    );
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+}
+
+#[test]
+fn identical_on_curvilinear_grid() {
+    // A real curvilinear cylinder-segment zone with finite-difference
+    // metrics — the geometry class the paper's projectile cases use.
+    let d = Dims::new(8, 10, 9);
+    let zone = Zone::cylinder_segment(d, 4.0, 1.0, 8.0);
+    let metrics = zone.metrics();
+    let workers = Workers::new(2);
+    let config = SolverConfig {
+        flow: FlowState::freestream(2.0, 0.05),
+        dt: 0.01,
+        eps2: 0.1,
+        eps_imp: 0.4,
+        viscosity: 0.0,
+        prandtl: 0.72,
+        local_cfl: None,
+    };
+    let (vz, rz) = run_both(config, metrics, &ZoneBcs::projectile(), 4, &workers);
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+    // Sanity: fields stayed physical on the curvilinear grid.
+    for p in vz.dims().iter_jkl() {
+        let _ = f3d::state::Primitive::from_conserved(&vz.q.get(p));
+    }
+}
+
+#[test]
+fn identical_in_subsonic_regime() {
+    let workers = Workers::new(4);
+    let (vz, rz) = run_both(
+        SolverConfig::subsonic(),
+        Metrics::cartesian(Dims::new(9, 8, 10), (0.3, 0.3, 0.3)),
+        &ZoneBcs::all_freestream(),
+        6,
+        &workers,
+    );
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+}
+
+#[test]
+fn identical_with_wall_and_extrapolation_bcs() {
+    let workers = Workers::new(2);
+    let bcs = ZoneBcs::all_freestream()
+        .with(Face { axis: Axis::L, high: false }, BcKind::SlipWall)
+        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate)
+        .with(Face { axis: Axis::K, high: true }, BcKind::Extrapolate);
+    let (vz, rz) = run_both(
+        SolverConfig::supersonic(),
+        Metrics::cartesian(Dims::new(8, 8, 8), (0.2, 0.2, 0.2)),
+        &bcs,
+        5,
+        &workers,
+    );
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+}
+
+#[test]
+fn identical_in_viscous_mode() {
+    // Thin-layer Navier-Stokes with a no-slip wall: both
+    // implementations still bit-identical.
+    let workers = Workers::new(3);
+    let bcs = ZoneBcs::all_freestream()
+        .with(Face { axis: Axis::L, high: false }, BcKind::NoSlipWall);
+    let (vz, rz) = run_both(
+        SolverConfig::viscous(2.0, 5.0e3),
+        Metrics::cartesian(Dims::new(8, 7, 10), (0.2, 0.2, 0.1)),
+        &bcs,
+        5,
+        &workers,
+    );
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+    // The wall actually enforced no-slip.
+    for j in 0..8 {
+        for k in 0..7 {
+            let prim =
+                f3d::state::Primitive::from_conserved(&rz.q.get(Ijk::new(j, k, 0)));
+            assert_eq!(prim.speed(), 0.0, "slip at wall point ({j},{k})");
+        }
+    }
+}
+
+#[test]
+fn boundary_layer_forms_at_a_no_slip_wall() {
+    // The qualitative viscous check: start from freestream over a
+    // no-slip wall and a velocity deficit must diffuse upward from it.
+    let d = Dims::new(6, 5, 16);
+    let config = SolverConfig::viscous(2.0, 2.0e3);
+    let metrics = Metrics::cartesian(d, (0.3, 0.3, 0.05));
+    let bcs = ZoneBcs::all_freestream()
+        .with(Face { axis: Axis::L, high: false }, BcKind::NoSlipWall)
+        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+    let (mut zone, mut stepper) = RiscStepper::new_zone(config, metrics);
+    let workers = Workers::new(2);
+    for _ in 0..60 {
+        stepper.step(&mut zone, &bcs, &workers, None);
+    }
+    // u at the first interior point off the wall is now well below
+    // freestream; far from the wall it is not.
+    let probe = |l: usize| {
+        f3d::state::Primitive::from_conserved(&zone.q.get(Ijk::new(3, 2, l))).u
+    };
+    let u_inf = config.flow.primitive().u;
+    assert!(probe(1) < 0.9 * u_inf, "no deficit near wall: {}", probe(1));
+    assert!(probe(d.l - 2) > 0.97 * u_inf, "far field disturbed: {}", probe(d.l - 2));
+    // Monotone-ish recovery away from the wall at low altitude.
+    assert!(probe(1) < probe(3));
+}
+
+#[test]
+fn identical_with_local_time_stepping() {
+    let workers = Workers::new(3);
+    let config = SolverConfig::supersonic().with_local_time_stepping(2.0);
+    let (vz, rz) = run_both(
+        config,
+        // Nonuniform spacing so the local dt actually varies per point.
+        Metrics::cartesian(Dims::new(9, 8, 9), (0.1, 0.3, 0.7)),
+        &ZoneBcs::projectile(),
+        5,
+        &workers,
+    );
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+}
+
+#[test]
+fn local_time_stepping_converges_no_slower() {
+    // The standard claim: local dt reaches steady state in no more
+    // steps than a conservatively small global dt.
+    let d = Dims::new(10, 9, 8);
+    let bcs = ZoneBcs::all_freestream();
+    let run = |config: SolverConfig| {
+        let (mut zone, mut stepper) =
+            RiscStepper::new_zone(config, Metrics::cartesian(d, (0.1, 0.4, 0.8)));
+        let c = Ijk::new(5, 4, 4);
+        let mut q = zone.q.get(c);
+        q[0] *= 1.04;
+        zone.q.set(c, q);
+        let workers = Workers::new(2);
+        for _ in 0..30 {
+            stepper.step(&mut zone, &bcs, &workers, None);
+        }
+        zone.freestream_deviation()
+    };
+    let mut global = SolverConfig::supersonic();
+    global.dt = 0.01; // conservative global step for the finest spacing
+    let global_dev = run(global);
+    let local_dev = run(SolverConfig::supersonic().with_local_time_stepping(1.5));
+    assert!(
+        local_dev <= global_dev * 1.05,
+        "local {local_dev} vs global {global_dev}"
+    );
+}
+
+#[test]
+fn worker_count_is_invisible_to_the_numerics() {
+    let d = Dims::new(9, 10, 8);
+    let bcs = ZoneBcs::projectile();
+    let mut fields = Vec::new();
+    for nw in [1usize, 2, 3, 7] {
+        let workers = Workers::new(nw);
+        let (_, rz) = run_both(
+            SolverConfig::supersonic(),
+            Metrics::cartesian(d, (0.25, 0.25, 0.25)),
+            &bcs,
+            4,
+            &workers,
+        );
+        fields.push(rz.q);
+    }
+    for f in &fields[1..] {
+        assert_eq!(fields[0].max_abs_diff(f), 0.0);
+    }
+}
+
+#[test]
+fn perturbation_decays_in_both_implementations() {
+    // The convergence property itself, both ways (the quantity the
+    // paper refuses to let parallelization change).
+    let d = Dims::new(10, 9, 8);
+    let workers = Workers::new(2);
+    let (mut vz, mut vstep) =
+        VectorStepper::new_zone(SolverConfig::supersonic(), Metrics::cartesian(d, (0.25, 0.25, 0.25)));
+    let (mut rz, mut rstep) =
+        RiscStepper::new_zone(SolverConfig::supersonic(), Metrics::cartesian(d, (0.25, 0.25, 0.25)));
+    let bump = |z: &mut ZoneSolver| {
+        let c = Ijk::new(5, 4, 4);
+        let mut q = z.q.get(c);
+        q[0] *= 1.04;
+        q[4] *= 1.04;
+        z.q.set(c, q);
+    };
+    bump(&mut vz);
+    bump(&mut rz);
+    let initial = vz.freestream_deviation();
+    let bcs = ZoneBcs::all_freestream();
+    for _ in 0..40 {
+        vstep.step(&mut vz, &bcs);
+        rstep.step(&mut rz, &bcs, &workers, None);
+    }
+    assert!(vz.freestream_deviation() < 0.3 * initial);
+    assert!(rz.freestream_deviation() < 0.3 * initial);
+    assert_eq!(vz.q.max_abs_diff(&rz.q), 0.0);
+}
