@@ -20,7 +20,10 @@ fn main() {
 
     for (label, grid) in [
         ("1-million point case", MultiZoneGrid::paper_one_million()),
-        ("59-million point case", MultiZoneGrid::paper_fifty_nine_million()),
+        (
+            "59-million point case",
+            MultiZoneGrid::paper_fifty_nine_million(),
+        ),
     ] {
         println!("=== {label}: {grid} ===\n");
         let flat = risc_step_trace(&grid, &sgi.memory);

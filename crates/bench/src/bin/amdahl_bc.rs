@@ -33,16 +33,19 @@ fn main() {
     // loaded (the paper: sync costs range "from 2,000 to 1-million
     // cycles (or more)" depending on load).
     for (label, machine) in [
-        ("lightly loaded (base sync costs)", Machine::new(sgi.machine)),
+        (
+            "lightly loaded (base sync costs)",
+            Machine::new(sgi.machine),
+        ),
         (
             "heavily loaded (sync costs x30)",
             Machine::new(sgi.machine.under_load(30.0)),
         ),
     ] {
-        println!("--- {label}: sync at 64 procs = {} cycles ---", machine
-            .config()
-            .sync
-            .cycles(64) as u64);
+        println!(
+            "--- {label}: sync at 64 procs = {} cycles ---",
+            machine.config().sync.cycles(64) as u64
+        );
         let mut t = TextTable::new(&[
             "Procs",
             "serial-BC steps/hr",

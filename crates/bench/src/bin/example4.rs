@@ -48,9 +48,21 @@ fn main() {
             f(h.memory_traffic_bytes() as f64 / 1e6, 1),
         ]);
     };
-    run("(a) L,K,J over JKL: sequential", a.inner_stride_bytes(), Box::new(a.addresses()));
-    run("(b) K,L,J over JKL: plane jumps", b.inner_stride_bytes(), Box::new(b.addresses()));
-    run("(c) J,L + K-gather alone", c.gather_stride_bytes(), Box::new(c.addresses()));
+    run(
+        "(a) L,K,J over JKL: sequential",
+        a.inner_stride_bytes(),
+        Box::new(a.addresses()),
+    );
+    run(
+        "(b) K,L,J over JKL: plane jumps",
+        b.inner_stride_bytes(),
+        Box::new(b.addresses()),
+    );
+    run(
+        "(c) J,L + K-gather alone",
+        c.gather_stride_bytes(),
+        Box::new(c.addresses()),
+    );
     run(
         "(c) incl. SUBB buffer compute",
         c.gather_stride_bytes(),
@@ -72,7 +84,12 @@ fn main() {
         let s = page_sharing(dims, Layout::jkl(), axis, 8, 16 << 10);
         t.row(vec![
             name.to_string(),
-            format!("{} / {} ({:.1}%)", s.shared_pages, s.total_pages, s.shared_fraction() * 100.0),
+            format!(
+                "{} / {} ({:.1}%)",
+                s.shared_pages,
+                s.total_pages,
+                s.shared_fraction() * 100.0
+            ),
             s.max_sharers.to_string(),
         ]);
     }

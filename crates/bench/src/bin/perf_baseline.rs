@@ -1,0 +1,117 @@
+//! Performance baseline: a small multi-zone solver case run *measured*
+//! (real threads, span recorder on) at several worker counts, emitted
+//! as a versioned, schema-stable JSON report.
+//!
+//! The report seeds the `BENCH_*.json` trajectory: every future
+//! performance PR regresses per-kernel seconds, sync-event counts, and
+//! speedup against this file. Run with
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_baseline [-- <output-path>]
+//! ```
+//!
+//! The JSON is printed to stdout and, unless an explicit output path is
+//! given, written to `BENCH_perf_baseline.json` in the current
+//! directory. Schema (`schema_version` 1):
+//!
+//! ```text
+//! { schema_version, bench, case, steps, worker_counts: [..],
+//!   runs: [ { workers, seconds, sync_events, speedup_vs_1,
+//!             kernels: [ { name, invocations, seconds, sync_events,
+//!                          parallelized, parallelism, max_imbalance } ] } ] }
+//! ```
+//!
+//! Wall times are machine-dependent; the *schema* and the structural
+//! fields (sync events, parallelism, kernel set) are what the
+//! regression test pins.
+
+use f3d::multizone::MultiZoneSolver;
+use f3d::solver::SolverConfig;
+use llp::obs::json::Json;
+use llp::Workers;
+use mesh::MultiZoneGrid;
+
+/// Worker counts the baseline sweeps (≥ 3, including the serial run
+/// the speedups are normalized to).
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 4];
+
+/// Warm-up steps (excluded from the report) and measured steps.
+const WARMUP_STEPS: usize = 2;
+const MEASURED_STEPS: usize = 5;
+
+fn run_case(workers: usize) -> llp::ObsReport {
+    let grid = MultiZoneGrid::small_test_case();
+    let mut solver = MultiZoneSolver::from_grid(&grid, SolverConfig::subsonic(), 0.3);
+    let w = Workers::new(workers);
+    for _ in 0..WARMUP_STEPS {
+        solver.step_loop_level(&w, None);
+    }
+    let w = Workers::recorded(workers);
+    for _ in 0..MEASURED_STEPS {
+        solver.step_loop_level(&w, None);
+    }
+    w.recorder().take_report("small_test_case", workers)
+}
+
+fn run_json(report: &llp::ObsReport, serial_seconds: f64) -> Json {
+    let seconds = report.total_seconds();
+    let kernels = report
+        .kernel_summaries()
+        .into_iter()
+        .map(|k| {
+            Json::object(vec![
+                ("name", Json::Str(k.name)),
+                ("invocations", Json::Num(k.invocations as f64)),
+                ("seconds", Json::Num(k.seconds)),
+                ("sync_events", Json::Num(k.sync_events as f64)),
+                ("parallelized", Json::Bool(k.parallelized)),
+                ("parallelism", Json::Num(k.parallelism as f64)),
+                ("max_imbalance", Json::Num(k.max_imbalance)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("workers", Json::Num(report.workers as f64)),
+        ("seconds", Json::Num(seconds)),
+        ("sync_events", Json::Num(report.sync_events() as f64)),
+        ("speedup_vs_1", Json::Num(serial_seconds / seconds)),
+        ("kernels", Json::Array(kernels)),
+    ])
+}
+
+/// Build the full baseline report by running the sweep.
+#[must_use]
+pub fn baseline_json() -> Json {
+    let reports: Vec<llp::ObsReport> = WORKER_COUNTS.iter().map(|&p| run_case(p)).collect();
+    let serial_seconds = reports[0].total_seconds();
+    Json::object(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("bench", Json::Str("perf_baseline".into())),
+        ("case", Json::Str("small_test_case".into())),
+        ("steps", Json::Num(MEASURED_STEPS as f64)),
+        (
+            "worker_counts",
+            Json::Array(WORKER_COUNTS.iter().map(|&p| Json::Num(p as f64)).collect()),
+        ),
+        (
+            "runs",
+            Json::Array(
+                reports
+                    .iter()
+                    .map(|r| run_json(r, serial_seconds))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_perf_baseline.json".to_string());
+    let json = baseline_json();
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(&out_path, &text).expect("write baseline report");
+    eprintln!("wrote {out_path}");
+}

@@ -38,7 +38,11 @@ fn main() {
             for a in sweep.accesses() {
                 h.access(
                     a.addr,
-                    if a.store { AccessKind::Store } else { AccessKind::Load },
+                    if a.store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
                 );
                 accesses += 1;
             }

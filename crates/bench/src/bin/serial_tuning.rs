@@ -57,7 +57,10 @@ fn main() {
     let sgi = smpsim::presets::origin2000_r12k_128();
     let m1 = sgi
         .executor()
-        .execute(&risc_step_trace(&MultiZoneGrid::paper_one_million(), &sgi.memory), 1)
+        .execute(
+            &risc_step_trace(&MultiZoneGrid::paper_one_million(), &sgi.memory),
+            1,
+        )
         .mflops();
     let m59 = sgi
         .executor()
@@ -77,7 +80,10 @@ fn main() {
     let mut t = TextTable::new(&["Case", "vector s/step (model)", "tuned s/step (model)"]);
     for (label, grid) in [
         ("1M, Origin 2000", MultiZoneGrid::paper_one_million()),
-        ("59M, Origin 2000", MultiZoneGrid::paper_fifty_nine_million()),
+        (
+            "59M, Origin 2000",
+            MultiZoneGrid::paper_fifty_nine_million(),
+        ),
     ] {
         let v = sgi
             .executor()

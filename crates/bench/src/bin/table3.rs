@@ -6,7 +6,11 @@ use perfmodel::stairstep::table3;
 
 fn main() {
     println!("Table 3. Predicted speedup for a loop with 15 units of parallelism\n");
-    let mut t = TextTable::new(&["Processors", "Max units on one processor", "Predicted speedup"]);
+    let mut t = TextTable::new(&[
+        "Processors",
+        "Max units on one processor",
+        "Predicted speedup",
+    ]);
     let rows = table3();
     // The paper prints plateau-representative rows; print all 15 and
     // mark the plateau edges.

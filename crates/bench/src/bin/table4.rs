@@ -20,7 +20,10 @@ fn main() {
     let processor_rows: &[u32] = &[1, 16, 32, 48, 64, 72, 88, 104, 112, 120, 124];
 
     for (label, grid) in [
-        ("1-million grid point case", MultiZoneGrid::paper_one_million()),
+        (
+            "1-million grid point case",
+            MultiZoneGrid::paper_one_million(),
+        ),
         (
             "59-million grid point case",
             MultiZoneGrid::paper_fifty_nine_million(),

@@ -35,10 +35,9 @@ fn main() {
             f(m.clock_hz / 1e6, 0),
             f(m.peak_mflops, 0),
             fmt_cache(&m.l1),
-            m.l2.as_ref().map_or("none".into(), |c| fmt_cache(c)),
+            m.l2.as_ref().map_or("none".into(), fmt_cache),
             format!("{} KB", grouped((m.tlb.reach_bytes() >> 10) as u64)),
-            m.l2
-                .as_ref()
+            m.l2.as_ref()
                 .map_or(m.l1.line_bytes, |c| c.line_bytes)
                 .to_string(),
         ]);

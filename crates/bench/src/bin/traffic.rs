@@ -75,7 +75,12 @@ fn main() {
     let sgi = smpsim::presets::origin2000_r12k_128();
     let trace = risc_step_trace(&MultiZoneGrid::paper_one_million(), &sgi.memory);
     let exec = sgi.executor();
-    let mut t = TextTable::new(&["Procs", "step time (s)", "NUMA surcharge (s)", "surcharge %"]);
+    let mut t = TextTable::new(&[
+        "Procs",
+        "step time (s)",
+        "NUMA surcharge (s)",
+        "surcharge %",
+    ]);
     for p in [1u32, 16, 64, 124] {
         let r = exec.execute(&trace, p);
         t.row(vec![

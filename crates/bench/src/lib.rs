@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(2.71828, 2), "2.72");
+        assert_eq!(f(2.71534, 2), "2.72");
         assert_eq!(f(15.0, 3), "15.000");
     }
 

@@ -1,0 +1,109 @@
+//! Schema validation for the `perf_baseline` JSON report: runs the
+//! binary, parses its output with the same `llp::obs::json` parser
+//! consumers use, and pins the versioned structure every future perf
+//! PR regresses against.
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_baseline() -> Json {
+    let out_path = format!(
+        "{}/perf_baseline_schema_test.json",
+        env!("CARGO_TARGET_TMPDIR")
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_baseline"))
+        .arg(&out_path)
+        .output()
+        .expect("run perf_baseline");
+    assert!(out.status.success(), "perf_baseline exited {}", out.status);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    // The file and the stdout carry the same document.
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1() {
+    let report = run_baseline();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("perf_baseline")
+    );
+    assert_eq!(
+        report.get("case").and_then(Json::as_str),
+        Some("small_test_case")
+    );
+    assert!(report.get("steps").and_then(Json::as_u64).unwrap() >= 1);
+
+    let counts = report
+        .get("worker_counts")
+        .and_then(Json::as_array)
+        .expect("worker_counts array");
+    assert!(counts.len() >= 3, "baseline must sweep >= 3 worker counts");
+    assert_eq!(counts[0].as_u64(), Some(1), "speedups are vs 1 worker");
+
+    let runs = report
+        .get("runs")
+        .and_then(Json::as_array)
+        .expect("runs array");
+    assert_eq!(runs.len(), counts.len());
+
+    let mut sync_events = Vec::new();
+    for (run, count) in runs.iter().zip(counts) {
+        assert_eq!(run.get("workers").and_then(Json::as_u64), count.as_u64());
+        assert!(run.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        let speedup = run.get("speedup_vs_1").and_then(Json::as_f64).unwrap();
+        assert!(speedup > 0.0);
+        sync_events.push(run.get("sync_events").and_then(Json::as_u64).unwrap());
+
+        let kernels = run
+            .get("kernels")
+            .and_then(Json::as_array)
+            .expect("kernels array");
+        let mut names: Vec<&str> = kernels
+            .iter()
+            .map(|k| k.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(
+            names,
+            [
+                "bc",
+                "inject",
+                "j_factor",
+                "k_factor",
+                "l_factor_scatter",
+                "l_factor_solve",
+                "rhs",
+                "update"
+            ],
+            "kernel vocabulary is part of the schema"
+        );
+        for k in kernels {
+            assert!(k.get("invocations").and_then(Json::as_u64).unwrap() >= 1);
+            assert!(k.get("seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(k.get("sync_events").and_then(Json::as_u64).is_some());
+            assert!(k.get("parallelized").and_then(Json::as_bool).is_some());
+            assert!(k.get("parallelism").and_then(Json::as_u64).is_some());
+            assert!(k.get("max_imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let bc = kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Json::as_str) == Some("bc"))
+            .unwrap();
+        assert_eq!(bc.get("parallelized").and_then(Json::as_bool), Some(false));
+        let rhs = kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Json::as_str) == Some("rhs"))
+            .unwrap();
+        assert_eq!(rhs.get("parallelized").and_then(Json::as_bool), Some(true));
+    }
+    // One sync event per doacross region, independent of worker count.
+    assert!(sync_events.iter().all(|&s| s == sync_events[0] && s > 0));
+
+    let first = runs[0].get("speedup_vs_1").and_then(Json::as_f64).unwrap();
+    assert!((first - 1.0).abs() < 1e-12, "run at 1 worker defines 1.0");
+}

@@ -20,11 +20,20 @@ impl CacheConfig {
     /// the size, and the implied set count is at least one.
     #[must_use]
     pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(line_bytes <= size_bytes, "line larger than cache");
         let lines = size_bytes / line_bytes;
-        assert!(associativity >= 1 && associativity <= lines, "bad associativity");
+        assert!(
+            associativity >= 1 && associativity <= lines,
+            "bad associativity"
+        );
         assert!(
             lines.is_multiple_of(associativity),
             "associativity must divide the line count"
@@ -237,7 +246,7 @@ mod tests {
             }
         }
         assert_eq!(c.misses(), 64); // only cold misses
-        // Working set = 2x cache size with LRU: 100% misses forever.
+                                    // Working set = 2x cache size with LRU: 100% misses forever.
         let mut c = Cache::new(cfg);
         for _ in 0..3 {
             for i in 0..128u64 {

@@ -373,7 +373,10 @@ pub fn page_sharing(
     workers: usize,
     page_bytes: u64,
 ) -> SharingStats {
-    assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+    assert!(
+        page_bytes.is_power_of_two(),
+        "page size must be a power of two"
+    );
     let n = dims.extent(parallel_axis);
     let chunks = static_chunks(n, workers);
     let mut sharers: HashMap<u64, u32> = HashMap::new();
@@ -464,16 +467,25 @@ mod tests {
     #[test]
     fn all_patterns_cover_all_points() {
         for addrs in [
-            GridTraversal::example4a(dims()).addresses().collect::<Vec<_>>(),
-            GridTraversal::example4b(dims()).addresses().collect::<Vec<_>>(),
-            PencilGather::example4c(dims()).addresses().collect::<Vec<_>>(),
+            GridTraversal::example4a(dims())
+                .addresses()
+                .collect::<Vec<_>>(),
+            GridTraversal::example4b(dims())
+                .addresses()
+                .collect::<Vec<_>>(),
+            PencilGather::example4c(dims())
+                .addresses()
+                .collect::<Vec<_>>(),
         ] {
             let mut s = addrs;
             s.sort_unstable();
             s.dedup();
             assert_eq!(s.len(), dims().points());
             assert_eq!(s[0], 0);
-            assert_eq!(*s.last().unwrap(), (dims().points() as u64 - 1) * ELEM_BYTES);
+            assert_eq!(
+                *s.last().unwrap(),
+                (dims().points() as u64 - 1) * ELEM_BYTES
+            );
         }
     }
 

@@ -21,7 +21,10 @@ impl TlbConfig {
     #[must_use]
     pub fn new(entries: usize, page_bytes: usize) -> Self {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             entries,
             page_bytes,

@@ -44,12 +44,30 @@ impl Face {
     #[must_use]
     pub fn all() -> [Face; 6] {
         [
-            Face { axis: Axis::J, high: false },
-            Face { axis: Axis::J, high: true },
-            Face { axis: Axis::K, high: false },
-            Face { axis: Axis::K, high: true },
-            Face { axis: Axis::L, high: false },
-            Face { axis: Axis::L, high: true },
+            Face {
+                axis: Axis::J,
+                high: false,
+            },
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            Face {
+                axis: Axis::K,
+                high: false,
+            },
+            Face {
+                axis: Axis::K,
+                high: true,
+            },
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            Face {
+                axis: Axis::L,
+                high: true,
+            },
         ]
     }
 
@@ -116,11 +134,12 @@ impl ZoneBcs {
 /// Iterate over the points of one face.
 fn face_points(zone: &ZoneSolver, face: Face) -> Vec<Ijk> {
     let d = zone.dims();
-    let fixed = if face.high { d.extent(face.axis) - 1 } else { 0 };
-    let others: Vec<Axis> = Axis::ALL
-        .into_iter()
-        .filter(|&a| a != face.axis)
-        .collect();
+    let fixed = if face.high {
+        d.extent(face.axis) - 1
+    } else {
+        0
+    };
+    let others: Vec<Axis> = Axis::ALL.into_iter().filter(|&a| a != face.axis).collect();
     let mut pts = Vec::with_capacity(d.extent(others[0]) * d.extent(others[1]));
     for i1 in 0..d.extent(others[0]) {
         for i2 in 0..d.extent(others[1]) {
@@ -248,7 +267,14 @@ mod tests {
         let mut z = zone(Dims::new(4, 4, 4));
         let p = Ijk::new(0, 2, 2);
         z.q.set(p, [9.0, 0.0, 0.0, 0.0, 99.0]);
-        apply_face(&mut z, Face { axis: Axis::J, high: false }, BcKind::Freestream);
+        apply_face(
+            &mut z,
+            Face {
+                axis: Axis::J,
+                high: false,
+            },
+            BcKind::Freestream,
+        );
         assert_eq!(z.q.get(p), z.config.flow.conserved());
     }
 
@@ -258,7 +284,14 @@ mod tests {
         let interior = Ijk::new(3, 1, 1);
         let marked = [2.0, 1.0, 0.5, 0.25, 8.0];
         z.q.set(interior, marked);
-        apply_face(&mut z, Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+        apply_face(
+            &mut z,
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        );
         assert_eq!(z.q.get(Ijk::new(4, 1, 1)), marked);
     }
 
@@ -275,7 +308,14 @@ mod tests {
             p: 1.0,
         };
         z.q.set(donor, prim.to_conserved());
-        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::SlipWall);
+        apply_face(
+            &mut z,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::SlipWall,
+        );
         let wall = Primitive::from_conserved(&z.q.get(Ijk::new(1, 1, 0)));
         // Cartesian grid: L normal is z, so w must vanish, u/v kept.
         assert!(wall.w.abs() < 1e-13, "w = {}", wall.w);
@@ -289,14 +329,28 @@ mod tests {
         // Freestream along x over an L-normal wall: already tangent, so
         // the wall BC must be a no-op.
         let mut z = zone(Dims::new(4, 4, 4));
-        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::SlipWall);
+        apply_face(
+            &mut z,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::SlipWall,
+        );
         assert_eq!(z.freestream_deviation(), 0.0);
     }
 
     #[test]
     fn no_slip_wall_zeroes_velocity() {
         let mut z = zone(Dims::new(3, 3, 4));
-        apply_face(&mut z, Face { axis: Axis::L, high: false }, BcKind::NoSlipWall);
+        apply_face(
+            &mut z,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::NoSlipWall,
+        );
         let wall = Primitive::from_conserved(&z.q.get(Ijk::new(1, 1, 0)));
         assert_eq!(wall.u, 0.0);
         assert_eq!(wall.v, 0.0);
@@ -319,9 +373,19 @@ mod tests {
         let mut z = zone(Dims::new(4, 4, 4));
         let marked = [3.0, 0.1, 0.1, 0.1, 9.0];
         z.q.set(Ijk::new(0, 1, 1), marked);
-        let bcs = ZoneBcs::all_freestream().with(Face { axis: Axis::J, high: false }, BcKind::Zonal);
+        let bcs = ZoneBcs::all_freestream().with(
+            Face {
+                axis: Axis::J,
+                high: false,
+            },
+            BcKind::Zonal,
+        );
         apply_all(&mut z, &bcs);
-        assert_eq!(z.q.get(Ijk::new(0, 1, 1)), marked, "zonal face must not be overwritten");
+        assert_eq!(
+            z.q.get(Ijk::new(0, 1, 1)),
+            marked,
+            "zonal face must not be overwritten"
+        );
     }
 
     #[test]
@@ -351,9 +415,27 @@ mod tests {
     #[test]
     fn projectile_bcs_as_documented() {
         let bcs = ZoneBcs::projectile();
-        assert_eq!(bcs.kind(Face { axis: Axis::J, high: false }), BcKind::Freestream);
-        assert_eq!(bcs.kind(Face { axis: Axis::J, high: true }), BcKind::Extrapolate);
-        assert_eq!(bcs.kind(Face { axis: Axis::L, high: false }), BcKind::SlipWall);
+        assert_eq!(
+            bcs.kind(Face {
+                axis: Axis::J,
+                high: false
+            }),
+            BcKind::Freestream
+        );
+        assert_eq!(
+            bcs.kind(Face {
+                axis: Axis::J,
+                high: true
+            }),
+            BcKind::Extrapolate
+        );
+        assert_eq!(
+            bcs.kind(Face {
+                axis: Axis::L,
+                high: false
+            }),
+            BcKind::SlipWall
+        );
     }
 
     #[test]

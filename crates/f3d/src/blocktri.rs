@@ -341,10 +341,10 @@ mod tests {
         let x = lu.solve_block(&identity());
         // A * A^-1 = I
         let prod = matmul(&a, &x);
-        for i in 0..NCONS {
-            for j in 0..NCONS {
+        for (i, row) in prod.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((prod[i][j] - expect).abs() < 1e-10, "[{i}][{j}]");
+                assert!((v - expect).abs() < 1e-10, "[{i}][{j}]");
             }
         }
     }
@@ -355,9 +355,7 @@ mod tests {
         let lower = vec![[[0.0; NCONS]; NCONS]; n];
         let diag = vec![identity(); n];
         let upper = vec![[[0.0; NCONS]; NCONS]; n];
-        let mut rhs: Vec<Vec5> = (0..n)
-            .map(|i| [i as f64, 1.0, -2.0, 0.5, 3.0])
-            .collect();
+        let mut rhs: Vec<Vec5> = (0..n).map(|i| [i as f64, 1.0, -2.0, 0.5, 3.0]).collect();
         let expect = rhs.clone();
         let mut scratch = BlockTriScratch::new(n);
         solve_block_tridiagonal(&lower, &diag, &upper, &mut rhs, &mut scratch);
@@ -367,8 +365,12 @@ mod tests {
     #[test]
     fn tridiagonal_manufactured_solution() {
         let n = 12;
-        let lower: Vec<Block> = (0..n).map(|i| diag_dominant_block(i as u64 + 1, 0.0)).collect();
-        let upper: Vec<Block> = (0..n).map(|i| diag_dominant_block(i as u64 + 100, 0.0)).collect();
+        let lower: Vec<Block> = (0..n)
+            .map(|i| diag_dominant_block(i as u64 + 1, 0.0))
+            .collect();
+        let upper: Vec<Block> = (0..n)
+            .map(|i| diag_dominant_block(i as u64 + 100, 0.0))
+            .collect();
         let diag: Vec<Block> = (0..n)
             .map(|i| diag_dominant_block(i as u64 + 200, 8.0))
             .collect();

@@ -96,9 +96,7 @@ impl KernelCost {
     pub fn cycles_per_point(&self, mem: &MachineMemory) -> f64 {
         let instr = self.flops_per_point as f64 * self.instr_per_flop;
         let compute = instr / (mem.cost.issue_width * self.issue_efficiency);
-        let line = mem
-            .l2
-            .map_or(mem.l1.line_bytes, |c| c.line_bytes) as f64;
+        let line = mem.l2.map_or(mem.l1.line_bytes, |c| c.line_bytes) as f64;
         // Direct-mapped last-level caches suffer conflict misses the
         // set-associative ones avoid.
         let assoc = mem.l2.map_or(mem.l1.associativity, |c| c.associativity);
@@ -295,7 +293,10 @@ mod tests {
             (20.0..=180.0).contains(&tuned_min),
             "tuned: {tuned_min} min for 10 steps (paper: 70)"
         );
-        assert!(vector_hr > 6.0, "vector: {vector_hr} hr (paper: most of a day)");
+        assert!(
+            vector_hr > 6.0,
+            "vector: {vector_hr} hr (paper: most of a day)"
+        );
     }
 
     #[test]
@@ -304,12 +305,10 @@ mod tests {
         // per-processor performance is similar.
         let sgi = presets::origin2000_r12k();
         let sun = presets::hpc10000_ultrasparc2();
-        let m_sgi = flops_per_point_step() as f64
-            / cycles_per_point_step(ImplKind::Risc, &sgi)
+        let m_sgi = flops_per_point_step() as f64 / cycles_per_point_step(ImplKind::Risc, &sgi)
             * sgi.clock_hz
             / 1e6;
-        let m_sun = flops_per_point_step() as f64
-            / cycles_per_point_step(ImplKind::Risc, &sun)
+        let m_sun = flops_per_point_step() as f64 / cycles_per_point_step(ImplKind::Risc, &sun)
             * sun.clock_hz
             / 1e6;
         let ratio = m_sun / m_sgi;
@@ -341,7 +340,10 @@ mod tests {
         .sum();
         let secs_per_point = cycles_per_point_step(ImplKind::Risc, &mem) / mem.clock_hz;
         let mb_per_s = bytes / secs_per_point / 1e6;
-        assert!(mb_per_s < 135.0, "demand {mb_per_s} MB/s exceeds off-node bw");
+        assert!(
+            mb_per_s < 135.0,
+            "demand {mb_per_s} MB/s exceeds off-node bw"
+        );
         assert!(mb_per_s > 10.0, "demand {mb_per_s} MB/s implausibly low");
     }
 

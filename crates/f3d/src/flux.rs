@@ -168,11 +168,7 @@ mod tests {
     }
 
     fn directions() -> Vec<[f64; 3]> {
-        vec![
-            [1.0, 0.0, 0.0],
-            [0.0, 2.0, 0.0],
-            [0.3, -0.4, 1.2],
-        ]
+        vec![[1.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.3, -0.4, 1.2]]
     }
 
     #[test]

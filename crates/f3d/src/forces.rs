@@ -62,11 +62,12 @@ impl SurfaceForces {
 #[must_use]
 pub fn pressure_force(zone: &ZoneSolver, face: Face) -> SurfaceForces {
     let d = zone.dims();
-    let fixed = if face.high { d.extent(face.axis) - 1 } else { 0 };
-    let others: Vec<Axis> = Axis::ALL
-        .into_iter()
-        .filter(|&a| a != face.axis)
-        .collect();
+    let fixed = if face.high {
+        d.extent(face.axis) - 1
+    } else {
+        0
+    };
+    let others: Vec<Axis> = Axis::ALL.into_iter().filter(|&a| a != face.axis).collect();
     let (n1, n2) = (d.extent(others[0]), d.extent(others[1]));
     let sign = if face.high { 1.0 } else { -1.0 };
     let p_inf = zone.config.flow.primitive().p;
@@ -120,7 +121,13 @@ mod tests {
     #[test]
     fn freestream_exerts_no_net_force() {
         let zone = cartesian_zone(Dims::new(6, 5, 4), (0.5, 0.5, 0.5));
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         for c in 0..3 {
             assert!(f.force[c].abs() < 1e-14, "component {c}: {}", f.force[c]);
         }
@@ -130,7 +137,13 @@ mod tests {
     fn flat_wall_area_is_exact() {
         // J extent 5 cells x 0.5 = 2.5; K extent 4 cells x 0.25 = 1.0.
         let zone = cartesian_zone(Dims::new(6, 5, 4), (0.5, 0.25, 2.0));
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         assert!((f.area - 2.5).abs() < 1e-12, "area {}", f.area);
     }
 
@@ -145,12 +158,24 @@ mod tests {
             prim.p += 0.5;
             zone.q.set(p, prim.to_conserved());
         }
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         assert!(f.force[0].abs() < 1e-12);
         assert!(f.force[1].abs() < 1e-12);
         assert!((f.force[2] - (-0.5 * 2.5)).abs() < 1e-12, "{}", f.force[2]);
         // The high-L face feels the opposite.
-        let f_hi = pressure_force(&zone, Face { axis: Axis::L, high: true });
+        let f_hi = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: true,
+            },
+        );
         assert!((f_hi.force[2] - 0.5 * 2.5).abs() < 1e-12);
     }
 
@@ -176,20 +201,34 @@ mod tests {
             prim.p += dp;
             zone.q.set(p, prim.to_conserved());
         }
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         // Analytic: net force magnitude dp * 2 * r * length = 2.4,
         // directed along z (the theta in [0, pi] arc opens toward -z...
         // direction checked by magnitude and zero x-component).
-        let mag = (f.force[0] * f.force[0] + f.force[1] * f.force[1] + f.force[2] * f.force[2])
-            .sqrt();
+        let mag =
+            (f.force[0] * f.force[0] + f.force[1] * f.force[1] + f.force[2] * f.force[2]).sqrt();
         assert!(
             (mag - dp * 2.0 * 1.0 * 4.0).abs() < 0.15 * dp * 8.0,
             "got {mag}, want ~{}",
             dp * 8.0
         );
-        assert!(f.force[0].abs() < 1e-10 * (1.0 + mag), "axial component {}", f.force[0]);
+        assert!(
+            f.force[0].abs() < 1e-10 * (1.0 + mag),
+            "axial component {}",
+            f.force[0]
+        );
         // And the half-cylinder area ~ pi * r * length.
-        assert!((f.area - std::f64::consts::PI * 4.0).abs() < 0.4, "area {}", f.area);
+        assert!(
+            (f.area - std::f64::consts::PI * 4.0).abs() < 0.4,
+            "area {}",
+            f.area
+        );
     }
 
     #[test]
@@ -201,10 +240,16 @@ mod tests {
             prim.p += 1.0;
             zone.q.set(p, prim.to_conserved());
         }
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         // q_inf = 0.5 * 1 * 2^2 = 2; force_z = -1 * 9... area (3x3).
         let c = f.coefficients(&zone, 9.0);
-        assert!((c[2] - (-1.0 * 9.0) / (2.0 * 9.0)).abs() < 1e-12);
+        assert!((c[2] + 9.0 / (2.0 * 9.0)).abs() < 1e-12);
         let (drag, lift) = f.drag_lift(&zone, 9.0);
         // alpha = 0: drag = c_x = 0, lift = c_z.
         assert_eq!(drag, 0.0);
@@ -215,7 +260,13 @@ mod tests {
     #[should_panic(expected = "reference area must be positive")]
     fn zero_reference_area_panics() {
         let zone = cartesian_zone(Dims::new(3, 3, 3), (1.0, 1.0, 1.0));
-        let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+        let f = pressure_force(
+            &zone,
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+        );
         let _ = f.coefficients(&zone, 0.0);
     }
 }

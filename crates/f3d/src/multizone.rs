@@ -13,6 +13,7 @@
 use crate::bc::{self, BcKind, Face, ZoneBcs};
 use crate::risc_impl::RiscStepper;
 use crate::solver::{SolverConfig, ZoneSolver};
+use llp::obs::SpanKind;
 use llp::{LoopProfiler, Teams, Workers};
 use mesh::{Axis, Metrics, MultiZoneGrid};
 
@@ -22,6 +23,7 @@ pub struct MultiZoneSolver {
     zones: Vec<ZoneSolver>,
     steppers: Vec<RiscStepper>,
     bcs: Vec<ZoneBcs>,
+    names: Vec<String>,
 }
 
 impl MultiZoneSolver {
@@ -34,17 +36,31 @@ impl MultiZoneSolver {
         let mut zones = Vec::with_capacity(n);
         let mut steppers = Vec::with_capacity(n);
         let mut bcs = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
         for (i, spec) in grid.zones().iter().enumerate() {
+            names.push(spec.name.clone());
             let metrics = Metrics::cartesian(spec.dims, (spacing, spacing, spacing));
             let (zone, stepper) = RiscStepper::new_zone(config, metrics);
             zones.push(zone);
             steppers.push(stepper);
             let mut b = ZoneBcs::projectile();
             if i > 0 {
-                b = b.with(Face { axis: Axis::J, high: false }, BcKind::Zonal);
+                b = b.with(
+                    Face {
+                        axis: Axis::J,
+                        high: false,
+                    },
+                    BcKind::Zonal,
+                );
             }
             if i + 1 < n {
-                b = b.with(Face { axis: Axis::J, high: true }, BcKind::Zonal);
+                b = b.with(
+                    Face {
+                        axis: Axis::J,
+                        high: true,
+                    },
+                    BcKind::Zonal,
+                );
             }
             bcs.push(b);
         }
@@ -52,7 +68,14 @@ impl MultiZoneSolver {
             zones,
             steppers,
             bcs,
+            names,
         }
+    }
+
+    /// Zone names, as given by the grid description.
+    #[must_use]
+    pub fn zone_names(&self) -> &[String] {
+        &self.names
     }
 
     /// Number of zones.
@@ -92,14 +115,18 @@ impl MultiZoneSolver {
     /// One time step, pure loop-level parallelism: zones stepped one
     /// after another, all workers inside each zone's loops.
     pub fn step_loop_level(&mut self, workers: &Workers, profiler: Option<&LoopProfiler>) {
+        let rec = workers.recorder().clone();
+        let _step = rec.span("step", SpanKind::Step);
         for (i, (zone, stepper)) in self
             .zones
             .iter_mut()
             .zip(self.steppers.iter_mut())
             .enumerate()
         {
+            let _zone = rec.span(&self.names[i], SpanKind::Zone);
             stepper.step(zone, &self.bcs[i], workers, profiler);
         }
+        let _inject = rec.span("inject", SpanKind::Kernel);
         self.inject_all();
     }
 
@@ -109,11 +136,7 @@ impl MultiZoneSolver {
     /// # Panics
     /// Panics if the team count differs from the zone count.
     pub fn step_mlp(&mut self, teams: &Teams) {
-        assert_eq!(
-            teams.len(),
-            self.zones.len(),
-            "MLP needs one team per zone"
-        );
+        assert_eq!(teams.len(), self.zones.len(), "MLP needs one team per zone");
         let bcs = &self.bcs;
         let mut work: Vec<(&mut ZoneSolver, &mut RiscStepper)> = self
             .zones
@@ -231,6 +254,52 @@ mod tests {
         // With outflow/wall BCs the steady state need not be exactly
         // freestream; stability means the deviation stays bounded.
         assert!(s.freestream_deviation() < 5.0 * initial);
+    }
+
+    #[test]
+    fn recorded_step_builds_zone_hierarchy() {
+        let mut s = perturbed(SolverConfig::supersonic());
+        let workers = Workers::recorded(2);
+        s.step_loop_level(&workers, None);
+        let report = workers.recorder().take_report("multizone", 2);
+        assert_eq!(report.spans.len(), 1);
+        let step = &report.spans[0];
+        assert_eq!(step.kind, llp::SpanKind::Step);
+        // 3 zone spans + the serial inject kernel.
+        assert_eq!(step.children.len(), 4);
+        let zone_names: Vec<&str> = step.children[..3].iter().map(|z| z.name.as_str()).collect();
+        assert_eq!(
+            zone_names,
+            s.zone_names()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(step.children[3].name, "inject");
+        assert!(!step.children[3].parallelized());
+        // 6 parallel regions per zone per step.
+        assert_eq!(report.sync_events(), 18);
+        // Every zone carries the full kernel set.
+        for zone_span in &step.children[..3] {
+            assert_eq!(zone_span.kind, llp::SpanKind::Zone);
+            assert_eq!(zone_span.children.len(), 7);
+        }
+    }
+
+    #[test]
+    fn mlp_teams_record_per_zone_reports() {
+        let mut s = perturbed(SolverConfig::supersonic());
+        let mut teams = Teams::split(3, &s.zone_weights());
+        teams.record_all();
+        s.step_mlp(&teams);
+        let reports = teams.take_reports("mlp");
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.case, format!("mlp/team{i}"));
+            assert_eq!(r.sync_events(), 6);
+            // Teams see the kernel spans opened inside step().
+            assert_eq!(r.kernel_summaries().len(), 7);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::solver::{
     implicit_central_pencil, implicit_upwind_pencil, pencil_point, residual_point, PencilScratch,
     SolverConfig, ZoneSolver,
 };
+use llp::obs::SpanKind;
 use llp::{doacross_into_scratch, doacross_slabs, doacross_slabs_scratch, LoopProfiler, Workers};
 use mesh::{Arrangement, Axis, Ijk, Layout, Metrics, StateField, NCONS};
 use std::time::Instant;
@@ -49,12 +50,8 @@ impl RiscStepper {
     /// arrangement, plus its stepper.
     #[must_use]
     pub fn new_zone(config: SolverConfig, metrics: Metrics) -> (ZoneSolver, Self) {
-        let zone = ZoneSolver::freestream(
-            config,
-            metrics,
-            Layout::jkl(),
-            Arrangement::ComponentInner,
-        );
+        let zone =
+            ZoneSolver::freestream(config, metrics, Layout::jkl(), Arrangement::ComponentInner);
         let stepper = Self::for_zone(&zone);
         (zone, stepper)
     }
@@ -115,10 +112,15 @@ impl RiscStepper {
                 p.record(name, t.elapsed().as_secs_f64(), parallelism, parallel);
             }
         };
+        // Kernel spans (free when the recorder is disabled). Each phase
+        // opens one; the doacross inside attaches its region span as a
+        // child, classifying the kernel as parallelized.
+        let rec = workers.recorder();
 
         // --- Explicit residual: rhs = -dt R(Q); parallel over L. ---
         let t = Instant::now();
         {
+            let _span = rec.span("rhs", SpanKind::Kernel);
             let zone_ref: &ZoneSolver = zone;
             doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
                 for k in 0..kmax {
@@ -146,6 +148,7 @@ impl RiscStepper {
         // are skipped. ---
         let t = Instant::now();
         {
+            let _span = rec.span("j_factor", SpanKind::Kernel);
             let zone_ref: &ZoneSolver = zone;
             doacross_slabs_scratch(
                 workers,
@@ -179,6 +182,7 @@ impl RiscStepper {
         // --- K factor: pencils along K, parallel over L. ---
         let t = Instant::now();
         {
+            let _span = rec.span("k_factor", SpanKind::Kernel);
             let zone_ref: &ZoneSolver = zone;
             doacross_slabs_scratch(
                 workers,
@@ -215,6 +219,7 @@ impl RiscStepper {
         let mut solutions: Vec<Vec<[f64; NCONS]>> = Vec::new();
         solutions.resize(kmax, Vec::new());
         {
+            let _span = rec.span("l_factor_solve", SpanKind::Kernel);
             let zone_ref: &ZoneSolver = zone;
             let rhs_ref: &StateField = &self.rhs;
             doacross_into_scratch(
@@ -246,6 +251,7 @@ impl RiscStepper {
         // --- L factor, phase 2: scatter solutions; parallel over L. ---
         let t = Instant::now();
         {
+            let _span = rec.span("l_factor_scatter", SpanKind::Kernel);
             let solutions_ref: &[Vec<[f64; NCONS]>] = &solutions;
             doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
                 for k in 1..kmax - 1 {
@@ -263,6 +269,7 @@ impl RiscStepper {
         // --- Update interior points; parallel over L. ---
         let t = Instant::now();
         {
+            let _span = rec.span("update", SpanKind::Kernel);
             let rhs_ref: &StateField = &self.rhs;
             doacross_slabs(workers, zone.q.as_mut_slice(), slab, |l, slab_data| {
                 if l == 0 || l == lmax - 1 {
@@ -282,7 +289,10 @@ impl RiscStepper {
 
         // --- Boundary conditions: serial, as the paper recommends. ---
         let t = Instant::now();
-        bc::apply_all(zone, bcs);
+        {
+            let _span = rec.span("bc", SpanKind::Kernel);
+            bc::apply_all(zone, bcs);
+        }
         record("bc", 1, false, t);
     }
 }
@@ -354,7 +364,8 @@ mod tests {
         let config = SolverConfig::subsonic();
         let bcs = ZoneBcs::projectile();
 
-        let (mut vz, mut vstep) = crate::vector_impl::VectorStepper::new_zone(config, metrics.clone());
+        let (mut vz, mut vstep) =
+            crate::vector_impl::VectorStepper::new_zone(config, metrics.clone());
         let (mut rz, mut rstep) = RiscStepper::new_zone(config, metrics);
         // identical perturbed initial condition
         for p in d.iter_jkl() {
@@ -404,7 +415,12 @@ mod tests {
         let (mut zone, mut stepper) = small_case();
         let workers = Workers::new(2);
         let profiler = LoopProfiler::new();
-        stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, Some(&profiler));
+        stepper.step(
+            &mut zone,
+            &ZoneBcs::all_freestream(),
+            &workers,
+            Some(&profiler),
+        );
         let report = profiler.report();
         let names: Vec<&str> = report.iter().map(|r| r.name.as_str()).collect();
         for expect in [
@@ -434,6 +450,39 @@ mod tests {
         stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, None);
         // rhs, j, k, l-solve, l-scatter, update: 6 parallel regions.
         assert_eq!(workers.sync_event_count(), 6);
+    }
+
+    #[test]
+    fn recorded_step_emits_kernel_spans() {
+        let (mut zone, mut stepper) = small_case();
+        let workers = Workers::recorded(2);
+        stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, None);
+        let report = workers.recorder().take_report("risc-step", 2);
+        assert_eq!(report.sync_events(), 6);
+        let kernels = report.kernel_summaries();
+        let names: Vec<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+        // Summaries are sorted by name.
+        assert_eq!(
+            names,
+            [
+                "bc",
+                "j_factor",
+                "k_factor",
+                "l_factor_scatter",
+                "l_factor_solve",
+                "rhs",
+                "update"
+            ]
+        );
+        let bc = kernels.iter().find(|k| k.name == "bc").unwrap();
+        assert!(!bc.parallelized);
+        assert_eq!(bc.sync_events, 0);
+        let rhs = kernels.iter().find(|k| k.name == "rhs").unwrap();
+        assert!(rhs.parallelized);
+        assert_eq!(rhs.parallelism, 6); // L extent
+        assert_eq!(rhs.sync_events, 1);
+        let solve = kernels.iter().find(|k| k.name == "l_factor_solve").unwrap();
+        assert_eq!(solve.parallelism, 7); // K extent
     }
 
     #[test]

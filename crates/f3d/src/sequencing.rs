@@ -19,7 +19,9 @@ use mesh::{Dims, Ijk, StateField, NCONS};
 /// at least 3).
 #[must_use]
 pub fn can_coarsen(d: Dims) -> bool {
-    [d.j, d.k, d.l].iter().all(|&n| n >= 3 && !n.is_multiple_of(2))
+    [d.j, d.k, d.l]
+        .iter()
+        .all(|&n| n >= 3 && !n.is_multiple_of(2))
 }
 
 /// The coarsened dimensions: `ceil(n / 2)` per direction.
@@ -110,11 +112,11 @@ pub fn seed_from_coarse(fine: &mut ZoneSolver, coarse: &ZoneSolver) {
 mod tests {
     use super::*;
     use crate::bc::ZoneBcs;
-    use mesh::{Arrangement, Layout};
     use crate::risc_impl::RiscStepper;
     use crate::solver::SolverConfig;
     use llp::Workers;
     use mesh::Metrics;
+    use mesh::{Arrangement, Layout};
 
     #[test]
     fn coarsen_dims_rules() {

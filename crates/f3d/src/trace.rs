@@ -17,8 +17,9 @@
 use crate::costmodel::{kernel_cost_on, ImplKind, Kernel};
 use cachesim::patterns::page_sharing;
 use cachesim::presets::MachineMemory;
+use llp::{ObsReport, SpanKind, SpanNode};
 use mesh::{Axis, Dims, Layout, MultiZoneGrid};
-use smpsim::{ParallelLoop, SerialWork, WorkloadTrace};
+use smpsim::{ExecReport, ParallelLoop, SerialWork, WorkloadTrace};
 
 /// Reference worker count at which page-sharing fractions are measured
 /// (the fraction is nearly flat in the worker count for the patterns at
@@ -136,6 +137,80 @@ pub fn injection_trace(grid: &MultiZoneGrid, mem: &MachineMemory) -> WorkloadTra
         });
     }
     t
+}
+
+/// Translate a trace-phase kernel name to the name the instrumented
+/// [`crate::risc_impl::RiscStepper`] reports for the same kernel, so
+/// modeled and measured reports share one vocabulary. A `[face…]`
+/// suffix from the parallel-BC ablation is preserved.
+#[must_use]
+pub fn model_kernel_name(phase_kernel: &str) -> String {
+    let (base, rest) = match phase_kernel.find('[') {
+        Some(i) => phase_kernel.split_at(i),
+        None => (phase_kernel, ""),
+    };
+    let mapped = match base {
+        "Rhs" => "rhs",
+        "JFactor" => "j_factor",
+        "KFactor" => "k_factor",
+        "LFactor" => "l_factor",
+        "Update" => "update",
+        "Bc" => "bc",
+        "Inject" => "inject",
+        other => other,
+    };
+    format!("{mapped}{rest}")
+}
+
+/// Turn a machine-model execution of a step trace into an
+/// [`ObsReport`] with the *same span hierarchy and kernel names* as a
+/// recorded run of the real solver: the flat phase list from
+/// [`ExecReport::to_obs_report`] is regrouped into per-zone
+/// [`SpanKind::Zone`] spans (trace phases are named `"<zone>:<Kernel>"`)
+/// with the serial injection phases as trailing `inject` kernels, and
+/// kernel names are mapped via [`model_kernel_name`].
+///
+/// The report's `source` stays `"modeled"`; everything else — schema,
+/// hierarchy, kernel vocabulary — matches the measured reports, which
+/// is what lets one consumer compare the two.
+///
+/// # Panics
+/// Panics if `exec` carries no phases (an empty trace).
+#[must_use]
+pub fn modeled_obs_report(exec: &ExecReport, case: &str) -> ObsReport {
+    let mut flat = exec.to_obs_report(case);
+    let old_step = flat.spans.pop().expect("to_obs_report emits a step span");
+    let mut step = SpanNode::new("step", SpanKind::Step);
+    step.seconds = old_step.seconds;
+    let mut zones: Vec<SpanNode> = Vec::new();
+    let mut tail: Vec<SpanNode> = Vec::new();
+    for mut kernel in old_step.children {
+        match kernel.name.split_once(':') {
+            Some(("inject", _)) => {
+                // "inject:0->1" — a zonal-injection phase.
+                kernel.name = "inject".to_string();
+                tail.push(kernel);
+            }
+            Some((zone_name, kernel_name)) => {
+                let zone_name = zone_name.to_string();
+                kernel.name = model_kernel_name(kernel_name);
+                let zone = match zones.iter_mut().find(|z| z.name == zone_name) {
+                    Some(z) => z,
+                    None => {
+                        zones.push(SpanNode::new(&zone_name, SpanKind::Zone));
+                        zones.last_mut().expect("just pushed")
+                    }
+                };
+                zone.seconds += kernel.seconds;
+                zone.children.push(kernel);
+            }
+            None => tail.push(kernel),
+        }
+    }
+    step.children = zones;
+    step.children.append(&mut tail);
+    flat.spans = vec![step];
+    flat
 }
 
 /// Build the one-time-step trace of the **vector** implementation:
@@ -285,8 +360,7 @@ mod tests {
     fn flops_scale_with_grid_points() {
         let mem = presets::origin2000_r12k();
         let small = risc_step_trace(&MultiZoneGrid::paper_one_million(), &mem).total_flops();
-        let large =
-            risc_step_trace(&MultiZoneGrid::paper_fifty_nine_million(), &mem).total_flops();
+        let large = risc_step_trace(&MultiZoneGrid::paper_fifty_nine_million(), &mem).total_flops();
         let ratio = large as f64 / small as f64;
         let pts_ratio = 59_377_500.0 / 1_002_750.0;
         assert!((ratio / pts_ratio - 1.0).abs() < 0.02, "ratio {ratio}");
@@ -310,7 +384,10 @@ mod tests {
 
     #[test]
     fn sharing_fractions_are_low_for_slab_parallel_kernels() {
-        let t = risc_step_trace(&MultiZoneGrid::paper_one_million(), &presets::origin2000_r12k());
+        let t = risc_step_trace(
+            &MultiZoneGrid::paper_one_million(),
+            &presets::origin2000_r12k(),
+        );
         for p in &t.phases {
             if let smpsim::Phase::Parallel(pl) = p {
                 if pl.name.ends_with(":Rhs") || pl.name.ends_with(":JFactor") {
@@ -335,6 +412,46 @@ mod tests {
         assert!(abl.serial_work_fraction() < base.serial_work_fraction());
         let (bf, af) = (base.total_flops() as f64, abl.total_flops() as f64);
         assert!((af / bf - 1.0).abs() < 1e-6, "{bf} vs {af}");
+    }
+
+    #[test]
+    fn modeled_report_mirrors_measured_hierarchy() {
+        let mem = presets::origin2000_r12k();
+        let grid = small_grid();
+        let trace = risc_step_trace(&grid, &mem);
+        let machine = smpsim::presets::origin2000_r12k_128().executor();
+        let exec = machine.execute(&trace, 8);
+        let report = modeled_obs_report(&exec, "small/modeled");
+        assert_eq!(report.source, "modeled");
+        assert_eq!(report.workers, 8);
+        // Same hierarchy as a recorded run: step → 3 zones + injections.
+        assert_eq!(report.spans.len(), 1);
+        let step = &report.spans[0];
+        assert_eq!(step.kind, llp::SpanKind::Step);
+        assert_eq!(step.children.len(), 3 + 2);
+        for zone in &step.children[..3] {
+            assert_eq!(zone.kind, llp::SpanKind::Zone);
+            let mut names: Vec<&str> = zone.children.iter().map(|k| k.name.as_str()).collect();
+            names.sort_unstable();
+            assert_eq!(
+                names,
+                ["bc", "j_factor", "k_factor", "l_factor", "rhs", "update"]
+            );
+        }
+        assert_eq!(step.children[3].name, "inject");
+        assert!(!step.children[3].parallelized());
+        // One sync event per parallel region, as in the trace.
+        assert_eq!(report.sync_events(), trace.sync_events());
+        // Modeled seconds survive the regrouping.
+        assert!((report.total_seconds() - exec.seconds).abs() < 1e-12);
+        // Measured-name alignment: summaries use the solver vocabulary.
+        let kernels = report.kernel_summaries();
+        let rhs = kernels.iter().find(|k| k.name == "rhs").unwrap();
+        assert!(rhs.parallelized);
+        assert_eq!(rhs.invocations, 3);
+        // Round-trips through the JSON schema.
+        let back = llp::ObsReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

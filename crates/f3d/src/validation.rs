@@ -109,8 +109,7 @@ impl ResidualHistory {
         }
         let quarter = n / 4;
         let head: f64 = self.values[..quarter].iter().sum::<f64>() / quarter as f64;
-        let tail: f64 =
-            self.values[n - quarter..].iter().sum::<f64>() / quarter as f64;
+        let tail: f64 = self.values[n - quarter..].iter().sum::<f64>() / quarter as f64;
         tail < factor * head
     }
 
@@ -229,9 +228,8 @@ mod tests {
         // identically — the property that makes it a valid cross-
         // implementation diff.
         let (a, _) = zone_pair();
-        let rearranged = a
-            .q
-            .rearrange(mesh::Arrangement::ComponentOuter, mesh::Layout::kjl());
+        let rearranged =
+            a.q.rearrange(mesh::Arrangement::ComponentOuter, mesh::Layout::kjl());
         assert_eq!(
             FieldChecksum::of(&a.q).max_diff(&FieldChecksum::of(&rearranged)),
             0.0

@@ -41,12 +41,8 @@ impl VectorStepper {
     /// arrangement, plus its stepper.
     #[must_use]
     pub fn new_zone(config: SolverConfig, metrics: Metrics) -> (ZoneSolver, Self) {
-        let zone = ZoneSolver::freestream(
-            config,
-            metrics,
-            Layout::jkl(),
-            Arrangement::ComponentOuter,
-        );
+        let zone =
+            ZoneSolver::freestream(config, metrics, Layout::jkl(), Arrangement::ComponentOuter);
         let stepper = Self::for_zone(&zone);
         (zone, stepper)
     }
@@ -265,10 +261,8 @@ mod tests {
         let (zone, stepper) = small_case();
         // plane scratch must scale with the largest plane dimension,
         // i.e. be much larger than a single pencil's scratch.
-        let one_pencil = PencilScratch::new(
-            zone.dims().j.max(zone.dims().k).max(zone.dims().l),
-        )
-        .bytes();
+        let one_pencil =
+            PencilScratch::new(zone.dims().j.max(zone.dims().k).max(zone.dims().l)).bytes();
         assert!(stepper.scratch_bytes() >= 6 * one_pencil);
     }
 

@@ -9,11 +9,11 @@ use proptest::prelude::*;
 /// A physically valid primitive state.
 fn primitive() -> impl Strategy<Value = Primitive> {
     (
-        0.2f64..5.0,   // rho
-        -2.0f64..2.0,  // u
-        -2.0f64..2.0,  // v
-        -2.0f64..2.0,  // w
-        0.1f64..5.0,   // p
+        0.2f64..5.0,  // rho
+        -2.0f64..2.0, // u
+        -2.0f64..2.0, // v
+        -2.0f64..2.0, // w
+        0.1f64..5.0,  // p
     )
         .prop_map(|(rho, u, v, w, p)| Primitive { rho, u, v, w, p })
 }

@@ -130,8 +130,8 @@ impl Advisor {
             match decision {
                 LoopDecision::Parallelize { .. } => {
                     let stair = ideal_speedup(r.stats.parallelism, self.processors);
-                    predicted_time += r.stats.total_seconds / stair
-                        + sync_s * r.stats.invocations as f64;
+                    predicted_time +=
+                        r.stats.total_seconds / stair + sync_s * r.stats.invocations as f64;
                 }
                 _ => {
                     serial_time += r.stats.total_seconds;
@@ -146,7 +146,11 @@ impl Advisor {
         }
         Advice {
             loops,
-            serial_fraction: if total > 0.0 { serial_time / total } else { 0.0 },
+            serial_fraction: if total > 0.0 {
+                serial_time / total
+            } else {
+                0.0
+            },
             predicted_speedup: if predicted_time > 0.0 && total > 0.0 {
                 total / predicted_time
             } else {
@@ -246,7 +250,11 @@ mod tests {
         assert!((advice.serial_fraction - 0.1).abs() < 1e-9);
         // Predicted: 90/32 + tiny sync + 10 serial ~ 12.8 s of 100 s.
         assert!(advice.predicted_speedup > 7.0);
-        assert!(advice.predicted_speedup < 8.0, "{}", advice.predicted_speedup);
+        assert!(
+            advice.predicted_speedup < 8.0,
+            "{}",
+            advice.predicted_speedup
+        );
     }
 
     #[test]

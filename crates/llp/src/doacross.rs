@@ -8,9 +8,45 @@
 //! scheduled with the static block rule of [`crate::schedule`] so that
 //! the measured behaviour matches the paper's stair-step analysis, and
 //! each call records exactly one synchronization event on the pool.
+//!
+//! When the team's [`crate::obs::Recorder`] is enabled, every entry
+//! point additionally times each chunk and annotates the recorded
+//! region span with the loop extent and chunk max/mean seconds — the
+//! measured counterpart of the stair-step imbalance. With the recorder
+//! disabled (the default) none of that machinery exists: no timing
+//! vector is allocated and no clock is read.
 
 use crate::pool::Workers;
 use crate::schedule::chunk_bounds;
+use std::time::Instant;
+
+/// Per-chunk timing slots: one per chunk when recording, none otherwise.
+fn chunk_time_slots(workers: &Workers, chunks: usize) -> Vec<f64> {
+    if workers.recorder().is_enabled() {
+        vec![0.0; chunks]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Run `f`, storing its wall time into `slot` when one is provided.
+fn timed(slot: Option<&mut f64>, f: impl FnOnce()) {
+    match slot {
+        None => f(),
+        Some(slot) => {
+            let start = Instant::now();
+            f();
+            *slot = start.elapsed().as_secs_f64();
+        }
+    }
+}
+
+/// Attach loop extent and chunk timings to the region just recorded.
+fn annotate_chunks(workers: &Workers, n: usize, times: &[f64]) {
+    if !times.is_empty() {
+        workers.recorder().annotate_last_region(n as u64, times);
+    }
+}
 
 /// Execute `body(i)` for every `i` in `0..n` as one parallel region
 /// with static chunked scheduling.
@@ -36,16 +72,22 @@ pub fn doacross(workers: &Workers, n: usize, body: impl Fn(usize) + Sync) {
         return;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     workers.region(|scope| {
         let body = &body;
+        let mut slots = times.iter_mut();
         for chunk in chunks {
-            scope.spawn(move |_| {
-                for i in chunk {
-                    body(i);
-                }
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    for i in chunk {
+                        body(i);
+                    }
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
 }
 
 /// Execute `body(i)` for every `i` in `0..out.len()`, storing the result
@@ -55,18 +97,16 @@ pub fn doacross(workers: &Workers, n: usize, body: impl Fn(usize) + Sync) {
 /// worker writes a disjoint contiguous range — the shared-memory
 /// analogue of `C$doacross` writing an array indexed by the parallel
 /// loop variable.
-pub fn doacross_into<T: Send>(
-    workers: &Workers,
-    out: &mut [T],
-    body: impl Fn(usize) -> T + Sync,
-) {
+pub fn doacross_into<T: Send>(workers: &Workers, out: &mut [T], body: impl Fn(usize) -> T + Sync) {
     let n = out.len();
     if n == 0 {
         return;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     workers.region(|scope| {
         let body = &body;
+        let mut slots = times.iter_mut();
         let mut rest = out;
         let mut consumed = 0;
         for chunk in chunks {
@@ -75,13 +115,17 @@ pub fn doacross_into<T: Send>(
             let start = consumed;
             consumed += chunk.len();
             debug_assert_eq!(start, chunk.start);
-            scope.spawn(move |_| {
-                for (off, slot) in mine.iter_mut().enumerate() {
-                    *slot = body(start + off);
-                }
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    for (off, out_slot) in mine.iter_mut().enumerate() {
+                        *out_slot = body(start + off);
+                    }
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
 }
 
 /// Execute `body(s, slab)` for every length-`slab_len` slab of `data`,
@@ -112,20 +156,26 @@ pub fn doacross_slabs<T: Send + Sync>(
         return;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     workers.region(|scope| {
         let body = &body;
+        let mut slots = times.iter_mut();
         let mut rest = data;
         for chunk in chunks {
             let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
             rest = tail;
             let first_slab = chunk.start;
-            scope.spawn(move |_| {
-                for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
-                    body(first_slab + s, slab);
-                }
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
+                        body(first_slab + s, slab);
+                    }
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
 }
 
 /// A doacross with a reduction: `map(i)` is evaluated for every `i` in
@@ -158,21 +208,27 @@ pub fn doacross_reduce<T: Send + Clone>(
         return identity;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     let mut partials: Vec<Option<T>> = vec![None; chunks.len()];
     let seeds: Vec<T> = (0..chunks.len()).map(|_| identity.clone()).collect();
     workers.region(|scope| {
         let map = &map;
         let combine = &combine;
-        for ((chunk, slot), seed) in chunks.into_iter().zip(partials.iter_mut()).zip(seeds) {
-            scope.spawn(move |_| {
-                let mut acc = seed;
-                for i in chunk {
-                    acc = combine(acc, map(i));
-                }
-                *slot = Some(acc);
+        let mut slots = times.iter_mut();
+        for ((chunk, part), seed) in chunks.into_iter().zip(partials.iter_mut()).zip(seeds) {
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    let mut acc = seed;
+                    for i in chunk {
+                        acc = combine(acc, map(i));
+                    }
+                    *part = Some(acc);
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
     partials
         .into_iter()
         .map(|p| p.expect("every chunk ran"))
@@ -203,22 +259,28 @@ pub fn doacross_slabs_scratch<T: Send + Sync, S: Send>(
         return;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     workers.region(|scope| {
         let body = &body;
         let make_scratch = &make_scratch;
+        let mut slots = times.iter_mut();
         let mut rest = data;
         for chunk in chunks {
             let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
             rest = tail;
             let first_slab = chunk.start;
-            scope.spawn(move |_| {
-                let mut scratch = make_scratch();
-                for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
-                    body(first_slab + s, slab, &mut scratch);
-                }
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    let mut scratch = make_scratch();
+                    for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
+                        body(first_slab + s, slab, &mut scratch);
+                    }
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
 }
 
 /// [`doacross_into`] with per-worker scratch.
@@ -233,27 +295,34 @@ pub fn doacross_into_scratch<T: Send, S: Send>(
         return;
     }
     let chunks = chunk_bounds(n, workers.processors());
+    let mut times = chunk_time_slots(workers, chunks.len());
     workers.region(|scope| {
         let body = &body;
         let make_scratch = &make_scratch;
+        let mut slots = times.iter_mut();
         let mut rest = out;
         for chunk in chunks {
             let (mine, tail) = rest.split_at_mut(chunk.len());
             rest = tail;
             let start = chunk.start;
-            scope.spawn(move |_| {
-                let mut scratch = make_scratch();
-                for (off, slot) in mine.iter_mut().enumerate() {
-                    *slot = body(start + off, &mut scratch);
-                }
+            let slot = slots.next();
+            scope.spawn(move || {
+                timed(slot, || {
+                    let mut scratch = make_scratch();
+                    for (off, out_slot) in mine.iter_mut().enumerate() {
+                        *out_slot = body(start + off, &mut scratch);
+                    }
+                });
             });
         }
     });
+    annotate_chunks(workers, n, &times);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::SpanKind;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -409,6 +478,34 @@ mod tests {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i * 3);
         }
+    }
+
+    #[test]
+    fn recorded_doacross_captures_chunk_stats() {
+        let w = Workers::recorded(4);
+        doacross(&w, 103, |i| {
+            std::hint::black_box((i as f64).sqrt());
+        });
+        let report = w.recorder().take_report("doacross", 4);
+        assert_eq!(report.spans.len(), 1);
+        let region = &report.spans[0];
+        assert_eq!(region.kind, SpanKind::Region);
+        assert_eq!(region.iterations, 103);
+        assert_eq!(region.chunk_count, 4);
+        assert!(region.chunk_max_seconds >= region.chunk_mean_seconds);
+        assert_eq!(report.sync_events(), 1);
+    }
+
+    #[test]
+    fn recorded_reduce_and_slabs_annotate_extent() {
+        let w = Workers::recorded(3);
+        let _ = doacross_reduce(&w, 30, 0u64, |i| i as u64, |a, b| a + b);
+        let mut data = vec![0u8; 5 * 4];
+        doacross_slabs(&w, &mut data, 4, |_, _| {});
+        let report = w.recorder().take_report("mixed", 3);
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].iterations, 30);
+        assert_eq!(report.spans[1].iterations, 5); // slab count, not bytes
     }
 
     #[test]

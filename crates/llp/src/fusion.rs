@@ -187,7 +187,9 @@ mod tests {
     fn empty_region_is_noop() {
         let w = Workers::new(2);
         FusedRegion::over(10).run(&w);
-        FusedRegion::over(0).then(|_| panic!("must not run")).run(&w);
+        FusedRegion::over(0)
+            .then(|_| panic!("must not run"))
+            .run(&w);
         assert_eq!(w.sync_event_count(), 0);
     }
 

@@ -4,8 +4,8 @@
 //! ARL-TR-2556 parallelizes vectorizable programs by applying
 //! `C$doacross`/OpenMP-style directives to *outer* loops of RISC-tuned
 //! code on shared-memory SMPs. This crate provides the same mechanism
-//! over [rayon], preserving the semantics the paper's analysis depends
-//! on:
+//! over scoped [`std::thread`] teams, preserving the semantics the
+//! paper's analysis depends on:
 //!
 //! * **Static chunked scheduling** ([`schedule`]): iterations are
 //!   divided into at most `P` contiguous chunks with the largest chunk
@@ -28,6 +28,9 @@
 //!   parallelization advisor** ([`advisor`]): profile first, then
 //!   parallelize only the loops whose work justifies the synchronization
 //!   cost — the paper's alternative to all-or-nothing MPI/HPF porting.
+//! * **Observability** ([`obs`]): hierarchical span tracing (time step →
+//!   zone → kernel → parallel region) with sync-event counts and chunk
+//!   imbalance, exported as versioned JSON, free when disabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@
 pub mod advisor;
 pub mod doacross;
 pub mod fusion;
+pub mod obs;
 pub mod pencil;
 pub mod pool;
 pub mod profile;
@@ -47,6 +51,7 @@ pub use doacross::{
     doacross_slabs_scratch,
 };
 pub use fusion::FusedRegion;
+pub use obs::{KernelSummary, ObsReport, Recorder, SpanKind, SpanNode};
 pub use pencil::with_pencil_scratch;
 pub use pool::Workers;
 pub use profile::{LoopProfiler, LoopReport};

@@ -1,0 +1,26 @@
+//! Observability: hierarchical span tracing and metrics export.
+//!
+//! The paper's methodology lives on measurement — profile the loops,
+//! count the synchronization events, watch the stair-step. This module
+//! gives the whole suite one instrument for that: a [`Recorder`] whose
+//! spans nest time step → zone → kernel → parallel region, capturing
+//! wall time, sync-event counts, worker counts, loop extents, and chunk
+//! imbalance, exported as versioned JSON ([`ObsReport`]).
+//!
+//! Two properties shape the design:
+//!
+//! * **Disabled is free.** A disabled recorder is a `None`; every
+//!   recording call is a single branch with no allocation, lock, or
+//!   clock read, so instrumentation can stay permanently wired into the
+//!   solver hot paths.
+//! * **One schema, two sources.** Measured runs (a real
+//!   [`crate::pool::Workers`] stepping a solver) and modeled runs (a
+//!   trace on a simulated machine) emit the same [`ObsReport`] shape,
+//!   so model drift can be diffed kernel-by-kernel.
+
+pub mod json;
+mod recorder;
+mod report;
+
+pub use recorder::{Recorder, SpanGuard};
+pub use report::{KernelSummary, ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};

@@ -1,0 +1,273 @@
+//! The span recorder: hierarchical wall-clock tracing with a strict
+//! zero-cost disabled path.
+//!
+//! A [`Recorder`] is either *disabled* — the default, holding no
+//! allocation at all — or *enabled*, holding a shared span-stack. Every
+//! entry point checks the one `Option` first, so instrumented hot loops
+//! (the `RiscStepper` kernels) pay a single branch and **no
+//! allocation, no lock, no clock read** when observation is off; the
+//! integration test `obs_overhead.rs` asserts this with a counting
+//! allocator.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::obs::report::{ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};
+
+/// A handle for recording a tree of execution spans.
+///
+/// Clones share the same underlying span store, so one recorder can be
+/// threaded through a solver, its worker pool, and its profiler. The
+/// coordinator thread opens and closes spans; parallel workers never
+/// touch the recorder (chunk timings are gathered by the doacross entry
+/// points and attached after the region's barrier), so the interior
+/// mutex is uncontended by construction.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Completed top-level spans, in completion order.
+    roots: Vec<SpanNode>,
+    /// Open spans, innermost last, with their start instants.
+    open: Vec<(SpanNode, Instant)>,
+}
+
+impl State {
+    /// Attach a finished node under the innermost open span, or as a
+    /// new root if none is open.
+    fn attach(&mut self, node: SpanNode) {
+        match self.open.last_mut() {
+            Some((parent, _)) => parent.children.push(node),
+            None => self.roots.push(node),
+        }
+    }
+
+    /// The most recently attached node at the current depth.
+    fn last_attached(&mut self) -> Option<&mut SpanNode> {
+        match self.open.last_mut() {
+            Some((parent, _)) => parent.children.last_mut(),
+            None => self.roots.last_mut(),
+        }
+    }
+}
+
+impl Recorder {
+    /// The disabled recorder: records nothing, allocates nothing.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A fresh enabled recorder with an empty span store.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span; it closes (and its wall time is captured) when the
+    /// returned guard drops. Spans nest by open/close order, so the
+    /// guard must be bound to a variable (`let _span = …`), not
+    /// discarded with `_`.
+    #[must_use]
+    pub fn span(&self, name: &str, kind: SpanKind) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard { store: None },
+            Some(store) => {
+                let node = SpanNode::new(name, kind);
+                store
+                    .lock()
+                    .expect("recorder lock")
+                    .open
+                    .push((node, Instant::now()));
+                SpanGuard { store: Some(store) }
+            }
+        }
+    }
+
+    /// Record a completed parallel region of `seconds` wall time run by
+    /// `workers` workers, attached at the current span depth with one
+    /// sync event. Called by [`crate::pool::Workers::region`]; public
+    /// so custom runtimes (and the overhead tests) can drive the same
+    /// path.
+    pub fn attach_region(&self, workers: usize, seconds: f64) {
+        let Some(store) = &self.inner else { return };
+        let mut node = SpanNode::new("region", SpanKind::Region);
+        node.workers = workers;
+        node.seconds = seconds;
+        node.sync_events = 1;
+        store.lock().expect("recorder lock").attach(node);
+    }
+
+    /// Annotate the most recently attached region span with its loop
+    /// extent and per-chunk wall times. Called by the doacross entry
+    /// points right after their region completes.
+    pub fn annotate_last_region(&self, iterations: u64, chunk_seconds: &[f64]) {
+        let Some(store) = &self.inner else { return };
+        let mut state = store.lock().expect("recorder lock");
+        let Some(node) = state.last_attached() else {
+            return;
+        };
+        if node.kind != SpanKind::Region {
+            return;
+        }
+        node.iterations = iterations;
+        node.chunk_count = chunk_seconds.len();
+        node.chunk_max_seconds = chunk_seconds.iter().copied().fold(0.0, f64::max);
+        #[allow(clippy::cast_precision_loss)]
+        if !chunk_seconds.is_empty() {
+            node.chunk_mean_seconds =
+                chunk_seconds.iter().sum::<f64>() / chunk_seconds.len() as f64;
+        }
+    }
+
+    /// Drain the recorded spans into a report stamped with the current
+    /// schema version. The recorder stays enabled and empty afterwards;
+    /// a disabled recorder yields an empty report.
+    ///
+    /// # Panics
+    /// Panics if called while a span guard is still open — that would
+    /// silently drop the open spans' subtrees.
+    #[must_use]
+    pub fn take_report(&self, case: &str, workers: usize) -> ObsReport {
+        let spans = match &self.inner {
+            None => Vec::new(),
+            Some(store) => {
+                // Release the lock before asserting: a panic while the
+                // mutex is held would poison it and make the still-open
+                // guard's drop panic during unwind (an abort).
+                let (open, roots) = {
+                    let mut state = store.lock().expect("recorder lock");
+                    (state.open.len(), std::mem::take(&mut state.roots))
+                };
+                assert!(
+                    open == 0,
+                    "take_report called with {open} span(s) still open"
+                );
+                roots
+            }
+        };
+        ObsReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            source: "measured".to_string(),
+            case: case.to_string(),
+            workers,
+            spans,
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; closing happens on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    store: Option<&'a Arc<Mutex<State>>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(store) = self.store else { return };
+        // Never panic in a destructor: tolerate a poisoned lock (some
+        // other panic is already unwinding) and an already-drained stack.
+        let mut state = store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((mut node, start)) = state.open.pop() {
+            node.seconds = start.elapsed().as_secs_f64();
+            state.attach(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_yields_empty_report() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span("rhs", SpanKind::Kernel);
+            rec.attach_region(4, 0.1);
+        }
+        let report = rec.take_report("case", 4);
+        assert!(report.spans.is_empty());
+        assert_eq!(report.sync_events(), 0);
+    }
+
+    #[test]
+    fn spans_nest_by_guard_scope() {
+        let rec = Recorder::enabled();
+        {
+            let _step = rec.span("step", SpanKind::Step);
+            {
+                let _zone = rec.span("zone1", SpanKind::Zone);
+                let _kernel = rec.span("rhs", SpanKind::Kernel);
+                rec.attach_region(2, 0.01);
+            }
+            {
+                let _zone = rec.span("zone2", SpanKind::Zone);
+            }
+        }
+        let report = rec.take_report("nest", 2);
+        assert_eq!(report.spans.len(), 1);
+        let step = &report.spans[0];
+        assert_eq!(step.name, "step");
+        assert_eq!(step.children.len(), 2);
+        // Guards drop in reverse declaration order: _kernel before _zone.
+        let zone1 = &step.children[0];
+        assert_eq!(zone1.name, "zone1");
+        assert_eq!(zone1.children[0].name, "rhs");
+        assert_eq!(zone1.children[0].children[0].kind, SpanKind::Region);
+        assert_eq!(report.sync_events(), 1);
+    }
+
+    #[test]
+    fn annotate_fills_chunk_stats() {
+        let rec = Recorder::enabled();
+        rec.attach_region(3, 0.3);
+        rec.annotate_last_region(90, &[0.1, 0.1, 0.2]);
+        let report = rec.take_report("chunks", 3);
+        let region = &report.spans[0];
+        assert_eq!(region.iterations, 90);
+        assert_eq!(region.chunk_count, 3);
+        assert!((region.chunk_max_seconds - 0.2).abs() < 1e-12);
+        assert!((region.chunk_mean_seconds - 0.4 / 3.0).abs() < 1e-12);
+        assert!((region.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_report_drains() {
+        let rec = Recorder::enabled();
+        rec.attach_region(1, 0.0);
+        assert_eq!(rec.take_report("a", 1).spans.len(), 1);
+        assert!(rec.take_report("a", 1).spans.is_empty());
+        assert!(rec.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.attach_region(2, 0.0);
+        assert_eq!(rec.take_report("shared", 2).spans.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn report_with_open_span_panics() {
+        let rec = Recorder::enabled();
+        let _open = rec.span("step", SpanKind::Step);
+        let _ = rec.take_report("bad", 1);
+    }
+}

@@ -37,7 +37,7 @@ pub fn with_pencil_scratch<S: Send>(
         let body = &body;
         let make_scratch = &make_scratch;
         for chunk in chunks {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut scratch = make_scratch();
                 for i in chunk {
                     body(i, &mut scratch);

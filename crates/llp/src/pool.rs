@@ -1,22 +1,63 @@
-//! The worker pool: a configured rayon thread pool plus the
+//! The worker pool: scoped worker threads plus the
 //! synchronization-event accounting the paper's cost model budgets for.
+//!
+//! Built directly on [`std::thread::scope`] — the environment has no
+//! external thread-pool crates — so a parallel region spawns its worker
+//! threads at entry and joins them at the barrier. That join *is* the
+//! synchronization event the paper's model charges for: each exit from
+//! a parallel region increments the counter by one, mirroring "the main
+//! cost of parallelization is … the synchronization cost associated
+//! with exiting a parallel section of code".
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::time::Instant;
+
+use crate::obs::Recorder;
+
+/// A boxed task queued on a [`RegionScope`].
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// The spawning interface handed to a region body: tasks queued here
+/// all complete before [`Workers::region`] returns.
+///
+/// Tasks are collected first and launched together when the body
+/// finishes, one OS thread per task except the last, which runs on the
+/// calling thread — so a single-chunk (serial) region spawns no thread
+/// at all.
+pub struct RegionScope<'env> {
+    tasks: RefCell<Vec<Task<'env>>>,
+}
+
+impl std::fmt::Debug for RegionScope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionScope")
+            .field("queued", &self.tasks.borrow().len())
+            .finish()
+    }
+}
+
+impl<'env> RegionScope<'env> {
+    /// Queue one task for the region.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.tasks.borrow_mut().push(Box::new(task));
+    }
+}
 
 /// A shared-memory worker team of `P` "processors".
 ///
-/// Wraps a dedicated rayon [`ThreadPool`](rayon::ThreadPool) (not the
-/// global pool, so the processor count is an explicit experimental
-/// parameter) and counts **synchronization events**: each exit from a
-/// parallel region increments the counter by one, mirroring the paper's
-/// "the main cost of parallelization is … the synchronization cost
-/// associated with exiting a parallel section of code".
+/// The processor count is an explicit experimental parameter (it bounds
+/// how many chunks the schedulers cut), and the team counts
+/// **synchronization events** — one per parallel-region exit. When
+/// built with [`Workers::recorded`] (or given a recorder via
+/// [`Workers::set_recorder`]), every region additionally records an
+/// observability span; by default the recorder is disabled and costs
+/// one branch per region.
 pub struct Workers {
-    pool: rayon::ThreadPool,
     processors: usize,
-    sync_events: Arc<AtomicU64>,
-    regions: Arc<AtomicU64>,
+    sync_events: AtomicU64,
+    regions: AtomicU64,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Workers {
@@ -24,29 +65,33 @@ impl std::fmt::Debug for Workers {
         f.debug_struct("Workers")
             .field("processors", &self.processors)
             .field("sync_events", &self.sync_event_count())
+            .field("recording", &self.recorder.is_enabled())
             .finish()
     }
 }
 
 impl Workers {
-    /// Create a team of `processors` workers.
+    /// Create a team of `processors` workers (observation disabled).
     ///
     /// # Panics
-    /// Panics if `processors == 0` or the thread pool cannot be built.
+    /// Panics if `processors == 0`.
     #[must_use]
     pub fn new(processors: usize) -> Self {
         assert!(processors > 0, "worker count must be positive");
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(processors)
-            .thread_name(|i| format!("llp-worker-{i}"))
-            .build()
-            .expect("failed to build worker pool");
         Self {
-            pool,
             processors,
-            sync_events: Arc::new(AtomicU64::new(0)),
-            regions: Arc::new(AtomicU64::new(0)),
+            sync_events: AtomicU64::new(0),
+            regions: AtomicU64::new(0),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// A team of `processors` workers with span recording enabled.
+    #[must_use]
+    pub fn recorded(processors: usize) -> Self {
+        let mut w = Self::new(processors);
+        w.recorder = Recorder::enabled();
+        w
     }
 
     /// A single-worker team (serial execution through the same API).
@@ -59,6 +104,18 @@ impl Workers {
     #[must_use]
     pub fn processors(&self) -> usize {
         self.processors
+    }
+
+    /// The team's span recorder (disabled unless enabled explicitly).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Replace the team's recorder (e.g. to share one recorder between
+    /// a solver and its pool, or to switch recording on).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Total synchronization events (parallel-region exits) so far.
@@ -80,27 +137,56 @@ impl Workers {
         self.regions.store(0, Ordering::Relaxed);
     }
 
-    /// Run `f` inside the pool as one parallel region: `f` receives a
-    /// rayon scope in which it may spawn tasks; when all tasks complete,
-    /// one synchronization event is recorded.
+    /// Run `f` as one parallel region: `f` receives a [`RegionScope`]
+    /// in which it may spawn tasks; when all tasks complete, one
+    /// synchronization event is recorded (plus a region span when the
+    /// recorder is enabled).
     ///
     /// This is the primitive beneath [`crate::doacross`]; prefer the
     /// higher-level entry points.
-    pub fn region<'scope, R: Send>(
-        &self,
-        f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send,
-    ) -> R {
+    pub fn region<'env, R>(&self, f: impl FnOnce(&RegionScope<'env>) -> R) -> R {
         self.regions.fetch_add(1, Ordering::Relaxed);
-        let out = self.pool.scope(f);
+        let start = if self.recorder.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let scope = RegionScope {
+            tasks: RefCell::new(Vec::new()),
+        };
+        let out = f(&scope);
+        run_tasks(scope.tasks.into_inner());
         self.sync_events.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = start {
+            self.recorder
+                .attach_region(self.processors, start.elapsed().as_secs_f64());
+        }
         out
     }
 
-    /// Run a closure on the pool without spawning (for serial sections
-    /// that should still execute on a worker thread).
-    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        self.pool.install(f)
+    /// Run a closure as a (serial) unit on the team. With scoped
+    /// threads there is no persistent pool to pin work to, so this
+    /// simply invokes the closure; it exists to keep call sites that
+    /// distinguish "on the team" from "on the caller" explicit.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
     }
+}
+
+/// Run queued region tasks to completion: the last task runs on the
+/// calling thread, the rest on scoped threads.
+fn run_tasks(mut tasks: Vec<Task<'_>>) {
+    let Some(last) = tasks.pop() else { return };
+    if tasks.is_empty() {
+        last();
+        return;
+    }
+    std::thread::scope(|scope| {
+        for task in tasks {
+            scope.spawn(task);
+        }
+        last();
+    });
 }
 
 #[cfg(test)]
@@ -126,12 +212,12 @@ mod tests {
         let counter = AtomicUsize::new(0);
         w.region(|scope| {
             for _ in 0..10 {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     counter.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
-        // scope guarantees completion before region returns
+        // all tasks complete before region returns
         assert_eq!(counter.load(Ordering::Relaxed), 10);
     }
 
@@ -146,6 +232,26 @@ mod tests {
     fn processors_reported() {
         assert_eq!(Workers::new(4).processors(), 4);
         assert_eq!(Workers::serial().processors(), 1);
+    }
+
+    #[test]
+    fn recorded_team_emits_region_spans() {
+        let w = Workers::recorded(2);
+        w.region(|scope| {
+            scope.spawn(|| {});
+            scope.spawn(|| {});
+        });
+        let report = w.recorder().take_report("pool-test", 2);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].workers, 2);
+        assert_eq!(report.sync_events(), 1);
+    }
+
+    #[test]
+    fn default_team_records_nothing() {
+        let w = Workers::new(2);
+        w.region(|scope| scope.spawn(|| {}));
+        assert!(w.recorder().take_report("none", 2).spans.is_empty());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! parallelism, and the report ranks loops by cost so the
 //! [`crate::advisor`] can decide which are worth parallelizing.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Accumulated statistics for one named loop.
@@ -49,13 +49,18 @@ impl LoopProfiler {
     ) -> R {
         let start = Instant::now();
         let out = body();
-        self.record(name, start.elapsed().as_secs_f64(), parallelism, parallelized);
+        self.record(
+            name,
+            start.elapsed().as_secs_f64(),
+            parallelism,
+            parallelized,
+        );
         out
     }
 
     /// Record one invocation of `name` taking `seconds`.
     pub fn record(&self, name: &str, seconds: f64, parallelism: u64, parallelized: bool) {
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().expect("profiler lock");
         let e = stats.entry(name.to_string()).or_default();
         e.invocations += 1;
         e.total_seconds += seconds;
@@ -66,20 +71,25 @@ impl LoopProfiler {
     /// Statistics for one loop, if recorded.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<LoopStats> {
-        self.stats.lock().get(name).cloned()
+        self.stats.lock().expect("profiler lock").get(name).cloned()
     }
 
     /// Total seconds across all loops.
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
-        self.stats.lock().values().map(|s| s.total_seconds).sum()
+        self.stats
+            .lock()
+            .expect("profiler lock")
+            .values()
+            .map(|s| s.total_seconds)
+            .sum()
     }
 
     /// Full report, sorted by descending total time — "find the
     /// expensive loops".
     #[must_use]
     pub fn report(&self) -> Vec<LoopReport> {
-        let stats = self.stats.lock();
+        let stats = self.stats.lock().expect("profiler lock");
         let total: f64 = stats.values().map(|s| s.total_seconds).sum();
         let mut rows: Vec<LoopReport> = stats
             .iter()
@@ -105,7 +115,22 @@ impl LoopProfiler {
 
     /// Drop all recorded statistics.
     pub fn clear(&self) {
-        self.stats.lock().clear();
+        self.stats.lock().expect("profiler lock").clear();
+    }
+
+    /// Fold an observability report's per-kernel aggregates into the
+    /// profiler, bridging span tracing and the prof-style workflow:
+    /// each kernel summary lands as `invocations` recorded calls with
+    /// its total time, available parallelism, and parallelized flag.
+    pub fn absorb_report(&self, report: &crate::obs::ObsReport) {
+        for kernel in report.kernel_summaries() {
+            let mut stats = self.stats.lock().expect("profiler lock");
+            let e = stats.entry(kernel.name.clone()).or_default();
+            e.invocations += kernel.invocations;
+            e.total_seconds += kernel.seconds;
+            e.parallelism = e.parallelism.max(kernel.parallelism);
+            e.parallelized = kernel.parallelized;
+        }
     }
 }
 
@@ -193,6 +218,35 @@ mod tests {
         assert!(p.get("x").is_none());
         assert_eq!(p.total_seconds(), 0.0);
         assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn absorbs_report_kernels() {
+        use crate::obs::{ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};
+        let mut kernel = SpanNode::new("rhs", SpanKind::Kernel);
+        kernel.seconds = 2.0;
+        let mut region = SpanNode::new("region", SpanKind::Region);
+        region.workers = 4;
+        region.iterations = 70;
+        region.sync_events = 1;
+        kernel.children.push(region);
+        let mut step = SpanNode::new("step", SpanKind::Step);
+        step.children.push(kernel);
+        let report = ObsReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            source: "measured".into(),
+            case: "t".into(),
+            workers: 4,
+            spans: vec![step],
+        };
+        let p = LoopProfiler::new();
+        p.record("rhs", 1.0, 70, true);
+        p.absorb_report(&report);
+        let s = p.get("rhs").unwrap();
+        assert_eq!(s.invocations, 2);
+        assert!((s.total_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(s.parallelism, 70);
+        assert!(s.parallelized);
     }
 
     #[test]

@@ -211,7 +211,11 @@ mod tests {
         for n in [1usize, 2, 7, 15, 70, 350, 1000] {
             for p in [1usize, 2, 3, 7, 16, 64, 128] {
                 let s = StaticSchedule::new(n, p);
-                assert_eq!(s.max_chunk(), n.div_ceil(p).max(n.div_ceil(p.min(n))), "n={n} p={p}");
+                assert_eq!(
+                    s.max_chunk(),
+                    n.div_ceil(p).max(n.div_ceil(p.min(n))),
+                    "n={n} p={p}"
+                );
                 assert_eq!(s.max_chunk(), n.div_ceil(p.min(n)), "n={n} p={p}");
                 // Which equals ceil(n/p) because p.min(n) only matters
                 // when p > n, where both give 1.
@@ -307,8 +311,7 @@ mod tests {
     fn static_policy_matches_chunk_bounds() {
         assert_eq!(Policy::Static.chunks(70, 16), chunk_bounds(70, 16));
         assert!(
-            (Policy::Static.ideal_speedup(70, 48) - perfmodel::ideal_speedup(70, 48)).abs()
-                < 1e-12
+            (Policy::Static.ideal_speedup(70, 48) - perfmodel::ideal_speedup(70, 48)).abs() < 1e-12
         );
     }
 

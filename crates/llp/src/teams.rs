@@ -25,10 +25,7 @@ use crate::pool::Workers;
 #[must_use]
 pub fn partition_processors(total: usize, weights: &[f64]) -> Vec<usize> {
     assert!(!weights.is_empty(), "need at least one team");
-    assert!(
-        weights.iter().all(|&w| w > 0.0),
-        "weights must be positive"
-    );
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
     assert!(
         total >= weights.len(),
         "need at least one processor per team ({} teams, {total} processors)",
@@ -91,7 +88,11 @@ impl std::fmt::Debug for Teams {
         f.debug_struct("Teams")
             .field(
                 "sizes",
-                &self.teams.iter().map(Workers::processors).collect::<Vec<_>>(),
+                &self
+                    .teams
+                    .iter()
+                    .map(Workers::processors)
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -160,15 +161,15 @@ impl Teams {
         F: Fn(usize, &Workers) -> T + Sync,
     {
         let mut out: Vec<Option<T>> = (0..self.teams.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        // std's scope re-raises any team panic when the scope exits.
+        std::thread::scope(|scope| {
             let f = &f;
             for (i, (team, slot)) in self.teams.iter().zip(out.iter_mut()).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(f(i, team));
                 });
             }
-        })
-        .expect("team thread panicked");
+        });
         out.into_iter()
             .map(|o| o.expect("every team ran"))
             .collect()
@@ -185,18 +186,35 @@ impl Teams {
         I: Send,
         F: Fn(usize, &Workers, &mut I) + Sync,
     {
-        assert_eq!(
-            items.len(),
-            self.teams.len(),
-            "one item per team required"
-        );
-        crossbeam::thread::scope(|scope| {
+        assert_eq!(items.len(), self.teams.len(), "one item per team required");
+        std::thread::scope(|scope| {
             let f = &f;
             for (i, (team, item)) in self.teams.iter().zip(items.iter_mut()).enumerate() {
-                scope.spawn(move |_| f(i, team, item));
+                scope.spawn(move || f(i, team, item));
             }
-        })
-        .expect("team thread panicked");
+        });
+    }
+
+    /// Enable span recording on every team (fresh recorder per team —
+    /// the teams run concurrently, so each gets its own span tree).
+    pub fn record_all(&mut self) {
+        for team in &mut self.teams {
+            team.set_recorder(crate::obs::Recorder::enabled());
+        }
+    }
+
+    /// Drain one [`crate::obs::ObsReport`] per team, labelled
+    /// `"{case}/team{i}"`, in team order.
+    #[must_use]
+    pub fn take_reports(&self, case: &str) -> Vec<crate::obs::ObsReport> {
+        self.teams
+            .iter()
+            .enumerate()
+            .map(|(i, team)| {
+                team.recorder()
+                    .take_report(&format!("{case}/team{i}"), team.processors())
+            })
+            .collect()
     }
 }
 
@@ -224,7 +242,12 @@ mod tests {
     #[test]
     fn partition_equal_weights_is_even() {
         assert_eq!(partition_processors(12, &[1.0, 1.0, 1.0]), vec![4, 4, 4]);
-        assert_eq!(partition_processors(13, &[1.0, 1.0, 1.0]).iter().sum::<usize>(), 13);
+        assert_eq!(
+            partition_processors(13, &[1.0, 1.0, 1.0])
+                .iter()
+                .sum::<usize>(),
+            13
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Asserts the disabled-recorder fast path really is free: opening and
+//! closing spans, attaching regions, and annotating chunk stats through
+//! a disabled [`llp::Recorder`] must perform **zero heap allocations**
+//! (and, structurally, touches no lock — a disabled recorder holds no
+//! mutex at all). This is the contract that lets the `RiscStepper` hot
+//! path stay instrumented unconditionally.
+//!
+//! This file holds exactly one test: the allocation counter is a
+//! process-wide global, so a concurrently running sibling test would
+//! pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_allocates_nothing() {
+    use llp::{Recorder, SpanKind};
+
+    let rec = Recorder::disabled();
+    assert!(!rec.is_enabled());
+
+    // Warm up whatever lazy state the harness keeps, then measure.
+    for _ in 0..8 {
+        let _span = rec.span("warmup", SpanKind::Kernel);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _step = rec.span("step", SpanKind::Step);
+        let _kernel = rec.span("rhs", SpanKind::Kernel);
+        rec.attach_region(4, 0.0);
+        rec.annotate_last_region(70, &[]);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate on the span/region path"
+    );
+
+    // Sanity: the counter does observe the enabled path.
+    let enabled = Recorder::enabled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    {
+        let _span = enabled.span("step", SpanKind::Step);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(after > before, "enabled path should allocate span nodes");
+}

@@ -29,6 +29,27 @@ proptest! {
         prop_assert_eq!(max, n.div_ceil(p));
     }
 
+    /// A `StaticSchedule` covers `0..n` disjointly, its largest chunk
+    /// is exactly `ceil(n/p)`, and its ideal speedup follows from it,
+    /// never exceeding `min(n, p)`.
+    #[test]
+    fn static_schedule_invariants(n in 0usize..5_000, p in 1usize..256) {
+        let s = llp::StaticSchedule::new(n, p);
+        let mut covered = 0;
+        for c in &s.chunks {
+            prop_assert_eq!(c.start, covered, "chunks must be disjoint and in order");
+            prop_assert!(c.end > c.start);
+            covered = c.end;
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(s.max_chunk(), if n == 0 { 0 } else { n.div_ceil(p) });
+        if n > 0 {
+            let ideal = n as f64 / s.max_chunk() as f64;
+            prop_assert!((s.ideal_speedup() - ideal).abs() < 1e-12);
+            prop_assert!(s.ideal_speedup() <= n.min(p) as f64 + 1e-12);
+        }
+    }
+
     /// Every scheduling policy tiles the range.
     #[test]
     fn policies_tile(n in 0usize..2_000, p in 1usize..64, chunk in 1usize..50) {

@@ -70,9 +70,8 @@ impl Dims {
     /// Iterate over all points in J-fastest (Fortran A(J,K,L)) order.
     pub fn iter_jkl(&self) -> impl Iterator<Item = Ijk> + '_ {
         let d = *self;
-        (0..d.l).flat_map(move |l| {
-            (0..d.k).flat_map(move |k| (0..d.j).map(move |j| Ijk { j, k, l }))
-        })
+        (0..d.l)
+            .flat_map(move |l| (0..d.k).flat_map(move |k| (0..d.j).map(move |j| Ijk { j, k, l })))
     }
 }
 

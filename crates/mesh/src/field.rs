@@ -163,7 +163,12 @@ impl StateField {
 
     /// State field with every point set to `state`.
     #[must_use]
-    pub fn uniform(dims: Dims, layout: Layout, arrangement: Arrangement, state: [f64; NCONS]) -> Self {
+    pub fn uniform(
+        dims: Dims,
+        layout: Layout,
+        arrangement: Arrangement,
+        state: [f64; NCONS],
+    ) -> Self {
         let mut f = Self::zeros(dims, layout, arrangement);
         for p in dims.iter_jkl() {
             f.set(p, state);
@@ -341,7 +346,9 @@ mod tests {
 
     #[test]
     fn relayout_preserves_values() {
-        let f = Field3::from_fn(dims(), Layout::jkl(), |p| (p.j * 100 + p.k * 10 + p.l) as f64);
+        let f = Field3::from_fn(dims(), Layout::jkl(), |p| {
+            (p.j * 100 + p.k * 10 + p.l) as f64
+        });
         for lay in Layout::all() {
             let g = f.relayout(lay);
             for p in dims().iter_jkl() {
@@ -391,7 +398,12 @@ mod tests {
 
     #[test]
     fn component_sum_is_per_component() {
-        let f = StateField::uniform(dims(), Layout::jkl(), Arrangement::ComponentInner, [1.0, 2.0, 0.0, 0.0, 5.0]);
+        let f = StateField::uniform(
+            dims(),
+            Layout::jkl(),
+            Arrangement::ComponentInner,
+            [1.0, 2.0, 0.0, 0.0, 5.0],
+        );
         let n = dims().points() as f64;
         assert_eq!(f.component_sum(0), n);
         assert_eq!(f.component_sum(1), 2.0 * n);
@@ -405,16 +417,18 @@ mod tests {
         for p in dims().iter_jkl() {
             f.set(p, [p.k as f64, 0.0, 0.0, 0.0, 0.0]);
         }
-        let vals: Vec<f64> = f
-            .pencil(Axis::K, Ijk::new(1, 0, 2))
-            .map(|s| s[0])
-            .collect();
+        let vals: Vec<f64> = f.pencil(Axis::K, Ijk::new(1, 0, 2)).map(|s| s[0]).collect();
         assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]
     fn max_abs_diff_detects_difference() {
-        let a = StateField::uniform(dims(), Layout::jkl(), Arrangement::ComponentInner, [1.0; NCONS]);
+        let a = StateField::uniform(
+            dims(),
+            Layout::jkl(),
+            Arrangement::ComponentInner,
+            [1.0; NCONS],
+        );
         let mut b = a.clone();
         assert_eq!(a.max_abs_diff(&b), 0.0);
         b.set_comp(Ijk::new(1, 1, 1), 3, 1.5);

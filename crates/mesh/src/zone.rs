@@ -145,8 +145,7 @@ impl Zone {
             let y_ze = Self::ddxi(&self.y, d, p, Axis::L);
             let z_ze = Self::ddxi(&self.z, d, p, Axis::L);
 
-            let det = x_xi * (y_eta * z_ze - z_eta * y_ze)
-                - y_xi * (x_eta * z_ze - z_eta * x_ze)
+            let det = x_xi * (y_eta * z_ze - z_eta * y_ze) - y_xi * (x_eta * z_ze - z_eta * x_ze)
                 + z_xi * (x_eta * y_ze - y_eta * x_ze);
             assert!(
                 det.abs() > 1e-14,
@@ -174,7 +173,6 @@ impl Zone {
         }
         m
     }
-
 }
 
 /// Metric terms of a zone: the Jacobian `det(∂(x,y,z)/∂(ξ,η,ζ))` and the

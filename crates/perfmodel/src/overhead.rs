@@ -187,10 +187,7 @@ mod tests {
     fn min_work_scales_linearly_in_processors() {
         let base = min_work_for_overhead(10_000, 1, 0.01);
         for p in [2u32, 3, 7, 64, 128] {
-            assert_eq!(
-                min_work_for_overhead(10_000, p, 0.01),
-                base * u64::from(p)
-            );
+            assert_eq!(min_work_for_overhead(10_000, p, 0.01), base * u64::from(p));
         }
     }
 

@@ -247,8 +247,18 @@ pub fn table2() -> Vec<Table2Row> {
     push(l3, "Inner loop", n3, LoopLevel::Inner);
     push(l3, "Middle loop", n3, LoopLevel::Middle);
     push(l3, "Outer loop", n3, LoopLevel::Outer);
-    push(l3, "Boundary condition - inner loop", n3, LoopLevel::BoundaryInner);
-    push(l3, "Boundary condition - outer loop", n3, LoopLevel::BoundaryOuter);
+    push(
+        l3,
+        "Boundary condition - inner loop",
+        n3,
+        LoopLevel::BoundaryInner,
+    );
+    push(
+        l3,
+        "Boundary condition - outer loop",
+        n3,
+        LoopLevel::BoundaryOuter,
+    );
     rows
 }
 
@@ -267,8 +277,14 @@ mod tests {
             ("3-D/Inner loop", [1_000, 10_000, 100_000]),
             ("3-D/Middle loop", [100_000, 1_000_000, 10_000_000]),
             ("3-D/Outer loop", [10_000_000, 100_000_000, 1_000_000_000]),
-            ("3-D/Boundary condition - inner loop", [1_000, 10_000, 100_000]),
-            ("3-D/Boundary condition - outer loop", [100_000, 1_000_000, 10_000_000]),
+            (
+                "3-D/Boundary condition - inner loop",
+                [1_000, 10_000, 100_000],
+            ),
+            (
+                "3-D/Boundary condition - outer loop",
+                [100_000, 1_000_000, 10_000_000],
+            ),
         ];
         let rows = table2();
         assert_eq!(rows.len(), expect.len());
@@ -315,7 +331,10 @@ mod tests {
         assert_eq!(nest.available_parallelism(LoopLevel::Outer), Some(70));
         assert_eq!(nest.available_parallelism(LoopLevel::Middle), Some(75));
         assert_eq!(nest.available_parallelism(LoopLevel::Inner), Some(89));
-        assert_eq!(nest.available_parallelism(LoopLevel::BoundaryOuter), Some(75));
+        assert_eq!(
+            nest.available_parallelism(LoopLevel::BoundaryOuter),
+            Some(75)
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn signature_detects_the_paper_symptom() {
         // cycles rise 3x, misses flat: contention.
-        let runs = [(8u32, 1.0e9, 5.0e6), (32, 2.0e9, 5.05e6), (64, 3.0e9, 5.1e6)];
+        let runs = [
+            (8u32, 1.0e9, 5.0e6),
+            (32, 2.0e9, 5.05e6),
+            (64, 3.0e9, 5.1e6),
+        ];
         assert!(contention_signature(&runs, 0.5, 0.1));
         // cycles rise because misses rise: not contention.
         let honest = [(8u32, 1.0e9, 5.0e6), (64, 3.0e9, 15.0e6)];

@@ -75,12 +75,8 @@ mod tests {
 
     #[test]
     fn bandwidth_scales_with_granularity_and_latency() {
-        assert!(
-            dsm_effective_bandwidth(4096, 100e-6) > dsm_effective_bandwidth(128, 100e-6)
-        );
-        assert!(
-            dsm_effective_bandwidth(128, 10e-6) > dsm_effective_bandwidth(128, 100e-6)
-        );
+        assert!(dsm_effective_bandwidth(4096, 100e-6) > dsm_effective_bandwidth(128, 100e-6));
+        assert!(dsm_effective_bandwidth(128, 10e-6) > dsm_effective_bandwidth(128, 100e-6));
     }
 
     fn sweep_trace() -> WorkloadTrace {

@@ -16,6 +16,10 @@ pub struct PhaseTime {
     pub sync_seconds: f64,
     /// Extra seconds from NUMA bandwidth limits and page contention.
     pub numa_seconds: f64,
+    /// Parallel-loop extent (0 for serial phases).
+    pub parallelism: u64,
+    /// Processors the phase actually used (1 for serial phases).
+    pub processors_used: u32,
 }
 
 impl PhaseTime {
@@ -62,6 +66,48 @@ impl ExecReport {
     #[must_use]
     pub fn numa_seconds(&self) -> f64 {
         self.phases.iter().map(|p| p.numa_seconds).sum()
+    }
+
+    /// Export this modeled run in the shared observability schema
+    /// (`source: "modeled"`), so it can be diffed against a measured
+    /// [`llp::ObsReport`] kernel-by-kernel.
+    ///
+    /// Every phase becomes a kernel span under one `step` root; a
+    /// parallel phase carries a region child whose chunk statistics are
+    /// reconstructed from the stair-step model: the critical-path chunk
+    /// runs `ceil(U/P)` units (the chunk max), the mean chunk runs
+    /// `U / min(U, P)` units.
+    #[must_use]
+    pub fn to_obs_report(&self, case: &str) -> llp::ObsReport {
+        let mut step = llp::SpanNode::new("step", llp::SpanKind::Step);
+        for phase in &self.phases {
+            let mut kernel = llp::SpanNode::new(&phase.name, llp::SpanKind::Kernel);
+            kernel.seconds = phase.seconds();
+            if phase.parallelism > 0 {
+                let u = phase.parallelism;
+                let mut region = llp::SpanNode::new("region", llp::SpanKind::Region);
+                region.seconds = phase.seconds();
+                region.workers = phase.processors_used as usize;
+                region.iterations = u;
+                region.sync_events = 1;
+                region.chunk_count = phase.processors_used as usize;
+                region.chunk_max_seconds = phase.compute_seconds;
+                #[allow(clippy::cast_precision_loss)]
+                let max_units = perfmodel::max_units_per_processor(u, phase.processors_used) as f64;
+                let mean_units = u as f64 / f64::from(phase.processors_used);
+                region.chunk_mean_seconds = phase.compute_seconds * mean_units / max_units;
+                kernel.children.push(region);
+            }
+            step.seconds += kernel.seconds;
+            step.children.push(kernel);
+        }
+        llp::ObsReport {
+            schema_version: llp::obs::REPORT_SCHEMA_VERSION,
+            source: "modeled".to_string(),
+            case: case.to_string(),
+            workers: self.processors as usize,
+            spans: vec![step],
+        }
     }
 }
 
@@ -150,12 +196,14 @@ impl Machine {
                     compute_seconds: cfg.seconds(s.work_cycles),
                     sync_seconds: 0.0,
                     numa_seconds: 0.0,
+                    parallelism: 0,
+                    processors_used: 1,
                 },
                 Phase::Parallel(p) => {
                     let u = p.parallelism.max(1);
                     let p_used = u32::try_from(u64::from(processors).min(u)).expect("fits");
-                    let chunk_factor = perfmodel::max_units_per_processor(u, processors) as f64
-                        / u as f64;
+                    let chunk_factor =
+                        perfmodel::max_units_per_processor(u, processors) as f64 / u as f64;
                     let compute_seconds = cfg.seconds(p.work_cycles * chunk_factor);
 
                     // NUMA surcharge on the critical-path worker's bytes.
@@ -164,9 +212,8 @@ impl Machine {
                     // Harmonic blend: local and remote bytes move in
                     // sequence, so times add (a slow remote path cannot
                     // be averaged away by a fast local one).
-                    let bw_eff = 1e6
-                        / ((1.0 - off) / cfg.numa.local_bw_mbs
-                            + off / cfg.numa.remote_bw_mbs);
+                    let bw_eff =
+                        1e6 / ((1.0 - off) / cfg.numa.local_bw_mbs + off / cfg.numa.remote_bw_mbs);
                     let mult = contention_multiplier(
                         p.shared_page_fraction,
                         p_used,
@@ -179,6 +226,8 @@ impl Machine {
                         compute_seconds,
                         sync_seconds: cfg.sync_seconds(processors),
                         numa_seconds,
+                        parallelism: u,
+                        processors_used: p_used,
                     }
                 }
             };
@@ -217,12 +266,12 @@ impl Machine {
             .zip(partition)
             .map(|(t, &p)| self.execute(t, p))
             .collect();
-        let seconds = reports
-            .iter()
-            .map(|r| r.seconds)
-            .fold(0.0f64, f64::max);
+        let seconds = reports.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
         let flops = reports.iter().map(|r| r.flops).sum();
-        let phases = reports.iter_mut().flat_map(|r| r.phases.drain(..)).collect();
+        let phases = reports
+            .iter_mut()
+            .flat_map(|r| r.phases.drain(..))
+            .collect();
         ExecReport {
             processors: total,
             seconds,
@@ -299,7 +348,13 @@ mod tests {
         let m = uma_machine();
         let t = one_loop(15, 15e6, 0.0, 0.0);
         let t1 = m.execute(&t, 1).seconds;
-        for (p, expect) in [(2u32, 15.0 / 8.0), (4, 3.75), (5, 5.0), (7, 5.0), (15, 15.0)] {
+        for (p, expect) in [
+            (2u32, 15.0 / 8.0),
+            (4, 3.75),
+            (5, 5.0),
+            (7, 5.0),
+            (15, 15.0),
+        ] {
             let tp = m.execute(&t, p).seconds;
             let speedup = t1 / tp;
             assert!(
@@ -347,7 +402,10 @@ mod tests {
         let s1000 = m.execute(&t, 100).seconds;
         let speedup = s1 / s1000;
         // Amdahl with s=0.1 at P=100: 1/(0.1+0.9/100) = 9.17
-        assert!((speedup - 1.0 / (0.1 + 0.9 / 100.0)).abs() < 0.05, "{speedup}");
+        assert!(
+            (speedup - 1.0 / (0.1 + 0.9 / 100.0)).abs() < 0.05,
+            "{speedup}"
+        );
     }
 
     #[test]
@@ -373,7 +431,11 @@ mod tests {
         // 1 s of compute at 100 MHz, 68 MB of traffic (68 MB/s demand).
         let t = one_loop(128, 100e6, 68e6, 0.0);
         let r = m.execute(&t, 64);
-        assert!(r.numa_seconds() < 0.05 * r.seconds, "{:?}", r.numa_seconds());
+        assert!(
+            r.numa_seconds() < 0.05 * r.seconds,
+            "{:?}",
+            r.numa_seconds()
+        );
     }
 
     #[test]
@@ -464,6 +526,38 @@ mod tests {
         let rs = m.sweep(&t, &[1, 2, 4, 8]);
         assert_eq!(rs.len(), 4);
         assert_eq!(rs[3].processors, 8);
+    }
+
+    #[test]
+    fn obs_report_mirrors_phases() {
+        let m = uma_machine();
+        let mut t = one_loop(15, 15e6, 0.0, 0.0);
+        t.serial(SerialWork {
+            name: "bc".into(),
+            work_cycles: 1e6,
+            flops: 0,
+            traffic_bytes: 0.0,
+        });
+        let r = m.execute(&t, 4);
+        let obs = r.to_obs_report("model-test");
+        assert_eq!(obs.source, "modeled");
+        assert_eq!(obs.workers, 4);
+        assert_eq!(obs.sync_events(), 1); // one parallel phase
+        assert!((obs.total_seconds() - r.seconds).abs() < 1e-12);
+        let kernels = obs.kernel_summaries();
+        let bc = kernels.iter().find(|k| k.name == "bc").unwrap();
+        assert!(!bc.parallelized);
+        let lp = kernels.iter().find(|k| k.name == "loop").unwrap();
+        assert!(lp.parallelized);
+        assert_eq!(lp.parallelism, 15);
+        // U=15 on P=4: max chunk 4 units, mean 15/4 -> imbalance 16/15.
+        let region = &obs.spans[0].children[0].children[0];
+        assert_eq!(region.workers, 4);
+        assert_eq!(region.chunk_count, 4);
+        assert!((region.imbalance() - 4.0 / 3.75).abs() < 1e-12);
+        // Round-trips through the JSON schema.
+        let back = llp::ObsReport::from_json_str(&obs.to_json_string()).unwrap();
+        assert_eq!(back, obs);
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod workload;
 pub use contention::contention_multiplier;
 pub use dsm::{dsm_effective_bandwidth, treadmarks_cluster};
 pub use exec::{ExecReport, Machine, PhaseTime};
-pub use mpp::MppConfig;
 pub use machine::{MachineConfig, NumaConfig, SyncCostModel};
+pub use mpp::MppConfig;
 pub use workload::{ParallelLoop, Phase, SerialWork, WorkloadTrace};

@@ -97,11 +97,12 @@ impl MppConfig {
                     compute_seconds: s.work_cycles / self.clock_hz,
                     sync_seconds: 0.0,
                     numa_seconds: 0.0,
+                    parallelism: 0,
+                    processors_used: 1,
                 },
                 Phase::Parallel(p) => {
                     let chunk_factor =
-                        perfmodel::max_units_per_processor(p.parallelism.max(1), processors)
-                            as f64
+                        perfmodel::max_units_per_processor(p.parallelism.max(1), processors) as f64
                             / p.parallelism.max(1) as f64;
                     let halo_bytes = p.traffic_bytes * self.halo_fraction * chunk_factor;
                     let comm =
@@ -111,6 +112,9 @@ impl MppConfig {
                         compute_seconds: p.work_cycles * chunk_factor / self.clock_hz,
                         sync_seconds: comm,
                         numa_seconds: 0.0,
+                        parallelism: p.parallelism.max(1),
+                        processors_used: processors
+                            .min(u32::try_from(p.parallelism.max(1)).unwrap_or(u32::MAX)),
                     }
                 }
             };

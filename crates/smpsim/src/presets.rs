@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn peaks_match_paper() {
-        assert_eq!(origin2000_r12k_128().machine.peak_mflops_per_processor, 600.0);
+        assert_eq!(
+            origin2000_r12k_128().machine.peak_mflops_per_processor,
+            600.0
+        );
         assert_eq!(hpc10000_64().machine.peak_mflops_per_processor, 800.0);
     }
 
@@ -248,7 +251,11 @@ mod tests {
     fn exemplar_is_the_most_contended() {
         let worst = exemplar_spp1000_16().machine.numa.contention_coeff;
         for p in all() {
-            assert!(p.machine.numa.contention_coeff <= worst, "{}", p.machine.name);
+            assert!(
+                p.machine.numa.contention_coeff <= worst,
+                "{}",
+                p.machine.name
+            );
         }
         // And its remote bandwidth is by far the lowest.
         assert!(exemplar_spp1000_16().machine.numa.remote_bw_mbs < 50.0);

@@ -18,10 +18,22 @@ use std::time::Instant;
 fn zone_bcs(i: usize, nzones: usize) -> ZoneBcs {
     let mut bcs = ZoneBcs::projectile();
     if i > 0 {
-        bcs = bcs.with(Face { axis: Axis::J, high: false }, BcKind::Zonal);
+        bcs = bcs.with(
+            Face {
+                axis: Axis::J,
+                high: false,
+            },
+            BcKind::Zonal,
+        );
     }
     if i + 1 < nzones {
-        bcs = bcs.with(Face { axis: Axis::J, high: true }, BcKind::Zonal);
+        bcs = bcs.with(
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Zonal,
+        );
     }
     bcs
 }
@@ -97,7 +109,11 @@ fn main() {
         );
         assert!(max_diff < 1e-11, "implementations diverged");
     }
-    println!("\n{} steps in {:.2} s wall", steps, t0.elapsed().as_secs_f64());
+    println!(
+        "\n{} steps in {:.2} s wall",
+        steps,
+        t0.elapsed().as_secs_f64()
+    );
     println!(
         "sync events per step (RISC impl): {}",
         workers.sync_event_count() / steps as u64
@@ -111,7 +127,11 @@ fn main() {
             row.stats.total_seconds * 1e3,
             row.fraction_of_total * 100.0,
             row.stats.parallelism,
-            if row.stats.parallelized { "parallel" } else { "SERIAL" }
+            if row.stats.parallelized {
+                "parallel"
+            } else {
+                "SERIAL"
+            }
         );
     }
 

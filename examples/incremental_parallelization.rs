@@ -47,8 +47,7 @@ fn main() {
         })
         .collect();
 
-    let min_work =
-        perfmodel::min_work_for_overhead(sgi.machine.sync.cycles(p) as u64, p, 0.01);
+    let min_work = perfmodel::min_work_for_overhead(sgi.machine.sync.cycles(p) as u64, p, 0.01);
     println!(
         "Incremental parallelization of the 1M-point case on the {}\n\
          target P = {p}; Table-1 bound: a loop needs >= {} cycles to justify a barrier\n",
@@ -61,7 +60,12 @@ fn main() {
     );
 
     let serial_seconds = exec
-        .execute(&WorkloadTrace { phases: phases.clone() }, 1)
+        .execute(
+            &WorkloadTrace {
+                phases: phases.clone(),
+            },
+            1,
+        )
         .seconds;
     let report = |round: usize, what: &str, cycles: Option<f64>, phases: &[Phase]| {
         let t = WorkloadTrace {
@@ -152,7 +156,13 @@ fn grouped(mut n: u64) -> String {
     parts
         .iter()
         .rev()
-        .map(|&(v, pad)| if pad { format!("{v:03}") } else { v.to_string() })
+        .map(|&(v, pad)| {
+            if pad {
+                format!("{v:03}")
+            } else {
+                v.to_string()
+            }
+        })
         .collect::<Vec<_>>()
         .join(",")
 }

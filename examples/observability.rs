@@ -1,0 +1,93 @@
+//! Observability walkthrough: record a real multi-zone solver step
+//! with the span recorder, print its hierarchical report, then produce
+//! the *modeled* report for the same case from the machine model — the
+//! two share one schema, so model-vs-measurement drift is directly
+//! diffable.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use f3d::multizone::MultiZoneSolver;
+use f3d::solver::SolverConfig;
+use f3d::trace;
+use llp::{ObsReport, SpanNode, Workers};
+use mesh::MultiZoneGrid;
+
+fn print_tree(node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let tag = if node.parallelized() && node.kind == llp::SpanKind::Kernel {
+        "  [parallel]"
+    } else {
+        ""
+    };
+    println!(
+        "{indent}{:<8} {:<16} {:>9.3} ms  sync={}{tag}",
+        node.kind.as_str(),
+        node.name,
+        node.seconds * 1e3,
+        node.total_sync_events(),
+    );
+    for child in &node.children {
+        print_tree(child, depth + 1);
+    }
+}
+
+fn summarize(title: &str, report: &ObsReport) {
+    println!("== {title} ==");
+    println!(
+        "case={} source={} workers={} sync_events={}",
+        report.case,
+        report.source,
+        report.workers,
+        report.sync_events()
+    );
+    for span in &report.spans {
+        print_tree(span, 1);
+    }
+    println!();
+}
+
+fn main() {
+    let grid = MultiZoneGrid::small_test_case();
+
+    // Measured: run the real solver with the recorder enabled.
+    let mut solver = MultiZoneSolver::from_grid(&grid, SolverConfig::subsonic(), 0.3);
+    let workers = Workers::recorded(4);
+    solver.step_loop_level(&workers, None);
+    let measured = workers.recorder().take_report("small_test_case", 4);
+    summarize("measured (one step, 4 workers)", &measured);
+
+    // Modeled: execute the analytic step trace on the machine model and
+    // regroup it into the same hierarchy and kernel vocabulary.
+    let mem = cachesim::presets::origin2000_r12k();
+    let machine = smpsim::presets::origin2000_r12k_128().executor();
+    let exec = machine.execute(&trace::risc_step_trace(&grid, &mem), 4);
+    let modeled = trace::modeled_obs_report(&exec, "small_test_case");
+    summarize("modeled (same case, Origin 2000 model)", &modeled);
+
+    // The shared schema is the point: align split kernels and diff.
+    let rename = |name: &str| match name {
+        "l_factor_solve" | "l_factor_scatter" => "l_factor".to_string(),
+        other => other.to_string(),
+    };
+    println!("== measured vs modeled, per kernel ==");
+    println!(
+        "{:<12} {:>12} {:>12} {:>6} {:>6}",
+        "kernel", "meas (ms)", "model (ms)", "sync", "par"
+    );
+    let modeled_kernels = modeled.kernel_summaries();
+    for k in measured.kernel_summaries_renamed(rename) {
+        let m = modeled_kernels.iter().find(|m| m.name == k.name);
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>6} {:>6}",
+            k.name,
+            k.seconds * 1e3,
+            m.map_or(f64::NAN, |m| m.seconds * 1e3),
+            k.sync_events,
+            if k.parallelized { "yes" } else { "no" },
+        );
+    }
+    println!("\nFull JSON report (schema v{}):", measured.schema_version);
+    println!("{}", measured.to_json_string());
+}

@@ -88,7 +88,10 @@ fn main() {
     let v2 = v1.rearrange(Arrangement::ComponentOuter, Layout::kjl());
     let c1 = FieldChecksum::of(&v1);
     let c2 = FieldChecksum::of(&v2);
-    println!("v1 vs v2 (correct rewrite):  checksum diff = {:.3e}", c1.max_diff(&c2));
+    println!(
+        "v1 vs v2 (correct rewrite):  checksum diff = {:.3e}",
+        c1.max_diff(&c2)
+    );
 
     // "version 3": the rewrite with one transposed index — a read from
     // (l,k,j) written to (j,k,l), clobbering the old value. The exact
@@ -97,7 +100,10 @@ fn main() {
     let wrong = v3.get(mesh::Ijk::new(1, 2, 3));
     v3.set(mesh::Ijk::new(3, 2, 1), wrong);
     let c3 = FieldChecksum::of(&v3);
-    println!("v1 vs v3 (transposed index): checksum diff = {:.3e}", c1.max_diff(&c3));
+    println!(
+        "v1 vs v3 (transposed index): checksum diff = {:.3e}",
+        c1.max_diff(&c3)
+    );
     println!(
         "\nThe cheap order-independent checksum is zero across a correct index-reordering\n\
          rewrite and nonzero the moment one index is transposed — the mechanical form of\n\

@@ -33,15 +33,22 @@ fn main() {
         local_cfl: None,
     };
     let bcs = ZoneBcs::all_freestream()
-        .with(Face { axis: Axis::L, high: false }, BcKind::SlipWall)
-        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+        .with(
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::SlipWall,
+        )
+        .with(
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        );
 
-    let zone0 = ZoneSolver::freestream(
-        config,
-        metrics,
-        Layout::jkl(),
-        Arrangement::ComponentInner,
-    );
+    let zone0 = ZoneSolver::freestream(config, metrics, Layout::jkl(), Arrangement::ComponentInner);
     let mut zone = zone0;
     let mut stepper = RiscStepper::for_zone(&zone);
     let workers = Workers::new(2);
@@ -54,14 +61,23 @@ fn main() {
         config.flow.alpha.to_degrees(),
         d.points()
     );
-    println!("{:>5} {:>14} {:>10} {:>10}", "step", "deviation", "Cd", "Cl");
+    println!(
+        "{:>5} {:>14} {:>10} {:>10}",
+        "step", "deviation", "Cd", "Cl"
+    );
 
     let reference_area = 2.0 * 1.0 * 8.0; // projected body area (2 r Lx)
     for step in 1..=60 {
         stepper.step(&mut zone, &bcs, &workers, Some(&profiler));
         history.record(&zone);
         if step % 10 == 0 {
-            let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+            let f = pressure_force(
+                &zone,
+                Face {
+                    axis: Axis::L,
+                    high: false,
+                },
+            );
             let (cd, cl) = f.drag_lift(&zone, reference_area);
             println!(
                 "{step:>5} {:>14.6e} {:>10.4} {:>10.4}",

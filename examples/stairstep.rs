@@ -49,7 +49,9 @@ fn main() {
     let base = exec.execute(&trace, 1).seconds;
     println!("   P    steps/hr   speedup   note");
     let mut prev = 0.0;
-    for p in [1u32, 8, 16, 24, 32, 35, 40, 48, 56, 64, 70, 72, 88, 104, 124] {
+    for p in [
+        1u32, 8, 16, 24, 32, 35, 40, 48, 56, 64, 70, 72, 88, 104, 124,
+    ] {
         let r = exec.execute(&trace, p);
         let speedup = base / r.seconds;
         let note = if p > 1 && (speedup - prev).abs() < 0.02 * speedup {

@@ -22,8 +22,20 @@ fn projectile_case(alpha: f64, steps: usize) -> ZoneSolver {
         local_cfl: None,
     };
     let bcs = ZoneBcs::all_freestream()
-        .with(Face { axis: Axis::L, high: false }, BcKind::SlipWall)
-        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+        .with(
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::SlipWall,
+        )
+        .with(
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        );
     let mut zone = ZoneSolver::freestream(
         config,
         grid.metrics(),
@@ -41,7 +53,13 @@ fn projectile_case(alpha: f64, steps: usize) -> ZoneSolver {
 #[test]
 fn incidence_produces_lift() {
     let at_alpha = projectile_case(0.06, 50);
-    let f = pressure_force(&at_alpha, Face { axis: Axis::L, high: false });
+    let f = pressure_force(
+        &at_alpha,
+        Face {
+            axis: Axis::L,
+            high: false,
+        },
+    );
     let (_, lift) = f.drag_lift(&at_alpha, 2.0 * 6.0);
     assert!(lift.is_finite());
     assert!(lift > 1e-4, "no lift at incidence: {lift}");
@@ -51,7 +69,10 @@ fn incidence_produces_lift() {
 fn lift_grows_with_incidence() {
     let small = projectile_case(0.03, 50);
     let large = projectile_case(0.08, 50);
-    let face = Face { axis: Axis::L, high: false };
+    let face = Face {
+        axis: Axis::L,
+        high: false,
+    };
     let (_, cl_small) = pressure_force(&small, face).drag_lift(&small, 12.0);
     let (_, cl_large) = pressure_force(&large, face).drag_lift(&large, 12.0);
     assert!(
@@ -67,7 +88,13 @@ fn zero_incidence_half_body_carries_no_sideforce() {
     // y component (in-plane of the half-arc's symmetry) vanishes while
     // x (axial) stays small.
     let zone = projectile_case(0.0, 40);
-    let f = pressure_force(&zone, Face { axis: Axis::L, high: false });
+    let f = pressure_force(
+        &zone,
+        Face {
+            axis: Axis::L,
+            high: false,
+        },
+    );
     let fs = zone.config.flow.primitive();
     let q_area = 0.5 * fs.rho * fs.speed() * fs.speed() * 12.0;
     assert!(
@@ -80,7 +107,10 @@ fn zero_incidence_half_body_carries_no_sideforce() {
 #[test]
 fn forces_are_worker_count_independent() {
     // The observable inherits the solver's reproducibility.
-    let face = Face { axis: Axis::L, high: false };
+    let face = Face {
+        axis: Axis::L,
+        high: false,
+    };
     let a = projectile_case(0.05, 20);
     let fa = pressure_force(&a, face);
     let b = projectile_case(0.05, 20);

@@ -4,9 +4,7 @@
 
 use f3d::trace::{risc_step_trace, vector_step_trace};
 use mesh::MultiZoneGrid;
-use smpsim::presets::{
-    exemplar_spp1000_16, hp_v2500_16, hpc10000_64, origin2000_r12k_128,
-};
+use smpsim::presets::{exemplar_spp1000_16, hp_v2500_16, hpc10000_64, origin2000_r12k_128};
 
 #[test]
 fn table4_one_million_shape() {
@@ -161,7 +159,10 @@ fn parallel_bc_loses_under_load_at_scale() {
 
     let idle_serial = idle.execute(&serial_bc, 124).seconds;
     let idle_parallel = idle.execute(&parallel_bc, 124).seconds;
-    assert!(idle_parallel < idle_serial, "idle machine should favor parallel BC");
+    assert!(
+        idle_parallel < idle_serial,
+        "idle machine should favor parallel BC"
+    );
 
     let loaded_serial = loaded.execute(&serial_bc, 124).seconds;
     let loaded_parallel = loaded.execute(&parallel_bc, 124).seconds;
@@ -182,7 +183,11 @@ fn mlp_overtakes_loop_level_past_the_stair_ceiling() {
     let flat = risc_step_trace(&grid, &sgi.memory);
     let zones = risc_zone_traces(&grid, &sgi.memory);
     let tail = injection_trace(&grid, &sgi.memory);
-    let weights: Vec<f64> = grid.zones().iter().map(|z| z.dims.points() as f64).collect();
+    let weights: Vec<f64> = grid
+        .zones()
+        .iter()
+        .map(|z| z.dims.points() as f64)
+        .collect();
     let exec = sgi.executor();
 
     let mlp_seconds = |p: u32| {

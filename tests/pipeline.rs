@@ -17,10 +17,7 @@ fn llp_schedule_matches_perfmodel_everywhere() {
         for p in 1..=64usize {
             let sched = StaticSchedule::new(n, p);
             let model = perfmodel::ideal_speedup(n as u64, p as u32);
-            assert!(
-                (sched.ideal_speedup() - model).abs() < 1e-12,
-                "n={n} p={p}"
-            );
+            assert!((sched.ideal_speedup() - model).abs() < 1e-12, "n={n} p={p}");
             assert_eq!(
                 sched.max_chunk() as u64,
                 perfmodel::max_units_per_processor(n as u64, p as u32)
@@ -54,8 +51,10 @@ fn profiled_solver_run_drives_the_advisor() {
     // feed the advisor, and get the paper's decisions back — main
     // sweeps worth parallelizing on a small SMP, BCs never.
     let d = Dims::new(16, 14, 12);
-    let (mut zone, mut stepper) =
-        RiscStepper::new_zone(SolverConfig::supersonic(), Metrics::cartesian(d, (0.2, 0.2, 0.2)));
+    let (mut zone, mut stepper) = RiscStepper::new_zone(
+        SolverConfig::supersonic(),
+        Metrics::cartesian(d, (0.2, 0.2, 0.2)),
+    );
     let workers = Workers::new(2);
     let profiler = LoopProfiler::new();
     for _ in 0..3 {
@@ -104,8 +103,10 @@ fn sync_events_measured_equal_trace_prediction() {
     // The llp pool's measured synchronization events per step match the
     // analytic trace's sync_events() for the same single-zone schedule.
     let d = Dims::new(8, 9, 10);
-    let (mut zone, mut stepper) =
-        RiscStepper::new_zone(SolverConfig::subsonic(), Metrics::cartesian(d, (0.3, 0.3, 0.3)));
+    let (mut zone, mut stepper) = RiscStepper::new_zone(
+        SolverConfig::subsonic(),
+        Metrics::cartesian(d, (0.3, 0.3, 0.3)),
+    );
     let workers = Workers::new(2);
     workers.reset_counters();
     stepper.step(&mut zone, &ZoneBcs::all_freestream(), &workers, None);

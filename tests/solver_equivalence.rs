@@ -93,9 +93,27 @@ fn identical_in_subsonic_regime() {
 fn identical_with_wall_and_extrapolation_bcs() {
     let workers = Workers::new(2);
     let bcs = ZoneBcs::all_freestream()
-        .with(Face { axis: Axis::L, high: false }, BcKind::SlipWall)
-        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate)
-        .with(Face { axis: Axis::K, high: true }, BcKind::Extrapolate);
+        .with(
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::SlipWall,
+        )
+        .with(
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        )
+        .with(
+            Face {
+                axis: Axis::K,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        );
     let (vz, rz) = run_both(
         SolverConfig::supersonic(),
         Metrics::cartesian(Dims::new(8, 8, 8), (0.2, 0.2, 0.2)),
@@ -111,8 +129,13 @@ fn identical_in_viscous_mode() {
     // Thin-layer Navier-Stokes with a no-slip wall: both
     // implementations still bit-identical.
     let workers = Workers::new(3);
-    let bcs = ZoneBcs::all_freestream()
-        .with(Face { axis: Axis::L, high: false }, BcKind::NoSlipWall);
+    let bcs = ZoneBcs::all_freestream().with(
+        Face {
+            axis: Axis::L,
+            high: false,
+        },
+        BcKind::NoSlipWall,
+    );
     let (vz, rz) = run_both(
         SolverConfig::viscous(2.0, 5.0e3),
         Metrics::cartesian(Dims::new(8, 7, 10), (0.2, 0.2, 0.1)),
@@ -124,8 +147,7 @@ fn identical_in_viscous_mode() {
     // The wall actually enforced no-slip.
     for j in 0..8 {
         for k in 0..7 {
-            let prim =
-                f3d::state::Primitive::from_conserved(&rz.q.get(Ijk::new(j, k, 0)));
+            let prim = f3d::state::Primitive::from_conserved(&rz.q.get(Ijk::new(j, k, 0)));
             assert_eq!(prim.speed(), 0.0, "slip at wall point ({j},{k})");
         }
     }
@@ -139,8 +161,20 @@ fn boundary_layer_forms_at_a_no_slip_wall() {
     let config = SolverConfig::viscous(2.0, 2.0e3);
     let metrics = Metrics::cartesian(d, (0.3, 0.3, 0.05));
     let bcs = ZoneBcs::all_freestream()
-        .with(Face { axis: Axis::L, high: false }, BcKind::NoSlipWall)
-        .with(Face { axis: Axis::J, high: true }, BcKind::Extrapolate);
+        .with(
+            Face {
+                axis: Axis::L,
+                high: false,
+            },
+            BcKind::NoSlipWall,
+        )
+        .with(
+            Face {
+                axis: Axis::J,
+                high: true,
+            },
+            BcKind::Extrapolate,
+        );
     let (mut zone, mut stepper) = RiscStepper::new_zone(config, metrics);
     let workers = Workers::new(2);
     for _ in 0..60 {
@@ -148,12 +182,14 @@ fn boundary_layer_forms_at_a_no_slip_wall() {
     }
     // u at the first interior point off the wall is now well below
     // freestream; far from the wall it is not.
-    let probe = |l: usize| {
-        f3d::state::Primitive::from_conserved(&zone.q.get(Ijk::new(3, 2, l))).u
-    };
+    let probe = |l: usize| f3d::state::Primitive::from_conserved(&zone.q.get(Ijk::new(3, 2, l))).u;
     let u_inf = config.flow.primitive().u;
     assert!(probe(1) < 0.9 * u_inf, "no deficit near wall: {}", probe(1));
-    assert!(probe(d.l - 2) > 0.97 * u_inf, "far field disturbed: {}", probe(d.l - 2));
+    assert!(
+        probe(d.l - 2) > 0.97 * u_inf,
+        "far field disturbed: {}",
+        probe(d.l - 2)
+    );
     // Monotone-ish recovery away from the wall at low altitude.
     assert!(probe(1) < probe(3));
 }
@@ -229,10 +265,14 @@ fn perturbation_decays_in_both_implementations() {
     // paper refuses to let parallelization change).
     let d = Dims::new(10, 9, 8);
     let workers = Workers::new(2);
-    let (mut vz, mut vstep) =
-        VectorStepper::new_zone(SolverConfig::supersonic(), Metrics::cartesian(d, (0.25, 0.25, 0.25)));
-    let (mut rz, mut rstep) =
-        RiscStepper::new_zone(SolverConfig::supersonic(), Metrics::cartesian(d, (0.25, 0.25, 0.25)));
+    let (mut vz, mut vstep) = VectorStepper::new_zone(
+        SolverConfig::supersonic(),
+        Metrics::cartesian(d, (0.25, 0.25, 0.25)),
+    );
+    let (mut rz, mut rstep) = RiscStepper::new_zone(
+        SolverConfig::supersonic(),
+        Metrics::cartesian(d, (0.25, 0.25, 0.25)),
+    );
     let bump = |z: &mut ZoneSolver| {
         let c = Ijk::new(5, 4, 4);
         let mut q = z.q.get(c);
