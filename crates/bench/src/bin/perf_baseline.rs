@@ -106,12 +106,11 @@ pub fn baseline_json() -> Json {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_perf_baseline.json".to_string());
+    let args = bench::BenchArgs::from_env(&[], "BENCH_perf_baseline.json");
+    let out_path = args.output();
     let json = baseline_json();
     let text = json.to_pretty_string();
     print!("{text}");
-    std::fs::write(&out_path, &text).expect("write baseline report");
+    std::fs::write(out_path, &text).expect("write baseline report");
     eprintln!("wrote {out_path}");
 }

@@ -1,0 +1,185 @@
+//! Load generator for `llpd`: boots the server in-process on an
+//! ephemeral port, fires a mixed request stream from concurrent client
+//! threads, and emits a versioned `BENCH_serve.json` report.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_load -- \
+//!     [--requests N] [--concurrency N] [--workers N] [--queue N] [<output-path>]
+//! ```
+//!
+//! The request mix cycles solve / advise / model / metrics, so the
+//! shared pool, the admission queue, and the inline endpoints all see
+//! traffic. Rejections (429) are part of the measurement, not a
+//! failure: with a bounded queue and more clients than executor slots,
+//! back-pressure is the designed behavior. Schema (`schema_version` 1):
+//!
+//! ```text
+//! { schema_version, bench, requests, concurrency, workers,
+//!   queue_capacity, seconds, throughput_rps,
+//!   latency_ms: { p50, p99, max },
+//!   completed, rejected, errors,
+//!   by_endpoint: { solve, advise, model, metrics } }
+//! ```
+
+use bench::{percentile, BenchArgs};
+use llp::obs::json::Json;
+use serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const SOLVE_BODY: &str = r#"{"zones": 1, "steps": 1, "workers": 1}"#;
+const ADVISE_BODY: &str = r#"{"clock_hz": 300e6, "sync_cost_cycles": 10000, "processors": 32,
+    "loops": [{"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320}]}"#;
+
+/// A canned request: endpoint family plus raw request text builder.
+type MixEntry = (&'static str, fn() -> String);
+
+/// The cycled request mix.
+const MIX: [MixEntry; 4] = [
+    ("solve", || post("/v1/solve", SOLVE_BODY)),
+    ("advise", || post("/v1/advise", ADVISE_BODY)),
+    ("model", || {
+        get("/v1/model/stairstep?units=15&processors=1,2,4,8")
+    }),
+    ("metrics", || get("/metrics")),
+];
+
+fn get(target: &str) -> String {
+    format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n")
+}
+
+fn post(target: &str, body: &str) -> String {
+    format!(
+        "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Send one raw request, returning (status, latency).
+fn send(addr: SocketAddr, raw: &str) -> (u16, Duration) {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to llpd");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, started.elapsed())
+}
+
+struct Outcome {
+    endpoint_index: usize,
+    status: u16,
+    latency: Duration,
+}
+
+fn main() {
+    let args = BenchArgs::from_env(
+        &["requests", "concurrency", "workers", "queue"],
+        "BENCH_serve.json",
+    );
+    let die = |e: String| -> usize {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let requests = args.positive_usize("requests", 48).unwrap_or_else(die);
+    let concurrency = args.positive_usize("concurrency", 6).unwrap_or_else(die);
+    let workers = args.positive_usize("workers", 2).unwrap_or_else(die);
+    let queue_capacity = args.positive_usize("queue", 4).unwrap_or_else(die);
+
+    let server = Server::start(ServerConfig {
+        workers,
+        queue_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("bind llpd");
+    let addr = server.addr();
+    eprintln!(
+        "serve_load: llpd on {addr}, {requests} requests x {concurrency} clients, \
+         {workers} workers, queue {queue_capacity}"
+    );
+
+    let started = Instant::now();
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut outcomes = Vec::new();
+                    for i in (client..requests).step_by(concurrency) {
+                        let endpoint_index = i % MIX.len();
+                        let (status, latency) = send(addr, &MIX[endpoint_index].1());
+                        outcomes.push(Outcome {
+                            endpoint_index,
+                            status,
+                            latency,
+                        });
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let latencies_ms: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.latency.as_secs_f64() * 1e3)
+        .collect();
+    let completed = outcomes.iter().filter(|o| o.status == 200).count();
+    let rejected = outcomes.iter().filter(|o| o.status == 429).count();
+    let errors = outcomes.len() - completed - rejected;
+    let mut by_endpoint = [0usize; MIX.len()];
+    for o in &outcomes {
+        by_endpoint[o.endpoint_index] += 1;
+    }
+
+    let json = Json::object(vec![
+        ("schema_version", Json::from_u64(1)),
+        ("bench", Json::str("serve_load")),
+        ("requests", Json::from_usize(requests)),
+        ("concurrency", Json::from_usize(concurrency)),
+        ("workers", Json::from_usize(workers)),
+        ("queue_capacity", Json::from_usize(queue_capacity)),
+        ("seconds", Json::Num(seconds)),
+        (
+            "throughput_rps",
+            Json::Num(outcomes.len() as f64 / seconds.max(1e-9)),
+        ),
+        (
+            "latency_ms",
+            Json::object(vec![
+                ("p50", Json::Num(percentile(&latencies_ms, 50.0))),
+                ("p99", Json::Num(percentile(&latencies_ms, 99.0))),
+                ("max", Json::Num(percentile(&latencies_ms, 100.0))),
+            ]),
+        ),
+        ("completed", Json::from_usize(completed)),
+        ("rejected", Json::from_usize(rejected)),
+        ("errors", Json::from_usize(errors)),
+        (
+            "by_endpoint",
+            Json::object(
+                MIX.iter()
+                    .zip(&by_endpoint)
+                    .map(|(&(name, _), &count)| (name, Json::from_usize(count)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(args.output(), &text).expect("write serve report");
+    eprintln!("wrote {}", args.output());
+}

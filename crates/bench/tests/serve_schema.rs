@@ -1,0 +1,74 @@
+//! Schema validation for the `serve_load` JSON report: runs the load
+//! generator (small request count, real llpd in-process) and pins the
+//! versioned structure future serving-performance PRs regress against.
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_serve_load() -> Json {
+    let out_path = format!("{}/serve_schema_test.json", env!("CARGO_TARGET_TMPDIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_load"))
+        .args([
+            "--requests",
+            "12",
+            "--concurrency",
+            "3",
+            "--workers",
+            "1",
+            "--queue",
+            "8",
+            &out_path,
+        ])
+        .output()
+        .expect("run serve_load");
+    assert!(
+        out.status.success(),
+        "serve_load exited {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1() {
+    let report = run_serve_load();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("serve_load")
+    );
+    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(12));
+    assert_eq!(report.get("concurrency").and_then(Json::as_u64), Some(3));
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("queue_capacity").and_then(Json::as_u64), Some(8));
+    assert!(report.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(report.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+
+    let latency = report.get("latency_ms").expect("latency_ms object");
+    let p50 = latency.get("p50").and_then(Json::as_f64).unwrap();
+    let p99 = latency.get("p99").and_then(Json::as_f64).unwrap();
+    let max = latency.get("max").and_then(Json::as_f64).unwrap();
+    assert!(p50 > 0.0);
+    assert!(p50 <= p99 && p99 <= max, "percentiles are ordered");
+
+    // Every request is accounted for exactly once.
+    let completed = report.get("completed").and_then(Json::as_u64).unwrap();
+    let rejected = report.get("rejected").and_then(Json::as_u64).unwrap();
+    let errors = report.get("errors").and_then(Json::as_u64).unwrap();
+    assert_eq!(completed + rejected + errors, 12);
+    assert_eq!(errors, 0, "load mix should produce no error statuses");
+
+    let by_endpoint = report.get("by_endpoint").expect("by_endpoint object");
+    let count = |k: &str| by_endpoint.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        count("solve") + count("advise") + count("model") + count("metrics"),
+        12
+    );
+    // The mix cycles all four endpoint families.
+    assert!(count("solve") >= 1 && count("metrics") >= 1);
+}

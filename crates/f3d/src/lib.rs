@@ -44,6 +44,7 @@ pub mod forces;
 pub mod multizone;
 pub mod risc_impl;
 pub mod sequencing;
+pub mod service;
 pub mod solver;
 pub mod state;
 pub mod trace;

@@ -1,0 +1,255 @@
+//! A bounded, service-sized solver entry point.
+//!
+//! The `llpd` HTTP service exposes F3D runs to untrusted callers, so it
+//! needs an entry point with a hard ceiling on the work one request can
+//! ask for. [`ServiceCase`] is that contract: a J-chained multi-zone
+//! grid of fixed transverse extent, with zone count, step count and
+//! worker count validated against small caps before anything is
+//! allocated. [`run`] executes the case on a caller-supplied pool
+//! (typically a [`Workers::sized_view`] of a service's shared pool) and
+//! returns everything a response needs: the residual history, the
+//! integrated wall forces, a per-zone [`FieldChecksum`] — the paper's
+//! Section 6 "diff" primitive, which lets a client verify a served run
+//! against a local one bit-for-bit — and the observability report.
+//!
+//! Determinism is the point: two [`run`]s of the same case produce
+//! identical histories and checksums regardless of worker count, so
+//! equality (not tolerance) is the correct cross-invocation test.
+
+use crate::bc::Face;
+use crate::forces::{self, SurfaceForces};
+use crate::multizone::MultiZoneSolver;
+use crate::solver::SolverConfig;
+use crate::validation::{FieldChecksum, ResidualHistory};
+use llp::{ObsReport, Workers};
+use mesh::{Axis, Dims, MultiZoneGrid};
+
+/// Maximum zones a service case may request.
+pub const MAX_ZONES: usize = 4;
+/// Maximum time steps a service case may request.
+pub const MAX_STEPS: usize = 32;
+/// Maximum workers a service case may request.
+pub const MAX_WORKERS: usize = 64;
+
+/// Transverse (K × L) extent of the service grid; the J extent before
+/// zonal splitting. Small enough that a maximal case stays well under a
+/// second.
+const SERVICE_DIMS: Dims = Dims {
+    j: 16,
+    k: 12,
+    l: 10,
+};
+
+/// A validated request for one bounded solver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCase {
+    /// Number of J-chained zones (1..=[`MAX_ZONES`]).
+    pub zones: usize,
+    /// Number of time steps (1..=[`MAX_STEPS`]).
+    pub steps: usize,
+    /// Worker count to run with (1..=[`MAX_WORKERS`]).
+    pub workers: usize,
+}
+
+impl ServiceCase {
+    /// Check every field against its cap.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field and its bound.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, v: usize, max: usize| {
+            if (1..=max).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in 1..={max}, got {v}"))
+            }
+        };
+        check("zones", self.zones, MAX_ZONES)?;
+        check("steps", self.steps, MAX_STEPS)?;
+        check("workers", self.workers, MAX_WORKERS)
+    }
+
+    /// Stable label for this case, used as the obs-report case name.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("service/z{}s{}w{}", self.zones, self.steps, self.workers)
+    }
+
+    /// The grid this case solves on.
+    #[must_use]
+    pub fn grid(&self) -> MultiZoneGrid {
+        MultiZoneGrid::split_j(SERVICE_DIMS, self.zones)
+    }
+}
+
+/// Everything one bounded run produces.
+#[derive(Debug, Clone)]
+pub struct ServiceRun {
+    /// The case that was run.
+    pub case: ServiceCase,
+    /// Zone names, in grid order.
+    pub zone_names: Vec<String>,
+    /// Freestream deviation after each step.
+    pub residuals: Vec<f64>,
+    /// Drag coefficient on the low-L wall faces.
+    pub drag: f64,
+    /// Lift coefficient on the low-L wall faces.
+    pub lift: f64,
+    /// Per-zone field checksums after the final step, in grid order.
+    pub checksums: Vec<FieldChecksum>,
+    /// Synchronization events this run added to the pool.
+    pub sync_events: u64,
+    /// Span report drained from the pool's recorder (empty when the
+    /// pool does not record).
+    pub report: ObsReport,
+}
+
+/// Execute a validated case on `pool` and collect the results.
+///
+/// The run is deterministic in `(zones, steps)`: the initial condition
+/// is a fixed pseudo-random perturbation of the freestream, and the
+/// solver's numerics are worker-count-invariant, so checksum equality
+/// across invocations (local vs. served) is exact.
+///
+/// When the pool records spans, the report covering exactly this run is
+/// drained from the recorder — the caller must not have open spans.
+///
+/// # Errors
+/// Returns the [`ServiceCase::validate`] error for out-of-bounds cases.
+pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
+    case.validate()?;
+    let grid = case.grid();
+    let config = SolverConfig::supersonic();
+    let mut solver = MultiZoneSolver::from_grid(&grid, config, 0.3);
+
+    // Deterministic perturbed initial condition — without it every
+    // field stays exactly freestream and the checksums test nothing.
+    for zi in 0..solver.zone_count() {
+        let zone = solver.zone_mut(zi);
+        for p in zone.dims().iter_jkl() {
+            let mut q = zone.q.get(p);
+            q[0] *= 1.0 + 0.01 * ((p.j + 2 * p.k + 3 * p.l + zi) as f64).sin();
+            zone.q.set(p, q);
+        }
+    }
+
+    let sync_before = pool.sync_event_count();
+    let mut residuals = ResidualHistory::new();
+    for _ in 0..case.steps {
+        solver.step_loop_level(pool, None);
+        residuals.push(solver.freestream_deviation());
+    }
+    let sync_events = pool.sync_event_count() - sync_before;
+    let report = pool
+        .recorder()
+        .take_report(&case.label(), pool.processors());
+
+    // Wall observable: pressure force summed over every zone's low-L
+    // face, normalized by the total wall area.
+    let wall = Face {
+        axis: Axis::L,
+        high: false,
+    };
+    let mut total = SurfaceForces {
+        force: [0.0; 3],
+        area: 0.0,
+    };
+    for zi in 0..solver.zone_count() {
+        let f = forces::pressure_force(solver.zone(zi), wall);
+        for c in 0..3 {
+            total.force[c] += f.force[c];
+        }
+        total.area += f.area;
+    }
+    let (drag, lift) = total.drag_lift(solver.zone(0), total.area);
+
+    let checksums = (0..solver.zone_count())
+        .map(|zi| FieldChecksum::of(&solver.zone(zi).q))
+        .collect();
+
+    Ok(ServiceRun {
+        case: *case,
+        zone_names: solver.zone_names().to_vec(),
+        residuals: residuals.values,
+        drag,
+        lift,
+        checksums,
+        sync_events,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_enforces_caps() {
+        let ok = ServiceCase {
+            zones: 3,
+            steps: 4,
+            workers: 2,
+        };
+        assert!(ok.validate().is_ok());
+        for bad in [
+            ServiceCase { zones: 0, ..ok },
+            ServiceCase {
+                zones: MAX_ZONES + 1,
+                ..ok
+            },
+            ServiceCase { steps: 0, ..ok },
+            ServiceCase {
+                steps: MAX_STEPS + 1,
+                ..ok
+            },
+            ServiceCase { workers: 0, ..ok },
+            ServiceCase {
+                workers: MAX_WORKERS + 1,
+                ..ok
+            },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(err.contains("must be in 1..="), "{err}");
+            assert!(run(&bad, &Workers::serial()).is_err());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_worker_counts() {
+        let base = ServiceCase {
+            zones: 2,
+            steps: 3,
+            workers: 1,
+        };
+        let a = run(&base, &Workers::new(1)).unwrap();
+        let b = run(&ServiceCase { workers: 3, ..base }, &Workers::new(3)).unwrap();
+        assert_eq!(a.residuals, b.residuals);
+        assert_eq!(a.checksums, b.checksums);
+        assert_eq!(a.drag, b.drag);
+        assert_eq!(a.lift, b.lift);
+        assert_eq!(a.zone_names, vec!["zone1", "zone2"]);
+        assert_eq!(a.residuals.len(), 3);
+        assert!(a.drag.is_finite() && a.lift.is_finite());
+    }
+
+    #[test]
+    fn recorded_run_reports_its_sync_events() {
+        let case = ServiceCase {
+            zones: 2,
+            steps: 2,
+            workers: 2,
+        };
+        let pool = Workers::recorded(4);
+        let out = run(&case, &pool.sized_view(case.workers)).unwrap();
+        assert!(out.sync_events > 0);
+        assert_eq!(out.report.sync_events(), out.sync_events);
+        assert_eq!(out.report.case, case.label());
+        // The run's events accumulated on the shared pool.
+        assert_eq!(pool.sync_event_count(), out.sync_events);
+        // Back-to-back runs drain cleanly: the second report only
+        // covers the second run.
+        let again = run(&case, &pool.sized_view(case.workers)).unwrap();
+        assert_eq!(again.report.sync_events(), again.sync_events);
+        assert_eq!(pool.sync_event_count(), 2 * out.sync_events);
+    }
+}

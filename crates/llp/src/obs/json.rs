@@ -9,6 +9,13 @@
 
 use std::fmt;
 
+/// Maximum nesting depth [`Json::parse`] accepts. The parser is
+/// recursive-descent, so without a cap an attacker-supplied document of
+/// a few hundred kilobytes of `[` would overflow the stack (an abort,
+/// not a clean `Err`). Real reports nest a handful of levels
+/// (step → zone → kernel → region); 128 leaves generous headroom.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -88,6 +95,41 @@ impl Json {
         }
     }
 
+    /// The value's key/value pairs, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer that
+    /// fits.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// A number value from an unsigned integer (exact up to 2^53).
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        #[allow(clippy::cast_precision_loss)]
+        Json::Num(v as f64)
+    }
+
+    /// A number value from a `usize` (exact up to 2^53).
+    #[must_use]
+    pub fn from_usize(v: usize) -> Self {
+        Json::from_u64(v as u64)
+    }
+
+    /// A string value from a string slice.
+    #[must_use]
+    pub fn str(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+
     /// Pretty-print with two-space indentation and a trailing newline —
     /// the on-disk format of the benchmark reports.
     #[must_use]
@@ -139,13 +181,18 @@ impl Json {
 
     /// Parse a JSON document.
     ///
+    /// Built to survive untrusted input: nesting is capped at
+    /// [`MAX_PARSE_DEPTH`], numbers must be finite, and every malformed
+    /// document — truncated, over-deep, or syntactically broken —
+    /// yields a clean `Err`, never a panic.
+    ///
     /// # Errors
     /// Returns a message with the byte offset of the first syntax error,
     /// or if trailing non-whitespace follows the document.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -239,12 +286,18 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+            *pos
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -270,9 +323,14 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number bytes");
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    match text.parse::<f64>() {
+        // JSON has no representation for NaN or infinity; an overflowing
+        // literal like `1e999` must not smuggle one in (it would emit as
+        // `null` and break round-tripping).
+        Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+        Ok(_) => Err(format!("number out of range at byte {start}")),
+        Err(_) => Err(format!("invalid number `{text}` at byte {start}")),
+    }
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -313,11 +371,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
             }
             b => {
-                // Re-sync to a char boundary for multi-byte UTF-8.
+                // Re-sync to a char boundary for multi-byte UTF-8. The
+                // slice is fetched with `get` so a multi-byte character
+                // truncated at end of input errs instead of panicking.
                 let rest = &bytes[*pos - 1..];
                 let ch_len = utf8_len(b);
-                let s = std::str::from_utf8(&rest[..ch_len])
-                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let s = rest
+                    .get(..ch_len)
+                    .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                    .ok_or_else(|| "invalid utf-8 in string".to_string())?;
                 out.push_str(s);
                 *pos += ch_len - 1;
             }
@@ -334,7 +396,7 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -343,7 +405,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -356,7 +418,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -369,7 +431,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        pairs.push((key, parse_value(bytes, pos)?));
+        pairs.push((key, parse_value(bytes, pos, depth + 1)?));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -432,6 +494,65 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        for text in [
+            "[".repeat(100_000),
+            "{\"k\":".repeat(100_000),
+            format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000)),
+        ] {
+            let err = Json::parse(&text).unwrap_err();
+            assert!(err.contains("nesting"), "{err}");
+        }
+        // ...while documents within the cap still parse.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_numbers_are_rejected() {
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        let long = "9".repeat(400);
+        assert!(Json::parse(&long).is_err());
+        // Near-max finite values still parse.
+        assert!(Json::parse("1e308").is_ok());
+    }
+
+    #[test]
+    fn every_truncation_of_a_document_errs_cleanly() {
+        let doc = Json::object(vec![
+            ("name", Json::str("zürich \"quoted\" \n")),
+            (
+                "nums",
+                Json::Array(vec![Json::Num(-1.5e3), Json::Num(0.125)]),
+            ),
+            ("flag", Json::Bool(true)),
+        ])
+        .to_string();
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            // No prefix may panic; only the full document parses.
+            assert!(Json::parse(&doc[..cut]).is_err(), "prefix {cut} parsed");
+        }
+        assert!(Json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn typed_accessors_and_constructors() {
+        let v = Json::object(vec![
+            ("n", Json::from_u64(7)),
+            ("m", Json::from_usize(3)),
+            ("s", Json::str("x")),
+        ]);
+        assert_eq!(v.get("n").and_then(Json::as_usize), Some(7));
+        assert_eq!(v.as_object().map(<[(String, Json)]>::len), Some(3));
+        assert!(Json::Num(1.5).as_object().is_none());
+        assert_eq!(v.get("s"), Some(&Json::Str("x".into())));
     }
 
     #[test]

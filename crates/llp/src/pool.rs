@@ -11,6 +11,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::obs::Recorder;
@@ -55,9 +56,16 @@ impl<'env> RegionScope<'env> {
 /// one branch per region.
 pub struct Workers {
     processors: usize,
+    counters: Arc<Counters>,
+    recorder: Recorder,
+}
+
+/// Shared event counters: one allocation per pool, shared by every
+/// [`Workers::sized_view`] of it.
+#[derive(Default)]
+struct Counters {
     sync_events: AtomicU64,
     regions: AtomicU64,
-    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Workers {
@@ -80,8 +88,7 @@ impl Workers {
         assert!(processors > 0, "worker count must be positive");
         Self {
             processors,
-            sync_events: AtomicU64::new(0),
-            regions: AtomicU64::new(0),
+            counters: Arc::new(Counters::default()),
             recorder: Recorder::disabled(),
         }
     }
@@ -100,10 +107,51 @@ impl Workers {
         Self::new(1)
     }
 
+    /// A team sized for this machine: the `LLP_WORKERS` environment
+    /// variable when set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`] (1 if unavailable).
+    ///
+    /// This is the right default for binaries and examples; experiments
+    /// that sweep processor counts should keep passing explicit values
+    /// to [`Workers::new`].
+    #[must_use]
+    pub fn default_sized() -> Self {
+        Self::new(default_worker_count())
+    }
+
+    /// Like [`Workers::default_sized`] with span recording enabled.
+    #[must_use]
+    pub fn default_sized_recorded() -> Self {
+        Self::recorded(default_worker_count())
+    }
+
     /// Number of workers ("processors") in the team.
     #[must_use]
     pub fn processors(&self) -> usize {
         self.processors
+    }
+
+    /// A differently-sized view of the *same* pool: the view schedules
+    /// its regions over `processors` workers, but synchronization
+    /// events, region counts and recorded spans all accumulate on this
+    /// pool's shared state.
+    ///
+    /// This is how a service runs requests that ask for fewer workers
+    /// than the pool owns while keeping one set of pool-wide totals:
+    /// `pool.sized_view(w)` costs two `Arc` clones, and
+    /// [`Workers::sync_event_count`] on the parent still reflects every
+    /// region the view ran.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    #[must_use]
+    pub fn sized_view(&self, processors: usize) -> Self {
+        assert!(processors > 0, "worker count must be positive");
+        Self {
+            processors,
+            counters: Arc::clone(&self.counters),
+            recorder: self.recorder.clone(),
+        }
     }
 
     /// The team's span recorder (disabled unless enabled explicitly).
@@ -121,20 +169,20 @@ impl Workers {
     /// Total synchronization events (parallel-region exits) so far.
     #[must_use]
     pub fn sync_event_count(&self) -> u64 {
-        self.sync_events.load(Ordering::Relaxed)
+        self.counters.sync_events.load(Ordering::Relaxed)
     }
 
     /// Total parallel regions entered so far (equal to
     /// [`Self::sync_event_count`] unless a region is currently active).
     #[must_use]
     pub fn region_count(&self) -> u64 {
-        self.regions.load(Ordering::Relaxed)
+        self.counters.regions.load(Ordering::Relaxed)
     }
 
     /// Reset the event counters (e.g. between benchmark phases).
     pub fn reset_counters(&self) {
-        self.sync_events.store(0, Ordering::Relaxed);
-        self.regions.store(0, Ordering::Relaxed);
+        self.counters.sync_events.store(0, Ordering::Relaxed);
+        self.counters.regions.store(0, Ordering::Relaxed);
     }
 
     /// Run `f` as one parallel region: `f` receives a [`RegionScope`]
@@ -145,7 +193,7 @@ impl Workers {
     /// This is the primitive beneath [`crate::doacross`]; prefer the
     /// higher-level entry points.
     pub fn region<'env, R>(&self, f: impl FnOnce(&RegionScope<'env>) -> R) -> R {
-        self.regions.fetch_add(1, Ordering::Relaxed);
+        self.counters.regions.fetch_add(1, Ordering::Relaxed);
         let start = if self.recorder.is_enabled() {
             Some(Instant::now())
         } else {
@@ -156,7 +204,7 @@ impl Workers {
         };
         let out = f(&scope);
         run_tasks(scope.tasks.into_inner());
-        self.sync_events.fetch_add(1, Ordering::Relaxed);
+        self.counters.sync_events.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = start {
             self.recorder
                 .attach_region(self.processors, start.elapsed().as_secs_f64());
@@ -171,6 +219,22 @@ impl Workers {
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         f()
     }
+}
+
+/// The machine-default worker count: `LLP_WORKERS` when set to a
+/// positive integer, else [`std::thread::available_parallelism`],
+/// else 1. Values that fail to parse (or are zero) are ignored rather
+/// than panicking — a service must not die on a typo'd environment.
+#[must_use]
+pub fn default_worker_count() -> usize {
+    if let Ok(v) = std::env::var("LLP_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Run queued region tasks to completion: the last task runs on the
@@ -258,5 +322,41 @@ mod tests {
     #[should_panic(expected = "worker count must be positive")]
     fn zero_workers_panics() {
         let _ = Workers::new(0);
+    }
+
+    #[test]
+    fn sized_view_shares_counters_and_recorder() {
+        let pool = Workers::recorded(4);
+        pool.region(|_| {});
+        let view = pool.sized_view(2);
+        assert_eq!(view.processors(), 2);
+        view.region(|scope| scope.spawn(|| {}));
+        // Both regions landed on the shared counters...
+        assert_eq!(pool.sync_event_count(), 2);
+        assert_eq!(view.sync_event_count(), 2);
+        // ...and on the shared recorder (region spans carry the view's
+        // worker count, not the pool's).
+        let report = pool.recorder().take_report("views", 4);
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].workers, 4);
+        assert_eq!(report.spans[1].workers, 2);
+        // Resetting through the view resets the pool.
+        view.reset_counters();
+        assert_eq!(pool.sync_event_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count must be positive")]
+    fn zero_sized_view_panics() {
+        let _ = Workers::new(2).sized_view(0);
+    }
+
+    #[test]
+    fn default_sized_is_positive() {
+        // Whatever the machine or environment, the team must be usable.
+        let w = Workers::default_sized();
+        assert!(w.processors() >= 1);
+        assert!(!w.recorder().is_enabled());
+        assert!(Workers::default_sized_recorded().recorder().is_enabled());
     }
 }

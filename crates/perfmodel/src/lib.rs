@@ -13,6 +13,9 @@
 //! * [`stairstep`] — the stair-step speedup law behind Table 3 and
 //!   Figure 1: the ideal speedup of a loop with a finite number of
 //!   parallel units under static scheduling.
+//! * [`batch`] — validated, non-panicking batch evaluation of the three
+//!   models above, for callers relaying untrusted queries (the `llpd`
+//!   HTTP service).
 //! * [`amdahl`] — Amdahl's-law helpers used when boundary-condition
 //!   routines are deliberately left serial.
 //! * [`metrics`] — the reporting metrics the paper argues for
@@ -26,12 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod amdahl;
+pub mod batch;
 pub mod metrics;
 pub mod overhead;
 pub mod stairstep;
 pub mod work_per_sync;
 
 pub use amdahl::{amdahl_speedup, serial_fraction_limit};
+pub use batch::{
+    overhead_batch, stairstep_batch, work_per_sync_batch, OverheadPoint, StairstepPoint,
+    WorkPerSyncPoint,
+};
 pub use metrics::{delivered_mflops, time_steps_per_hour, Efficiency};
 pub use overhead::{max_efficient_processors, min_work_for_overhead, OverheadBound};
 pub use stairstep::{ideal_speedup, max_units_per_processor, plateau_edges, speedup_curve};

@@ -33,6 +33,35 @@ pub enum LoopLevel {
     BoundaryOuter,
 }
 
+impl LoopLevel {
+    /// Every loop level, in the order Table 2 discusses them.
+    pub const ALL: [LoopLevel; 5] = [
+        LoopLevel::Inner,
+        LoopLevel::Middle,
+        LoopLevel::Outer,
+        LoopLevel::BoundaryInner,
+        LoopLevel::BoundaryOuter,
+    ];
+
+    /// Stable lower-snake name, used in query/response wire formats.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopLevel::Inner => "inner",
+            LoopLevel::Middle => "middle",
+            LoopLevel::Outer => "outer",
+            LoopLevel::BoundaryInner => "boundary_inner",
+            LoopLevel::BoundaryOuter => "boundary_outer",
+        }
+    }
+
+    /// Inverse of [`LoopLevel::name`]; `None` for unknown names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|lv| lv.name() == name)
+    }
+}
+
 /// A grid loop nest of one, two, or three dimensions, with the iteration
 /// counts ordered outermost-first (e.g. `ThreeD { l: 100, k: 100, j: 100 }`
 /// is `DO L / DO K / DO J`).
@@ -62,6 +91,35 @@ pub enum GridNest {
 }
 
 impl GridNest {
+    /// Build a nest from outermost-first dimensions, validating that
+    /// there are one to three of them, each positive, and that the
+    /// total point count fits in `u64` (so the per-sync products in
+    /// [`GridNest::points_per_sync`] cannot overflow). `None` on any
+    /// violation — the untrusted-input constructor for services.
+    #[must_use]
+    pub fn from_dims(dims: &[u64]) -> Option<Self> {
+        if dims.contains(&0) {
+            return None;
+        }
+        let nest = match *dims {
+            [n] => GridNest::OneD { n },
+            [outer, inner] => {
+                outer.checked_mul(inner)?;
+                GridNest::TwoD { outer, inner }
+            }
+            [outer, middle, inner] => {
+                outer.checked_mul(middle)?.checked_mul(inner)?;
+                GridNest::ThreeD {
+                    outer,
+                    middle,
+                    inner,
+                }
+            }
+            _ => return None,
+        };
+        Some(nest)
+    }
+
     /// Total number of grid points in the nest.
     #[must_use]
     pub fn points(&self) -> u64 {
@@ -265,6 +323,36 @@ pub fn table2() -> Vec<Table2Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn loop_level_names_round_trip() {
+        for lv in LoopLevel::ALL {
+            assert_eq!(LoopLevel::from_name(lv.name()), Some(lv));
+        }
+        assert_eq!(LoopLevel::from_name("galaxy"), None);
+    }
+
+    #[test]
+    fn from_dims_validates() {
+        assert_eq!(GridNest::from_dims(&[7]), Some(GridNest::OneD { n: 7 }));
+        assert_eq!(
+            GridNest::from_dims(&[3, 4]),
+            Some(GridNest::TwoD { outer: 3, inner: 4 })
+        );
+        assert_eq!(
+            GridNest::from_dims(&[2, 3, 4]),
+            Some(GridNest::ThreeD {
+                outer: 2,
+                middle: 3,
+                inner: 4
+            })
+        );
+        assert_eq!(GridNest::from_dims(&[]), None);
+        assert_eq!(GridNest::from_dims(&[1, 2, 3, 4]), None);
+        assert_eq!(GridNest::from_dims(&[0, 5]), None);
+        assert_eq!(GridNest::from_dims(&[u64::MAX, u64::MAX]), None);
+        assert_eq!(GridNest::from_dims(&[u64::MAX, 2, 2]), None);
+    }
 
     #[test]
     fn table2_matches_paper() {

@@ -1,0 +1,627 @@
+//! Request/response bodies for the `llpd` endpoints.
+//!
+//! Everything speaks `llp::obs::json::Json` — the same hand-rolled,
+//! hardened JSON layer the observability reports use — so there is
+//! exactly one parser facing untrusted bodies. Parsing here is strict:
+//! unknown object keys are rejected (a typo'd field silently falling
+//! back to a default is worse than a 400), numbers must be in range,
+//! and every list is capped before anything is allocated
+//! proportionally to it.
+
+use f3d::service::{ServiceCase, ServiceRun};
+use f3d::validation::FieldChecksum;
+use llp::advisor::{Advice, Advisor, LoopDecision};
+use llp::obs::json::Json;
+use llp::profile::{LoopReport, LoopStats};
+use perfmodel::overhead::{OverheadBound, PAPER_OVERHEAD_FRACTION};
+use perfmodel::work_per_sync::{GridNest, LoopLevel};
+use perfmodel::{overhead_batch, stairstep_batch, work_per_sync_batch};
+
+/// Maximum loops one advise request may submit.
+pub const MAX_ADVISE_LOOPS: usize = 256;
+/// Maximum bytes of a loop name in an advise request.
+pub const MAX_NAME_BYTES: usize = 128;
+
+/// Parse and check an object body against an exact set of known keys.
+fn parse_object<'j>(body: &'j Json, known: &[&str]) -> Result<&'j [(String, Json)], String> {
+    let pairs = body.as_object().ok_or("body must be a JSON object")?;
+    for (key, _) in pairs {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}`"));
+        }
+    }
+    Ok(pairs)
+}
+
+fn require_u64(body: &Json, key: &str) -> Result<u64, String> {
+    body.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn require_finite(body: &Json, key: &str) -> Result<f64, String> {
+    match body.get(key).and_then(Json::as_f64) {
+        Some(v) if v.is_finite() => Ok(v),
+        _ => Err(format!("`{key}` must be a finite number")),
+    }
+}
+
+// ---------------------------------------------------------------- solve
+
+/// Parse a `POST /v1/solve` body into a bounded case. Omitted fields
+/// fall back to a small default case; `workers` defaults to
+/// `default_workers` (the shared pool's size).
+///
+/// # Errors
+/// Unknown fields, mistyped values, and out-of-cap cases are rejected
+/// with a message naming the problem.
+pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<ServiceCase, String> {
+    let body = Json::parse(text)?;
+    parse_object(&body, &["zones", "steps", "workers"])?;
+    let field = |key: &str, default: usize| match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    };
+    let case = ServiceCase {
+        zones: field("zones", 3)?,
+        steps: field("steps", 4)?,
+        workers: field("workers", default_workers)?,
+    };
+    case.validate()?;
+    Ok(case)
+}
+
+fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
+    let arr = |v: &[f64]| Json::Array(v.iter().map(|&x| Json::Num(x)).collect());
+    Json::object(vec![
+        ("zone", Json::str(zone)),
+        ("sum", arr(&sum.sum)),
+        ("sum_sq", arr(&sum.sum_sq)),
+        ("min", arr(&sum.min)),
+        ("max", arr(&sum.max)),
+    ])
+}
+
+/// Render a completed solver run as the `/v1/solve` response body.
+#[must_use]
+pub fn solve_response(run: &ServiceRun) -> Json {
+    Json::object(vec![
+        (
+            "case",
+            Json::object(vec![
+                ("zones", Json::from_usize(run.case.zones)),
+                ("steps", Json::from_usize(run.case.steps)),
+                ("workers", Json::from_usize(run.case.workers)),
+            ]),
+        ),
+        (
+            "residuals",
+            Json::Array(run.residuals.iter().map(|&r| Json::Num(r)).collect()),
+        ),
+        (
+            "forces",
+            Json::object(vec![
+                ("drag", Json::Num(run.drag)),
+                ("lift", Json::Num(run.lift)),
+            ]),
+        ),
+        (
+            "checksums",
+            Json::Array(
+                run.zone_names
+                    .iter()
+                    .zip(&run.checksums)
+                    .map(|(name, sum)| checksum_json(name, sum))
+                    .collect(),
+            ),
+        ),
+        ("sync_events", Json::from_u64(run.sync_events)),
+        ("report", run.report.to_json()),
+    ])
+}
+
+// --------------------------------------------------------------- advise
+
+/// A parsed `POST /v1/advise` body: the machine description and the
+/// profiled loops to judge.
+#[derive(Debug, Clone)]
+pub struct AdviseQuery {
+    /// Machine parameters to judge against.
+    pub advisor: Advisor,
+    /// Profiled loops, in submitted order.
+    pub reports: Vec<LoopReport>,
+}
+
+/// Parse a `POST /v1/advise` body.
+///
+/// The body carries the [`Advisor`] machine parameters (`clock_hz`,
+/// `sync_cost_cycles`, `processors`, optional `max_overhead_fraction`)
+/// and a `loops` array of profile rows (`name`, `invocations`,
+/// `total_seconds`, `parallelism`, optional `parallelized`).
+/// `fraction_of_total` is derived from the submitted totals, exactly as
+/// [`llp::LoopProfiler::report`] derives it.
+///
+/// # Errors
+/// Rejects unknown fields, out-of-range machine parameters (which would
+/// panic inside [`Advisor::new`]), oversized loop lists, and mistyped
+/// rows.
+pub fn parse_advise_body(text: &str) -> Result<AdviseQuery, String> {
+    let body = Json::parse(text)?;
+    parse_object(
+        &body,
+        &[
+            "clock_hz",
+            "sync_cost_cycles",
+            "max_overhead_fraction",
+            "processors",
+            "loops",
+        ],
+    )?;
+
+    let clock_hz = require_finite(&body, "clock_hz")?;
+    if clock_hz <= 0.0 {
+        return Err("`clock_hz` must be positive".to_string());
+    }
+    let sync_cost_cycles = require_u64(&body, "sync_cost_cycles")?;
+    let fraction = match body.get("max_overhead_fraction") {
+        None => PAPER_OVERHEAD_FRACTION,
+        Some(v) => match v.as_f64() {
+            Some(f) if f > 0.0 && f <= 1.0 => f,
+            _ => return Err("`max_overhead_fraction` must be in (0, 1]".to_string()),
+        },
+    };
+    let processors = require_u64(&body, "processors")?;
+    let processors =
+        u32::try_from(processors).map_err(|_| "`processors` out of range".to_string())?;
+    if processors == 0 {
+        return Err("`processors` must be positive".to_string());
+    }
+
+    let loops = body
+        .get("loops")
+        .and_then(Json::as_array)
+        .ok_or("`loops` must be an array")?;
+    if loops.len() > MAX_ADVISE_LOOPS {
+        return Err(format!(
+            "{} loops exceeds limit {MAX_ADVISE_LOOPS}",
+            loops.len()
+        ));
+    }
+
+    let mut rows = Vec::with_capacity(loops.len());
+    for item in loops {
+        parse_object(
+            item,
+            &[
+                "name",
+                "invocations",
+                "total_seconds",
+                "parallelism",
+                "parallelized",
+            ],
+        )?;
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("loop `name` must be a string")?;
+        if name.is_empty() || name.len() > MAX_NAME_BYTES {
+            return Err(format!("loop name must be 1..={MAX_NAME_BYTES} bytes"));
+        }
+        let total_seconds = require_finite(item, "total_seconds")?;
+        if total_seconds < 0.0 {
+            return Err("`total_seconds` must be non-negative".to_string());
+        }
+        rows.push(LoopReport {
+            name: name.to_string(),
+            stats: LoopStats {
+                invocations: require_u64(item, "invocations")?,
+                total_seconds,
+                parallelism: require_u64(item, "parallelism")?,
+                parallelized: item
+                    .get("parallelized")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            },
+            fraction_of_total: 0.0,
+        });
+    }
+    let total: f64 = rows.iter().map(|r| r.stats.total_seconds).sum();
+    if total > 0.0 {
+        for r in &mut rows {
+            r.fraction_of_total = r.stats.total_seconds / total;
+        }
+    }
+
+    Ok(AdviseQuery {
+        advisor: Advisor::new(
+            clock_hz,
+            OverheadBound {
+                sync_cost_cycles,
+                max_overhead_fraction: fraction,
+            },
+            processors,
+        ),
+        reports: rows,
+    })
+}
+
+fn decision_json(decision: &LoopDecision) -> Json {
+    match decision {
+        LoopDecision::Parallelize { predicted_speedup } => Json::object(vec![
+            ("kind", Json::str("parallelize")),
+            ("predicted_speedup", Json::Num(*predicted_speedup)),
+        ]),
+        LoopDecision::TooLittleWork {
+            work_cycles,
+            required_cycles,
+        } => Json::object(vec![
+            ("kind", Json::str("too_little_work")),
+            ("work_cycles", Json::from_u64(*work_cycles)),
+            ("required_cycles", Json::from_u64(*required_cycles)),
+        ]),
+        LoopDecision::NoParallelism => Json::object(vec![("kind", Json::str("no_parallelism"))]),
+    }
+}
+
+/// Render advice as the `/v1/advise` response body.
+#[must_use]
+pub fn advise_response(advice: &Advice) -> Json {
+    Json::object(vec![
+        (
+            "loops",
+            Json::Array(
+                advice
+                    .loops
+                    .iter()
+                    .map(|l| {
+                        Json::object(vec![
+                            ("name", Json::str(&l.name)),
+                            ("fraction_of_total", Json::Num(l.fraction_of_total)),
+                            ("decision", decision_json(&l.decision)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("serial_fraction", Json::Num(advice.serial_fraction)),
+        ("predicted_speedup", Json::Num(advice.predicted_speedup)),
+    ])
+}
+
+// ---------------------------------------------------------------- model
+
+/// Split a query string into key/value pairs, rejecting keys outside
+/// `known` and duplicate keys.
+fn parse_query<'q>(query: &'q str, known: &[&str]) -> Result<Vec<(&'q str, &'q str)>, String> {
+    let mut pairs = Vec::new();
+    for part in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = part.split_once('=').unwrap_or((part, ""));
+        if !known.contains(&key) {
+            return Err(format!("unknown query parameter `{key}`"));
+        }
+        if pairs.iter().any(|&(k, _)| k == key) {
+            return Err(format!("duplicate query parameter `{key}`"));
+        }
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+fn query_value<'q>(pairs: &[(&'q str, &'q str)], key: &str) -> Option<&'q str> {
+    pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn require_query_u64(pairs: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    query_value(pairs, key)
+        .ok_or_else(|| format!("missing query parameter `{key}`"))?
+        .parse()
+        .map_err(|_| format!("`{key}` must be a non-negative integer"))
+}
+
+fn parse_u64_list(raw: &str, key: &str) -> Result<Vec<u64>, String> {
+    raw.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse()
+                .map_err(|_| format!("`{key}` must be a comma-separated integer list"))
+        })
+        .collect()
+}
+
+fn parse_u32_list(raw: &str, key: &str) -> Result<Vec<u32>, String> {
+    parse_u64_list(raw, key)?
+        .into_iter()
+        .map(|v| u32::try_from(v).map_err(|_| format!("`{key}` entry out of range")))
+        .collect()
+}
+
+/// Answer a `GET /v1/model/{kind}` query.
+///
+/// * `stairstep?units=15&processors=1,2,4` — the Table 3 / Figure 1 law;
+/// * `overhead?sync_cost=10000&processors=2,8&fraction=0.01` — Table 1;
+/// * `work_per_sync?dims=100,100,100&work_per_point=10&levels=outer` —
+///   Table 2 (omitting `levels` evaluates every level the nest has).
+///
+/// # Errors
+/// Unknown kinds, unknown/duplicate/missing parameters, and model
+/// domain errors come back as messages for a 400 response.
+pub fn model_response(kind: &str, query: &str) -> Result<Json, String> {
+    match kind {
+        "stairstep" => {
+            let pairs = parse_query(query, &["units", "processors"])?;
+            let units = require_query_u64(&pairs, "units")?;
+            let processors = parse_u32_list(
+                query_value(&pairs, "processors").ok_or("missing query parameter `processors`")?,
+                "processors",
+            )?;
+            let points = stairstep_batch(units, &processors)?;
+            Ok(Json::object(vec![
+                ("units", Json::from_u64(units)),
+                (
+                    "points",
+                    Json::Array(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::object(vec![
+                                    ("processors", Json::from_u64(u64::from(p.processors))),
+                                    ("speedup", Json::Num(p.speedup)),
+                                    (
+                                        "max_units_per_processor",
+                                        Json::from_u64(p.max_units_per_processor),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        "overhead" => {
+            let pairs = parse_query(query, &["sync_cost", "fraction", "processors"])?;
+            let sync_cost = require_query_u64(&pairs, "sync_cost")?;
+            let fraction = match query_value(&pairs, "fraction") {
+                None => PAPER_OVERHEAD_FRACTION,
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| "`fraction` must be a number".to_string())?,
+            };
+            let processors = parse_u32_list(
+                query_value(&pairs, "processors").ok_or("missing query parameter `processors`")?,
+                "processors",
+            )?;
+            let points = overhead_batch(sync_cost, fraction, &processors)?;
+            Ok(Json::object(vec![
+                ("sync_cost_cycles", Json::from_u64(sync_cost)),
+                ("max_overhead_fraction", Json::Num(fraction)),
+                (
+                    "points",
+                    Json::Array(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::object(vec![
+                                    ("processors", Json::from_u64(u64::from(p.processors))),
+                                    ("min_work_cycles", Json::from_u64(p.min_work_cycles)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        "work_per_sync" => {
+            let pairs = parse_query(query, &["dims", "work_per_point", "levels"])?;
+            let dims = parse_u64_list(
+                query_value(&pairs, "dims").ok_or("missing query parameter `dims`")?,
+                "dims",
+            )?;
+            let nest = GridNest::from_dims(&dims)
+                .ok_or("`dims` must be 1-3 positive extents whose product fits in u64")?;
+            let work_per_point = require_query_u64(&pairs, "work_per_point")?;
+            let levels: Vec<LoopLevel> = match query_value(&pairs, "levels") {
+                None => LoopLevel::ALL
+                    .into_iter()
+                    .filter(|&lv| nest.points_per_sync(lv).is_some())
+                    .collect(),
+                Some(raw) => raw
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|name| {
+                        LoopLevel::from_name(name)
+                            .ok_or_else(|| format!("unknown loop level `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let points = work_per_sync_batch(nest, work_per_point, &levels)?;
+            Ok(Json::object(vec![
+                (
+                    "dims",
+                    Json::Array(dims.iter().map(|&d| Json::from_u64(d)).collect()),
+                ),
+                ("work_per_point", Json::from_u64(work_per_point)),
+                (
+                    "points",
+                    Json::Array(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::object(vec![
+                                    ("level", Json::str(p.level.name())),
+                                    ("points_per_sync", Json::from_u64(p.points_per_sync)),
+                                    ("cycles", Json::from_u64(p.cycles)),
+                                    (
+                                        "available_parallelism",
+                                        Json::from_u64(p.available_parallelism),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        other => Err(format!("unknown model `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_body_defaults_and_caps() {
+        let case = parse_solve_body("{}", 4).unwrap();
+        assert_eq!(
+            case,
+            ServiceCase {
+                zones: 3,
+                steps: 4,
+                workers: 4
+            }
+        );
+        let case = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
+        assert_eq!(
+            case,
+            ServiceCase {
+                zones: 2,
+                steps: 8,
+                workers: 1
+            }
+        );
+        assert!(parse_solve_body(r#"{"zones": 99}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zoness": 2}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zones": -1}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zones": 1.5}"#, 4).is_err());
+        assert!(parse_solve_body("[]", 4).is_err());
+        assert!(parse_solve_body("{", 4).is_err());
+    }
+
+    #[test]
+    fn advise_body_round_trips_through_the_advisor() {
+        let body = r#"{
+            "clock_hz": 300e6,
+            "sync_cost_cycles": 10000,
+            "processors": 32,
+            "loops": [
+                {"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320},
+                {"name": "bc", "invocations": 1000, "total_seconds": 10.0, "parallelism": 75}
+            ]
+        }"#;
+        let q = parse_advise_body(body).unwrap();
+        assert_eq!(q.reports.len(), 2);
+        assert!((q.reports[0].fraction_of_total - 0.9).abs() < 1e-12);
+        let advice = q.advisor.advise(&q.reports);
+        assert!((advice.serial_fraction - 0.1).abs() < 1e-9);
+        let json = advise_response(&advice);
+        let loops = json.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(
+            loops[0]
+                .get("decision")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("parallelize")
+        );
+        assert_eq!(
+            loops[1]
+                .get("decision")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("too_little_work")
+        );
+    }
+
+    #[test]
+    fn advise_body_rejects_bad_machines() {
+        let with = |patch: &str| {
+            format!(
+                r#"{{"clock_hz": 300e6, "sync_cost_cycles": 10000, "processors": 8, "loops": []{patch}}}"#
+            )
+        };
+        assert!(parse_advise_body(&with("")).is_ok());
+        assert!(parse_advise_body(&with(r#", "max_overhead_fraction": 0.0"#)).is_err());
+        assert!(parse_advise_body(&with(r#", "max_overhead_fraction": 2.0"#)).is_err());
+        assert!(parse_advise_body(&with(r#", "surprise": 1"#)).is_err());
+        assert!(parse_advise_body(
+            r#"{"clock_hz": 0, "sync_cost_cycles": 1, "processors": 8, "loops": []}"#
+        )
+        .is_err());
+        assert!(parse_advise_body(
+            r#"{"clock_hz": 1e9, "sync_cost_cycles": 1, "processors": 0, "loops": []}"#
+        )
+        .is_err());
+        assert!(parse_advise_body(
+            r#"{"clock_hz": 1e9, "sync_cost_cycles": 1, "processors": 8, "loops": [{"name": ""}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stairstep_query_reproduces_table3() {
+        let j = model_response("stairstep", "units=15&processors=1,4,8,15").unwrap();
+        let points = j.get("points").unwrap().as_array().unwrap();
+        let speedups: Vec<f64> = points
+            .iter()
+            .map(|p| p.get("speedup").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(speedups, vec![1.0, 3.75, 7.5, 15.0]);
+    }
+
+    #[test]
+    fn overhead_query_reproduces_table1() {
+        let j = model_response("overhead", "sync_cost=100000&processors=2,128").unwrap();
+        let points = j.get("points").unwrap().as_array().unwrap();
+        assert_eq!(
+            points[0].get("min_work_cycles").unwrap().as_u64(),
+            Some(20_000_000)
+        );
+        assert_eq!(
+            points[1].get("min_work_cycles").unwrap().as_u64(),
+            Some(1_280_000_000)
+        );
+    }
+
+    #[test]
+    fn work_per_sync_query_reproduces_table2() {
+        let j = model_response(
+            "work_per_sync",
+            "dims=100,100,100&work_per_point=10&levels=inner,middle,outer",
+        )
+        .unwrap();
+        let points = j.get("points").unwrap().as_array().unwrap();
+        let cycles: Vec<u64> = points
+            .iter()
+            .map(|p| p.get("cycles").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(cycles, vec![1_000, 100_000, 10_000_000]);
+        // Omitting levels answers every level of the nest.
+        let j = model_response("work_per_sync", "dims=1000000&work_per_point=10").unwrap();
+        assert_eq!(j.get("points").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn model_queries_reject_garbage() {
+        assert!(model_response("galaxy", "").is_err());
+        assert!(model_response("stairstep", "units=15").is_err());
+        assert!(model_response("stairstep", "units=0&processors=1").is_err());
+        assert!(model_response("stairstep", "units=15&processors=1&junk=2").is_err());
+        assert!(model_response("stairstep", "units=15&processors=1&units=2").is_err());
+        assert!(model_response("overhead", "sync_cost=1&processors=0").is_err());
+        assert!(model_response("overhead", "sync_cost=1&fraction=nope&processors=1").is_err());
+        assert!(model_response("work_per_sync", "dims=10,10&work_per_point=0").is_err());
+        assert!(
+            model_response("work_per_sync", "dims=10,10&work_per_point=1&levels=middle").is_err()
+        );
+        assert!(model_response(
+            "work_per_sync",
+            "dims=18446744073709551615,3&work_per_point=1"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! `llpd` — the llpserve daemon.
+//!
+//! ```text
+//! llpd [--addr 127.0.0.1:8080] [--workers N] [--queue N] [--deadline-secs N]
+//! ```
+//!
+//! Runs until SIGINT/SIGTERM, then drains in-flight work and exits.
+
+use serve::{signal, Server, ServerConfig};
+use std::time::Duration;
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+                if config.workers == 0 {
+                    return Err("--workers must be a positive integer".to_string());
+                }
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_string())?;
+            }
+            "--deadline-secs" => {
+                let secs: u64 = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|_| "--deadline-secs must be an integer".to_string())?;
+                config.deadline = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-secs N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let workers = config.workers;
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("llpd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "llpd listening on http://{} ({workers} workers)",
+        server.addr()
+    );
+    signal::install();
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("llpd: shutdown requested, draining");
+    server.shutdown();
+    println!("llpd: drained, exiting");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let args: Vec<String> = ["--addr", "0.0.0.0:9999", "--workers", "2", "--queue", "3"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let config = parse_args(&args).unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9999");
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_capacity, 3);
+        assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_args(&["--workers".to_string()]).is_err());
+    }
+}

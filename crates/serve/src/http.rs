@@ -1,0 +1,296 @@
+//! Minimal HTTP/1.1 framing over [`std::io`] streams.
+//!
+//! The build environment has no HTTP crates, so `llpd` frames requests
+//! and responses by hand. The subset is deliberately small: one request
+//! per connection (`Connection: close` on every response), bodies
+//! delimited by `Content-Length` only, and hard caps on header and body
+//! sizes so a hostile peer cannot make a connection thread allocate
+//! without bound.
+
+use std::io::{BufRead, Write};
+
+/// Maximum bytes of request line + headers accepted.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, decoded path, raw query string, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query string (after `?`), empty if absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// A response: status code plus a JSON body, with the handful of extra
+/// headers the service emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this service).
+    pub body: String,
+    /// `Retry-After` seconds, sent with 429/503 responses.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A 200 response with the given JSON body.
+    #[must_use]
+    pub fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// An error response with a `{"error": ...}` JSON body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body =
+            llp::obs::json::Json::object(vec![("error", llp::obs::json::Json::str(message))]);
+        Self {
+            status,
+            body: body.to_string(),
+            retry_after: None,
+        }
+    }
+
+    /// The same response with a `Retry-After` header.
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+}
+
+/// A request-framing failure the caller should answer with `status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable description (lands in the error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Standard reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Read one request from `stream`.
+///
+/// # Errors
+/// [`HttpError`] carries the status the connection should answer with:
+/// 400 for malformed framing, 408 when the peer stalls past the socket
+/// read timeout, 413 when the declared body exceeds `max_body`.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    let request_line = read_crlf_line(stream, &mut head)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_crlf_line(stream, &mut head)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds limit {max_body}"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(stream, &mut body).map_err(io_to_http)?;
+    let body = String::from_utf8(body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Read one CRLF-terminated line, charging its bytes against the shared
+/// head budget in `consumed`.
+fn read_crlf_line(stream: &mut impl BufRead, consumed: &mut String) -> Result<String, HttpError> {
+    let budget = MAX_HEAD_BYTES.saturating_sub(consumed.len());
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = stream.fill_buf().map_err(io_to_http)?;
+        if buf.is_empty() {
+            return Err(HttpError::new(400, "connection closed mid-request"));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let wanted = newline.map_or(buf.len(), |i| i + 1);
+        if line.len() + wanted > budget {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        line.extend_from_slice(&buf[..wanted]);
+        stream.consume(wanted);
+        if newline.is_some() {
+            break;
+        }
+    }
+    let line = String::from_utf8(line).map_err(|_| HttpError::new(400, "header is not UTF-8"))?;
+    consumed.push_str(&line);
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+fn io_to_http(err: std::io::Error) -> HttpError {
+    match err.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::new(408, "timed out reading request")
+        }
+        _ => HttpError::new(400, format!("read failed: {err}")),
+    }
+}
+
+/// Write `response` to `stream` (errors are returned for the caller to
+/// ignore — a peer that hung up mid-response is its own problem).
+///
+/// # Errors
+/// Propagates the underlying socket write error.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /v1/model/stairstep?units=15&processors=4 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/model/stairstep");
+        assert_eq!(r.query, "units=15&processors=4");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            parse("POST /v1/solve HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"zones\":2}").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, "{\"zones\":2}");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let e = parse("POST /v1/solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert_eq!(parse("nonsense\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Truncated body: declared 50, supplied 2.
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nab")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn caps_header_bytes() {
+        let huge = format!("GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "a".repeat(20_000));
+        let e = parse(&huge).unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn writes_responses_with_retry_after() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            &Response::error(429, "queue full").with_retry_after(1),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"), "{text}");
+    }
+}

@@ -1,0 +1,31 @@
+//! `llpserve`: a dependency-free HTTP service over the loop-level
+//! parallelism suite.
+//!
+//! The binary `llpd` exposes three kinds of queries over one shared
+//! doacross pool:
+//!
+//! * `POST /v1/solve` — a bounded F3D multi-zone solver run
+//!   ([`f3d::service`]) returning residual history, force coefficients,
+//!   field checksums, and the run's observability span report;
+//! * `POST /v1/advise` — §4-style parallelize-or-not advice
+//!   ([`llp::advisor`]) for a submitted loop profile;
+//! * `GET /v1/model/{stairstep,overhead,work_per_sync}` — batched
+//!   performance-model queries ([`perfmodel`]);
+//! * `GET /metrics` — service counters plus the shared pool's
+//!   synchronization-event totals.
+//!
+//! Everything is `std`-only: HTTP framing is hand-rolled
+//! ([`http`]), JSON is `llp::obs::json`, and signals are a two-line
+//! binding to `signal(2)` ([`signal`]). See [`server`] for the
+//! admission-control architecture.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,231 @@
+//! Service counters behind `GET /metrics`.
+//!
+//! Everything is a relaxed atomic: connection threads bump request and
+//! status counters, the executor bumps job and observability totals,
+//! and `/metrics` renders a consistent-enough snapshot without taking
+//! any lock. The observability totals (`obs_sync_events_total`,
+//! `obs_seconds_total`) accumulate the per-request span reports, so
+//! they must agree with the pool's own synchronization-event counter —
+//! an invariant the integration tests check end to end.
+
+use llp::obs::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The status codes the service emits, each with its own counter.
+pub const TRACKED_STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 500, 503];
+
+/// Request endpoint families, each with its own counter.
+pub const ENDPOINTS: [&str; 5] = ["solve", "advise", "model", "metrics", "other"];
+
+/// All service counters and gauges.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    rejected_total: AtomicU64,
+    timeouts_total: AtomicU64,
+    queue_depth: AtomicU64,
+    executor_busy: AtomicU64,
+    open_connections: AtomicU64,
+    jobs_total: AtomicU64,
+    obs_reports_total: AtomicU64,
+    obs_sync_events_total: AtomicU64,
+    obs_seconds_total_bits: AtomicU64,
+    by_endpoint: [AtomicU64; ENDPOINTS.len()],
+    by_status: [AtomicU64; TRACKED_STATUSES.len()],
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one request routed to `endpoint` (see [`ENDPOINTS`]).
+    pub fn request(&self, endpoint: &str) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let idx = ENDPOINTS
+            .iter()
+            .position(|&e| e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        self.by_endpoint[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response with `status`.
+    pub fn response(&self, status: u16) {
+        if let Some(idx) = TRACKED_STATUSES.iter().position(|&s| s == status) {
+            self.by_status[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 429 {
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one request abandoned at its deadline.
+    pub fn timeout(&self) {
+        self.timeouts_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total 429 responses so far.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Set the queued-job gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Set the executor-busy gauge (a job is being computed).
+    pub fn set_executor_busy(&self, busy: bool) {
+        self.executor_busy.store(u64::from(busy), Ordering::Relaxed);
+    }
+
+    /// Adjust the open-connection gauge by +1 / -1.
+    pub fn connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`Metrics::connection_opened`].
+    pub fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of connections currently open.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Count one executed job that produced no observability report
+    /// (advice is pure computation — no pool work, no spans).
+    pub fn job_executed(&self) {
+        self.jobs_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one completed pool job's observability report totals in.
+    pub fn job_done(&self, report_sync_events: u64, report_seconds: f64) {
+        self.jobs_total.fetch_add(1, Ordering::Relaxed);
+        self.obs_reports_total.fetch_add(1, Ordering::Relaxed);
+        self.obs_sync_events_total
+            .fetch_add(report_sync_events, Ordering::Relaxed);
+        // f64 accumulation via compare-exchange on the bit pattern: the
+        // executor is the only writer, so this loop runs once.
+        let mut current = self.obs_seconds_total_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + report_seconds).to_bits();
+            match self.obs_seconds_total_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Render the snapshot, including the shared pool's own counters
+    /// (passed in by the server, which owns the pool).
+    #[must_use]
+    pub fn to_json(&self, pool_workers: usize, pool_sync_events: u64, pool_regions: u64) -> Json {
+        let load = |a: &AtomicU64| Json::from_u64(a.load(Ordering::Relaxed));
+        Json::object(vec![
+            ("requests_total", load(&self.requests_total)),
+            ("rejected_total", load(&self.rejected_total)),
+            ("timeouts_total", load(&self.timeouts_total)),
+            ("queue_depth", load(&self.queue_depth)),
+            ("executor_busy", load(&self.executor_busy)),
+            ("open_connections", load(&self.open_connections)),
+            ("jobs_total", load(&self.jobs_total)),
+            (
+                "endpoints",
+                Json::Object(
+                    ENDPOINTS
+                        .iter()
+                        .zip(&self.by_endpoint)
+                        .map(|(&name, counter)| (name.to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
+                "status",
+                Json::Object(
+                    TRACKED_STATUSES
+                        .iter()
+                        .zip(&self.by_status)
+                        .map(|(&status, counter)| (status.to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            ("pool_workers", Json::from_usize(pool_workers)),
+            ("pool_sync_events_total", Json::from_u64(pool_sync_events)),
+            ("pool_regions_total", Json::from_u64(pool_regions)),
+            ("obs_reports_total", load(&self.obs_reports_total)),
+            ("obs_sync_events_total", load(&self.obs_sync_events_total)),
+            (
+                "obs_seconds_total",
+                Json::Num(f64::from_bits(
+                    self.obs_seconds_total_bits.load(Ordering::Relaxed),
+                )),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.request("solve");
+        m.request("solve");
+        m.request("model");
+        m.request("nonsense"); // folds into "other"
+        m.response(200);
+        m.response(429);
+        m.timeout();
+        m.connection_opened();
+        m.job_done(18, 0.25);
+        m.job_done(18, 0.25);
+        let j = m.to_json(4, 36, 36);
+        assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("rejected_total").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("timeouts_total").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("open_connections").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("jobs_total").unwrap().as_u64(), Some(2));
+        let endpoints = j.get("endpoints").unwrap();
+        assert_eq!(endpoints.get("solve").unwrap().as_u64(), Some(2));
+        assert_eq!(endpoints.get("model").unwrap().as_u64(), Some(1));
+        assert_eq!(endpoints.get("other").unwrap().as_u64(), Some(1));
+        let status = j.get("status").unwrap();
+        assert_eq!(status.get("200").unwrap().as_u64(), Some(1));
+        assert_eq!(status.get("429").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("pool_sync_events_total").unwrap().as_u64(), Some(36));
+        assert_eq!(j.get("obs_sync_events_total").unwrap().as_u64(), Some(36));
+        assert_eq!(j.get("obs_seconds_total").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let m = Metrics::new();
+        m.set_queue_depth(3);
+        m.set_executor_busy(true);
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        let j = m.to_json(1, 0, 0);
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("open_connections").unwrap().as_u64(), Some(1));
+        m.set_queue_depth(0);
+        m.set_executor_busy(false);
+        let j = m.to_json(1, 0, 0);
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(0));
+    }
+}

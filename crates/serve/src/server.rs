@@ -1,0 +1,339 @@
+//! The `llpd` server: one listener, one shared doacross pool, and a
+//! bounded job queue between them.
+//!
+//! # Architecture
+//!
+//! Connection threads parse and validate requests, then answer cheap
+//! queries (`/metrics`, `/v1/model/*`) inline. Pool-backed work
+//! (`/v1/solve`, `/v1/advise`) goes through admission control: a
+//! bounded queue in front of a **single executor thread** that owns the
+//! shared [`Workers`] pool. One executor is a correctness requirement,
+//! not a simplification — the pool's span [`recorder`](Workers::recorder)
+//! keeps one span stack, so requests must execute serially for each
+//! request's report to contain exactly its own spans. Per-request
+//! worker counts come from [`Workers::sized_view`], which shares the
+//! pool's counters and recorder while scheduling its own chunk widths.
+//!
+//! Admission control is deliberate back-pressure, not failure: when the
+//! queue is full the service answers `429` with `Retry-After` instead
+//! of queueing unboundedly, and each queued request carries a deadline
+//! after which its connection gives up with `503` (the executor still
+//! finishes the job; the reply is simply dropped).
+//!
+//! Shutdown is graceful: draining flips first (new work gets `503`),
+//! the executor finishes everything already admitted, and the server
+//! waits for open connections to flush their responses.
+
+use crate::api;
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use f3d::service::MAX_WORKERS;
+use llp::Workers;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker count of the shared pool (the maximum any request can
+    /// ask for, capped at [`MAX_WORKERS`]).
+    pub workers: usize,
+    /// Jobs admitted beyond the one executing; the next is rejected
+    /// with 429.
+    pub queue_capacity: usize,
+    /// Per-request deadline covering queue wait plus compute.
+    pub deadline: Duration,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    /// Test hook: when set, the executor locks this mutex after
+    /// popping each job and before computing it, so tests can hold the
+    /// lock to pin the executor "busy" deterministically.
+    pub job_gate: Option<Arc<Mutex<()>>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: llp::default_worker_count().min(MAX_WORKERS),
+            queue_capacity: 8,
+            deadline: Duration::from_secs(30),
+            max_body_bytes: 64 * 1024,
+            job_gate: None,
+        }
+    }
+}
+
+enum JobKind {
+    Solve(f3d::service::ServiceCase),
+    Advise(Box<api::AdviseQuery>),
+}
+
+struct Job {
+    kind: JobKind,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    metrics: Metrics,
+    pool: Workers,
+    queue: Mutex<VecDeque<Job>>,
+    queue_signal: Condvar,
+    draining: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running `llpd` instance; dropping it without calling
+/// [`Server::shutdown`] leaves its threads running detached.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    executor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and the pool executor, and return.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            metrics: Metrics::new(),
+            pool: Workers::recorded(config.workers.clamp(1, MAX_WORKERS)),
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            draining: AtomicBool::new(false),
+            config,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || executor_loop(&shared))
+        };
+
+        Ok(Self {
+            shared,
+            addr,
+            accept: Some(accept),
+            executor: Some(executor),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests rejected with 429 so far.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.shared.metrics.rejected_total()
+    }
+
+    /// Drain and stop: new work is refused with 503, everything already
+    /// admitted completes, then threads are joined and open connections
+    /// are given a bounded grace period to flush.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_signal.notify_all();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.executor.take() {
+            let _ = handle.join();
+        }
+        // Executed jobs have replies in flight; give their connection
+        // threads a bounded window to write and hang up.
+        for _ in 0..500 {
+            if self.shared.metrics.open_connections() == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connection_opened();
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.metrics.connection_closed();
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len());
+                    break job;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_signal.wait(queue).expect("queue poisoned");
+            }
+        };
+        shared.metrics.set_executor_busy(true);
+        if let Some(gate) = &shared.config.job_gate {
+            // Test hook: block here while a test holds the gate.
+            drop(gate.lock().expect("gate poisoned"));
+        }
+        let response = match job.kind {
+            JobKind::Solve(case) => {
+                let view = shared.pool.sized_view(case.workers);
+                match f3d::service::run(&case, &view) {
+                    Ok(run) => {
+                        shared
+                            .metrics
+                            .job_done(run.sync_events, run.report.total_seconds());
+                        Response::ok(api::solve_response(&run).to_string())
+                    }
+                    // Validation happened at admission; anything left
+                    // is an internal fault.
+                    Err(msg) => Response::error(500, &msg),
+                }
+            }
+            JobKind::Advise(query) => {
+                shared.metrics.job_executed();
+                let advice = query.advisor.advise(&query.reports);
+                Response::ok(api::advise_response(&advice).to_string())
+            }
+        };
+        shared.metrics.set_executor_busy(false);
+        // The requester may have hit its deadline and gone away.
+        job.reply.send(response).ok();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Generous socket timeout: the per-request deadline governs job
+    // latency; this only bounds how long a silent peer can pin the
+    // thread.
+    let io_timeout = shared.config.deadline + Duration::from_secs(5);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => route(&request, shared),
+        Err(HttpError { status, message }) => {
+            shared.metrics.request("other");
+            Response::error(status, &message)
+        }
+    };
+    shared.metrics.response(response.status);
+    let mut stream = stream;
+    let _ = write_response(&mut stream, &response);
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let (endpoint, expect_post) = match request.path.as_str() {
+        "/metrics" => ("metrics", false),
+        "/v1/solve" => ("solve", true),
+        "/v1/advise" => ("advise", true),
+        p if p.starts_with("/v1/model/") => ("model", false),
+        _ => ("other", false),
+    };
+    shared.metrics.request(endpoint);
+    if endpoint == "other" {
+        return Response::error(404, &format!("no route for {}", request.path));
+    }
+    let expected = if expect_post { "POST" } else { "GET" };
+    if request.method != expected {
+        return Response::error(405, &format!("{} requires {expected}", request.path));
+    }
+
+    match endpoint {
+        "metrics" => Response::ok(
+            shared
+                .metrics
+                .to_json(
+                    shared.pool.processors(),
+                    shared.pool.sync_event_count(),
+                    shared.pool.region_count(),
+                )
+                .to_string(),
+        ),
+        "model" => {
+            let kind = &request.path["/v1/model/".len()..];
+            match api::model_response(kind, &request.query) {
+                Ok(json) => Response::ok(json.to_string()),
+                Err(msg) => Response::error(400, &msg),
+            }
+        }
+        "solve" => {
+            let default_workers = shared.pool.processors().min(MAX_WORKERS);
+            match api::parse_solve_body(&request.body, default_workers) {
+                Ok(case) => submit(shared, JobKind::Solve(case)),
+                Err(msg) => Response::error(400, &msg),
+            }
+        }
+        "advise" => match api::parse_advise_body(&request.body) {
+            Ok(query) => submit(shared, JobKind::Advise(Box::new(query))),
+            Err(msg) => Response::error(400, &msg),
+        },
+        _ => unreachable!("endpoint matched above"),
+    }
+}
+
+/// Admission control: enqueue a validated job and wait for its reply
+/// until the deadline.
+fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "shutting down").with_retry_after(1);
+    }
+    let (reply, receiver) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            return Response::error(429, "queue full").with_retry_after(1);
+        }
+        queue.push_back(Job { kind, reply });
+        shared.metrics.set_queue_depth(queue.len());
+    }
+    shared.queue_signal.notify_one();
+    match receiver.recv_timeout(shared.config.deadline) {
+        Ok(response) => response,
+        Err(_) => {
+            shared.metrics.timeout();
+            Response::error(503, "deadline exceeded").with_retry_after(1)
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Shutdown-signal hooks without a signals crate.
+//!
+//! The build environment has no `libc`/`signal-hook`, so on Unix the
+//! daemon installs handlers through a hand-declared binding to the
+//! C `signal(2)` entry point. The handler only stores into an
+//! [`AtomicBool`] — the one thing that is async-signal-safe — and the
+//! main thread polls [`requested`]. On non-Unix targets these are
+//! no-ops and the daemon only stops on queue drain / process kill.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has arrived since [`install`].
+#[must_use]
+pub fn requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/driver hook: mark shutdown as requested, exactly as a signal
+/// would.
+pub fn request() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// C `signal(2)`. Declared by hand because no libc crate is
+        /// available; the handler-pointer-as-usize convention matches
+        /// the platform ABI for this call.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::request();
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is safe to call with a
+        // valid function pointer.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install SIGINT/SIGTERM handlers that set the shutdown flag.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag() {
+        install();
+        request();
+        assert!(requested());
+    }
+}

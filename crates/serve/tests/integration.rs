@@ -1,0 +1,495 @@
+//! End-to-end tests for `llpd`: real sockets, real threads, one shared
+//! pool.
+//!
+//! Timing-sensitive behavior (back-pressure, graceful shutdown,
+//! deadlines) is made deterministic with the server's `job_gate` test
+//! hook: holding the gate pins the executor between popping a job and
+//! computing it, so tests can fill the queue and observe 429/503/drain
+//! behavior without sleeping and hoping.
+
+use llp::advisor::Advisor;
+use llp::obs::json::Json;
+use llp::profile::{LoopReport, LoopStats};
+use perfmodel::overhead::OverheadBound;
+use serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body is JSON")
+    }
+}
+
+fn send_raw(addr: SocketAddr, raw: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: SocketAddr, target: &str) -> Reply {
+    send_raw(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> Reply {
+    send_raw(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn wait_until(what: &str, mut condition: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !condition() {
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn metric(addr: SocketAddr, key: &str) -> u64 {
+    get(addr, "/metrics")
+        .json()
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("/metrics has no `{key}`"))
+}
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+}
+
+const ADVISE_BODY: &str = r#"{
+    "clock_hz": 300e6,
+    "sync_cost_cycles": 10000,
+    "processors": 32,
+    "loops": [
+        {"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320},
+        {"name": "bc", "invocations": 1000, "total_seconds": 10.0, "parallelism": 75}
+    ]
+}"#;
+
+#[test]
+fn solve_matches_direct_invocation_exactly() {
+    let server = small_server();
+    let case = f3d::service::ServiceCase {
+        zones: 2,
+        steps: 3,
+        workers: 2,
+    };
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 2, "steps": 3, "workers": 2}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+
+    let pool = llp::Workers::recorded(2);
+    let direct = f3d::service::run(&case, &pool).unwrap();
+
+    // The service case is deterministic, and the JSON layer formats
+    // f64 round-trip exactly — so equality here is exact, not
+    // tolerance-based.
+    let residuals: Vec<f64> = served
+        .get("residuals")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.as_f64().unwrap())
+        .collect();
+    assert_eq!(residuals, direct.residuals);
+
+    let forces = served.get("forces").unwrap();
+    assert_eq!(forces.get("drag").unwrap().as_f64(), Some(direct.drag));
+    assert_eq!(forces.get("lift").unwrap().as_f64(), Some(direct.lift));
+
+    let checksums = served.get("checksums").and_then(Json::as_array).unwrap();
+    assert_eq!(checksums.len(), direct.checksums.len());
+    for (served_zone, (name, direct_sum)) in checksums
+        .iter()
+        .zip(direct.zone_names.iter().zip(&direct.checksums))
+    {
+        assert_eq!(
+            served_zone.get("zone").unwrap().as_str(),
+            Some(name.as_str())
+        );
+        let field = |key: &str| -> Vec<f64> {
+            served_zone
+                .get(key)
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect()
+        };
+        assert_eq!(field("sum"), direct_sum.sum.to_vec());
+        assert_eq!(field("sum_sq"), direct_sum.sum_sq.to_vec());
+        assert_eq!(field("min"), direct_sum.min.to_vec());
+        assert_eq!(field("max"), direct_sum.max.to_vec());
+    }
+
+    assert_eq!(
+        served.get("sync_events").unwrap().as_u64(),
+        Some(direct.sync_events)
+    );
+    // The span report is the service's own observability schema.
+    let report = served.get("report").unwrap();
+    assert_eq!(report.get("case").unwrap().as_str(), Some("service/z2s3w2"));
+    server.shutdown();
+}
+
+#[test]
+fn advise_matches_the_advisor_exactly() {
+    let server = small_server();
+    let reply = post(server.addr(), "/v1/advise", ADVISE_BODY);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+
+    let advisor = Advisor::new(
+        300e6,
+        OverheadBound {
+            sync_cost_cycles: 10_000,
+            max_overhead_fraction: perfmodel::overhead::PAPER_OVERHEAD_FRACTION,
+        },
+        32,
+    );
+    let reports = vec![
+        LoopReport {
+            name: "rhs".to_string(),
+            stats: LoopStats {
+                invocations: 10,
+                total_seconds: 90.0,
+                parallelism: 320,
+                parallelized: false,
+            },
+            fraction_of_total: 90.0 / 100.0,
+        },
+        LoopReport {
+            name: "bc".to_string(),
+            stats: LoopStats {
+                invocations: 1000,
+                total_seconds: 10.0,
+                parallelism: 75,
+                parallelized: false,
+            },
+            fraction_of_total: 10.0 / 100.0,
+        },
+    ];
+    let expected = advisor.advise(&reports);
+
+    assert_eq!(
+        served.get("serial_fraction").unwrap().as_f64(),
+        Some(expected.serial_fraction)
+    );
+    assert_eq!(
+        served.get("predicted_speedup").unwrap().as_f64(),
+        Some(expected.predicted_speedup)
+    );
+    let loops = served.get("loops").and_then(Json::as_array).unwrap();
+    assert_eq!(loops.len(), expected.loops.len());
+    for (served_loop, expected_loop) in loops.iter().zip(&expected.loops) {
+        assert_eq!(
+            served_loop.get("name").unwrap().as_str(),
+            Some(expected_loop.name.as_str())
+        );
+        let kind = served_loop
+            .get("decision")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        let expected_kind = match expected_loop.decision {
+            llp::advisor::LoopDecision::Parallelize { .. } => "parallelize",
+            llp::advisor::LoopDecision::TooLittleWork { .. } => "too_little_work",
+            llp::advisor::LoopDecision::NoParallelism => "no_parallelism",
+        };
+        assert_eq!(kind, expected_kind);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn model_endpoints_answer_the_paper_tables() {
+    let server = small_server();
+    let addr = server.addr();
+
+    let stairstep = get(addr, "/v1/model/stairstep?units=15&processors=1,4,8,15");
+    assert_eq!(stairstep.status, 200);
+    let speedups: Vec<f64> = stairstep
+        .json()
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|p| p.get("speedup").unwrap().as_f64().unwrap())
+        .collect();
+    assert_eq!(speedups, vec![1.0, 3.75, 7.5, 15.0]);
+
+    let overhead = get(addr, "/v1/model/overhead?sync_cost=100000&processors=2,128");
+    assert_eq!(overhead.status, 200);
+    let cycles: Vec<u64> = overhead
+        .json()
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|p| p.get("min_work_cycles").unwrap().as_u64().unwrap())
+        .collect();
+    assert_eq!(cycles, vec![20_000_000, 1_280_000_000]);
+
+    let wps = get(
+        addr,
+        "/v1/model/work_per_sync?dims=100,100,100&work_per_point=10&levels=outer",
+    );
+    assert_eq!(wps.status, 200);
+    let points = wps.json();
+    let points = points.get("points").and_then(Json::as_array).unwrap();
+    assert_eq!(points[0].get("cycles").unwrap().as_u64(), Some(10_000_000));
+
+    // Malformed queries come back 400 with an error body, never 500.
+    for bad in [
+        "/v1/model/galaxy?x=1",
+        "/v1/model/stairstep?units=0&processors=1",
+        "/v1/model/stairstep?units=15&processors=1&junk=2",
+        "/v1/model/overhead?sync_cost=1&fraction=nope&processors=1",
+        "/v1/model/work_per_sync?dims=0&work_per_point=1",
+    ] {
+        let reply = get(addr, bad);
+        assert_eq!(reply.status, 400, "{bad}");
+        assert!(reply.json().get("error").is_some(), "{bad}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_429_and_recovers() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let held = gate.lock().unwrap();
+
+    // First job: popped by the executor, which then blocks on the gate.
+    let first = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("executor busy", || metric(addr, "executor_busy") == 1);
+
+    // Second job: sits in the queue (capacity 1).
+    let second = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("queued job", || metric(addr, "queue_depth") == 1);
+
+    // Third: over capacity — back-pressure, not queueing.
+    let rejected = post(addr, "/v1/advise", ADVISE_BODY);
+    assert_eq!(rejected.status, 429);
+    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    assert_eq!(
+        rejected.json().get("error").unwrap().as_str(),
+        Some("queue full")
+    );
+    assert_eq!(server.rejected_total(), 1);
+
+    drop(held);
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    assert_eq!(metric(addr, "rejected_total"), 1);
+    assert_eq!(metric(addr, "jobs_total"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expires_queued_requests_with_503() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        deadline: Duration::from_millis(100),
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let held = gate.lock().unwrap();
+    let reply = post(addr, "/v1/advise", ADVISE_BODY);
+    assert_eq!(reply.status, 503);
+    assert_eq!(reply.header("Retry-After"), Some("1"));
+    assert_eq!(metric(addr, "timeouts_total"), 1);
+
+    drop(held);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_work() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let held = gate.lock().unwrap();
+    let in_flight =
+        std::thread::spawn(move || post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#));
+    wait_until("executor busy", || metric(addr, "executor_busy") == 1);
+
+    // Shutdown starts draining while the job is pinned at the gate...
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(50));
+    drop(held);
+
+    // ...and still delivers the complete response before exiting.
+    let reply = in_flight.join().unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.json().get("checksums").is_some());
+    shutdown.join().unwrap();
+
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn metrics_totals_agree_with_span_reports_and_pool_counters() {
+    let server = small_server();
+    let addr = server.addr();
+
+    let mut reported_sync_events = 0;
+    for (zones, steps, workers) in [(1, 2, 1), (2, 3, 2), (3, 1, 2)] {
+        let reply = post(
+            addr,
+            "/v1/solve",
+            &format!(r#"{{"zones": {zones}, "steps": {steps}, "workers": {workers}}}"#),
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let served = reply.json();
+        let sync_events = served.get("sync_events").unwrap().as_u64().unwrap();
+        assert!(sync_events > 0);
+        // The top-level counter and the span report agree per response.
+        assert_eq!(
+            served
+                .get("report")
+                .unwrap()
+                .get("sync_events")
+                .and_then(Json::as_u64),
+            Some(sync_events)
+        );
+        reported_sync_events += sync_events;
+    }
+    let advise = post(addr, "/v1/advise", ADVISE_BODY);
+    assert_eq!(advise.status, 200);
+
+    // All pool work flowed through sized views of the one shared pool,
+    // so the pool's counter, the accumulated span reports, and the sum
+    // of per-response counters are all the same number.
+    let metrics = get(addr, "/metrics").json();
+    assert_eq!(
+        metrics.get("obs_sync_events_total").and_then(Json::as_u64),
+        Some(reported_sync_events)
+    );
+    assert_eq!(
+        metrics.get("pool_sync_events_total").and_then(Json::as_u64),
+        Some(reported_sync_events)
+    );
+    assert_eq!(metrics.get("jobs_total").and_then(Json::as_u64), Some(4));
+    assert_eq!(
+        metrics.get("obs_reports_total").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert_eq!(
+        metrics
+            .get("endpoints")
+            .unwrap()
+            .get("solve")
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn http_robustness() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/v1/solve").status, 405);
+    assert_eq!(
+        send_raw(addr, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n").status,
+        405
+    );
+    assert_eq!(post(addr, "/v1/solve", "{not json").status, 400);
+    assert_eq!(post(addr, "/v1/solve", r#"{"zones": 99}"#).status, 400);
+    assert_eq!(post(addr, "/v1/advise", "[]").status, 400);
+    // Declared oversized body: rejected before it is read.
+    assert_eq!(
+        send_raw(
+            addr,
+            "POST /v1/solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        )
+        .status,
+        413
+    );
+    assert_eq!(send_raw(addr, "nonsense\r\n\r\n").status, 400);
+    // Every error body is parseable JSON with an `error` key.
+    assert!(get(addr, "/nope").json().get("error").is_some());
+    server.shutdown();
+}

@@ -70,7 +70,7 @@ fn main() {
         risc_zones.push((rz, rs));
     }
 
-    let workers = Workers::new(2);
+    let workers = Workers::default_sized();
     let profiler = LoopProfiler::new();
     let nzones = grid.zones().len();
     let steps = 8;

@@ -51,7 +51,7 @@ fn main() {
     let zone0 = ZoneSolver::freestream(config, metrics, Layout::jkl(), Arrangement::ComponentInner);
     let mut zone = zone0;
     let mut stepper = RiscStepper::for_zone(&zone);
-    let workers = Workers::new(2);
+    let workers = Workers::default_sized();
     let profiler = LoopProfiler::new();
     let mut history = ResidualHistory::new();
 

@@ -16,8 +16,9 @@ fn main() {
     let mut field = vec![0.0f64; jmax * kmax * lmax];
 
     // A team of "processors" — the machine parameter of every
-    // experiment in the paper.
-    let workers = Workers::new(4);
+    // experiment in the paper. `default_sized` picks the machine's
+    // parallelism (override with `LLP_WORKERS`).
+    let workers = Workers::default_sized();
     let profiler = LoopProfiler::new();
 
     // Example 1 of the paper: parallelize the OUTER loop. The doacross
