@@ -1,25 +1,34 @@
 //! Load generator for `llpd`: boots the server in-process on an
 //! ephemeral port, fires a mixed request stream from concurrent client
-//! threads, and emits a versioned `BENCH_serve.json` report.
+//! threads at each shard count in a sweep, and emits a versioned
+//! `BENCH_serve.json` report.
 //!
 //! ```text
 //! cargo run --release -p bench --bin serve_load -- \
-//!     [--requests N] [--concurrency N] [--workers N] [--queue N] [<output-path>]
+//!     [--requests N] [--concurrency N] [--workers N] [--queue N] \
+//!     [--shards 1,2,4] [<output-path>]
 //! ```
 //!
-//! The request mix cycles solve / advise / model / metrics, so the
-//! shared pool, the admission queue, and the inline endpoints all see
+//! The request mix cycles solve / dynamically-scheduled solve / advise
+//! / model / metrics, so the shared pool, both chunk-scheduling
+//! policies, the admission queue, and the inline endpoints all see
 //! traffic. Rejections (429) are part of the measurement, not a
 //! failure: with a bounded queue and more clients than executor slots,
-//! back-pressure is the designed behavior. Schema (`schema_version` 1):
+//! back-pressure is the designed behavior. Schema (`schema_version` 2):
 //!
 //! ```text
 //! { schema_version, bench, requests, concurrency, workers,
-//!   queue_capacity, seconds, throughput_rps,
-//!   latency_ms: { p50, p99, max },
-//!   completed, rejected, errors,
-//!   by_endpoint: { solve, advise, model, metrics } }
+//!   queue_capacity,
+//!   sweep: [ { shards, seconds, throughput_rps, solve_throughput_rps,
+//!              latency_ms: { p50, p99, max },
+//!              completed, rejected, errors,
+//!              by_endpoint: { solve, solve_dynamic, advise, model,
+//!                             metrics } } ] }
 //! ```
+//!
+//! The sweep is the point: `solve_throughput_rps` at `shards: 1` is the
+//! serialized-executor baseline, and the same number at higher shard
+//! counts shows what concurrent request execution buys on this machine.
 
 use bench::{percentile, BenchArgs};
 use llp::obs::json::Json;
@@ -29,6 +38,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 const SOLVE_BODY: &str = r#"{"zones": 1, "steps": 1, "workers": 1}"#;
+const SOLVE_DYNAMIC_BODY: &str =
+    r#"{"zones": 1, "steps": 1, "workers": 1, "schedule": "dynamic", "chunk": 2}"#;
 const ADVISE_BODY: &str = r#"{"clock_hz": 300e6, "sync_cost_cycles": 10000, "processors": 32,
     "loops": [{"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320}]}"#;
 
@@ -36,8 +47,9 @@ const ADVISE_BODY: &str = r#"{"clock_hz": 300e6, "sync_cost_cycles": 10000, "pro
 type MixEntry = (&'static str, fn() -> String);
 
 /// The cycled request mix.
-const MIX: [MixEntry; 4] = [
+const MIX: [MixEntry; 5] = [
     ("solve", || post("/v1/solve", SOLVE_BODY)),
+    ("solve_dynamic", || post("/v1/solve", SOLVE_DYNAMIC_BODY)),
     ("advise", || post("/v1/advise", ADVISE_BODY)),
     ("model", || {
         get("/v1/model/stairstep?units=15&processors=1,2,4,8")
@@ -80,31 +92,22 @@ struct Outcome {
     latency: Duration,
 }
 
-fn main() {
-    let args = BenchArgs::from_env(
-        &["requests", "concurrency", "workers", "queue"],
-        "BENCH_serve.json",
-    );
-    let die = |e: String| -> usize {
-        eprintln!("{e}");
-        std::process::exit(2);
-    };
-    let requests = args.positive_usize("requests", 48).unwrap_or_else(die);
-    let concurrency = args.positive_usize("concurrency", 6).unwrap_or_else(die);
-    let workers = args.positive_usize("workers", 2).unwrap_or_else(die);
-    let queue_capacity = args.positive_usize("queue", 4).unwrap_or_else(die);
-
+/// Run the full request mix against one server and summarize.
+fn run_sweep_point(
+    shards: usize,
+    requests: usize,
+    concurrency: usize,
+    workers: usize,
+    queue_capacity: usize,
+) -> Json {
     let server = Server::start(ServerConfig {
         workers,
+        shards,
         queue_capacity,
         ..ServerConfig::default()
     })
     .expect("bind llpd");
     let addr = server.addr();
-    eprintln!(
-        "serve_load: llpd on {addr}, {requests} requests x {concurrency} clients, \
-         {workers} workers, queue {queue_capacity}"
-    );
 
     let started = Instant::now();
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
@@ -140,23 +143,30 @@ fn main() {
     let completed = outcomes.iter().filter(|o| o.status == 200).count();
     let rejected = outcomes.iter().filter(|o| o.status == 429).count();
     let errors = outcomes.len() - completed - rejected;
+    let solve_completed = outcomes
+        .iter()
+        .filter(|o| o.status == 200 && MIX[o.endpoint_index].0.starts_with("solve"))
+        .count();
     let mut by_endpoint = [0usize; MIX.len()];
     for o in &outcomes {
         by_endpoint[o.endpoint_index] += 1;
     }
 
-    let json = Json::object(vec![
-        ("schema_version", Json::from_u64(1)),
-        ("bench", Json::str("serve_load")),
-        ("requests", Json::from_usize(requests)),
-        ("concurrency", Json::from_usize(concurrency)),
-        ("workers", Json::from_usize(workers)),
-        ("queue_capacity", Json::from_usize(queue_capacity)),
+    let solve_rps = solve_completed as f64 / seconds.max(1e-9);
+    eprintln!(
+        "serve_load: shards={shards}: {completed}/{} ok, {rejected} rejected, \
+         {:.1} solve rps",
+        outcomes.len(),
+        solve_rps
+    );
+    Json::object(vec![
+        ("shards", Json::from_usize(shards)),
         ("seconds", Json::Num(seconds)),
         (
             "throughput_rps",
             Json::Num(outcomes.len() as f64 / seconds.max(1e-9)),
         ),
+        ("solve_throughput_rps", Json::Num(solve_rps)),
         (
             "latency_ms",
             Json::object(vec![
@@ -177,6 +187,54 @@ fn main() {
                     .collect(),
             ),
         ),
+    ])
+}
+
+fn main() {
+    let args = BenchArgs::from_env(
+        &["requests", "concurrency", "workers", "queue", "shards"],
+        "BENCH_serve.json",
+    );
+    let die = |e: String| -> usize {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let requests = args.positive_usize("requests", 50).unwrap_or_else(die);
+    let concurrency = args.positive_usize("concurrency", 6).unwrap_or_else(die);
+    let workers = args.positive_usize("workers", 4).unwrap_or_else(die);
+    let queue_capacity = args.positive_usize("queue", 8).unwrap_or_else(die);
+    let shard_counts: Vec<usize> = match args.get("shards") {
+        None => vec![1, 2, 4],
+        Some(raw) => raw
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| match p.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    die("--shards must be a comma-separated list of positive integers".into());
+                    unreachable!()
+                }
+            })
+            .collect(),
+    };
+
+    eprintln!(
+        "serve_load: {requests} requests x {concurrency} clients, {workers} workers, \
+         queue {queue_capacity}, shard sweep {shard_counts:?}"
+    );
+    let sweep: Vec<Json> = shard_counts
+        .iter()
+        .map(|&shards| run_sweep_point(shards, requests, concurrency, workers, queue_capacity))
+        .collect();
+
+    let json = Json::object(vec![
+        ("schema_version", Json::from_u64(2)),
+        ("bench", Json::str("serve_load")),
+        ("requests", Json::from_usize(requests)),
+        ("concurrency", Json::from_usize(concurrency)),
+        ("workers", Json::from_usize(workers)),
+        ("queue_capacity", Json::from_usize(queue_capacity)),
+        ("sweep", Json::Array(sweep)),
     ]);
     let text = json.to_pretty_string();
     print!("{text}");

@@ -1,6 +1,7 @@
 //! Schema validation for the `serve_load` JSON report: runs the load
-//! generator (small request count, real llpd in-process) and pins the
-//! versioned structure future serving-performance PRs regress against.
+//! generator (small request count, real llpd in-process, two-point
+//! shard sweep) and pins the versioned structure future
+//! serving-performance PRs regress against.
 
 use llp::obs::json::Json;
 use std::process::Command;
@@ -10,13 +11,15 @@ fn run_serve_load() -> Json {
     let out = Command::new(env!("CARGO_BIN_EXE_serve_load"))
         .args([
             "--requests",
-            "12",
+            "15",
             "--concurrency",
             "3",
             "--workers",
-            "1",
+            "2",
             "--queue",
             "8",
+            "--shards",
+            "1,2",
             &out_path,
         ])
         .output()
@@ -35,40 +38,60 @@ fn run_serve_load() -> Json {
 }
 
 #[test]
-fn report_conforms_to_schema_v1() {
+fn report_conforms_to_schema_v2() {
     let report = run_serve_load();
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(
         report.get("bench").and_then(Json::as_str),
         Some("serve_load")
     );
-    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(12));
+    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(15));
     assert_eq!(report.get("concurrency").and_then(Json::as_u64), Some(3));
-    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(2));
     assert_eq!(report.get("queue_capacity").and_then(Json::as_u64), Some(8));
-    assert!(report.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
-    assert!(report.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
 
-    let latency = report.get("latency_ms").expect("latency_ms object");
-    let p50 = latency.get("p50").and_then(Json::as_f64).unwrap();
-    let p99 = latency.get("p99").and_then(Json::as_f64).unwrap();
-    let max = latency.get("max").and_then(Json::as_f64).unwrap();
-    assert!(p50 > 0.0);
-    assert!(p50 <= p99 && p99 <= max, "percentiles are ordered");
+    let sweep = report.get("sweep").and_then(Json::as_array).unwrap();
+    assert_eq!(sweep.len(), 2, "one entry per requested shard count");
+    for (point, expected_shards) in sweep.iter().zip([1u64, 2]) {
+        assert_eq!(
+            point.get("shards").and_then(Json::as_u64),
+            Some(expected_shards)
+        );
+        assert!(point.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(point.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(
+            point
+                .get("solve_throughput_rps")
+                .and_then(Json::as_f64)
+                .unwrap()
+                >= 0.0
+        );
 
-    // Every request is accounted for exactly once.
-    let completed = report.get("completed").and_then(Json::as_u64).unwrap();
-    let rejected = report.get("rejected").and_then(Json::as_u64).unwrap();
-    let errors = report.get("errors").and_then(Json::as_u64).unwrap();
-    assert_eq!(completed + rejected + errors, 12);
-    assert_eq!(errors, 0, "load mix should produce no error statuses");
+        let latency = point.get("latency_ms").expect("latency_ms object");
+        let p50 = latency.get("p50").and_then(Json::as_f64).unwrap();
+        let p99 = latency.get("p99").and_then(Json::as_f64).unwrap();
+        let max = latency.get("max").and_then(Json::as_f64).unwrap();
+        assert!(p50 > 0.0);
+        assert!(p50 <= p99 && p99 <= max, "percentiles are ordered");
 
-    let by_endpoint = report.get("by_endpoint").expect("by_endpoint object");
-    let count = |k: &str| by_endpoint.get(k).and_then(Json::as_u64).unwrap();
-    assert_eq!(
-        count("solve") + count("advise") + count("model") + count("metrics"),
-        12
-    );
-    // The mix cycles all four endpoint families.
-    assert!(count("solve") >= 1 && count("metrics") >= 1);
+        // Every request is accounted for exactly once.
+        let completed = point.get("completed").and_then(Json::as_u64).unwrap();
+        let rejected = point.get("rejected").and_then(Json::as_u64).unwrap();
+        let errors = point.get("errors").and_then(Json::as_u64).unwrap();
+        assert_eq!(completed + rejected + errors, 15);
+        assert_eq!(errors, 0, "load mix should produce no error statuses");
+
+        let by_endpoint = point.get("by_endpoint").expect("by_endpoint object");
+        let count = |k: &str| by_endpoint.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            count("solve")
+                + count("solve_dynamic")
+                + count("advise")
+                + count("model")
+                + count("metrics"),
+            15
+        );
+        // The mix cycles all five endpoint families.
+        assert!(count("solve") >= 1 && count("solve_dynamic") >= 1 && count("metrics") >= 1);
+    }
 }

@@ -21,7 +21,7 @@ use crate::forces::{self, SurfaceForces};
 use crate::multizone::MultiZoneSolver;
 use crate::solver::SolverConfig;
 use crate::validation::{FieldChecksum, ResidualHistory};
-use llp::{ObsReport, Workers};
+use llp::{ObsReport, Policy, Workers};
 use mesh::{Axis, Dims, MultiZoneGrid};
 
 /// Maximum zones a service case may request.
@@ -30,6 +30,11 @@ pub const MAX_ZONES: usize = 4;
 pub const MAX_STEPS: usize = 32;
 /// Maximum workers a service case may request.
 pub const MAX_WORKERS: usize = 64;
+/// Maximum chunk parameter (dynamic chunk size / guided floor) a
+/// service case may request — far beyond any service loop extent, but
+/// bounded so untrusted input cannot smuggle absurd values into labels
+/// and reports.
+pub const MAX_CHUNK: usize = 1024;
 
 /// Transverse (K × L) extent of the service grid; the J extent before
 /// zonal splitting. Small enough that a maximal case stays well under a
@@ -49,6 +54,10 @@ pub struct ServiceCase {
     pub steps: usize,
     /// Worker count to run with (1..=[`MAX_WORKERS`]).
     pub workers: usize,
+    /// Chunk-scheduling policy for the run's doacross regions
+    /// ([`Policy::Static`] unless the request selects otherwise; chunk
+    /// parameters are capped at [`MAX_CHUNK`]).
+    pub schedule: Policy,
 }
 
 impl ServiceCase {
@@ -66,13 +75,25 @@ impl ServiceCase {
         };
         check("zones", self.zones, MAX_ZONES)?;
         check("steps", self.steps, MAX_STEPS)?;
-        check("workers", self.workers, MAX_WORKERS)
+        check("workers", self.workers, MAX_WORKERS)?;
+        match self.schedule.chunk_param() {
+            None => Ok(()),
+            Some(chunk) => check("chunk", chunk, MAX_CHUNK),
+        }
     }
 
     /// Stable label for this case, used as the obs-report case name.
+    /// Static runs keep the original `service/z{}s{}w{}` form; dynamic
+    /// policies append a `-dyn{chunk}` / `-gui{min_chunk}` suffix so a
+    /// self-scheduled run is never mistaken for a static one.
     #[must_use]
     pub fn label(&self) -> String {
-        format!("service/z{}s{}w{}", self.zones, self.steps, self.workers)
+        let base = format!("service/z{}s{}w{}", self.zones, self.steps, self.workers);
+        match self.schedule {
+            Policy::Static => base,
+            Policy::Dynamic { chunk } => format!("{base}-dyn{chunk}"),
+            Policy::Guided { min_chunk } => format!("{base}-gui{min_chunk}"),
+        }
     }
 
     /// The grid this case solves on.
@@ -118,6 +139,9 @@ pub struct ServiceRun {
 /// Returns the [`ServiceCase::validate`] error for out-of-bounds cases.
 pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
     case.validate()?;
+    // The case's scheduling policy governs every doacross region of the
+    // run; the view shares the caller pool's counters and recorder.
+    let pool = &pool.with_policy(case.schedule);
     let grid = case.grid();
     let config = SolverConfig::supersonic();
     let mut solver = MultiZoneSolver::from_grid(&grid, config, 0.3);
@@ -133,16 +157,21 @@ pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
         }
     }
 
-    let sync_before = pool.sync_event_count();
+    // Count this run's events on the policy view's *local* counter:
+    // the shared pool counter also moves when other views of the same
+    // pool run concurrently (e.g. another executor shard), and this
+    // run's bill must cover exactly its own regions.
+    let sync_before = pool.local_sync_event_count();
     let mut residuals = ResidualHistory::new();
     for _ in 0..case.steps {
         solver.step_loop_level(pool, None);
         residuals.push(solver.freestream_deviation());
     }
-    let sync_events = pool.sync_event_count() - sync_before;
+    let sync_events = pool.local_sync_event_count() - sync_before;
     let report = pool
         .recorder()
-        .take_report(&case.label(), pool.processors());
+        .take_report(&case.label(), pool.processors())
+        .with_requested_workers(pool.requested_processors());
 
     // Wall observable: pressure force summed over every zone's low-L
     // face, normalized by the total wall area.
@@ -189,8 +218,15 @@ mod tests {
             zones: 3,
             steps: 4,
             workers: 2,
+            schedule: Policy::Static,
         };
         assert!(ok.validate().is_ok());
+        assert!(ServiceCase {
+            schedule: Policy::Dynamic { chunk: MAX_CHUNK },
+            ..ok
+        }
+        .validate()
+        .is_ok());
         for bad in [
             ServiceCase { zones: 0, ..ok },
             ServiceCase {
@@ -207,6 +243,16 @@ mod tests {
                 workers: MAX_WORKERS + 1,
                 ..ok
             },
+            ServiceCase {
+                schedule: Policy::Dynamic { chunk: 0 },
+                ..ok
+            },
+            ServiceCase {
+                schedule: Policy::Guided {
+                    min_chunk: MAX_CHUNK + 1,
+                },
+                ..ok
+            },
         ] {
             let err = bad.validate().unwrap_err();
             assert!(err.contains("must be in 1..="), "{err}");
@@ -220,6 +266,7 @@ mod tests {
             zones: 2,
             steps: 3,
             workers: 1,
+            schedule: Policy::Static,
         };
         let a = run(&base, &Workers::new(1)).unwrap();
         let b = run(&ServiceCase { workers: 3, ..base }, &Workers::new(3)).unwrap();
@@ -233,11 +280,66 @@ mod tests {
     }
 
     #[test]
+    fn runs_are_bit_exact_across_scheduling_policies() {
+        let base = ServiceCase {
+            zones: 2,
+            steps: 3,
+            workers: 2,
+            schedule: Policy::Static,
+        };
+        let reference = run(&base, &Workers::new(2)).unwrap();
+        for schedule in [
+            Policy::Dynamic { chunk: 1 },
+            Policy::Dynamic { chunk: 3 },
+            Policy::Guided { min_chunk: 2 },
+        ] {
+            let case = ServiceCase { schedule, ..base };
+            let out = run(&case, &Workers::new(2)).unwrap();
+            assert_eq!(reference.residuals, out.residuals, "{schedule:?}");
+            assert_eq!(reference.checksums, out.checksums, "{schedule:?}");
+            assert_eq!(reference.drag, out.drag, "{schedule:?}");
+            assert_eq!(reference.lift, out.lift, "{schedule:?}");
+            // Same region structure, so the same sync-event bill.
+            assert_eq!(reference.sync_events, out.sync_events, "{schedule:?}");
+            assert_ne!(case.label(), base.label());
+        }
+        assert_eq!(base.label(), "service/z2s3w2");
+        assert_eq!(
+            ServiceCase {
+                schedule: Policy::Guided { min_chunk: 2 },
+                ..base
+            }
+            .label(),
+            "service/z2s3w2-gui2"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_runs_surface_the_clamp() {
+        let case = ServiceCase {
+            zones: 2,
+            steps: 1,
+            workers: MAX_WORKERS,
+            schedule: Policy::Static,
+        };
+        let pool = Workers::recorded(2);
+        let out = run(&case, &pool.sized_view(case.workers)).unwrap();
+        // The view clamps to the base pool's width, and the report says
+        // both what ran and what was asked for.
+        assert_eq!(out.report.workers, 2);
+        assert_eq!(out.report.requested_workers, Some(MAX_WORKERS));
+        // A non-clamped run stays silent.
+        let exact = run(&ServiceCase { workers: 2, ..case }, &pool.sized_view(2)).unwrap();
+        assert_eq!(exact.report.requested_workers, None);
+    }
+
+    #[test]
     fn recorded_run_reports_its_sync_events() {
         let case = ServiceCase {
             zones: 2,
             steps: 2,
             workers: 2,
+            schedule: Policy::Static,
         };
         let pool = Workers::recorded(4);
         let out = run(&case, &pool.sized_view(case.workers)).unwrap();

@@ -17,6 +17,7 @@
 //! configuration.
 
 use crate::profile::LoopReport;
+use crate::schedule::Policy;
 use perfmodel::overhead::OverheadBound;
 use perfmodel::stairstep::ideal_speedup;
 
@@ -50,6 +51,10 @@ pub struct LoopAdvice {
     pub fraction_of_total: f64,
     /// The decision and its rationale.
     pub decision: LoopDecision,
+    /// Recommended chunk-scheduling policy when parallelized
+    /// ([`Policy::Static`] for loops left serial — the field is
+    /// meaningful only alongside [`LoopDecision::Parallelize`]).
+    pub schedule: Policy,
 }
 
 /// Whole-program advice.
@@ -117,6 +122,57 @@ impl Advisor {
         }
     }
 
+    /// Recommend a chunk-scheduling policy for a loop this advisor
+    /// would parallelize.
+    ///
+    /// Static block scheduling is the default — it realizes the
+    /// stair-step bound with a single scheduling event, exactly the
+    /// vendor `C$doacross` behaviour the paper models. Self-scheduling
+    /// is recommended only when both of these hold:
+    ///
+    /// * the static stair loses real efficiency — `U` units over `P`
+    ///   processors leave processors idle on the last round
+    ///   (`U mod P != 0` with efficiency below 90%), which guided
+    ///   hand-outs can smooth when iteration costs vary; and
+    /// * the loop's work amortizes the extra scheduling interactions:
+    ///   guided hands out at most ~`4P` chunks, each priced at one
+    ///   synchronization cost, and their total must stay within the
+    ///   advisor's overhead budget (the Table-1 reasoning applied to
+    ///   scheduling events instead of region exits).
+    ///
+    /// Loops the advisor would leave serial get [`Policy::Static`].
+    #[must_use]
+    pub fn recommend_schedule(&self, report: &LoopReport) -> Policy {
+        if !matches!(self.judge(report), LoopDecision::Parallelize { .. }) {
+            return Policy::Static;
+        }
+        let u = report.stats.parallelism;
+        let p = u64::from(self.processors);
+        // u <= p: static gives every unit its own processor already;
+        // u % p == 0: static blocks are perfectly balanced.
+        if u <= p || u.is_multiple_of(p) {
+            return Policy::Static;
+        }
+        let efficiency = ideal_speedup(u, self.processors) / p as f64;
+        if efficiency >= 0.9 {
+            return Policy::Static;
+        }
+        // Guided hand-outs: chunks shrink as remaining/P with a floor
+        // that bounds total hand-outs near 4P scheduling interactions.
+        let handouts = 4 * p;
+        let min_chunk = u.div_ceil(handouts).max(1);
+        let work_cycles = (report.seconds_per_invocation() * self.clock_hz) as u64;
+        let schedule_cost = handouts.saturating_mul(self.bound.sync_cost_cycles);
+        #[allow(clippy::cast_precision_loss)]
+        if (schedule_cost as f64) > self.bound.max_overhead_fraction * work_cycles as f64 {
+            return Policy::Static;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Policy::Guided {
+            min_chunk: min_chunk as usize,
+        }
+    }
+
     /// Advise on a full profile.
     #[must_use]
     pub fn advise(&self, reports: &[LoopReport]) -> Advice {
@@ -141,6 +197,7 @@ impl Advisor {
             loops.push(LoopAdvice {
                 name: r.name.clone(),
                 fraction_of_total: r.fraction_of_total,
+                schedule: self.recommend_schedule(r),
                 decision,
             });
         }
@@ -263,6 +320,40 @@ mod tests {
         assert_eq!(advice.predicted_speedup, 1.0);
         assert_eq!(advice.serial_fraction, 0.0);
         assert!(advice.loops.is_empty());
+    }
+
+    #[test]
+    fn schedule_recommendations_follow_stair_and_budget() {
+        let a = advisor(32);
+        // Uneven stair (70 over 32: efficiency 0.73) with plenty of
+        // work: guided self-scheduling, min_chunk from the 4P hand-out
+        // bound.
+        let uneven = report("rhs", 10.0, 10, 70);
+        assert_eq!(
+            a.recommend_schedule(&uneven),
+            Policy::Guided { min_chunk: 1 }
+        );
+        // Perfectly balanced blocks: nothing to smooth.
+        let balanced = report("rhs", 90.0, 10, 320);
+        assert_eq!(a.recommend_schedule(&balanced), Policy::Static);
+        // Fewer units than processors: every unit already has its own
+        // processor.
+        let narrow = report("rhs", 10.0, 10, 20);
+        assert_eq!(a.recommend_schedule(&narrow), Policy::Static);
+        // Uneven stair but the work barely clears the Table-1 bound:
+        // the extra scheduling interactions would blow the budget.
+        let marginal = report("mid", 1.1, 10, 70); // 3.3e7 cycles/invocation
+        assert!(matches!(
+            a.judge(&marginal),
+            LoopDecision::Parallelize { .. }
+        ));
+        assert_eq!(a.recommend_schedule(&marginal), Policy::Static);
+        // Loops left serial are never given a dynamic policy.
+        let bc = report("bc_wall", 0.02, 100, 75);
+        assert_eq!(a.recommend_schedule(&bc), Policy::Static);
+        // advise() carries the recommendation through.
+        let advice = a.advise(&[uneven]);
+        assert_eq!(advice.loops[0].schedule, Policy::Guided { min_chunk: 1 });
     }
 
     #[test]

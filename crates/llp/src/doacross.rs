@@ -4,26 +4,41 @@
 //! C$doacross local (L,J,K)
 //!       DO 10 L=1,LMAX
 //! ```
-//! becomes [`doacross`]`(&workers, lmax, |l| …)`. Iterations are
-//! scheduled with the static block rule of [`crate::schedule`] so that
-//! the measured behaviour matches the paper's stair-step analysis, and
-//! each call records exactly one synchronization event on the pool.
+//! becomes [`doacross`]`(&workers, lmax, |l| …)`. Iterations are cut
+//! into chunks by the team's scheduling [`Policy`] — static block
+//! scheduling by default, so the measured behaviour matches the paper's
+//! stair-step analysis — and each call records exactly one
+//! synchronization event on the pool regardless of policy.
+//!
+//! Under [`Policy::Dynamic`] or [`Policy::Guided`] the chunk list is
+//! still computed up front, but chunks are *claimed* at runtime through
+//! the pool's atomic [`ChunkClaimer`]: `min(P, chunks)` claimant tasks
+//! each loop `while let Some(i) = claimer.claim()`, so idle workers
+//! steal the tail instead of waiting on the largest static block. Every
+//! chunk is still executed exactly once, and mutable data is pre-split
+//! along chunk boundaries before the region starts, so the handoff
+//! stays safe (this crate forbids `unsafe`).
 //!
 //! When the team's [`crate::obs::Recorder`] is enabled, every entry
-//! point additionally times each chunk and annotates the recorded
-//! region span with the loop extent and chunk max/mean seconds — the
-//! measured counterpart of the stair-step imbalance. With the recorder
+//! point additionally times the work and annotates the recorded region
+//! span with the loop extent and per-slot max/mean seconds — one slot
+//! per chunk under static scheduling, one per *claimant* under the
+//! dynamic policies (what bounds the makespan there is claimant
+//! imbalance, not individual chunk durations). With the recorder
 //! disabled (the default) none of that machinery exists: no timing
 //! vector is allocated and no clock is read.
 
-use crate::pool::Workers;
-use crate::schedule::chunk_bounds;
+use crate::pool::{ChunkClaimer, Workers};
+use crate::schedule::Policy;
+use std::ops::Range;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
-/// Per-chunk timing slots: one per chunk when recording, none otherwise.
-fn chunk_time_slots(workers: &Workers, chunks: usize) -> Vec<f64> {
+/// Per-slot timing storage: one per chunk (static) or claimant
+/// (dynamic) when recording, none otherwise.
+fn chunk_time_slots(workers: &Workers, slots: usize) -> Vec<f64> {
     if workers.recorder().is_enabled() {
-        vec![0.0; chunks]
+        vec![0.0; slots]
     } else {
         Vec::new()
     }
@@ -48,8 +63,101 @@ fn annotate_chunks(workers: &Workers, n: usize, times: &[f64]) {
     }
 }
 
+/// Execute one per-chunk payload list as a single parallel region under
+/// the team's policy. `work(chunk_index, payload, scratch)` runs once
+/// per payload; `make_scratch` runs once per executing task (chunk for
+/// static, claimant for dynamic), preserving the paper's Example 3
+/// per-worker-scratch semantics.
+fn run_chunks<T: Send, S>(
+    workers: &Workers,
+    n: usize,
+    payloads: Vec<T>,
+    make_scratch: impl Fn() -> S + Sync,
+    work: impl Fn(usize, T, &mut S) + Sync,
+) {
+    if payloads.is_empty() {
+        return;
+    }
+    match workers.policy() {
+        Policy::Static => {
+            // One task per chunk, bound at region entry: the vendor
+            // `C$doacross` behaviour the stair-step model assumes.
+            let mut times = chunk_time_slots(workers, payloads.len());
+            workers.region(|scope| {
+                let work = &work;
+                let make_scratch = &make_scratch;
+                let mut slots = times.iter_mut();
+                for (ci, payload) in payloads.into_iter().enumerate() {
+                    let slot = slots.next();
+                    scope.spawn(move || {
+                        timed(slot, || {
+                            let mut scratch = make_scratch();
+                            work(ci, payload, &mut scratch);
+                        });
+                    });
+                }
+            });
+            annotate_chunks(workers, n, &times);
+        }
+        Policy::Dynamic { .. } | Policy::Guided { .. } => {
+            // Self-scheduling: claimant tasks pull chunk indices from
+            // the shared atomic counter until the list is exhausted.
+            // Payloads are parked in per-chunk slots so ownership moves
+            // to whichever claimant wins the index — no `unsafe`, and
+            // each chunk is taken exactly once.
+            let claimants = workers.processors().min(payloads.len());
+            let mut times = chunk_time_slots(workers, claimants);
+            let claimer = ChunkClaimer::new(payloads.len());
+            let parked: Vec<Mutex<Option<T>>> =
+                payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
+            workers.region(|scope| {
+                let work = &work;
+                let make_scratch = &make_scratch;
+                let claimer = &claimer;
+                let parked = &parked;
+                let mut slots = times.iter_mut();
+                for _ in 0..claimants {
+                    let slot = slots.next();
+                    scope.spawn(move || {
+                        timed(slot, || {
+                            let mut scratch = make_scratch();
+                            while let Some(ci) = claimer.claim() {
+                                let payload = parked[ci]
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .take();
+                                if let Some(payload) = payload {
+                                    work(ci, payload, &mut scratch);
+                                }
+                            }
+                        });
+                    });
+                }
+            });
+            annotate_chunks(workers, n, &times);
+        }
+    }
+}
+
+/// Split `data` along the chunk boundaries (in iteration units times
+/// `stride` elements), pairing each piece with its chunk range.
+fn split_chunks<'d, T>(
+    chunks: &[Range<usize>],
+    data: &'d mut [T],
+    stride: usize,
+) -> Vec<(Range<usize>, &'d mut [T])> {
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut rest = data;
+    for chunk in chunks {
+        let (mine, tail) = rest.split_at_mut(chunk.len() * stride);
+        rest = tail;
+        out.push((chunk.clone(), mine));
+    }
+    out
+}
+
 /// Execute `body(i)` for every `i` in `0..n` as one parallel region
-/// with static chunked scheduling.
+/// under the team's scheduling policy (static chunks by default).
 ///
 /// Exactly one synchronization event is recorded regardless of `n` —
 /// outer-loop parallelization of a nest covers the whole nest per sync,
@@ -71,65 +179,34 @@ pub fn doacross(workers: &Workers, n: usize, body: impl Fn(usize) + Sync) {
     if n == 0 {
         return;
     }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    workers.region(|scope| {
-        let body = &body;
-        let mut slots = times.iter_mut();
-        for chunk in chunks {
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    for i in chunk {
-                        body(i);
-                    }
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
+    let chunks = workers.policy().chunks(n, workers.processors());
+    run_chunks(
+        workers,
+        n,
+        chunks,
+        || (),
+        |_, chunk, (): &mut ()| {
+            for i in chunk {
+                body(i);
+            }
+        },
+    );
 }
 
 /// Execute `body(i)` for every `i` in `0..out.len()`, storing the result
-/// in `out[i]`, as one statically-scheduled parallel region.
+/// in `out[i]`, as one parallel region.
 ///
 /// The output slice is partitioned along the chunk boundaries so every
 /// worker writes a disjoint contiguous range — the shared-memory
 /// analogue of `C$doacross` writing an array indexed by the parallel
-/// loop variable.
+/// loop variable. This holds under every scheduling policy: dynamic
+/// claimants receive disjoint pre-split pieces.
 pub fn doacross_into<T: Send>(workers: &Workers, out: &mut [T], body: impl Fn(usize) -> T + Sync) {
-    let n = out.len();
-    if n == 0 {
-        return;
-    }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    workers.region(|scope| {
-        let body = &body;
-        let mut slots = times.iter_mut();
-        let mut rest = out;
-        let mut consumed = 0;
-        for chunk in chunks {
-            let (mine, tail) = rest.split_at_mut(chunk.len());
-            rest = tail;
-            let start = consumed;
-            consumed += chunk.len();
-            debug_assert_eq!(start, chunk.start);
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    for (off, out_slot) in mine.iter_mut().enumerate() {
-                        *out_slot = body(start + off);
-                    }
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
+    doacross_into_scratch(workers, out, || (), |i, (): &mut ()| body(i));
 }
 
 /// Execute `body(s, slab)` for every length-`slab_len` slab of `data`,
-/// as one statically-scheduled parallel region.
+/// as one parallel region.
 ///
 /// This is the idiom for parallelizing the outer (L) loop of a field
 /// update: with an L-slowest storage layout, each L-plane is one
@@ -144,50 +221,29 @@ pub fn doacross_slabs<T: Send + Sync>(
     slab_len: usize,
     body: impl Fn(usize, &mut [T]) + Sync,
 ) {
-    assert!(slab_len > 0, "slab length must be positive");
-    assert!(
-        data.len().is_multiple_of(slab_len),
-        "data length {} is not a multiple of slab length {}",
-        data.len(),
-        slab_len
+    doacross_slabs_scratch(
+        workers,
+        data,
+        slab_len,
+        || (),
+        |s, slab, (): &mut ()| {
+            body(s, slab);
+        },
     );
-    let n = data.len() / slab_len;
-    if n == 0 {
-        return;
-    }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    workers.region(|scope| {
-        let body = &body;
-        let mut slots = times.iter_mut();
-        let mut rest = data;
-        for chunk in chunks {
-            let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
-            rest = tail;
-            let first_slab = chunk.start;
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
-                        body(first_slab + s, slab);
-                    }
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
 }
 
 /// A doacross with a reduction: `map(i)` is evaluated for every `i` in
-/// `0..n` and the results combined with `combine`, seeded per worker
+/// `0..n` and the results combined with `combine`, seeded per chunk
 /// with `identity`. One parallel region, one synchronization event.
 ///
-/// `combine` must be associative and commutative with `identity` as its
-/// neutral element — worker partials arrive in nondeterministic order.
-/// For floating-point sums this means results can differ from a serial
-/// sum by round-off (use max/min style reductions when bitwise
-/// reproducibility across worker counts is required, as the solver's
-/// residual monitors do).
+/// Per-chunk partials are folded in chunk-index order after the
+/// barrier, so for a given `n` and team the result is deterministic
+/// under every scheduling policy. `combine` must still be associative
+/// and commutative with `identity` as its neutral element — chunk
+/// shapes differ across worker counts and policies, so floating-point
+/// sums can differ by round-off between configurations (use max/min
+/// style reductions when bitwise reproducibility across worker counts
+/// is required, as the solver's residual monitors do).
 ///
 /// ```
 /// use llp::{doacross_reduce, Workers};
@@ -207,40 +263,42 @@ pub fn doacross_reduce<T: Send + Clone>(
     if n == 0 {
         return identity;
     }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    let mut partials: Vec<Option<T>> = vec![None; chunks.len()];
-    let seeds: Vec<T> = (0..chunks.len()).map(|_| identity.clone()).collect();
-    workers.region(|scope| {
-        let map = &map;
-        let combine = &combine;
-        let mut slots = times.iter_mut();
-        for ((chunk, part), seed) in chunks.into_iter().zip(partials.iter_mut()).zip(seeds) {
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    let mut acc = seed;
-                    for i in chunk {
-                        acc = combine(acc, map(i));
-                    }
-                    *part = Some(acc);
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
+    let chunks = workers.policy().chunks(n, workers.processors());
+    let partials: Vec<Mutex<Option<T>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    // Seeds ride in the payloads so the tasks never share `identity`.
+    let payloads: Vec<(Range<usize>, T)> =
+        chunks.into_iter().map(|c| (c, identity.clone())).collect();
+    run_chunks(
+        workers,
+        n,
+        payloads,
+        || (),
+        |ci, (chunk, seed), (): &mut ()| {
+            let mut acc = seed;
+            for i in chunk {
+                acc = combine(acc, map(i));
+            }
+            *partials[ci].lock().unwrap_or_else(PoisonError::into_inner) = Some(acc);
+        },
+    );
     partials
         .into_iter()
-        .map(|p| p.expect("every chunk ran"))
+        .map(|p| {
+            p.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every chunk ran")
+        })
         .fold(identity, combine)
 }
 
-/// [`doacross_slabs`] with per-worker scratch: each chunk creates its
-/// scratch once (paper Example 3) and reuses it across its slabs.
+/// [`doacross_slabs`] with per-worker scratch: each executing task
+/// creates its scratch once (paper Example 3) and reuses it across the
+/// slabs it runs — per chunk under static scheduling, per claimant
+/// under the dynamic policies.
 ///
 /// # Panics
 /// Panics if `slab_len == 0` or does not divide `data.len()`.
-pub fn doacross_slabs_scratch<T: Send + Sync, S: Send>(
+pub fn doacross_slabs_scratch<T: Send + Sync, S>(
     workers: &Workers,
     data: &mut [T],
     slab_len: usize,
@@ -258,33 +316,24 @@ pub fn doacross_slabs_scratch<T: Send + Sync, S: Send>(
     if n == 0 {
         return;
     }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    workers.region(|scope| {
-        let body = &body;
-        let make_scratch = &make_scratch;
-        let mut slots = times.iter_mut();
-        let mut rest = data;
-        for chunk in chunks {
-            let (mine, tail) = rest.split_at_mut(chunk.len() * slab_len);
-            rest = tail;
-            let first_slab = chunk.start;
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    let mut scratch = make_scratch();
-                    for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
-                        body(first_slab + s, slab, &mut scratch);
-                    }
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
+    let chunks = workers.policy().chunks(n, workers.processors());
+    let payloads = split_chunks(&chunks, data, slab_len);
+    run_chunks(
+        workers,
+        n,
+        payloads,
+        make_scratch,
+        |_, (chunk, mine), scratch| {
+            for (s, slab) in mine.chunks_mut(slab_len).enumerate() {
+                body(chunk.start + s, slab, scratch);
+            }
+        },
+    );
 }
 
-/// [`doacross_into`] with per-worker scratch.
-pub fn doacross_into_scratch<T: Send, S: Send>(
+/// [`doacross_into`] with per-worker scratch (created once per
+/// executing task, like [`doacross_slabs_scratch`]).
+pub fn doacross_into_scratch<T: Send, S>(
     workers: &Workers,
     out: &mut [T],
     make_scratch: impl Fn() -> S + Sync,
@@ -294,29 +343,19 @@ pub fn doacross_into_scratch<T: Send, S: Send>(
     if n == 0 {
         return;
     }
-    let chunks = chunk_bounds(n, workers.processors());
-    let mut times = chunk_time_slots(workers, chunks.len());
-    workers.region(|scope| {
-        let body = &body;
-        let make_scratch = &make_scratch;
-        let mut slots = times.iter_mut();
-        let mut rest = out;
-        for chunk in chunks {
-            let (mine, tail) = rest.split_at_mut(chunk.len());
-            rest = tail;
-            let start = chunk.start;
-            let slot = slots.next();
-            scope.spawn(move || {
-                timed(slot, || {
-                    let mut scratch = make_scratch();
-                    for (off, out_slot) in mine.iter_mut().enumerate() {
-                        *out_slot = body(start + off, &mut scratch);
-                    }
-                });
-            });
-        }
-    });
-    annotate_chunks(workers, n, &times);
+    let chunks = workers.policy().chunks(n, workers.processors());
+    let payloads = split_chunks(&chunks, out, 1);
+    run_chunks(
+        workers,
+        n,
+        payloads,
+        make_scratch,
+        |_, (chunk, mine), scratch| {
+            for (off, out_slot) in mine.iter_mut().enumerate() {
+                *out_slot = body(chunk.start + off, scratch);
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -522,5 +561,137 @@ mod tests {
         let w = Workers::new(2);
         let mut data = vec![0u8; 10];
         doacross_slabs(&w, &mut data, 0, |_, _| {});
+    }
+
+    /// A team of `p` workers running under `policy`.
+    fn team(p: usize, policy: Policy) -> Workers {
+        let mut w = Workers::new(p);
+        w.set_policy(policy);
+        w
+    }
+
+    const POLICIES: [Policy; 4] = [
+        Policy::Static,
+        Policy::Dynamic { chunk: 1 },
+        Policy::Dynamic { chunk: 7 },
+        Policy::Guided { min_chunk: 2 },
+    ];
+
+    #[test]
+    fn every_policy_visits_every_index_once() {
+        for policy in POLICIES {
+            for p in [1usize, 3, 4] {
+                let w = team(p, policy);
+                let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+                doacross(&w, hits.len(), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "{policy:?} p={p}"
+                );
+                // Self-scheduling still costs exactly one sync event.
+                assert_eq!(w.sync_event_count(), 1, "{policy:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_matches_serial_results_exactly() {
+        let body = |i: usize| (i as f64).sqrt().sin() * (i as f64 + 0.5).cos();
+        let serial: Vec<f64> = (0..211).map(body).collect();
+        for policy in POLICIES {
+            for p in [1usize, 2, 4] {
+                let w = team(p, policy);
+                let mut par = vec![0.0f64; 211];
+                doacross_into(&w, &mut par, body);
+                assert_eq!(serial, par, "{policy:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_partitions_slabs_disjointly() {
+        for policy in POLICIES {
+            let w = team(4, policy);
+            let mut data = vec![0u32; 17 * 3];
+            doacross_slabs(&w, &mut data, 3, |s, slab| {
+                for v in slab.iter_mut() {
+                    *v += 1 + s as u32;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                // Each element written exactly once by its slab index.
+                assert_eq!(v as usize, 1 + i / 3, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_deterministic_under_dynamic_policies() {
+        // Partials fold in chunk-index order, so repeated runs of the
+        // same configuration agree bitwise even though chunk-to-worker
+        // assignment is racy.
+        let map = |i: usize| ((i * 2654435761) % 1000) as f64 / 7.0;
+        for policy in POLICIES {
+            let w = team(4, policy);
+            let first = doacross_reduce(&w, 500, f64::NEG_INFINITY, map, f64::max);
+            for _ in 0..5 {
+                let again = doacross_reduce(&w, 500, f64::NEG_INFINITY, map, f64::max);
+                assert_eq!(first, again, "{policy:?}");
+            }
+            // And max-reductions agree across policies too.
+            let st = team(4, Policy::Static);
+            assert_eq!(
+                first,
+                doacross_reduce(&st, 500, f64::NEG_INFINITY, map, f64::max)
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_scratch_is_per_claimant() {
+        // 20 slabs, chunk=1 → 20 chunks, but only min(p, chunks) = 4
+        // claimants, so at most 4 scratch creations (fewer if a fast
+        // claimant drains the queue first) — never one per chunk.
+        let w = team(4, Policy::Dynamic { chunk: 1 });
+        let mut data = vec![0u64; 20 * 2];
+        let creations = AtomicUsize::new(0);
+        doacross_slabs_scratch(
+            &w,
+            &mut data,
+            2,
+            || {
+                creations.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |_, slab, count| {
+                *count += 1;
+                for v in slab.iter_mut() {
+                    *v += 1;
+                }
+            },
+        );
+        let made = creations.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&made), "scratch creations: {made}");
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn dynamic_recorded_regions_time_claimants() {
+        let w = {
+            let mut w = Workers::recorded(3);
+            w.set_policy(Policy::Dynamic { chunk: 5 });
+            w
+        };
+        doacross(&w, 60, |i| {
+            std::hint::black_box((i as f64).sqrt());
+        });
+        let report = w.recorder().take_report("dyn", 3);
+        let region = &report.spans[0];
+        assert_eq!(region.iterations, 60);
+        // 12 chunks but only 3 claimants: timing slots are per claimant.
+        assert_eq!(region.chunk_count, 3);
+        assert_eq!(report.sync_events(), 1);
     }
 }

@@ -53,7 +53,7 @@ pub use doacross::{
 pub use fusion::FusedRegion;
 pub use obs::{KernelSummary, ObsReport, Recorder, SpanKind, SpanNode};
 pub use pencil::with_pencil_scratch;
-pub use pool::{default_worker_count, Workers};
+pub use pool::{default_worker_count, ChunkClaimer, Workers};
 pub use profile::{LoopProfiler, LoopReport};
 pub use schedule::{chunk_bounds, Policy, StaticSchedule};
 pub use teams::{partition_processors, Teams};

@@ -9,7 +9,7 @@
 //! integration test `obs_overhead.rs` asserts this with a counting
 //! allocator.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::obs::report::{ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};
@@ -54,6 +54,13 @@ impl State {
     }
 }
 
+/// Lock the span store, tolerating poison: the recorder is driven from
+/// a request path that must survive a panicking job, and span data is
+/// always internally consistent (each mutation is a single push/pop).
+fn lock(store: &Arc<Mutex<State>>) -> MutexGuard<'_, State> {
+    store.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Recorder {
     /// The disabled recorder: records nothing, allocates nothing.
     #[must_use]
@@ -85,11 +92,7 @@ impl Recorder {
             None => SpanGuard { store: None },
             Some(store) => {
                 let node = SpanNode::new(name, kind);
-                store
-                    .lock()
-                    .expect("recorder lock")
-                    .open
-                    .push((node, Instant::now()));
+                lock(store).open.push((node, Instant::now()));
                 SpanGuard { store: Some(store) }
             }
         }
@@ -106,7 +109,7 @@ impl Recorder {
         node.workers = workers;
         node.seconds = seconds;
         node.sync_events = 1;
-        store.lock().expect("recorder lock").attach(node);
+        lock(store).attach(node);
     }
 
     /// Annotate the most recently attached region span with its loop
@@ -114,7 +117,7 @@ impl Recorder {
     /// points right after their region completes.
     pub fn annotate_last_region(&self, iterations: u64, chunk_seconds: &[f64]) {
         let Some(store) = &self.inner else { return };
-        let mut state = store.lock().expect("recorder lock");
+        let mut state = lock(store);
         let Some(node) = state.last_attached() else {
             return;
         };
@@ -147,7 +150,7 @@ impl Recorder {
                 // mutex is held would poison it and make the still-open
                 // guard's drop panic during unwind (an abort).
                 let (open, roots) = {
-                    let mut state = store.lock().expect("recorder lock");
+                    let mut state = lock(store);
                     (state.open.len(), std::mem::take(&mut state.roots))
                 };
                 assert!(
@@ -162,8 +165,21 @@ impl Recorder {
             source: "measured".to_string(),
             case: case.to_string(),
             workers,
+            requested_workers: None,
             spans,
         }
+    }
+
+    /// Discard everything recorded so far — completed roots *and* any
+    /// spans still open. This is the recovery path after a panicking
+    /// job is caught: the aborted request's partial span tree must not
+    /// leak into the next request's report, and a leftover open span
+    /// must not turn the next [`Recorder::take_report`] into a panic.
+    pub fn reset(&self) {
+        let Some(store) = &self.inner else { return };
+        let mut state = lock(store);
+        state.roots.clear();
+        state.open.clear();
     }
 }
 
@@ -269,5 +285,20 @@ mod tests {
         let rec = Recorder::enabled();
         let _open = rec.span("step", SpanKind::Step);
         let _ = rec.take_report("bad", 1);
+    }
+
+    #[test]
+    fn reset_discards_partial_state() {
+        let rec = Recorder::enabled();
+        rec.attach_region(2, 0.1);
+        let open = rec.span("step", SpanKind::Step);
+        rec.reset();
+        // The leftover open span no longer exists; its guard's drop is
+        // a tolerated no-op and the next report starts clean.
+        drop(open);
+        let report = rec.take_report("after-reset", 2);
+        assert!(report.spans.is_empty());
+        rec.attach_region(2, 0.2);
+        assert_eq!(rec.take_report("next", 2).spans.len(), 1);
     }
 }

@@ -289,11 +289,26 @@ pub struct ObsReport {
     pub case: String,
     /// Worker count the run was configured with.
     pub workers: usize,
+    /// Worker count originally *requested*, when it differs from
+    /// `workers` because the pool clamped an oversubscribed
+    /// `sized_view` request. `None` means no clamp happened. Additive
+    /// schema field: emitted only when present, defaulted to `None` on
+    /// parse.
+    pub requested_workers: Option<usize>,
     /// Root spans in execution order (typically one per time step).
     pub spans: Vec<SpanNode>,
 }
 
 impl ObsReport {
+    /// Mark this report as a clamped run: `requested` workers were
+    /// asked for but only `self.workers` granted. A request matching
+    /// the granted width leaves the report unchanged.
+    #[must_use]
+    pub fn with_requested_workers(mut self, requested: usize) -> ObsReport {
+        self.requested_workers = (requested != self.workers).then_some(requested);
+        self
+    }
+
     /// Total wall seconds across root spans.
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
@@ -335,6 +350,7 @@ impl ObsReport {
             source: self.source.clone(),
             case: self.case.clone(),
             workers: self.workers,
+            requested_workers: self.requested_workers,
             spans: self.spans.iter().map(SpanNode::without_timings).collect(),
         }
     }
@@ -342,11 +358,16 @@ impl ObsReport {
     /// Full JSON form, including derived kernel summaries and totals.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut pairs = vec![
             ("schema_version", num(self.schema_version)),
             ("source", Json::Str(self.source.clone())),
             ("case", Json::Str(self.case.clone())),
             ("workers", num(self.workers as u64)),
+        ];
+        if let Some(requested) = self.requested_workers {
+            pairs.push(("requested_workers", num(requested as u64)));
+        }
+        pairs.extend(vec![
             ("total_seconds", Json::Num(self.total_seconds())),
             ("sync_events", num(self.sync_events())),
             (
@@ -362,7 +383,8 @@ impl ObsReport {
                 "spans",
                 Json::Array(self.spans.iter().map(SpanNode::to_json).collect()),
             ),
-        ])
+        ]);
+        Json::object(pairs)
     }
 
     /// Pretty-printed JSON document.
@@ -397,6 +419,11 @@ impl ObsReport {
             .get("workers")
             .and_then(Json::as_u64)
             .ok_or("report missing `workers`")? as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        let requested_workers = value
+            .get("requested_workers")
+            .and_then(Json::as_u64)
+            .map(|v| v as usize);
         let spans = value
             .get("spans")
             .and_then(Json::as_array)
@@ -409,6 +436,7 @@ impl ObsReport {
             source,
             case,
             workers,
+            requested_workers,
             spans,
         })
     }
@@ -485,6 +513,7 @@ mod tests {
             source: "measured".to_string(),
             case: "unit".to_string(),
             workers: 4,
+            requested_workers: None,
             spans: vec![step],
         }
     }
@@ -536,6 +565,23 @@ mod tests {
         let text = r.to_json_string();
         let back = ObsReport::from_json_str(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn requested_workers_marks_clamped_runs_only() {
+        // Request equal to the grant: no clamp recorded, field omitted.
+        let exact = sample_report().with_requested_workers(4);
+        assert_eq!(exact.requested_workers, None);
+        assert!(!exact.to_json_string().contains("requested_workers"));
+        // Oversubscribed request: clamp surfaced and round-tripped.
+        let clamped = sample_report().with_requested_workers(16);
+        assert_eq!(clamped.requested_workers, Some(16));
+        let text = clamped.to_json_string();
+        assert!(text.contains("\"requested_workers\""));
+        let back = ObsReport::from_json_str(&text).unwrap();
+        assert_eq!(back, clamped);
+        // Skeletons keep the clamp marker (it is structure, not timing).
+        assert_eq!(clamped.without_timings().requested_workers, Some(16));
     }
 
     #[test]

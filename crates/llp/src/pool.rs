@@ -10,11 +10,12 @@
 //! with exiting a parallel section of code".
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::obs::Recorder;
+use crate::schedule::Policy;
 
 /// A boxed task queued on a [`RegionScope`].
 type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -56,8 +57,17 @@ impl<'env> RegionScope<'env> {
 /// one branch per region.
 pub struct Workers {
     processors: usize,
+    /// What the caller asked for before any [`Workers::sized_view`]
+    /// clamp; equals `processors` for a directly-constructed team.
+    requested: usize,
     counters: Arc<Counters>,
+    /// Per-view counters: fresh for every [`Workers::sized_view`] /
+    /// [`Workers::with_policy`] view, so a view can attribute events to
+    /// exactly its own regions even while other views of the same pool
+    /// run concurrently (the shared `counters` keep the pool total).
+    local: Arc<Counters>,
     recorder: Recorder,
+    policy: Policy,
 }
 
 /// Shared event counters: one allocation per pool, shared by every
@@ -88,8 +98,11 @@ impl Workers {
         assert!(processors > 0, "worker count must be positive");
         Self {
             processors,
+            requested: processors,
             counters: Arc::new(Counters::default()),
+            local: Arc::new(Counters::default()),
             recorder: Recorder::disabled(),
+            policy: Policy::Static,
         }
     }
 
@@ -142,15 +155,61 @@ impl Workers {
     /// [`Workers::sync_event_count`] on the parent still reflects every
     /// region the view ran.
     ///
+    /// Requests for more workers than this pool owns are **clamped** to
+    /// the pool size rather than oversubscribing: a view cannot promise
+    /// processors its pool does not have. The clamp is visible through
+    /// [`Workers::requested_processors`], which span reports surface so
+    /// a clamped run is never mistaken for the full-width one.
+    ///
+    /// The view inherits this pool's scheduling [`Policy`].
+    ///
     /// # Panics
     /// Panics if `processors == 0`.
     #[must_use]
     pub fn sized_view(&self, processors: usize) -> Self {
         assert!(processors > 0, "worker count must be positive");
         Self {
-            processors,
+            processors: processors.min(self.processors),
+            requested: processors,
             counters: Arc::clone(&self.counters),
+            local: Arc::new(Counters::default()),
             recorder: self.recorder.clone(),
+            policy: self.policy,
+        }
+    }
+
+    /// The processor count originally requested from
+    /// [`Workers::sized_view`], before clamping to the base pool size.
+    /// Equals [`Workers::processors`] unless the request oversubscribed.
+    #[must_use]
+    pub fn requested_processors(&self) -> usize {
+        self.requested
+    }
+
+    /// The team's chunk-scheduling policy (static unless changed).
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Set the chunk-scheduling policy used by `doacross` entry points.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// A same-sized view of this pool running under `policy`: shares
+    /// counters and recorder, like [`Workers::sized_view`], but changes
+    /// only the scheduling policy. This is how a service applies a
+    /// per-request policy without mutating the shared pool.
+    #[must_use]
+    pub fn with_policy(&self, policy: Policy) -> Self {
+        Self {
+            processors: self.processors,
+            requested: self.requested,
+            counters: Arc::clone(&self.counters),
+            local: Arc::new(Counters::default()),
+            recorder: self.recorder.clone(),
+            policy,
         }
     }
 
@@ -172,6 +231,18 @@ impl Workers {
         self.counters.sync_events.load(Ordering::Relaxed)
     }
 
+    /// Synchronization events run through *this view* specifically.
+    ///
+    /// Unlike [`Workers::sync_event_count`] — which is the pool-wide
+    /// total shared by every view — this counter starts at zero for
+    /// each [`Workers::sized_view`] / [`Workers::with_policy`] view, so
+    /// a delta over it attributes events to exactly one request even
+    /// when other views of the same pool execute concurrently.
+    #[must_use]
+    pub fn local_sync_event_count(&self) -> u64 {
+        self.local.sync_events.load(Ordering::Relaxed)
+    }
+
     /// Total parallel regions entered so far (equal to
     /// [`Self::sync_event_count`] unless a region is currently active).
     #[must_use]
@@ -179,10 +250,13 @@ impl Workers {
         self.counters.regions.load(Ordering::Relaxed)
     }
 
-    /// Reset the event counters (e.g. between benchmark phases).
+    /// Reset the event counters, shared and view-local (e.g. between
+    /// benchmark phases).
     pub fn reset_counters(&self) {
         self.counters.sync_events.store(0, Ordering::Relaxed);
         self.counters.regions.store(0, Ordering::Relaxed);
+        self.local.sync_events.store(0, Ordering::Relaxed);
+        self.local.regions.store(0, Ordering::Relaxed);
     }
 
     /// Run `f` as one parallel region: `f` receives a [`RegionScope`]
@@ -194,6 +268,7 @@ impl Workers {
     /// higher-level entry points.
     pub fn region<'env, R>(&self, f: impl FnOnce(&RegionScope<'env>) -> R) -> R {
         self.counters.regions.fetch_add(1, Ordering::Relaxed);
+        self.local.regions.fetch_add(1, Ordering::Relaxed);
         let start = if self.recorder.is_enabled() {
             Some(Instant::now())
         } else {
@@ -205,6 +280,7 @@ impl Workers {
         let out = f(&scope);
         run_tasks(scope.tasks.into_inner());
         self.counters.sync_events.fetch_add(1, Ordering::Relaxed);
+        self.local.sync_events.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = start {
             self.recorder
                 .attach_region(self.processors, start.elapsed().as_secs_f64());
@@ -235,6 +311,44 @@ pub fn default_worker_count() -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The atomic iteration-claim counter behind dynamic (self-scheduling)
+/// and guided chunk policies: a pre-computed chunk list is indexed by a
+/// single shared counter, and each claimant loops
+/// `while let Some(i) = claimer.claim()` until the list is exhausted.
+///
+/// Each successful claim is one scheduling interaction — the extra cost
+/// the paper's static-scheduling model avoids and
+/// [`Policy::scheduling_events`] accounts for.
+#[derive(Debug)]
+pub struct ChunkClaimer {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl ChunkClaimer {
+    /// A claimer over chunk indices `0..limit`.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Claim the next chunk index, or `None` once all are handed out.
+    /// Indices are handed out exactly once, in order.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.limit).then_some(i)
+    }
+
+    /// Number of chunks this claimer hands out in total.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
 }
 
 /// Run queued region tasks to completion: the last task runs on the
@@ -349,6 +463,86 @@ mod tests {
     #[should_panic(expected = "worker count must be positive")]
     fn zero_sized_view_panics() {
         let _ = Workers::new(2).sized_view(0);
+    }
+
+    #[test]
+    fn oversized_view_clamps_to_pool_width() {
+        let pool = Workers::new(2);
+        let view = pool.sized_view(8);
+        assert_eq!(view.processors(), 2);
+        assert_eq!(view.requested_processors(), 8);
+        // An in-range request is granted as-is and reports no clamp.
+        let exact = pool.sized_view(2);
+        assert_eq!(exact.processors(), 2);
+        assert_eq!(exact.requested_processors(), 2);
+        let under = pool.sized_view(1);
+        assert_eq!(under.processors(), 1);
+        assert_eq!(under.requested_processors(), 1);
+    }
+
+    #[test]
+    fn views_inherit_and_override_policy() {
+        let mut pool = Workers::new(4);
+        assert_eq!(pool.policy(), Policy::Static);
+        pool.set_policy(Policy::Dynamic { chunk: 2 });
+        assert_eq!(pool.sized_view(2).policy(), Policy::Dynamic { chunk: 2 });
+        let guided = pool.with_policy(Policy::Guided { min_chunk: 1 });
+        assert_eq!(guided.policy(), Policy::Guided { min_chunk: 1 });
+        assert_eq!(guided.processors(), 4);
+        // Policy views share the pool's counters.
+        guided.region(|_| {});
+        assert_eq!(pool.sync_event_count(), 1);
+    }
+
+    #[test]
+    fn views_track_local_sync_events_independently() {
+        let pool = Workers::new(2);
+        let a = pool.sized_view(1);
+        let b = pool.with_policy(Policy::Dynamic { chunk: 1 });
+        a.region(|_| {});
+        a.region(|_| {});
+        b.region(|_| {});
+        // Each view attributes exactly its own regions...
+        assert_eq!(a.local_sync_event_count(), 2);
+        assert_eq!(b.local_sync_event_count(), 1);
+        // ...while the shared total sees everything.
+        assert_eq!(pool.sync_event_count(), 3);
+        assert_eq!(pool.local_sync_event_count(), 0);
+        a.reset_counters();
+        assert_eq!(a.local_sync_event_count(), 0);
+        assert_eq!(b.sync_event_count(), 0);
+    }
+
+    #[test]
+    fn claimer_hands_out_each_chunk_once() {
+        let claimer = ChunkClaimer::new(5);
+        let mut seen = Vec::new();
+        while let Some(i) = claimer.claim() {
+            seen.push(i);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(claimer.claim(), None);
+        assert_eq!(claimer.limit(), 5);
+        assert_eq!(ChunkClaimer::new(0).claim(), None);
+    }
+
+    #[test]
+    fn claimer_is_exact_under_contention() {
+        let claimer = ChunkClaimer::new(1000);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut local = 0usize;
+                    while let Some(i) = claimer.claim() {
+                        assert!(i < 1000);
+                        local += 1;
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
     }
 
     #[test]

@@ -237,6 +237,7 @@ mod tests {
             source: "measured".into(),
             case: "t".into(),
             workers: 4,
+            requested_workers: None,
             spans: vec![step],
         };
         let p = LoopProfiler::new();

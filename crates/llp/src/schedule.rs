@@ -22,10 +22,10 @@ pub struct StaticSchedule {
 }
 
 impl StaticSchedule {
-    /// Compute the schedule.
-    ///
-    /// # Panics
-    /// Panics if `p == 0`.
+    /// Compute the schedule. Degenerate inputs (`n == 0` or `p == 0`)
+    /// yield an empty chunk list rather than panicking: a service that
+    /// derives worker counts from untrusted input must get a schedule
+    /// with no work, not a crash.
     #[must_use]
     pub fn new(n: usize, p: usize) -> Self {
         Self {
@@ -43,10 +43,11 @@ impl StaticSchedule {
     }
 
     /// Ideal speedup of this schedule relative to serial execution,
-    /// assuming uniform cost per iteration: `n / max_chunk`.
+    /// assuming uniform cost per iteration: `n / max_chunk` (1.0 for
+    /// the degenerate schedules with no chunks).
     #[must_use]
     pub fn ideal_speedup(&self) -> f64 {
-        if self.n == 0 {
+        if self.n == 0 || self.max_chunk() == 0 {
             1.0
         } else {
             self.n as f64 / self.max_chunk() as f64
@@ -60,15 +61,17 @@ impl StaticSchedule {
 ///
 /// Guarantees, relied on by tests and by `perfmodel`:
 /// * the chunks exactly tile `0..n` in order;
-/// * `max(len) == ceil(n / p)`;
-/// * `min(len) >= floor(n / p)` over the returned (non-empty) chunks.
+/// * no chunk is empty (in particular `p > n` yields `n` unit chunks,
+///   never zero-length trailing ranges that would skew imbalance
+///   metrics);
+/// * `max(len) == ceil(n / p)` and `min(len) >= floor(n / p)` over the
+///   returned chunks.
 ///
-/// # Panics
-/// Panics if `p == 0`.
+/// Degenerate inputs are total, not panics: `n == 0` or `p == 0`
+/// returns an empty chunk list (no iterations scheduled).
 #[must_use]
 pub fn chunk_bounds(n: usize, p: usize) -> Vec<Range<usize>> {
-    assert!(p > 0, "worker count must be positive");
-    if n == 0 {
+    if n == 0 || p == 0 {
         return Vec::new();
     }
     let workers = p.min(n);
@@ -115,15 +118,18 @@ impl Policy {
     /// [`chunk_bounds`]; for the dynamic policies the chunks are not
     /// bound to a worker until runtime.
     ///
-    /// # Panics
-    /// Panics if `p == 0` or a chunk parameter is zero.
+    /// Total over degenerate inputs: `n == 0` or `p == 0` returns an
+    /// empty list, and zero chunk parameters are clamped to 1 — the
+    /// request path feeds this from untrusted input and must not panic.
     #[must_use]
     pub fn chunks(&self, n: usize, p: usize) -> Vec<Range<usize>> {
-        assert!(p > 0, "worker count must be positive");
+        if n == 0 || p == 0 {
+            return Vec::new();
+        }
         match *self {
             Policy::Static => chunk_bounds(n, p),
             Policy::Dynamic { chunk } => {
-                assert!(chunk > 0, "chunk size must be positive");
+                let chunk = chunk.max(1);
                 let mut out = Vec::with_capacity(n.div_ceil(chunk));
                 let mut start = 0;
                 while start < n {
@@ -134,7 +140,7 @@ impl Policy {
                 out
             }
             Policy::Guided { min_chunk } => {
-                assert!(min_chunk > 0, "min chunk must be positive");
+                let min_chunk = min_chunk.max(1);
                 let mut out = Vec::new();
                 let mut start = 0;
                 while start < n {
@@ -148,12 +154,63 @@ impl Policy {
         }
     }
 
+    /// The policy's wire/label name: `static`, `dynamic`, or `guided`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::Dynamic { .. } => "dynamic",
+            Policy::Guided { .. } => "guided",
+        }
+    }
+
+    /// The chunk parameter (`chunk` for dynamic, `min_chunk` for
+    /// guided); `None` for static.
+    #[must_use]
+    pub fn chunk_param(&self) -> Option<usize> {
+        match *self {
+            Policy::Static => None,
+            Policy::Dynamic { chunk } => Some(chunk),
+            Policy::Guided { min_chunk } => Some(min_chunk),
+        }
+    }
+
+    /// Parse a policy from its wire name plus optional chunk parameter
+    /// (defaults to 1 for the dynamic policies).
+    ///
+    /// # Errors
+    /// Unknown names, a chunk parameter on `static`, or a zero chunk
+    /// parameter are rejected with a message naming the fault.
+    pub fn parse(name: &str, chunk: Option<usize>) -> Result<Self, String> {
+        if chunk == Some(0) {
+            return Err("chunk must be a positive integer".to_string());
+        }
+        match name {
+            "static" => match chunk {
+                None => Ok(Policy::Static),
+                Some(_) => Err("static scheduling takes no chunk parameter".to_string()),
+            },
+            "dynamic" => Ok(Policy::Dynamic {
+                chunk: chunk.unwrap_or(1),
+            }),
+            "guided" => Ok(Policy::Guided {
+                min_chunk: chunk.unwrap_or(1),
+            }),
+            other => Err(format!(
+                "unknown schedule {other:?}: expected static, dynamic, or guided"
+            )),
+        }
+    }
+
     /// Ideal makespan of this policy in units of one iteration's work,
     /// computed by list-scheduling the chunk list onto `p` workers
     /// (greedy earliest-finish, which is how a work queue behaves for
-    /// uniform iterations).
+    /// uniform iterations). `p == 0` degenerates to serial: `n`.
     #[must_use]
     pub fn ideal_makespan(&self, n: usize, p: usize) -> usize {
+        if p == 0 {
+            return n;
+        }
         let chunks = self.chunks(n, p);
         let mut loads = vec![0usize; p];
         for c in chunks {
@@ -279,9 +336,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker count must be positive")]
-    fn zero_workers_panics() {
-        let _ = chunk_bounds(5, 0);
+    fn zero_workers_yields_empty_schedule() {
+        // Degenerate inputs are total: no panic, no zero-length chunks.
+        assert!(chunk_bounds(5, 0).is_empty());
+        let s = StaticSchedule::new(5, 0);
+        assert_eq!(s.max_chunk(), 0);
+        assert_eq!(s.ideal_speedup(), 1.0);
+        for policy in [
+            Policy::Static,
+            Policy::Dynamic { chunk: 2 },
+            Policy::Guided { min_chunk: 1 },
+        ] {
+            assert!(policy.chunks(5, 0).is_empty());
+            assert_eq!(policy.ideal_makespan(5, 0), 5);
+            assert_eq!(policy.scheduling_events(5, 0), 0);
+        }
     }
 
     #[test]
@@ -371,8 +440,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chunk size must be positive")]
-    fn zero_dynamic_chunk_panics() {
-        let _ = Policy::Dynamic { chunk: 0 }.chunks(5, 2);
+    fn zero_chunk_parameters_clamp_to_one() {
+        assert_eq!(
+            Policy::Dynamic { chunk: 0 }.chunks(5, 2),
+            Policy::Dynamic { chunk: 1 }.chunks(5, 2)
+        );
+        assert_eq!(
+            Policy::Guided { min_chunk: 0 }.chunks(100, 4),
+            Policy::Guided { min_chunk: 1 }.chunks(100, 4)
+        );
+    }
+
+    #[test]
+    fn names_and_parse_round_trip() {
+        for (policy, chunk) in [
+            (Policy::Static, None),
+            (Policy::Dynamic { chunk: 4 }, Some(4)),
+            (Policy::Guided { min_chunk: 2 }, Some(2)),
+        ] {
+            assert_eq!(Policy::parse(policy.name(), chunk), Ok(policy));
+            assert_eq!(policy.chunk_param(), chunk);
+        }
+        assert_eq!(
+            Policy::parse("dynamic", None),
+            Ok(Policy::Dynamic { chunk: 1 })
+        );
+        assert!(Policy::parse("static", Some(3)).is_err());
+        assert!(Policy::parse("dynamic", Some(0)).is_err());
+        assert!(Policy::parse("stochastic", None).is_err());
     }
 }

@@ -50,6 +50,34 @@ proptest! {
         }
     }
 
+    /// Degenerate inputs (`p = 0`, `n = 0`, `p > n`) are total: no
+    /// panic, no zero-length chunks, and the non-degenerate invariants
+    /// still hold on whatever is returned.
+    #[test]
+    fn degenerate_inputs_never_emit_empty_chunks(n in 0usize..5_000, p in 0usize..512) {
+        let chunks = chunk_bounds(n, p);
+        prop_assert!(chunks.iter().all(|c| c.end > c.start));
+        if n == 0 || p == 0 {
+            prop_assert!(chunks.is_empty());
+        } else {
+            // p > n yields exactly n unit chunks, never padding.
+            prop_assert_eq!(chunks.len(), n.min(p));
+        }
+        let s = llp::StaticSchedule::new(n, p);
+        prop_assert_eq!(&s.chunks, &chunks);
+        prop_assert!(s.ideal_speedup() >= 1.0 - 1e-12);
+        for policy in [
+            Policy::Static,
+            Policy::Dynamic { chunk: 0 },
+            Policy::Guided { min_chunk: 0 },
+        ] {
+            let pc = policy.chunks(n, p);
+            prop_assert!(pc.iter().all(|c| c.end > c.start), "{:?}", policy);
+            let covered: usize = pc.iter().map(std::ops::Range::len).sum();
+            prop_assert_eq!(covered, if p == 0 { 0 } else { n }, "{:?}", policy);
+        }
+    }
+
     /// Every scheduling policy tiles the range.
     #[test]
     fn policies_tile(n in 0usize..2_000, p in 1usize..64, chunk in 1usize..50) {
@@ -144,5 +172,29 @@ proptest! {
         for (i, &v) in data.iter().enumerate() {
             prop_assert_eq!(v as usize, i / slab_len);
         }
+    }
+
+    /// Self-scheduled execution equals the serial map for arbitrary
+    /// sizes, worker counts, and chunk parameters, at one sync event.
+    #[test]
+    fn dynamic_policies_equal_serial(
+        n in 0usize..400,
+        p in 1usize..6,
+        chunk in 1usize..20,
+        guided in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut w = Workers::new(p);
+        w.set_policy(if guided == 1 {
+            Policy::Guided { min_chunk: chunk }
+        } else {
+            Policy::Dynamic { chunk }
+        });
+        let f = |i: usize| (i as u64).wrapping_mul(seed ^ 0x51ED).wrapping_add(3);
+        let serial: Vec<u64> = (0..n).map(f).collect();
+        let mut par = vec![0u64; n];
+        doacross_into(&w, &mut par, f);
+        prop_assert_eq!(serial, par);
+        prop_assert_eq!(w.sync_event_count(), u64::from(n > 0));
     }
 }

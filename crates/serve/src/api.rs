@@ -13,6 +13,7 @@ use f3d::validation::FieldChecksum;
 use llp::advisor::{Advice, Advisor, LoopDecision};
 use llp::obs::json::Json;
 use llp::profile::{LoopReport, LoopStats};
+use llp::Policy;
 use perfmodel::overhead::{OverheadBound, PAPER_OVERHEAD_FRACTION};
 use perfmodel::work_per_sync::{GridNest, LoopLevel};
 use perfmodel::{overhead_batch, stairstep_batch, work_per_sync_batch};
@@ -50,24 +51,40 @@ fn require_finite(body: &Json, key: &str) -> Result<f64, String> {
 
 /// Parse a `POST /v1/solve` body into a bounded case. Omitted fields
 /// fall back to a small default case; `workers` defaults to
-/// `default_workers` (the shared pool's size).
+/// `default_workers` (the shared pool's size). `schedule` selects the
+/// chunk-scheduling policy (`"static"`, `"dynamic"`, `"guided"`;
+/// default static) with `chunk` as the dynamic chunk size / guided
+/// floor — `chunk` is only meaningful for the self-scheduled policies
+/// and is rejected alongside `"static"`.
 ///
 /// # Errors
 /// Unknown fields, mistyped values, and out-of-cap cases are rejected
 /// with a message naming the problem.
 pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<ServiceCase, String> {
     let body = Json::parse(text)?;
-    parse_object(&body, &["zones", "steps", "workers"])?;
+    parse_object(&body, &["zones", "steps", "workers", "schedule", "chunk"])?;
     let field = |key: &str, default: usize| match body.get(key) {
         None => Ok(default),
         Some(v) => v
             .as_usize()
             .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
     };
+    let schedule_name = match body.get("schedule") {
+        None => "static",
+        Some(v) => v.as_str().ok_or("`schedule` must be a string")?,
+    };
+    let chunk = match body.get("chunk") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("`chunk` must be a non-negative integer")?,
+        ),
+    };
     let case = ServiceCase {
         zones: field("zones", 3)?,
         steps: field("steps", 4)?,
         workers: field("workers", default_workers)?,
+        schedule: Policy::parse(schedule_name, chunk)?,
     };
     case.validate()?;
     Ok(case)
@@ -87,15 +104,17 @@ fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
 /// Render a completed solver run as the `/v1/solve` response body.
 #[must_use]
 pub fn solve_response(run: &ServiceRun) -> Json {
+    let mut case = vec![
+        ("zones", Json::from_usize(run.case.zones)),
+        ("steps", Json::from_usize(run.case.steps)),
+        ("workers", Json::from_usize(run.case.workers)),
+        ("schedule", Json::str(run.case.schedule.name())),
+    ];
+    if let Some(chunk) = run.case.schedule.chunk_param() {
+        case.push(("chunk", Json::from_usize(chunk)));
+    }
     Json::object(vec![
-        (
-            "case",
-            Json::object(vec![
-                ("zones", Json::from_usize(run.case.zones)),
-                ("steps", Json::from_usize(run.case.steps)),
-                ("workers", Json::from_usize(run.case.workers)),
-            ]),
-        ),
+        ("case", Json::object(case)),
         (
             "residuals",
             Json::Array(run.residuals.iter().map(|&r| Json::Num(r)).collect()),
@@ -276,11 +295,16 @@ pub fn advise_response(advice: &Advice) -> Json {
                     .loops
                     .iter()
                     .map(|l| {
-                        Json::object(vec![
+                        let mut pairs = vec![
                             ("name", Json::str(&l.name)),
                             ("fraction_of_total", Json::Num(l.fraction_of_total)),
                             ("decision", decision_json(&l.decision)),
-                        ])
+                            ("schedule", Json::str(l.schedule.name())),
+                        ];
+                        if let Some(chunk) = l.schedule.chunk_param() {
+                            pairs.push(("chunk", Json::from_usize(chunk)));
+                        }
+                        Json::object(pairs)
                     })
                     .collect(),
             ),
@@ -479,7 +503,8 @@ mod tests {
             ServiceCase {
                 zones: 3,
                 steps: 4,
-                workers: 4
+                workers: 4,
+                schedule: Policy::Static,
             }
         );
         let case = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
@@ -488,7 +513,8 @@ mod tests {
             ServiceCase {
                 zones: 2,
                 steps: 8,
-                workers: 1
+                workers: 1,
+                schedule: Policy::Static,
             }
         );
         assert!(parse_solve_body(r#"{"zones": 99}"#, 4).is_err());
@@ -497,6 +523,27 @@ mod tests {
         assert!(parse_solve_body(r#"{"zones": 1.5}"#, 4).is_err());
         assert!(parse_solve_body("[]", 4).is_err());
         assert!(parse_solve_body("{", 4).is_err());
+    }
+
+    #[test]
+    fn solve_body_selects_a_schedule() {
+        let case = parse_solve_body(r#"{"schedule": "dynamic", "chunk": 2}"#, 4).unwrap();
+        assert_eq!(case.schedule, Policy::Dynamic { chunk: 2 });
+        let case = parse_solve_body(r#"{"schedule": "dynamic"}"#, 4).unwrap();
+        assert_eq!(case.schedule, Policy::Dynamic { chunk: 1 });
+        let case = parse_solve_body(r#"{"schedule": "guided", "chunk": 3}"#, 4).unwrap();
+        assert_eq!(case.schedule, Policy::Guided { min_chunk: 3 });
+        let case = parse_solve_body(r#"{"schedule": "static"}"#, 4).unwrap();
+        assert_eq!(case.schedule, Policy::Static);
+        // chunk is a self-scheduling parameter: meaningless for static,
+        // never zero, bounded by the case validation.
+        assert!(parse_solve_body(r#"{"schedule": "static", "chunk": 2}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"chunk": 2}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"schedule": "dynamic", "chunk": 0}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"schedule": "dynamic", "chunk": 9999}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"schedule": "fifo"}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"schedule": 1}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"schedule": "dynamic", "chunk": -3}"#, 4).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `llpd` — the llpserve daemon.
 //!
 //! ```text
-//! llpd [--addr 127.0.0.1:8080] [--workers N] [--queue N] [--deadline-secs N]
+//! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N] [--deadline-secs N]
 //! ```
 //!
 //! Runs until SIGINT/SIGTERM, then drains in-flight work and exits.
@@ -31,6 +31,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     return Err("--workers must be a positive integer".to_string());
                 }
             }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a non-negative integer (0 = auto)".to_string())?;
+            }
             "--queue" => {
                 config.queue_capacity = value("--queue")?
                     .parse()
@@ -44,7 +49,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: llpd [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-secs N]"
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N]"
                         .to_string(),
                 )
             }
@@ -72,8 +77,9 @@ fn main() {
         }
     };
     println!(
-        "llpd listening on http://{} ({workers} workers)",
-        server.addr()
+        "llpd listening on http://{} ({workers} workers, {} executor shards)",
+        server.addr(),
+        server.shards()
     );
     signal::install();
     while !signal::requested() {
@@ -90,14 +96,26 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let args: Vec<String> = ["--addr", "0.0.0.0:9999", "--workers", "2", "--queue", "3"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:9999",
+            "--workers",
+            "4",
+            "--shards",
+            "2",
+            "--queue",
+            "3",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
         let config = parse_args(&args).unwrap();
         assert_eq!(config.addr, "0.0.0.0:9999");
-        assert_eq!(config.workers, 2);
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.resolved_shards(), 2);
         assert_eq!(config.queue_capacity, 3);
+        assert!(parse_args(&["--shards".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
         assert!(parse_args(&["--bogus".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string()]).is_err());

@@ -25,6 +25,7 @@ pub struct Metrics {
     timeouts_total: AtomicU64,
     queue_depth: AtomicU64,
     executor_busy: AtomicU64,
+    executor_panics_total: AtomicU64,
     open_connections: AtomicU64,
     jobs_total: AtomicU64,
     obs_reports_total: AtomicU64,
@@ -77,9 +78,26 @@ impl Metrics {
         self.queue_depth.store(depth as u64, Ordering::Relaxed);
     }
 
-    /// Set the executor-busy gauge (a job is being computed).
-    pub fn set_executor_busy(&self, busy: bool) {
-        self.executor_busy.store(u64::from(busy), Ordering::Relaxed);
+    /// One executor shard started computing a job: the `executor_busy`
+    /// gauge counts shards currently mid-job.
+    pub fn executor_started(&self) {
+        self.executor_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`Metrics::executor_started`].
+    pub fn executor_finished(&self) {
+        self.executor_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of executor shards currently computing a job.
+    #[must_use]
+    pub fn executors_busy(&self) -> u64 {
+        self.executor_busy.load(Ordering::Relaxed)
+    }
+
+    /// Count one job that panicked and was contained by its shard.
+    pub fn executor_panicked(&self) {
+        self.executor_panics_total.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adjust the open-connection gauge by +1 / -1.
@@ -128,9 +146,15 @@ impl Metrics {
     }
 
     /// Render the snapshot, including the shared pool's own counters
-    /// (passed in by the server, which owns the pool).
+    /// and shard count (passed in by the server, which owns the pool).
     #[must_use]
-    pub fn to_json(&self, pool_workers: usize, pool_sync_events: u64, pool_regions: u64) -> Json {
+    pub fn to_json(
+        &self,
+        pool_workers: usize,
+        executor_shards: usize,
+        pool_sync_events: u64,
+        pool_regions: u64,
+    ) -> Json {
         let load = |a: &AtomicU64| Json::from_u64(a.load(Ordering::Relaxed));
         Json::object(vec![
             ("requests_total", load(&self.requests_total)),
@@ -138,6 +162,8 @@ impl Metrics {
             ("timeouts_total", load(&self.timeouts_total)),
             ("queue_depth", load(&self.queue_depth)),
             ("executor_busy", load(&self.executor_busy)),
+            ("executor_shards", Json::from_usize(executor_shards)),
+            ("executor_panics_total", load(&self.executor_panics_total)),
             ("open_connections", load(&self.open_connections)),
             ("jobs_total", load(&self.jobs_total)),
             (
@@ -192,7 +218,7 @@ mod tests {
         m.connection_opened();
         m.job_done(18, 0.25);
         m.job_done(18, 0.25);
-        let j = m.to_json(4, 36, 36);
+        let j = m.to_json(4, 2, 36, 36);
         assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(4));
         assert_eq!(j.get("rejected_total").unwrap().as_u64(), Some(1));
         assert_eq!(j.get("timeouts_total").unwrap().as_u64(), Some(1));
@@ -208,24 +234,31 @@ mod tests {
         assert_eq!(j.get("pool_sync_events_total").unwrap().as_u64(), Some(36));
         assert_eq!(j.get("obs_sync_events_total").unwrap().as_u64(), Some(36));
         assert_eq!(j.get("obs_seconds_total").unwrap().as_f64(), Some(0.5));
+        assert_eq!(j.get("executor_shards").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(0));
     }
 
     #[test]
     fn gauges_move_both_ways() {
         let m = Metrics::new();
         m.set_queue_depth(3);
-        m.set_executor_busy(true);
+        m.executor_started();
+        m.executor_started();
         m.connection_opened();
         m.connection_opened();
         m.connection_closed();
-        let j = m.to_json(1, 0, 0);
+        let j = m.to_json(1, 1, 0, 0);
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(3));
-        assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(2));
+        assert_eq!(m.executors_busy(), 2);
         assert_eq!(j.get("open_connections").unwrap().as_u64(), Some(1));
         m.set_queue_depth(0);
-        m.set_executor_busy(false);
-        let j = m.to_json(1, 0, 0);
+        m.executor_finished();
+        m.executor_finished();
+        m.executor_panicked();
+        let j = m.to_json(1, 1, 0, 0);
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(0));
+        assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(1));
     }
 }

@@ -1,41 +1,74 @@
 //! The `llpd` server: one listener, one shared doacross pool, and a
-//! bounded job queue between them.
+//! bounded job queue feeding a sharded executor pool.
 //!
 //! # Architecture
 //!
 //! Connection threads parse and validate requests, then answer cheap
 //! queries (`/metrics`, `/v1/model/*`) inline. Pool-backed work
 //! (`/v1/solve`, `/v1/advise`) goes through admission control: a
-//! bounded queue in front of a **single executor thread** that owns the
-//! shared [`Workers`] pool. One executor is a correctness requirement,
-//! not a simplification — the pool's span [`recorder`](Workers::recorder)
-//! keeps one span stack, so requests must execute serially for each
-//! request's report to contain exactly its own spans. Per-request
-//! worker counts come from [`Workers::sized_view`], which shares the
-//! pool's counters and recorder while scheduling its own chunk widths.
+//! bounded queue in front of **N executor shards**. Each shard is a
+//! thread owning a disjoint [`Workers::sized_view`] slice of the shared
+//! pool — the slices share the pool's synchronization-event counters,
+//! so `/metrics` totals stay exact, but each shard carries its **own
+//! span recorder**. That per-shard recorder is what makes concurrency
+//! sound: a recorder keeps one span stack, so two requests may not
+//! interleave on the same recorder, but requests on *different* shards
+//! record independently and each response still contains exactly its
+//! own spans. Per-request worker counts come from a further
+//! `sized_view` of the shard, which clamps to the shard's width and
+//! surfaces the clamp in the report.
 //!
 //! Admission control is deliberate back-pressure, not failure: when the
-//! queue is full the service answers `429` with `Retry-After` instead
-//! of queueing unboundedly, and each queued request carries a deadline
-//! after which its connection gives up with `503` (the executor still
-//! finishes the job; the reply is simply dropped).
+//! queue is full the service answers `429` with a `Retry-After` derived
+//! from the **observed drain rate** (a window over recent job
+//! completion times — see [`DrainEstimator`]) instead of queueing
+//! unboundedly, and each queued request carries a deadline after which
+//! its connection gives up with `503` (an executor still finishes the
+//! job; the reply is simply dropped).
+//!
+//! Shards are panic-proof: a job that panics (a solver bug, not bad
+//! input — input is validated at admission) is contained with
+//! [`std::panic::catch_unwind`], answered with `500`, counted in
+//! `executor_panics_total`, and the shard's recorder is
+//! [reset](llp::Recorder::reset) so the next job on that shard starts
+//! with a clean span stack.
 //!
 //! Shutdown is graceful: draining flips first (new work gets `503`),
-//! the executor finishes everything already admitted, and the server
+//! every shard finishes everything already admitted, and the server
 //! waits for open connections to flush their responses.
 
 use crate::api;
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use f3d::service::MAX_WORKERS;
-use llp::Workers;
+use llp::{Recorder, Workers};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Default shard width used when [`ServerConfig::shards`] is 0 and
+/// `LLPD_SHARDS` is unset: the pool is cut into slices of this many
+/// workers each.
+const DEFAULT_SHARD_WIDTH: usize = 2;
+
+/// Completion-time window the [`DrainEstimator`] averages over.
+const DRAIN_WINDOW: usize = 8;
+
+/// `Retry-After` ceiling in seconds; a stalled service never asks a
+/// client to back off longer than this.
+const MAX_RETRY_AFTER_SECS: f64 = 60.0;
+
+/// Lock a mutex, tolerating poison: admission-control state is always
+/// valid at rest (push/pop/record are atomic units), so a panic while
+/// holding the lock cannot leave it half-updated. Inheriting the data
+/// beats wedging every subsequent request on an `unwrap`.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -45,17 +78,28 @@ pub struct ServerConfig {
     /// Worker count of the shared pool (the maximum any request can
     /// ask for, capped at [`MAX_WORKERS`]).
     pub workers: usize,
-    /// Jobs admitted beyond the one executing; the next is rejected
+    /// Executor shard count. Each shard owns a
+    /// `workers / shards`-wide slice of the pool and executes one job
+    /// at a time, so up to `shards` jobs run concurrently. `0` means
+    /// auto: the `LLPD_SHARDS` environment variable when set to a
+    /// positive integer, else one shard per [`DEFAULT_SHARD_WIDTH`]
+    /// workers. Clamped to `1..=workers`.
+    pub shards: usize,
+    /// Jobs admitted beyond the ones executing; the next is rejected
     /// with 429.
     pub queue_capacity: usize,
     /// Per-request deadline covering queue wait plus compute.
     pub deadline: Duration,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
-    /// Test hook: when set, the executor locks this mutex after
-    /// popping each job and before computing it, so tests can hold the
-    /// lock to pin the executor "busy" deterministically.
+    /// Test hook: when set, every shard locks this mutex after popping
+    /// each job and before computing it, so tests can hold the lock to
+    /// pin executors "busy" deterministically.
     pub job_gate: Option<Arc<Mutex<()>>>,
+    /// Test hook: while `true`, executing a job panics instead of
+    /// computing it — exercises the panic-containment path exactly as a
+    /// solver bug would.
+    pub job_fault: Option<Arc<AtomicBool>>,
 }
 
 impl Default for ServerConfig {
@@ -63,11 +107,119 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: llp::default_worker_count().min(MAX_WORKERS),
+            shards: 0,
             queue_capacity: 8,
             deadline: Duration::from_secs(30),
             max_body_bytes: 64 * 1024,
             job_gate: None,
+            job_fault: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The shard count [`Server::start`] will actually run with: the
+    /// explicit setting, else `LLPD_SHARDS`, else one shard per
+    /// [`DEFAULT_SHARD_WIDTH`] workers — always in `1..=workers`.
+    #[must_use]
+    pub fn resolved_shards(&self) -> usize {
+        let auto = || {
+            if let Ok(v) = std::env::var("LLPD_SHARDS") {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return n;
+                    }
+                }
+            }
+            self.workers.max(1) / DEFAULT_SHARD_WIDTH
+        };
+        let shards = if self.shards > 0 { self.shards } else { auto() };
+        shards.clamp(1, self.workers.max(1))
+    }
+}
+
+/// Estimates how long a rejected client should wait before retrying,
+/// from the observed queue drain rate.
+///
+/// Completion instants of the last [`DRAIN_WINDOW`] jobs give an
+/// average per-job service interval; the estimate for a backlog of `k`
+/// jobs is `k` intervals. Two properties matter more than precision:
+///
+/// * **Stall-awareness**: the time since the *last* completion (or
+///   since startup, if nothing has completed) is a lower bound on the
+///   per-job interval. A wedged executor therefore produces estimates
+///   that grow with the stall instead of repeating a stale average —
+///   successive rejections report non-decreasing `Retry-After`.
+/// * **Bounds**: always at least 1 second (the HTTP granularity) and at
+///   most [`MAX_RETRY_AFTER_SECS`].
+#[derive(Debug)]
+pub struct DrainEstimator {
+    state: Mutex<DrainState>,
+}
+
+#[derive(Debug)]
+struct DrainState {
+    /// Last completion, or construction time before any completion.
+    last_event: Instant,
+    /// Seconds between consecutive completions, newest last.
+    intervals: VecDeque<f64>,
+}
+
+impl DrainEstimator {
+    /// A fresh estimator; "now" seeds the stall clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::starting_at(Instant::now())
+    }
+
+    fn starting_at(start: Instant) -> Self {
+        Self {
+            state: Mutex::new(DrainState {
+                last_event: start,
+                intervals: VecDeque::with_capacity(DRAIN_WINDOW),
+            }),
+        }
+    }
+
+    /// Record that a job just finished.
+    pub fn record_completion(&self) {
+        self.record_completion_at(Instant::now());
+    }
+
+    fn record_completion_at(&self, now: Instant) {
+        let mut s = lock_clean(&self.state);
+        let interval = now.duration_since(s.last_event).as_secs_f64();
+        if s.intervals.len() == DRAIN_WINDOW {
+            s.intervals.pop_front();
+        }
+        s.intervals.push_back(interval);
+        s.last_event = now;
+    }
+
+    /// Seconds a client with `jobs_ahead` jobs in front of it should
+    /// wait before retrying.
+    #[must_use]
+    pub fn retry_after_secs(&self, jobs_ahead: usize) -> u64 {
+        self.retry_after_secs_at(jobs_ahead, Instant::now())
+    }
+
+    fn retry_after_secs_at(&self, jobs_ahead: usize, now: Instant) -> u64 {
+        let s = lock_clean(&self.state);
+        let stall = now.duration_since(s.last_event).as_secs_f64();
+        let average = if s.intervals.is_empty() {
+            0.0
+        } else {
+            s.intervals.iter().sum::<f64>() / s.intervals.len() as f64
+        };
+        let per_job = average.max(stall);
+        let estimate = per_job * jobs_ahead.max(1) as f64;
+        estimate.ceil().clamp(1.0, MAX_RETRY_AFTER_SECS) as u64
+    }
+}
+
+impl Default for DrainEstimator {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -84,9 +236,11 @@ struct Job {
 struct Shared {
     metrics: Metrics,
     pool: Workers,
+    shards: usize,
     queue: Mutex<VecDeque<Job>>,
     queue_signal: Condvar,
     draining: AtomicBool,
+    drain_rate: DrainEstimator,
     config: ServerConfig,
 }
 
@@ -96,11 +250,11 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<thread::JoinHandle<()>>,
-    executor: Option<thread::JoinHandle<()>>,
+    executors: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, spawn the accept loop and the pool executor, and return.
+    /// Bind, spawn the accept loop and the executor shards, and return.
     ///
     /// # Errors
     /// Propagates bind failures.
@@ -109,12 +263,16 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let workers = config.workers.clamp(1, MAX_WORKERS);
+        let shards = config.resolved_shards().min(workers);
         let shared = Arc::new(Shared {
             metrics: Metrics::new(),
-            pool: Workers::recorded(config.workers.clamp(1, MAX_WORKERS)),
+            pool: Workers::new(workers),
+            shards,
             queue: Mutex::new(VecDeque::new()),
             queue_signal: Condvar::new(),
             draining: AtomicBool::new(false),
+            drain_rate: DrainEstimator::new(),
             config,
         });
 
@@ -122,16 +280,24 @@ impl Server {
             let shared = Arc::clone(&shared);
             thread::spawn(move || accept_loop(&listener, &shared))
         };
-        let executor = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || executor_loop(&shared))
-        };
+        let shard_width = (workers / shards).max(1);
+        let executors = (0..shards)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                // Each shard slice shares the pool's counters but owns
+                // a private recorder: concurrent jobs never interleave
+                // spans, and /metrics pool totals stay exact.
+                let mut slice = shared.pool.sized_view(shard_width);
+                slice.set_recorder(Recorder::enabled());
+                thread::spawn(move || executor_loop(&shared, &slice))
+            })
+            .collect();
 
         Ok(Self {
             shared,
             addr,
             accept: Some(accept),
-            executor: Some(executor),
+            executors,
         })
     }
 
@@ -139,6 +305,12 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of executor shards actually running.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shared.shards
     }
 
     /// Total requests rejected with 429 so far.
@@ -156,7 +328,7 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        if let Some(handle) = self.executor.take() {
+        for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
         // Executed jobs have replies in flight; give their connection
@@ -192,10 +364,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn executor_loop(shared: &Arc<Shared>) {
+/// One executor shard: pop admitted jobs and run them on this shard's
+/// pool slice until drained.
+fn executor_loop(shared: &Arc<Shared>, slice: &Workers) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_clean(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     shared.metrics.set_queue_depth(queue.len());
@@ -204,38 +378,65 @@ fn executor_loop(shared: &Arc<Shared>) {
                 if shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.queue_signal.wait(queue).expect("queue poisoned");
+                queue = shared
+                    .queue_signal
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        shared.metrics.set_executor_busy(true);
+        shared.metrics.executor_started();
         if let Some(gate) = &shared.config.job_gate {
             // Test hook: block here while a test holds the gate.
-            drop(gate.lock().expect("gate poisoned"));
+            drop(lock_clean(gate));
         }
-        let response = match job.kind {
-            JobKind::Solve(case) => {
-                let view = shared.pool.sized_view(case.workers);
-                match f3d::service::run(&case, &view) {
-                    Ok(run) => {
-                        shared
-                            .metrics
-                            .job_done(run.sync_events, run.report.total_seconds());
-                        Response::ok(api::solve_response(&run).to_string())
-                    }
-                    // Validation happened at admission; anything left
-                    // is an internal fault.
-                    Err(msg) => Response::error(500, &msg),
-                }
-            }
-            JobKind::Advise(query) => {
-                shared.metrics.job_executed();
-                let advice = query.advisor.advise(&query.reports);
-                Response::ok(api::advise_response(&advice).to_string())
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, slice, &job.kind)
+        })) {
+            Ok(response) => response,
+            Err(_) => {
+                // A panicking job (solver bug — inputs were validated at
+                // admission) must not take the shard down with it. The
+                // recorder may hold a half-built span stack; reset it so
+                // the next job's report is exactly its own.
+                shared.metrics.executor_panicked();
+                slice.recorder().reset();
+                Response::error(500, "internal error: job panicked")
             }
         };
-        shared.metrics.set_executor_busy(false);
+        shared.metrics.executor_finished();
+        shared.drain_rate.record_completion();
         // The requester may have hit its deadline and gone away.
         job.reply.send(response).ok();
+    }
+}
+
+fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Response {
+    if let Some(fault) = &shared.config.job_fault {
+        assert!(
+            !fault.load(Ordering::SeqCst),
+            "injected job fault (test hook)"
+        );
+    }
+    match kind {
+        JobKind::Solve(case) => {
+            let view = slice.sized_view(case.workers);
+            match f3d::service::run(case, &view) {
+                Ok(run) => {
+                    shared
+                        .metrics
+                        .job_done(run.sync_events, run.report.total_seconds());
+                    Response::ok(api::solve_response(&run).to_string())
+                }
+                // Validation happened at admission; anything left is an
+                // internal fault.
+                Err(msg) => Response::error(500, &msg),
+            }
+        }
+        JobKind::Advise(query) => {
+            shared.metrics.job_executed();
+            let advice = query.advisor.advise(&query.reports);
+            Response::ok(api::advise_response(&advice).to_string())
+        }
     }
 }
 
@@ -285,6 +486,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                 .metrics
                 .to_json(
                     shared.pool.processors(),
+                    shared.shards,
                     shared.pool.sync_event_count(),
                     shared.pool.region_count(),
                 )
@@ -308,22 +510,35 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
             Ok(query) => submit(shared, JobKind::Advise(Box::new(query))),
             Err(msg) => Response::error(400, &msg),
         },
-        _ => unreachable!("endpoint matched above"),
+        // The match above covers every routed endpoint; answer a clean
+        // 500 rather than panicking the connection thread if routing
+        // and dispatch ever drift apart.
+        _ => Response::error(500, "internal error: unroutable endpoint"),
     }
+}
+
+/// `Retry-After` for a rejection while `queued` jobs wait: everything
+/// queued plus everything currently executing is ahead of the client.
+fn retry_after(shared: &Arc<Shared>, queued: usize) -> u64 {
+    let ahead = queued + shared.metrics.executors_busy() as usize;
+    shared.drain_rate.retry_after_secs(ahead)
 }
 
 /// Admission control: enqueue a validated job and wait for its reply
 /// until the deadline.
 fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
-        return Response::error(503, "shutting down").with_retry_after(1);
+        let queued = lock_clean(&shared.queue).len();
+        return Response::error(503, "shutting down").with_retry_after(retry_after(shared, queued));
     }
     let (reply, receiver) = mpsc::channel();
     {
-        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let mut queue = lock_clean(&shared.queue);
         if queue.len() >= shared.config.queue_capacity {
+            let queued = queue.len();
             drop(queue);
-            return Response::error(429, "queue full").with_retry_after(1);
+            return Response::error(429, "queue full")
+                .with_retry_after(retry_after(shared, queued));
         }
         queue.push_back(Job { kind, reply });
         shared.metrics.set_queue_depth(queue.len());
@@ -333,7 +548,87 @@ fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
         Ok(response) => response,
         Err(_) => {
             shared.metrics.timeout();
-            Response::error(503, "deadline exceeded").with_retry_after(1)
+            let queued = lock_clean(&shared.queue).len();
+            Response::error(503, "deadline exceeded").with_retry_after(retry_after(shared, queued))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_resolution_clamps_and_defaults() {
+        let config = |workers, shards| ServerConfig {
+            workers,
+            shards,
+            ..ServerConfig::default()
+        };
+        // Explicit counts are honored but clamped to the pool width.
+        assert_eq!(config(8, 4).resolved_shards(), 4);
+        assert_eq!(config(2, 64).resolved_shards(), 2);
+        assert_eq!(config(1, 3).resolved_shards(), 1);
+        // Auto: one shard per DEFAULT_SHARD_WIDTH workers, at least 1.
+        // (LLPD_SHARDS is not set in the test environment.)
+        assert_eq!(config(8, 0).resolved_shards(), 4);
+        assert_eq!(config(1, 0).resolved_shards(), 1);
+    }
+
+    #[test]
+    fn drain_estimate_is_monotone_under_a_stall() {
+        let t0 = Instant::now();
+        let est = DrainEstimator::starting_at(t0);
+        // A healthy phase: four jobs completing one second apart.
+        for i in 1..=4 {
+            est.record_completion_at(t0 + Duration::from_secs(i));
+        }
+        let healthy = est.retry_after_secs_at(2, t0 + Duration::from_secs(4));
+        assert_eq!(healthy, 2, "two jobs ahead at ~1 s/job");
+        // Then the executor stalls: no completions, queries drift out.
+        let stalled: Vec<u64> = [6u64, 9, 14, 30]
+            .iter()
+            .map(|&s| est.retry_after_secs_at(2, t0 + Duration::from_secs(s)))
+            .collect();
+        for pair in stalled.windows(2) {
+            assert!(pair[0] <= pair[1], "estimates shrank during a stall");
+        }
+        assert!(stalled[0] >= healthy);
+        // The stall term dominates the stale 1 s/job average.
+        assert!(stalled[3] >= 26 * 2 - 1);
+    }
+
+    #[test]
+    fn drain_estimate_stays_bounded() {
+        let t0 = Instant::now();
+        let est = DrainEstimator::starting_at(t0);
+        // Nothing observed yet: minimum one second.
+        assert_eq!(est.retry_after_secs_at(0, t0), 1);
+        assert_eq!(est.retry_after_secs_at(100, t0), 1);
+        // A very fast drain still answers at least 1.
+        est.record_completion_at(t0 + Duration::from_millis(1));
+        est.record_completion_at(t0 + Duration::from_millis(2));
+        assert_eq!(est.retry_after_secs_at(1, t0 + Duration::from_millis(2)), 1);
+        // A deeply stalled backlog is capped.
+        assert_eq!(
+            est.retry_after_secs_at(50, t0 + Duration::from_secs(10_000)),
+            MAX_RETRY_AFTER_SECS as u64
+        );
+    }
+
+    #[test]
+    fn drain_estimate_recovers_after_a_stall() {
+        let t0 = Instant::now();
+        let est = DrainEstimator::starting_at(t0);
+        est.record_completion_at(t0 + Duration::from_secs(30));
+        // The long first interval dominates...
+        assert!(est.retry_after_secs_at(1, t0 + Duration::from_secs(30)) >= 3);
+        // ...until a run of fast completions ages it out of the window.
+        let mut t = t0 + Duration::from_secs(30);
+        for _ in 0..DRAIN_WINDOW {
+            t += Duration::from_millis(100);
+            est.record_completion_at(t);
+        }
+        assert_eq!(est.retry_after_secs_at(1, t), 1);
     }
 }

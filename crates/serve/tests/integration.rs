@@ -10,10 +10,12 @@
 use llp::advisor::Advisor;
 use llp::obs::json::Json;
 use llp::profile::{LoopReport, LoopStats};
+use llp::Policy;
 use perfmodel::overhead::OverheadBound;
 use serve::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -105,6 +107,17 @@ fn small_server() -> Server {
     .expect("bind")
 }
 
+/// Parse a `Retry-After` header, asserting it exists and is at least 1.
+fn retry_after(reply: &Reply) -> u64 {
+    let value: u64 = reply
+        .header("Retry-After")
+        .expect("rejection carries Retry-After")
+        .parse()
+        .expect("Retry-After is an integer");
+    assert!(value >= 1);
+    value
+}
+
 const ADVISE_BODY: &str = r#"{
     "clock_hz": 300e6,
     "sync_cost_cycles": 10000,
@@ -122,6 +135,7 @@ fn solve_matches_direct_invocation_exactly() {
         zones: 2,
         steps: 3,
         workers: 2,
+        schedule: Policy::Static,
     };
     let reply = post(
         server.addr(),
@@ -314,6 +328,7 @@ fn full_queue_rejects_with_429_and_recovers() {
     let gate = Arc::new(Mutex::new(()));
     let server = Server::start(ServerConfig {
         workers: 1,
+        shards: 1,
         queue_capacity: 1,
         job_gate: Some(Arc::clone(&gate)),
         ..ServerConfig::default()
@@ -334,7 +349,7 @@ fn full_queue_rejects_with_429_and_recovers() {
     // Third: over capacity — back-pressure, not queueing.
     let rejected = post(addr, "/v1/advise", ADVISE_BODY);
     assert_eq!(rejected.status, 429);
-    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    retry_after(&rejected);
     assert_eq!(
         rejected.json().get("error").unwrap().as_str(),
         Some("queue full")
@@ -354,6 +369,7 @@ fn deadline_expires_queued_requests_with_503() {
     let gate = Arc::new(Mutex::new(()));
     let server = Server::start(ServerConfig {
         workers: 1,
+        shards: 1,
         deadline: Duration::from_millis(100),
         job_gate: Some(Arc::clone(&gate)),
         ..ServerConfig::default()
@@ -364,7 +380,7 @@ fn deadline_expires_queued_requests_with_503() {
     let held = gate.lock().unwrap();
     let reply = post(addr, "/v1/advise", ADVISE_BODY);
     assert_eq!(reply.status, 503);
-    assert_eq!(reply.header("Retry-After"), Some("1"));
+    retry_after(&reply);
     assert_eq!(metric(addr, "timeouts_total"), 1);
 
     drop(held);
@@ -376,6 +392,7 @@ fn graceful_shutdown_completes_in_flight_work() {
     let gate = Arc::new(Mutex::new(()));
     let server = Server::start(ServerConfig {
         workers: 2,
+        shards: 1,
         job_gate: Some(Arc::clone(&gate)),
         ..ServerConfig::default()
     })
@@ -404,8 +421,16 @@ fn graceful_shutdown_completes_in_flight_work() {
 
 #[test]
 fn metrics_totals_agree_with_span_reports_and_pool_counters() {
-    let server = small_server();
+    // Two shards over a two-worker pool: both slices share the pool's
+    // counters, so sharding must not perturb any total.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
     let addr = server.addr();
+    assert_eq!(metric(addr, "executor_shards"), 2);
 
     let mut reported_sync_events = 0;
     for (zones, steps, workers) in [(1, 2, 1), (2, 3, 2), (3, 1, 2)] {
@@ -491,5 +516,288 @@ fn http_robustness() {
     assert_eq!(send_raw(addr, "nonsense\r\n\r\n").status, 400);
     // Every error body is parseable JSON with an `error` key.
     assert!(get(addr, "/nope").json().get("error").is_some());
+    // Malformed schedule selections are 400s, never 500s.
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"schedule": "fifo"}"#).status,
+        400
+    );
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"schedule": "static", "chunk": 4}"#).status,
+        400
+    );
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"schedule": "dynamic", "chunk": 0}"#).status,
+        400
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_shards_execute_jobs_in_parallel() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 2,
+        queue_capacity: 4,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    assert_eq!(server.shards(), 2);
+
+    let held = gate.lock().unwrap();
+    let first = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    let second = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    // Both shards pop a job and pin at the gate — two jobs in flight at
+    // once, which the old single-executor design could never show.
+    wait_until("both shards busy", || metric(addr, "executor_busy") == 2);
+    assert_eq!(metric(addr, "queue_depth"), 0);
+
+    drop(held);
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    assert_eq!(metric(addr, "jobs_total"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn solve_is_bit_exact_across_shards_and_policies() {
+    let case = f3d::service::ServiceCase {
+        zones: 2,
+        steps: 2,
+        workers: 2,
+        schedule: Policy::Static,
+    };
+    let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
+
+    for shards in [1, 2] {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            shards,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        for body in [
+            r#"{"zones": 2, "steps": 2, "workers": 2}"#,
+            r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "dynamic", "chunk": 2}"#,
+            r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "guided"}"#,
+        ] {
+            let reply = post(server.addr(), "/v1/solve", body);
+            assert_eq!(reply.status, 200, "shards={shards} {body}: {}", reply.body);
+            let served = reply.json();
+            let residuals: Vec<f64> = served
+                .get("residuals")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|r| r.as_f64().unwrap())
+                .collect();
+            assert_eq!(residuals, direct.residuals, "shards={shards} {body}");
+            let forces = served.get("forces").unwrap();
+            assert_eq!(forces.get("drag").unwrap().as_f64(), Some(direct.drag));
+            assert_eq!(forces.get("lift").unwrap().as_f64(), Some(direct.lift));
+            let checksums = served.get("checksums").and_then(Json::as_array).unwrap();
+            for (served_zone, direct_sum) in checksums.iter().zip(&direct.checksums) {
+                let sums: Vec<f64> = served_zone
+                    .get("sum")
+                    .and_then(Json::as_array)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_f64().unwrap())
+                    .collect();
+                assert_eq!(sums, direct_sum.sum.to_vec(), "shards={shards} {body}");
+            }
+            // The response echoes which schedule actually ran.
+            let schedule = served.get("case").unwrap().get("schedule").unwrap();
+            assert!(schedule.as_str().is_some());
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn panicking_job_gets_500_and_the_shard_recovers() {
+    let fault = Arc::new(AtomicBool::new(true));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        shards: 1,
+        job_fault: Some(Arc::clone(&fault)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let reply = post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#);
+    assert_eq!(reply.status, 500, "{}", reply.body);
+    assert!(
+        reply
+            .json()
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("panicked"),
+        "{}",
+        reply.body
+    );
+    assert_eq!(metric(addr, "executor_panics_total"), 1);
+
+    // The same shard keeps serving, and its recorder was reset: the
+    // next report covers exactly the next run.
+    fault.store(false, Ordering::SeqCst);
+    let reply = post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let sync_events = served.get("sync_events").unwrap().as_u64().unwrap();
+    assert_eq!(
+        served
+            .get("report")
+            .unwrap()
+            .get("sync_events")
+            .and_then(Json::as_u64),
+        Some(sync_events)
+    );
+    assert_eq!(metric(addr, "executor_busy"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversubscribed_solve_reports_the_worker_clamp() {
+    // Two width-1 shards: a request for 2 workers is clamped to its
+    // shard's width, and the report says so.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 1, "steps": 1, "workers": 2}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let report = reply.json().get("report").unwrap().clone();
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("requested_workers").and_then(Json::as_u64),
+        Some(2)
+    );
+    server.shutdown();
+
+    // On a single full-width shard the same request is not clamped and
+    // the report stays silent about it.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 1, "steps": 1, "workers": 2}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let report = reply.json().get("report").unwrap().clone();
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(2));
+    assert!(report.get("requested_workers").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn retry_after_grows_while_the_executor_is_stalled() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        shards: 1,
+        queue_capacity: 1,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let held = gate.lock().unwrap();
+    let first = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("executor busy", || metric(addr, "executor_busy") == 1);
+    let second = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("queued job", || metric(addr, "queue_depth") == 1);
+
+    // Nothing has completed since startup, so the drain estimate is
+    // stall-driven: successive rejections never promise a shorter wait,
+    // and letting the stall age past a second must raise the estimate
+    // above the old hard-coded floor of 1.
+    let early = retry_after(&post(addr, "/v1/advise", ADVISE_BODY));
+    std::thread::sleep(Duration::from_millis(1200));
+    let late = retry_after(&post(addr, "/v1/advise", ADVISE_BODY));
+    assert!(late >= early, "Retry-After shrank during a stall");
+    assert!(late >= 2, "stalled estimate should exceed one second");
+
+    drop(held);
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn stress_small_shard_slices_under_concurrent_load() {
+    // A repeat-run stress smoke: many small mixed requests against
+    // width-1 shards, asserting every reply is well-formed and the
+    // exact-counter invariant survives the churn.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 2,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for i in 0..5 {
+                    let reply = if (t + i) % 2 == 0 {
+                        post(
+                            addr,
+                            "/v1/solve",
+                            r#"{"zones": 1, "steps": 1, "workers": 2, "schedule": "dynamic"}"#,
+                        )
+                    } else {
+                        post(addr, "/v1/advise", ADVISE_BODY)
+                    };
+                    assert!(
+                        matches!(reply.status, 200 | 429 | 503),
+                        "unexpected status {}: {}",
+                        reply.status,
+                        reply.body
+                    );
+                    if reply.status == 200 {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let ok: u64 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(ok > 0, "no request survived the stress run");
+
+    wait_until("queue drained", || {
+        metric(addr, "queue_depth") == 0 && metric(addr, "executor_busy") == 0
+    });
+    // Executors may finish jobs whose clients already timed out, so
+    // jobs_total can exceed the 200s — but never the submissions.
+    let jobs = metric(addr, "jobs_total");
+    assert!(jobs >= ok && jobs <= 20, "jobs_total = {jobs}, ok = {ok}");
+    // Solve work flowed through both shard slices concurrently, yet the
+    // pool counter and the folded span reports agree exactly.
+    assert_eq!(
+        metric(addr, "pool_sync_events_total"),
+        metric(addr, "obs_sync_events_total")
+    );
+    assert_eq!(metric(addr, "executor_panics_total"), 0);
     server.shutdown();
 }

@@ -106,6 +106,7 @@ impl ExecReport {
             source: "modeled".to_string(),
             case: case.to_string(),
             workers: self.processors as usize,
+            requested_workers: None,
             spans: vec![step],
         }
     }
