@@ -12,14 +12,20 @@
 //!
 //! The JSON is printed to stdout and, unless an explicit output path is
 //! given, written to `BENCH_perf_baseline.json` in the current
-//! directory. Schema (`schema_version` 1):
+//! directory. Schema (`schema_version` 2):
 //!
 //! ```text
 //! { schema_version, bench, case, steps, worker_counts: [..],
 //!   runs: [ { workers, seconds, sync_events, speedup_vs_1,
 //!             kernels: [ { name, invocations, seconds, sync_events,
-//!                          parallelized, parallelism, max_imbalance } ] } ] }
+//!                          parallelized, parallelism, max_imbalance,
+//!                          overhead_measured } ] } ] }
 //! ```
+//!
+//! `overhead_measured` is the flight recorder's per-kernel measured
+//! sync fraction `(barrier + claim) / total attributed ns` — the
+//! empirical counterpart of `perfmodel::overhead`'s Table 1 bound
+//! (v2 addition; kernels the timeline cannot attribute report 0).
 //!
 //! Wall times are machine-dependent; the *schema* and the structural
 //! fields (sync events, parallelism, kernel set) are what the
@@ -27,8 +33,10 @@
 
 use f3d::multizone::MultiZoneSolver;
 use f3d::solver::SolverConfig;
+use llp::obs::attr::kernel_overheads;
 use llp::obs::json::Json;
-use llp::Workers;
+use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
+use llp::{AttributionReport, FlightRecorder, Workers};
 use mesh::MultiZoneGrid;
 
 /// Worker counts the baseline sweeps (≥ 3, including the serial run
@@ -39,26 +47,39 @@ pub const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 4];
 const WARMUP_STEPS: usize = 2;
 const MEASURED_STEPS: usize = 5;
 
-fn run_case(workers: usize) -> llp::ObsReport {
+fn run_case(workers: usize) -> (llp::ObsReport, llp::Timeline) {
     let grid = MultiZoneGrid::small_test_case();
     let mut solver = MultiZoneSolver::from_grid(&grid, SolverConfig::subsonic(), 0.3);
     let w = Workers::new(workers);
     for _ in 0..WARMUP_STEPS {
         solver.step_loop_level(&w, None);
     }
-    let w = Workers::recorded(workers);
+    let mut w = Workers::recorded(workers);
+    w.set_flight(FlightRecorder::enabled(workers, DEFAULT_EVENT_CAPACITY));
     for _ in 0..MEASURED_STEPS {
         solver.step_loop_level(&w, None);
     }
-    w.recorder().take_report("small_test_case", workers)
+    (
+        w.recorder().take_report("small_test_case", workers),
+        w.flight().take_timeline(),
+    )
 }
 
-fn run_json(report: &llp::ObsReport, serial_seconds: f64) -> Json {
+fn run_json(report: &llp::ObsReport, timeline: &llp::Timeline, serial_seconds: f64) -> Json {
     let seconds = report.total_seconds();
+    let attr = AttributionReport::from_timeline(timeline);
+    let overheads = kernel_overheads(report, &attr);
+    let measured = |name: &str| {
+        overheads
+            .iter()
+            .find(|o| o.kernel == name)
+            .map_or(0.0, |o| o.overhead_measured)
+    };
     let kernels = report
         .kernel_summaries()
         .into_iter()
         .map(|k| {
+            let overhead_measured = measured(&k.name);
             Json::object(vec![
                 ("name", Json::Str(k.name)),
                 ("invocations", Json::Num(k.invocations as f64)),
@@ -67,6 +88,7 @@ fn run_json(report: &llp::ObsReport, serial_seconds: f64) -> Json {
                 ("parallelized", Json::Bool(k.parallelized)),
                 ("parallelism", Json::Num(k.parallelism as f64)),
                 ("max_imbalance", Json::Num(k.max_imbalance)),
+                ("overhead_measured", Json::Num(overhead_measured)),
             ])
         })
         .collect();
@@ -82,10 +104,11 @@ fn run_json(report: &llp::ObsReport, serial_seconds: f64) -> Json {
 /// Build the full baseline report by running the sweep.
 #[must_use]
 pub fn baseline_json() -> Json {
-    let reports: Vec<llp::ObsReport> = WORKER_COUNTS.iter().map(|&p| run_case(p)).collect();
-    let serial_seconds = reports[0].total_seconds();
+    let reports: Vec<(llp::ObsReport, llp::Timeline)> =
+        WORKER_COUNTS.iter().map(|&p| run_case(p)).collect();
+    let serial_seconds = reports[0].0.total_seconds();
     Json::object(vec![
-        ("schema_version", Json::Num(1.0)),
+        ("schema_version", Json::Num(2.0)),
         ("bench", Json::Str("perf_baseline".into())),
         ("case", Json::Str("small_test_case".into())),
         ("steps", Json::Num(MEASURED_STEPS as f64)),
@@ -98,7 +121,7 @@ pub fn baseline_json() -> Json {
             Json::Array(
                 reports
                     .iter()
-                    .map(|r| run_json(r, serial_seconds))
+                    .map(|(r, t)| run_json(r, t, serial_seconds))
                     .collect(),
             ),
         ),

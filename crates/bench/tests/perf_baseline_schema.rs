@@ -25,9 +25,9 @@ fn run_baseline() -> Json {
 }
 
 #[test]
-fn report_conforms_to_schema_v1() {
+fn report_conforms_to_schema_v2() {
     let report = run_baseline();
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(
         report.get("bench").and_then(Json::as_str),
         Some("perf_baseline")
@@ -89,7 +89,14 @@ fn report_conforms_to_schema_v1() {
             assert!(k.get("parallelized").and_then(Json::as_bool).is_some());
             assert!(k.get("parallelism").and_then(Json::as_u64).is_some());
             assert!(k.get("max_imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+            // v2: the flight recorder's measured sync fraction.
+            let overhead = k.get("overhead_measured").and_then(Json::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&overhead), "overhead {overhead}");
         }
+        // Parallelized work must show *some* measured overhead somewhere.
+        assert!(kernels
+            .iter()
+            .any(|k| { k.get("overhead_measured").and_then(Json::as_f64).unwrap() > 0.0 }));
         let bc = kernels
             .iter()
             .find(|k| k.get("name").and_then(Json::as_str) == Some("bc"))

@@ -21,7 +21,7 @@ use crate::forces::{self, SurfaceForces};
 use crate::multizone::MultiZoneSolver;
 use crate::solver::SolverConfig;
 use crate::validation::{FieldChecksum, ResidualHistory};
-use llp::{ObsReport, Policy, Workers};
+use llp::{ObsReport, Policy, Timeline, Workers};
 use mesh::{Axis, Dims, MultiZoneGrid};
 
 /// Maximum zones a service case may request.
@@ -123,6 +123,10 @@ pub struct ServiceRun {
     /// Span report drained from the pool's recorder (empty when the
     /// pool does not record).
     pub report: ObsReport,
+    /// Flight-recorder timeline drained from the pool (empty when the
+    /// pool carries no flight recorder): per-worker chunk/barrier/claim
+    /// events covering exactly this run's parallel regions.
+    pub timeline: Timeline,
 }
 
 /// Execute a validated case on `pool` and collect the results.
@@ -172,6 +176,7 @@ pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
         .recorder()
         .take_report(&case.label(), pool.processors())
         .with_requested_workers(pool.requested_processors());
+    let timeline = pool.flight().take_timeline();
 
     // Wall observable: pressure force summed over every zone's low-L
     // face, normalized by the total wall area.
@@ -205,6 +210,7 @@ pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
         checksums,
         sync_events,
         report,
+        timeline,
     })
 }
 
@@ -312,6 +318,30 @@ mod tests {
             .label(),
             "service/z2s3w2-gui2"
         );
+    }
+
+    #[test]
+    fn flight_instrumented_run_carries_a_timeline() {
+        let case = ServiceCase {
+            zones: 2,
+            steps: 2,
+            workers: 2,
+            schedule: Policy::Static,
+        };
+        let mut pool = Workers::recorded(2);
+        pool.set_flight(llp::FlightRecorder::enabled(2, 4096));
+        let out = run(&case, &pool).unwrap();
+        // One region mark per sync event: the flight recorder and the
+        // pool counter are two views of the same regions.
+        assert!(!out.timeline.is_empty());
+        assert_eq!(out.timeline.regions.len() as u64, out.sync_events);
+        // The drain covers exactly one run: a second run re-numbers
+        // regions from zero.
+        let again = run(&case, &pool).unwrap();
+        assert_eq!(again.timeline.regions[0].seq, 0);
+        // A pool without a flight recorder yields an empty timeline.
+        let plain = run(&case, &Workers::new(2)).unwrap();
+        assert!(plain.timeline.is_empty());
     }
 
     #[test]

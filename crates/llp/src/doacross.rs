@@ -82,21 +82,41 @@ fn run_chunks<T: Send, S>(
         Policy::Static => {
             // One task per chunk, bound at region entry: the vendor
             // `C$doacross` behaviour the stair-step model assumes.
-            let mut times = chunk_time_slots(workers, payloads.len());
+            let chunk_count = payloads.len();
+            let mut times = chunk_time_slots(workers, chunk_count);
+            // Flight lane = chunk index: static binding means chunk i
+            // is the whole life of task i.
+            let flight = workers.flight().begin_region(
+                chunk_count,
+                workers.processors(),
+                n as u64,
+                chunk_count,
+                workers.policy().name(),
+            );
             workers.region(|scope| {
                 let work = &work;
                 let make_scratch = &make_scratch;
+                let flight = &flight;
                 let mut slots = times.iter_mut();
                 for (ci, payload) in payloads.into_iter().enumerate() {
                     let slot = slots.next();
                     scope.spawn(move || {
+                        if let Some(f) = flight {
+                            f.chunk_start(ci, ci);
+                        }
                         timed(slot, || {
                             let mut scratch = make_scratch();
                             work(ci, payload, &mut scratch);
                         });
+                        if let Some(f) = flight {
+                            f.chunk_end(ci, ci);
+                        }
                     });
                 }
             });
+            if let Some(f) = flight {
+                f.finish();
+            }
             annotate_chunks(workers, n, &times);
         }
         Policy::Dynamic { .. } | Policy::Guided { .. } => {
@@ -106,8 +126,18 @@ fn run_chunks<T: Send, S>(
             // to whichever claimant wins the index — no `unsafe`, and
             // each chunk is taken exactly once.
             let claimants = workers.processors().min(payloads.len());
+            let chunk_count = payloads.len();
             let mut times = chunk_time_slots(workers, claimants);
-            let claimer = ChunkClaimer::new(payloads.len());
+            let claimer = ChunkClaimer::new(chunk_count);
+            // Flight lane = claimant index: the claimant is the unit of
+            // execution here, chunks migrate between lanes at runtime.
+            let flight = workers.flight().begin_region(
+                claimants,
+                workers.processors(),
+                n as u64,
+                chunk_count,
+                workers.policy().name(),
+            );
             let parked: Vec<Mutex<Option<T>>> =
                 payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
             workers.region(|scope| {
@@ -115,13 +145,32 @@ fn run_chunks<T: Send, S>(
                 let make_scratch = &make_scratch;
                 let claimer = &claimer;
                 let parked = &parked;
+                let flight = &flight;
                 let mut slots = times.iter_mut();
-                for _ in 0..claimants {
+                for ti in 0..claimants {
                     let slot = slots.next();
                     scope.spawn(move || {
                         timed(slot, || {
                             let mut scratch = make_scratch();
-                            while let Some(ci) = claimer.claim() {
+                            loop {
+                                // Every claim attempt is timed when the
+                                // flight recorder is on; the final (losing)
+                                // attempt also marks the lane's claim miss.
+                                let ci = match flight {
+                                    Some(f) => {
+                                        let (claimed, wait_ns) = claimer.claim_timed();
+                                        f.claim_wait(ti, wait_ns);
+                                        if claimed.is_none() {
+                                            f.claim_miss(ti);
+                                        }
+                                        claimed
+                                    }
+                                    None => claimer.claim(),
+                                };
+                                let Some(ci) = ci else { break };
+                                if let Some(f) = flight {
+                                    f.chunk_start(ti, ci);
+                                }
                                 let payload = parked[ci]
                                     .lock()
                                     .unwrap_or_else(PoisonError::into_inner)
@@ -129,11 +178,17 @@ fn run_chunks<T: Send, S>(
                                 if let Some(payload) = payload {
                                     work(ci, payload, &mut scratch);
                                 }
+                                if let Some(f) = flight {
+                                    f.chunk_end(ti, ci);
+                                }
                             }
                         });
                     });
                 }
             });
+            if let Some(f) = flight {
+                f.finish();
+            }
             annotate_chunks(workers, n, &times);
         }
     }

@@ -30,7 +30,10 @@
 //!   cost — the paper's alternative to all-or-nothing MPI/HPF porting.
 //! * **Observability** ([`obs`]): hierarchical span tracing (time step →
 //!   zone → kernel → parallel region) with sync-event counts and chunk
-//!   imbalance, exported as versioned JSON, free when disabled.
+//!   imbalance, exported as versioned JSON, free when disabled; plus a
+//!   per-worker **flight recorder** (timestamped chunk/barrier/claim
+//!   events in lock-free rings) feeding overhead attribution against
+//!   the paper's Table 1 bound and Chrome trace-event export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,7 +54,10 @@ pub use doacross::{
     doacross_slabs_scratch,
 };
 pub use fusion::FusedRegion;
-pub use obs::{KernelSummary, ObsReport, Recorder, SpanKind, SpanNode};
+pub use obs::{
+    AttributionReport, FlightRecorder, Histogram, KernelSummary, ObsReport, Recorder, SpanKind,
+    SpanNode, Timeline,
+};
 pub use pencil::with_pencil_scratch;
 pub use pool::{default_worker_count, ChunkClaimer, Workers};
 pub use profile::{LoopProfiler, LoopReport};

@@ -17,10 +17,30 @@
 //!   [`crate::pool::Workers`] stepping a solver) and modeled runs (a
 //!   trace on a simulated machine) emit the same [`ObsReport`] shape,
 //!   so model drift can be diffed kernel-by-kernel.
+//!
+//! Beyond span tracing, the module carries the **flight recorder**
+//! ([`timeline`]): per-worker rings of timestamped chunk/barrier/claim
+//! events written lock-free from inside the doacross entry points, with
+//! the same disabled-is-free contract. Drained timelines feed the
+//! overhead [`attr`]ibution report (compute vs. barrier vs. claim, per
+//! worker and per region, checked against `perfmodel`'s Table 1 bound)
+//! and the [`chrome`] trace exporter; [`hist`] adds the fixed-bucket
+//! histograms the serve layer publishes.
 
+pub mod attr;
+pub mod chrome;
+pub mod hist;
 pub mod json;
 mod recorder;
 mod report;
+pub mod timeline;
 
+pub use attr::{
+    AttributionReport, KernelOverhead, ModelCheck, RegionAttribution, WorkerAttribution,
+};
+pub use hist::Histogram;
 pub use recorder::{Recorder, SpanGuard};
 pub use report::{KernelSummary, ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};
+pub use timeline::{
+    EventKind, FlightRecorder, LaneTimeline, RegionMark, RegionSession, Timeline, TimelineEvent,
+};

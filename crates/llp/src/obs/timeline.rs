@@ -1,0 +1,626 @@
+//! The flight recorder: per-worker timelines of timestamped scheduling
+//! events, captured lock-free from inside the doacross entry points.
+//!
+//! The span [`crate::obs::Recorder`] answers *how long* a kernel and
+//! its regions took; it cannot say **where a worker spent its time** —
+//! computing a chunk, waiting at the region barrier, or contending on
+//! the dynamic-scheduling chunk claimer. The [`FlightRecorder`] closes
+//! that gap: each worker lane is a fixed-capacity ring of
+//! [`TimelineEvent`]s written with relaxed atomic stores only, so the
+//! recording hot path performs **no allocation and no locking**, and a
+//! disabled recorder (the default) is a `None` — one branch per region,
+//! no atomics, no clock reads, exactly the
+//! [`crate::obs::Recorder::disabled`] contract.
+//!
+//! Safety of the lock-free writes rests on two structural facts rather
+//! than on `unsafe` (this crate forbids it): during a region each lane
+//! has exactly one writer (the task that owns the chunk or claimant
+//! index), and the coordinator only reads lanes after the region's
+//! barrier — the scoped-thread join that *is* the synchronization event
+//! — so every store happens-before every read.
+//!
+//! Setting the environment variable `LLP_FLIGHT=1` force-enables a
+//! flight recorder on every [`crate::pool::Workers`] team, which is how
+//! CI runs the whole test suite through the instrumented path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::obs::json::Json;
+
+/// Default per-lane event capacity for [`FlightRecorder::enabled`]
+/// callers that have no better number (≈128 KiB per lane).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// What a worker was doing at a timeline instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A worker began executing chunk `arg` of the current region.
+    ChunkStart,
+    /// A worker finished executing chunk `arg`.
+    ChunkEnd,
+    /// A worker sat `arg` nanoseconds between its last event and the
+    /// region barrier completing (recorded at region exit).
+    BarrierWait,
+    /// A worker spent `arg` nanoseconds in one [`crate::ChunkClaimer`]
+    /// claim (dynamic/guided scheduling only).
+    ClaimWait,
+    /// A claim came back empty: the chunk list was exhausted and the
+    /// worker headed for the barrier.
+    ClaimMiss,
+}
+
+impl EventKind {
+    /// Stable string form used in JSON exports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::ChunkStart => "chunk_start",
+            EventKind::ChunkEnd => "chunk_end",
+            EventKind::BarrierWait => "barrier_wait",
+            EventKind::ClaimWait => "claim_wait",
+            EventKind::ClaimMiss => "claim_miss",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            EventKind::ChunkStart => 0,
+            EventKind::ChunkEnd => 1,
+            EventKind::BarrierWait => 2,
+            EventKind::ClaimWait => 3,
+            EventKind::ClaimMiss => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(EventKind::ChunkStart),
+            1 => Some(EventKind::ChunkEnd),
+            2 => Some(EventKind::BarrierWait),
+            3 => Some(EventKind::ClaimWait),
+            4 => Some(EventKind::ClaimMiss),
+            _ => None,
+        }
+    }
+}
+
+/// One captured event on one worker lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Nanoseconds since the recorder's epoch.
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kind-dependent payload: chunk index for chunk events, wait
+    /// nanoseconds for the wait events, 0 for [`EventKind::ClaimMiss`].
+    pub arg: u64,
+    /// Sequence number of the region this event belongs to.
+    pub region: u64,
+}
+
+/// Everything the coordinator knew about one completed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMark {
+    /// Region sequence number (matches [`TimelineEvent::region`]).
+    pub seq: u64,
+    /// Region entry, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Barrier completion, nanoseconds since the recorder's epoch.
+    pub end_ns: u64,
+    /// Parallel-loop extent.
+    pub iterations: u64,
+    /// Number of chunks the schedule cut.
+    pub chunks: usize,
+    /// Lanes (tasks) that executed the region: chunk count under static
+    /// scheduling, claimant count under dynamic/guided.
+    pub lanes: usize,
+    /// Worker count of the executing team.
+    pub workers: usize,
+    /// Scheduling policy name (`"static"`, `"dynamic"`, `"guided"`).
+    pub policy: &'static str,
+}
+
+impl RegionMark {
+    /// Wall nanoseconds from region entry to barrier completion.
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One worker lane drained out of the recorder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneTimeline {
+    /// Captured events, oldest first, timestamps monotone.
+    pub events: Vec<TimelineEvent>,
+    /// Events overwritten because the ring filled (oldest are lost).
+    pub dropped: u64,
+}
+
+/// A drained snapshot of every lane plus the coordinator's region log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// One entry per worker lane, index = lane.
+    pub lanes: Vec<LaneTimeline>,
+    /// Completed regions in sequence order.
+    pub regions: Vec<RegionMark>,
+}
+
+impl Timeline {
+    /// Total captured events across all lanes.
+    #[must_use]
+    pub fn total_events(&self) -> usize {
+        self.lanes.iter().map(|l| l.events.len()).sum()
+    }
+
+    /// Total events lost to ring overwrite across all lanes.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped).sum()
+    }
+
+    /// Whether nothing was captured (disabled recorder or no regions).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_events() == 0 && self.regions.is_empty()
+    }
+
+    /// Compact JSON form: per-lane event tuples
+    /// `[ts_ns, kind, arg, region]` plus the region log.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                Json::object(vec![
+                    ("dropped", Json::from_u64(lane.dropped)),
+                    (
+                        "events",
+                        Json::Array(
+                            lane.events
+                                .iter()
+                                .map(|e| {
+                                    Json::Array(vec![
+                                        Json::from_u64(e.ts_ns),
+                                        Json::str(e.kind.as_str()),
+                                        Json::from_u64(e.arg),
+                                        Json::from_u64(e.region),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let regions = self
+            .regions
+            .iter()
+            .map(|r| {
+                Json::object(vec![
+                    ("seq", Json::from_u64(r.seq)),
+                    ("start_ns", Json::from_u64(r.start_ns)),
+                    ("end_ns", Json::from_u64(r.end_ns)),
+                    ("iterations", Json::from_u64(r.iterations)),
+                    ("chunks", Json::from_usize(r.chunks)),
+                    ("lanes", Json::from_usize(r.lanes)),
+                    ("workers", Json::from_usize(r.workers)),
+                    ("policy", Json::str(r.policy)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("lanes", Json::Array(lanes)),
+            ("regions", Json::Array(regions)),
+        ])
+    }
+}
+
+/// One lane's ring: a fixed slab of atomic slots plus a monotone head.
+///
+/// Single-writer during a region; the coordinator reads only after the
+/// barrier, so relaxed ordering suffices (visibility rides on the
+/// scoped-thread join).
+#[derive(Debug)]
+struct Lane {
+    head: AtomicUsize,
+    /// Timestamp of this lane's most recent event (barrier-wait input).
+    last_ts: AtomicU64,
+    /// Region sequence of this lane's most recent event + 1 (0 = none).
+    last_region: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    ts: AtomicU64,
+    kind: AtomicU64,
+    arg: AtomicU64,
+    region: AtomicU64,
+}
+
+impl Lane {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            head: AtomicUsize::new(0),
+            last_ts: AtomicU64::new(0),
+            last_region: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Append one event. No allocation, no lock: a head load, four
+    /// relaxed stores into the ring slot, and the bookkeeping stores.
+    fn record(&self, ts_ns: u64, kind: EventKind, arg: u64, region: u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[head % self.slots.len()];
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.region.store(region, Ordering::Relaxed);
+        self.head.store(head + 1, Ordering::Relaxed);
+        self.last_ts.store(ts_ns, Ordering::Relaxed);
+        self.last_region.store(region + 1, Ordering::Relaxed);
+    }
+
+    fn drain(&self) -> LaneTimeline {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len();
+        let kept = head.min(cap);
+        let mut events = Vec::with_capacity(kept);
+        for i in (head - kept)..head {
+            let slot = &self.slots[i % cap];
+            let Some(kind) = EventKind::from_code(slot.kind.load(Ordering::Relaxed)) else {
+                continue;
+            };
+            events.push(TimelineEvent {
+                ts_ns: slot.ts.load(Ordering::Relaxed),
+                kind,
+                arg: slot.arg.load(Ordering::Relaxed),
+                region: slot.region.load(Ordering::Relaxed),
+            });
+        }
+        self.head.store(0, Ordering::Relaxed);
+        self.last_ts.store(0, Ordering::Relaxed);
+        self.last_region.store(0, Ordering::Relaxed);
+        LaneTimeline {
+            events,
+            dropped: (head - kept) as u64,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlightState {
+    epoch: Instant,
+    lanes: Vec<Lane>,
+    region_seq: AtomicU64,
+    regions: Mutex<Vec<RegionMark>>,
+}
+
+impl FlightState {
+    fn now_ns(&self) -> u64 {
+        // Instant is monotone and the epoch precedes every call, so the
+        // u128 → u64 narrowing is safe for ~584 years of uptime.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Handle to a per-worker event ring; clones share the same rings, so
+/// one recorder can be threaded through a pool and all its views.
+///
+/// Like [`crate::obs::Recorder`], a default-constructed / `disabled()`
+/// recorder holds nothing: every call is one branch. Only one region
+/// may record at a time per recorder (the coordinator serializes
+/// regions; concurrent solves must use distinct recorders, as the serve
+/// layer's executor shards do).
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<FlightState>>,
+}
+
+impl FlightRecorder {
+    /// The disabled recorder: records nothing, allocates nothing.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled recorder with `lanes` worker lanes of
+    /// `capacity_per_lane` event slots each, allocated up front so the
+    /// recording path never allocates.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0` or `capacity_per_lane == 0`.
+    #[must_use]
+    pub fn enabled(lanes: usize, capacity_per_lane: usize) -> Self {
+        assert!(lanes > 0, "flight recorder needs at least one lane");
+        assert!(capacity_per_lane > 0, "lane capacity must be positive");
+        Self {
+            inner: Some(Arc::new(FlightState {
+                epoch: Instant::now(),
+                lanes: (0..lanes)
+                    .map(|_| Lane::with_capacity(capacity_per_lane))
+                    .collect(),
+                region_seq: AtomicU64::new(0),
+                regions: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being captured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of worker lanes (0 when disabled).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.inner.as_ref().map_or(0, |s| s.lanes.len())
+    }
+
+    /// Open a recording session for one parallel region, or `None` when
+    /// disabled — the one branch the disabled hot path pays. Called by
+    /// the doacross entry points right before entering the region;
+    /// [`RegionSession::finish`] must be called after the barrier.
+    #[must_use]
+    pub fn begin_region(
+        &self,
+        lanes_used: usize,
+        workers: usize,
+        iterations: u64,
+        chunks: usize,
+        policy: &'static str,
+    ) -> Option<RegionSession<'_>> {
+        let state = self.inner.as_ref()?;
+        let seq = state.region_seq.fetch_add(1, Ordering::Relaxed);
+        Some(RegionSession {
+            state,
+            seq,
+            start_ns: state.now_ns(),
+            lanes_used: lanes_used.min(state.lanes.len()),
+            workers,
+            iterations,
+            chunks,
+            policy,
+        })
+    }
+
+    /// Drain every lane and the region log into a [`Timeline`],
+    /// resetting the recorder to empty (it stays enabled). A disabled
+    /// recorder yields an empty timeline.
+    ///
+    /// Must not be called while a region is recording — the same
+    /// single-coordinator contract as
+    /// [`crate::obs::Recorder::take_report`].
+    #[must_use]
+    pub fn take_timeline(&self) -> Timeline {
+        let Some(state) = &self.inner else {
+            return Timeline::default();
+        };
+        let lanes = state.lanes.iter().map(Lane::drain).collect();
+        let mut regions =
+            std::mem::take(&mut *state.regions.lock().unwrap_or_else(PoisonError::into_inner));
+        regions.sort_by_key(|r| r.seq);
+        state.region_seq.store(0, Ordering::Relaxed);
+        Timeline { lanes, regions }
+    }
+}
+
+/// An open recording session for one parallel region.
+///
+/// Shared by reference with every task of the region: all methods take
+/// `&self` and touch only the caller's own lane, so the tasks never
+/// contend. [`RegionSession::finish`] (coordinator, after the barrier)
+/// attributes each lane's tail idle time as its barrier wait and logs
+/// the region mark.
+#[derive(Debug)]
+pub struct RegionSession<'a> {
+    state: &'a FlightState,
+    seq: u64,
+    start_ns: u64,
+    lanes_used: usize,
+    workers: usize,
+    iterations: u64,
+    chunks: usize,
+    policy: &'static str,
+}
+
+impl RegionSession<'_> {
+    fn record(&self, lane: usize, kind: EventKind, arg: u64) {
+        if let Some(lane) = self.state.lanes.get(lane) {
+            lane.record(self.state.now_ns(), kind, arg, self.seq);
+        }
+    }
+
+    /// The region's sequence number (matches [`TimelineEvent::region`]).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Lane `lane` began executing chunk `chunk`.
+    pub fn chunk_start(&self, lane: usize, chunk: usize) {
+        self.record(lane, EventKind::ChunkStart, chunk as u64);
+    }
+
+    /// Lane `lane` finished executing chunk `chunk`.
+    pub fn chunk_end(&self, lane: usize, chunk: usize) {
+        self.record(lane, EventKind::ChunkEnd, chunk as u64);
+    }
+
+    /// Lane `lane` spent `ns` nanoseconds inside one chunk claim.
+    pub fn claim_wait(&self, lane: usize, ns: u64) {
+        self.record(lane, EventKind::ClaimWait, ns);
+    }
+
+    /// Lane `lane` found the chunk list exhausted.
+    pub fn claim_miss(&self, lane: usize) {
+        self.record(lane, EventKind::ClaimMiss, 0);
+    }
+
+    /// Close the region: called by the coordinator after the barrier.
+    /// Appends a [`EventKind::BarrierWait`] to every participating lane
+    /// (barrier completion minus the lane's last event — the time that
+    /// lane sat idle waiting for the stragglers) and logs the
+    /// [`RegionMark`].
+    pub fn finish(self) {
+        let end_ns = self.state.now_ns();
+        for lane in self.state.lanes.iter().take(self.lanes_used) {
+            // Only lanes that recorded something in *this* region get a
+            // barrier wait; `last_region` stores seq + 1 so lane 0 of
+            // region 0 is distinguishable from "never wrote".
+            if lane.last_region.load(Ordering::Relaxed) == self.seq + 1 {
+                let wait = end_ns.saturating_sub(lane.last_ts.load(Ordering::Relaxed));
+                lane.record(end_ns, EventKind::BarrierWait, wait, self.seq);
+            }
+        }
+        self.state
+            .regions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(RegionMark {
+                seq: self.seq,
+                start_ns: self.start_ns,
+                end_ns,
+                iterations: self.iterations,
+                chunks: self.chunks,
+                lanes: self.lanes_used,
+                workers: self.workers,
+                policy: self.policy,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let fr = FlightRecorder::disabled();
+        assert!(!fr.is_enabled());
+        assert_eq!(fr.lanes(), 0);
+        assert!(fr.begin_region(2, 2, 10, 2, "static").is_none());
+        assert!(fr.take_timeline().is_empty());
+    }
+
+    #[test]
+    fn records_events_per_lane_and_region() {
+        let fr = FlightRecorder::enabled(2, 64);
+        let s = fr.begin_region(2, 2, 100, 2, "static").unwrap();
+        s.chunk_start(0, 0);
+        s.chunk_end(0, 0);
+        s.chunk_start(1, 1);
+        s.chunk_end(1, 1);
+        s.finish();
+        let t = fr.take_timeline();
+        assert_eq!(t.lanes.len(), 2);
+        for lane in &t.lanes {
+            // start, end, barrier wait
+            assert_eq!(lane.events.len(), 3);
+            assert_eq!(lane.events[2].kind, EventKind::BarrierWait);
+            assert!(lane.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        }
+        assert_eq!(t.regions.len(), 1);
+        assert_eq!(t.regions[0].seq, 0);
+        assert_eq!(t.regions[0].iterations, 100);
+        assert!(t.regions[0].end_ns >= t.regions[0].start_ns);
+        // Drained: the next timeline is empty and seq restarts at 0.
+        assert!(fr.take_timeline().is_empty());
+        let s = fr.begin_region(1, 2, 1, 1, "static").unwrap();
+        assert_eq!(s.seq(), 0);
+        s.finish();
+    }
+
+    #[test]
+    fn idle_lanes_get_no_barrier_wait() {
+        let fr = FlightRecorder::enabled(4, 16);
+        let s = fr.begin_region(2, 4, 10, 2, "static").unwrap();
+        s.chunk_start(0, 0);
+        s.chunk_end(0, 0);
+        // Lane 1 participates but records nothing; lanes 2, 3 unused.
+        s.finish();
+        let t = fr.take_timeline();
+        assert_eq!(t.lanes[0].events.len(), 3);
+        assert!(t.lanes[1].events.is_empty());
+        assert!(t.lanes[2].events.is_empty());
+        assert!(t.lanes[3].events.is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let fr = FlightRecorder::enabled(1, 4);
+        let s = fr.begin_region(1, 1, 10, 10, "dynamic").unwrap();
+        for c in 0..5 {
+            s.chunk_start(0, c);
+        }
+        s.finish(); // +1 barrier wait = 6 events into a 4-slot ring
+        let t = fr.take_timeline();
+        assert_eq!(t.lanes[0].events.len(), 4);
+        assert_eq!(t.lanes[0].dropped, 2);
+        assert_eq!(t.dropped_events(), 2);
+        // The newest events survive.
+        assert_eq!(t.lanes[0].events[3].kind, EventKind::BarrierWait);
+        assert_eq!(t.lanes[0].events[2].arg, 4);
+    }
+
+    #[test]
+    fn clones_share_rings() {
+        let fr = FlightRecorder::enabled(1, 8);
+        let clone = fr.clone();
+        let s = clone.begin_region(1, 1, 1, 1, "static").unwrap();
+        s.chunk_start(0, 0);
+        s.finish();
+        assert_eq!(fr.take_timeline().total_events(), 2);
+    }
+
+    #[test]
+    fn out_of_range_lane_is_ignored() {
+        let fr = FlightRecorder::enabled(1, 8);
+        let s = fr.begin_region(1, 1, 1, 1, "static").unwrap();
+        s.chunk_start(7, 0); // defensive: silently dropped
+        s.finish();
+        let t = fr.take_timeline();
+        assert_eq!(t.total_events(), 0);
+        assert_eq!(t.regions.len(), 1);
+    }
+
+    #[test]
+    fn timeline_json_is_well_formed() {
+        let fr = FlightRecorder::enabled(1, 8);
+        let s = fr.begin_region(1, 1, 5, 1, "guided").unwrap();
+        s.chunk_start(0, 0);
+        s.chunk_end(0, 0);
+        s.finish();
+        let t = fr.take_timeline();
+        let j = t.to_json();
+        let text = j.to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        let lanes = back.get("lanes").and_then(Json::as_array).unwrap();
+        assert_eq!(lanes.len(), 1);
+        let events = lanes[0].get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 3);
+        let regions = back.get("regions").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            regions[0].get("policy").and_then(Json::as_str),
+            Some("guided")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let _ = FlightRecorder::enabled(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FlightRecorder::enabled(1, 0);
+    }
+}

@@ -11,10 +11,11 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use crate::obs::Recorder;
+use crate::obs::timeline::DEFAULT_EVENT_CAPACITY;
+use crate::obs::{FlightRecorder, Recorder};
 use crate::schedule::Policy;
 
 /// A boxed task queued on a [`RegionScope`].
@@ -67,6 +68,9 @@ pub struct Workers {
     /// run concurrently (the shared `counters` keep the pool total).
     local: Arc<Counters>,
     recorder: Recorder,
+    /// Per-worker timeline flight recorder (disabled by default, like
+    /// the span recorder; force-enabled pool-wide by `LLP_FLIGHT=1`).
+    flight: FlightRecorder,
     policy: Policy,
 }
 
@@ -96,12 +100,18 @@ impl Workers {
     #[must_use]
     pub fn new(processors: usize) -> Self {
         assert!(processors > 0, "worker count must be positive");
+        let flight = if flight_force_enabled() {
+            FlightRecorder::enabled(processors, DEFAULT_EVENT_CAPACITY)
+        } else {
+            FlightRecorder::disabled()
+        };
         Self {
             processors,
             requested: processors,
             counters: Arc::new(Counters::default()),
             local: Arc::new(Counters::default()),
             recorder: Recorder::disabled(),
+            flight,
             policy: Policy::Static,
         }
     }
@@ -174,6 +184,7 @@ impl Workers {
             counters: Arc::clone(&self.counters),
             local: Arc::new(Counters::default()),
             recorder: self.recorder.clone(),
+            flight: self.flight.clone(),
             policy: self.policy,
         }
     }
@@ -209,6 +220,7 @@ impl Workers {
             counters: Arc::clone(&self.counters),
             local: Arc::new(Counters::default()),
             recorder: self.recorder.clone(),
+            flight: self.flight.clone(),
             policy,
         }
     }
@@ -223,6 +235,22 @@ impl Workers {
     /// a solver and its pool, or to switch recording on).
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// The team's flight recorder (disabled unless enabled explicitly
+    /// or forced by `LLP_FLIGHT=1`). Views share their pool's recorder,
+    /// so one drain covers every region the pool ran.
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Replace the team's flight recorder — how the serve layer gives
+    /// each executor shard its own rings. Lanes should cover this
+    /// team's [`Workers::processors`]; narrower recorders silently drop
+    /// events from the uncovered lanes.
+    pub fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
     }
 
     /// Total synchronization events (parallel-region exits) so far.
@@ -297,6 +325,19 @@ impl Workers {
     }
 }
 
+/// Whether `LLP_FLIGHT=1` forces a flight recorder onto every team.
+/// Read once per process: the whole point of the switch is to run an
+/// unmodified test suite through the instrumented path in CI.
+fn flight_force_enabled() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("LLP_FLIGHT").is_ok_and(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+    })
+}
+
 /// The machine-default worker count: `LLP_WORKERS` when set to a
 /// positive integer, else [`std::thread::available_parallelism`],
 /// else 1. Values that fail to parse (or are zero) are ignored rather
@@ -342,6 +383,17 @@ impl ChunkClaimer {
     pub fn claim(&self) -> Option<usize> {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         (i < self.limit).then_some(i)
+    }
+
+    /// [`ChunkClaimer::claim`] plus the nanoseconds the claim took —
+    /// the scheduling-interaction cost the flight recorder attributes
+    /// as claim wait. Only the instrumented (flight-enabled) doacross
+    /// path calls this; the plain path keeps the clock-free `claim`.
+    pub fn claim_timed(&self) -> (Option<usize>, u64) {
+        let start = Instant::now();
+        let claimed = self.claim();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (claimed, ns)
     }
 
     /// Number of chunks this claimer hands out in total.

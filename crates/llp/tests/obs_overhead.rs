@@ -64,4 +64,81 @@ fn disabled_recorder_allocates_nothing() {
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert!(after > before, "enabled path should allocate span nodes");
+
+    disabled_flight_recorder_allocates_nothing();
+}
+
+/// Same contract for the flight recorder: every recording call on a
+/// disabled [`llp::FlightRecorder`] is a single `None` branch — no
+/// allocation, no clock read. Called from the one `#[test]` above
+/// (the counter is process-global, tests must not run concurrently).
+fn disabled_flight_recorder_allocates_nothing() {
+    // `LLP_FLIGHT=1` force-enables a real flight recorder on every
+    // team, which allocates by design; the disabled-path contract is
+    // unmeasurable in that configuration (CI runs it separately).
+    if std::env::var("LLP_FLIGHT").is_ok() {
+        eprintln!("LLP_FLIGHT set: skipping disabled-flight allocation assertions");
+        return;
+    }
+
+    let flight = llp::FlightRecorder::disabled();
+    assert!(!flight.is_enabled());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let session = flight.begin_region(4, 4, 100, 4, "static");
+        assert!(session.is_none(), "disabled recorder must yield no session");
+        if let Some(s) = session {
+            s.finish();
+        }
+    }
+    let timeline = flight.take_timeline();
+    assert!(timeline.is_empty());
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled flight recorder must not allocate"
+    );
+
+    // And through the real doacross hot path: a team without a flight
+    // recorder must allocate exactly as much per region as it did
+    // before the flight recorder existed. Two identical rounds must
+    // cost the same (the region machinery itself allocates; the
+    // disabled-flight branches must add nothing that scales).
+    let workers = llp::Workers::new(2);
+    assert!(!workers.flight().is_enabled());
+    let warm = || {
+        for _ in 0..16 {
+            llp::doacross(&workers, 64, |i| {
+                std::hint::black_box(i);
+            });
+        }
+    };
+    warm(); // warm up thread-spawn and scheduler state
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    warm();
+    let mid = ALLOCATIONS.load(Ordering::Relaxed);
+    warm();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        mid - before,
+        after - mid,
+        "disabled-flight doacross rounds must have identical allocation counts"
+    );
+
+    // Sanity: the enabled flight recorder does allocate (on drain).
+    let enabled = llp::FlightRecorder::enabled(2, 64);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    if let Some(s) = enabled.begin_region(2, 2, 10, 2, "static") {
+        s.chunk_start(0, 0);
+        s.chunk_end(0, 0);
+        s.finish();
+    }
+    let _timeline = enabled.take_timeline();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(
+        after > before,
+        "enabled flight path should allocate on drain"
+    );
 }

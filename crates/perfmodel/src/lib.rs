@@ -41,6 +41,8 @@ pub use batch::{
     WorkPerSyncPoint,
 };
 pub use metrics::{delivered_mflops, time_steps_per_hour, Efficiency};
-pub use overhead::{max_efficient_processors, min_work_for_overhead, OverheadBound};
+pub use overhead::{
+    max_efficient_processors, min_work_for_overhead, OverheadBound, PAPER_OVERHEAD_FRACTION,
+};
 pub use stairstep::{ideal_speedup, max_units_per_processor, plateau_edges, speedup_curve};
 pub use work_per_sync::{GridNest, LoopLevel, WorkPerSync};

@@ -11,7 +11,10 @@
 use f3d::service::{ServiceCase, ServiceRun};
 use f3d::validation::FieldChecksum;
 use llp::advisor::{Advice, Advisor, LoopDecision};
+use llp::obs::attr::{kernel_overheads, KernelOverhead};
+use llp::obs::chrome::chrome_trace_with_summary;
 use llp::obs::json::Json;
+use llp::obs::AttributionReport;
 use llp::profile::{LoopReport, LoopStats};
 use llp::Policy;
 use perfmodel::overhead::{OverheadBound, PAPER_OVERHEAD_FRACTION};
@@ -101,9 +104,32 @@ fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
     ])
 }
 
-/// Render a completed solver run as the `/v1/solve` response body.
+/// Render the pair of trace documents retained for a finished solve:
+/// the `/v1/trace/{id}` attribution body (per-worker / per-region
+/// overhead split, measured-vs-modeled check, per-kernel overheads)
+/// and the `?trace=chrome` trace-event document.
 #[must_use]
-pub fn solve_response(run: &ServiceRun) -> Json {
+pub fn trace_documents(run: &ServiceRun, trace_id: u64) -> (Json, Json) {
+    let attr = AttributionReport::from_timeline(&run.timeline);
+    let kernels = kernel_overheads(&run.report, &attr);
+    let attribution = Json::object(vec![
+        ("trace_id", Json::from_u64(trace_id)),
+        ("case", Json::str(&run.case.label())),
+        ("attribution", attr.to_json()),
+        (
+            "kernels",
+            Json::Array(kernels.iter().map(KernelOverhead::to_json).collect()),
+        ),
+    ]);
+    let chrome = chrome_trace_with_summary(&run.timeline, &attr);
+    (attribution, chrome)
+}
+
+/// Render a completed solver run as the `/v1/solve` response body.
+/// `trace_id` (when the executor retained a flight trace) tells the
+/// client where `GET /v1/trace/{id}` will find the breakdown.
+#[must_use]
+pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>) -> Json {
     let mut case = vec![
         ("zones", Json::from_usize(run.case.zones)),
         ("steps", Json::from_usize(run.case.steps)),
@@ -138,6 +164,7 @@ pub fn solve_response(run: &ServiceRun) -> Json {
         ),
         ("sync_events", Json::from_u64(run.sync_events)),
         ("report", run.report.to_json()),
+        ("trace_id", trace_id.map_or(Json::Null, Json::from_u64)),
     ])
 }
 

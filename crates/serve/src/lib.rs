@@ -11,8 +11,13 @@
 //!   ([`llp::advisor`]) for a submitted loop profile;
 //! * `GET /v1/model/{stairstep,overhead,work_per_sync}` — batched
 //!   performance-model queries ([`perfmodel`]);
-//! * `GET /metrics` — service counters plus the shared pool's
-//!   synchronization-event totals.
+//! * `GET /metrics` — service counters, request-latency and
+//!   queue-depth histograms, plus the shared pool's
+//!   synchronization-event totals;
+//! * `GET /v1/trace/{id}` — per-worker overhead attribution for a
+//!   recent solve (append `?trace=chrome` for a Chrome trace-event
+//!   download), backed by a bounded in-memory [`trace`] ring fed by
+//!   the executors' flight recorders.
 //!
 //! Everything is `std`-only: HTTP framing is hand-rolled
 //! ([`http`]), JSON is `llp::obs::json`, and signals are a two-line
@@ -27,5 +32,6 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod signal;
+pub mod trace;
 
 pub use server::{Server, ServerConfig};

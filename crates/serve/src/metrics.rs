@@ -9,16 +9,17 @@
 //! an invariant the integration tests check end to end.
 
 use llp::obs::json::Json;
+use llp::obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The status codes the service emits, each with its own counter.
 pub const TRACKED_STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 500, 503];
 
 /// Request endpoint families, each with its own counter.
-pub const ENDPOINTS: [&str; 5] = ["solve", "advise", "model", "metrics", "other"];
+pub const ENDPOINTS: [&str; 6] = ["solve", "advise", "model", "metrics", "trace", "other"];
 
 /// All service counters and gauges.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     requests_total: AtomicU64,
     rejected_total: AtomicU64,
@@ -33,13 +34,40 @@ pub struct Metrics {
     obs_seconds_total_bits: AtomicU64,
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
     by_status: [AtomicU64; TRACKED_STATUSES.len()],
+    /// End-to-end request latency (parse through response build), ms.
+    latency: Histogram,
+    /// Queue depth sampled at every admission — the distribution a
+    /// single `queue_depth` gauge cannot show.
+    queue_depths: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
     /// Fresh zeroed metrics.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            requests_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            timeouts_total: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            executor_busy: AtomicU64::new(0),
+            executor_panics_total: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            jobs_total: AtomicU64::new(0),
+            obs_reports_total: AtomicU64::new(0),
+            obs_sync_events_total: AtomicU64::new(0),
+            obs_seconds_total_bits: AtomicU64::new(0),
+            by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
+            by_status: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: Histogram::latency_ms(),
+            queue_depths: Histogram::queue_depth(),
+        }
     }
 
     /// Count one request routed to `endpoint` (see [`ENDPOINTS`]).
@@ -76,6 +104,24 @@ impl Metrics {
     /// Set the queued-job gauge.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record one end-to-end request latency in milliseconds.
+    pub fn observe_latency_ms(&self, ms: f64) {
+        self.latency.record(ms);
+    }
+
+    /// Sample the queue depth seen by one admission attempt.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        self.queue_depths.record(depth as f64);
+    }
+
+    /// Estimated request-latency quantile in milliseconds (`None`
+    /// before any request completed).
+    #[must_use]
+    pub fn latency_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.latency.quantile(q)
     }
 
     /// One executor shard started computing a job: the `executor_busy`
@@ -197,6 +243,8 @@ impl Metrics {
                     self.obs_seconds_total_bits.load(Ordering::Relaxed),
                 )),
             ),
+            ("latency_ms", self.latency.to_json()),
+            ("queue_depths", self.queue_depths.to_json()),
         ])
     }
 }
@@ -260,5 +308,29 @@ mod tests {
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn histograms_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.observe_latency_ms(0.7);
+        m.observe_latency_ms(3.0);
+        m.observe_latency_ms(40.0);
+        m.observe_queue_depth(0);
+        m.observe_queue_depth(5);
+        let j = m.to_json(1, 1, 0, 0);
+        let lat = j.get("latency_ms").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(3));
+        assert!(lat.get("p50").unwrap().as_f64().unwrap() <= 5.0);
+        assert!(lat.get("p99").unwrap().as_f64().unwrap() >= 40.0);
+        let q = j.get("queue_depths").unwrap();
+        assert_eq!(q.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.latency_quantile_ms(0.5), Some(5.0));
+        // Cumulative buckets end at +Inf.
+        let buckets = lat.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            buckets.last().unwrap().get("le").and_then(Json::as_str),
+            Some("+Inf")
+        );
     }
 }

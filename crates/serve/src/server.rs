@@ -40,12 +40,14 @@
 use crate::api;
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
+use crate::trace::{TraceEntry, TraceStore};
 use f3d::service::MAX_WORKERS;
-use llp::{Recorder, Workers};
+use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
+use llp::{FlightRecorder, Recorder, Workers};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -241,6 +243,9 @@ struct Shared {
     queue_signal: Condvar,
     draining: AtomicBool,
     drain_rate: DrainEstimator,
+    traces: TraceStore,
+    /// Monotone per-process request ids for the access log.
+    request_seq: AtomicU64,
     config: ServerConfig,
 }
 
@@ -273,6 +278,8 @@ impl Server {
             queue_signal: Condvar::new(),
             draining: AtomicBool::new(false),
             drain_rate: DrainEstimator::new(),
+            traces: TraceStore::default(),
+            request_seq: AtomicU64::new(1),
             config,
         });
 
@@ -285,10 +292,14 @@ impl Server {
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 // Each shard slice shares the pool's counters but owns
-                // a private recorder: concurrent jobs never interleave
-                // spans, and /metrics pool totals stay exact.
+                // a private recorder and flight recorder: concurrent
+                // jobs never interleave spans or timelines, and
+                // /metrics pool totals stay exact. Jobs on one shard
+                // are serial, so each job drains exactly its own
+                // flight events.
                 let mut slice = shared.pool.sized_view(shard_width);
                 slice.set_recorder(Recorder::enabled());
+                slice.set_flight(FlightRecorder::enabled(shard_width, DEFAULT_EVENT_CAPACITY));
                 thread::spawn(move || executor_loop(&shared, &slice))
             })
             .collect();
@@ -396,10 +407,12 @@ fn executor_loop(shared: &Arc<Shared>, slice: &Workers) {
             Err(_) => {
                 // A panicking job (solver bug — inputs were validated at
                 // admission) must not take the shard down with it. The
-                // recorder may hold a half-built span stack; reset it so
-                // the next job's report is exactly its own.
+                // recorder may hold a half-built span stack and the
+                // flight rings partial events; reset and drain so the
+                // next job's report and timeline are exactly its own.
                 shared.metrics.executor_panicked();
                 slice.recorder().reset();
+                let _ = slice.flight().take_timeline();
                 Response::error(500, "internal error: job panicked")
             }
         };
@@ -425,7 +438,22 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
                     shared
                         .metrics
                         .job_done(run.sync_events, run.report.total_seconds());
-                    Response::ok(api::solve_response(&run).to_string())
+                    // Retain the run's flight trace (attribution +
+                    // Chrome documents) and hand the client its id.
+                    let trace_id = if run.timeline.is_empty() {
+                        None
+                    } else {
+                        let id = shared.traces.allocate_id();
+                        let (attribution, chrome) = api::trace_documents(&run, id);
+                        shared.traces.insert(TraceEntry {
+                            id,
+                            case: run.case.label(),
+                            attribution,
+                            chrome,
+                        });
+                        Some(id)
+                    };
+                    Response::ok(api::solve_response(&run, trace_id).to_string())
                 }
                 // Validation happened at admission; anything left is an
                 // internal fault.
@@ -451,14 +479,30 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader, shared.config.max_body_bytes) {
-        Ok(request) => route(&request, shared),
+    let started = Instant::now();
+    let req_id = shared.request_seq.fetch_add(1, Ordering::Relaxed);
+    let (response, method, path) = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => {
+            let response = route(&request, shared);
+            (response, request.method, request.path)
+        }
         Err(HttpError { status, message }) => {
             shared.metrics.request("other");
-            Response::error(status, &message)
+            (
+                Response::error(status, &message),
+                "-".to_string(),
+                "-".to_string(),
+            )
         }
     };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
     shared.metrics.response(response.status);
+    shared.metrics.observe_latency_ms(elapsed_ms);
+    // Structured one-line access log: parse/queue/compute end to end.
+    eprintln!(
+        "llpd req={req_id} method={method} path={path} status={} ms={elapsed_ms:.2}",
+        response.status
+    );
     let mut stream = stream;
     let _ = write_response(&mut stream, &response);
 }
@@ -469,6 +513,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         "/v1/solve" => ("solve", true),
         "/v1/advise" => ("advise", true),
         p if p.starts_with("/v1/model/") => ("model", false),
+        p if p.starts_with("/v1/trace/") => ("trace", false),
         _ => ("other", false),
     };
     shared.metrics.request(endpoint);
@@ -497,6 +542,25 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
             match api::model_response(kind, &request.query) {
                 Ok(json) => Response::ok(json.to_string()),
                 Err(msg) => Response::error(400, &msg),
+            }
+        }
+        "trace" => {
+            let raw = &request.path["/v1/trace/".len()..];
+            match raw.parse::<u64>() {
+                Err(_) => Response::error(400, "trace id must be a non-negative integer"),
+                Ok(id) => match shared.traces.get(id) {
+                    None => {
+                        Response::error(404, &format!("no trace {id} (evicted or never existed)"))
+                    }
+                    Some(entry) => match request.query.as_str() {
+                        "" => Response::ok(entry.attribution.to_string()),
+                        "trace=chrome" => Response::ok(entry.chrome.to_string()),
+                        other => Response::error(
+                            400,
+                            &format!("unknown query `{other}` (use ?trace=chrome)"),
+                        ),
+                    },
+                },
             }
         }
         "solve" => {
@@ -534,6 +598,7 @@ fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
     let (reply, receiver) = mpsc::channel();
     {
         let mut queue = lock_clean(&shared.queue);
+        shared.metrics.observe_queue_depth(queue.len());
         if queue.len() >= shared.config.queue_capacity {
             let queued = queue.len();
             drop(queue);

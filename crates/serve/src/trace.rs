@@ -1,0 +1,166 @@
+//! Bounded in-memory trace store behind `GET /v1/trace/{id}`.
+//!
+//! Every `/v1/solve` job that runs on a flight-instrumented shard
+//! leaves one [`TraceEntry`] here: the overhead attribution report
+//! (compute vs. barrier vs. claim, per worker and per region, checked
+//! against `perfmodel`'s Table 1 bound) and the Chrome trace-event
+//! document, both pre-rendered to JSON so serving a trace is a lookup
+//! plus a string write — no recomputation, no reference back into the
+//! executor.
+//!
+//! The store is a fixed-capacity ring: inserting beyond capacity
+//! evicts the oldest entry. Traces are a debugging aid, not a durable
+//! record; a client that wants one fetches it promptly after the solve
+//! response hands it the `trace_id`.
+
+use llp::obs::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Traces retained before the oldest is evicted.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16;
+
+/// One retained solve trace.
+#[derive(Debug)]
+pub struct TraceEntry {
+    /// The id the solve response advertised as `trace_id`.
+    pub id: u64,
+    /// The case label the run recorded under (e.g. `service/z2s3w2`).
+    pub case: String,
+    /// Attribution document: per-worker and per-region overhead split
+    /// plus the measured-vs-modeled check and per-kernel overheads.
+    pub attribution: Json,
+    /// Chrome trace-event document for `?trace=chrome`.
+    pub chrome: Json,
+}
+
+/// Fixed-capacity, thread-safe ring of recent [`TraceEntry`]s.
+#[derive(Debug)]
+pub struct TraceStore {
+    next_id: AtomicU64,
+    entries: Mutex<VecDeque<Arc<TraceEntry>>>,
+    capacity: usize,
+}
+
+impl TraceStore {
+    /// A store retaining at most `capacity` traces (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            next_id: AtomicU64::new(1),
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Reserve the next trace id (ids are unique per process and never
+    /// reused, so a 404 means evicted-or-never-existed, not confusion).
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Insert a finished trace, evicting the oldest beyond capacity.
+    pub fn insert(&self, entry: TraceEntry) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(Arc::new(entry));
+    }
+
+    /// Look up a trace by id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<Arc<TraceEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|e| e.id == id)
+            .cloned()
+    }
+
+    /// Number of traces currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the store holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(store: &TraceStore, tag: &str) -> u64 {
+        let id = store.allocate_id();
+        store.insert(TraceEntry {
+            id,
+            case: tag.to_string(),
+            attribution: Json::object(vec![("tag", Json::str(tag))]),
+            chrome: Json::object(vec![("traceEvents", Json::Array(Vec::new()))]),
+        });
+        id
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let store = TraceStore::new(4);
+        assert!(store.is_empty());
+        let id = entry(&store, "a");
+        let got = store.get(id).unwrap();
+        assert_eq!(got.case, "a");
+        assert_eq!(got.attribution.get("tag").and_then(Json::as_str), Some("a"));
+        assert!(store.get(id + 1).is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let store = TraceStore::new(2);
+        let a = entry(&store, "a");
+        let b = entry(&store, "b");
+        let c = entry(&store, "c");
+        assert_eq!(store.len(), 2);
+        assert!(store.get(a).is_none(), "oldest must be evicted");
+        assert!(store.get(b).is_some());
+        assert!(store.get(c).is_some());
+    }
+
+    #[test]
+    fn ids_are_unique_across_eviction() {
+        let store = TraceStore::new(1);
+        let first = entry(&store, "x");
+        let second = entry(&store, "y");
+        assert_ne!(first, second);
+        assert!(store.get(first).is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_stay_bounded() {
+        let store = TraceStore::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        entry(&store, "t");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 8);
+    }
+}

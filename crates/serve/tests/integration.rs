@@ -740,6 +740,192 @@ fn retry_after_grows_while_the_executor_is_stalled() {
     server.shutdown();
 }
 
+/// Fetch a solve's trace id, asserting the solve succeeded.
+fn solve_trace_id(addr: SocketAddr, body: &str) -> u64 {
+    let reply = post(addr, "/v1/solve", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    reply
+        .json()
+        .get("trace_id")
+        .and_then(Json::as_u64)
+        .expect("flight-instrumented solve advertises a trace_id")
+}
+
+#[test]
+fn solve_trace_attribution_agrees_with_the_model() {
+    let server = small_server();
+    let addr = server.addr();
+
+    // Wall-clock waits on a loaded single-CPU host can skew any one
+    // run arbitrarily, so the Table-1 agreement check gets a few
+    // solves; the structural assertions must hold on every one.
+    let mut agreed = false;
+    let mut last_doc = Json::Null;
+    for _ in 0..3 {
+        let id = solve_trace_id(addr, r#"{"zones": 2, "steps": 3, "workers": 2}"#);
+
+        let reply = get(addr, &format!("/v1/trace/{id}"));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = reply.json();
+        assert_eq!(doc.get("trace_id").and_then(Json::as_u64), Some(id));
+        assert_eq!(
+            doc.get("case").and_then(Json::as_str),
+            Some("service/z2s3w2")
+        );
+
+        // The attribution fractions cover the busy time exactly.
+        let attr = doc.get("attribution").expect("attribution document");
+        let fraction = |key: &str| attr.get(key).and_then(Json::as_f64).unwrap();
+        let total = fraction("compute_fraction")
+            + fraction("barrier_fraction")
+            + fraction("claim_fraction");
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+        assert!(fraction("compute_fraction") > 0.0);
+
+        // The measured-vs-modeled check ran: the model plugs the
+        // measured mean sync cost into perfmodel's Table 1 machinery.
+        let check = attr.get("model_check").expect("model check present");
+        let measured = check
+            .get("measured_fraction")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let modeled = check
+            .get("modeled_fraction")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(measured > 0.0 && measured.is_finite());
+        assert!(modeled > 0.0 && modeled.is_finite());
+
+        // Per-kernel: at least one kernel's measured overhead agrees
+        // with the modeled overhead within the documented factor-of-3
+        // tolerance (the acceptance check tying the flight recorder to
+        // Table 1).
+        let kernels = doc.get("kernels").and_then(Json::as_array).unwrap();
+        assert!(!kernels.is_empty(), "run must attribute to kernels");
+        agreed = kernels.iter().any(|k| {
+            let m = k
+                .get("overhead_measured")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let p = k
+                .get("overhead_modeled")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            m > 0.0 && p > 0.0 && m / p <= 3.0 && p / m <= 3.0
+        });
+        last_doc = doc;
+        if agreed {
+            break;
+        }
+    }
+    assert!(
+        agreed,
+        "no kernel within the documented 3x tolerance in any run: {}",
+        last_doc.to_pretty_string()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn solve_trace_chrome_download_is_valid_and_monotone() {
+    let server = small_server();
+    let addr = server.addr();
+    let id = solve_trace_id(
+        addr,
+        r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "dynamic", "chunk": 2}"#,
+    );
+
+    let reply = get(addr, &format!("/v1/trace/{id}?trace=chrome"));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = reply.json();
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(events.len() > 4, "trace should carry real slices");
+    // `ts` is monotone per worker track — what chrome://tracing needs.
+    let mut last: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("M") {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap();
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        if let Some(&prev) = last.get(&tid) {
+            assert!(ts >= prev, "tid {tid}: ts {ts} < {prev}");
+        }
+        last.insert(tid, ts);
+    }
+    // The summary block makes the download self-describing.
+    assert!(doc.get("summary").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn trace_endpoint_rejects_unknowns_cleanly() {
+    let server = small_server();
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/v1/trace/999999").status, 404);
+    assert_eq!(get(addr, "/v1/trace/abc").status, 400);
+    assert_eq!(
+        send_raw(
+            addr,
+            "POST /v1/trace/1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+        )
+        .status,
+        405
+    );
+    let id = solve_trace_id(addr, r#"{"zones": 1, "steps": 1}"#);
+    assert_eq!(get(addr, &format!("/v1/trace/{id}?trace=svg")).status, 400);
+    // Every error body is JSON with an `error` key.
+    assert!(get(addr, "/v1/trace/999999").json().get("error").is_some());
+
+    // Trace ids are unique across solves.
+    let other = solve_trace_id(addr, r#"{"zones": 1, "steps": 1}"#);
+    assert_ne!(id, other);
+    // The trace endpoint has its own request counter.
+    let metrics = get(addr, "/metrics").json();
+    let traces = metrics
+        .get("endpoints")
+        .unwrap()
+        .get("trace")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(traces >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_histograms_fill_under_traffic() {
+    let server = small_server();
+    let addr = server.addr();
+    let reply = post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#);
+    assert_eq!(reply.status, 200);
+    let _ = get(addr, "/metrics");
+
+    let metrics = get(addr, "/metrics").json();
+    let latency = metrics.get("latency_ms").expect("latency histogram");
+    assert!(latency.get("count").and_then(Json::as_u64).unwrap() >= 2);
+    assert!(latency.get("p50").unwrap().as_f64().is_some());
+    let buckets = latency.get("buckets").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        buckets.last().unwrap().get("le").and_then(Json::as_str),
+        Some("+Inf")
+    );
+    // Cumulative counts are non-decreasing.
+    let counts: Vec<u64> = buckets
+        .iter()
+        .map(|b| b.get("count").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+
+    let depths = metrics.get("queue_depths").expect("queue-depth histogram");
+    assert!(depths.get("count").and_then(Json::as_u64).unwrap() >= 1);
+    server.shutdown();
+}
+
 #[test]
 fn stress_small_shard_slices_under_concurrent_load() {
     // A repeat-run stress smoke: many small mixed requests against

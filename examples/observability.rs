@@ -4,6 +4,13 @@
 //! two share one schema, so model-vs-measurement drift is directly
 //! diffable.
 //!
+//! The same run also flies with the per-worker flight recorder on: the
+//! example prints the overhead-attribution table (compute vs barrier vs
+//! claim time, measured against the Table 1 model) and writes a Chrome
+//! trace-event file of the full three-level nest (step → kernel spans →
+//! per-worker chunk slices) that `chrome://tracing` or Perfetto opens
+//! directly.
+//!
 //! ```text
 //! cargo run --release --example observability
 //! ```
@@ -11,7 +18,10 @@
 use f3d::multizone::MultiZoneSolver;
 use f3d::solver::SolverConfig;
 use f3d::trace;
-use llp::{ObsReport, SpanNode, Workers};
+use llp::obs::attr::kernel_overheads;
+use llp::obs::chrome::chrome_trace_with_summary;
+use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
+use llp::{AttributionReport, FlightRecorder, ObsReport, SpanNode, Workers};
 use mesh::MultiZoneGrid;
 
 fn print_tree(node: &SpanNode, depth: usize) {
@@ -51,11 +61,14 @@ fn summarize(title: &str, report: &ObsReport) {
 fn main() {
     let grid = MultiZoneGrid::small_test_case();
 
-    // Measured: run the real solver with the recorder enabled.
+    // Measured: run the real solver with the span recorder *and* the
+    // per-worker flight recorder enabled.
     let mut solver = MultiZoneSolver::from_grid(&grid, SolverConfig::subsonic(), 0.3);
-    let workers = Workers::recorded(4);
+    let mut workers = Workers::recorded(4);
+    workers.set_flight(FlightRecorder::enabled(4, DEFAULT_EVENT_CAPACITY));
     solver.step_loop_level(&workers, None);
     let measured = workers.recorder().take_report("small_test_case", 4);
+    let timeline = workers.flight().take_timeline();
     summarize("measured (one step, 4 workers)", &measured);
 
     // Modeled: execute the analytic step trace on the machine model and
@@ -88,6 +101,68 @@ fn main() {
             if k.parallelized { "yes" } else { "no" },
         );
     }
+    // Flight-recorder view of the same step: where did each worker's
+    // time actually go, and does the measured overhead agree with the
+    // paper's Table 1 formula?
+    let attr = AttributionReport::from_timeline(&timeline);
+    println!("== overhead attribution (flight recorder) ==");
+    println!(
+        "regions={} compute={:.1}% barrier={:.1}% claim={:.1}% imbalance={:.2}",
+        attr.regions.len(),
+        attr.compute_fraction() * 100.0,
+        attr.barrier_fraction() * 100.0,
+        attr.claim_fraction() * 100.0,
+        attr.imbalance(),
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>7} {:>7}",
+        "lane", "compute (ms)", "barrier (ms)", "claim (ms)", "chunks", "misses"
+    );
+    for w in &attr.workers {
+        println!(
+            "{:<6} {:>12.3} {:>12.3} {:>12.3} {:>7} {:>7}",
+            w.lane,
+            w.compute_ns as f64 / 1e6,
+            w.barrier_ns as f64 / 1e6,
+            w.claim_ns as f64 / 1e6,
+            w.chunks,
+            w.claim_misses,
+        );
+    }
+    if let Some(check) = attr.model_check() {
+        println!(
+            "model check: measured sync fraction {:.3} vs Table 1 modeled {:.3} \
+             (mean sync {:.1} us/region, {:.1} lanes)",
+            check.measured_fraction,
+            check.modeled_fraction,
+            check.sync_cost_ns / 1e3,
+            check.mean_lanes,
+        );
+    }
+    println!(
+        "\n{:<18} {:>8} {:>10} {:>10}",
+        "kernel", "regions", "measured", "modeled"
+    );
+    for o in kernel_overheads(&measured, &attr) {
+        println!(
+            "{:<18} {:>8} {:>9.1}% {:>9.1}%",
+            o.kernel,
+            o.regions,
+            o.overhead_measured * 100.0,
+            o.overhead_modeled * 100.0,
+        );
+    }
+
+    // Dump the three-level nest (step -> kernel spans -> per-worker
+    // chunk slices) as a Chrome trace-event file.
+    let trace_path = std::env::temp_dir().join("llp_observability_trace.json");
+    let chrome = chrome_trace_with_summary(&timeline, &attr);
+    std::fs::write(&trace_path, chrome.to_pretty_string()).expect("write chrome trace");
+    println!(
+        "\nwrote Chrome trace to {} (open in chrome://tracing or Perfetto)",
+        trace_path.display()
+    );
+
     println!("\nFull JSON report (schema v{}):", measured.schema_version);
     println!("{}", measured.to_json_string());
 }
