@@ -1,0 +1,123 @@
+//! `tune_sweep` — default vs tuned vs modeled cost per kernel, swept
+//! over pool widths.
+//!
+//! For each pool width in 1/2/4/8 this runs a measured-mode
+//! calibration ([`tune::calibrate`]) over the F3D service case and
+//! reports, per parallel kernel, the default configuration's median
+//! cost, the tuned winner's median cost, and the analytic model's
+//! prediction for the winner (stair-step makespan plus the measured
+//! mean sync cost). The selection invariant — the tuned config never
+//! measures worse than the default — is asserted for every row before
+//! the report is written.
+//!
+//! ```text
+//! tune_sweep [--zones N] [--steps N] [--trials K] [OUTPUT.json]
+//! ```
+//!
+//! Output defaults to `BENCH_tune.json`; the JSON is also printed to
+//! stdout (schema pinned by `crates/bench/tests/tune_schema.rs`).
+
+use llp::obs::json::Json;
+use llp::Workers;
+use tune::{calibrate, CalibrationSpec, TuneDb};
+
+/// Pool widths the sweep calibrates, per the bench contract.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn entry_json(e: &tune::TuneEntry) -> Json {
+    let mut pairs = vec![
+        ("kernel", Json::Str(e.kernel.clone())),
+        ("workers", Json::from_usize(e.workers)),
+        ("schedule", Json::str(e.schedule.name())),
+    ];
+    if let Some(chunk) = e.schedule.chunk_param() {
+        pairs.push(("chunk", Json::from_usize(chunk)));
+    }
+    pairs.extend([
+        ("iterations", Json::from_u64(e.iterations)),
+        ("candidates_tried", Json::from_usize(e.candidates_tried)),
+        ("default_cost_ns", Json::from_u64(e.default_cost_ns)),
+        ("tuned_cost_ns", Json::from_u64(e.measured_cost_ns)),
+        ("modeled_cost_ns", Json::from_u64(e.modeled_cost_ns)),
+        ("model_agrees", Json::Bool(e.model_agrees)),
+    ]);
+    Json::object(pairs)
+}
+
+fn sweep_json(width: usize, db: &TuneDb) -> Json {
+    Json::object(vec![
+        ("pool_width", Json::from_usize(width)),
+        ("sync_cost_ns", Json::from_u64(db.sync_cost_ns)),
+        (
+            "kernels",
+            Json::Array(db.entries.iter().map(entry_json).collect()),
+        ),
+    ])
+}
+
+/// Run the full sweep and assemble the report.
+///
+/// Panics if any tuned configuration measures worse than the default —
+/// measured-mode selection guarantees it cannot, so a violation is a
+/// calibration bug, not a noisy machine.
+fn sweep(spec: &CalibrationSpec) -> Json {
+    let sweeps: Vec<Json> = WORKER_COUNTS
+        .iter()
+        .map(|&width| {
+            let pool = Workers::new(width);
+            let db = calibrate(&pool, spec).expect("calibration failed");
+            for e in &db.entries {
+                assert!(
+                    e.measured_cost_ns <= e.default_cost_ns,
+                    "tuned config for {} at width {width} measured {} ns, worse than default {} ns",
+                    e.kernel,
+                    e.measured_cost_ns,
+                    e.default_cost_ns
+                );
+            }
+            eprintln!(
+                "tune_sweep: width {width}: {} kernels calibrated, sync cost {} ns",
+                db.entries.len(),
+                db.sync_cost_ns
+            );
+            sweep_json(width, &db)
+        })
+        .collect();
+    Json::object(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("bench", Json::Str("tune_sweep".into())),
+        ("zones", Json::from_usize(spec.zones)),
+        ("steps", Json::from_usize(spec.steps)),
+        ("trials", Json::from_usize(spec.trials)),
+        (
+            "worker_counts",
+            Json::Array(WORKER_COUNTS.iter().map(|&p| Json::from_usize(p)).collect()),
+        ),
+        ("sweeps", Json::Array(sweeps)),
+    ])
+}
+
+fn main() {
+    let args = bench::BenchArgs::from_env(&["zones", "steps", "trials"], "BENCH_tune.json");
+    let spec = CalibrationSpec {
+        zones: args.positive_usize("zones", 1).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        steps: args.positive_usize("steps", 2).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        trials: args.positive_usize("trials", 3).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        deterministic: false,
+    };
+    let out_path = args.output();
+    let json = sweep(&spec);
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(out_path, &text).expect("write tune report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,89 @@
+//! Schema validation for the `tune_sweep` JSON report: runs the sweep
+//! (minimal case, real calibrations) and pins the versioned structure
+//! that future autotuner PRs regress against — including the
+//! tuned-never-worse-than-default invariant the binary asserts.
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_tune_sweep() -> Json {
+    let out_path = format!("{}/tune_schema_test.json", env!("CARGO_TARGET_TMPDIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_tune_sweep"))
+        .args(["--zones", "1", "--steps", "1", "--trials", "1", &out_path])
+        .output()
+        .expect("run tune_sweep");
+    assert!(
+        out.status.success(),
+        "tune_sweep exited {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1() {
+    let report = run_tune_sweep();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("tune_sweep")
+    );
+    assert_eq!(report.get("zones").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("steps").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("trials").and_then(Json::as_u64), Some(1));
+    let counts: Vec<u64> = report
+        .get("worker_counts")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(counts, [1, 2, 4, 8]);
+
+    let sweeps = report.get("sweeps").and_then(Json::as_array).unwrap();
+    assert_eq!(sweeps.len(), 4, "one sweep per pool width");
+    for (sweep, expected_width) in sweeps.iter().zip([1u64, 2, 4, 8]) {
+        assert_eq!(
+            sweep.get("pool_width").and_then(Json::as_u64),
+            Some(expected_width)
+        );
+        assert!(sweep.get("sync_cost_ns").and_then(Json::as_u64).is_some());
+        let kernels = sweep.get("kernels").and_then(Json::as_array).unwrap();
+        // The F3D service case has six parallel kernels; all calibrate.
+        assert_eq!(kernels.len(), 6);
+        let mut names: Vec<&str> = Vec::new();
+        for k in kernels {
+            names.push(k.get("kernel").and_then(Json::as_str).unwrap());
+            let workers = k.get("workers").and_then(Json::as_u64).unwrap();
+            assert!((1..=expected_width).contains(&workers));
+            let schedule = k.get("schedule").and_then(Json::as_str).unwrap();
+            assert!(["static", "dynamic", "guided"].contains(&schedule));
+            if schedule == "static" {
+                assert!(k.get("chunk").is_none(), "static rows carry no chunk");
+            } else {
+                assert!(k.get("chunk").and_then(Json::as_u64).unwrap() >= 1);
+            }
+            assert!(k.get("iterations").and_then(Json::as_u64).unwrap() > 0);
+            assert!(k.get("candidates_tried").and_then(Json::as_u64).unwrap() >= 1);
+            let tuned = k.get("tuned_cost_ns").and_then(Json::as_u64).unwrap();
+            let default = k.get("default_cost_ns").and_then(Json::as_u64).unwrap();
+            assert!(
+                tuned <= default,
+                "{}: tuned {} ns worse than default {} ns",
+                names.last().unwrap(),
+                tuned,
+                default
+            );
+            assert!(k.get("modeled_cost_ns").and_then(Json::as_u64).is_some());
+            assert!(k.get("model_agrees").and_then(Json::as_bool).is_some());
+        }
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "kernels are sorted by name");
+    }
+}

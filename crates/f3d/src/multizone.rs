@@ -115,6 +115,19 @@ impl MultiZoneSolver {
     /// One time step, pure loop-level parallelism: zones stepped one
     /// after another, all workers inside each zone's loops.
     pub fn step_loop_level(&mut self, workers: &Workers, profiler: Option<&LoopProfiler>) {
+        self.step_loop_level_scheduled(workers, profiler, None);
+    }
+
+    /// [`MultiZoneSolver::step_loop_level`] with per-kernel scheduling
+    /// overrides threaded to every zone's stepper (see
+    /// [`RiscStepper::step_scheduled`]). The serial `inject` kernel has
+    /// no parallel region and takes no override.
+    pub fn step_loop_level_scheduled(
+        &mut self,
+        workers: &Workers,
+        profiler: Option<&LoopProfiler>,
+        schedules: Option<&llp::ScheduleMap>,
+    ) {
         let rec = workers.recorder().clone();
         let _step = rec.span("step", SpanKind::Step);
         for (i, (zone, stepper)) in self
@@ -124,7 +137,7 @@ impl MultiZoneSolver {
             .enumerate()
         {
             let _zone = rec.span(&self.names[i], SpanKind::Zone);
-            stepper.step(zone, &self.bcs[i], workers, profiler);
+            stepper.step_scheduled(zone, &self.bcs[i], workers, profiler, schedules);
         }
         let _inject = rec.span("inject", SpanKind::Kernel);
         self.inject_all();

@@ -32,7 +32,10 @@ use crate::solver::{
     SolverConfig, ZoneSolver,
 };
 use llp::obs::SpanKind;
-use llp::{doacross_into_scratch, doacross_slabs, doacross_slabs_scratch, LoopProfiler, Workers};
+use llp::{
+    doacross_into_scratch, doacross_slabs, doacross_slabs_scratch, LoopProfiler, ScheduleMap,
+    Workers,
+};
 use mesh::{Arrangement, Axis, Ijk, Layout, Metrics, StateField, NCONS};
 use std::time::Instant;
 
@@ -97,6 +100,31 @@ impl RiscStepper {
         workers: &Workers,
         profiler: Option<&LoopProfiler>,
     ) {
+        self.step_scheduled(zone, bcs, workers, profiler, None);
+    }
+
+    /// [`RiscStepper::step`] with per-kernel scheduling overrides: each
+    /// parallel phase runs on a [`Workers::kernel_view`] carrying the
+    /// worker count and policy `schedules` maps its kernel name to
+    /// (`rhs`, `j_factor`, `k_factor`, `l_factor_solve`,
+    /// `l_factor_scatter`, `update`), falling back to `workers`'s own
+    /// configuration for unmapped kernels. Numerics are invariant to
+    /// the overrides — only the performance shape changes.
+    pub fn step_scheduled(
+        &mut self,
+        zone: &mut ZoneSolver,
+        bcs: &ZoneBcs,
+        workers: &Workers,
+        profiler: Option<&LoopProfiler>,
+        schedules: Option<&ScheduleMap>,
+    ) {
+        // Every kernel runs on a kernel_view — uniform, so the sync
+        // accounting (shared local counters) is identical whether or
+        // not any override applies.
+        let kernel_pool = |name: &str| match schedules.and_then(|m| m.get(name)) {
+            Some((p, policy)) => workers.kernel_view(p, policy),
+            None => workers.kernel_view(workers.processors(), workers.policy()),
+        };
         let d = zone.dims();
         let (jmax, kmax, lmax) = (d.j, d.k, d.l);
         let eps2 = zone.config.eps2;
@@ -121,8 +149,9 @@ impl RiscStepper {
         let t = Instant::now();
         {
             let _span = rec.span("rhs", SpanKind::Kernel);
+            let kw = kernel_pool("rhs");
             let zone_ref: &ZoneSolver = zone;
-            doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
+            doacross_slabs(&kw, self.rhs.as_mut_slice(), slab, |l, slab_data| {
                 for k in 0..kmax {
                     for j in 0..jmax {
                         let p = Ijk::new(j, k, l);
@@ -149,9 +178,10 @@ impl RiscStepper {
         let t = Instant::now();
         {
             let _span = rec.span("j_factor", SpanKind::Kernel);
+            let kw = kernel_pool("j_factor");
             let zone_ref: &ZoneSolver = zone;
             doacross_slabs_scratch(
-                workers,
+                &kw,
                 self.rhs.as_mut_slice(),
                 slab,
                 || PencilScratch::new(max_pencil),
@@ -183,9 +213,10 @@ impl RiscStepper {
         let t = Instant::now();
         {
             let _span = rec.span("k_factor", SpanKind::Kernel);
+            let kw = kernel_pool("k_factor");
             let zone_ref: &ZoneSolver = zone;
             doacross_slabs_scratch(
-                workers,
+                &kw,
                 self.rhs.as_mut_slice(),
                 slab,
                 || PencilScratch::new(max_pencil),
@@ -220,10 +251,11 @@ impl RiscStepper {
         solutions.resize(kmax, Vec::new());
         {
             let _span = rec.span("l_factor_solve", SpanKind::Kernel);
+            let kw = kernel_pool("l_factor_solve");
             let zone_ref: &ZoneSolver = zone;
             let rhs_ref: &StateField = &self.rhs;
             doacross_into_scratch(
-                workers,
+                &kw,
                 &mut solutions,
                 || PencilScratch::new(max_pencil),
                 |k, s| {
@@ -252,8 +284,9 @@ impl RiscStepper {
         let t = Instant::now();
         {
             let _span = rec.span("l_factor_scatter", SpanKind::Kernel);
+            let kw = kernel_pool("l_factor_scatter");
             let solutions_ref: &[Vec<[f64; NCONS]>] = &solutions;
-            doacross_slabs(workers, self.rhs.as_mut_slice(), slab, |l, slab_data| {
+            doacross_slabs(&kw, self.rhs.as_mut_slice(), slab, |l, slab_data| {
                 for k in 1..kmax - 1 {
                     for j in 1..jmax - 1 {
                         let v = solutions_ref[k][(j - 1) * lmax + l];
@@ -270,8 +303,9 @@ impl RiscStepper {
         let t = Instant::now();
         {
             let _span = rec.span("update", SpanKind::Kernel);
+            let kw = kernel_pool("update");
             let rhs_ref: &StateField = &self.rhs;
-            doacross_slabs(workers, zone.q.as_mut_slice(), slab, |l, slab_data| {
+            doacross_slabs(&kw, zone.q.as_mut_slice(), slab, |l, slab_data| {
                 if l == 0 || l == lmax - 1 {
                     return;
                 }

@@ -142,6 +142,23 @@ pub struct ServiceRun {
 /// # Errors
 /// Returns the [`ServiceCase::validate`] error for out-of-bounds cases.
 pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
+    run_scheduled(case, pool, None)
+}
+
+/// [`run`] with per-kernel scheduling overrides: kernels named in
+/// `schedules` execute on a [`Workers::kernel_view`] carrying their
+/// tuned worker count and policy, everything else falls back to the
+/// case's configuration. This is the `"schedule": "auto"` path — the
+/// serve layer resolves a tune database into a [`llp::ScheduleMap`]
+/// and the results stay bit-exact with any other configuration.
+///
+/// # Errors
+/// Returns the [`ServiceCase::validate`] error for out-of-bounds cases.
+pub fn run_scheduled(
+    case: &ServiceCase,
+    pool: &Workers,
+    schedules: Option<&llp::ScheduleMap>,
+) -> Result<ServiceRun, String> {
     case.validate()?;
     // The case's scheduling policy governs every doacross region of the
     // run; the view shares the caller pool's counters and recorder.
@@ -168,7 +185,7 @@ pub fn run(case: &ServiceCase, pool: &Workers) -> Result<ServiceRun, String> {
     let sync_before = pool.local_sync_event_count();
     let mut residuals = ResidualHistory::new();
     for _ in 0..case.steps {
-        solver.step_loop_level(pool, None);
+        solver.step_loop_level_scheduled(pool, None, schedules);
         residuals.push(solver.freestream_deviation());
     }
     let sync_events = pool.local_sync_event_count() - sync_before;
@@ -318,6 +335,30 @@ mod tests {
             .label(),
             "service/z2s3w2-gui2"
         );
+    }
+
+    #[test]
+    fn per_kernel_schedules_stay_bit_exact_and_bill_the_run() {
+        let base = ServiceCase {
+            zones: 2,
+            steps: 3,
+            workers: 2,
+            schedule: Policy::Static,
+        };
+        let reference = run(&base, &Workers::new(2)).unwrap();
+        let mut map = llp::ScheduleMap::new();
+        map.set("rhs", 1, Policy::Dynamic { chunk: 2 });
+        map.set("update", 2, Policy::Guided { min_chunk: 1 });
+        map.set("l_factor_solve", 2, Policy::Dynamic { chunk: 1 });
+        let tuned = run_scheduled(&base, &Workers::new(2), Some(&map)).unwrap();
+        // Numerics are invariant to per-kernel overrides...
+        assert_eq!(reference.residuals, tuned.residuals);
+        assert_eq!(reference.checksums, tuned.checksums);
+        assert_eq!(reference.drag, tuned.drag);
+        assert_eq!(reference.lift, tuned.lift);
+        // ...and so is the sync bill: the kernel views share the
+        // request view's local counters, one event per region.
+        assert_eq!(reference.sync_events, tuned.sync_events);
     }
 
     #[test]

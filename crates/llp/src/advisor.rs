@@ -42,6 +42,35 @@ pub enum LoopDecision {
     NoParallelism,
 }
 
+/// A per-loop configuration measured by an autotuner (the `tune`
+/// crate's database): the configuration that actually won a
+/// calibration sweep, with its measured and modeled costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredChoice {
+    /// Measured-best worker count.
+    pub workers: usize,
+    /// Measured-best schedule.
+    pub schedule: Policy,
+    /// Median measured cost of the winning configuration, nanoseconds.
+    pub measured_cost_ns: u64,
+    /// The analytic model's predicted cost for the same configuration,
+    /// nanoseconds.
+    pub modeled_cost_ns: u64,
+}
+
+/// A [`MeasuredChoice`] attached to a loop's advice, with the verdict
+/// of confronting it against the purely analytic recommendation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredAdvice {
+    /// The autotuner's winning configuration for this loop.
+    pub choice: MeasuredChoice,
+    /// Whether the measured schedule matches the analytic
+    /// [`LoopAdvice::schedule`] recommendation. `false` is the
+    /// interesting case: the machine disagrees with the model, and the
+    /// measured answer is the one to trust.
+    pub agrees_with_analytic: bool,
+}
+
 /// Advice for one loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopAdvice {
@@ -55,6 +84,23 @@ pub struct LoopAdvice {
     /// ([`Policy::Static`] for loops left serial — the field is
     /// meaningful only alongside [`LoopDecision::Parallelize`]).
     pub schedule: Policy,
+    /// When an autotuner measurement covers this loop
+    /// ([`Advisor::advise_with_measured`]), the measured winner —
+    /// preferred over the analytic `schedule` — and whether the two
+    /// agree. `None` from the purely analytic [`Advisor::advise`].
+    pub measured: Option<MeasuredAdvice>,
+}
+
+impl LoopAdvice {
+    /// The schedule a caller should actually apply: the measured winner
+    /// when an autotuner entry covers this loop, the analytic
+    /// recommendation otherwise.
+    #[must_use]
+    pub fn preferred_schedule(&self) -> Policy {
+        self.measured
+            .as_ref()
+            .map_or(self.schedule, |m| m.choice.schedule)
+    }
 }
 
 /// Whole-program advice.
@@ -199,6 +245,7 @@ impl Advisor {
                 fraction_of_total: r.fraction_of_total,
                 schedule: self.recommend_schedule(r),
                 decision,
+                measured: None,
             });
         }
         Advice {
@@ -214,6 +261,31 @@ impl Advisor {
                 1.0
             },
         }
+    }
+
+    /// [`Advisor::advise`], then overlay measured autotuner entries:
+    /// any loop whose name appears in `measured` gets the measured
+    /// winner attached (and preferred, per
+    /// [`LoopAdvice::preferred_schedule`]), together with whether it
+    /// agrees with the analytic recommendation — the AutOMP-style
+    /// combination of static model and runtime measurement, reporting
+    /// both sides and their disagreement instead of hiding one.
+    #[must_use]
+    pub fn advise_with_measured(
+        &self,
+        reports: &[LoopReport],
+        measured: &[(String, MeasuredChoice)],
+    ) -> Advice {
+        let mut advice = self.advise(reports);
+        for l in &mut advice.loops {
+            if let Some((_, choice)) = measured.iter().find(|(name, _)| *name == l.name) {
+                l.measured = Some(MeasuredAdvice {
+                    agrees_with_analytic: choice.schedule == l.schedule,
+                    choice: choice.clone(),
+                });
+            }
+        }
+        advice
     }
 }
 
@@ -354,6 +426,44 @@ mod tests {
         // advise() carries the recommendation through.
         let advice = a.advise(&[uneven]);
         assert_eq!(advice.loops[0].schedule, Policy::Guided { min_chunk: 1 });
+    }
+
+    #[test]
+    fn measured_entries_overlay_and_report_disagreement() {
+        let a = advisor(32);
+        let reports = vec![
+            report("rhs", 10.0, 10, 70),     // analytic: Guided { min_chunk: 1 }
+            report("update", 90.0, 10, 320), // analytic: Static
+        ];
+        let measured = vec![(
+            "rhs".to_string(),
+            MeasuredChoice {
+                workers: 8,
+                schedule: Policy::Dynamic { chunk: 2 },
+                measured_cost_ns: 1_000,
+                modeled_cost_ns: 1_200,
+            },
+        )];
+        let advice = a.advise_with_measured(&reports, &measured);
+        let rhs = &advice.loops[0];
+        assert_eq!(rhs.name, "rhs");
+        // The analytic answer is still reported...
+        assert_eq!(rhs.schedule, Policy::Guided { min_chunk: 1 });
+        // ...but the measured winner is preferred, and the disagreement
+        // is called out.
+        let m = rhs.measured.as_ref().expect("measured entry attached");
+        assert!(!m.agrees_with_analytic);
+        assert_eq!(rhs.preferred_schedule(), Policy::Dynamic { chunk: 2 });
+        // Uncovered loops fall back to the analytic schedule.
+        let update = &advice.loops[1];
+        assert!(update.measured.is_none());
+        assert_eq!(update.preferred_schedule(), update.schedule);
+        // Plain advise() attaches nothing.
+        assert!(a
+            .advise(&reports)
+            .loops
+            .iter()
+            .all(|l| l.measured.is_none()));
     }
 
     #[test]

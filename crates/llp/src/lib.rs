@@ -40,6 +40,7 @@
 
 pub mod advisor;
 pub mod doacross;
+pub mod env;
 pub mod fusion;
 pub mod obs;
 pub mod pencil;
@@ -48,7 +49,7 @@ pub mod profile;
 pub mod schedule;
 pub mod teams;
 
-pub use advisor::{Advice, Advisor, LoopDecision};
+pub use advisor::{Advice, Advisor, LoopDecision, MeasuredAdvice, MeasuredChoice};
 pub use doacross::{
     doacross, doacross_into, doacross_into_scratch, doacross_reduce, doacross_slabs,
     doacross_slabs_scratch,
@@ -61,5 +62,5 @@ pub use obs::{
 pub use pencil::with_pencil_scratch;
 pub use pool::{default_worker_count, ChunkClaimer, Workers};
 pub use profile::{LoopProfiler, LoopReport};
-pub use schedule::{chunk_bounds, Policy, StaticSchedule};
+pub use schedule::{chunk_bounds, Policy, ScheduleMap, StaticSchedule};
 pub use teams::{partition_processors, Teams};

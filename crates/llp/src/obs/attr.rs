@@ -179,6 +179,12 @@ pub struct KernelOverhead {
     pub kernel: String,
     /// Regions attributed to this kernel.
     pub regions: u64,
+    /// Total wall nanoseconds of the paired regions (entry to barrier
+    /// completion) — the parallel cost an autotuner minimizes.
+    pub wall_ns: u64,
+    /// Total parallel-loop iterations across the paired regions; the
+    /// per-region mean is the `U` of the stair-step law.
+    pub iterations: u64,
     /// Total chunk-execution nanoseconds.
     pub compute_ns: u64,
     /// Total barrier-wait nanoseconds.
@@ -208,6 +214,8 @@ impl KernelOverhead {
         Json::object(vec![
             ("kernel", Json::Str(self.kernel.clone())),
             ("regions", Json::from_u64(self.regions)),
+            ("wall_ns", Json::from_u64(self.wall_ns)),
+            ("iterations", Json::from_u64(self.iterations)),
             ("compute_ns", Json::from_u64(self.compute_ns)),
             ("barrier_ns", Json::from_u64(self.barrier_ns)),
             ("claim_ns", Json::from_u64(self.claim_ns)),
@@ -515,6 +523,8 @@ pub fn kernel_overheads(report: &ObsReport, attr: &AttributionReport) -> Vec<Ker
                 rows.push(KernelOverhead {
                     kernel: kernel.clone(),
                     regions: 0,
+                    wall_ns: 0,
+                    iterations: 0,
                     compute_ns: 0,
                     barrier_ns: 0,
                     claim_ns: 0,
@@ -526,6 +536,8 @@ pub fn kernel_overheads(report: &ObsReport, attr: &AttributionReport) -> Vec<Ker
             }
         };
         row.regions += 1;
+        row.wall_ns += region.wall_ns;
+        row.iterations += region.iterations;
         row.compute_ns += region.compute_ns;
         row.barrier_ns += region.barrier_ns;
         row.claim_ns += region.claim_ns;
@@ -681,6 +693,8 @@ mod tests {
         assert_eq!(rows[1].kernel, "update");
         for row in &rows {
             assert_eq!(row.regions, 1);
+            assert_eq!(row.iterations, 10);
+            assert!(row.wall_ns >= row.compute_ns);
             assert!((0.0..=1.0).contains(&row.overhead_measured));
             assert!((0.0..=1.0).contains(&row.overhead_modeled));
         }

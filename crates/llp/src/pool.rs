@@ -225,6 +225,33 @@ impl Workers {
         }
     }
 
+    /// A per-kernel view of this view: `processors` workers (clamped to
+    /// this view's width) running under `policy`, sharing **both** the
+    /// pool-wide counters *and this view's local counters*.
+    ///
+    /// This is the autotuner's substitution point: a request-scoped
+    /// view hands each kernel call site a `kernel_view` carrying that
+    /// kernel's tuned configuration, and because the local counters are
+    /// shared (unlike [`Workers::sized_view`], which starts fresh ones)
+    /// the request's `local_sync_event_count` delta still bills every
+    /// region the kernels ran.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    #[must_use]
+    pub fn kernel_view(&self, processors: usize, policy: Policy) -> Self {
+        assert!(processors > 0, "worker count must be positive");
+        Self {
+            processors: processors.min(self.processors),
+            requested: processors,
+            counters: Arc::clone(&self.counters),
+            local: Arc::clone(&self.local),
+            recorder: self.recorder.clone(),
+            flight: self.flight.clone(),
+            policy,
+        }
+    }
+
     /// The team's span recorder (disabled unless enabled explicitly).
     #[must_use]
     pub fn recorder(&self) -> &Recorder {
@@ -340,18 +367,14 @@ fn flight_force_enabled() -> bool {
 
 /// The machine-default worker count: `LLP_WORKERS` when set to a
 /// positive integer, else [`std::thread::available_parallelism`],
-/// else 1. Values that fail to parse (or are zero) are ignored rather
-/// than panicking — a service must not die on a typo'd environment.
+/// else 1. Values that fail to parse (or are zero) are rejected with a
+/// stderr warning via [`crate::env::positive_usize`] rather than
+/// panicking — a service must not die on a typo'd environment.
 #[must_use]
 pub fn default_worker_count() -> usize {
-    if let Ok(v) = std::env::var("LLP_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    crate::env::positive_usize("LLP_WORKERS").unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
 }
 
 /// The atomic iteration-claim counter behind dynamic (self-scheduling)
@@ -563,6 +586,26 @@ mod tests {
         a.reset_counters();
         assert_eq!(a.local_sync_event_count(), 0);
         assert_eq!(b.sync_event_count(), 0);
+    }
+
+    #[test]
+    fn kernel_view_shares_local_counters() {
+        let pool = Workers::new(4);
+        let request = pool.sized_view(2);
+        let kernel = request.kernel_view(1, Policy::Dynamic { chunk: 1 });
+        assert_eq!(kernel.processors(), 1);
+        assert_eq!(kernel.policy(), Policy::Dynamic { chunk: 1 });
+        request.region(|_| {});
+        kernel.region(|_| {});
+        // The kernel view bills the *request's* local counter — the
+        // property that keeps a request's sync-event delta correct when
+        // kernels run under per-kernel tuned views.
+        assert_eq!(request.local_sync_event_count(), 2);
+        assert_eq!(pool.sync_event_count(), 2);
+        // Oversized kernel requests clamp like sized_view.
+        let wide = request.kernel_view(16, Policy::Static);
+        assert_eq!(wide.processors(), 2);
+        assert_eq!(wide.requested_processors(), 16);
     }
 
     #[test]

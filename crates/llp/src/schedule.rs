@@ -183,12 +183,17 @@ impl Policy {
     /// parameter are rejected with a message naming the fault.
     pub fn parse(name: &str, chunk: Option<usize>) -> Result<Self, String> {
         if chunk == Some(0) {
-            return Err("chunk must be a positive integer".to_string());
+            return Err(format!(
+                "invalid chunk 0 for schedule {name:?}: chunk must be a positive integer"
+            ));
         }
         match name {
             "static" => match chunk {
                 None => Ok(Policy::Static),
-                Some(_) => Err("static scheduling takes no chunk parameter".to_string()),
+                Some(c) => Err(format!(
+                    "schedule \"static\" takes no chunk parameter (got chunk {c}); \
+                     only \"dynamic\" and \"guided\" accept one"
+                )),
             },
             "dynamic" => Ok(Policy::Dynamic {
                 chunk: chunk.unwrap_or(1),
@@ -197,7 +202,7 @@ impl Policy {
                 min_chunk: chunk.unwrap_or(1),
             }),
             other => Err(format!(
-                "unknown schedule {other:?}: expected static, dynamic, or guided"
+                "unknown schedule {other:?}: expected one of \"static\", \"dynamic\", \"guided\""
             )),
         }
     }
@@ -240,6 +245,67 @@ impl Policy {
     #[must_use]
     pub fn scheduling_events(&self, n: usize, p: usize) -> usize {
         self.chunks(n, p).len()
+    }
+}
+
+/// Per-kernel `(worker count, policy)` overrides, keyed by kernel name —
+/// the shape an autotuner database resolves to and a solver consumes
+/// via [`crate::pool::Workers::kernel_view`].
+///
+/// Backed by a sorted `Vec`: kernel vocabularies are a handful of
+/// names, and the deterministic iteration order keeps reports stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleMap {
+    entries: Vec<(String, usize, Policy)>,
+}
+
+impl ScheduleMap {
+    /// An empty map (every kernel falls back to the caller's default).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the override for `kernel`, replacing any existing entry.
+    pub fn set(&mut self, kernel: &str, workers: usize, policy: Policy) {
+        match self
+            .entries
+            .binary_search_by(|(k, _, _)| k.as_str().cmp(kernel))
+        {
+            Ok(i) => {
+                self.entries[i].1 = workers;
+                self.entries[i].2 = policy;
+            }
+            Err(i) => self
+                .entries
+                .insert(i, (kernel.to_string(), workers, policy)),
+        }
+    }
+
+    /// The override for `kernel`, if any.
+    #[must_use]
+    pub fn get(&self, kernel: &str) -> Option<(usize, Policy)> {
+        self.entries
+            .binary_search_by(|(k, _, _)| k.as_str().cmp(kernel))
+            .ok()
+            .map(|i| (self.entries[i].1, self.entries[i].2))
+    }
+
+    /// Whether the map has no overrides.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of overrides.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate the overrides in kernel-name order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, usize, Policy)> {
+        self.entries.iter().map(|(k, w, p)| (k.as_str(), *w, *p))
     }
 }
 
@@ -468,5 +534,44 @@ mod tests {
         assert!(Policy::parse("static", Some(3)).is_err());
         assert!(Policy::parse("dynamic", Some(0)).is_err());
         assert!(Policy::parse("stochastic", None).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_token_and_the_accepted_set() {
+        // Unknown schedule: the message carries the offending token and
+        // every accepted name, so a 400 body is self-explanatory.
+        let err = Policy::parse("stochastic", None).unwrap_err();
+        assert!(err.contains("\"stochastic\""), "{err}");
+        for accepted in ["\"static\"", "\"dynamic\"", "\"guided\""] {
+            assert!(err.contains(accepted), "{err}");
+        }
+        // Chunk on static: names the schedule, the value, and who does
+        // accept a chunk.
+        let err = Policy::parse("static", Some(3)).unwrap_err();
+        assert!(err.contains("\"static\""), "{err}");
+        assert!(err.contains("chunk 3"), "{err}");
+        assert!(
+            err.contains("\"dynamic\"") && err.contains("\"guided\""),
+            "{err}"
+        );
+        // Zero chunk: names the value and the schedule it was given for.
+        let err = Policy::parse("guided", Some(0)).unwrap_err();
+        assert!(err.contains("chunk 0"), "{err}");
+        assert!(err.contains("\"guided\""), "{err}");
+    }
+
+    #[test]
+    fn schedule_map_sets_replaces_and_iterates_in_order() {
+        let mut m = ScheduleMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get("rhs"), None);
+        m.set("update", 4, Policy::Static);
+        m.set("rhs", 2, Policy::Dynamic { chunk: 1 });
+        m.set("rhs", 3, Policy::Guided { min_chunk: 2 });
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("rhs"), Some((3, Policy::Guided { min_chunk: 2 })));
+        assert_eq!(m.get("update"), Some((4, Policy::Static)));
+        let names: Vec<&str> = m.entries().map(|(k, _, _)| k).collect();
+        assert_eq!(names, ["rhs", "update"]);
     }
 }

@@ -110,6 +110,63 @@ proptest! {
         }
     }
 
+    /// Guided chunks shrink: each hand-out is no larger than the one
+    /// before it (the remaining/p rule is monotone in the remaining
+    /// work), and no chunk undercuts the `min_chunk` floor except the
+    /// final remainder.
+    #[test]
+    fn guided_chunks_never_grow(n in 1usize..5_000, p in 1usize..64, min_chunk in 1usize..50) {
+        let policy = Policy::Guided { min_chunk };
+        let chunks = policy.chunks(n, p);
+        for pair in chunks.windows(2) {
+            prop_assert!(
+                pair[1].len() <= pair[0].len(),
+                "guided chunk grew: {:?} then {:?} (n={}, p={}, min={})",
+                pair[0], pair[1], n, p, min_chunk
+            );
+        }
+        // Every chunk honors the floor; only the last may be the
+        // smaller remainder.
+        for (i, c) in chunks.iter().enumerate() {
+            if i + 1 < chunks.len() {
+                prop_assert!(c.len() >= min_chunk, "{:?} under floor {}", c, min_chunk);
+            }
+        }
+    }
+
+    /// Guided scheduling covers every iteration exactly once, in
+    /// order — the coverage contract a self-scheduled doacross region
+    /// relies on.
+    #[test]
+    fn guided_chunks_cover_exactly_once(n in 0usize..5_000, p in 1usize..64, min_chunk in 1usize..50) {
+        let chunks = Policy::Guided { min_chunk }.chunks(n, p);
+        let mut expect = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, expect, "gap or overlap before {:?}", c);
+            prop_assert!(c.end > c.start, "empty chunk {:?}", c);
+            expect = c.end;
+        }
+        prop_assert_eq!(expect, n, "iterations uncovered");
+        // The hand-out count is what `scheduling_events` charges for.
+        prop_assert_eq!(chunks.len(), Policy::Guided { min_chunk }.scheduling_events(n, p));
+    }
+
+    /// Guided degenerate inputs are total: `p = 0` and `n = 0` yield
+    /// no chunks (no work, no hand-outs), and `p > n` still tiles
+    /// without padding or empty chunks.
+    #[test]
+    fn guided_degenerate_inputs(n in 0usize..300, min_chunk in 0usize..8) {
+        let policy = Policy::Guided { min_chunk };
+        prop_assert!(policy.chunks(n, 0).is_empty());
+        prop_assert!(policy.chunks(0, 7).is_empty());
+        prop_assert_eq!(policy.ideal_makespan(n, 0), n);
+        // p far beyond n: coverage still exact, chunks never empty.
+        let oversubscribed = policy.chunks(n, n + 64);
+        prop_assert!(oversubscribed.iter().all(|c| c.end > c.start));
+        let covered: usize = oversubscribed.iter().map(std::ops::Range::len).sum();
+        prop_assert_eq!(covered, n);
+    }
+
     /// Team partitioning sums to the total with each team >= 1, and is
     /// monotone in the weights (a heavier team never gets fewer).
     #[test]

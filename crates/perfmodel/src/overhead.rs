@@ -91,6 +91,20 @@ impl OverheadBound {
         }
         self.sync_cost_cycles as f64 / (work_cycles as f64 / f64::from(processors))
     }
+
+    /// The largest processor count a loop with `work_cycles` of serial
+    /// work can use within this bound's budget — the Table 1 rule
+    /// inverted, as an autotuner needs it to prune candidate worker
+    /// counts ([`max_efficient_processors`] with this bound's `S` and
+    /// `f`). Returns 0 if even one processor cannot stay in budget.
+    #[must_use]
+    pub fn max_processors(&self, work_cycles: u64) -> u32 {
+        max_efficient_processors(
+            work_cycles,
+            self.sync_cost_cycles,
+            self.max_overhead_fraction,
+        )
+    }
 }
 
 /// Minimum single-processor work (in cycles) required for a parallelized
@@ -218,6 +232,8 @@ mod tests {
                 let w = min_work_for_overhead(s, p, 0.01);
                 assert_eq!(max_efficient_processors(w, s, 0.01), p);
                 assert_eq!(max_efficient_processors(w - 1, s, 0.01), p - 1);
+                // The bound's method form agrees with the free function.
+                assert_eq!(OverheadBound::paper_default(s).max_processors(w), p);
             }
         }
     }

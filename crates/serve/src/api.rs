@@ -10,7 +10,7 @@
 
 use f3d::service::{ServiceCase, ServiceRun};
 use f3d::validation::FieldChecksum;
-use llp::advisor::{Advice, Advisor, LoopDecision};
+use llp::advisor::{Advice, Advisor, LoopDecision, MeasuredAdvice};
 use llp::obs::attr::{kernel_overheads, KernelOverhead};
 use llp::obs::chrome::chrome_trace_with_summary;
 use llp::obs::json::Json;
@@ -20,6 +20,7 @@ use llp::Policy;
 use perfmodel::overhead::{OverheadBound, PAPER_OVERHEAD_FRACTION};
 use perfmodel::work_per_sync::{GridNest, LoopLevel};
 use perfmodel::{overhead_batch, stairstep_batch, work_per_sync_batch};
+use tune::{CalibrationSpec, TuneDb};
 
 /// Maximum loops one advise request may submit.
 pub const MAX_ADVISE_LOOPS: usize = 256;
@@ -52,18 +53,33 @@ fn require_finite(body: &Json, key: &str) -> Result<f64, String> {
 
 // ---------------------------------------------------------------- solve
 
+/// A parsed `POST /v1/solve` body: the bounded case, plus whether the
+/// client asked for `"schedule": "auto"` — per-kernel configurations
+/// resolved from the server's loaded tune database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveRequest {
+    /// The validated case to run.
+    pub case: ServiceCase,
+    /// `true` when the schedule was `"auto"`: the executor overlays
+    /// the tune database's per-kernel configurations (falling back to
+    /// the case defaults when no database is loaded).
+    pub auto: bool,
+}
+
 /// Parse a `POST /v1/solve` body into a bounded case. Omitted fields
 /// fall back to a small default case; `workers` defaults to
 /// `default_workers` (the shared pool's size). `schedule` selects the
 /// chunk-scheduling policy (`"static"`, `"dynamic"`, `"guided"`;
 /// default static) with `chunk` as the dynamic chunk size / guided
 /// floor — `chunk` is only meaningful for the self-scheduled policies
-/// and is rejected alongside `"static"`.
+/// and is rejected alongside `"static"`. `"schedule": "auto"` defers
+/// per-kernel configuration to the server's tune database and takes
+/// no chunk either.
 ///
 /// # Errors
 /// Unknown fields, mistyped values, and out-of-cap cases are rejected
 /// with a message naming the problem.
-pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<ServiceCase, String> {
+pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveRequest, String> {
     let body = Json::parse(text)?;
     parse_object(&body, &["zones", "steps", "workers", "schedule", "chunk"])?;
     let field = |key: &str, default: usize| match body.get(key) {
@@ -83,14 +99,26 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<ServiceCas
                 .ok_or("`chunk` must be a non-negative integer")?,
         ),
     };
+    let auto = schedule_name == "auto";
+    let schedule = if auto {
+        if let Some(c) = chunk {
+            return Err(format!(
+                "schedule \"auto\" takes no chunk parameter (got chunk {c}); \
+                 the tuned per-kernel configurations decide chunking"
+            ));
+        }
+        Policy::Static
+    } else {
+        Policy::parse(schedule_name, chunk)?
+    };
     let case = ServiceCase {
         zones: field("zones", 3)?,
         steps: field("steps", 4)?,
         workers: field("workers", default_workers)?,
-        schedule: Policy::parse(schedule_name, chunk)?,
+        schedule,
     };
     case.validate()?;
-    Ok(case)
+    Ok(SolveRequest { case, auto })
 }
 
 fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
@@ -125,11 +153,51 @@ pub fn trace_documents(run: &ServiceRun, trace_id: u64) -> (Json, Json) {
     (attribution, chrome)
 }
 
+/// Render the per-kernel configurations an `"auto"` solve resolved:
+/// which source decided (`"tune-db"` or, with no database loaded,
+/// `"default"`) and the exact worker count and schedule each kernel
+/// ran with.
+#[must_use]
+pub fn tuned_resolution(db: Option<&TuneDb>) -> Json {
+    match db {
+        None => Json::object(vec![
+            ("source", Json::str("default")),
+            ("kernels", Json::Array(Vec::new())),
+        ]),
+        Some(db) => Json::object(vec![
+            ("source", Json::str("tune-db")),
+            ("pool_width", Json::from_usize(db.pool_width)),
+            (
+                "kernels",
+                Json::Array(
+                    db.entries
+                        .iter()
+                        .map(|e| {
+                            let mut pairs = vec![
+                                ("kernel", Json::str(&e.kernel)),
+                                ("workers", Json::from_usize(e.workers)),
+                                ("schedule", Json::str(e.schedule.name())),
+                            ];
+                            if let Some(chunk) = e.schedule.chunk_param() {
+                                pairs.push(("chunk", Json::from_usize(chunk)));
+                            }
+                            Json::object(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
 /// Render a completed solver run as the `/v1/solve` response body.
 /// `trace_id` (when the executor retained a flight trace) tells the
 /// client where `GET /v1/trace/{id}` will find the breakdown.
+/// `tuned` (for `"auto"` solves) names the resolved per-kernel
+/// configurations ([`tuned_resolution`]); explicit solves pass
+/// [`Json::Null`].
 #[must_use]
-pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>) -> Json {
+pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json) -> Json {
     let mut case = vec![
         ("zones", Json::from_usize(run.case.zones)),
         ("steps", Json::from_usize(run.case.steps)),
@@ -165,6 +233,60 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>) -> Json {
         ("sync_events", Json::from_u64(run.sync_events)),
         ("report", run.report.to_json()),
         ("trace_id", trace_id.map_or(Json::Null, Json::from_u64)),
+        ("tuned", tuned),
+    ])
+}
+
+// ----------------------------------------------------------------- tune
+
+/// Parse a `POST /v1/tune` body: an optional object overriding the
+/// calibration case (`zones`, `steps`, `trials`); an empty body means
+/// the defaults. The `deterministic` flag is the server's to set (it
+/// follows the job-gate test hook), never the client's.
+///
+/// # Errors
+/// Unknown fields, mistyped values, and out-of-cap specs are rejected
+/// with a message naming the problem.
+pub fn parse_tune_body(text: &str) -> Result<CalibrationSpec, String> {
+    let mut spec = CalibrationSpec::default();
+    if text.trim().is_empty() {
+        return Ok(spec);
+    }
+    let body = Json::parse(text)?;
+    parse_object(&body, &["zones", "steps", "trials"])?;
+    let field = |key: &str, default: usize| match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    };
+    spec.zones = field("zones", spec.zones)?;
+    spec.steps = field("steps", spec.steps)?;
+    spec.trials = field("trials", spec.trials)?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Render the `GET /v1/tune` body: the calibration status (`"idle"`,
+/// `"calibrating"`, or `"ready"`) and the current database, if any.
+#[must_use]
+pub fn tune_status_response(status: &str, db: Option<&TuneDb>) -> Json {
+    Json::object(vec![
+        ("status", Json::str(status)),
+        ("db", db.map_or(Json::Null, TuneDb::to_json)),
+    ])
+}
+
+/// Render the immediate `POST /v1/tune` acknowledgement: calibration
+/// was accepted and runs in the background; poll `GET /v1/tune`.
+#[must_use]
+pub fn tune_started_response(spec: &CalibrationSpec) -> Json {
+    Json::object(vec![
+        ("status", Json::str("calibrating")),
+        ("zones", Json::from_usize(spec.zones)),
+        ("steps", Json::from_usize(spec.steps)),
+        ("trials", Json::from_usize(spec.trials)),
+        ("deterministic", Json::Bool(spec.deterministic)),
     ])
 }
 
@@ -311,7 +433,31 @@ fn decision_json(decision: &LoopDecision) -> Json {
     }
 }
 
-/// Render advice as the `/v1/advise` response body.
+fn measured_json(m: &MeasuredAdvice) -> Json {
+    let mut pairs = vec![
+        ("workers", Json::from_usize(m.choice.workers)),
+        ("schedule", Json::str(m.choice.schedule.name())),
+    ];
+    if let Some(chunk) = m.choice.schedule.chunk_param() {
+        pairs.push(("chunk", Json::from_usize(chunk)));
+    }
+    pairs.extend([
+        (
+            "measured_cost_ns",
+            Json::from_u64(m.choice.measured_cost_ns),
+        ),
+        ("modeled_cost_ns", Json::from_u64(m.choice.modeled_cost_ns)),
+        ("agrees_with_analytic", Json::Bool(m.agrees_with_analytic)),
+    ]);
+    Json::object(pairs)
+}
+
+/// Render advice as the `/v1/advise` response body. Loops covered by a
+/// tune-database entry additionally carry a `measured` block — the
+/// calibrated choice, its costs, and whether it agrees with the
+/// analytic `schedule` — and a `preferred_schedule` naming the
+/// schedule the measured entry (preferred over the analytic answer)
+/// selects.
 #[must_use]
 pub fn advise_response(advice: &Advice) -> Json {
     Json::object(vec![
@@ -330,6 +476,13 @@ pub fn advise_response(advice: &Advice) -> Json {
                         ];
                         if let Some(chunk) = l.schedule.chunk_param() {
                             pairs.push(("chunk", Json::from_usize(chunk)));
+                        }
+                        if let Some(m) = &l.measured {
+                            pairs.push(("measured", measured_json(m)));
+                            pairs.push((
+                                "preferred_schedule",
+                                Json::str(l.preferred_schedule().name()),
+                            ));
                         }
                         Json::object(pairs)
                     })
@@ -524,9 +677,10 @@ mod tests {
 
     #[test]
     fn solve_body_defaults_and_caps() {
-        let case = parse_solve_body("{}", 4).unwrap();
+        let req = parse_solve_body("{}", 4).unwrap();
+        assert!(!req.auto);
         assert_eq!(
-            case,
+            req.case,
             ServiceCase {
                 zones: 3,
                 steps: 4,
@@ -534,9 +688,9 @@ mod tests {
                 schedule: Policy::Static,
             }
         );
-        let case = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
+        let req = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
         assert_eq!(
-            case,
+            req.case,
             ServiceCase {
                 zones: 2,
                 steps: 8,
@@ -554,14 +708,15 @@ mod tests {
 
     #[test]
     fn solve_body_selects_a_schedule() {
-        let case = parse_solve_body(r#"{"schedule": "dynamic", "chunk": 2}"#, 4).unwrap();
-        assert_eq!(case.schedule, Policy::Dynamic { chunk: 2 });
-        let case = parse_solve_body(r#"{"schedule": "dynamic"}"#, 4).unwrap();
-        assert_eq!(case.schedule, Policy::Dynamic { chunk: 1 });
-        let case = parse_solve_body(r#"{"schedule": "guided", "chunk": 3}"#, 4).unwrap();
-        assert_eq!(case.schedule, Policy::Guided { min_chunk: 3 });
-        let case = parse_solve_body(r#"{"schedule": "static"}"#, 4).unwrap();
-        assert_eq!(case.schedule, Policy::Static);
+        let req = parse_solve_body(r#"{"schedule": "dynamic", "chunk": 2}"#, 4).unwrap();
+        assert_eq!(req.case.schedule, Policy::Dynamic { chunk: 2 });
+        assert!(!req.auto);
+        let req = parse_solve_body(r#"{"schedule": "dynamic"}"#, 4).unwrap();
+        assert_eq!(req.case.schedule, Policy::Dynamic { chunk: 1 });
+        let req = parse_solve_body(r#"{"schedule": "guided", "chunk": 3}"#, 4).unwrap();
+        assert_eq!(req.case.schedule, Policy::Guided { min_chunk: 3 });
+        let req = parse_solve_body(r#"{"schedule": "static"}"#, 4).unwrap();
+        assert_eq!(req.case.schedule, Policy::Static);
         // chunk is a self-scheduling parameter: meaningless for static,
         // never zero, bounded by the case validation.
         assert!(parse_solve_body(r#"{"schedule": "static", "chunk": 2}"#, 4).is_err());
@@ -571,6 +726,82 @@ mod tests {
         assert!(parse_solve_body(r#"{"schedule": "fifo"}"#, 4).is_err());
         assert!(parse_solve_body(r#"{"schedule": 1}"#, 4).is_err());
         assert!(parse_solve_body(r#"{"schedule": "dynamic", "chunk": -3}"#, 4).is_err());
+    }
+
+    #[test]
+    fn solve_body_auto_defers_to_the_tune_db() {
+        let req = parse_solve_body(r#"{"schedule": "auto"}"#, 4).unwrap();
+        assert!(req.auto);
+        // The case itself carries the static default; the executor
+        // overlays the per-kernel configurations at run time.
+        assert_eq!(req.case.schedule, Policy::Static);
+        // auto takes no chunk, and the error says whose fault it is.
+        let err = parse_solve_body(r#"{"schedule": "auto", "chunk": 2}"#, 4).unwrap_err();
+        assert!(err.contains("auto"), "{err}");
+        assert!(err.contains("chunk 2"), "{err}");
+    }
+
+    #[test]
+    fn schedule_errors_name_the_token_and_the_accepted_set() {
+        let err = parse_solve_body(r#"{"schedule": "fifo"}"#, 4).unwrap_err();
+        assert!(err.contains("\"fifo\""), "{err}");
+        for accepted in ["static", "dynamic", "guided"] {
+            assert!(err.contains(accepted), "{err} missing {accepted}");
+        }
+        let err = parse_solve_body(r#"{"schedule": "static", "chunk": 4}"#, 4).unwrap_err();
+        assert!(err.contains("static"), "{err}");
+        assert!(err.contains("chunk 4"), "{err}");
+        let err = parse_solve_body(r#"{"schedule": "dynamic", "chunk": 0}"#, 4).unwrap_err();
+        assert!(err.contains("chunk 0"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn tune_body_defaults_overrides_and_caps() {
+        let spec = parse_tune_body("").unwrap();
+        assert_eq!(spec, CalibrationSpec::default());
+        let spec = parse_tune_body(r#"{"zones": 1, "steps": 3, "trials": 1}"#).unwrap();
+        assert_eq!((spec.zones, spec.steps, spec.trials), (1, 3, 1));
+        assert!(!spec.deterministic, "deterministic is the server's call");
+        assert!(parse_tune_body(r#"{"zones": 99}"#).is_err());
+        assert!(parse_tune_body(r#"{"trials": 0}"#).is_err());
+        assert!(parse_tune_body(r#"{"deterministic": true}"#).is_err());
+        assert!(parse_tune_body("[1]").is_err());
+    }
+
+    #[test]
+    fn tuned_resolution_names_source_and_kernels() {
+        let none = tuned_resolution(None);
+        assert_eq!(none.get("source").and_then(Json::as_str), Some("default"));
+        let db = TuneDb {
+            schema_version: tune::TUNE_SCHEMA_VERSION,
+            pool_width: 2,
+            zones: 1,
+            steps: 1,
+            trials: 1,
+            sync_cost_ns: 500,
+            entries: vec![tune::TuneEntry {
+                kernel: "rhs".to_string(),
+                workers: 2,
+                schedule: Policy::Dynamic { chunk: 2 },
+                iterations: 10,
+                candidates_tried: 4,
+                measured_cost_ns: 100,
+                default_cost_ns: 120,
+                modeled_cost_ns: 90,
+                model_agrees: true,
+            }],
+        };
+        let some = tuned_resolution(Some(&db));
+        assert_eq!(some.get("source").and_then(Json::as_str), Some("tune-db"));
+        let kernels = some.get("kernels").and_then(Json::as_array).unwrap();
+        assert_eq!(kernels[0].get("kernel").and_then(Json::as_str), Some("rhs"));
+        assert_eq!(kernels[0].get("workers").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            kernels[0].get("schedule").and_then(Json::as_str),
+            Some("dynamic")
+        );
+        assert_eq!(kernels[0].get("chunk").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

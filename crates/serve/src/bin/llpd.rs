@@ -1,19 +1,27 @@
 //! `llpd` — the llpserve daemon.
 //!
 //! ```text
-//! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N] [--deadline-secs N]
+//! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N]
+//!      [--deadline-secs N] [--tune-db PATH]
 //! ```
+//!
+//! `--tune-db` (or the `LLPD_TUNE_DB` environment variable) names a
+//! tune database to load at startup; `"schedule": "auto"` solves and
+//! `/v1/advise` resolve against it. A database that fails to load is
+//! warned about and skipped — the server still starts.
 //!
 //! Runs until SIGINT/SIGTERM, then drains in-flight work and exits.
 
 use serve::{signal, Server, ServerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:8080".to_string(),
         ..ServerConfig::default()
     };
+    let mut tune_db_path = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -47,27 +55,51 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "--deadline-secs must be an integer".to_string())?;
                 config.deadline = Duration::from_secs(secs);
             }
+            "--tune-db" => tune_db_path = Some(PathBuf::from(value("--tune-db")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N]"
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--tune-db PATH]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    Ok(config)
+    Ok((config, tune_db_path))
+}
+
+/// Load the startup tune database: the `--tune-db` flag wins, else
+/// `LLPD_TUNE_DB`. Load failures warn and fall back to serving
+/// untuned — a stale path must not keep the daemon down.
+fn load_tune_db(flag: Option<PathBuf>) -> Option<tune::TuneDb> {
+    let path = flag.or_else(|| llp::env::path("LLPD_TUNE_DB"))?;
+    match tune::TuneDb::load(&path) {
+        Ok(db) => {
+            eprintln!(
+                "llpd: loaded tune db {} ({} kernels, pool width {})",
+                path.display(),
+                db.entries.len(),
+                db.pool_width
+            );
+            Some(db)
+        }
+        Err(msg) => {
+            eprintln!("llpd: warning: {msg}; serving without a tune db");
+            None
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let (mut config, tune_db_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
     };
+    config.tune_db = load_tune_db(tune_db_path);
     let workers = config.workers;
     let server = match Server::start(config) {
         Ok(server) => server,
@@ -109,15 +141,30 @@ mod tests {
         .iter()
         .map(ToString::to_string)
         .collect();
-        let config = parse_args(&args).unwrap();
+        let (config, tune_db) = parse_args(&args).unwrap();
         assert_eq!(config.addr, "0.0.0.0:9999");
         assert_eq!(config.workers, 4);
         assert_eq!(config.shards, 2);
         assert_eq!(config.resolved_shards(), 2);
         assert_eq!(config.queue_capacity, 3);
+        assert!(tune_db.is_none());
         assert!(parse_args(&["--shards".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
         assert!(parse_args(&["--bogus".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string()]).is_err());
+    }
+
+    #[test]
+    fn tune_db_flag_parses_and_bad_paths_fall_back() {
+        let args: Vec<String> = ["--tune-db", "/tmp/db.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (_, path) = parse_args(&args).unwrap();
+        assert_eq!(path, Some(PathBuf::from("/tmp/db.json")));
+        assert!(parse_args(&["--tune-db".to_string()]).is_err());
+        // A missing file warns and serves untuned instead of dying.
+        assert!(load_tune_db(Some(PathBuf::from("/nonexistent/tune.json"))).is_none());
+        assert!(load_tune_db(None).is_none());
     }
 }

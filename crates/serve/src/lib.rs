@@ -7,8 +7,16 @@
 //! * `POST /v1/solve` — a bounded F3D multi-zone solver run
 //!   ([`f3d::service`]) returning residual history, force coefficients,
 //!   field checksums, and the run's observability span report;
+//!   `"schedule": "auto"` resolves per-kernel configurations from the
+//!   loaded tune database ([`tune`]) — bit-exact with the defaults,
+//!   only cheaper;
 //! * `POST /v1/advise` — §4-style parallelize-or-not advice
-//!   ([`llp::advisor`]) for a submitted loop profile;
+//!   ([`llp::advisor`]) for a submitted loop profile, overlaid with the
+//!   tune database's measured choices when kernels match;
+//! * `POST /v1/tune` — start a bounded background calibration
+//!   ([`tune::calibrate`]) on a dedicated pool slice (one at a time;
+//!   concurrent requests get 429); `GET /v1/tune` polls its status and
+//!   returns the current database;
 //! * `GET /v1/model/{stairstep,overhead,work_per_sync}` — batched
 //!   performance-model queries ([`perfmodel`]);
 //! * `GET /metrics` — service counters, request-latency and

@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const TRACKED_STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 500, 503];
 
 /// Request endpoint families, each with its own counter.
-pub const ENDPOINTS: [&str; 6] = ["solve", "advise", "model", "metrics", "trace", "other"];
+pub const ENDPOINTS: [&str; 7] = [
+    "solve", "advise", "model", "metrics", "trace", "tune", "other",
+];
 
 /// All service counters and gauges.
 #[derive(Debug)]

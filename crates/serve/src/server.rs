@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+use tune::{calibrate, CalibrationSpec, TuneDb};
 
 /// Default shard width used when [`ServerConfig::shards`] is 0 and
 /// `LLPD_SHARDS` is unset: the pool is cut into slices of this many
@@ -102,6 +103,11 @@ pub struct ServerConfig {
     /// computing it — exercises the panic-containment path exactly as a
     /// solver bug would.
     pub job_fault: Option<Arc<AtomicBool>>,
+    /// Tune database loaded at startup (`llpd --tune-db` /
+    /// `LLPD_TUNE_DB`): per-kernel configurations `"schedule": "auto"`
+    /// solves resolve against until a `POST /v1/tune` calibration
+    /// replaces it.
+    pub tune_db: Option<TuneDb>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +121,7 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024,
             job_gate: None,
             job_fault: None,
+            tune_db: None,
         }
     }
 }
@@ -126,14 +133,8 @@ impl ServerConfig {
     #[must_use]
     pub fn resolved_shards(&self) -> usize {
         let auto = || {
-            if let Ok(v) = std::env::var("LLPD_SHARDS") {
-                if let Ok(n) = v.trim().parse::<usize>() {
-                    if n > 0 {
-                        return n;
-                    }
-                }
-            }
-            self.workers.max(1) / DEFAULT_SHARD_WIDTH
+            llp::env::positive_usize("LLPD_SHARDS")
+                .unwrap_or_else(|| self.workers.max(1) / DEFAULT_SHARD_WIDTH)
         };
         let shards = if self.shards > 0 { self.shards } else { auto() };
         shards.clamp(1, self.workers.max(1))
@@ -226,8 +227,22 @@ impl Default for DrainEstimator {
 }
 
 enum JobKind {
-    Solve(f3d::service::ServiceCase),
+    Solve {
+        case: f3d::service::ServiceCase,
+        /// `"schedule": "auto"`: overlay the tune database's
+        /// per-kernel configurations.
+        auto: bool,
+    },
     Advise(Box<api::AdviseQuery>),
+}
+
+/// The autotuner's server-side state: whether a calibration is
+/// running (one at a time; concurrent requests get 429) and the
+/// current database — seeded from [`ServerConfig::tune_db`], replaced
+/// by each completed calibration.
+struct TuneState {
+    running: AtomicBool,
+    db: Mutex<Option<Arc<TuneDb>>>,
 }
 
 struct Job {
@@ -244,9 +259,17 @@ struct Shared {
     draining: AtomicBool,
     drain_rate: DrainEstimator,
     traces: TraceStore,
+    tune: TuneState,
     /// Monotone per-process request ids for the access log.
     request_seq: AtomicU64,
     config: ServerConfig,
+}
+
+impl Shared {
+    /// Snapshot the current tune database (cheap Arc clone).
+    fn tune_db(&self) -> Option<Arc<TuneDb>> {
+        lock_clean(&self.tune.db).clone()
+    }
 }
 
 /// A running `llpd` instance; dropping it without calling
@@ -279,6 +302,10 @@ impl Server {
             draining: AtomicBool::new(false),
             drain_rate: DrainEstimator::new(),
             traces: TraceStore::default(),
+            tune: TuneState {
+                running: AtomicBool::new(false),
+                db: Mutex::new(config.tune_db.clone().map(Arc::new)),
+            },
             request_seq: AtomicU64::new(1),
             config,
         });
@@ -431,9 +458,20 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
         );
     }
     match kind {
-        JobKind::Solve(case) => {
+        JobKind::Solve { case, auto } => {
             let view = slice.sized_view(case.workers);
-            match f3d::service::run(case, &view) {
+            // "auto": overlay the tune database's per-kernel
+            // configurations. The schedules only reorder work within
+            // each doacross region, so results stay bit-exact with the
+            // default path — the overlay changes cost, never answers.
+            let db = if *auto { shared.tune_db() } else { None };
+            let map = db.as_ref().map(|d| d.schedule_map());
+            let tuned = if *auto {
+                api::tuned_resolution(db.as_deref())
+            } else {
+                llp::obs::json::Json::Null
+            };
+            match f3d::service::run_scheduled(case, &view, map.as_ref()) {
                 Ok(run) => {
                     shared
                         .metrics
@@ -453,7 +491,7 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
                         });
                         Some(id)
                     };
-                    Response::ok(api::solve_response(&run, trace_id).to_string())
+                    Response::ok(api::solve_response(&run, trace_id, tuned).to_string())
                 }
                 // Validation happened at admission; anything left is an
                 // internal fault.
@@ -462,7 +500,14 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
         }
         JobKind::Advise(query) => {
             shared.metrics.job_executed();
-            let advice = query.advisor.advise(&query.reports);
+            // Measured tune-db entries overlay the analytic advice —
+            // the response reports both and their (dis)agreement.
+            let measured = shared
+                .tune_db()
+                .map_or_else(Vec::new, |db| db.measured_choices());
+            let advice = query
+                .advisor
+                .advise_with_measured(&query.reports, &measured);
             Response::ok(api::advise_response(&advice).to_string())
         }
     }
@@ -512,6 +557,10 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         "/metrics" => ("metrics", false),
         "/v1/solve" => ("solve", true),
         "/v1/advise" => ("advise", true),
+        // /v1/tune speaks both verbs: POST starts a calibration, GET
+        // polls its status. Expecting whichever of the two arrived
+        // still rejects every other method with 405.
+        "/v1/tune" => ("tune", request.method == "POST"),
         p if p.starts_with("/v1/model/") => ("model", false),
         p if p.starts_with("/v1/trace/") => ("trace", false),
         _ => ("other", false),
@@ -566,8 +615,29 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         "solve" => {
             let default_workers = shared.pool.processors().min(MAX_WORKERS);
             match api::parse_solve_body(&request.body, default_workers) {
-                Ok(case) => submit(shared, JobKind::Solve(case)),
+                Ok(req) => submit(
+                    shared,
+                    JobKind::Solve {
+                        case: req.case,
+                        auto: req.auto,
+                    },
+                ),
                 Err(msg) => Response::error(400, &msg),
+            }
+        }
+        "tune" => {
+            if request.method == "GET" {
+                let db = shared.tune_db();
+                let status = if shared.tune.running.load(Ordering::SeqCst) {
+                    "calibrating"
+                } else if db.is_some() {
+                    "ready"
+                } else {
+                    "idle"
+                };
+                Response::ok(api::tune_status_response(status, db.as_deref()).to_string())
+            } else {
+                start_calibration(shared, &request.body)
             }
         }
         "advise" => match api::parse_advise_body(&request.body) {
@@ -579,6 +649,51 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         // and dispatch ever drift apart.
         _ => Response::error(500, "internal error: unroutable endpoint"),
     }
+}
+
+/// `POST /v1/tune`: start a bounded background calibration.
+///
+/// At most one calibration runs at a time — a second request while one
+/// is in flight gets `429`. The calibration runs on a *dedicated*
+/// shard-width slice of the pool (its own thread, recorder, and flight
+/// rings — `calibrate` instruments its own view), so the executor
+/// shards keep serving while it measures. With the `job_gate` test
+/// hook installed the calibration honors the gate before starting and
+/// selects winners in deterministic (structural) mode, so tests can
+/// pin it mid-flight and reproduce its decisions exactly.
+fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "shutting down");
+    }
+    let spec = match api::parse_tune_body(body) {
+        Ok(spec) => CalibrationSpec {
+            deterministic: shared.config.job_gate.is_some(),
+            ..spec
+        },
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if shared.tune.running.swap(true, Ordering::SeqCst) {
+        return Response::error(429, "calibration already running").with_retry_after(1);
+    }
+    let shared = Arc::clone(shared);
+    thread::spawn(move || {
+        if let Some(gate) = &shared.config.job_gate {
+            drop(lock_clean(gate));
+        }
+        let width = (shared.pool.processors() / shared.shards).max(1);
+        let slice = shared.pool.sized_view(width);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| calibrate(&slice, &spec)));
+        match outcome {
+            Ok(Ok(db)) => {
+                *lock_clean(&shared.tune.db) = Some(Arc::new(db));
+            }
+            Ok(Err(msg)) => eprintln!("llpd: calibration failed: {msg}"),
+            Err(_) => eprintln!("llpd: calibration panicked"),
+        }
+        shared.tune.running.store(false, Ordering::SeqCst);
+    });
+    Response::ok(api::tune_started_response(&spec).to_string())
 }
 
 /// `Retry-After` for a rejection while `queued` jobs wait: everything

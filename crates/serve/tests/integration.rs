@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tune::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
 
 struct Reply {
     status: u16,
@@ -614,6 +615,326 @@ fn solve_is_bit_exact_across_shards_and_policies() {
         }
         server.shutdown();
     }
+}
+
+/// A hand-built tune database covering three of the six parallel
+/// kernels with deliberately varied configurations.
+fn sample_tune_db() -> TuneDb {
+    let entry = |kernel: &str, workers, schedule| TuneEntry {
+        kernel: kernel.to_string(),
+        workers,
+        schedule,
+        iterations: 10,
+        candidates_tried: 5,
+        measured_cost_ns: 80_000,
+        default_cost_ns: 95_000,
+        modeled_cost_ns: 78_000,
+        model_agrees: true,
+    };
+    TuneDb {
+        schema_version: TUNE_SCHEMA_VERSION,
+        pool_width: 2,
+        zones: 1,
+        steps: 1,
+        trials: 1,
+        sync_cost_ns: 900,
+        entries: vec![
+            entry("l_factor_solve", 2, Policy::Dynamic { chunk: 1 }),
+            entry("rhs", 1, Policy::Static),
+            entry("update", 2, Policy::Guided { min_chunk: 1 }),
+        ],
+    }
+}
+
+#[test]
+fn auto_solve_resolves_tuned_configs_and_stays_bit_exact() {
+    let case = f3d::service::ServiceCase {
+        zones: 2,
+        steps: 2,
+        workers: 2,
+        schedule: Policy::Static,
+    };
+    let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
+    let body = r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "auto"}"#;
+
+    // With a loaded db, "auto" applies the per-kernel overrides — and
+    // the answers are still bit-exact with the untuned direct run.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        tune_db: Some(sample_tune_db()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let reply = post(server.addr(), "/v1/solve", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let residuals: Vec<f64> = served
+        .get("residuals")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.as_f64().unwrap())
+        .collect();
+    assert_eq!(residuals, direct.residuals);
+    let forces = served.get("forces").unwrap();
+    assert_eq!(forces.get("drag").unwrap().as_f64(), Some(direct.drag));
+    assert_eq!(forces.get("lift").unwrap().as_f64(), Some(direct.lift));
+    for (served_zone, direct_sum) in served
+        .get("checksums")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .zip(&direct.checksums)
+    {
+        let sums: Vec<f64> = served_zone
+            .get("sum")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(sums, direct_sum.sum.to_vec());
+    }
+    // The response names exactly the configurations that ran.
+    let tuned = served.get("tuned").expect("auto solve reports `tuned`");
+    assert_eq!(tuned.get("source").and_then(Json::as_str), Some("tune-db"));
+    let kernels = tuned.get("kernels").and_then(Json::as_array).unwrap();
+    assert_eq!(kernels.len(), 3);
+    let rhs = kernels
+        .iter()
+        .find(|k| k.get("kernel").and_then(Json::as_str) == Some("rhs"))
+        .expect("rhs resolved");
+    assert_eq!(rhs.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(rhs.get("schedule").and_then(Json::as_str), Some("static"));
+    server.shutdown();
+
+    // Without a db, "auto" falls back to the defaults and says so.
+    let server = small_server();
+    let reply = post(server.addr(), "/v1/solve", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let residuals: Vec<f64> = served
+        .get("residuals")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.as_f64().unwrap())
+        .collect();
+    assert_eq!(residuals, direct.residuals);
+    let tuned = served.get("tuned").unwrap();
+    assert_eq!(tuned.get("source").and_then(Json::as_str), Some("default"));
+    // An explicit (non-auto) solve carries a null `tuned`.
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 1, "steps": 1, "workers": 2}"#,
+    );
+    assert_eq!(reply.status, 200);
+    assert!(matches!(reply.json().get("tuned"), Some(Json::Null)));
+    server.shutdown();
+}
+
+#[test]
+fn advise_prefers_measured_entries_and_reports_disagreement() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        tune_db: Some(sample_tune_db()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let reply = post(server.addr(), "/v1/advise", ADVISE_BODY);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let loops = served.get("loops").unwrap().as_array().unwrap();
+
+    // `rhs` is covered by the db: the measured block appears and the
+    // preferred schedule is the measured one.
+    let rhs = &loops[0];
+    assert_eq!(rhs.get("name").and_then(Json::as_str), Some("rhs"));
+    let measured = rhs.get("measured").expect("rhs carries measured advice");
+    assert_eq!(measured.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        measured.get("schedule").and_then(Json::as_str),
+        Some("static")
+    );
+    assert_eq!(
+        measured.get("measured_cost_ns").and_then(Json::as_u64),
+        Some(80_000)
+    );
+    assert!(measured.get("agrees_with_analytic").is_some());
+    assert_eq!(
+        rhs.get("preferred_schedule").and_then(Json::as_str),
+        Some("static")
+    );
+
+    // `bc` has no db entry: analytic advice only, no measured block.
+    let bc = &loops[1];
+    assert_eq!(bc.get("name").and_then(Json::as_str), Some("bc"));
+    assert!(bc.get("measured").is_none());
+    assert!(bc.get("preferred_schedule").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn tune_calibration_runs_in_the_background_and_rejects_concurrency() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Nothing has been calibrated or loaded yet.
+    let reply = get(addr, "/v1/tune");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.json().get("status").and_then(Json::as_str),
+        Some("idle")
+    );
+    assert!(matches!(reply.json().get("db"), Some(Json::Null)));
+
+    // Malformed specs are rejected before anything starts.
+    assert_eq!(post(addr, "/v1/tune", r#"{"zones": 99}"#).status, 400);
+    assert_eq!(post(addr, "/v1/tune", r#"{"surprise": 1}"#).status, 400);
+    assert_eq!(
+        get(addr, "/v1/tune")
+            .json()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("idle")
+    );
+
+    // Pin the calibration at the gate: its status is observable and a
+    // second request is deterministically rejected with 429.
+    let held = gate.lock().unwrap();
+    let reply = post(addr, "/v1/tune", r#"{"zones": 1, "steps": 1, "trials": 1}"#);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply.json().get("status").and_then(Json::as_str),
+        Some("calibrating")
+    );
+    let rejected = post(addr, "/v1/tune", "");
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+    retry_after(&rejected);
+    assert_eq!(
+        get(addr, "/v1/tune")
+            .json()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("calibrating")
+    );
+    drop(held);
+
+    // The background calibration finishes and publishes its database.
+    wait_until("calibration ready", || {
+        get(addr, "/v1/tune")
+            .json()
+            .get("status")
+            .and_then(Json::as_str)
+            == Some("ready")
+    });
+    let doc = get(addr, "/v1/tune").json();
+    let db = TuneDb::from_json(doc.get("db").unwrap()).expect("published db parses");
+    assert_eq!(db.pool_width, 2);
+    assert!(!db.entries.is_empty());
+    for e in &db.entries {
+        assert!((1..=2).contains(&e.workers), "{e:?}");
+        assert!(e.iterations > 0 && e.candidates_tried >= 2, "{e:?}");
+    }
+
+    // The freshly calibrated db now resolves "auto" solves.
+    let reply = post(
+        addr,
+        "/v1/solve",
+        r#"{"zones": 1, "steps": 1, "schedule": "auto"}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply
+            .json()
+            .get("tuned")
+            .unwrap()
+            .get("source")
+            .and_then(Json::as_str),
+        Some("tune-db")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn job_gated_calibration_reproduces_its_decisions() {
+    // With the job-gate hook installed the calibration selects winners
+    // structurally — two runs must produce the same decisions.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        job_gate: Some(Arc::new(Mutex::new(()))),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let spec = r#"{"zones": 1, "steps": 1, "trials": 1}"#;
+
+    let mut dbs = Vec::new();
+    for _ in 0..2 {
+        let reply = post(addr, "/v1/tune", spec);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(
+            reply.json().get("deterministic").and_then(Json::as_bool),
+            Some(true)
+        );
+        wait_until("calibration ready", || {
+            get(addr, "/v1/tune")
+                .json()
+                .get("status")
+                .and_then(Json::as_str)
+                == Some("ready")
+        });
+        let doc = get(addr, "/v1/tune").json();
+        dbs.push(TuneDb::from_json(doc.get("db").unwrap()).unwrap());
+    }
+    assert!(
+        dbs[0].same_decisions(&dbs[1]),
+        "job-gated calibrations diverged:\n{}\nvs\n{}",
+        dbs[0].to_json().to_pretty_string(),
+        dbs[1].to_json().to_pretty_string()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_schedule_bodies_name_the_offender() {
+    let server = small_server();
+    let addr = server.addr();
+    // The 400 bodies carry Policy::parse's diagnostics: the offending
+    // token and the accepted set, not just "bad request".
+    let error = |body: &str| {
+        let reply = post(addr, "/v1/solve", body);
+        assert_eq!(reply.status, 400, "{body}");
+        reply
+            .json()
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let msg = error(r#"{"schedule": "fifo"}"#);
+    assert!(msg.contains("\"fifo\""), "{msg}");
+    assert!(
+        msg.contains("static") && msg.contains("dynamic") && msg.contains("guided"),
+        "{msg}"
+    );
+    let msg = error(r#"{"schedule": "static", "chunk": 4}"#);
+    assert!(msg.contains("chunk 4"), "{msg}");
+    let msg = error(r#"{"schedule": "dynamic", "chunk": 0}"#);
+    assert!(msg.contains("chunk 0") && msg.contains("positive"), "{msg}");
+    let msg = error(r#"{"schedule": "auto", "chunk": 2}"#);
+    assert!(msg.contains("auto") && msg.contains("chunk 2"), "{msg}");
+    server.shutdown();
 }
 
 #[test]

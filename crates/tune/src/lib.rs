@@ -1,0 +1,37 @@
+//! `tune` — an online autotuner that closes the loop between the
+//! flight recorder and the paper's analytic models.
+//!
+//! The paper (ARL-TR-2556) predicts a parallel loop's behavior from
+//! two laws: the stair-step speedup `U / ceil(U/P)` and the Table 1
+//! minimum-work rule `W ≥ P·S/f`. The observability layer
+//! (`llp::obs`) *measures* the same quantities on live runs. This
+//! crate confronts the two:
+//!
+//! * [`space`] enumerates per-kernel candidate configurations
+//!   (worker count × schedule policy × chunk), pruned **before any
+//!   measurement** by the stair-step law (never propose a `P` whose
+//!   `ceil(U/P)` duplicates a cheaper one) and the Table 1 bound.
+//! * [`calibrate`](mod@calibrate) prices the surviving candidates with
+//!   a deterministic measurement loop — median-of-K trials on an
+//!   instrumented pool view — and picks each kernel's winner, always
+//!   comparing against the default configuration so tuning can only
+//!   break even or help.
+//! * [`db`] persists the outcome as a versioned, JSON-serialized
+//!   [`TuneDb`] the serve layer loads at startup and applies when a
+//!   request asks for `"schedule": "auto"`.
+//!
+//! The db records both the measured and the modeled cost of every
+//! winner, and whether the model would have picked the same
+//! configuration — so every calibration doubles as a validation run
+//! for the paper's models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod db;
+pub mod space;
+
+pub use calibrate::{calibrate, CalibrationSpec};
+pub use db::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
+pub use space::{candidates, worker_counts, Candidate};
