@@ -1,6 +1,7 @@
 //! Load generator for `llpd`: boots the server in-process on an
 //! ephemeral port, fires a mixed request stream from concurrent client
-//! threads at each shard count in a sweep, and emits a versioned
+//! threads — each holding ONE keep-alive connection open for the whole
+//! run — at each shard count in a sweep, and emits a versioned
 //! `BENCH_serve.json` report.
 //!
 //! ```text
@@ -9,47 +10,61 @@
 //!     [--shards 1,2,4] [<output-path>]
 //! ```
 //!
-//! The request mix cycles solve / dynamically-scheduled solve / advise
-//! / model / metrics, so the shared pool, both chunk-scheduling
-//! policies, the admission queue, and the inline endpoints all see
-//! traffic. Rejections (429) are part of the measurement, not a
-//! failure: with a bounded queue and more clients than executor slots,
-//! back-pressure is the designed behavior. Schema (`schema_version` 2):
+//! The request mix cycles solve / dynamically-scheduled solve /
+//! cache-bypass solve / advise / model / metrics, so the shared pool,
+//! both chunk-scheduling policies, the admission queue, the
+//! content-addressed solve cache (repeated identical bodies), and the
+//! inline endpoints all see traffic. Rejections (429) are part of the
+//! measurement, not a failure: with a bounded queue and more clients
+//! than executor slots, back-pressure is the designed behavior. Before
+//! the connections drop, one probe samples `/metrics` while every
+//! client connection is still held open, pinning the cache counters
+//! and the open-connection gauge into the report. Schema
+//! (`schema_version` 3):
 //!
 //! ```text
 //! { schema_version, bench, requests, concurrency, workers,
 //!   queue_capacity,
 //!   sweep: [ { shards, seconds, throughput_rps, solve_throughput_rps,
 //!              latency_ms: { p50, p99, max },
-//!              completed, rejected, errors,
-//!              by_endpoint: { solve, solve_dynamic, advise, model,
-//!                             metrics } } ] }
+//!              completed, rejected, errors, open_connections,
+//!              cache: { hits, misses, coalesced, bypass, hit_rate },
+//!              by_endpoint: { solve, solve_dynamic, solve_bypass,
+//!                             advise, model, metrics } } ] }
 //! ```
 //!
 //! The sweep is the point: `solve_throughput_rps` at `shards: 1` is the
 //! serialized-executor baseline, and the same number at higher shard
 //! counts shows what concurrent request execution buys on this machine.
+//! `cache.hit_rate` shows how much of the solve traffic the
+//! content-addressed cache absorbed before it ever reached the queue.
 
 use bench::{percentile, BenchArgs};
 use llp::obs::json::Json;
 use serve::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 const SOLVE_BODY: &str = r#"{"zones": 1, "steps": 1, "workers": 1}"#;
 const SOLVE_DYNAMIC_BODY: &str =
     r#"{"zones": 1, "steps": 1, "workers": 1, "schedule": "dynamic", "chunk": 2}"#;
+const SOLVE_BYPASS_BODY: &str = r#"{"zones": 1, "steps": 1, "workers": 1, "cache": "bypass"}"#;
 const ADVISE_BODY: &str = r#"{"clock_hz": 300e6, "sync_cost_cycles": 10000, "processors": 32,
     "loops": [{"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320}]}"#;
 
 /// A canned request: endpoint family plus raw request text builder.
 type MixEntry = (&'static str, fn() -> String);
 
-/// The cycled request mix.
-const MIX: [MixEntry; 5] = [
+/// The cycled request mix. `solve` and `solve_dynamic` repeat the same
+/// body, so after the first execution they exercise the cache (or
+/// coalesce while the first is in flight); `solve_bypass` forces a
+/// fresh execution every time.
+const MIX: [MixEntry; 6] = [
     ("solve", || post("/v1/solve", SOLVE_BODY)),
     ("solve_dynamic", || post("/v1/solve", SOLVE_DYNAMIC_BODY)),
+    ("solve_bypass", || post("/v1/solve", SOLVE_BYPASS_BODY)),
     ("advise", || post("/v1/advise", ADVISE_BODY)),
     ("model", || {
         get("/v1/model/stairstep?units=15&processors=1,2,4,8")
@@ -68,22 +83,68 @@ fn post(target: &str, body: &str) -> String {
     )
 }
 
-/// Send one raw request, returning (status, latency).
-fn send(addr: SocketAddr, raw: &str) -> (u16, Duration) {
-    let started = Instant::now();
-    let mut stream = TcpStream::connect(addr).expect("connect to llpd");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    stream.write_all(raw.as_bytes()).expect("write request");
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("read response");
-    let status: u16 = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    (status, started.elapsed())
+/// One keep-alive connection, held open across many requests. Replies
+/// are framed by `Content-Length`, so the stream never needs to close
+/// to delimit a response.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to llpd");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send one request on the held-open connection and read the framed
+    /// reply, returning (status, latency, body).
+    fn roundtrip(&mut self, raw: &str) -> (u16, Duration, String) {
+        let started = Instant::now();
+        self.stream
+            .write_all(raw.as_bytes())
+            .expect("write request");
+        let reply = self.read_reply();
+        let latency = started.elapsed();
+        let status: u16 = reply
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = reply
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, latency, body)
+    }
+
+    fn read_reply(&mut self) -> String {
+        loop {
+            if let Some(head_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..head_end + 4]).to_string();
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("Content-Length header");
+                let total = head_end + 4 + content_length;
+                if self.buf.len() >= total {
+                    let reply: Vec<u8> = self.buf.drain(..total).collect();
+                    return String::from_utf8(reply).expect("utf-8 reply");
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read reply");
+            assert!(n > 0, "server closed a kept-alive connection mid-reply");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 struct Outcome {
@@ -92,7 +153,10 @@ struct Outcome {
     latency: Duration,
 }
 
-/// Run the full request mix against one server and summarize.
+/// Run the full request mix against one server and summarize. Every
+/// client keeps its connection open until after a probe has sampled
+/// `/metrics`, so the report's `open_connections` reflects a server
+/// genuinely holding `concurrency + 1` live sockets at once.
 fn run_sweep_point(
     shards: usize,
     requests: usize,
@@ -109,32 +173,74 @@ fn run_sweep_point(
     .expect("bind llpd");
     let addr = server.addr();
 
+    // Two barriers bracket the probe: `done` means every client has
+    // finished its requests (but still holds its socket); `release`
+    // lets the clients hang up once the probe has looked.
+    let done = Barrier::new(concurrency + 1);
+    let release = Barrier::new(concurrency + 1);
+    let probe_metrics: Mutex<Option<Json>> = Mutex::new(None);
+
     let started = Instant::now();
+    let mut seconds = 0.0;
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|client| {
+                let done = &done;
+                let release = &release;
                 scope.spawn(move || {
+                    let mut conn = Client::connect(addr);
                     let mut outcomes = Vec::new();
                     for i in (client..requests).step_by(concurrency) {
                         let endpoint_index = i % MIX.len();
-                        let (status, latency) = send(addr, &MIX[endpoint_index].1());
+                        let (status, latency, _) = conn.roundtrip(&MIX[endpoint_index].1());
                         outcomes.push(Outcome {
                             endpoint_index,
                             status,
                             latency,
                         });
                     }
+                    done.wait();
+                    release.wait(); // now `conn` may drop
                     outcomes
                 })
             })
             .collect();
+
+        done.wait();
+        seconds = started.elapsed().as_secs_f64();
+        // Every client connection is still open; sample the gauge and
+        // the cache counters over one extra keep-alive connection.
+        let (status, _, body) = Client::connect(addr).roundtrip(&get("/metrics"));
+        assert_eq!(status, 200, "probe /metrics");
+        *probe_metrics.lock().unwrap() = Some(Json::parse(&body).expect("metrics JSON"));
+        release.wait();
+
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("client thread"))
             .collect()
     });
-    let seconds = started.elapsed().as_secs_f64();
     server.shutdown();
+
+    let metrics = probe_metrics.into_inner().unwrap().expect("probe ran");
+    let open_connections = metrics
+        .get("open_connections")
+        .and_then(Json::as_u64)
+        .expect("open_connections gauge");
+    let cache = metrics.get("cache").expect("cache counters");
+    let counter = |k: &str| cache.get(k).and_then(Json::as_u64).expect("cache counter");
+    let (hits, misses, coalesced, bypass) = (
+        counter("hits"),
+        counter("misses"),
+        counter("coalesced"),
+        counter("bypass"),
+    );
+    let admissions = hits + misses + coalesced + bypass;
+    let hit_rate = if admissions == 0 {
+        0.0
+    } else {
+        hits as f64 / admissions as f64
+    };
 
     let latencies_ms: Vec<f64> = outcomes
         .iter()
@@ -155,9 +261,10 @@ fn run_sweep_point(
     let solve_rps = solve_completed as f64 / seconds.max(1e-9);
     eprintln!(
         "serve_load: shards={shards}: {completed}/{} ok, {rejected} rejected, \
-         {:.1} solve rps",
+         {:.1} solve rps, cache hit rate {:.2}, {open_connections} conns open",
         outcomes.len(),
-        solve_rps
+        solve_rps,
+        hit_rate
     );
     Json::object(vec![
         ("shards", Json::from_usize(shards)),
@@ -178,6 +285,17 @@ fn run_sweep_point(
         ("completed", Json::from_usize(completed)),
         ("rejected", Json::from_usize(rejected)),
         ("errors", Json::from_usize(errors)),
+        ("open_connections", Json::from_u64(open_connections)),
+        (
+            "cache",
+            Json::object(vec![
+                ("hits", Json::from_u64(hits)),
+                ("misses", Json::from_u64(misses)),
+                ("coalesced", Json::from_u64(coalesced)),
+                ("bypass", Json::from_u64(bypass)),
+                ("hit_rate", Json::Num(hit_rate)),
+            ]),
+        ),
         (
             "by_endpoint",
             Json::object(
@@ -199,8 +317,8 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     };
-    let requests = args.positive_usize("requests", 50).unwrap_or_else(die);
-    let concurrency = args.positive_usize("concurrency", 6).unwrap_or_else(die);
+    let requests = args.positive_usize("requests", 600).unwrap_or_else(die);
+    let concurrency = args.positive_usize("concurrency", 60).unwrap_or_else(die);
     let workers = args.positive_usize("workers", 4).unwrap_or_else(die);
     let queue_capacity = args.positive_usize("queue", 8).unwrap_or_else(die);
     let shard_counts: Vec<usize> = match args.get("shards") {
@@ -219,7 +337,7 @@ fn main() {
     };
 
     eprintln!(
-        "serve_load: {requests} requests x {concurrency} clients, {workers} workers, \
+        "serve_load: {requests} requests x {concurrency} kept-alive clients, {workers} workers, \
          queue {queue_capacity}, shard sweep {shard_counts:?}"
     );
     let sweep: Vec<Json> = shard_counts
@@ -228,7 +346,7 @@ fn main() {
         .collect();
 
     let json = Json::object(vec![
-        ("schema_version", Json::from_u64(2)),
+        ("schema_version", Json::from_u64(3)),
         ("bench", Json::str("serve_load")),
         ("requests", Json::from_usize(requests)),
         ("concurrency", Json::from_usize(concurrency)),

@@ -2,6 +2,12 @@
 //! generator (small request count, real llpd in-process, two-point
 //! shard sweep) and pins the versioned structure future
 //! serving-performance PRs regress against.
+//!
+//! The small run is deterministic enough to pin the cache counters
+//! exactly: each client drives one kept-alive connection serially, so
+//! the repeated-identical `solve` and `solve_dynamic` bodies produce
+//! one miss each and hits thereafter, and every `solve_bypass` body
+//! skips the cache.
 
 use llp::obs::json::Json;
 use std::process::Command;
@@ -11,7 +17,7 @@ fn run_serve_load() -> Json {
     let out = Command::new(env!("CARGO_BIN_EXE_serve_load"))
         .args([
             "--requests",
-            "15",
+            "18",
             "--concurrency",
             "3",
             "--workers",
@@ -38,14 +44,14 @@ fn run_serve_load() -> Json {
 }
 
 #[test]
-fn report_conforms_to_schema_v2() {
+fn report_conforms_to_schema_v3() {
     let report = run_serve_load();
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(3));
     assert_eq!(
         report.get("bench").and_then(Json::as_str),
         Some("serve_load")
     );
-    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(15));
+    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(18));
     assert_eq!(report.get("concurrency").and_then(Json::as_u64), Some(3));
     assert_eq!(report.get("workers").and_then(Json::as_u64), Some(2));
     assert_eq!(report.get("queue_capacity").and_then(Json::as_u64), Some(8));
@@ -78,20 +84,51 @@ fn report_conforms_to_schema_v2() {
         let completed = point.get("completed").and_then(Json::as_u64).unwrap();
         let rejected = point.get("rejected").and_then(Json::as_u64).unwrap();
         let errors = point.get("errors").and_then(Json::as_u64).unwrap();
-        assert_eq!(completed + rejected + errors, 15);
+        assert_eq!(completed + rejected + errors, 18);
         assert_eq!(errors, 0, "load mix should produce no error statuses");
+
+        // The probe sampled /metrics while every client connection
+        // (plus its own) was still held open.
+        assert_eq!(
+            point.get("open_connections").and_then(Json::as_u64),
+            Some(4),
+            "3 kept-alive clients + the probe connection"
+        );
+
+        // Cache counters: 3 identical `solve` bodies and 3 identical
+        // `solve_dynamic` bodies, each sent serially on one connection,
+        // give one miss + two hits per family; 3 bypass solves skip
+        // the cache; nothing overlaps, so nothing coalesces.
+        let cache = point.get("cache").expect("cache object");
+        let counter = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(counter("misses"), 2);
+        assert_eq!(counter("hits"), 4);
+        assert_eq!(counter("coalesced"), 0);
+        assert_eq!(counter("bypass"), 3);
+        let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap();
+        assert!((hit_rate - 4.0 / 9.0).abs() < 1e-9, "hit_rate {hit_rate}");
 
         let by_endpoint = point.get("by_endpoint").expect("by_endpoint object");
         let count = |k: &str| by_endpoint.get(k).and_then(Json::as_u64).unwrap();
         assert_eq!(
             count("solve")
                 + count("solve_dynamic")
+                + count("solve_bypass")
                 + count("advise")
                 + count("model")
                 + count("metrics"),
-            15
+            18
         );
-        // The mix cycles all five endpoint families.
-        assert!(count("solve") >= 1 && count("solve_dynamic") >= 1 && count("metrics") >= 1);
+        // The mix cycles all six endpoint families evenly.
+        for family in [
+            "solve",
+            "solve_dynamic",
+            "solve_bypass",
+            "advise",
+            "model",
+            "metrics",
+        ] {
+            assert_eq!(count(family), 3, "family {family}");
+        }
     }
 }

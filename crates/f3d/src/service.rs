@@ -101,6 +101,49 @@ impl ServiceCase {
     pub fn grid(&self) -> MultiZoneGrid {
         MultiZoneGrid::split_j(SERVICE_DIMS, self.zones)
     }
+
+    /// Canonical content string for this case, the basis of
+    /// content-addressed result reuse: every semantic field appears in a
+    /// fixed order with a fixed spelling, so two requests that parse to
+    /// the same case — whatever their JSON key order or whitespace —
+    /// produce byte-identical canonical strings, and any change to
+    /// zones, steps, workers, schedule kind, or chunk parameter changes
+    /// the string.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        let schedule = match self.schedule {
+            Policy::Static => "static".to_string(),
+            Policy::Dynamic { chunk } => format!("dynamic,chunk={chunk}"),
+            Policy::Guided { min_chunk } => format!("guided,chunk={min_chunk}"),
+        };
+        format!(
+            "zones={};steps={};workers={};schedule={}",
+            self.zones, self.steps, self.workers, schedule
+        )
+    }
+
+    /// FNV-1a checksum of [`Self::canonical_string`]: the content hash
+    /// a cache key embeds. Stable across processes and platforms (pure
+    /// integer arithmetic over the canonical bytes).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical_string().as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`: tiny, dependency-free, and stable — the
+/// right shape for a content checksum that must never move between
+/// builds (unlike [`std::hash::Hasher`], whose output is unspecified).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 /// Everything one bounded run produces.
@@ -281,6 +324,67 @@ mod tests {
             assert!(err.contains("must be in 1..="), "{err}");
             assert!(run(&bad, &Workers::serial()).is_err());
         }
+    }
+
+    #[test]
+    fn canonical_strings_cover_every_semantic_field() {
+        let base = ServiceCase {
+            zones: 2,
+            steps: 3,
+            workers: 4,
+            schedule: Policy::Static,
+        };
+        assert_eq!(
+            base.canonical_string(),
+            "zones=2;steps=3;workers=4;schedule=static"
+        );
+        assert_eq!(
+            ServiceCase {
+                schedule: Policy::Dynamic { chunk: 5 },
+                ..base
+            }
+            .canonical_string(),
+            "zones=2;steps=3;workers=4;schedule=dynamic,chunk=5"
+        );
+        assert_eq!(
+            ServiceCase {
+                schedule: Policy::Guided { min_chunk: 2 },
+                ..base
+            }
+            .canonical_string(),
+            "zones=2;steps=3;workers=4;schedule=guided,chunk=2"
+        );
+        // Every single-field change moves the hash.
+        let variants = [
+            ServiceCase { zones: 3, ..base },
+            ServiceCase { steps: 4, ..base },
+            ServiceCase { workers: 2, ..base },
+            ServiceCase {
+                schedule: Policy::Dynamic { chunk: 1 },
+                ..base
+            },
+            ServiceCase {
+                schedule: Policy::Dynamic { chunk: 2 },
+                ..base
+            },
+            ServiceCase {
+                schedule: Policy::Guided { min_chunk: 1 },
+                ..base
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.content_hash(), base.content_hash(), "{:?}", v);
+        }
+        // Identical cases hash identically (pure function of fields).
+        assert_eq!(base.content_hash(), { base }.content_hash());
+    }
+
+    #[test]
+    fn fnv_matches_the_published_test_vectors() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct SolveRequest {
     /// the tune database's per-kernel configurations (falling back to
     /// the case defaults when no database is loaded).
     pub auto: bool,
+    /// `true` when the body said `"cache": "bypass"`: execute
+    /// unconditionally — no cache lookup, no coalescing with identical
+    /// in-flight solves, no cache insert. The escape hatch for
+    /// measuring real execution (benchmark baselines, bit-exactness
+    /// audits against a cached result).
+    pub bypass: bool,
 }
 
 /// Parse a `POST /v1/solve` body into a bounded case. Omitted fields
@@ -81,7 +87,18 @@ pub struct SolveRequest {
 /// with a message naming the problem.
 pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveRequest, String> {
     let body = Json::parse(text)?;
-    parse_object(&body, &["zones", "steps", "workers", "schedule", "chunk"])?;
+    parse_object(
+        &body,
+        &["zones", "steps", "workers", "schedule", "chunk", "cache"],
+    )?;
+    let bypass = match body.get("cache") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("use") => false,
+            Some("bypass") => true,
+            _ => return Err("`cache` must be \"use\" or \"bypass\"".to_string()),
+        },
+    };
     let field = |key: &str, default: usize| match body.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -118,7 +135,7 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
         schedule,
     };
     case.validate()?;
-    Ok(SolveRequest { case, auto })
+    Ok(SolveRequest { case, auto, bypass })
 }
 
 fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
@@ -195,9 +212,12 @@ pub fn tuned_resolution(db: Option<&TuneDb>) -> Json {
 /// client where `GET /v1/trace/{id}` will find the breakdown.
 /// `tuned` (for `"auto"` solves) names the resolved per-kernel
 /// configurations ([`tuned_resolution`]); explicit solves pass
-/// [`Json::Null`].
+/// [`Json::Null`]. `cache` reports result provenance: `"miss"` (this
+/// request executed, result now cached), `"hit"` (served from the
+/// content-addressed cache without re-execution), or `"bypass"` (the
+/// request opted out of caching and executed unconditionally).
 #[must_use]
-pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json) -> Json {
+pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json, cache: &str) -> Json {
     let mut case = vec![
         ("zones", Json::from_usize(run.case.zones)),
         ("steps", Json::from_usize(run.case.steps)),
@@ -234,6 +254,7 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json) -> J
         ("report", run.report.to_json()),
         ("trace_id", trace_id.map_or(Json::Null, Json::from_u64)),
         ("tuned", tuned),
+        ("cache", Json::str(cache)),
     ])
 }
 

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N]
-//!      [--deadline-secs N] [--tune-db PATH]
+//!      [--deadline-secs N] [--cache-capacity N] [--tune-db PATH]
 //! ```
+//!
+//! `--cache-capacity` bounds the content-addressed solve-result cache
+//! (entries; 0 disables caching — identical in-flight solves still
+//! coalesce).
 //!
 //! `--tune-db` (or the `LLPD_TUNE_DB` environment variable) names a
 //! tune database to load at startup; `"schedule": "auto"` solves and
@@ -55,10 +59,15 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                     .map_err(|_| "--deadline-secs must be an integer".to_string())?;
                 config.deadline = Duration::from_secs(secs);
             }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity must be an integer (0 disables)".to_string())?;
+            }
             "--tune-db" => tune_db_path = Some(PathBuf::from(value("--tune-db")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--tune-db PATH]"
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--cache-capacity N] [--tune-db PATH]"
                         .to_string(),
                 )
             }
@@ -137,6 +146,8 @@ mod tests {
             "2",
             "--queue",
             "3",
+            "--cache-capacity",
+            "5",
         ]
         .iter()
         .map(ToString::to_string)
@@ -147,7 +158,9 @@ mod tests {
         assert_eq!(config.shards, 2);
         assert_eq!(config.resolved_shards(), 2);
         assert_eq!(config.queue_capacity, 3);
+        assert_eq!(config.cache_capacity, 5);
         assert!(tune_db.is_none());
+        assert!(parse_args(&["--cache-capacity".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--shards".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
         assert!(parse_args(&["--bogus".to_string()]).is_err());

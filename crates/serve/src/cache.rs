@@ -1,0 +1,244 @@
+//! Content-addressed solve-result cache and in-flight coalescing table.
+//!
+//! The paper's solves are deterministic: identical cases produce
+//! bit-identical residuals, forces, and checksums regardless of worker
+//! count or schedule (`f3d::service` pins this). That makes result
+//! reuse sound by construction — the serve layer should never
+//! re-execute work whose result it has already proven out.
+//!
+//! Two structures implement the reuse:
+//!
+//! * [`ContentKey`] — a stable canonicalization of a solve request.
+//!   The key is built from the *parsed* [`ServiceCase`], not the raw
+//!   body bytes, so JSON key order and whitespace cannot split the
+//!   cache; it embeds the tune-database generation for `auto` solves so
+//!   a recalibration invalidates tuned entries without flushing
+//!   anything else, and carries an FNV-1a checksum of the canonical
+//!   form for compact external reporting. Lookup and storage use the
+//!   full canonical string, so hash collisions cannot alias results.
+//! * [`SolveCache`] — a bounded LRU mapping canonical keys to
+//!   pre-rendered response bodies (`Arc<String>`: a hit is a clone and
+//!   a socket write, no recomputation and no JSON re-serialization).
+//!
+//! The in-flight coalescing table lives in `server.rs` next to the
+//! admission queue it guards; this module owns only the pure data
+//! structures, which keeps them directly testable.
+
+use f3d::service::ServiceCase;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default [`SolveCache`] capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Canonical identity of a solve request for caching and coalescing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    canonical: String,
+    hash: u64,
+}
+
+impl ContentKey {
+    /// Build the key for a validated case. `auto` distinguishes
+    /// tune-db-overlaid solves, and `tune_generation` (bumped every
+    /// time the server's tune database is replaced) keeps stale tuned
+    /// results from outliving a recalibration. Non-auto solves pass
+    /// generation 0: their results do not depend on the database.
+    #[must_use]
+    pub fn for_case(case: &ServiceCase, auto: bool, tune_generation: u64) -> Self {
+        let generation = if auto { tune_generation } else { 0 };
+        let canonical = format!(
+            "solve/{};auto={};tune_gen={}",
+            case.canonical_string(),
+            auto,
+            generation
+        );
+        let hash = f3d::service::fnv1a64(canonical.as_bytes());
+        Self { canonical, hash }
+    }
+
+    /// The full canonical form (the map key — collision-proof).
+    #[must_use]
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// FNV-1a checksum of the canonical form, as a fixed-width hex
+    /// digest for logs and golden pins.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+struct CacheInner {
+    map: HashMap<String, CacheEntry>,
+    /// Monotone access clock; the entry with the smallest stamp is the
+    /// least recently used. O(n) eviction scan — fine at the bounded
+    /// capacities this cache runs with.
+    clock: u64,
+}
+
+struct CacheEntry {
+    body: std::sync::Arc<String>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of pre-rendered solve response bodies.
+pub struct SolveCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl SolveCache {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching entirely: every insert is dropped and every lookup
+    /// misses.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a result, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &ContentKey) -> Option<std::sync::Arc<String>> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(key.canonical())?;
+        entry.last_used = clock;
+        Some(std::sync::Arc::clone(&entry.body))
+    }
+
+    /// Insert (or refresh) a result, evicting the least recently used
+    /// entry beyond capacity. Returns the number of evictions (0 or 1).
+    pub fn insert(&self, key: &ContentKey, body: std::sync::Arc<String>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let fresh = !inner.map.contains_key(key.canonical());
+        let mut evicted = 0;
+        if fresh && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        inner.map.insert(
+            key.canonical().to_string(),
+            CacheEntry {
+                body,
+                last_used: clock,
+            },
+        );
+        evicted
+    }
+
+    /// Number of cached results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no results.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llp::Policy;
+    use std::sync::Arc;
+
+    fn case(zones: usize) -> ServiceCase {
+        ServiceCase {
+            zones,
+            steps: 3,
+            workers: 2,
+            schedule: Policy::Static,
+        }
+    }
+
+    fn key(zones: usize) -> ContentKey {
+        ContentKey::for_case(&case(zones), false, 0)
+    }
+
+    #[test]
+    fn keys_embed_case_auto_and_generation() {
+        let base = key(2);
+        assert_eq!(
+            base.canonical(),
+            "solve/zones=2;steps=3;workers=2;schedule=static;auto=false;tune_gen=0"
+        );
+        assert_ne!(base, key(3));
+        let auto0 = ContentKey::for_case(&case(2), true, 0);
+        let auto1 = ContentKey::for_case(&case(2), true, 1);
+        assert_ne!(base, auto0, "auto solves key separately");
+        assert_ne!(auto0, auto1, "recalibration invalidates tuned entries");
+        // Non-auto solves ignore the generation: their results do not
+        // depend on the tune database.
+        assert_eq!(
+            ContentKey::for_case(&case(2), false, 7),
+            ContentKey::for_case(&case(2), false, 0)
+        );
+        assert_eq!(base.digest().len(), 16);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = SolveCache::new(2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.insert(&key(1), Arc::new("a".into())), 0);
+        assert_eq!(cache.insert(&key(2), Arc::new("b".into())), 0);
+        // Touch key(1) so key(2) is the LRU.
+        assert_eq!(cache.get(&key(1)).unwrap().as_str(), "a");
+        assert_eq!(cache.insert(&key(3), Arc::new("c".into())), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_refreshes_without_evicting() {
+        let cache = SolveCache::new(2);
+        cache.insert(&key(1), Arc::new("a".into()));
+        cache.insert(&key(2), Arc::new("b".into()));
+        assert_eq!(
+            cache.insert(&key(1), Arc::new("a2".into())),
+            0,
+            "refresh of a resident key must not evict"
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1)).unwrap().as_str(), "a2");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SolveCache::new(0);
+        assert_eq!(cache.insert(&key(1), Arc::new("a".into())), 0);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.is_empty());
+    }
+}

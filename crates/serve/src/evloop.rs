@@ -1,0 +1,429 @@
+//! Readiness event-loop primitives without an async runtime.
+//!
+//! The build environment has no `mio`/`tokio`/`libc`, so the serve
+//! core drives nonblocking sockets through a hand-declared binding to
+//! the C `poll(2)` entry point — the same pattern as the `signal(2)`
+//! shim in [`crate::signal`]. This module owns the mechanism only:
+//!
+//! * [`PollFd`]/[`wait`] — the `poll(2)` binding. On non-Unix targets
+//!   `wait` degrades to a short sleep that reports every descriptor
+//!   ready; all sockets are nonblocking, so spurious readiness costs a
+//!   `WouldBlock` per socket rather than correctness.
+//! * [`waker`] — a self-wake channel (a connected localhost UDP socket
+//!   pair) that lets executor threads interrupt a `wait` when a job
+//!   completion needs delivering.
+//! * [`Conn`] — one connection's buffered nonblocking I/O: an
+//!   accumulating read buffer the incremental HTTP parser re-examines,
+//!   and a bounded write buffer drained on `POLLOUT` readiness.
+//!
+//! The policy — parsing, routing, admission, keep-alive, deadlines —
+//! lives in `server.rs`, which composes these pieces into the actual
+//! event loop.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, UdpSocket};
+use std::sync::Arc;
+
+/// `poll(2)` readiness: data available to read.
+pub const POLLIN: i16 = 0x001;
+/// `poll(2)` readiness: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `poll(2)` condition: error on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// `poll(2)` condition: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `poll(2)` condition: descriptor not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set, layout-compatible with C `struct
+/// pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// Descriptor to watch (negative entries are ignored by `poll`).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by [`wait`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    #[must_use]
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `mask` (or an error/hangup condition) fired.
+    #[must_use]
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// The raw descriptor of a socket, for [`PollFd::new`].
+#[cfg(unix)]
+#[must_use]
+pub fn raw_fd<T: std::os::unix::io::AsRawFd>(socket: &T) -> i32 {
+    socket.as_raw_fd()
+}
+
+/// Non-Unix fallback: descriptors are never inspected because the
+/// fallback [`wait`] reports everything ready.
+#[cfg(not(unix))]
+#[must_use]
+pub fn raw_fd<T>(_socket: &T) -> i32 {
+    -1
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::PollFd;
+
+    extern "C" {
+        /// C `poll(2)`. Declared by hand because no libc crate is
+        /// available; `nfds_t` is `usize` on every supported Unix ABI.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        // SAFETY: `fds` is a valid exclusive slice of `repr(C)` pollfd
+        // structs for the duration of the call, and `poll` writes only
+        // within it.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+        if rc >= 0 {
+            return Ok(usize::try_from(rc).unwrap_or(0));
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() == std::io::ErrorKind::Interrupted {
+            // EINTR (a signal landed): report a timeout; the loop's
+            // next iteration re-checks shutdown flags and deadlines.
+            return Ok(0);
+        }
+        Err(err)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::PollFd;
+
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        // No poll(2): nap briefly, then report every descriptor ready.
+        // All sockets are nonblocking, so a not-actually-ready socket
+        // just answers WouldBlock.
+        let nap = timeout_ms.clamp(0, 10);
+        if nap > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(nap as u64));
+        }
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Block until a watched descriptor is ready, the waker fires, or
+/// `timeout_ms` elapses. Returns the number of ready entries (0 on
+/// timeout); `revents` is filled in place.
+///
+/// # Errors
+/// Propagates `poll(2)` failures other than `EINTR` (which reports as
+/// a timeout so the caller re-checks its flags).
+pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    imp::wait(fds, timeout_ms)
+}
+
+/// Cross-thread wake handle: cheap to clone, safe to fire from any
+/// thread (and redundantly — extra datagrams coalesce in the receive
+/// buffer and drain together).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: Arc<UdpSocket>,
+}
+
+impl Waker {
+    /// Interrupt the event loop's current (or next) [`wait`].
+    pub fn wake(&self) {
+        // A full socket buffer means wakeups are already pending —
+        // dropping this one is fine.
+        let _ = self.tx.send(&[1u8]);
+    }
+}
+
+/// The event loop's end of the wake channel.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UdpSocket,
+}
+
+impl WakeReceiver {
+    /// Descriptor to include in the poll set with [`POLLIN`].
+    #[must_use]
+    pub fn fd(&self) -> i32 {
+        raw_fd(&self.rx)
+    }
+
+    /// Consume every pending wakeup datagram.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 16];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+/// Create a connected wake channel on the loopback interface.
+///
+/// # Errors
+/// Propagates socket setup failures (the server treats this as fatal
+/// at startup — without a waker, completions could stall a full poll
+/// timeout).
+pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+    let rx = UdpSocket::bind("127.0.0.1:0")?;
+    rx.set_nonblocking(true)?;
+    let tx = UdpSocket::bind("127.0.0.1:0")?;
+    tx.connect(rx.local_addr()?)?;
+    tx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeReceiver { rx }))
+}
+
+/// Outcome of one nonblocking read pass over a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Appended at least one byte to the read buffer.
+    Progress,
+    /// Nothing available right now (`WouldBlock`).
+    Idle,
+    /// Orderly end of stream: the peer finished sending.
+    Eof,
+    /// The socket failed (reset, aborted); the connection is dead.
+    Failed,
+}
+
+/// One connection's buffered nonblocking I/O state.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Accumulated unparsed request bytes; the incremental parser
+    /// re-examines this prefix on every readable event and
+    /// [`Conn::consume`] drops what it framed.
+    pub read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Close the connection once the write buffer drains (error
+    /// responses, `Connection: close`, drain-time hangups).
+    pub close_after_write: bool,
+}
+
+impl Conn {
+    /// Adopt an accepted stream, switching it to nonblocking mode.
+    ///
+    /// # Errors
+    /// Propagates `set_nonblocking` failure.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            close_after_write: false,
+        })
+    }
+
+    /// Descriptor for the poll set.
+    #[must_use]
+    pub fn fd(&self) -> i32 {
+        raw_fd(&self.stream)
+    }
+
+    /// Read whatever is available, appending to the read buffer but
+    /// never growing it past `cap` (readiness-level backpressure: the
+    /// caller stops polling `POLLIN` while the buffer is at capacity).
+    ///
+    /// Bytes that arrived just before an orderly close are reported as
+    /// [`ReadOutcome::Progress`] first; the EOF is re-observed on the
+    /// next call (a closed socket stays readable and keeps answering
+    /// zero-byte reads).
+    pub fn read_some(&mut self, cap: usize) -> ReadOutcome {
+        let mut chunk = [0u8; 4096];
+        let mut progressed = false;
+        let mut eof = false;
+        while self.read_buf.len() < cap {
+            let want = chunk.len().min(cap - self.read_buf.len());
+            match self.stream.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Failed,
+            }
+        }
+        if progressed {
+            ReadOutcome::Progress
+        } else if eof {
+            ReadOutcome::Eof
+        } else {
+            ReadOutcome::Idle
+        }
+    }
+
+    /// Drop the first `n` read-buffer bytes (a framed request).
+    pub fn consume(&mut self, n: usize) {
+        self.read_buf.drain(..n);
+    }
+
+    /// Append response bytes to the write buffer.
+    pub fn queue_write(&mut self, bytes: &[u8]) {
+        self.write_buf.extend_from_slice(bytes);
+    }
+
+    /// Whether unwritten response bytes remain.
+    #[must_use]
+    pub fn has_pending_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    /// Write as much buffered response as the socket accepts. Returns
+    /// `true` once the buffer is fully flushed.
+    ///
+    /// # Errors
+    /// Propagates fatal socket errors (the connection is dead).
+    pub fn flush_some(&mut self) -> io::Result<bool> {
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.written = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn waker_interrupts_a_wait() {
+        let (waker, receiver) = waker().unwrap();
+        waker.wake();
+        let mut fds = [PollFd::new(receiver.fd(), POLLIN)];
+        let ready = wait(&mut fds, 2_000).unwrap();
+        assert!(ready >= 1, "wake datagram must make the receiver ready");
+        assert!(fds[0].ready(POLLIN));
+        receiver.drain();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn drained_waker_times_out() {
+        let (waker, receiver) = waker().unwrap();
+        waker.wake();
+        waker.wake();
+        receiver.drain();
+        let mut fds = [PollFd::new(receiver.fd(), POLLIN)];
+        assert_eq!(wait(&mut fds, 0).unwrap(), 0, "drained waker stays quiet");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut fds = [PollFd::new(raw_fd(&listener), POLLIN)];
+        assert_eq!(wait(&mut fds, 0).unwrap(), 0, "no pending connection yet");
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let ready = wait(&mut fds, 2_000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn conn_buffers_reads_and_flushes_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(accepted).unwrap();
+
+        client.write_all(b"hello").unwrap();
+        // Wait for readiness, then read.
+        let mut fds = [PollFd::new(conn.fd(), POLLIN)];
+        wait(&mut fds, 2_000).unwrap();
+        loop {
+            match conn.read_some(1024) {
+                ReadOutcome::Progress => break,
+                ReadOutcome::Idle => {
+                    wait(&mut [PollFd::new(conn.fd(), POLLIN)], 100).unwrap();
+                }
+                other => panic!("unexpected read outcome {other:?}"),
+            }
+        }
+        assert_eq!(conn.read_buf, b"hello");
+        conn.consume(5);
+        assert!(conn.read_buf.is_empty());
+
+        conn.queue_write(b"world");
+        assert!(conn.has_pending_write());
+        while !conn.flush_some().unwrap() {}
+        let mut got = [0u8; 5];
+        std::io::Read::read_exact(&mut client, &mut got).unwrap();
+        assert_eq!(&got, b"world");
+    }
+
+    #[test]
+    fn read_respects_the_buffer_cap() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(accepted).unwrap();
+        client.write_all(&[7u8; 64]).unwrap();
+        let mut fds = [PollFd::new(conn.fd(), POLLIN)];
+        wait(&mut fds, 2_000).unwrap();
+        while conn.read_buf.len() < 16 {
+            conn.read_some(16);
+            wait(&mut fds, 50).unwrap();
+        }
+        assert_eq!(conn.read_buf.len(), 16, "cap bounds the buffer");
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(accepted).unwrap();
+        drop(client);
+        loop {
+            match conn.read_some(1024) {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Idle => {
+                    wait(&mut [PollFd::new(conn.fd(), POLLIN)], 100).unwrap();
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+}

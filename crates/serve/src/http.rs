@@ -1,11 +1,24 @@
-//! Minimal HTTP/1.1 framing over [`std::io`] streams.
+//! Minimal HTTP/1.1 framing over [`std::io`] streams and byte buffers.
 //!
 //! The build environment has no HTTP crates, so `llpd` frames requests
-//! and responses by hand. The subset is deliberately small: one request
-//! per connection (`Connection: close` on every response), bodies
+//! and responses by hand. The subset is deliberately small: bodies
 //! delimited by `Content-Length` only, and hard caps on header and body
-//! sizes so a hostile peer cannot make a connection thread allocate
-//! without bound.
+//! sizes so a hostile peer cannot make the server allocate without
+//! bound. Two parsers share one interpretation of the protocol:
+//!
+//! * [`read_request`] — the original one-shot parser over a blocking
+//!   [`BufRead`] stream, kept as the reference implementation (and the
+//!   oracle the property tests compare against).
+//! * [`parse_request_bytes`] — the incremental parser the readiness
+//!   event loop calls against a connection's accumulated read buffer.
+//!   It either completes with a request plus its consumed byte count
+//!   (leaving pipelined bytes in place), asks for more bytes, or fails
+//!   with the same [`HttpError`] the one-shot parser would produce.
+//!
+//! Keep-alive follows HTTP/1.1 defaults: connections persist unless the
+//! request says `Connection: close` (or is HTTP/1.0 without
+//! `Connection: keep-alive`). Responses to malformed requests always
+//! close.
 
 use std::io::{BufRead, Write};
 
@@ -23,6 +36,10 @@ pub struct Request {
     pub query: String,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: String,
+    /// Whether the connection should persist after the response:
+    /// HTTP/1.1 defaults to `true`, `Connection: close` forces `false`,
+    /// HTTP/1.0 defaults to `false` unless `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// A response: status code plus a JSON body, with the handful of extra
@@ -102,6 +119,77 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Parsed request line: method, raw target, and whether the version is
+/// HTTP/1.0 (which flips the keep-alive default).
+struct RequestLine {
+    method: String,
+    target: String,
+    http10: bool,
+}
+
+fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    Ok(RequestLine {
+        method,
+        target,
+        http10: version == "HTTP/1.0",
+    })
+}
+
+/// The header fields this service interprets, accumulated line by line.
+#[derive(Default)]
+struct HeaderFields {
+    content_length: usize,
+    /// Lowercased `Connection` header value, if sent.
+    connection: Option<String>,
+}
+
+impl HeaderFields {
+    fn apply(&mut self, line: &str) -> Result<(), HttpError> {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header"));
+        };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            self.content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            self.connection = Some(value.trim().to_ascii_lowercase());
+        }
+        Ok(())
+    }
+
+    fn keep_alive(&self, http10: bool) -> bool {
+        match self.connection.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            _ => !http10,
+        }
+    }
+}
+
+fn assemble(line: RequestLine, headers: &HeaderFields, body: String) -> Request {
+    let (path, query) = match line.target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (line.target, String::new()),
+    };
+    Request {
+        method: line.method,
+        path,
+        query,
+        body,
+        keep_alive: headers.keep_alive(line.http10),
+    }
+}
+
 /// Read one request from `stream`.
 ///
 /// # Errors
@@ -110,52 +198,110 @@ pub fn reason(status: u16) -> &'static str {
 /// read timeout, 413 when the declared body exceeds `max_body`.
 pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
     let mut head = String::new();
-    let request_line = read_crlf_line(stream, &mut head)?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(HttpError::new(400, "malformed request line"));
-    }
+    let request_line = parse_request_line(&read_crlf_line(stream, &mut head)?)?;
 
-    let mut content_length: usize = 0;
+    let mut headers = HeaderFields::default();
     loop {
         let line = read_crlf_line(stream, &mut head)?;
         if line.is_empty() {
             break;
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::new(400, "malformed header"));
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
-        }
+        headers.apply(&line)?;
     }
 
-    if content_length > max_body {
+    if headers.content_length > max_body {
         return Err(HttpError::new(
             413,
-            format!("body of {content_length} bytes exceeds limit {max_body}"),
+            format!(
+                "body of {} bytes exceeds limit {max_body}",
+                headers.content_length
+            ),
         ));
     }
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; headers.content_length];
     std::io::Read::read_exact(stream, &mut body).map_err(io_to_http)?;
     let body = String::from_utf8(body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+    Ok(assemble(request_line, &headers, body))
+}
 
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-    })
+/// Outcome of [`parse_request_bytes`] over an accumulated read buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// A complete request plus the number of buffer bytes it consumed
+    /// (pipelined follow-up bytes start at that offset).
+    Complete(Request, usize),
+    /// The buffer holds only a request prefix; read more bytes. If the
+    /// peer has already closed, the connection died mid-request.
+    Partial,
+}
+
+/// Incrementally parse one request from the front of `buf`.
+///
+/// The buffer is the connection's accumulated read bytes; the parser is
+/// stateless and re-examines the prefix on every call, which keeps it
+/// trivially restartable and is cheap at these head sizes. Outcomes are
+/// byte-for-byte identical to feeding the same bytes to
+/// [`read_request`] — the property suite enforces this at every split
+/// boundary.
+///
+/// # Errors
+/// The same [`HttpError`]s as [`read_request`]: 400 for malformed
+/// framing or non-UTF-8 content, 413 for an oversized head or declared
+/// body. Errors are terminal for the connection.
+pub fn parse_request_bytes(buf: &[u8], max_body: usize) -> Result<Parse, HttpError> {
+    let mut pos = 0usize;
+    let mut head_used = 0usize;
+    let mut request_line: Option<RequestLine> = None;
+    let mut headers = HeaderFields::default();
+    loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // No newline in the remainder: an over-budget partial line
+            // is already fatal, otherwise wait for more bytes.
+            if head_used + (buf.len() - pos) > MAX_HEAD_BYTES {
+                return Err(HttpError::new(413, "request head too large"));
+            }
+            return Ok(Parse::Partial);
+        };
+        let raw = &buf[pos..=pos + nl];
+        if head_used + raw.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        head_used += raw.len();
+        pos += nl + 1;
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| HttpError::new(400, "header is not UTF-8"))?
+            .trim_end_matches(['\r', '\n']);
+        // Validate each line as it completes so error precedence matches
+        // the one-shot parser exactly (a malformed request line fails
+        // before a later oversized header can).
+        match &request_line {
+            None => request_line = Some(parse_request_line(line)?),
+            Some(_) if line.is_empty() => break,
+            Some(_) => headers.apply(line)?,
+        }
+    }
+    let request_line = request_line.expect("loop breaks only after the request line");
+
+    if headers.content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "body of {} bytes exceeds limit {max_body}",
+                headers.content_length
+            ),
+        ));
+    }
+    if buf.len() - pos < headers.content_length {
+        return Ok(Parse::Partial);
+    }
+    let body = std::str::from_utf8(&buf[pos..pos + headers.content_length])
+        .map_err(|_| HttpError::new(400, "body is not UTF-8"))?
+        .to_string();
+    let consumed = pos + headers.content_length;
+    Ok(Parse::Complete(
+        assemble(request_line, &headers, body),
+        consumed,
+    ))
 }
 
 /// Read one CRLF-terminated line, charging its bytes against the shared
@@ -189,28 +335,42 @@ fn io_to_http(err: std::io::Error) -> HttpError {
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
             HttpError::new(408, "timed out reading request")
         }
+        // A peer hanging up mid-body is the same failure as hanging up
+        // mid-head; keeping the message identical keeps the one-shot
+        // path equivalent to the incremental parser plus an EOF event.
+        std::io::ErrorKind::UnexpectedEof => HttpError::new(400, "connection closed mid-request"),
         _ => HttpError::new(400, format!("read failed: {err}")),
     }
 }
 
-/// Write `response` to `stream` (errors are returned for the caller to
-/// ignore — a peer that hung up mid-response is its own problem).
-///
-/// # Errors
-/// Propagates the underlying socket write error.
-pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+/// Serialize `response` to wire bytes, with the `Connection` header the
+/// event loop's keep-alive decision calls for.
+#[must_use]
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     if let Some(seconds) = response.retry_after {
         head.push_str(&format!("Retry-After: {seconds}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(response.body.as_bytes());
+    out
+}
+
+/// Write `response` to `stream` with `Connection: close` (errors are
+/// returned for the caller to ignore — a peer that hung up mid-response
+/// is its own problem).
+///
+/// # Errors
+/// Propagates the underlying socket write error.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    stream.write_all(&render_response(response, false))?;
     stream.flush()
 }
 
@@ -231,6 +391,7 @@ mod tests {
         assert_eq!(r.path, "/v1/model/stairstep");
         assert_eq!(r.query, "units=15&processors=4");
         assert!(r.body.is_empty());
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -239,6 +400,16 @@ mod tests {
             parse("POST /v1/solve HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"zones\":2}").unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, "{\"zones\":2}");
+    }
+
+    #[test]
+    fn keep_alive_follows_the_version_and_connection_header() {
+        let keep = |raw: &str| parse(raw).unwrap().keep_alive;
+        assert!(keep("GET / HTTP/1.1\r\n\r\n"));
+        assert!(!keep("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!keep("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(!keep("GET / HTTP/1.0\r\n\r\n"));
+        assert!(keep("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
     }
 
     #[test]
@@ -280,6 +451,52 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parser_completes_and_reports_consumed_bytes() {
+        let wire = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"zones\":2}GET /next";
+        // Every proper prefix that ends before the body completes is
+        // Partial; the full request completes at the right offset.
+        let body_end = wire.len() - "GET /next".len();
+        for cut in 0..body_end {
+            assert_eq!(
+                parse_request_bytes(&wire[..cut], 1024).unwrap(),
+                Parse::Partial,
+                "cut at {cut}"
+            );
+        }
+        let Parse::Complete(req, consumed) = parse_request_bytes(wire, 1024).unwrap() else {
+            panic!("expected completion");
+        };
+        assert_eq!(consumed, body_end, "pipelined bytes must stay unconsumed");
+        assert_eq!(req.body, "{\"zones\":2}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn incremental_parser_rejects_what_the_oneshot_rejects() {
+        for raw in [
+            "nonsense\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            "POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST /v1/solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+        ] {
+            let expect = parse(raw).unwrap_err();
+            let got = parse_request_bytes(raw.as_bytes(), 1024).unwrap_err();
+            assert_eq!(got.status, expect.status, "{raw:?}");
+            assert_eq!(got.message, expect.message, "{raw:?}");
+        }
+        // An unterminated over-budget head fails without waiting for
+        // the newline that will never fit.
+        let huge = format!("GET / HTTP/1.1\r\nX-Junk: {}", "a".repeat(20_000));
+        assert_eq!(
+            parse_request_bytes(huge.as_bytes(), 1024)
+                .unwrap_err()
+                .status,
+            413
+        );
+    }
+
+    #[test]
     fn writes_responses_with_retry_after() {
         let mut out = Vec::new();
         write_response(
@@ -292,5 +509,13 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}"), "{text}");
+    }
+
+    #[test]
+    fn renders_keep_alive_responses() {
+        let bytes = render_response(&Response::ok("{}".to_string()), true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -28,14 +28,20 @@
 //!   the executors' flight recorders.
 //!
 //! Everything is `std`-only: HTTP framing is hand-rolled
-//! ([`http`]), JSON is `llp::obs::json`, and signals are a two-line
-//! binding to `signal(2)` ([`signal`]). See [`server`] for the
-//! admission-control architecture.
+//! ([`http`]), connections are multiplexed on one `poll(2)`-based
+//! readiness event loop ([`evloop`]) with HTTP/1.1 keep-alive, JSON is
+//! `llp::obs::json`, and signals are a two-line binding to `signal(2)`
+//! ([`signal`]). Identical in-flight `/v1/solve` requests coalesce into
+//! one execution and completed results land in a bounded
+//! content-addressed cache ([`cache`]). See [`server`] for the
+//! event-loop and admission-control architecture.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
+pub mod evloop;
 pub mod http;
 pub mod metrics;
 pub mod server;

@@ -34,6 +34,12 @@ pub struct Metrics {
     obs_reports_total: AtomicU64,
     obs_sync_events_total: AtomicU64,
     obs_seconds_total_bits: AtomicU64,
+    cache_hits_total: AtomicU64,
+    cache_misses_total: AtomicU64,
+    cache_coalesced_total: AtomicU64,
+    cache_bypass_total: AtomicU64,
+    cache_evictions_total: AtomicU64,
+    cache_entries: AtomicU64,
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
     by_status: [AtomicU64; TRACKED_STATUSES.len()],
     /// End-to-end request latency (parse through response build), ms.
@@ -65,6 +71,12 @@ impl Metrics {
             obs_reports_total: AtomicU64::new(0),
             obs_sync_events_total: AtomicU64::new(0),
             obs_seconds_total_bits: AtomicU64::new(0),
+            cache_hits_total: AtomicU64::new(0),
+            cache_misses_total: AtomicU64::new(0),
+            cache_coalesced_total: AtomicU64::new(0),
+            cache_bypass_total: AtomicU64::new(0),
+            cache_evictions_total: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
             by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
             by_status: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::latency_ms(),
@@ -193,6 +205,41 @@ impl Metrics {
         }
     }
 
+    /// Count one solve served straight from the content-addressed
+    /// cache (no execution).
+    pub fn cache_hit(&self) {
+        self.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one solve that missed the cache and executed (its result
+    /// was inserted afterwards).
+    pub fn cache_miss(&self) {
+        self.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one solve coalesced onto an identical in-flight execution
+    /// (it waited for that execution instead of queueing its own job).
+    pub fn cache_coalesced(&self) {
+        self.cache_coalesced_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `"cache": "bypass"` solve (executed unconditionally).
+    pub fn cache_bypass(&self) {
+        self.cache_bypass_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` evicted cache entries and set the resident-entry gauge.
+    pub fn cache_evicted(&self, n: u64, entries: usize) {
+        self.cache_evictions_total.fetch_add(n, Ordering::Relaxed);
+        self.cache_entries.store(entries as u64, Ordering::Relaxed);
+    }
+
+    /// Total cache hits so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits_total.load(Ordering::Relaxed)
+    }
+
     /// Render the snapshot, including the shared pool's own counters
     /// and shard count (passed in by the server, which owns the pool).
     #[must_use]
@@ -214,6 +261,17 @@ impl Metrics {
             ("executor_panics_total", load(&self.executor_panics_total)),
             ("open_connections", load(&self.open_connections)),
             ("jobs_total", load(&self.jobs_total)),
+            (
+                "cache",
+                Json::object(vec![
+                    ("hits", load(&self.cache_hits_total)),
+                    ("misses", load(&self.cache_misses_total)),
+                    ("coalesced", load(&self.cache_coalesced_total)),
+                    ("bypass", load(&self.cache_bypass_total)),
+                    ("evictions", load(&self.cache_evictions_total)),
+                    ("entries", load(&self.cache_entries)),
+                ]),
+            ),
             (
                 "endpoints",
                 Json::Object(
@@ -286,6 +344,25 @@ mod tests {
         assert_eq!(j.get("obs_seconds_total").unwrap().as_f64(), Some(0.5));
         assert_eq!(j.get("executor_shards").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn cache_counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.cache_miss();
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_coalesced();
+        m.cache_bypass();
+        m.cache_evicted(1, 7);
+        assert_eq!(m.cache_hits(), 2);
+        let cache = m.to_json(1, 1, 0, 0).get("cache").unwrap().clone();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(2));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("coalesced").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("bypass").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("evictions").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(7));
     }
 
     #[test]

@@ -1,52 +1,76 @@
-//! The `llpd` server: one listener, one shared doacross pool, and a
-//! bounded job queue feeding a sharded executor pool.
+//! The `llpd` server: one readiness event loop, one shared doacross
+//! pool, and a bounded job queue feeding a sharded executor pool.
 //!
 //! # Architecture
 //!
-//! Connection threads parse and validate requests, then answer cheap
-//! queries (`/metrics`, `/v1/model/*`) inline. Pool-backed work
+//! A single **event-loop thread** owns the nonblocking listener and
+//! every connection, multiplexed through a hand-declared `poll(2)`
+//! binding (see [`crate::evloop`]). Each connection is a small state
+//! machine: bytes accumulate in a read buffer, the incremental HTTP
+//! parser re-examines the prefix on every readable event, and response
+//! bytes drain through a bounded write buffer on writable events.
+//! Connections are keep-alive by default (HTTP/1.1 semantics) and
+//! serial: one request is in flight per connection, pipelined bytes
+//! wait buffered until the current response is written — that is the
+//! write-backpressure bound, since a response is never queued behind an
+//! unbounded backlog.
+//!
+//! Cheap queries (`/metrics`, `/v1/model/*`, `/v1/trace/*`, `/v1/tune`)
+//! are answered inline on the event loop. Pool-backed work
 //! (`/v1/solve`, `/v1/advise`) goes through admission control: a
-//! bounded queue in front of **N executor shards**. Each shard is a
-//! thread owning a disjoint [`Workers::sized_view`] slice of the shared
-//! pool — the slices share the pool's synchronization-event counters,
-//! so `/metrics` totals stay exact, but each shard carries its **own
-//! span recorder**. That per-shard recorder is what makes concurrency
-//! sound: a recorder keeps one span stack, so two requests may not
-//! interleave on the same recorder, but requests on *different* shards
-//! record independently and each response still contains exactly its
-//! own spans. Per-request worker counts come from a further
-//! `sized_view` of the shard, which clamps to the shard's width and
-//! surfaces the clamp in the report.
+//! bounded queue in front of **N executor shards**, each a thread
+//! owning a disjoint [`Workers::sized_view`] slice of the shared pool
+//! with its own span recorder and flight recorder. Executors push
+//! completions over a channel and wake the event loop, which writes the
+//! response on the requester's connection — or drops it, if the
+//! requester hit its deadline or hung up.
+//!
+//! # Content-addressed reuse
+//!
+//! Solves are deterministic and worker/schedule-invariant, so identical
+//! requests have identical answers. At admission every `/v1/solve` body
+//! is canonicalized to a [`ContentKey`] (built from the *parsed* case —
+//! JSON key order and whitespace cannot split the cache):
+//!
+//! * **hit** — the bounded LRU [`SolveCache`] already holds the
+//!   pre-rendered result: answered inline, no execution.
+//! * **coalesce** — an identical solve is already executing: this
+//!   requester parks on the same in-flight entry and the one execution
+//!   fans out to every waiter, each with its own `trace_id`.
+//! * **miss** — a job is enqueued and the result is cached on
+//!   completion.
+//! * `"cache": "bypass"` skips all of the above: the solve executes
+//!   unconditionally and touches neither the cache nor the in-flight
+//!   table (the escape hatch for measuring real execution).
 //!
 //! Admission control is deliberate back-pressure, not failure: when the
 //! queue is full the service answers `429` with a `Retry-After` derived
-//! from the **observed drain rate** (a window over recent job
-//! completion times — see [`DrainEstimator`]) instead of queueing
-//! unboundedly, and each queued request carries a deadline after which
-//! its connection gives up with `503` (an executor still finishes the
-//! job; the reply is simply dropped).
+//! from the **observed drain rate** ([`DrainEstimator`]) applied to the
+//! event loop's actual queue depth at rejection time, and each admitted
+//! request carries a deadline after which the event loop answers `503`
+//! (an executor still finishes the job; the completion is dropped).
 //!
-//! Shards are panic-proof: a job that panics (a solver bug, not bad
-//! input — input is validated at admission) is contained with
-//! [`std::panic::catch_unwind`], answered with `500`, counted in
-//! `executor_panics_total`, and the shard's recorder is
-//! [reset](llp::Recorder::reset) so the next job on that shard starts
-//! with a clean span stack.
+//! Shards are panic-proof: a job that panics is contained with
+//! [`std::panic::catch_unwind`], every parked waiter gets `500`, the
+//! in-flight entry is removed (so the next identical request executes
+//! rather than parking forever), and the shard's recorder is reset.
 //!
 //! Shutdown is graceful: draining flips first (new work gets `503`),
-//! every shard finishes everything already admitted, and the server
-//! waits for open connections to flush their responses.
+//! every shard finishes everything already admitted, the event loop
+//! delivers the final completions, closes idle keep-alive connections,
+//! and exits once every connection has flushed.
 
 use crate::api;
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::cache::{ContentKey, SolveCache, DEFAULT_CACHE_CAPACITY};
+use crate::evloop::{self, Conn, PollFd, ReadOutcome, WakeReceiver, Waker, POLLIN, POLLOUT};
+use crate::http::{parse_request_bytes, render_response, Parse, Request, Response, MAX_HEAD_BYTES};
 use crate::metrics::Metrics;
 use crate::trace::{TraceEntry, TraceStore};
 use f3d::service::MAX_WORKERS;
 use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
 use llp::{FlightRecorder, Recorder, Workers};
-use std::collections::VecDeque;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
@@ -64,6 +88,13 @@ const DRAIN_WINDOW: usize = 8;
 /// `Retry-After` ceiling in seconds; a stalled service never asks a
 /// client to back off longer than this.
 const MAX_RETRY_AFTER_SECS: f64 = 60.0;
+
+/// Hard cap on concurrently open connections; beyond it the listener
+/// is simply not polled and the kernel backlog absorbs the burst.
+const MAX_CONNECTIONS: usize = 1024;
+
+/// Poll timeout: the granularity of deadline expiry and idle sweeps.
+const POLL_TICK_MS: i32 = 25;
 
 /// Lock a mutex, tolerating poison: admission-control state is always
 /// valid at rest (push/pop/record are atomic units), so a panic while
@@ -95,6 +126,10 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
+    /// Content-addressed solve cache capacity in entries; 0 disables
+    /// caching (coalescing of identical in-flight solves still
+    /// happens).
+    pub cache_capacity: usize,
     /// Test hook: when set, every shard locks this mutex after popping
     /// each job and before computing it, so tests can hold the lock to
     /// pin executors "busy" deterministically.
@@ -119,6 +154,7 @@ impl Default for ServerConfig {
             queue_capacity: 8,
             deadline: Duration::from_secs(30),
             max_body_bytes: 64 * 1024,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             job_gate: None,
             job_fault: None,
             tune_db: None,
@@ -226,6 +262,15 @@ impl Default for DrainEstimator {
     }
 }
 
+/// One parked requester: the connection and the per-request token that
+/// guards against stale completions (a deadline-expired request's token
+/// no longer matches, so its late completion is dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiter {
+    conn: u64,
+    token: u64,
+}
+
 enum JobKind {
     Solve {
         case: f3d::service::ServiceCase,
@@ -236,18 +281,35 @@ enum JobKind {
     Advise(Box<api::AdviseQuery>),
 }
 
-/// The autotuner's server-side state: whether a calibration is
-/// running (one at a time; concurrent requests get 429) and the
-/// current database — seeded from [`ServerConfig::tune_db`], replaced
-/// by each completed calibration.
-struct TuneState {
-    running: AtomicBool,
-    db: Mutex<Option<Arc<TuneDb>>>,
+/// Where a job's completion(s) go.
+enum JobOrigin {
+    /// Reply to exactly this waiter (advise jobs, bypass solves).
+    Direct(Waiter),
+    /// Reply to every waiter parked in the in-flight table under this
+    /// key, and insert the rendered result into the solve cache.
+    Keyed(ContentKey),
 }
 
 struct Job {
     kind: JobKind,
-    reply: mpsc::Sender<Response>,
+    origin: JobOrigin,
+}
+
+/// One finished job reply, routed back to the event loop.
+struct Completion {
+    waiter: Waiter,
+    response: Response,
+}
+
+/// The autotuner's server-side state: whether a calibration is
+/// running (one at a time; concurrent requests get 429), the current
+/// database — seeded from [`ServerConfig::tune_db`], replaced by each
+/// completed calibration — and a generation counter the solve-cache
+/// keys embed so a recalibration invalidates `auto` entries.
+struct TuneState {
+    running: AtomicBool,
+    db: Mutex<Option<Arc<TuneDb>>>,
+    generation: AtomicU64,
 }
 
 struct Shared {
@@ -260,6 +322,15 @@ struct Shared {
     drain_rate: DrainEstimator,
     traces: TraceStore,
     tune: TuneState,
+    cache: SolveCache,
+    /// Coalescing table: canonical key → waiters parked on the one
+    /// in-flight execution of that key. An entry exists exactly while
+    /// its job is queued or executing; the executor removes it (under
+    /// this lock) when fanning out completions, so joining an entry
+    /// and removing it cannot interleave.
+    inflight: Mutex<HashMap<String, Vec<Waiter>>>,
+    completions: mpsc::Sender<Completion>,
+    waker: Waker,
     /// Monotone per-process request ids for the access log.
     request_seq: AtomicU64,
     config: ServerConfig,
@@ -277,22 +348,25 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<thread::JoinHandle<()>>,
+    event_loop: Option<thread::JoinHandle<()>>,
     executors: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, spawn the accept loop and the executor shards, and return.
+    /// Bind, spawn the event loop and the executor shards, and return.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind and waker-setup failures.
     pub fn start(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let (waker, wake_rx) = evloop::waker()?;
+        let (completions_tx, completions_rx) = mpsc::channel();
 
         let workers = config.workers.clamp(1, MAX_WORKERS);
         let shards = config.resolved_shards().min(workers);
+        let cache_capacity = config.cache_capacity;
         let shared = Arc::new(Shared {
             metrics: Metrics::new(),
             pool: Workers::new(workers),
@@ -305,14 +379,21 @@ impl Server {
             tune: TuneState {
                 running: AtomicBool::new(false),
                 db: Mutex::new(config.tune_db.clone().map(Arc::new)),
+                generation: AtomicU64::new(0),
             },
+            cache: SolveCache::new(cache_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            completions: completions_tx,
+            waker,
             request_seq: AtomicU64::new(1),
             config,
         });
 
-        let accept = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&listener, &shared))
+            thread::spawn(move || {
+                EventLoop::new(shared, listener, wake_rx, completions_rx).run();
+            })
         };
         let shard_width = (workers / shards).max(1);
         let executors = (0..shards)
@@ -334,7 +415,7 @@ impl Server {
         Ok(Self {
             shared,
             addr,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
             executors,
         })
     }
@@ -358,49 +439,25 @@ impl Server {
     }
 
     /// Drain and stop: new work is refused with 503, everything already
-    /// admitted completes, then threads are joined and open connections
-    /// are given a bounded grace period to flush.
+    /// admitted completes and its response is written, idle keep-alive
+    /// connections are closed, then threads are joined.
     pub fn shutdown(mut self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.queue_signal.notify_all();
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
+        self.shared.waker.wake();
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
-        // Executed jobs have replies in flight; give their connection
-        // threads a bounded window to write and hang up.
-        for _ in 0..500 {
-            if self.shared.metrics.open_connections() == 0 {
-                break;
-            }
-            thread::sleep(Duration::from_millis(10));
+        // Executors are done; wake the loop so it delivers the final
+        // completions and closes out.
+        self.shared.waker.wake();
+        if let Some(handle) = self.event_loop.take() {
+            let _ = handle.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.metrics.connection_opened();
-                let shared = Arc::clone(shared);
-                thread::spawn(move || {
-                    handle_connection(stream, &shared);
-                    shared.metrics.connection_closed();
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
+// ------------------------------------------------------------ executors
 
 /// One executor shard: pop admitted jobs and run them on this shard's
 /// pool slice until drained.
@@ -427,37 +484,89 @@ fn executor_loop(shared: &Arc<Shared>, slice: &Workers) {
             // Test hook: block here while a test holds the gate.
             drop(lock_clean(gate));
         }
-        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(shared, slice, &job.kind)
+        let completions = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, slice, &job)
         })) {
-            Ok(response) => response,
+            Ok(completions) => completions,
             Err(_) => {
                 // A panicking job (solver bug — inputs were validated at
                 // admission) must not take the shard down with it. The
                 // recorder may hold a half-built span stack and the
                 // flight rings partial events; reset and drain so the
                 // next job's report and timeline are exactly its own.
+                // Every parked waiter gets the 500 and the in-flight
+                // entry is removed, so the next identical request
+                // executes instead of parking on a dead entry.
                 shared.metrics.executor_panicked();
                 slice.recorder().reset();
                 let _ = slice.flight().take_timeline();
-                Response::error(500, "internal error: job panicked")
+                fail_job(
+                    shared,
+                    &job.origin,
+                    &Response::error(500, "internal error: job panicked"),
+                )
             }
         };
         shared.metrics.executor_finished();
         shared.drain_rate.record_completion();
-        // The requester may have hit its deadline and gone away.
-        job.reply.send(response).ok();
+        for completion in completions {
+            // The event loop may already be gone at hard teardown.
+            shared.completions.send(completion).ok();
+        }
+        shared.waker.wake();
     }
 }
 
-fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Response {
+/// Everyone waiting on this job. For keyed solves this *removes* the
+/// in-flight entry — from that point a new identical request starts a
+/// fresh execution (or hits the cache, if the result landed there).
+fn take_waiters(shared: &Arc<Shared>, origin: &JobOrigin) -> Vec<Waiter> {
+    match origin {
+        JobOrigin::Direct(waiter) => vec![*waiter],
+        JobOrigin::Keyed(key) => lock_clean(&shared.inflight)
+            .remove(key.canonical())
+            .unwrap_or_default(),
+    }
+}
+
+fn fail_job(shared: &Arc<Shared>, origin: &JobOrigin, response: &Response) -> Vec<Completion> {
+    take_waiters(shared, origin)
+        .into_iter()
+        .map(|waiter| Completion {
+            waiter,
+            response: response.clone(),
+        })
+        .collect()
+}
+
+/// Retain the run's flight trace (attribution + Chrome documents) and
+/// return the id the response advertises. Each waiter of a coalesced
+/// fan-out gets its *own* trace entry and id: the documents describe
+/// the one shared execution, but every client can fetch and correlate
+/// independently.
+fn retain_trace(shared: &Arc<Shared>, run: &f3d::service::ServiceRun) -> Option<u64> {
+    if run.timeline.is_empty() {
+        return None;
+    }
+    let id = shared.traces.allocate_id();
+    let (attribution, chrome) = api::trace_documents(run, id);
+    shared.traces.insert(TraceEntry {
+        id,
+        case: run.case.label(),
+        attribution,
+        chrome,
+    });
+    Some(id)
+}
+
+fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completion> {
     if let Some(fault) = &shared.config.job_fault {
         assert!(
             !fault.load(Ordering::SeqCst),
             "injected job fault (test hook)"
         );
     }
-    match kind {
+    match &job.kind {
         JobKind::Solve { case, auto } => {
             let view = slice.sized_view(case.workers);
             // "auto": overlay the tune database's per-kernel
@@ -476,26 +585,45 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
                     shared
                         .metrics
                         .job_done(run.sync_events, run.report.total_seconds());
-                    // Retain the run's flight trace (attribution +
-                    // Chrome documents) and hand the client its id.
-                    let trace_id = if run.timeline.is_empty() {
-                        None
-                    } else {
-                        let id = shared.traces.allocate_id();
-                        let (attribution, chrome) = api::trace_documents(&run, id);
-                        shared.traces.insert(TraceEntry {
-                            id,
-                            case: run.case.label(),
-                            attribution,
-                            chrome,
-                        });
-                        Some(id)
-                    };
-                    Response::ok(api::solve_response(&run, trace_id, tuned).to_string())
+                    match &job.origin {
+                        JobOrigin::Direct(waiter) => {
+                            let trace_id = retain_trace(shared, &run);
+                            let body = api::solve_response(&run, trace_id, tuned, "bypass");
+                            vec![Completion {
+                                waiter: *waiter,
+                                response: Response::ok(body.to_string()),
+                            }]
+                        }
+                        JobOrigin::Keyed(key) => {
+                            // Cache first, then take the waiters: a new
+                            // identical request arriving in between hits
+                            // the cache instead of duplicating work.
+                            // The cached body is rendered with a null
+                            // trace_id and a "hit" marker — a hit serves
+                            // no fresh trace.
+                            let cached = api::solve_response(&run, None, tuned.clone(), "hit");
+                            let evicted = shared.cache.insert(key, Arc::new(cached.to_string()));
+                            shared
+                                .metrics
+                                .cache_evicted(evicted as u64, shared.cache.len());
+                            take_waiters(shared, &job.origin)
+                                .into_iter()
+                                .map(|waiter| {
+                                    let trace_id = retain_trace(shared, &run);
+                                    let body =
+                                        api::solve_response(&run, trace_id, tuned.clone(), "miss");
+                                    Completion {
+                                        waiter,
+                                        response: Response::ok(body.to_string()),
+                                    }
+                                })
+                                .collect()
+                        }
+                    }
                 }
                 // Validation happened at admission; anything left is an
                 // internal fault.
-                Err(msg) => Response::error(500, &msg),
+                Err(msg) => fail_job(shared, &job.origin, &Response::error(500, &msg)),
             }
         }
         JobKind::Advise(query) => {
@@ -508,51 +636,574 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, kind: &JobKind) -> Respons
             let advice = query
                 .advisor
                 .advise_with_measured(&query.reports, &measured);
-            Response::ok(api::advise_response(&advice).to_string())
+            let response = Response::ok(api::advise_response(&advice).to_string());
+            take_waiters(shared, &job.origin)
+                .into_iter()
+                .map(|waiter| Completion {
+                    waiter,
+                    response: response.clone(),
+                })
+                .collect()
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    // Generous socket timeout: the per-request deadline governs job
-    // latency; this only bounds how long a silent peer can pin the
-    // thread.
-    let io_timeout = shared.config.deadline + Duration::from_secs(5);
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let started = Instant::now();
-    let req_id = shared.request_seq.fetch_add(1, Ordering::Relaxed);
-    let (response, method, path) = match read_request(&mut reader, shared.config.max_body_bytes) {
-        Ok(request) => {
-            let response = route(&request, shared);
-            (response, request.method, request.path)
+// ----------------------------------------------------------- event loop
+
+/// A request parked on its connection while an executor computes.
+struct PendingReq {
+    token: u64,
+    deadline: Instant,
+    started: Instant,
+    req_id: u64,
+    keep_alive: bool,
+    method: String,
+    path: String,
+}
+
+struct ConnState {
+    conn: Conn,
+    pending: Option<PendingReq>,
+    idle_since: Instant,
+}
+
+/// What `route` decided: answer now, or queue a job.
+enum RouteOutcome {
+    Inline(Response),
+    Submit(JobKind, /* bypass: */ bool),
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    wake_rx: WakeReceiver,
+    completions: mpsc::Receiver<Completion>,
+    conns: HashMap<u64, ConnState>,
+    next_conn_id: u64,
+    next_token: u64,
+    /// Read-buffer cap: any legal request (head + declared body) fits,
+    /// with one read chunk of slack for pipelined follow-ups.
+    read_cap: usize,
+    /// Idle connections (including half-sent requests) are closed after
+    /// this long; parked requests are governed by the job deadline
+    /// instead.
+    io_timeout: Duration,
+}
+
+impl EventLoop {
+    fn new(
+        shared: Arc<Shared>,
+        listener: TcpListener,
+        wake_rx: WakeReceiver,
+        completions: mpsc::Receiver<Completion>,
+    ) -> Self {
+        let read_cap = MAX_HEAD_BYTES + shared.config.max_body_bytes + 4096;
+        let io_timeout = shared.config.deadline + Duration::from_secs(5);
+        Self {
+            shared,
+            listener,
+            wake_rx,
+            completions,
+            conns: HashMap::new(),
+            next_conn_id: 1,
+            next_token: 1,
+            read_cap,
+            io_timeout,
         }
-        Err(HttpError { status, message }) => {
-            shared.metrics.request("other");
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    fn run(&mut self) {
+        loop {
+            if self.draining() {
+                self.close_idle_for_drain();
+                if self.conns.is_empty() {
+                    return;
+                }
+            }
+            // Build the poll set: listener (unless draining or at the
+            // connection cap), the waker, and every connection with an
+            // interest. A connection waiting on a job or holding a
+            // full read buffer registers nothing — that is the
+            // backpressure: its socket simply stops being read.
+            let mut fds = Vec::with_capacity(self.conns.len() + 2);
+            let listener_slot = if !self.draining() && self.conns.len() < MAX_CONNECTIONS {
+                fds.push(PollFd::new(evloop::raw_fd(&self.listener), POLLIN));
+                Some(0)
+            } else {
+                None
+            };
+            let wake_slot = fds.len();
+            fds.push(PollFd::new(self.wake_rx.fd(), POLLIN));
+            let mut conn_slots: Vec<(usize, u64)> = Vec::new();
+            for (&id, state) in &self.conns {
+                let mut events: i16 = 0;
+                if state.conn.has_pending_write() {
+                    events |= POLLOUT;
+                } else if state.pending.is_none()
+                    && !state.conn.close_after_write
+                    && state.conn.read_buf.len() < self.read_cap
+                {
+                    events |= POLLIN;
+                }
+                if events != 0 {
+                    conn_slots.push((fds.len(), id));
+                    fds.push(PollFd::new(state.conn.fd(), events));
+                }
+            }
+            if evloop::wait(&mut fds, POLL_TICK_MS).is_err() {
+                // poll(2) itself failing is unrecoverable enough that
+                // spinning would only burn a core; nap instead.
+                thread::sleep(Duration::from_millis(POLL_TICK_MS as u64));
+            }
+            if fds[wake_slot].ready(POLLIN) {
+                self.wake_rx.drain();
+            }
+            self.deliver_completions();
+            if let Some(slot) = listener_slot {
+                if fds[slot].ready(POLLIN) {
+                    self.accept_ready();
+                }
+            }
+            for (slot, id) in conn_slots {
+                let revents = fds[slot];
+                self.service_conn(id, revents);
+            }
+            self.expire_deadlines();
+            self.sweep_idle();
+        }
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        token
+    }
+
+    fn close(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.shared.metrics.connection_closed();
+        }
+    }
+
+    /// Drain phase: hang up every connection with nothing in flight.
+    fn close_idle_for_drain(&mut self) {
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| s.pending.is_none() && !s.conn.has_pending_write())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            self.close(id);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.conns.len() >= MAX_CONNECTIONS {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.metrics.connection_opened();
+                    match Conn::new(stream) {
+                        Ok(conn) => {
+                            let id = self.next_conn_id;
+                            self.next_conn_id += 1;
+                            self.conns.insert(
+                                id,
+                                ConnState {
+                                    conn,
+                                    pending: None,
+                                    idle_since: Instant::now(),
+                                },
+                            );
+                        }
+                        Err(_) => self.shared.metrics.connection_closed(),
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn service_conn(&mut self, id: u64, revents: PollFd) {
+        if revents.ready(POLLOUT) {
+            let Some(state) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if state.conn.has_pending_write() {
+                match state.conn.flush_some() {
+                    Ok(true) => {
+                        if state.conn.close_after_write {
+                            self.close(id);
+                            return;
+                        }
+                        state.idle_since = Instant::now();
+                        // The response is out; a pipelined request may
+                        // already be buffered.
+                        self.try_advance(id);
+                    }
+                    Ok(false) => {}
+                    Err(_) => {
+                        self.close(id);
+                        return;
+                    }
+                }
+            }
+        }
+        if revents.ready(POLLIN) {
+            let Some(state) = self.conns.get_mut(&id) else {
+                return;
+            };
+            // Guard re-checked here: the fallback `wait` marks every
+            // registered descriptor ready, and a POLLOUT registration
+            // may coincide with error/hangup bits.
+            if state.pending.is_some()
+                || state.conn.close_after_write
+                || state.conn.has_pending_write()
+            {
+                return;
+            }
+            match state.conn.read_some(self.read_cap) {
+                ReadOutcome::Progress => {
+                    state.idle_since = Instant::now();
+                    self.try_advance(id);
+                }
+                ReadOutcome::Idle => {}
+                ReadOutcome::Eof => {
+                    if state.conn.read_buf.is_empty() {
+                        // Orderly keep-alive hangup between requests.
+                        self.close(id);
+                    } else {
+                        // The peer quit mid-request: same answer the
+                        // one-shot parser gave on a truncated stream.
+                        self.shared.metrics.request("other");
+                        let response = Response::error(400, "connection closed mid-request");
+                        self.finish_request(id, response, false, Instant::now(), None);
+                    }
+                }
+                ReadOutcome::Failed => self.close(id),
+            }
+        }
+    }
+
+    /// Parse-and-dispatch loop: frame as many buffered requests as the
+    /// connection's serial-response discipline allows (one response
+    /// must fully flush before the next request is considered).
+    fn try_advance(&mut self, id: u64) {
+        loop {
+            let Some(state) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if state.pending.is_some()
+                || state.conn.has_pending_write()
+                || state.conn.close_after_write
+            {
+                return;
+            }
+            if state.conn.read_buf.is_empty() {
+                return;
+            }
+            match parse_request_bytes(&state.conn.read_buf, self.shared.config.max_body_bytes) {
+                Ok(Parse::Partial) => return,
+                Err(e) => {
+                    // Framing failure: answer and close, exactly like
+                    // the one-shot path did.
+                    self.shared.metrics.request("other");
+                    let response = Response::error(e.status, &e.message);
+                    self.finish_request(id, response, false, Instant::now(), None);
+                    return;
+                }
+                Ok(Parse::Complete(request, consumed)) => {
+                    state.conn.consume(consumed);
+                    let started = Instant::now();
+                    self.handle_request(id, request, started);
+                }
+            }
+        }
+    }
+
+    fn handle_request(&mut self, id: u64, request: Request, started: Instant) {
+        let req_id = self.shared.request_seq.fetch_add(1, Ordering::Relaxed);
+        let log = Some((req_id, request.method.clone(), request.path.clone()));
+        match route(&request, &self.shared) {
+            RouteOutcome::Inline(response) => {
+                self.finish_request(id, response, request.keep_alive, started, log);
+            }
+            RouteOutcome::Submit(kind, bypass) => {
+                self.admit(id, &request, kind, bypass, started, req_id);
+            }
+        }
+    }
+
+    /// `Retry-After` for a rejection: the event loop's actual queue
+    /// depth at rejection time plus every job currently executing is
+    /// ahead of the client, whatever number of keep-alive connections
+    /// those jobs arrived on.
+    fn retry_after(&self, queued: usize) -> u64 {
+        let ahead = queued + self.shared.metrics.executors_busy() as usize;
+        self.shared.drain_rate.retry_after_secs(ahead)
+    }
+
+    /// Admission control for pool-backed work: cache lookup, coalesce,
+    /// or enqueue — then park the requester on its connection.
+    fn admit(
+        &mut self,
+        id: u64,
+        request: &Request,
+        kind: JobKind,
+        bypass: bool,
+        started: Instant,
+        req_id: u64,
+    ) {
+        let log = Some((req_id, request.method.clone(), request.path.clone()));
+        if self.draining() {
+            let queued = lock_clean(&self.shared.queue).len();
+            let response =
+                Response::error(503, "shutting down").with_retry_after(self.retry_after(queued));
+            self.finish_request(id, response, request.keep_alive, started, log);
+            return;
+        }
+        let origin = match &kind {
+            JobKind::Solve { case, auto } if !bypass => {
+                let generation = self.shared.tune.generation.load(Ordering::SeqCst);
+                let key = ContentKey::for_case(case, *auto, generation);
+                if let Some(body) = self.shared.cache.get(&key) {
+                    self.shared.metrics.cache_hit();
+                    let response = Response::ok((*body).clone());
+                    self.finish_request(id, response, request.keep_alive, started, log);
+                    return;
+                }
+                let token = self.alloc_token();
+                let waiter = Waiter { conn: id, token };
+                // Coalesce: if an identical solve is queued or
+                // executing, park on its in-flight entry. The executor
+                // removes entries under this same lock, so a join
+                // cannot race a fan-out.
+                let mut inflight = lock_clean(&self.shared.inflight);
+                if let Some(waiters) = inflight.get_mut(key.canonical()) {
+                    waiters.push(waiter);
+                    drop(inflight);
+                    self.shared.metrics.cache_coalesced();
+                    self.park(id, token, request, started, req_id);
+                    return;
+                }
+                // Fresh execution: reserve the in-flight entry and
+                // enqueue while holding the inflight lock (lock order
+                // inflight → queue; the executors take them singly).
+                let mut queue = lock_clean(&self.shared.queue);
+                self.shared.metrics.observe_queue_depth(queue.len());
+                if queue.len() >= self.shared.config.queue_capacity {
+                    let queued = queue.len();
+                    drop(queue);
+                    drop(inflight);
+                    let response = Response::error(429, "queue full")
+                        .with_retry_after(self.retry_after(queued));
+                    self.finish_request(id, response, request.keep_alive, started, log);
+                    return;
+                }
+                inflight.insert(key.canonical().to_string(), vec![waiter]);
+                self.shared.metrics.cache_miss();
+                queue.push_back(Job {
+                    kind,
+                    origin: JobOrigin::Keyed(key),
+                });
+                self.shared.metrics.set_queue_depth(queue.len());
+                drop(queue);
+                drop(inflight);
+                self.shared.queue_signal.notify_one();
+                self.park(id, token, request, started, req_id);
+                return;
+            }
+            JobKind::Solve { .. } => {
+                self.shared.metrics.cache_bypass();
+                JobOrigin::Direct(Waiter {
+                    conn: id,
+                    token: self.alloc_token(),
+                })
+            }
+            JobKind::Advise(_) => JobOrigin::Direct(Waiter {
+                conn: id,
+                token: self.alloc_token(),
+            }),
+        };
+        // Direct path (advise, bypass solves): plain bounded-queue
+        // admission.
+        let JobOrigin::Direct(waiter) = origin else {
+            unreachable!("keyed admissions return above");
+        };
+        let mut queue = lock_clean(&self.shared.queue);
+        self.shared.metrics.observe_queue_depth(queue.len());
+        if queue.len() >= self.shared.config.queue_capacity {
+            let queued = queue.len();
+            drop(queue);
+            let response =
+                Response::error(429, "queue full").with_retry_after(self.retry_after(queued));
+            self.finish_request(id, response, request.keep_alive, started, log);
+            return;
+        }
+        queue.push_back(Job {
+            kind,
+            origin: JobOrigin::Direct(waiter),
+        });
+        self.shared.metrics.set_queue_depth(queue.len());
+        drop(queue);
+        self.shared.queue_signal.notify_one();
+        self.park(id, waiter.token, request, started, req_id);
+    }
+
+    fn park(&mut self, id: u64, token: u64, request: &Request, started: Instant, req_id: u64) {
+        if let Some(state) = self.conns.get_mut(&id) {
+            state.pending = Some(PendingReq {
+                token,
+                deadline: started + self.shared.config.deadline,
+                started,
+                req_id,
+                keep_alive: request.keep_alive,
+                method: request.method.clone(),
+                path: request.path.clone(),
+            });
+        }
+    }
+
+    /// Queue a response on the connection, log it, and opportunistically
+    /// flush. `log` is `(req_id, method, path)` — `None` for framing
+    /// errors that never had a routed request.
+    fn finish_request(
+        &mut self,
+        id: u64,
+        response: Response,
+        keep_alive: bool,
+        started: Instant,
+        log: Option<(u64, String, String)>,
+    ) {
+        let status = response.status;
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        self.shared.metrics.response(status);
+        self.shared.metrics.observe_latency_ms(elapsed_ms);
+        // Structured one-line access log: parse/queue/compute end to
+        // end.
+        let (req_id, method, path) = log.unwrap_or_else(|| {
             (
-                Response::error(status, &message),
+                self.shared.request_seq.fetch_add(1, Ordering::Relaxed),
                 "-".to_string(),
                 "-".to_string(),
             )
+        });
+        eprintln!(
+            "llpd req={req_id} method={method} path={path} status={status} ms={elapsed_ms:.2}"
+        );
+        let keep = keep_alive && !self.draining();
+        let Some(state) = self.conns.get_mut(&id) else {
+            return;
+        };
+        state.conn.queue_write(&render_response(&response, keep));
+        state.conn.close_after_write = !keep;
+        state.idle_since = Instant::now();
+        match state.conn.flush_some() {
+            Ok(true) => {
+                if state.conn.close_after_write {
+                    self.close(id);
+                }
+            }
+            Ok(false) => {}
+            Err(_) => self.close(id),
         }
-    };
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
-    shared.metrics.response(response.status);
-    shared.metrics.observe_latency_ms(elapsed_ms);
-    // Structured one-line access log: parse/queue/compute end to end.
-    eprintln!(
-        "llpd req={req_id} method={method} path={path} status={} ms={elapsed_ms:.2}",
-        response.status
-    );
-    let mut stream = stream;
-    let _ = write_response(&mut stream, &response);
+    }
+
+    fn deliver_completions(&mut self) {
+        while let Ok(Completion { waiter, response }) = self.completions.try_recv() {
+            let Some(state) = self.conns.get_mut(&waiter.conn) else {
+                continue; // requester hung up
+            };
+            let stale = state
+                .pending
+                .as_ref()
+                .is_none_or(|p| p.token != waiter.token);
+            if stale {
+                continue; // requester hit its deadline; drop the reply
+            }
+            let p = state.pending.take().expect("matched above");
+            self.finish_request(
+                waiter.conn,
+                response,
+                p.keep_alive,
+                p.started,
+                Some((p.req_id, p.method, p.path)),
+            );
+            // A pipelined follow-up may already be buffered.
+            self.try_advance(waiter.conn);
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| s.pending.as_ref().is_some_and(|p| p.deadline <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let Some(state) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            let Some(p) = state.pending.take() else {
+                continue;
+            };
+            self.shared.metrics.timeout();
+            let queued = lock_clean(&self.shared.queue).len();
+            let response = Response::error(503, "deadline exceeded")
+                .with_retry_after(self.retry_after(queued));
+            self.finish_request(
+                id,
+                response,
+                p.keep_alive,
+                p.started,
+                Some((p.req_id, p.method, p.path)),
+            );
+        }
+    }
+
+    /// Close connections that have sat silent too long: a half-sent
+    /// request gets the same 408 the blocking read timeout produced,
+    /// an idle keep-alive connection is just hung up.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| {
+                s.pending.is_none()
+                    && !s.conn.has_pending_write()
+                    && now.duration_since(s.idle_since) > self.io_timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            let has_partial = self
+                .conns
+                .get(&id)
+                .is_some_and(|s| !s.conn.read_buf.is_empty());
+            if has_partial {
+                self.shared.metrics.request("other");
+                let response = Response::error(408, "timed out reading request");
+                self.finish_request(id, response, false, Instant::now(), None);
+            } else {
+                self.close(id);
+            }
+        }
+    }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+// -------------------------------------------------------------- routing
+
+fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
     let (endpoint, expect_post) = match request.path.as_str() {
         "/metrics" => ("metrics", false),
         "/v1/solve" => ("solve", true),
@@ -567,15 +1218,21 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     };
     shared.metrics.request(endpoint);
     if endpoint == "other" {
-        return Response::error(404, &format!("no route for {}", request.path));
+        return RouteOutcome::Inline(Response::error(
+            404,
+            &format!("no route for {}", request.path),
+        ));
     }
     let expected = if expect_post { "POST" } else { "GET" };
     if request.method != expected {
-        return Response::error(405, &format!("{} requires {expected}", request.path));
+        return RouteOutcome::Inline(Response::error(
+            405,
+            &format!("{} requires {expected}", request.path),
+        ));
     }
 
     match endpoint {
-        "metrics" => Response::ok(
+        "metrics" => RouteOutcome::Inline(Response::ok(
             shared
                 .metrics
                 .to_json(
@@ -585,17 +1242,17 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                     shared.pool.region_count(),
                 )
                 .to_string(),
-        ),
+        )),
         "model" => {
             let kind = &request.path["/v1/model/".len()..];
-            match api::model_response(kind, &request.query) {
+            RouteOutcome::Inline(match api::model_response(kind, &request.query) {
                 Ok(json) => Response::ok(json.to_string()),
                 Err(msg) => Response::error(400, &msg),
-            }
+            })
         }
         "trace" => {
             let raw = &request.path["/v1/trace/".len()..];
-            match raw.parse::<u64>() {
+            RouteOutcome::Inline(match raw.parse::<u64>() {
                 Err(_) => Response::error(400, "trace id must be a non-negative integer"),
                 Ok(id) => match shared.traces.get(id) {
                     None => {
@@ -610,44 +1267,42 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                         ),
                     },
                 },
-            }
+            })
         }
         "solve" => {
             let default_workers = shared.pool.processors().min(MAX_WORKERS);
             match api::parse_solve_body(&request.body, default_workers) {
-                Ok(req) => submit(
-                    shared,
+                Ok(req) => RouteOutcome::Submit(
                     JobKind::Solve {
                         case: req.case,
                         auto: req.auto,
                     },
+                    req.bypass,
                 ),
-                Err(msg) => Response::error(400, &msg),
+                Err(msg) => RouteOutcome::Inline(Response::error(400, &msg)),
             }
         }
-        "tune" => {
-            if request.method == "GET" {
-                let db = shared.tune_db();
-                let status = if shared.tune.running.load(Ordering::SeqCst) {
-                    "calibrating"
-                } else if db.is_some() {
-                    "ready"
-                } else {
-                    "idle"
-                };
-                Response::ok(api::tune_status_response(status, db.as_deref()).to_string())
+        "tune" => RouteOutcome::Inline(if request.method == "GET" {
+            let db = shared.tune_db();
+            let status = if shared.tune.running.load(Ordering::SeqCst) {
+                "calibrating"
+            } else if db.is_some() {
+                "ready"
             } else {
-                start_calibration(shared, &request.body)
-            }
-        }
+                "idle"
+            };
+            Response::ok(api::tune_status_response(status, db.as_deref()).to_string())
+        } else {
+            start_calibration(shared, &request.body)
+        }),
         "advise" => match api::parse_advise_body(&request.body) {
-            Ok(query) => submit(shared, JobKind::Advise(Box::new(query))),
-            Err(msg) => Response::error(400, &msg),
+            Ok(query) => RouteOutcome::Submit(JobKind::Advise(Box::new(query)), false),
+            Err(msg) => RouteOutcome::Inline(Response::error(400, &msg)),
         },
         // The match above covers every routed endpoint; answer a clean
-        // 500 rather than panicking the connection thread if routing
-        // and dispatch ever drift apart.
-        _ => Response::error(500, "internal error: unroutable endpoint"),
+        // 500 rather than panicking the event loop if routing and
+        // dispatch ever drift apart.
+        _ => RouteOutcome::Inline(Response::error(500, "internal error: unroutable endpoint")),
     }
 }
 
@@ -660,7 +1315,9 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
 /// shards keep serving while it measures. With the `job_gate` test
 /// hook installed the calibration honors the gate before starting and
 /// selects winners in deterministic (structural) mode, so tests can
-/// pin it mid-flight and reproduce its decisions exactly.
+/// pin it mid-flight and reproduce its decisions exactly. A completed
+/// calibration bumps the tune generation, which invalidates every
+/// cached `auto` solve (their content keys embed the generation).
 fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::error(503, "shutting down");
@@ -687,6 +1344,7 @@ fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
         match outcome {
             Ok(Ok(db)) => {
                 *lock_clean(&shared.tune.db) = Some(Arc::new(db));
+                shared.tune.generation.fetch_add(1, Ordering::SeqCst);
             }
             Ok(Err(msg)) => eprintln!("llpd: calibration failed: {msg}"),
             Err(_) => eprintln!("llpd: calibration panicked"),
@@ -694,44 +1352,6 @@ fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
         shared.tune.running.store(false, Ordering::SeqCst);
     });
     Response::ok(api::tune_started_response(&spec).to_string())
-}
-
-/// `Retry-After` for a rejection while `queued` jobs wait: everything
-/// queued plus everything currently executing is ahead of the client.
-fn retry_after(shared: &Arc<Shared>, queued: usize) -> u64 {
-    let ahead = queued + shared.metrics.executors_busy() as usize;
-    shared.drain_rate.retry_after_secs(ahead)
-}
-
-/// Admission control: enqueue a validated job and wait for its reply
-/// until the deadline.
-fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
-    if shared.draining.load(Ordering::SeqCst) {
-        let queued = lock_clean(&shared.queue).len();
-        return Response::error(503, "shutting down").with_retry_after(retry_after(shared, queued));
-    }
-    let (reply, receiver) = mpsc::channel();
-    {
-        let mut queue = lock_clean(&shared.queue);
-        shared.metrics.observe_queue_depth(queue.len());
-        if queue.len() >= shared.config.queue_capacity {
-            let queued = queue.len();
-            drop(queue);
-            return Response::error(429, "queue full")
-                .with_retry_after(retry_after(shared, queued));
-        }
-        queue.push_back(Job { kind, reply });
-        shared.metrics.set_queue_depth(queue.len());
-    }
-    shared.queue_signal.notify_one();
-    match receiver.recv_timeout(shared.config.deadline) {
-        Ok(response) => response,
-        Err(_) => {
-            shared.metrics.timeout();
-            let queued = lock_clean(&shared.queue).len();
-            Response::error(503, "deadline exceeded").with_retry_after(retry_after(shared, queued))
-        }
-    }
 }
 
 #[cfg(test)]

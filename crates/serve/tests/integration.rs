@@ -68,14 +68,19 @@ fn send_raw(addr: SocketAddr, raw: &str) -> Reply {
 }
 
 fn get(addr: SocketAddr, target: &str) -> Reply {
-    send_raw(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    // `Connection: close` because this helper reads to EOF; keep-alive
+    // behavior gets its own tests below.
+    send_raw(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn post(addr: SocketAddr, target: &str, body: &str) -> Reply {
     send_raw(
         addr,
         &format!(
-            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
@@ -106,6 +111,115 @@ fn small_server() -> Server {
         ..ServerConfig::default()
     })
     .expect("bind")
+}
+
+/// A keep-alive client: one connection, many requests, each response
+/// framed by its `Content-Length` (never by EOF).
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, raw: &str) {
+        self.stream
+            .write_all(raw.as_bytes())
+            .expect("write request");
+    }
+
+    /// Read exactly one response off the connection, leaving any
+    /// pipelined follow-up bytes buffered.
+    fn read_reply(&mut self) -> Reply {
+        loop {
+            if let Some(head_end) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|p| p + 4)
+            {
+                let head = String::from_utf8(self.buf[..head_end - 4].to_vec()).expect("head");
+                let mut lines = head.lines();
+                let status: u16 = lines
+                    .next()
+                    .and_then(|l| l.split(' ').nth(1))
+                    .and_then(|s| s.parse().ok())
+                    .expect("status line");
+                let headers: Vec<(String, String)> = lines
+                    .filter_map(|l| l.split_once(':'))
+                    .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                    .collect();
+                let length: usize = headers
+                    .iter()
+                    .find(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
+                    .and_then(|(_, v)| v.parse().ok())
+                    .expect("response declares Content-Length");
+                if self.buf.len() >= head_end + length {
+                    let body = String::from_utf8(self.buf[head_end..head_end + length].to_vec())
+                        .expect("body");
+                    self.buf.drain(..head_end + length);
+                    return Reply {
+                        status,
+                        headers,
+                        body,
+                    };
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "connection closed mid-response");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn get(&mut self, target: &str) -> Reply {
+        self.send(&format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        self.read_reply()
+    }
+
+    fn post(&mut self, target: &str, body: &str) -> Reply {
+        self.send(&format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        self.read_reply()
+    }
+}
+
+/// A nested `cache` counter from `/metrics`.
+fn cache_metric(addr: SocketAddr, key: &str) -> u64 {
+    get(addr, "/metrics")
+        .json()
+        .get("cache")
+        .expect("/metrics has a `cache` block")
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("cache block has no `{key}`"))
+}
+
+/// A solve response body with its `trace_id` value blanked, for
+/// byte-equality checks across a coalesced fan-out (each waiter gets
+/// its own trace id; everything else must match exactly).
+fn mask_trace_id(body: &str) -> String {
+    let Some(start) = body.find("\"trace_id\":") else {
+        panic!("solve body has no trace_id: {body}");
+    };
+    let value_start = start + "\"trace_id\":".len();
+    let rest = &body[value_start..];
+    let value_len = rest
+        .find([',', '}'])
+        .expect("trace_id value is followed by , or }");
+    format!("{}<id>{}", &body[..value_start], &rest[value_len..])
 }
 
 /// Parse a `Retry-After` header, asserting it exists and is at least 1.
@@ -499,7 +613,11 @@ fn http_robustness() {
     assert_eq!(get(addr, "/nope").status, 404);
     assert_eq!(get(addr, "/v1/solve").status, 405);
     assert_eq!(
-        send_raw(addr, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n").status,
+        send_raw(
+            addr,
+            "POST /metrics HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+        )
+        .status,
         405
     );
     assert_eq!(post(addr, "/v1/solve", "{not json").status, 400);
@@ -1083,7 +1201,12 @@ fn solve_trace_attribution_agrees_with_the_model() {
     let mut agreed = false;
     let mut last_doc = Json::Null;
     for _ in 0..3 {
-        let id = solve_trace_id(addr, r#"{"zones": 2, "steps": 3, "workers": 2}"#);
+        // Bypass the solve cache: each attempt must really execute to
+        // produce a fresh flight trace.
+        let id = solve_trace_id(
+            addr,
+            r#"{"zones": 2, "steps": 3, "workers": 2, "cache": "bypass"}"#,
+        );
 
         let reply = get(addr, &format!("/v1/trace/{id}"));
         assert_eq!(reply.status, 200, "{}", reply.body);
@@ -1193,18 +1316,19 @@ fn trace_endpoint_rejects_unknowns_cleanly() {
     assert_eq!(
         send_raw(
             addr,
-            "POST /v1/trace/1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+            "POST /v1/trace/1 HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
         )
         .status,
         405
     );
-    let id = solve_trace_id(addr, r#"{"zones": 1, "steps": 1}"#);
+    let id = solve_trace_id(addr, r#"{"zones": 1, "steps": 1, "cache": "bypass"}"#);
     assert_eq!(get(addr, &format!("/v1/trace/{id}?trace=svg")).status, 400);
     // Every error body is JSON with an `error` key.
     assert!(get(addr, "/v1/trace/999999").json().get("error").is_some());
 
-    // Trace ids are unique across solves.
-    let other = solve_trace_id(addr, r#"{"zones": 1, "steps": 1}"#);
+    // Trace ids are unique across solves (bypass: a cache hit would
+    // serve the stored body, which carries no fresh trace).
+    let other = solve_trace_id(addr, r#"{"zones": 1, "steps": 1, "cache": "bypass"}"#);
     assert_ne!(id, other);
     // The trace endpoint has its own request counter.
     let metrics = get(addr, "/metrics").json();
@@ -1270,7 +1394,7 @@ fn stress_small_shard_slices_under_concurrent_load() {
                         post(
                             addr,
                             "/v1/solve",
-                            r#"{"zones": 1, "steps": 1, "workers": 2, "schedule": "dynamic"}"#,
+                            r#"{"zones": 1, "steps": 1, "workers": 2, "schedule": "dynamic", "cache": "bypass"}"#,
                         )
                     } else {
                         post(addr, "/v1/advise", ADVISE_BODY)
@@ -1307,4 +1431,233 @@ fn stress_small_shard_slices_under_concurrent_load() {
     );
     assert_eq!(metric(addr, "executor_panics_total"), 0);
     server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = small_server();
+    let addr = server.addr();
+    let mut client = Client::connect(addr);
+
+    // Mixed traffic — inline queries and pool-backed jobs — all on the
+    // same socket, each response marked keep-alive.
+    for _ in 0..3 {
+        let reply = client.get("/metrics");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("Connection"), Some("keep-alive"));
+    }
+    let solve = client.post("/v1/solve", r#"{"zones": 1, "steps": 2}"#);
+    assert_eq!(solve.status, 200, "{}", solve.body);
+    assert_eq!(solve.header("Connection"), Some("keep-alive"));
+    let advise = client.post("/v1/advise", ADVISE_BODY);
+    assert_eq!(advise.status, 200, "{}", advise.body);
+
+    // Even error responses keep a framed connection alive...
+    let missing = client.get("/nope");
+    assert_eq!(missing.status, 404);
+    assert_eq!(missing.header("Connection"), Some("keep-alive"));
+    let after = client.get("/metrics");
+    assert_eq!(after.status, 200);
+
+    // ...and the whole exchange used exactly one connection (plus the
+    // one-shot /metrics probe below).
+    assert_eq!(metric(addr, "open_connections"), 2);
+
+    // `Connection: close` is honored: the response says close and the
+    // server hangs up.
+    client.send("GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let last = client.read_reply();
+    assert_eq!(last.status, 200);
+    assert_eq!(last.header("Connection"), Some("close"));
+    let mut rest = Vec::new();
+    client.stream.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty(), "no bytes may follow a close response");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = small_server();
+    let addr = server.addr();
+    let mut client = Client::connect(addr);
+
+    // Three requests written back-to-back before reading anything; the
+    // responses come back in order, one per request.
+    client.send(concat!(
+        "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /v1/model/stairstep?units=15&processors=4 HTTP/1.1\r\nHost: t\r\n\r\n",
+        "POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 24\r\n\r\n{\"zones\": 1, \"steps\": 1}",
+    ));
+    let metrics = client.read_reply();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.json().get("jobs_total").is_some());
+    let model = client.read_reply();
+    assert_eq!(model.status, 200);
+    assert!(model.json().get("points").is_some());
+    let solve = client.read_reply();
+    assert_eq!(solve.status, 200, "{}", solve.body);
+    assert!(solve.json().get("checksums").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn identical_concurrent_solves_coalesce_into_one_execution() {
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        queue_capacity: 4,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    const BODY: &str = r#"{"zones": 2, "steps": 2, "workers": 2}"#;
+    const N: usize = 4;
+
+    // Pin the executor at the gate so all N identical solves are in
+    // flight together: the first is admitted as the miss, the rest
+    // coalesce onto its in-flight entry.
+    let held = gate.lock().unwrap();
+    let clients: Vec<_> = (0..N)
+        .map(|_| std::thread::spawn(move || post(addr, "/v1/solve", BODY)))
+        .collect();
+    wait_until("executor busy", || metric(addr, "executor_busy") == 1);
+    wait_until("waiters coalesced", || {
+        cache_metric(addr, "coalesced") == (N - 1) as u64
+    });
+    assert_eq!(cache_metric(addr, "misses"), 1);
+    drop(held);
+
+    let replies: Vec<Reply> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    // Exactly ONE execution served all N requesters...
+    assert_eq!(metric(addr, "jobs_total"), 1);
+    // ...and every response is byte-identical modulo its trace_id.
+    let mut masked: Vec<String> = Vec::new();
+    let mut trace_ids: Vec<u64> = Vec::new();
+    for reply in &replies {
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(
+            reply.json().get("cache").and_then(Json::as_str),
+            Some("miss")
+        );
+        trace_ids.push(
+            reply
+                .json()
+                .get("trace_id")
+                .and_then(Json::as_u64)
+                .expect("each waiter gets its own trace"),
+        );
+        masked.push(mask_trace_id(&reply.body));
+    }
+    assert!(masked.windows(2).all(|w| w[0] == w[1]), "fan-out diverged");
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    assert_eq!(trace_ids.len(), N, "trace ids must be distinct per waiter");
+
+    // A later identical solve is a pure cache hit: no execution, no
+    // fresh trace, marked "hit".
+    let hit = post(addr, "/v1/solve", BODY);
+    assert_eq!(hit.status, 200, "{}", hit.body);
+    assert_eq!(hit.json().get("cache").and_then(Json::as_str), Some("hit"));
+    assert!(matches!(hit.json().get("trace_id"), Some(Json::Null)));
+    assert_eq!(metric(addr, "jobs_total"), 1, "a hit must not execute");
+    assert_eq!(cache_metric(addr, "hits"), 1);
+    assert_eq!(cache_metric(addr, "entries"), 1);
+
+    // And the cached body is bit-exact with a forced re-execution:
+    // every numeric field of the hit equals the bypass run's.
+    let bypass = post(
+        addr,
+        "/v1/solve",
+        r#"{"zones": 2, "steps": 2, "workers": 2, "cache": "bypass"}"#,
+    );
+    assert_eq!(bypass.status, 200, "{}", bypass.body);
+    assert_eq!(
+        bypass.json().get("cache").and_then(Json::as_str),
+        Some("bypass")
+    );
+    assert_eq!(metric(addr, "jobs_total"), 2, "bypass must execute");
+    assert_eq!(cache_metric(addr, "bypass"), 1);
+    let hit_json = hit.json();
+    let bypass_json = bypass.json();
+    for field in ["residuals", "forces", "checksums", "sync_events"] {
+        assert_eq!(
+            hit_json.get(field).unwrap().to_string(),
+            bypass_json.get(field).unwrap().to_string(),
+            "cached `{field}` diverged from a fresh execution"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn retry_after_is_monotone_on_a_kept_alive_connection() {
+    // Satellite regression: Retry-After used to assume one queued
+    // connection per blocked thread; with keep-alive one connection can
+    // observe many successive rejections, and those must never promise
+    // a shorter wait while the executor is stalled.
+    let gate = Arc::new(Mutex::new(()));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        shards: 1,
+        queue_capacity: 1,
+        job_gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let held = gate.lock().unwrap();
+    let first = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("executor busy", || metric(addr, "executor_busy") == 1);
+    let second = std::thread::spawn(move || post(addr, "/v1/advise", ADVISE_BODY));
+    wait_until("queued job", || metric(addr, "queue_depth") == 1);
+
+    let mut client = Client::connect(addr);
+    let mut estimates = Vec::new();
+    for _ in 0..3 {
+        let reply = client.post("/v1/advise", ADVISE_BODY);
+        assert_eq!(reply.status, 429, "{}", reply.body);
+        assert_eq!(
+            reply.header("Connection"),
+            Some("keep-alive"),
+            "rejections must not cost the client its connection"
+        );
+        estimates.push(retry_after(&reply));
+        std::thread::sleep(Duration::from_millis(600));
+    }
+    assert!(
+        estimates.windows(2).all(|w| w[0] <= w[1]),
+        "Retry-After shrank during a stall: {estimates:?}"
+    );
+    assert!(
+        *estimates.last().unwrap() >= 2,
+        "a stall past one second must raise the estimate: {estimates:?}"
+    );
+
+    drop(held);
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_closes_idle_keep_alive_connections() {
+    let server = small_server();
+    let addr = server.addr();
+
+    // An idle keep-alive connection must not hold up a drain.
+    let mut client = Client::connect(addr);
+    assert_eq!(client.get("/metrics").status, 200);
+    let start = Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "drain hung on an idle keep-alive connection"
+    );
+    // The server hung up on the idle connection during the drain.
+    let mut rest = Vec::new();
+    client.stream.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty());
 }
