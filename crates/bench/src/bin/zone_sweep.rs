@@ -1,0 +1,147 @@
+//! `zone_sweep` — two-level speedup over the zones × shards grid.
+//!
+//! The paper's single-level ceiling is the stair-step law applied to
+//! one loop: `U_loops / ceil(U_loops / P)`. Multi-zone cases add a
+//! second level of parallelism above it — ready zones dispatched
+//! across shards — and the levels *multiply*: a `P`-wide pool split
+//! into `s` shards of `P/s` loop workers reaches
+//! `(U_zones / ceil(U_zones/s)) × (U_loops / ceil(U_loops/(P/s)))`,
+//! which can exceed anything a single level gets from the same pool.
+//!
+//! For every zone count up to `--zones` and every shard count up to
+//! that zone count, this runs the real service case both ways —
+//! sequential zone order and zone-parallel — verifies the results are
+//! bit-exact (the zone schedule is a performance knob, never an
+//! answer knob), and reports the analytic two-level speedup beside
+//! the measured wall times and the step-DAG shape.
+//!
+//! ```text
+//! zone_sweep [--zones N] [--steps N] [--pool P] [OUTPUT.json]
+//! ```
+//!
+//! Output defaults to `BENCH_zones.json`; the JSON is also printed to
+//! stdout (schema pinned by `crates/bench/tests/zones_schema.rs`).
+
+use f3d::service::{self, ServiceCase, ZoneSchedule};
+use llp::obs::json::Json;
+use llp::{Policy, Workers};
+use perfmodel::stairstep::ideal_speedup;
+use std::time::Instant;
+
+/// Units of the inner doacross level: the service grid's transverse L
+/// extent (`SERVICE_DIMS.l`), the loop the RISC-tuned kernels
+/// parallelize over.
+const U_LOOPS: u64 = 10;
+
+fn run_case(case: &ServiceCase, pool: &Workers) -> (service::ServiceRun, u64) {
+    let start = Instant::now();
+    let run = service::run(case, pool).expect("bounded case runs");
+    (run, start.elapsed().as_nanos() as u64)
+}
+
+fn grid_row(zones: usize, shards: usize, steps: usize, pool: &Workers, width: usize) -> Json {
+    let sequential = ServiceCase {
+        zones,
+        steps,
+        workers: width,
+        schedule: Policy::Static,
+        zone_schedule: ZoneSchedule::Sequential,
+    };
+    let zoned = ServiceCase {
+        zone_schedule: ZoneSchedule::Zones(shards),
+        ..sequential
+    };
+    let (want, sequential_ns) = run_case(&sequential, pool);
+    let (got, zoned_ns) = run_case(&zoned, pool);
+    // Bit-exact or the bench refuses to report: determinism is the
+    // contract that makes the zone level deployable at all.
+    assert_eq!(
+        want.residuals, got.residuals,
+        "zones={zones} shards={shards}"
+    );
+    assert_eq!(
+        want.checksums, got.checksums,
+        "zones={zones} shards={shards}"
+    );
+    assert_eq!(want.drag, got.drag, "zones={zones} shards={shards}");
+    assert_eq!(want.lift, got.lift, "zones={zones} shards={shards}");
+    let stats = got.zone_stats.expect("zone runs report step stats");
+
+    let zone_speedup = ideal_speedup(zones as u64, shards as u32);
+    let loop_speedup = ideal_speedup(U_LOOPS, stats.loop_workers as u32);
+    let combined = zone_speedup * loop_speedup;
+    eprintln!(
+        "zone_sweep: zones={zones} shards={shards} loop_workers={} \
+         combined x{combined:.2} (seq {sequential_ns} ns, zoned {zoned_ns} ns)",
+        stats.loop_workers
+    );
+    Json::object(vec![
+        ("zones", Json::from_usize(zones)),
+        ("zone_shards", Json::from_usize(shards)),
+        ("loop_workers", Json::from_usize(stats.loop_workers)),
+        ("zone_speedup", Json::Num(zone_speedup)),
+        ("loop_speedup", Json::Num(loop_speedup)),
+        ("combined_speedup", Json::Num(combined)),
+        ("exchange_waves", Json::from_u64(stats.exchange_waves)),
+        ("peak_ready", Json::from_u64(stats.peak_ready)),
+        ("sequential_ns", Json::from_u64(sequential_ns)),
+        ("zoned_ns", Json::from_u64(zoned_ns)),
+        ("bit_exact", Json::Bool(true)),
+    ])
+}
+
+fn sweep(zones: usize, steps: usize, width: usize) -> Json {
+    let pool = Workers::new(width);
+    let mut grid = Vec::new();
+    let mut best = 1.0f64;
+    for z in 1..=zones {
+        for s in 1..=z {
+            let row = grid_row(z, s, steps, &pool, width);
+            if let Some(c) = row.get("combined_speedup").and_then(Json::as_f64) {
+                best = best.max(c);
+            }
+            grid.push(row);
+        }
+    }
+    let single_level = ideal_speedup(U_LOOPS, u32::try_from(width).unwrap_or(u32::MAX));
+    // The two-level law can only add parallelism on top of the loop
+    // level; a best below the single-level ceiling is a model bug.
+    assert!(
+        best >= single_level,
+        "best combined x{best:.2} fell below the single-level ceiling x{single_level:.2}"
+    );
+    Json::object(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("bench", Json::Str("zone_sweep".into())),
+        ("zones", Json::from_usize(zones)),
+        ("steps", Json::from_usize(steps)),
+        ("pool_width", Json::from_usize(width)),
+        ("u_loops", Json::from_u64(U_LOOPS)),
+        ("single_level_ceiling", Json::Num(single_level)),
+        ("best_combined_speedup", Json::Num(best)),
+        ("exceeds_single_level", Json::Bool(best > single_level)),
+        ("grid", Json::Array(grid)),
+    ])
+}
+
+fn main() {
+    let args = bench::BenchArgs::from_env(&["zones", "steps", "pool"], "BENCH_zones.json");
+    let fail = |e: String| -> usize {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let zones = args.positive_usize("zones", 4).unwrap_or_else(fail);
+    let steps = args.positive_usize("steps", 3).unwrap_or_else(fail);
+    let width = args.positive_usize("pool", 8).unwrap_or_else(fail);
+    assert!(
+        zones <= f3d::service::MAX_ZONES,
+        "--zones is capped at {}",
+        f3d::service::MAX_ZONES
+    );
+    let out_path = args.output();
+    let json = sweep(zones, steps, width);
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(out_path, &text).expect("write zones report");
+    eprintln!("wrote {out_path}");
+}

@@ -132,3 +132,41 @@ fn report_conforms_to_schema_v3() {
         }
     }
 }
+
+/// The committed baseline must not regress past the figures the
+/// serving-performance PR established (~63% of cacheable traffic
+/// served from cache, p99 in the 30–40 ms band under the standard
+/// 600-request load). The floors leave noise headroom; a refactor
+/// that halves the hit rate or doubles tail latency fails here, in
+/// CI, not in a dashboard three weeks later.
+#[test]
+fn committed_baseline_holds_the_serving_floors() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_serve.json");
+    let report = Json::parse(&text).expect("baseline is valid JSON");
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(3));
+    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(600));
+    let sweep = report.get("sweep").and_then(Json::as_array).unwrap();
+    assert!(!sweep.is_empty());
+    for point in sweep {
+        let shards = point.get("shards").and_then(Json::as_u64).unwrap();
+        let hit_rate = point
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(
+            hit_rate >= 0.55,
+            "shards={shards}: cache hit rate {hit_rate:.4} below the 0.55 floor"
+        );
+        let p99 = point
+            .get("latency_ms")
+            .and_then(|l| l.get("p99"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(
+            p99 <= 50.0,
+            "shards={shards}: p99 {p99:.2} ms above the 50 ms ceiling"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Schema validation for the `zone_sweep` JSON report: runs the sweep
+//! (minimal grid, real solves) and pins the versioned structure that
+//! future zone-scheduler PRs regress against — including the
+//! bit-exactness flag the binary asserts before reporting, and the
+//! two-level speedup algebra (`combined = zone × loop`, never below
+//! the single-level ceiling).
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_zone_sweep() -> Json {
+    let out_path = format!("{}/zones_schema_test.json", env!("CARGO_TARGET_TMPDIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_zone_sweep"))
+        .args(["--zones", "2", "--steps", "1", "--pool", "2", &out_path])
+        .output()
+        .expect("run zone_sweep");
+    assert!(
+        out.status.success(),
+        "zone_sweep exited {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1() {
+    let report = run_zone_sweep();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("zone_sweep")
+    );
+    assert_eq!(report.get("zones").and_then(Json::as_u64), Some(2));
+    assert_eq!(report.get("steps").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("pool_width").and_then(Json::as_u64), Some(2));
+    let u_loops = report.get("u_loops").and_then(Json::as_u64).unwrap();
+    assert!(u_loops >= 1);
+    let ceiling = report
+        .get("single_level_ceiling")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let best = report
+        .get("best_combined_speedup")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(best >= ceiling, "best x{best} below ceiling x{ceiling}");
+    assert!(report.get("exceeds_single_level").is_some());
+
+    // Grid: one row per (zones, shards ≤ zones) pair — for 2 zones
+    // that is (1,1), (2,1), (2,2).
+    let grid = report.get("grid").and_then(Json::as_array).unwrap();
+    assert_eq!(grid.len(), 3);
+    for row in grid {
+        let zones = row.get("zones").and_then(Json::as_u64).unwrap();
+        let shards = row.get("zone_shards").and_then(Json::as_u64).unwrap();
+        assert!((1..=2).contains(&zones));
+        assert!(shards <= zones);
+        let zs = row.get("zone_speedup").and_then(Json::as_f64).unwrap();
+        let ls = row.get("loop_speedup").and_then(Json::as_f64).unwrap();
+        let combined = row.get("combined_speedup").and_then(Json::as_f64).unwrap();
+        assert_eq!(combined, zs * ls, "two-level algebra");
+        assert!(zs >= 1.0 && ls >= 1.0);
+        // The binary refuses to emit a row it could not verify.
+        assert_eq!(row.get("bit_exact").and_then(Json::as_bool), Some(true));
+        assert!(row.get("sequential_ns").and_then(Json::as_u64).is_some());
+        assert!(row.get("zoned_ns").and_then(Json::as_u64).is_some());
+        assert!(row.get("loop_workers").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(row.get("peak_ready").and_then(Json::as_u64).unwrap() >= 1);
+    }
+    // The full-split row reaches the whole zone level: 2 zones over 2
+    // shards is a zone speedup of exactly 2.
+    let full = grid
+        .iter()
+        .find(|r| {
+            r.get("zones").and_then(Json::as_u64) == Some(2)
+                && r.get("zone_shards").and_then(Json::as_u64) == Some(2)
+        })
+        .expect("full-split row present");
+    assert_eq!(full.get("zone_speedup").and_then(Json::as_f64), Some(2.0));
+}

@@ -1,19 +1,26 @@
 //! The multi-zone solver driver: zones stepped with loop-level
-//! parallelism, or with Taft-style multi-level parallelism (MLP —
-//! paper Section 8), with zonal injection between steps.
+//! parallelism, with Taft-style multi-level parallelism (MLP —
+//! paper Section 8), or via the [`zones`] task-graph scheduler, with
+//! zonal injection between steps.
 //!
 //! Within one time step the zones are independent (injection happens
 //! at step boundaries), so the MLP outer level is embarrassingly
-//! parallel and the two modes are numerically identical — asserted by
+//! parallel and the modes are numerically identical — asserted by
 //! tests. What differs is the performance shape: pure loop-level
 //! parallelism is capped by the *smallest per-zone loop extent* (the
 //! stair-step ceiling), while MLP multiplies the ceilings of zones that
 //! run concurrently at the price of zone-level load imbalance.
+//!
+//! Both the sequential sweep ([`MultiZoneSolver::step_loop_level`])
+//! and the sharded dispatch ([`MultiZoneSolver::step_zone_parallel`])
+//! run on the same [`zones`] step DAG over the J-chain topology, so
+//! the sequential order is literally the 1-shard degenerate case — the
+//! bit-exactness between them is structural, not coincidental.
 
 use crate::bc::{self, BcKind, Face, ZoneBcs};
 use crate::risc_impl::RiscStepper;
 use crate::solver::{SolverConfig, ZoneSolver};
-use llp::obs::SpanKind;
+use llp::obs::{SpanGuard, SpanKind};
 use llp::{LoopProfiler, Teams, Workers};
 use mesh::{Axis, Metrics, MultiZoneGrid};
 
@@ -104,6 +111,13 @@ impl MultiZoneSolver {
             .collect()
     }
 
+    /// The zonal-BC interface graph: a J-chain, zone `i` exchanging
+    /// with zone `i + 1` through the one-point overlap planes.
+    #[must_use]
+    pub fn topology(&self) -> zones::Topology {
+        zones::Topology::chain(self.zones.len())
+    }
+
     /// Zonal injection across all interfaces (zone i → i+1 chains).
     fn inject_all(&mut self) {
         for i in 0..self.zones.len().saturating_sub(1) {
@@ -130,17 +144,77 @@ impl MultiZoneSolver {
     ) {
         let rec = workers.recorder().clone();
         let _step = rec.span("step", SpanKind::Step);
-        for (i, (zone, stepper)) in self
+        let topo = self.topology();
+        let names = &self.names;
+        let bcs = &self.bcs;
+        let mut blocks: Vec<(&mut ZoneSolver, &mut RiscStepper)> = self
             .zones
             .iter_mut()
             .zip(self.steppers.iter_mut())
-            .enumerate()
-        {
-            let _zone = rec.span(&self.names[i], SpanKind::Zone);
-            stepper.step_scheduled(zone, &self.bcs[i], workers, profiler, schedules);
+            .collect();
+        // The serial inject kernel keeps its single span covering every
+        // interface exchange, opened lazily at the first exchange and
+        // closed when the sweep returns.
+        let mut inject_span: Option<SpanGuard<'_>> = None;
+        zones::run_sequential(
+            &mut blocks,
+            &topo,
+            |i, (zone, stepper)| {
+                let _zone = rec.span(&names[i], SpanKind::Zone);
+                stepper.step_scheduled(zone, &bcs[i], workers, profiler, schedules);
+            },
+            |_i, (up, _), (down, _)| {
+                if inject_span.is_none() {
+                    inject_span = Some(rec.span("inject", SpanKind::Kernel));
+                }
+                bc::inject(up, down);
+            },
+        );
+        drop(inject_span);
+        if topo.interfaces().is_empty() {
+            // Single-zone case: keep the (empty) inject kernel in the
+            // span tree so the report shape is zone-count-invariant.
+            let _inject = rec.span("inject", SpanKind::Kernel);
         }
-        let _inject = rec.span("inject", SpanKind::Kernel);
-        self.inject_all();
+    }
+
+    /// One time step on the [`zones`] sharded scheduler: compute tasks
+    /// dispatched across `shards` zone shards (each an
+    /// [`llp::Workers::kernel_view`] of `pool` carrying the leftover
+    /// worker budget), zonal injection applied at the step barrier in
+    /// canonical interface order. Numerically bit-identical to
+    /// [`MultiZoneSolver::step_loop_level_scheduled`] for every shard
+    /// count — the sequential sweep is the 1-shard degenerate case.
+    ///
+    /// Zone occupancy events land on `pool`'s flight recorder (lane =
+    /// shard, `step` in the event's region field); span recording is
+    /// off inside the shards, so this path trades the per-kernel span
+    /// tree for zone-level concurrency.
+    pub fn step_zone_parallel(
+        &mut self,
+        pool: &Workers,
+        shards: usize,
+        schedules: Option<&llp::ScheduleMap>,
+        step: u64,
+    ) -> zones::StepStats {
+        let topo = self.topology();
+        let bcs = &self.bcs;
+        let mut blocks: Vec<(&mut ZoneSolver, &mut RiscStepper)> = self
+            .zones
+            .iter_mut()
+            .zip(self.steppers.iter_mut())
+            .collect();
+        zones::run_sharded(
+            pool,
+            shards,
+            step,
+            &mut blocks,
+            &topo,
+            |i, shard_workers, (zone, stepper)| {
+                stepper.step_scheduled(zone, &bcs[i], shard_workers, None, schedules);
+            },
+            |_i, (up, _), (down, _)| bc::inject(up, down),
+        )
     }
 
     /// One time step, multi-level parallelism: one team per zone, zones
@@ -218,6 +292,56 @@ mod tests {
             b.step_mlp(&teams);
             assert_eq!(a.max_abs_diff(&b), 0.0);
         }
+    }
+
+    #[test]
+    fn zone_parallel_is_bit_exact_for_every_shard_count() {
+        let config = SolverConfig::supersonic();
+        let mut reference = perturbed(config);
+        let workers = Workers::new(3);
+        for step in 0..3u64 {
+            reference.step_loop_level(&workers, None);
+            // Every shard count (including over-asking) matches the
+            // sequential sweep bit for bit, step by step.
+            for shards in 1..=4 {
+                let mut candidate = perturbed(config);
+                for s in 0..=step {
+                    let stats = candidate.step_zone_parallel(&workers, shards, None, s);
+                    assert_eq!(stats.shards, shards.clamp(1, 3));
+                    assert_eq!(stats.zone_tasks, 3);
+                    assert_eq!(stats.exchange_tasks, 2);
+                }
+                assert_eq!(
+                    reference.max_abs_diff(&candidate),
+                    0.0,
+                    "step {step} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zone_parallel_records_zone_occupancy() {
+        let mut s = perturbed(SolverConfig::supersonic());
+        let mut pool = Workers::new(2);
+        pool.set_flight(llp::FlightRecorder::enabled(2, 256));
+        s.step_zone_parallel(&pool, 2, None, 0);
+        let timeline = pool.flight().take_timeline();
+        let starts: usize = timeline
+            .lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| e.kind == llp::obs::EventKind::ZoneStart)
+            .count();
+        assert_eq!(starts, 3, "one zone-start per zone");
+    }
+
+    #[test]
+    fn topology_matches_the_zone_chain() {
+        let s = perturbed(SolverConfig::subsonic());
+        let topo = s.topology();
+        assert_eq!(topo.blocks(), 3);
+        assert_eq!(topo.interfaces(), &[(0, 1), (1, 2)]);
     }
 
     #[test]

@@ -45,6 +45,22 @@ const SERVICE_DIMS: Dims = Dims {
     l: 10,
 };
 
+/// Zone-level scheduling for a service case: which parallelism level
+/// carries the zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZoneSchedule {
+    /// Zones stepped one after another, every worker inside each
+    /// zone's doacross loops — the classic loop-level-only mode.
+    #[default]
+    Sequential,
+    /// Zones dispatched across this many zone shards per step by the
+    /// [`zones`] task-graph scheduler, the worker budget split between
+    /// the zone level and the loop level (`U_zones × U_loops`). Shard
+    /// counts are clamped to the zone count at runtime; validation
+    /// bounds them by [`MAX_ZONES`].
+    Zones(usize),
+}
+
 /// A validated request for one bounded solver run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceCase {
@@ -58,6 +74,10 @@ pub struct ServiceCase {
     /// ([`Policy::Static`] unless the request selects otherwise; chunk
     /// parameters are capped at [`MAX_CHUNK`]).
     pub schedule: Policy,
+    /// Zone-level scheduling mode (sequential unless the request
+    /// selects zone shards). Results are bit-exact across every mode —
+    /// pinned by tests — so this is purely a performance knob.
+    pub zone_schedule: ZoneSchedule,
 }
 
 impl ServiceCase {
@@ -76,6 +96,9 @@ impl ServiceCase {
         check("zones", self.zones, MAX_ZONES)?;
         check("steps", self.steps, MAX_STEPS)?;
         check("workers", self.workers, MAX_WORKERS)?;
+        if let ZoneSchedule::Zones(shards) = self.zone_schedule {
+            check("zone_shards", shards, MAX_ZONES)?;
+        }
         match self.schedule.chunk_param() {
             None => Ok(()),
             Some(chunk) => check("chunk", chunk, MAX_CHUNK),
@@ -89,10 +112,14 @@ impl ServiceCase {
     #[must_use]
     pub fn label(&self) -> String {
         let base = format!("service/z{}s{}w{}", self.zones, self.steps, self.workers);
-        match self.schedule {
+        let base = match self.schedule {
             Policy::Static => base,
             Policy::Dynamic { chunk } => format!("{base}-dyn{chunk}"),
             Policy::Guided { min_chunk } => format!("{base}-gui{min_chunk}"),
+        };
+        match self.zone_schedule {
+            ZoneSchedule::Sequential => base,
+            ZoneSchedule::Zones(shards) => format!("{base}-zp{shards}"),
         }
     }
 
@@ -116,9 +143,13 @@ impl ServiceCase {
             Policy::Dynamic { chunk } => format!("dynamic,chunk={chunk}"),
             Policy::Guided { min_chunk } => format!("guided,chunk={min_chunk}"),
         };
+        let zone_schedule = match self.zone_schedule {
+            ZoneSchedule::Sequential => "sequential".to_string(),
+            ZoneSchedule::Zones(shards) => format!("zones,shards={shards}"),
+        };
         format!(
-            "zones={};steps={};workers={};schedule={}",
-            self.zones, self.steps, self.workers, schedule
+            "zones={};steps={};workers={};schedule={};zone_schedule={}",
+            self.zones, self.steps, self.workers, schedule, zone_schedule
         )
     }
 
@@ -168,8 +199,13 @@ pub struct ServiceRun {
     pub report: ObsReport,
     /// Flight-recorder timeline drained from the pool (empty when the
     /// pool carries no flight recorder): per-worker chunk/barrier/claim
-    /// events covering exactly this run's parallel regions.
+    /// events covering exactly this run's parallel regions, plus zone
+    /// occupancy events when the case ran zone-scheduled.
     pub timeline: Timeline,
+    /// Per-step zone-scheduler statistics (`None` for sequential zone
+    /// order). Deterministic — derived from the topology and the shard
+    /// count — so cached responses can carry it soundly.
+    pub zone_stats: Option<zones::StepStats>,
 }
 
 /// Execute a validated case on `pool` and collect the results.
@@ -227,8 +263,14 @@ pub fn run_scheduled(
     // run's bill must cover exactly its own regions.
     let sync_before = pool.local_sync_event_count();
     let mut residuals = ResidualHistory::new();
-    for _ in 0..case.steps {
-        solver.step_loop_level_scheduled(pool, None, schedules);
+    let mut zone_stats = None;
+    for step in 0..case.steps {
+        match case.zone_schedule {
+            ZoneSchedule::Sequential => solver.step_loop_level_scheduled(pool, None, schedules),
+            ZoneSchedule::Zones(shards) => {
+                zone_stats = Some(solver.step_zone_parallel(pool, shards, schedules, step as u64));
+            }
+        }
         residuals.push(solver.freestream_deviation());
     }
     let sync_events = pool.local_sync_event_count() - sync_before;
@@ -271,6 +313,7 @@ pub fn run_scheduled(
         sync_events,
         report,
         timeline,
+        zone_stats,
     })
 }
 
@@ -285,6 +328,7 @@ mod tests {
             steps: 4,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         assert!(ok.validate().is_ok());
         assert!(ServiceCase {
@@ -319,6 +363,14 @@ mod tests {
                 },
                 ..ok
             },
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(0),
+                ..ok
+            },
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(MAX_ZONES + 1),
+                ..ok
+            },
         ] {
             let err = bad.validate().unwrap_err();
             assert!(err.contains("must be in 1..="), "{err}");
@@ -333,10 +385,11 @@ mod tests {
             steps: 3,
             workers: 4,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         assert_eq!(
             base.canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=static"
+            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=sequential"
         );
         assert_eq!(
             ServiceCase {
@@ -344,7 +397,7 @@ mod tests {
                 ..base
             }
             .canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=dynamic,chunk=5"
+            "zones=2;steps=3;workers=4;schedule=dynamic,chunk=5;zone_schedule=sequential"
         );
         assert_eq!(
             ServiceCase {
@@ -352,7 +405,15 @@ mod tests {
                 ..base
             }
             .canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=guided,chunk=2"
+            "zones=2;steps=3;workers=4;schedule=guided,chunk=2;zone_schedule=sequential"
+        );
+        assert_eq!(
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(2),
+                ..base
+            }
+            .canonical_string(),
+            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=zones,shards=2"
         );
         // Every single-field change moves the hash.
         let variants = [
@@ -369,6 +430,14 @@ mod tests {
             },
             ServiceCase {
                 schedule: Policy::Guided { min_chunk: 1 },
+                ..base
+            },
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(1),
+                ..base
+            },
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(2),
                 ..base
             },
         ];
@@ -394,6 +463,7 @@ mod tests {
             steps: 3,
             workers: 1,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let a = run(&base, &Workers::new(1)).unwrap();
         let b = run(&ServiceCase { workers: 3, ..base }, &Workers::new(3)).unwrap();
@@ -413,6 +483,7 @@ mod tests {
             steps: 3,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let reference = run(&base, &Workers::new(2)).unwrap();
         for schedule in [
@@ -442,12 +513,57 @@ mod tests {
     }
 
     #[test]
+    fn zone_schedules_are_bit_exact_across_every_shard_count() {
+        // The acceptance pin: a many-zone solve produces byte-identical
+        // results whether the zones run sequentially or are dispatched
+        // across any number of zone shards, under any loop schedule.
+        let base = ServiceCase {
+            zones: MAX_ZONES,
+            steps: 3,
+            workers: 4,
+            schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
+        };
+        let reference = run(&base, &Workers::new(4)).unwrap();
+        for schedule in [Policy::Static, Policy::Dynamic { chunk: 2 }] {
+            for shards in 1..=MAX_ZONES {
+                let case = ServiceCase {
+                    schedule,
+                    zone_schedule: ZoneSchedule::Zones(shards),
+                    ..base
+                };
+                let out = run(&case, &Workers::new(4)).unwrap();
+                assert_eq!(reference.residuals, out.residuals, "{case:?}");
+                assert_eq!(reference.checksums, out.checksums, "{case:?}");
+                assert_eq!(reference.drag, out.drag, "{case:?}");
+                assert_eq!(reference.lift, out.lift, "{case:?}");
+                let stats = out.zone_stats.expect("zone runs report step stats");
+                assert_eq!(stats.shards, shards.min(MAX_ZONES));
+                assert_eq!(stats.zone_tasks as usize, MAX_ZONES);
+                assert_eq!(stats.exchange_tasks as usize, MAX_ZONES - 1);
+                assert_ne!(case.label(), base.label());
+            }
+        }
+        // Sequential runs do not fabricate zone stats.
+        assert!(reference.zone_stats.is_none());
+        assert_eq!(
+            ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(2),
+                ..base
+            }
+            .label(),
+            "service/z4s3w4-zp2"
+        );
+    }
+
+    #[test]
     fn per_kernel_schedules_stay_bit_exact_and_bill_the_run() {
         let base = ServiceCase {
             zones: 2,
             steps: 3,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let reference = run(&base, &Workers::new(2)).unwrap();
         let mut map = llp::ScheduleMap::new();
@@ -472,6 +588,7 @@ mod tests {
             steps: 2,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let mut pool = Workers::recorded(2);
         pool.set_flight(llp::FlightRecorder::enabled(2, 4096));
@@ -496,6 +613,7 @@ mod tests {
             steps: 1,
             workers: MAX_WORKERS,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let pool = Workers::recorded(2);
         let out = run(&case, &pool.sized_view(case.workers)).unwrap();
@@ -515,6 +633,7 @@ mod tests {
             steps: 2,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         };
         let pool = Workers::recorded(4);
         let out = run(&case, &pool.sized_view(case.workers)).unwrap();

@@ -46,6 +46,12 @@ pub struct WorkerAttribution {
     pub chunks: u64,
     /// Empty claims (one per dynamic region the lane participated in).
     pub claim_misses: u64,
+    /// Nanoseconds this lane (a zone shard) spent stepping zones —
+    /// zone-scheduler occupancy, measured between parallel regions and
+    /// therefore kept out of the compute/sync split.
+    pub zone_ns: u64,
+    /// Zone compute tasks this lane executed.
+    pub zone_tasks: u64,
 }
 
 impl WorkerAttribution {
@@ -69,6 +75,8 @@ impl WorkerAttribution {
             ("claim_ns", Json::from_u64(self.claim_ns)),
             ("chunks", Json::from_u64(self.chunks)),
             ("claim_misses", Json::from_u64(self.claim_misses)),
+            ("zone_ns", Json::from_u64(self.zone_ns)),
+            ("zone_tasks", Json::from_u64(self.zone_tasks)),
         ])
     }
 }
@@ -271,6 +279,7 @@ impl AttributionReport {
             let region_index = |seq: u64| regions.iter().position(|r| r.seq == seq);
             let w = &mut workers[lane];
             let mut open_start: Option<(u64, u64)> = None; // (ts, chunk)
+            let mut open_zone: Option<(u64, u64)> = None; // (ts, zone)
             let mut per_region: Vec<(usize, u64, u64, u64)> = Vec::new();
             for e in &data.events {
                 match e.kind {
@@ -300,6 +309,15 @@ impl AttributionReport {
                         }
                     }
                     EventKind::ClaimMiss => w.claim_misses += 1,
+                    EventKind::ZoneStart => open_zone = Some((e.ts_ns, e.arg)),
+                    EventKind::ZoneEnd => {
+                        if let Some((start, zone)) = open_zone.take() {
+                            if zone == e.arg && e.ts_ns >= start {
+                                w.zone_ns += e.ts_ns - start;
+                                w.zone_tasks += 1;
+                            }
+                        }
+                    }
                 }
             }
             for (ri, compute, barrier, claim) in per_region {
@@ -343,6 +361,20 @@ impl AttributionReport {
     #[must_use]
     pub fn busy_ns(&self) -> u64 {
         self.compute_ns() + self.sync_ns()
+    }
+
+    /// Total zone-scheduler occupancy nanoseconds across lanes (zone
+    /// shards). Disjoint from [`AttributionReport::busy_ns`]: zone
+    /// stepping happens between parallel regions.
+    #[must_use]
+    pub fn zone_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.zone_ns).sum()
+    }
+
+    /// Total zone compute tasks across lanes.
+    #[must_use]
+    pub fn zone_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.zone_tasks).sum()
     }
 
     /// Fraction of attributed time spent computing (0 when empty).
@@ -457,6 +489,8 @@ impl AttributionReport {
             ("claim_fraction", Json::Num(self.claim_fraction())),
             ("sync_fraction", Json::Num(self.sync_fraction())),
             ("imbalance", Json::Num(self.imbalance())),
+            ("zone_ns", Json::from_u64(self.zone_ns())),
+            ("zone_tasks", Json::from_u64(self.zone_tasks())),
             ("dropped_events", Json::from_u64(self.dropped_events)),
         ];
         if let Some(check) = self.model_check() {
@@ -646,6 +680,29 @@ mod tests {
         assert!(check.modeled_fraction.is_finite());
         assert!(check.measured_fraction.is_finite());
         assert!(check.table1_min_work_ns > 0);
+    }
+
+    #[test]
+    fn zone_events_attribute_shard_occupancy() {
+        let fr = FlightRecorder::enabled(2, 64);
+        fr.zone_start(0, 0, 0);
+        fr.zone_end(0, 0, 0);
+        fr.zone_start(1, 1, 0);
+        fr.zone_end(1, 1, 0);
+        fr.zone_start(0, 2, 1);
+        fr.zone_end(0, 2, 1);
+        // An unmatched start (e.g. ring overwrite ate the end) is
+        // ignored, as is a mismatched zone id.
+        fr.zone_start(1, 3, 1);
+        let a = AttributionReport::from_timeline(&fr.take_timeline());
+        assert_eq!(a.workers[0].zone_tasks, 2);
+        assert_eq!(a.workers[1].zone_tasks, 1);
+        assert_eq!(a.zone_tasks(), 3);
+        // Zone time stays out of the compute/sync split.
+        assert_eq!(a.busy_ns(), 0);
+        let j = a.to_json().to_pretty_string();
+        let back = Json::parse(&j).unwrap();
+        assert_eq!(back.get("zone_tasks").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub fn chrome_trace(timeline: &Timeline) -> Json {
         // after `cursor`, so `ts` is monotone per track by construction.
         let mut cursor = 0u64;
         let mut open_chunk: Option<(u64, u64)> = None; // (ts, chunk)
+        let mut open_zone: Option<(u64, u64)> = None; // (ts, zone)
         for e in &data.events {
             match e.kind {
                 EventKind::ChunkStart => open_chunk = Some((e.ts_ns, e.arg)),
@@ -144,6 +145,26 @@ pub fn chrome_trace(timeline: &Timeline) -> Json {
                         ("tid", Json::from_u64(tid)),
                     ]));
                     cursor = cursor.max(e.ts_ns);
+                }
+                EventKind::ZoneStart => open_zone = Some((e.ts_ns, e.arg)),
+                EventKind::ZoneEnd => {
+                    if let Some((start, zone)) = open_zone.take() {
+                        if zone == e.arg && e.ts_ns >= start {
+                            let start = start.max(cursor);
+                            events.push(slice(
+                                &format!("zone {zone}"),
+                                "zone",
+                                start,
+                                e.ts_ns.saturating_sub(start),
+                                tid,
+                                vec![
+                                    ("zone", Json::from_u64(zone)),
+                                    ("step", Json::from_u64(e.region)),
+                                ],
+                            ));
+                            cursor = e.ts_ns;
+                        }
+                    }
                 }
             }
         }
@@ -270,6 +291,36 @@ mod tests {
             + summary.get("barrier_fraction").unwrap().as_f64().unwrap()
             + summary.get("claim_fraction").unwrap().as_f64().unwrap();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_events_become_zone_slices() {
+        let fr = FlightRecorder::enabled(2, 16);
+        fr.zone_start(0, 0, 0);
+        fr.zone_end(0, 0, 0);
+        fr.zone_start(1, 1, 0);
+        fr.zone_end(1, 1, 0);
+        let doc = chrome_trace(&fr.take_timeline());
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let zones: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("zone"))
+            .collect();
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zones[0].get("name").and_then(Json::as_str), Some("zone 0"));
+        assert_eq!(
+            zones[0]
+                .get("args")
+                .unwrap()
+                .get("step")
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        let tids: Vec<u64> = zones
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(tids, [0, 1], "one zone slice per shard lane");
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub enum EventKind {
     /// A claim came back empty: the chunk list was exhausted and the
     /// worker headed for the barrier.
     ClaimMiss,
+    /// A zone shard began stepping zone `arg` (`region` carries the
+    /// time-step index). Recorded by the zone-level scheduler, outside
+    /// any parallel region.
+    ZoneStart,
+    /// A zone shard finished stepping zone `arg`.
+    ZoneEnd,
 }
 
 impl EventKind {
@@ -61,6 +67,8 @@ impl EventKind {
             EventKind::BarrierWait => "barrier_wait",
             EventKind::ClaimWait => "claim_wait",
             EventKind::ClaimMiss => "claim_miss",
+            EventKind::ZoneStart => "zone_start",
+            EventKind::ZoneEnd => "zone_end",
         }
     }
 
@@ -71,6 +79,8 @@ impl EventKind {
             EventKind::BarrierWait => 2,
             EventKind::ClaimWait => 3,
             EventKind::ClaimMiss => 4,
+            EventKind::ZoneStart => 5,
+            EventKind::ZoneEnd => 6,
         }
     }
 
@@ -81,6 +91,8 @@ impl EventKind {
             2 => Some(EventKind::BarrierWait),
             3 => Some(EventKind::ClaimWait),
             4 => Some(EventKind::ClaimMiss),
+            5 => Some(EventKind::ZoneStart),
+            6 => Some(EventKind::ZoneEnd),
             _ => None,
         }
     }
@@ -252,9 +264,12 @@ impl Lane {
         }
     }
 
-    /// Append one event. No allocation, no lock: a head load, four
-    /// relaxed stores into the ring slot, and the bookkeeping stores.
-    fn record(&self, ts_ns: u64, kind: EventKind, arg: u64, region: u64) {
+    /// Append one event without touching the barrier-wait bookkeeping:
+    /// a head load and four relaxed stores into the ring slot. Used for
+    /// zone events, which happen *outside* any parallel region — they
+    /// must not make [`RegionSession::finish`] fabricate a barrier wait
+    /// for the lane.
+    fn record_raw(&self, ts_ns: u64, kind: EventKind, arg: u64, region: u64) {
         let head = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[head % self.slots.len()];
         slot.ts.store(ts_ns, Ordering::Relaxed);
@@ -262,6 +277,12 @@ impl Lane {
         slot.arg.store(arg, Ordering::Relaxed);
         slot.region.store(region, Ordering::Relaxed);
         self.head.store(head + 1, Ordering::Relaxed);
+    }
+
+    /// Append one region event. No allocation, no lock: [`Lane::record_raw`]
+    /// plus the bookkeeping stores the region barrier reads.
+    fn record(&self, ts_ns: u64, kind: EventKind, arg: u64, region: u64) {
+        self.record_raw(ts_ns, kind, arg, region);
         self.last_ts.store(ts_ns, Ordering::Relaxed);
         self.last_region.store(region + 1, Ordering::Relaxed);
     }
@@ -388,6 +409,29 @@ impl FlightRecorder {
             chunks,
             policy,
         })
+    }
+
+    /// Lane `lane` (a zone shard) began stepping zone `zone` of time
+    /// step `step`. Unlike the chunk/claim events these are recorded
+    /// *between* parallel regions by the zone-level scheduler, so they
+    /// bypass the barrier-wait bookkeeping ([`Lane::record_raw`]) and
+    /// store the step index in the event's `region` field. Out-of-range
+    /// lanes are ignored (a pool can run more zone shards than the
+    /// recorder has lanes); a disabled recorder is one branch.
+    pub fn zone_start(&self, lane: usize, zone: u64, step: u64) {
+        self.zone_event(lane, EventKind::ZoneStart, zone, step);
+    }
+
+    /// Lane `lane` finished stepping zone `zone` of time step `step`.
+    pub fn zone_end(&self, lane: usize, zone: u64, step: u64) {
+        self.zone_event(lane, EventKind::ZoneEnd, zone, step);
+    }
+
+    fn zone_event(&self, lane: usize, kind: EventKind, zone: u64, step: u64) {
+        let Some(state) = &self.inner else { return };
+        if let Some(lane) = state.lanes.get(lane) {
+            lane.record_raw(state.now_ns(), kind, zone, step);
+        }
     }
 
     /// Drain every lane and the region log into a [`Timeline`],
@@ -610,6 +654,59 @@ mod tests {
             regions[0].get("policy").and_then(Json::as_str),
             Some("guided")
         );
+    }
+
+    #[test]
+    fn zone_events_do_not_fabricate_barrier_waits() {
+        let fr = FlightRecorder::enabled(2, 16);
+        // A zone event on lane 1 whose step index collides with the
+        // next region's sequence number...
+        fr.zone_start(1, 3, 0);
+        let s = fr.begin_region(2, 2, 10, 2, "static").unwrap();
+        s.chunk_start(0, 0);
+        s.chunk_end(0, 0);
+        s.finish();
+        fr.zone_end(1, 3, 0);
+        let t = fr.take_timeline();
+        // ...must not earn lane 1 a barrier wait: only lane 0 (which
+        // really executed the region) gets one.
+        assert_eq!(
+            t.lanes[1]
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::BarrierWait)
+                .count(),
+            0
+        );
+        assert_eq!(t.lanes[1].events.len(), 2);
+        assert_eq!(t.lanes[1].events[0].kind, EventKind::ZoneStart);
+        assert_eq!(t.lanes[1].events[0].arg, 3);
+        assert_eq!(t.lanes[1].events[0].region, 0);
+        assert_eq!(t.lanes[1].events[1].kind, EventKind::ZoneEnd);
+        assert_eq!(t.lanes[0].events.len(), 3);
+        // Disabled and out-of-range calls are inert.
+        FlightRecorder::disabled().zone_start(0, 0, 0);
+        fr.zone_start(9, 0, 0);
+        assert_eq!(fr.take_timeline().total_events(), 0);
+    }
+
+    #[test]
+    fn zone_events_round_trip_through_json() {
+        let fr = FlightRecorder::enabled(1, 8);
+        fr.zone_start(0, 2, 5);
+        fr.zone_end(0, 2, 5);
+        let text = fr.take_timeline().to_json().to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        let events = back.get("lanes").and_then(Json::as_array).unwrap()[0]
+            .get("events")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.as_array()?.get(1)?.as_str())
+            .collect();
+        assert_eq!(kinds, ["zone_start", "zone_end"]);
     }
 
     #[test]

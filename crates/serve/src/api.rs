@@ -8,7 +8,7 @@
 //! and every list is capped before anything is allocated
 //! proportionally to it.
 
-use f3d::service::{ServiceCase, ServiceRun};
+use f3d::service::{ServiceCase, ServiceRun, ZoneSchedule};
 use f3d::validation::FieldChecksum;
 use llp::advisor::{Advice, Advisor, LoopDecision, MeasuredAdvice};
 use llp::obs::attr::{kernel_overheads, KernelOverhead};
@@ -18,6 +18,7 @@ use llp::obs::AttributionReport;
 use llp::profile::{LoopReport, LoopStats};
 use llp::Policy;
 use perfmodel::overhead::{OverheadBound, PAPER_OVERHEAD_FRACTION};
+use perfmodel::stairstep::{ideal_speedup, plateau_edges};
 use perfmodel::work_per_sync::{GridNest, LoopLevel};
 use perfmodel::{overhead_batch, stairstep_batch, work_per_sync_batch};
 use tune::{CalibrationSpec, TuneDb};
@@ -89,7 +90,15 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
     let body = Json::parse(text)?;
     parse_object(
         &body,
-        &["zones", "steps", "workers", "schedule", "chunk", "cache"],
+        &[
+            "zones",
+            "steps",
+            "workers",
+            "schedule",
+            "chunk",
+            "cache",
+            "zone_schedule",
+        ],
     )?;
     let bypass = match body.get("cache") {
         None => false,
@@ -128,11 +137,24 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
     } else {
         Policy::parse(schedule_name, chunk)?
     };
+    let zone_schedule = match body.get("zone_schedule") {
+        None => ZoneSchedule::Sequential,
+        Some(v) => match (v.as_str(), v.as_usize()) {
+            (Some("sequential"), _) => ZoneSchedule::Sequential,
+            (None, Some(shards)) => ZoneSchedule::Zones(shards),
+            _ => {
+                return Err(
+                    "`zone_schedule` must be \"sequential\" or a positive shard count".to_string(),
+                )
+            }
+        },
+    };
     let case = ServiceCase {
         zones: field("zones", 3)?,
         steps: field("steps", 4)?,
         workers: field("workers", default_workers)?,
         schedule,
+        zone_schedule,
     };
     case.validate()?;
     Ok(SolveRequest { case, auto, bypass })
@@ -227,8 +249,26 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json, cach
     if let Some(chunk) = run.case.schedule.chunk_param() {
         case.push(("chunk", Json::from_usize(chunk)));
     }
+    case.push((
+        "zone_schedule",
+        match run.case.zone_schedule {
+            ZoneSchedule::Sequential => Json::str("sequential"),
+            ZoneSchedule::Zones(shards) => Json::from_usize(shards),
+        },
+    ));
+    let zone_level = run.zone_stats.map_or(Json::Null, |s| {
+        Json::object(vec![
+            ("shards", Json::from_usize(s.shards)),
+            ("loop_workers", Json::from_usize(s.loop_workers)),
+            ("zone_tasks", Json::from_u64(s.zone_tasks)),
+            ("exchange_tasks", Json::from_u64(s.exchange_tasks)),
+            ("exchange_waves", Json::from_u64(s.exchange_waves)),
+            ("peak_ready", Json::from_u64(s.peak_ready)),
+        ])
+    });
     Json::object(vec![
         ("case", Json::object(case)),
+        ("zone_level", zone_level),
         (
             "residuals",
             Json::Array(run.residuals.iter().map(|&r| Json::Num(r)).collect()),
@@ -321,6 +361,9 @@ pub struct AdviseQuery {
     pub advisor: Advisor,
     /// Profiled loops, in submitted order.
     pub reports: Vec<LoopReport>,
+    /// Zone count for zone-level advice (`U_zones`), when the caller
+    /// has a multi-zone case and wants the two-level split judged too.
+    pub zones: Option<u64>,
 }
 
 /// Parse a `POST /v1/advise` body.
@@ -345,6 +388,7 @@ pub fn parse_advise_body(text: &str) -> Result<AdviseQuery, String> {
             "sync_cost_cycles",
             "max_overhead_fraction",
             "processors",
+            "zones",
             "loops",
         ],
     )?;
@@ -367,6 +411,13 @@ pub fn parse_advise_body(text: &str) -> Result<AdviseQuery, String> {
     if processors == 0 {
         return Err("`processors` must be positive".to_string());
     }
+    let zones = match body.get("zones") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(z) if z >= 1 => Some(z),
+            _ => return Err("`zones` must be a positive integer".to_string()),
+        },
+    };
 
     let loops = body
         .get("loops")
@@ -433,7 +484,49 @@ pub fn parse_advise_body(text: &str) -> Result<AdviseQuery, String> {
             processors,
         ),
         reports: rows,
+        zones,
     })
+}
+
+/// Judge the zone level: for a case of `zones` zones on the advisor's
+/// machine, every stair-step plateau edge of the zone-level law is a
+/// candidate split `P = shards × loop_workers`. Each split's combined
+/// speedup is the zone-level stair-step (`U_zones / ceil(U_zones/s)`)
+/// times the loop-level prediction of an advisor re-targeted at the
+/// per-shard worker budget — the paper's multi-level picture, where
+/// zone parallelism multiplies with the loop parallelism underneath it
+/// instead of competing for the same ceiling.
+#[must_use]
+pub fn zone_level_advice(zones: u64, reports: &[LoopReport], advisor: &Advisor) -> Json {
+    let pool = advisor.processors;
+    let single_level = advisor.advise(reports).predicted_speedup;
+    let mut best: Option<(f64, Json)> = None;
+    let mut splits = Vec::new();
+    for shards in plateau_edges(zones, pool) {
+        let zone_speedup = ideal_speedup(zones, shards);
+        let loop_workers = (pool / shards).max(1);
+        let loop_advisor = Advisor::new(advisor.clock_hz, advisor.bound, loop_workers);
+        let loop_speedup = loop_advisor.advise(reports).predicted_speedup;
+        let combined = zone_speedup * loop_speedup;
+        let split = Json::object(vec![
+            ("zone_shards", Json::from_u64(u64::from(shards))),
+            ("loop_workers", Json::from_u64(u64::from(loop_workers))),
+            ("zone_speedup", Json::Num(zone_speedup)),
+            ("loop_speedup", Json::Num(loop_speedup)),
+            ("combined_speedup", Json::Num(combined)),
+        ]);
+        if best.as_ref().is_none_or(|(b, _)| combined > *b) {
+            best = Some((combined, split.clone()));
+        }
+        splits.push(split);
+    }
+    Json::object(vec![
+        ("zones", Json::from_u64(zones)),
+        ("pool_width", Json::from_u64(u64::from(pool))),
+        ("single_level_speedup", Json::Num(single_level)),
+        ("splits", Json::Array(splits)),
+        ("best", best.map_or(Json::Null, |(_, s)| s)),
+    ])
 }
 
 fn decision_json(decision: &LoopDecision) -> Json {
@@ -478,10 +571,12 @@ fn measured_json(m: &MeasuredAdvice) -> Json {
 /// calibrated choice, its costs, and whether it agrees with the
 /// analytic `schedule` — and a `preferred_schedule` naming the
 /// schedule the measured entry (preferred over the analytic answer)
-/// selects.
+/// selects. `zone_level` is the [`zone_level_advice`] block when the
+/// query submitted a zone count, [`Json::Null`] otherwise.
 #[must_use]
-pub fn advise_response(advice: &Advice) -> Json {
+pub fn advise_response(advice: &Advice, zone_level: Json) -> Json {
     Json::object(vec![
+        ("zone_level", zone_level),
         (
             "loops",
             Json::Array(
@@ -707,6 +802,7 @@ mod tests {
                 steps: 4,
                 workers: 4,
                 schedule: Policy::Static,
+                zone_schedule: ZoneSchedule::Sequential,
             }
         );
         let req = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
@@ -717,6 +813,7 @@ mod tests {
                 steps: 8,
                 workers: 1,
                 schedule: Policy::Static,
+                zone_schedule: ZoneSchedule::Sequential,
             }
         );
         assert!(parse_solve_body(r#"{"zones": 99}"#, 4).is_err());
@@ -760,6 +857,21 @@ mod tests {
         let err = parse_solve_body(r#"{"schedule": "auto", "chunk": 2}"#, 4).unwrap_err();
         assert!(err.contains("auto"), "{err}");
         assert!(err.contains("chunk 2"), "{err}");
+    }
+
+    #[test]
+    fn solve_body_selects_a_zone_schedule() {
+        let req = parse_solve_body(r#"{"zones": 4, "zone_schedule": 2}"#, 4).unwrap();
+        assert_eq!(req.case.zone_schedule, ZoneSchedule::Zones(2));
+        let req = parse_solve_body(r#"{"zone_schedule": "sequential"}"#, 4).unwrap();
+        assert_eq!(req.case.zone_schedule, ZoneSchedule::Sequential);
+        let req = parse_solve_body("{}", 4).unwrap();
+        assert_eq!(req.case.zone_schedule, ZoneSchedule::Sequential);
+        // Shard counts ride the case validation: 1..=MAX_ZONES.
+        assert!(parse_solve_body(r#"{"zone_schedule": 0}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zone_schedule": 99}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zone_schedule": "zoned"}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"zone_schedule": 1.5}"#, 4).is_err());
     }
 
     #[test]
@@ -841,7 +953,7 @@ mod tests {
         assert!((q.reports[0].fraction_of_total - 0.9).abs() < 1e-12);
         let advice = q.advisor.advise(&q.reports);
         assert!((advice.serial_fraction - 0.1).abs() < 1e-9);
-        let json = advise_response(&advice);
+        let json = advise_response(&advice, Json::Null);
         let loops = json.get("loops").unwrap().as_array().unwrap();
         assert_eq!(
             loops[0]
@@ -861,6 +973,60 @@ mod tests {
                 .as_str(),
             Some("too_little_work")
         );
+    }
+
+    #[test]
+    fn advise_reports_zone_level_parallelism() {
+        // A machine with plenty of processors but a loop whose own
+        // parallelism caps out: the zone level multiplies on top.
+        let body = r#"{
+            "clock_hz": 300e6,
+            "sync_cost_cycles": 100,
+            "processors": 8,
+            "zones": 4,
+            "loops": [
+                {"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320}
+            ]
+        }"#;
+        let q = parse_advise_body(body).unwrap();
+        assert_eq!(q.zones, Some(4));
+        let zone = zone_level_advice(4, &q.reports, &q.advisor);
+        assert_eq!(zone.get("zones").and_then(Json::as_u64), Some(4));
+        assert_eq!(zone.get("pool_width").and_then(Json::as_u64), Some(8));
+        let splits = zone.get("splits").and_then(Json::as_array).unwrap();
+        // Plateau edges of U_zones = 4 on 8 processors: s = 1, 2, 4.
+        let shards: Vec<u64> = splits
+            .iter()
+            .map(|s| s.get("zone_shards").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(shards, vec![1, 2, 4]);
+        for s in splits {
+            let zs = s.get("zone_speedup").unwrap().as_f64().unwrap();
+            let ls = s.get("loop_speedup").unwrap().as_f64().unwrap();
+            let combined = s.get("combined_speedup").unwrap().as_f64().unwrap();
+            assert_eq!(combined, zs * ls);
+        }
+        // The zone-level stair-step at s = 4 is the full U_zones.
+        assert_eq!(splits[2].get("zone_speedup").unwrap().as_f64(), Some(4.0));
+        assert_eq!(splits[2].get("loop_workers").unwrap().as_u64(), Some(2));
+        let best = zone.get("best").unwrap();
+        assert!(best.get("combined_speedup").unwrap().as_f64().unwrap() >= 1.0);
+        // The block rides the advise response; loop advice is intact.
+        let advice = q.advisor.advise(&q.reports);
+        let json = advise_response(&advice, zone);
+        assert!(json.get("zone_level").unwrap().get("splits").is_some());
+        assert_eq!(json.get("loops").unwrap().as_array().unwrap().len(), 1);
+        // Without a zone count the query parses to None and the
+        // response block is null.
+        let q = parse_advise_body(
+            r#"{"clock_hz": 1e9, "sync_cost_cycles": 1, "processors": 8, "loops": []}"#,
+        )
+        .unwrap();
+        assert_eq!(q.zones, None);
+        assert!(parse_advise_body(
+            r#"{"clock_hz": 1e9, "sync_cost_cycles": 1, "processors": 8, "zones": 0, "loops": []}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl SolveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use f3d::service::ZoneSchedule;
     use llp::Policy;
     use std::sync::Arc;
 
@@ -177,6 +178,7 @@ mod tests {
             steps: 3,
             workers: 2,
             schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
         }
     }
 
@@ -189,9 +191,22 @@ mod tests {
         let base = key(2);
         assert_eq!(
             base.canonical(),
-            "solve/zones=2;steps=3;workers=2;schedule=static;auto=false;tune_gen=0"
+            "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;auto=false;tune_gen=0"
         );
         assert_ne!(base, key(3));
+        // The zone schedule is a semantic field: a zone-parallel solve
+        // keys separately from the sequential one (same answer, but the
+        // response's zone_level block differs).
+        let zoned = ContentKey::for_case(
+            &ServiceCase {
+                zone_schedule: ZoneSchedule::Zones(2),
+                ..case(2)
+            },
+            false,
+            0,
+        );
+        assert_ne!(base, zoned);
+        assert!(zoned.canonical().contains("zone_schedule=zones,shards=2"));
         let auto0 = ContentKey::for_case(&case(2), true, 0);
         let auto1 = ContentKey::for_case(&case(2), true, 1);
         assert_ne!(base, auto0, "auto solves key separately");

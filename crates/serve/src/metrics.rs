@@ -40,6 +40,10 @@ pub struct Metrics {
     cache_bypass_total: AtomicU64,
     cache_evictions_total: AtomicU64,
     cache_entries: AtomicU64,
+    zone_jobs_total: AtomicU64,
+    zone_tasks_total: AtomicU64,
+    zone_shards_last: AtomicU64,
+    zone_peak_ready_last: AtomicU64,
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
     by_status: [AtomicU64; TRACKED_STATUSES.len()],
     /// End-to-end request latency (parse through response build), ms.
@@ -77,6 +81,10 @@ impl Metrics {
             cache_bypass_total: AtomicU64::new(0),
             cache_evictions_total: AtomicU64::new(0),
             cache_entries: AtomicU64::new(0),
+            zone_jobs_total: AtomicU64::new(0),
+            zone_tasks_total: AtomicU64::new(0),
+            zone_shards_last: AtomicU64::new(0),
+            zone_peak_ready_last: AtomicU64::new(0),
             by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
             by_status: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::latency_ms(),
@@ -205,6 +213,20 @@ impl Metrics {
         }
     }
 
+    /// Fold one zone-scheduled solve's step statistics in: how many
+    /// zone shards it dispatched over, how many zone tasks it stepped
+    /// across the whole run, and the step DAG's peak ready-queue
+    /// occupancy (`U_zones`). The shard and peak gauges keep the last
+    /// value — the queue picture of the most recent zone job.
+    pub fn zone_job(&self, shards: u64, zone_tasks: u64, peak_ready: u64) {
+        self.zone_jobs_total.fetch_add(1, Ordering::Relaxed);
+        self.zone_tasks_total
+            .fetch_add(zone_tasks, Ordering::Relaxed);
+        self.zone_shards_last.store(shards, Ordering::Relaxed);
+        self.zone_peak_ready_last
+            .store(peak_ready, Ordering::Relaxed);
+    }
+
     /// Count one solve served straight from the content-addressed
     /// cache (no execution).
     pub fn cache_hit(&self) {
@@ -270,6 +292,15 @@ impl Metrics {
                     ("bypass", load(&self.cache_bypass_total)),
                     ("evictions", load(&self.cache_evictions_total)),
                     ("entries", load(&self.cache_entries)),
+                ]),
+            ),
+            (
+                "zones",
+                Json::object(vec![
+                    ("jobs", load(&self.zone_jobs_total)),
+                    ("tasks", load(&self.zone_tasks_total)),
+                    ("shards_last", load(&self.zone_shards_last)),
+                    ("peak_ready_last", load(&self.zone_peak_ready_last)),
                 ]),
             ),
             (
@@ -363,6 +394,20 @@ mod tests {
         assert_eq!(cache.get("bypass").unwrap().as_u64(), Some(1));
         assert_eq!(cache.get("evictions").unwrap().as_u64(), Some(1));
         assert_eq!(cache.get("entries").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn zone_counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        let zones = m.to_json(1, 1, 0, 0).get("zones").unwrap().clone();
+        assert_eq!(zones.get("jobs").unwrap().as_u64(), Some(0));
+        m.zone_job(2, 12, 4);
+        m.zone_job(4, 16, 4);
+        let zones = m.to_json(1, 1, 0, 0).get("zones").unwrap().clone();
+        assert_eq!(zones.get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(zones.get("tasks").unwrap().as_u64(), Some(28));
+        assert_eq!(zones.get("shards_last").unwrap().as_u64(), Some(4));
+        assert_eq!(zones.get("peak_ready_last").unwrap().as_u64(), Some(4));
     }
 
     #[test]

@@ -585,6 +585,13 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                     shared
                         .metrics
                         .job_done(run.sync_events, run.report.total_seconds());
+                    if let Some(stats) = run.zone_stats {
+                        shared.metrics.zone_job(
+                            stats.shards as u64,
+                            stats.zone_tasks * run.case.steps as u64,
+                            stats.peak_ready,
+                        );
+                    }
                     match &job.origin {
                         JobOrigin::Direct(waiter) => {
                             let trace_id = retain_trace(shared, &run);
@@ -636,7 +643,10 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
             let advice = query
                 .advisor
                 .advise_with_measured(&query.reports, &measured);
-            let response = Response::ok(api::advise_response(&advice).to_string());
+            let zone_level = query.zones.map_or(llp::obs::json::Json::Null, |zones| {
+                api::zone_level_advice(zones, &query.reports, &query.advisor)
+            });
+            let response = Response::ok(api::advise_response(&advice, zone_level).to_string());
             take_waiters(shared, &job.origin)
                 .into_iter()
                 .map(|waiter| Completion {

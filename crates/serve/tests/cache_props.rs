@@ -25,6 +25,8 @@ struct Fields {
     /// 0 = static, 1 = dynamic, 2 = guided, 3 = auto.
     schedule: usize,
     chunk: usize,
+    /// 0 = sequential (the default), n > 0 = `"zone_schedule": n`.
+    zone_shards: usize,
 }
 
 impl Fields {
@@ -50,6 +52,9 @@ impl Fields {
         if self.chunked() {
             pairs.push(format!("\"chunk\":{ws}{}", self.chunk));
         }
+        if self.zone_shards > 0 {
+            pairs.push(format!("\"zone_schedule\":{ws}{}", self.zone_shards));
+        }
         // Rotate + optionally reverse: enough permutations to cover
         // every adjacency without a factorial generator.
         let n = pairs.len();
@@ -62,15 +67,24 @@ impl Fields {
 }
 
 fn fields() -> impl Strategy<Value = Fields> {
-    (1usize..=4, 1usize..=6, 1usize..=4, 0usize..4, 1usize..=8).prop_map(
-        |(zones, steps, workers, schedule, chunk)| Fields {
-            zones,
-            steps,
-            workers,
-            schedule,
-            chunk,
-        },
+    (
+        1usize..=4,
+        1usize..=6,
+        1usize..=4,
+        0usize..4,
+        1usize..=8,
+        0usize..=4,
     )
+        .prop_map(
+            |(zones, steps, workers, schedule, chunk, zone_shards)| Fields {
+                zones,
+                steps,
+                workers,
+                schedule,
+                chunk,
+                zone_shards,
+            },
+        )
 }
 
 fn whitespace(seed: usize) -> &'static str {
@@ -118,16 +132,31 @@ proptest! {
         prop_assert_eq!(&implicit, &explicit);
     }
 
-    /// Every semantic mutation — dims, steps, workers, schedule family,
-    /// chunk — moves the request to a distinct key.
+    /// Omitting `zone_schedule` and spelling out `"sequential"` are the
+    /// same solve, so they must share a key.
     #[test]
-    fn semantic_changes_change_the_key(f in fields(), which in 0usize..5) {
+    fn default_zone_schedule_and_explicit_sequential_share_one_key(
+        zones in 1usize..=4,
+        steps in 1usize..=6,
+    ) {
+        let implicit = key_of(&format!("{{\"zones\": {zones}, \"steps\": {steps}}}"));
+        let explicit = key_of(&format!(
+            "{{\"zones\": {zones}, \"steps\": {steps}, \"zone_schedule\": \"sequential\"}}"
+        ));
+        prop_assert_eq!(&implicit, &explicit);
+    }
+
+    /// Every semantic mutation — dims, steps, workers, schedule family,
+    /// chunk, zone schedule — moves the request to a distinct key.
+    #[test]
+    fn semantic_changes_change_the_key(f in fields(), which in 0usize..6) {
         let mut g = f;
         match which {
             0 => g.zones = g.zones % 4 + 1,
             1 => g.steps = g.steps % 6 + 1,
             2 => g.workers = g.workers % 4 + 1,
             3 => g.schedule = (g.schedule + 1) % 4,
+            4 => g.zone_shards = (g.zone_shards + 1) % 5,
             _ => {
                 // Chunk only matters for chunked schedules; a chunk
                 // mutation on any other base is meaningless, so discard
@@ -169,7 +198,7 @@ fn golden_key_is_pinned() {
     let key = key_of(r#"{"zones": 2, "steps": 3, "workers": 2}"#);
     assert_eq!(
         key.canonical(),
-        "solve/zones=2;steps=3;workers=2;schedule=static;auto=false;tune_gen=0"
+        "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;auto=false;tune_gen=0"
     );
-    assert_eq!(key.digest(), "f7964be9ed8379ce");
+    assert_eq!(key.digest(), "0f191aeb8d222c53");
 }

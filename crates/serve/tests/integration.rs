@@ -251,6 +251,7 @@ fn solve_matches_direct_invocation_exactly() {
         steps: 3,
         workers: 2,
         schedule: Policy::Static,
+        zone_schedule: f3d::service::ZoneSchedule::Sequential,
     };
     let reply = post(
         server.addr(),
@@ -311,6 +312,92 @@ fn solve_matches_direct_invocation_exactly() {
     // The span report is the service's own observability schema.
     let report = served.get("report").unwrap();
     assert_eq!(report.get("case").unwrap().as_str(), Some("service/z2s3w2"));
+    server.shutdown();
+}
+
+#[test]
+fn zone_scheduled_solve_matches_sequential_and_reports_the_split() {
+    let server = small_server();
+    // Sequential reference (bypass so both runs really execute).
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 4, "steps": 2, "workers": 2, "cache": "bypass"}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let sequential = reply.json();
+    assert_eq!(sequential.get("zone_level"), Some(&Json::Null));
+    assert_eq!(
+        sequential
+            .get("case")
+            .unwrap()
+            .get("zone_schedule")
+            .and_then(Json::as_str),
+        Some("sequential")
+    );
+
+    let reply = post(
+        server.addr(),
+        "/v1/solve",
+        r#"{"zones": 4, "steps": 2, "workers": 2, "zone_schedule": 2, "cache": "bypass"}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let zoned = reply.json();
+    // Bit-exact answers: the zone schedule is a performance knob.
+    assert_eq!(zoned.get("residuals"), sequential.get("residuals"));
+    assert_eq!(zoned.get("checksums"), sequential.get("checksums"));
+    assert_eq!(zoned.get("forces"), sequential.get("forces"));
+    // The response names the split and the step-DAG shape.
+    assert_eq!(
+        zoned
+            .get("case")
+            .unwrap()
+            .get("zone_schedule")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    let zone_level = zoned.get("zone_level").unwrap();
+    assert_eq!(zone_level.get("shards").and_then(Json::as_u64), Some(2));
+    assert_eq!(zone_level.get("zone_tasks").and_then(Json::as_u64), Some(4));
+    assert_eq!(
+        zone_level.get("exchange_tasks").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert!(zone_level.get("loop_workers").and_then(Json::as_u64) >= Some(1));
+    // The zone gauges moved.
+    let metrics = get(server.addr(), "/metrics").json();
+    let zones = metrics.get("zones").unwrap();
+    assert_eq!(zones.get("jobs").and_then(Json::as_u64), Some(1));
+    assert_eq!(zones.get("tasks").and_then(Json::as_u64), Some(8));
+    assert_eq!(zones.get("shards_last").and_then(Json::as_u64), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn advise_zone_level_block_reports_the_two_level_law() {
+    let server = small_server();
+    let body = r#"{
+        "clock_hz": 300e6,
+        "sync_cost_cycles": 10000,
+        "processors": 8,
+        "zones": 4,
+        "loops": [
+            {"name": "rhs", "invocations": 10, "total_seconds": 90.0, "parallelism": 320}
+        ]
+    }"#;
+    let reply = post(server.addr(), "/v1/advise", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let zone = served.get("zone_level").unwrap();
+    assert_eq!(zone.get("zones").and_then(Json::as_u64), Some(4));
+    let splits = zone.get("splits").and_then(Json::as_array).unwrap();
+    assert_eq!(splits.len(), 3, "plateau edges of 4 zones on 8 workers");
+    // Loop advice is still the single-level document it always was.
+    assert!(served.get("loops").and_then(Json::as_array).is_some());
+    // Without zones, the block is null.
+    let reply = post(server.addr(), "/v1/advise", ADVISE_BODY);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.json().get("zone_level"), Some(&Json::Null));
     server.shutdown();
 }
 
@@ -687,6 +774,7 @@ fn solve_is_bit_exact_across_shards_and_policies() {
         steps: 2,
         workers: 2,
         schedule: Policy::Static,
+        zone_schedule: f3d::service::ZoneSchedule::Sequential,
     };
     let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
 
@@ -771,6 +859,7 @@ fn auto_solve_resolves_tuned_configs_and_stays_bit_exact() {
         steps: 2,
         workers: 2,
         schedule: Policy::Static,
+        zone_schedule: f3d::service::ZoneSchedule::Sequential,
     };
     let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
     let body = r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "auto"}"#;

@@ -94,6 +94,7 @@ impl CalibrationSpec {
             steps: self.steps,
             workers,
             schedule: Policy::Static,
+            zone_schedule: f3d::service::ZoneSchedule::Sequential,
         }
     }
 }
@@ -222,7 +223,16 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
         } else {
             &measured
         };
-        let win = select(&seed.candidates, primary, &modeled);
+        let mut win = select(&seed.candidates, primary, &modeled);
+        // The near-tie band in `select` lets the modeled cost promote a
+        // candidate that measured slightly worse than the default.
+        // Never publish such a winner: the default is the
+        // no-regression floor (`TuneEntry::default_cost_ns` docs).
+        // Deterministic mode keeps the structural pick — its contract
+        // is reproducibility, not measured cost.
+        if !spec.deterministic && measured[win] > measured[default_ci] {
+            win = default_ci;
+        }
         let model_win = select(&seed.candidates, &modeled, &structural);
         entries.push(TuneEntry {
             kernel: seed.kernel.clone(),

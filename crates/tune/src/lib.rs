@@ -34,4 +34,4 @@ pub mod space;
 
 pub use calibrate::{calibrate, CalibrationSpec};
 pub use db::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
-pub use space::{candidates, worker_counts, Candidate};
+pub use space::{candidates, worker_counts, zone_splits, Candidate, ZoneSplit};

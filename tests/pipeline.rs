@@ -50,7 +50,11 @@ fn profiled_solver_run_drives_the_advisor() {
     // End-to-end Section 4 workflow on the real solver: profile a run,
     // feed the advisor, and get the paper's decisions back — main
     // sweeps worth parallelizing on a small SMP, BCs never.
-    let d = Dims::new(16, 14, 12);
+    // Large enough that each sweep invocation clears the Table-1
+    // minimum-work bound below with ~2x headroom on a fast host; at
+    // 16x14x12 the per-invocation j_factor work sat within noise of
+    // the 800k-cycle threshold.
+    let d = Dims::new(20, 18, 16);
     let (mut zone, mut stepper) = RiscStepper::new_zone(
         SolverConfig::supersonic(),
         Metrics::cartesian(d, (0.2, 0.2, 0.2)),
