@@ -34,6 +34,7 @@ fn entry_json(e: &tune::TuneEntry) -> Json {
         pairs.push(("chunk", Json::from_usize(chunk)));
     }
     pairs.extend([
+        ("vector_width", Json::from_usize(e.vector_width)),
         ("iterations", Json::from_u64(e.iterations)),
         ("candidates_tried", Json::from_usize(e.candidates_tried)),
         ("default_cost_ns", Json::from_u64(e.default_cost_ns)),

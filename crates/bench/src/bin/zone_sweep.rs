@@ -46,6 +46,7 @@ fn grid_row(zones: usize, shards: usize, steps: usize, pool: &Workers, width: us
         workers: width,
         schedule: Policy::Static,
         zone_schedule: ZoneSchedule::Sequential,
+        vector_width: 1,
     };
     let zoned = ServiceCase {
         zone_schedule: ZoneSchedule::Zones(shards),

@@ -24,10 +24,21 @@ fn run_baseline() -> Json {
     parsed
 }
 
+const KERNEL_NAMES: [&str; 8] = [
+    "bc",
+    "inject",
+    "j_factor",
+    "k_factor",
+    "l_factor_scatter",
+    "l_factor_solve",
+    "rhs",
+    "update",
+];
+
 #[test]
-fn report_conforms_to_schema_v2() {
+fn report_conforms_to_schema_v3() {
     let report = run_baseline();
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(3));
     assert_eq!(
         report.get("bench").and_then(Json::as_str),
         Some("perf_baseline")
@@ -69,17 +80,7 @@ fn report_conforms_to_schema_v2() {
             .collect();
         names.sort_unstable();
         assert_eq!(
-            names,
-            [
-                "bc",
-                "inject",
-                "j_factor",
-                "k_factor",
-                "l_factor_scatter",
-                "l_factor_solve",
-                "rhs",
-                "update"
-            ],
+            names, KERNEL_NAMES,
             "kernel vocabulary is part of the schema"
         );
         for k in kernels {
@@ -113,4 +114,74 @@ fn report_conforms_to_schema_v2() {
 
     let first = runs[0].get("speedup_vs_1").and_then(Json::as_f64).unwrap();
     assert!((first - 1.0).abs() < 1e-12, "run at 1 worker defines 1.0");
+
+    // v3: the second parallelism axis — a lane-width sweep at the top
+    // worker count, and the per-kernel LLP×SLP product derived from it.
+    let sweep = report.get("width_sweep").expect("width_sweep block");
+    assert_eq!(
+        sweep.get("workers").and_then(Json::as_u64),
+        counts.last().unwrap().as_u64(),
+        "the width sweep runs at the top worker count"
+    );
+    let widths = sweep
+        .get("vector_widths")
+        .and_then(Json::as_array)
+        .expect("vector_widths array");
+    assert_eq!(
+        widths
+            .iter()
+            .map(|w| w.as_u64().unwrap())
+            .collect::<Vec<_>>(),
+        [1, 2, 4, 8],
+        "the width vocabulary is part of the schema"
+    );
+    let wruns = sweep
+        .get("runs")
+        .and_then(Json::as_array)
+        .expect("width_sweep runs");
+    assert_eq!(wruns.len(), widths.len());
+    for (wrun, width) in wruns.iter().zip(widths) {
+        assert_eq!(
+            wrun.get("vector_width").and_then(Json::as_u64),
+            width.as_u64()
+        );
+        assert!(wrun.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        let kernels = wrun
+            .get("kernels")
+            .and_then(Json::as_array)
+            .expect("width run kernels");
+        let mut names: Vec<&str> = kernels
+            .iter()
+            .map(|k| k.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, KERNEL_NAMES);
+        for k in kernels {
+            assert!(k.get("seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        }
+    }
+
+    let llp_slp = report
+        .get("llp_slp")
+        .and_then(Json::as_array)
+        .expect("llp_slp array");
+    let mut names: Vec<&str> = llp_slp
+        .iter()
+        .map(|k| k.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    names.sort_unstable();
+    assert_eq!(names, KERNEL_NAMES, "every kernel reports its product");
+    for entry in llp_slp {
+        let llp = entry.get("llp_speedup").and_then(Json::as_f64).unwrap();
+        let slp = entry.get("slp_speedup").and_then(Json::as_f64).unwrap();
+        let product = entry.get("llp_slp_product").and_then(Json::as_f64).unwrap();
+        let best = entry.get("best_slp_width").and_then(Json::as_u64).unwrap();
+        assert!(llp > 0.0);
+        assert!(slp >= 1.0, "best width can never lose to scalar: {slp}");
+        assert!([1, 2, 4, 8].contains(&best), "best width {best}");
+        assert!(
+            (product - llp * slp).abs() < 1e-9 * product.max(1.0),
+            "product must be the product"
+        );
+    }
 }

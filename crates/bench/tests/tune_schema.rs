@@ -68,6 +68,12 @@ fn report_conforms_to_schema_v1() {
             } else {
                 assert!(k.get("chunk").and_then(Json::as_u64).unwrap() >= 1);
             }
+            let width = k.get("vector_width").and_then(Json::as_u64).unwrap();
+            assert!(
+                [1, 2, 4, 8].contains(&width),
+                "{}: vector_width {width} outside the supported set",
+                names.last().unwrap()
+            );
             assert!(k.get("iterations").and_then(Json::as_u64).unwrap() > 0);
             assert!(k.get("candidates_tried").and_then(Json::as_u64).unwrap() >= 1);
             let tuned = k.get("tuned_cost_ns").and_then(Json::as_u64).unwrap();

@@ -137,6 +137,178 @@ pub fn flux_jacobian(q: &[f64; NCONS], n: [f64; 3]) -> [[f64; NCONS]; NCONS] {
     a
 }
 
+/// The directed flux at `W` independent states — the lane form of
+/// [`directed_flux`]. Each lane's operation sequence is identical to
+/// the scalar function, so results are bit-exact per lane; the lane
+/// loops are the fixed-trip inner loops rustc unrolls and vectorizes.
+#[must_use]
+pub fn directed_flux_lanes<const W: usize>(
+    q: &[[f64; NCONS]; W],
+    n: &[[f64; 3]; W],
+) -> [[f64; NCONS]; W] {
+    let mut u = [0.0; W];
+    let mut v = [0.0; W];
+    let mut w = [0.0; W];
+    let mut p = [0.0; W];
+    for lane in 0..W {
+        let prim = Primitive::from_conserved(&q[lane]);
+        u[lane] = prim.u;
+        v[lane] = prim.v;
+        w[lane] = prim.w;
+        p[lane] = prim.p;
+    }
+    let mut out = [[0.0; NCONS]; W];
+    for lane in 0..W {
+        let nl = n[lane];
+        let ql = q[lane];
+        let theta = nl[0] * u[lane] + nl[1] * v[lane] + nl[2] * w[lane];
+        out[lane] = [
+            ql[0] * theta,
+            ql[1] * theta + nl[0] * p[lane],
+            ql[2] * theta + nl[1] * p[lane],
+            ql[3] * theta + nl[2] * p[lane],
+            (ql[4] + p[lane]) * theta,
+        ];
+    }
+    out
+}
+
+/// The spectral radius at `W` independent states — the lane form of
+/// [`spectral_radius`], bit-exact per lane.
+#[must_use]
+pub fn spectral_radius_lanes<const W: usize>(q: &[[f64; NCONS]; W], n: &[[f64; 3]; W]) -> [f64; W] {
+    let mut theta = [0.0; W];
+    let mut am = [0.0; W];
+    for lane in 0..W {
+        let prim = Primitive::from_conserved(&q[lane]);
+        let nl = n[lane];
+        theta[lane] = nl[0] * prim.u + nl[1] * prim.v + nl[2] * prim.w;
+        let m = (nl[0] * nl[0] + nl[1] * nl[1] + nl[2] * nl[2]).sqrt();
+        am[lane] = prim.sound_speed() * m;
+    }
+    let mut out = [0.0; W];
+    for lane in 0..W {
+        let l1 = theta[lane];
+        let l4 = theta[lane] + am[lane];
+        let l5 = theta[lane] - am[lane];
+        out[lane] = l1.abs().max(l4.abs()).max(l5.abs());
+    }
+    out
+}
+
+/// Steger–Warming split fluxes at `W` independent states — the lane
+/// form of [`steger_warming`]. The scalar intermediates (`θ`, `a`, the
+/// split eigenvalues, the shifted velocities) become `[f64; W]` lane
+/// arrays filled by fixed-trip loops; each lane executes exactly the
+/// scalar operation sequence, so results are bit-exact per lane.
+#[must_use]
+pub fn steger_warming_lanes<const W: usize>(
+    q: &[[f64; NCONS]; W],
+    n: &[[f64; 3]; W],
+    positive: bool,
+) -> [[f64; NCONS]; W] {
+    let mut rho = [0.0; W];
+    let mut u = [0.0; W];
+    let mut v = [0.0; W];
+    let mut w = [0.0; W];
+    let mut a = [0.0; W];
+    for lane in 0..W {
+        let prim = Primitive::from_conserved(&q[lane]);
+        rho[lane] = prim.rho;
+        u[lane] = prim.u;
+        v[lane] = prim.v;
+        w[lane] = prim.w;
+        a[lane] = prim.sound_speed();
+    }
+    let mut m = [0.0; W];
+    let mut nt = [[0.0; 3]; W];
+    let mut theta = [0.0; W];
+    for lane in 0..W {
+        let nl = n[lane];
+        let ml = (nl[0] * nl[0] + nl[1] * nl[1] + nl[2] * nl[2]).sqrt();
+        assert!(ml > 0.0, "direction vector must be nonzero");
+        m[lane] = ml;
+        nt[lane] = [nl[0] / ml, nl[1] / ml, nl[2] / ml];
+        theta[lane] = nl[0] * u[lane] + nl[1] * v[lane] + nl[2] * w[lane];
+    }
+
+    let g = GAMMA;
+    let mut out = [[0.0; NCONS]; W];
+    for lane in 0..W {
+        let l1 = split(theta[lane], positive);
+        let l4 = split(theta[lane] + a[lane] * m[lane], positive);
+        let l5 = split(theta[lane] - a[lane] * m[lane], positive);
+        let c = rho[lane] / (2.0 * g);
+        let (ul, vl, wl) = (u[lane], v[lane], w[lane]);
+        let al = a[lane];
+        let ntl = nt[lane];
+        let q2 = ul * ul + vl * vl + wl * wl;
+        let up = [ul + al * ntl[0], vl + al * ntl[1], wl + al * ntl[2]];
+        let um = [ul - al * ntl[0], vl - al * ntl[1], wl - al * ntl[2]];
+        let up2 = up[0] * up[0] + up[1] * up[1] + up[2] * up[2];
+        let um2 = um[0] * um[0] + um[1] * um[1] + um[2] * um[2];
+        out[lane] = [
+            c * (2.0 * (g - 1.0) * l1 + l4 + l5),
+            c * (2.0 * (g - 1.0) * l1 * ul + l4 * up[0] + l5 * um[0]),
+            c * (2.0 * (g - 1.0) * l1 * vl + l4 * up[1] + l5 * um[1]),
+            c * (2.0 * (g - 1.0) * l1 * wl + l4 * up[2] + l5 * um[2]),
+            c * ((g - 1.0) * l1 * q2
+                + 0.5 * l4 * up2
+                + 0.5 * l5 * um2
+                + (3.0 - g) * (l4 + l5) * al * al / (2.0 * (g - 1.0))),
+        ];
+    }
+    out
+}
+
+/// Flux Jacobians at `W` independent states — the lane form of
+/// [`flux_jacobian`], bit-exact per lane. Assembly walks the matrix
+/// entries with the lane index innermost so each entry group is a
+/// fixed-trip vectorizable loop.
+#[must_use]
+pub fn flux_jacobian_lanes<const W: usize>(
+    q: &[[f64; NCONS]; W],
+    n: &[[f64; 3]; W],
+) -> [[[f64; NCONS]; NCONS]; W] {
+    let mut vel = [[0.0; 3]; W];
+    let mut theta = [0.0; W];
+    let mut q2 = [0.0; W];
+    let mut h = [0.0; W];
+    for lane in 0..W {
+        let prim = Primitive::from_conserved(&q[lane]);
+        let nl = n[lane];
+        vel[lane] = [prim.u, prim.v, prim.w];
+        theta[lane] = nl[0] * prim.u + nl[1] * prim.v + nl[2] * prim.w;
+        q2[lane] = prim.u * prim.u + prim.v * prim.v + prim.w * prim.w;
+        h[lane] = (q[lane][4] + prim.p) / prim.rho;
+    }
+    let g1 = GAMMA - 1.0;
+    let mut a = [[[0.0; NCONS]; NCONS]; W];
+    for lane in 0..W {
+        a[lane][0] = [0.0, n[lane][0], n[lane][1], n[lane][2], 0.0];
+    }
+    for r in 0..3 {
+        for lane in 0..W {
+            let nr = n[lane][r];
+            let ur = vel[lane][r];
+            a[lane][r + 1][0] = nr * g1 * q2[lane] / 2.0 - ur * theta[lane];
+            for c in 0..3 {
+                a[lane][r + 1][c + 1] = n[lane][c] * ur - nr * g1 * vel[lane][c]
+                    + if r == c { theta[lane] } else { 0.0 };
+            }
+            a[lane][r + 1][4] = nr * g1;
+        }
+    }
+    for lane in 0..W {
+        a[lane][4][0] = theta[lane] * (g1 * q2[lane] / 2.0 - h[lane]);
+        for c in 0..3 {
+            a[lane][4][c + 1] = -g1 * vel[lane][c] * theta[lane] + h[lane] * n[lane][c];
+        }
+        a[lane][4][4] = GAMMA * theta[lane];
+    }
+    a
+}
+
 /// Multiply a 5×5 matrix by a 5-vector.
 #[must_use]
 pub fn matvec(a: &[[f64; NCONS]; NCONS], x: &[f64; NCONS]) -> [f64; NCONS] {
@@ -295,5 +467,64 @@ mod tests {
     fn zero_direction_panics() {
         let q = states()[0];
         let _ = steger_warming(&q, [0.0, 0.0, 0.0], true);
+    }
+
+    fn lane_inputs<const W: usize>() -> ([[f64; NCONS]; W], [[f64; 3]; W]) {
+        let qs = states();
+        let ns = directions();
+        let mut q = [[0.0; NCONS]; W];
+        let mut n = [[0.0; 3]; W];
+        for lane in 0..W {
+            q[lane] = qs[lane % qs.len()];
+            n[lane] = ns[(lane + 1) % ns.len()];
+        }
+        (q, n)
+    }
+
+    fn assert_lanes_bit_exact<const W: usize>() {
+        let (q, n) = lane_inputs::<W>();
+        let df = directed_flux_lanes::<W>(&q, &n);
+        let sr = spectral_radius_lanes::<W>(&q, &n);
+        let swp = steger_warming_lanes::<W>(&q, &n, true);
+        let swm = steger_warming_lanes::<W>(&q, &n, false);
+        let ja = flux_jacobian_lanes::<W>(&q, &n);
+        for lane in 0..W {
+            assert_eq!(
+                df[lane].map(f64::to_bits),
+                directed_flux(&q[lane], n[lane]).map(f64::to_bits)
+            );
+            assert_eq!(
+                sr[lane].to_bits(),
+                spectral_radius(&q[lane], n[lane]).to_bits()
+            );
+            assert_eq!(
+                swp[lane].map(f64::to_bits),
+                steger_warming(&q[lane], n[lane], true).map(f64::to_bits)
+            );
+            assert_eq!(
+                swm[lane].map(f64::to_bits),
+                steger_warming(&q[lane], n[lane], false).map(f64::to_bits)
+            );
+            let scalar = flux_jacobian(&q[lane], n[lane]);
+            for r in 0..NCONS {
+                assert_eq!(ja[lane][r].map(f64::to_bits), scalar[r].map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_variants_are_bit_exact_at_every_width() {
+        assert_lanes_bit_exact::<1>();
+        assert_lanes_bit_exact::<2>();
+        assert_lanes_bit_exact::<4>();
+        assert_lanes_bit_exact::<8>();
+    }
+
+    #[test]
+    #[should_panic(expected = "direction vector must be nonzero")]
+    fn lane_zero_direction_panics() {
+        let (q, mut n) = lane_inputs::<4>();
+        n[2] = [0.0, 0.0, 0.0];
+        let _ = steger_warming_lanes::<4>(&q, &n, true);
     }
 }

@@ -102,6 +102,15 @@ impl MultiZoneSolver {
         &mut self.zones[i]
     }
 
+    /// Select the SLP lane widths every zone's stepper dispatches its
+    /// kernel variants at (see [`RiscStepper::set_widths`] — bit-exact
+    /// at every width, only the performance shape changes).
+    pub fn set_kernel_widths(&mut self, widths: &crate::kernels::WidthMap) {
+        for stepper in &mut self.steppers {
+            stepper.set_widths(widths);
+        }
+    }
+
     /// Point counts per zone — the natural MLP team weights.
     #[must_use]
     pub fn zone_weights(&self) -> Vec<f64> {

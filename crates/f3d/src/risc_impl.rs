@@ -27,9 +27,10 @@
 //! disjointness argument.
 
 use crate::bc::{self, ZoneBcs};
+use crate::kernels::WidthMap;
 use crate::solver::{
-    implicit_central_pencil, implicit_upwind_pencil, pencil_point, residual_point, PencilScratch,
-    SolverConfig, ZoneSolver,
+    implicit_central_pencil_w, implicit_upwind_pencil_w, pencil_point, residual_rhs_row_w,
+    PencilScratch, SolverConfig, ZoneSolver,
 };
 use llp::obs::SpanKind;
 use llp::{
@@ -46,6 +47,8 @@ pub struct RiscStepper {
     rhs: StateField,
     /// Longest pencil of the zone (scratch sizing).
     max_pencil: usize,
+    /// Per-kernel SLP lane widths (scalar unless overridden).
+    widths: WidthMap,
 }
 
 impl RiscStepper {
@@ -81,7 +84,17 @@ impl RiscStepper {
         Self {
             rhs: StateField::zeros(d, zone.q.layout(), zone.q.arrangement()),
             max_pencil: d.j.max(d.k).max(d.l),
+            widths: WidthMap::new(),
         }
+    }
+
+    /// Select the SLP lane width each kernel's variant runs at. The
+    /// widths change only how many points the inner loops process per
+    /// lane group — every width is bit-exact with the scalar reference
+    /// (`update` and `l_factor_scatter` are pure data movement and
+    /// ignore their entries).
+    pub fn set_widths(&mut self, widths: &WidthMap) {
+        self.widths = widths.clone();
     }
 
     /// Bytes of scratch *per worker* — pencil-sized, the quantity the
@@ -140,35 +153,51 @@ impl RiscStepper {
                 p.record(name, t.elapsed().as_secs_f64(), parallelism, parallel);
             }
         };
+        let w_rhs = self.widths.get("rhs");
+        let w_j = self.widths.get("j_factor");
+        let w_k = self.widths.get("k_factor");
+        let w_l = self.widths.get("l_factor_solve");
         // Kernel spans (free when the recorder is disabled). Each phase
         // opens one; the doacross inside attaches its region span as a
         // child, classifying the kernel as parallelized.
         let rec = workers.recorder();
 
-        // --- Explicit residual: rhs = -dt R(Q); parallel over L. ---
+        // --- Explicit residual: rhs = -dt R(Q); parallel over L. Each
+        // worker carries a J-row buffer so interior rows can run the
+        // lane variant (width from the WidthMap, scalar remainder). ---
         let t = Instant::now();
         {
             let _span = rec.span("rhs", SpanKind::Kernel);
             let kw = kernel_pool("rhs");
             let zone_ref: &ZoneSolver = zone;
-            doacross_slabs(&kw, self.rhs.as_mut_slice(), slab, |l, slab_data| {
-                for k in 0..kmax {
-                    for j in 0..jmax {
-                        let p = Ijk::new(j, k, l);
-                        if d.on_boundary(p) {
-                            for c in 0..NCONS {
-                                slab_data[at(j, k, c)] = 0.0;
+            doacross_slabs_scratch(
+                &kw,
+                self.rhs.as_mut_slice(),
+                slab,
+                || vec![[0.0f64; NCONS]; jmax],
+                |l, slab_data, row| {
+                    for k in 0..kmax {
+                        if l == 0 || l == lmax - 1 || k == 0 || k == kmax - 1 {
+                            for j in 0..jmax {
+                                for c in 0..NCONS {
+                                    slab_data[at(j, k, c)] = 0.0;
+                                }
                             }
-                        } else {
-                            let r = residual_point(zone_ref, p, eps2);
-                            let dt_p = crate::solver::local_dt(zone_ref, p);
+                            continue;
+                        }
+                        for c in 0..NCONS {
+                            slab_data[at(0, k, c)] = 0.0;
+                            slab_data[at(jmax - 1, k, c)] = 0.0;
+                        }
+                        residual_rhs_row_w(zone_ref, k, l, eps2, w_rhs, row);
+                        for j in 1..jmax - 1 {
                             for c in 0..NCONS {
-                                slab_data[at(j, k, c)] = -dt_p * r[c];
+                                slab_data[at(j, k, c)] = row[j][c];
                             }
                         }
                     }
-                }
-            });
+                },
+            );
         }
         record("rhs", lmax as u64, true, t);
 
@@ -197,7 +226,7 @@ impl RiscStepper {
                                 s.rhs_line[j][c] = slab_data[at(j, k, c)];
                             }
                         }
-                        implicit_upwind_pencil(s, jmax);
+                        implicit_upwind_pencil_w(s, jmax, w_j);
                         for j in 0..jmax {
                             for c in 0..NCONS {
                                 slab_data[at(j, k, c)] = s.rhs_line[j][c];
@@ -232,7 +261,7 @@ impl RiscStepper {
                                 s.rhs_line[k][c] = slab_data[at(j, k, c)];
                             }
                         }
-                        implicit_central_pencil(s, kmax, eps_imp, 0.0);
+                        implicit_central_pencil_w(s, kmax, eps_imp, 0.0, w_k);
                         for k in 0..kmax {
                             for c in 0..NCONS {
                                 slab_data[at(j, k, c)] = s.rhs_line[k][c];
@@ -269,7 +298,7 @@ impl RiscStepper {
                         for l in 0..lmax {
                             s.rhs_line[l] = rhs_ref.get(pencil_point(base, Axis::L, l));
                         }
-                        implicit_central_pencil(s, lmax, eps_imp, mu_vis);
+                        implicit_central_pencil_w(s, lmax, eps_imp, mu_vis, w_l);
                         for l in 0..lmax {
                             out[(j - 1) * lmax + l] = s.rhs_line[l];
                         }
@@ -517,6 +546,46 @@ mod tests {
         assert_eq!(rhs.sync_events, 1);
         let solve = kernels.iter().find(|k| k.name == "l_factor_solve").unwrap();
         assert_eq!(solve.parallelism, 7); // K extent
+    }
+
+    #[test]
+    fn kernel_widths_do_not_change_results() {
+        // The whole point of the exactness policy: any width map —
+        // uniform or mixed per kernel — produces bit-identical fields.
+        let d = Dims::new(9, 8, 7);
+        let bcs = ZoneBcs::projectile();
+        let run = |widths: Option<WidthMap>| {
+            let (mut zone, mut stepper) = RiscStepper::new_zone(
+                SolverConfig::supersonic(),
+                Metrics::cartesian(d, (0.25, 0.25, 0.25)),
+            );
+            for p in d.iter_jkl() {
+                let mut q = zone.q.get(p);
+                q[0] *= 1.0 + 0.02 * ((p.j + 2 * p.k + 3 * p.l) as f64).sin();
+                zone.q.set(p, q);
+            }
+            if let Some(w) = widths {
+                stepper.set_widths(&w);
+            }
+            let workers = Workers::new(3);
+            for _ in 0..4 {
+                stepper.step(&mut zone, &bcs, &workers, None);
+            }
+            zone.q
+        };
+        let scalar = run(None);
+        for w in [2usize, 4, 8] {
+            assert_eq!(
+                scalar.max_abs_diff(&run(Some(WidthMap::uniform(w)))),
+                0.0,
+                "uniform width {w}"
+            );
+        }
+        let mut mixed = WidthMap::new();
+        mixed.set("rhs", 4);
+        mixed.set("j_factor", 2);
+        mixed.set("l_factor_solve", 8);
+        assert_eq!(scalar.max_abs_diff(&run(Some(mixed))), 0.0, "mixed widths");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::bc::Face;
 use crate::forces::{self, SurfaceForces};
+use crate::kernels::{self, WidthMap};
 use crate::multizone::MultiZoneSolver;
 use crate::solver::SolverConfig;
 use crate::validation::{FieldChecksum, ResidualHistory};
@@ -78,6 +79,11 @@ pub struct ServiceCase {
     /// selects zone shards). Results are bit-exact across every mode —
     /// pinned by tests — so this is purely a performance knob.
     pub zone_schedule: ZoneSchedule,
+    /// SLP lane width the kernel variants run at (one of
+    /// [`kernels::SUPPORTED_WIDTHS`]; 1 is the scalar reference).
+    /// Results are bit-exact at every width — see [`crate::kernels`]'s
+    /// exactness policy — so this too is purely a performance knob.
+    pub vector_width: usize,
 }
 
 impl ServiceCase {
@@ -99,6 +105,7 @@ impl ServiceCase {
         if let ZoneSchedule::Zones(shards) = self.zone_schedule {
             check("zone_shards", shards, MAX_ZONES)?;
         }
+        kernels::validate_width(self.vector_width)?;
         match self.schedule.chunk_param() {
             None => Ok(()),
             Some(chunk) => check("chunk", chunk, MAX_CHUNK),
@@ -108,7 +115,9 @@ impl ServiceCase {
     /// Stable label for this case, used as the obs-report case name.
     /// Static runs keep the original `service/z{}s{}w{}` form; dynamic
     /// policies append a `-dyn{chunk}` / `-gui{min_chunk}` suffix so a
-    /// self-scheduled run is never mistaken for a static one.
+    /// self-scheduled run is never mistaken for a static one, and wide
+    /// runs append a final `-vw{width}` so a SIMD-variant run is never
+    /// mistaken for a scalar one.
     #[must_use]
     pub fn label(&self) -> String {
         let base = format!("service/z{}s{}w{}", self.zones, self.steps, self.workers);
@@ -117,9 +126,14 @@ impl ServiceCase {
             Policy::Dynamic { chunk } => format!("{base}-dyn{chunk}"),
             Policy::Guided { min_chunk } => format!("{base}-gui{min_chunk}"),
         };
-        match self.zone_schedule {
+        let base = match self.zone_schedule {
             ZoneSchedule::Sequential => base,
             ZoneSchedule::Zones(shards) => format!("{base}-zp{shards}"),
+        };
+        if self.vector_width > 1 {
+            format!("{base}-vw{}", self.vector_width)
+        } else {
+            base
         }
     }
 
@@ -134,8 +148,11 @@ impl ServiceCase {
     /// fixed order with a fixed spelling, so two requests that parse to
     /// the same case — whatever their JSON key order or whitespace —
     /// produce byte-identical canonical strings, and any change to
-    /// zones, steps, workers, schedule kind, or chunk parameter changes
-    /// the string.
+    /// zones, steps, workers, schedule kind, chunk parameter, or vector
+    /// width changes the string. `vector_width` always appears —
+    /// explicitly, even at the scalar default — so a request spelling
+    /// `"vector_width": 1` and one omitting the field canonicalize
+    /// identically.
     #[must_use]
     pub fn canonical_string(&self) -> String {
         let schedule = match self.schedule {
@@ -148,8 +165,8 @@ impl ServiceCase {
             ZoneSchedule::Zones(shards) => format!("zones,shards={shards}"),
         };
         format!(
-            "zones={};steps={};workers={};schedule={};zone_schedule={}",
-            self.zones, self.steps, self.workers, schedule, zone_schedule
+            "zones={};steps={};workers={};schedule={};zone_schedule={};vector_width={}",
+            self.zones, self.steps, self.workers, schedule, zone_schedule, self.vector_width
         )
     }
 
@@ -238,6 +255,24 @@ pub fn run_scheduled(
     pool: &Workers,
     schedules: Option<&llp::ScheduleMap>,
 ) -> Result<ServiceRun, String> {
+    run_tuned(case, pool, schedules, None)
+}
+
+/// [`run_scheduled`] with per-kernel SLP width overrides layered on
+/// top: the case's `vector_width` sets the default lane width and any
+/// `widths` entries (from the tune database's per-kernel decisions)
+/// win over it, mirroring how `schedules` overrides the case's chunk
+/// policy. Both axes are bit-exact, so mixing them never changes a
+/// result — only the performance shape.
+///
+/// # Errors
+/// Returns the [`ServiceCase::validate`] error for out-of-bounds cases.
+pub fn run_tuned(
+    case: &ServiceCase,
+    pool: &Workers,
+    schedules: Option<&llp::ScheduleMap>,
+    widths: Option<&WidthMap>,
+) -> Result<ServiceRun, String> {
     case.validate()?;
     // The case's scheduling policy governs every doacross region of the
     // run; the view shares the caller pool's counters and recorder.
@@ -245,6 +280,9 @@ pub fn run_scheduled(
     let grid = case.grid();
     let config = SolverConfig::supersonic();
     let mut solver = MultiZoneSolver::from_grid(&grid, config, 0.3);
+    let mut width_map = widths.cloned().unwrap_or_default();
+    width_map.set_default(case.vector_width);
+    solver.set_kernel_widths(&width_map);
 
     // Deterministic perturbed initial condition — without it every
     // field stays exactly freestream and the checksums test nothing.
@@ -329,6 +367,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         assert!(ok.validate().is_ok());
         assert!(ServiceCase {
@@ -376,6 +415,24 @@ mod tests {
             assert!(err.contains("must be in 1..="), "{err}");
             assert!(run(&bad, &Workers::serial()).is_err());
         }
+        // Widths have their own vocabulary error (not a 1..=max range).
+        for w in [0, 3, 5, 16] {
+            let bad = ServiceCase {
+                vector_width: w,
+                ..ok
+            };
+            let err = bad.validate().unwrap_err();
+            assert!(err.contains("vector_width must be one of"), "{err}");
+            assert!(run(&bad, &Workers::serial()).is_err());
+        }
+        for w in crate::kernels::SUPPORTED_WIDTHS {
+            assert!(ServiceCase {
+                vector_width: w,
+                ..ok
+            }
+            .validate()
+            .is_ok());
+        }
     }
 
     #[test]
@@ -386,10 +443,11 @@ mod tests {
             workers: 4,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         assert_eq!(
             base.canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=sequential"
+            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=sequential;vector_width=1"
         );
         assert_eq!(
             ServiceCase {
@@ -397,7 +455,7 @@ mod tests {
                 ..base
             }
             .canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=dynamic,chunk=5;zone_schedule=sequential"
+            "zones=2;steps=3;workers=4;schedule=dynamic,chunk=5;zone_schedule=sequential;vector_width=1"
         );
         assert_eq!(
             ServiceCase {
@@ -405,7 +463,7 @@ mod tests {
                 ..base
             }
             .canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=guided,chunk=2;zone_schedule=sequential"
+            "zones=2;steps=3;workers=4;schedule=guided,chunk=2;zone_schedule=sequential;vector_width=1"
         );
         assert_eq!(
             ServiceCase {
@@ -413,7 +471,15 @@ mod tests {
                 ..base
             }
             .canonical_string(),
-            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=zones,shards=2"
+            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=zones,shards=2;vector_width=1"
+        );
+        assert_eq!(
+            ServiceCase {
+                vector_width: 4,
+                ..base
+            }
+            .canonical_string(),
+            "zones=2;steps=3;workers=4;schedule=static;zone_schedule=sequential;vector_width=4"
         );
         // Every single-field change moves the hash.
         let variants = [
@@ -440,6 +506,14 @@ mod tests {
                 zone_schedule: ZoneSchedule::Zones(2),
                 ..base
             },
+            ServiceCase {
+                vector_width: 2,
+                ..base
+            },
+            ServiceCase {
+                vector_width: 8,
+                ..base
+            },
         ];
         for v in &variants {
             assert_ne!(v.content_hash(), base.content_hash(), "{:?}", v);
@@ -464,6 +538,7 @@ mod tests {
             workers: 1,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let a = run(&base, &Workers::new(1)).unwrap();
         let b = run(&ServiceCase { workers: 3, ..base }, &Workers::new(3)).unwrap();
@@ -484,6 +559,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let reference = run(&base, &Workers::new(2)).unwrap();
         for schedule in [
@@ -523,6 +599,7 @@ mod tests {
             workers: 4,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let reference = run(&base, &Workers::new(4)).unwrap();
         for schedule in [Policy::Static, Policy::Dynamic { chunk: 2 }] {
@@ -564,6 +641,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let reference = run(&base, &Workers::new(2)).unwrap();
         let mut map = llp::ScheduleMap::new();
@@ -582,6 +660,45 @@ mod tests {
     }
 
     #[test]
+    fn wide_runs_are_bit_exact_and_labeled() {
+        let base = ServiceCase {
+            zones: 2,
+            steps: 3,
+            workers: 2,
+            schedule: Policy::Static,
+            zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
+        };
+        let reference = run(&base, &Workers::new(2)).unwrap();
+        for width in [2, 4, 8] {
+            let case = ServiceCase {
+                vector_width: width,
+                ..base
+            };
+            let out = run(&case, &Workers::new(2)).unwrap();
+            assert_eq!(reference.residuals, out.residuals, "width {width}");
+            assert_eq!(reference.checksums, out.checksums, "width {width}");
+            assert_eq!(reference.drag, out.drag, "width {width}");
+            assert_eq!(reference.lift, out.lift, "width {width}");
+            assert_eq!(reference.sync_events, out.sync_events, "width {width}");
+            assert_eq!(case.label(), format!("service/z2s3w2-vw{width}"));
+        }
+        assert_eq!(base.label(), "service/z2s3w2", "scalar keeps the old label");
+        // Per-kernel width overrides win over the case width and stay
+        // exact, mirroring the per-kernel schedule contract.
+        let mut widths = WidthMap::new();
+        widths.set("rhs", 4);
+        widths.set("j_factor", 2);
+        let case = ServiceCase {
+            vector_width: 8,
+            ..base
+        };
+        let tuned = run_tuned(&case, &Workers::new(2), None, Some(&widths)).unwrap();
+        assert_eq!(reference.residuals, tuned.residuals);
+        assert_eq!(reference.checksums, tuned.checksums);
+    }
+
+    #[test]
     fn flight_instrumented_run_carries_a_timeline() {
         let case = ServiceCase {
             zones: 2,
@@ -589,6 +706,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let mut pool = Workers::recorded(2);
         pool.set_flight(llp::FlightRecorder::enabled(2, 4096));
@@ -614,6 +732,7 @@ mod tests {
             workers: MAX_WORKERS,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let pool = Workers::recorded(2);
         let out = run(&case, &pool.sized_view(case.workers)).unwrap();
@@ -634,6 +753,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         };
         let pool = Workers::recorded(4);
         let out = run(&case, &pool.sized_view(case.workers)).unwrap();

@@ -483,6 +483,312 @@ pub fn implicit_central_pencil(scratch: &mut PencilScratch, n: usize, eps_imp: f
     );
 }
 
+/// [`rhs_upwind_pencil`] at the given lane width: interior points are
+/// processed `W` at a time through [`flux::steger_warming_lanes`], with
+/// a scalar remainder loop for trailing points — so any pencil length,
+/// divisible by `W` or not, produces bit-identical residuals.
+/// Unsupported widths (and width 1) run the scalar reference.
+pub fn rhs_upwind_pencil_w(scratch: &mut PencilScratch, n: usize, width: usize) {
+    match width {
+        2 => rhs_upwind_lanes::<2>(scratch, n),
+        4 => rhs_upwind_lanes::<4>(scratch, n),
+        8 => rhs_upwind_lanes::<8>(scratch, n),
+        _ => rhs_upwind_pencil(scratch, n),
+    }
+}
+
+fn rhs_upwind_lanes<const W: usize>(scratch: &mut PencilScratch, n: usize) {
+    assert!(n >= 2, "pencil too short");
+    let mut i = 1;
+    while i + W < n {
+        let mut qi = [[0.0; NCONS]; W];
+        let mut qm = [[0.0; NCONS]; W];
+        let mut qp = [[0.0; NCONS]; W];
+        let mut ni = [[0.0; 3]; W];
+        for lane in 0..W {
+            qi[lane] = scratch.q_line[i + lane];
+            qm[lane] = scratch.q_line[i + lane - 1];
+            qp[lane] = scratch.q_line[i + lane + 1];
+            ni[lane] = scratch.n_line[i + lane];
+        }
+        let fp_i = flux::steger_warming_lanes::<W>(&qi, &ni, true);
+        let fp_im = flux::steger_warming_lanes::<W>(&qm, &ni, true);
+        let fm_ip = flux::steger_warming_lanes::<W>(&qp, &ni, false);
+        let fm_i = flux::steger_warming_lanes::<W>(&qi, &ni, false);
+        for lane in 0..W {
+            for c in 0..NCONS {
+                scratch.rhs_line[i + lane][c] +=
+                    (fp_i[lane][c] - fp_im[lane][c]) + (fm_ip[lane][c] - fm_i[lane][c]);
+            }
+        }
+        i += W;
+    }
+    while i < n - 1 {
+        let ni = scratch.n_line[i];
+        let fp_i = flux::steger_warming(&scratch.q_line[i], ni, true);
+        let fp_im = flux::steger_warming(&scratch.q_line[i - 1], ni, true);
+        let fm_ip = flux::steger_warming(&scratch.q_line[i + 1], ni, false);
+        let fm_i = flux::steger_warming(&scratch.q_line[i], ni, false);
+        for c in 0..NCONS {
+            scratch.rhs_line[i][c] += (fp_i[c] - fp_im[c]) + (fm_ip[c] - fm_i[c]);
+        }
+        i += 1;
+    }
+    scratch.rhs_line[0] = [0.0; NCONS];
+    scratch.rhs_line[n - 1] = [0.0; NCONS];
+}
+
+/// [`rhs_central_pencil`] at the given lane width — same remainder and
+/// exactness contract as [`rhs_upwind_pencil_w`].
+pub fn rhs_central_pencil_w(scratch: &mut PencilScratch, n: usize, eps2: f64, width: usize) {
+    match width {
+        2 => rhs_central_lanes::<2>(scratch, n, eps2),
+        4 => rhs_central_lanes::<4>(scratch, n, eps2),
+        8 => rhs_central_lanes::<8>(scratch, n, eps2),
+        _ => rhs_central_pencil(scratch, n, eps2),
+    }
+}
+
+fn rhs_central_lanes<const W: usize>(scratch: &mut PencilScratch, n: usize, eps2: f64) {
+    assert!(n >= 2, "pencil too short");
+    let mut i = 1;
+    while i + W < n {
+        let mut qi = [[0.0; NCONS]; W];
+        let mut qm = [[0.0; NCONS]; W];
+        let mut qp = [[0.0; NCONS]; W];
+        let mut ni = [[0.0; 3]; W];
+        for lane in 0..W {
+            qi[lane] = scratch.q_line[i + lane];
+            qm[lane] = scratch.q_line[i + lane - 1];
+            qp[lane] = scratch.q_line[i + lane + 1];
+            ni[lane] = scratch.n_line[i + lane];
+        }
+        let f_ip = flux::directed_flux_lanes::<W>(&qp, &ni);
+        let f_im = flux::directed_flux_lanes::<W>(&qm, &ni);
+        let sigma = flux::spectral_radius_lanes::<W>(&qi, &ni);
+        for lane in 0..W {
+            for c in 0..NCONS {
+                let central = 0.5 * (f_ip[lane][c] - f_im[lane][c]);
+                let diss = eps2 * sigma[lane] * (qp[lane][c] - 2.0 * qi[lane][c] + qm[lane][c]);
+                scratch.rhs_line[i + lane][c] += central - diss;
+            }
+        }
+        i += W;
+    }
+    while i < n - 1 {
+        let ni = scratch.n_line[i];
+        let f_ip = flux::directed_flux(&scratch.q_line[i + 1], ni);
+        let f_im = flux::directed_flux(&scratch.q_line[i - 1], ni);
+        let sigma = flux::spectral_radius(&scratch.q_line[i], ni);
+        for c in 0..NCONS {
+            let central = 0.5 * (f_ip[c] - f_im[c]);
+            let diss = eps2
+                * sigma
+                * (scratch.q_line[i + 1][c] - 2.0 * scratch.q_line[i][c]
+                    + scratch.q_line[i - 1][c]);
+            scratch.rhs_line[i][c] += central - diss;
+        }
+        i += 1;
+    }
+    scratch.rhs_line[0] = [0.0; NCONS];
+    scratch.rhs_line[n - 1] = [0.0; NCONS];
+}
+
+/// [`implicit_upwind_pencil`] at the given lane width: the Jacobians
+/// and spectral radii of `W` interior points are evaluated through the
+/// lane kernels and the block products of the Thomas solve run
+/// `width`-chunked ([`blocktri::solve_block_tridiagonal_w`]); the
+/// recurrence itself stays scalar. Bit-exact at every width, remainder
+/// points included.
+pub fn implicit_upwind_pencil_w(scratch: &mut PencilScratch, n: usize, width: usize) {
+    match width {
+        2 => implicit_upwind_lanes::<2>(scratch, n),
+        4 => implicit_upwind_lanes::<4>(scratch, n),
+        8 => implicit_upwind_lanes::<8>(scratch, n),
+        _ => implicit_upwind_pencil(scratch, n),
+    }
+}
+
+fn implicit_upwind_lanes<const W: usize>(scratch: &mut PencilScratch, n: usize) {
+    assert!(n >= 2, "pencil too short");
+    for i in [0, n - 1] {
+        scratch.lower[i] = [[0.0; NCONS]; NCONS];
+        scratch.diag[i] = blocktri::identity();
+        scratch.upper[i] = [[0.0; NCONS]; NCONS];
+    }
+    let ident = blocktri::identity();
+    let mut i = 1;
+    while i + W < n {
+        let mut qi = [[0.0; NCONS]; W];
+        let mut qm = [[0.0; NCONS]; W];
+        let mut qp = [[0.0; NCONS]; W];
+        let mut ni = [[0.0; 3]; W];
+        for lane in 0..W {
+            qi[lane] = scratch.q_line[i + lane];
+            qm[lane] = scratch.q_line[i + lane - 1];
+            qp[lane] = scratch.q_line[i + lane + 1];
+            ni[lane] = scratch.n_line[i + lane];
+        }
+        let a_i = flux::flux_jacobian_lanes::<W>(&qi, &ni);
+        let r_i = flux::spectral_radius_lanes::<W>(&qi, &ni);
+        let a_im = flux::flux_jacobian_lanes::<W>(&qm, &ni);
+        let r_im = flux::spectral_radius_lanes::<W>(&qm, &ni);
+        let a_ip = flux::flux_jacobian_lanes::<W>(&qp, &ni);
+        let r_ip = flux::spectral_radius_lanes::<W>(&qp, &ni);
+        for lane in 0..W {
+            let ap_i = blocktri::scale(
+                &blocktri::add(&a_i[lane], &blocktri::scale(&ident, r_i[lane])),
+                0.5,
+            );
+            let am_i = blocktri::scale(
+                &blocktri::sub(&a_i[lane], &blocktri::scale(&ident, r_i[lane])),
+                0.5,
+            );
+            let ap_im = blocktri::scale(
+                &blocktri::add(&a_im[lane], &blocktri::scale(&ident, r_im[lane])),
+                0.5,
+            );
+            let am_ip = blocktri::scale(
+                &blocktri::sub(&a_ip[lane], &blocktri::scale(&ident, r_ip[lane])),
+                0.5,
+            );
+            let dt = scratch.dt_line[i + lane];
+            scratch.lower[i + lane] = blocktri::scale(&ap_im, -dt);
+            scratch.diag[i + lane] =
+                blocktri::add(&ident, &blocktri::scale(&blocktri::sub(&ap_i, &am_i), dt));
+            scratch.upper[i + lane] = blocktri::scale(&am_ip, dt);
+        }
+        i += W;
+    }
+    while i < n - 1 {
+        let ni = scratch.n_line[i];
+        let a_i = flux::flux_jacobian(&scratch.q_line[i], ni);
+        let r_i = flux::spectral_radius(&scratch.q_line[i], ni);
+        let a_im = flux::flux_jacobian(&scratch.q_line[i - 1], ni);
+        let r_im = flux::spectral_radius(&scratch.q_line[i - 1], ni);
+        let a_ip = flux::flux_jacobian(&scratch.q_line[i + 1], ni);
+        let r_ip = flux::spectral_radius(&scratch.q_line[i + 1], ni);
+        let ap_i = blocktri::scale(&blocktri::add(&a_i, &blocktri::scale(&ident, r_i)), 0.5);
+        let am_i = blocktri::scale(&blocktri::sub(&a_i, &blocktri::scale(&ident, r_i)), 0.5);
+        let ap_im = blocktri::scale(&blocktri::add(&a_im, &blocktri::scale(&ident, r_im)), 0.5);
+        let am_ip = blocktri::scale(&blocktri::sub(&a_ip, &blocktri::scale(&ident, r_ip)), 0.5);
+        let dt = scratch.dt_line[i];
+        scratch.lower[i] = blocktri::scale(&ap_im, -dt);
+        scratch.diag[i] = blocktri::add(&ident, &blocktri::scale(&blocktri::sub(&ap_i, &am_i), dt));
+        scratch.upper[i] = blocktri::scale(&am_ip, dt);
+        i += 1;
+    }
+    blocktri::solve_block_tridiagonal_w(
+        &scratch.lower[..n],
+        &scratch.diag[..n],
+        &scratch.upper[..n],
+        &mut scratch.rhs_line[..n],
+        &mut scratch.tri,
+        W,
+    );
+}
+
+/// [`implicit_central_pencil`] at the given lane width — same structure
+/// and exactness contract as [`implicit_upwind_pencil_w`].
+pub fn implicit_central_pencil_w(
+    scratch: &mut PencilScratch,
+    n: usize,
+    eps_imp: f64,
+    mu_vis: f64,
+    width: usize,
+) {
+    match width {
+        2 => implicit_central_lanes::<2>(scratch, n, eps_imp, mu_vis),
+        4 => implicit_central_lanes::<4>(scratch, n, eps_imp, mu_vis),
+        8 => implicit_central_lanes::<8>(scratch, n, eps_imp, mu_vis),
+        _ => implicit_central_pencil(scratch, n, eps_imp, mu_vis),
+    }
+}
+
+fn implicit_central_lanes<const W: usize>(
+    scratch: &mut PencilScratch,
+    n: usize,
+    eps_imp: f64,
+    mu_vis: f64,
+) {
+    assert!(n >= 2, "pencil too short");
+    for i in [0, n - 1] {
+        scratch.lower[i] = [[0.0; NCONS]; NCONS];
+        scratch.diag[i] = blocktri::identity();
+        scratch.upper[i] = [[0.0; NCONS]; NCONS];
+    }
+    let ident = blocktri::identity();
+    let mut i = 1;
+    while i + W < n {
+        let mut qi = [[0.0; NCONS]; W];
+        let mut qm = [[0.0; NCONS]; W];
+        let mut qp = [[0.0; NCONS]; W];
+        let mut ni = [[0.0; 3]; W];
+        for lane in 0..W {
+            qi[lane] = scratch.q_line[i + lane];
+            qm[lane] = scratch.q_line[i + lane - 1];
+            qp[lane] = scratch.q_line[i + lane + 1];
+            ni[lane] = scratch.n_line[i + lane];
+        }
+        let a_im = flux::flux_jacobian_lanes::<W>(&qm, &ni);
+        let a_ip = flux::flux_jacobian_lanes::<W>(&qp, &ni);
+        let sigma = flux::spectral_radius_lanes::<W>(&qi, &ni);
+        for lane in 0..W {
+            let nl = ni[lane];
+            let sigma_v = if mu_vis > 0.0 {
+                let phi = nl[0] * nl[0] + nl[1] * nl[1] + nl[2] * nl[2];
+                2.0 * mu_vis * phi / qi[lane][0]
+            } else {
+                0.0
+            };
+            let dt = scratch.dt_line[i + lane];
+            let d = dt * (eps_imp * sigma[lane] + sigma_v);
+            scratch.lower[i + lane] = blocktri::add(
+                &blocktri::scale(&a_im[lane], -0.5 * dt),
+                &blocktri::scale(&ident, -d),
+            );
+            scratch.diag[i + lane] = blocktri::add(&ident, &blocktri::scale(&ident, 2.0 * d));
+            scratch.upper[i + lane] = blocktri::add(
+                &blocktri::scale(&a_ip[lane], 0.5 * dt),
+                &blocktri::scale(&ident, -d),
+            );
+        }
+        i += W;
+    }
+    while i < n - 1 {
+        let ni = scratch.n_line[i];
+        let a_im = flux::flux_jacobian(&scratch.q_line[i - 1], ni);
+        let a_ip = flux::flux_jacobian(&scratch.q_line[i + 1], ni);
+        let sigma = flux::spectral_radius(&scratch.q_line[i], ni);
+        let sigma_v = if mu_vis > 0.0 {
+            let phi = ni[0] * ni[0] + ni[1] * ni[1] + ni[2] * ni[2];
+            2.0 * mu_vis * phi / scratch.q_line[i][0]
+        } else {
+            0.0
+        };
+        let dt = scratch.dt_line[i];
+        let d = dt * (eps_imp * sigma + sigma_v);
+        scratch.lower[i] = blocktri::add(
+            &blocktri::scale(&a_im, -0.5 * dt),
+            &blocktri::scale(&ident, -d),
+        );
+        scratch.diag[i] = blocktri::add(&ident, &blocktri::scale(&ident, 2.0 * d));
+        scratch.upper[i] = blocktri::add(
+            &blocktri::scale(&a_ip, 0.5 * dt),
+            &blocktri::scale(&ident, -d),
+        );
+        i += 1;
+    }
+    blocktri::solve_block_tridiagonal_w(
+        &scratch.lower[..n],
+        &scratch.diag[..n],
+        &scratch.upper[..n],
+        &mut scratch.rhs_line[..n],
+        &mut scratch.tri,
+        W,
+    );
+}
+
 /// The full explicit residual at one *interior* point, in a fixed
 /// direction order (J upwind, then K central, then L central) so that
 /// every implementation computes bit-identical values regardless of its
@@ -547,6 +853,165 @@ pub fn residual_point(zone: &ZoneSolver, p: Ijk, eps2: f64) -> Vec5 {
         }
     }
     r
+}
+
+/// [`residual_point`] at `W` consecutive interior points along J
+/// (`first.j + lane`), with the flux evaluations routed through the
+/// lane kernels. Direction and accumulation order per lane are exactly
+/// the scalar function's (J upwind, K central, L central, then the
+/// viscous terms), so each lane's residual is bit-identical to
+/// `residual_point` at that point.
+///
+/// # Panics
+/// Debug-panics if any lane's point lies on a zone face.
+#[must_use]
+pub fn residual_points_lanes<const W: usize>(
+    zone: &ZoneSolver,
+    first: Ijk,
+    eps2: f64,
+) -> [Vec5; W] {
+    let mut r = [[0.0; NCONS]; W];
+
+    let mut q_i = [[0.0; NCONS]; W];
+    let mut q_m = [[0.0; NCONS]; W];
+    let mut q_p = [[0.0; NCONS]; W];
+    let mut nd = [[0.0; 3]; W];
+
+    // J: first-order Steger–Warming upwind differences.
+    for lane in 0..W {
+        let p = pencil_point(first, Axis::J, first.j + lane);
+        debug_assert!(!zone.dims().on_boundary(p), "residual at face point {p}");
+        nd[lane] = zone.metrics.grad(p, Axis::J);
+        q_i[lane] = zone.q.get(p);
+        q_m[lane] = zone.q.get(p.offset(Axis::J, -1));
+        q_p[lane] = zone.q.get(p.offset(Axis::J, 1));
+    }
+    let fp_i = flux::steger_warming_lanes::<W>(&q_i, &nd, true);
+    let fp_im = flux::steger_warming_lanes::<W>(&q_m, &nd, true);
+    let fm_ip = flux::steger_warming_lanes::<W>(&q_p, &nd, false);
+    let fm_i = flux::steger_warming_lanes::<W>(&q_i, &nd, false);
+    for lane in 0..W {
+        for c in 0..NCONS {
+            r[lane][c] += (fp_i[lane][c] - fp_im[lane][c]) + (fm_ip[lane][c] - fm_i[lane][c]);
+        }
+    }
+
+    // K and L: central differences with scalar dissipation.
+    for axis in [Axis::K, Axis::L] {
+        for lane in 0..W {
+            let p = pencil_point(first, Axis::J, first.j + lane);
+            nd[lane] = zone.metrics.grad(p, axis);
+            q_m[lane] = zone.q.get(p.offset(axis, -1));
+            q_p[lane] = zone.q.get(p.offset(axis, 1));
+        }
+        let f_p = flux::directed_flux_lanes::<W>(&q_p, &nd);
+        let f_m = flux::directed_flux_lanes::<W>(&q_m, &nd);
+        let sigma = flux::spectral_radius_lanes::<W>(&q_i, &nd);
+        for lane in 0..W {
+            for c in 0..NCONS {
+                let central = 0.5 * (f_p[lane][c] - f_m[lane][c]);
+                let diss = eps2 * sigma[lane] * (q_p[lane][c] - 2.0 * q_i[lane][c] + q_m[lane][c]);
+                r[lane][c] += central - diss;
+            }
+        }
+    }
+
+    // Thin-layer viscous terms along L: per-lane scalar evaluation —
+    // the midpoint flux mixes two points' states, so lanes gain nothing
+    // here, and the scalar call keeps the operation sequence identical.
+    if zone.config.is_viscous() {
+        let mu = zone.config.viscosity;
+        let pr = zone.config.prandtl;
+        let mid = |a: [f64; 3], b: [f64; 3]| {
+            [
+                0.5 * (a[0] + b[0]),
+                0.5 * (a[1] + b[1]),
+                0.5 * (a[2] + b[2]),
+            ]
+        };
+        for lane in 0..W {
+            let p = pencil_point(first, Axis::J, first.j + lane);
+            let q_c = q_i[lane];
+            let q_lo = zone.q.get(p.offset(Axis::L, -1));
+            let q_hi = zone.q.get(p.offset(Axis::L, 1));
+            let n_i = zone.metrics.grad(p, Axis::L);
+            let n_m = zone.metrics.grad(p.offset(Axis::L, -1), Axis::L);
+            let n_p = zone.metrics.grad(p.offset(Axis::L, 1), Axis::L);
+            let s_hi = viscous_flux_midpoint(&q_c, &q_hi, mid(n_i, n_p), mu, pr);
+            let s_lo = viscous_flux_midpoint(&q_lo, &q_c, mid(n_m, n_i), mu, pr);
+            for c in 0..NCONS {
+                r[lane][c] -= s_hi[c] - s_lo[c];
+            }
+        }
+    }
+    r
+}
+
+/// Fill `row[j] = −Δt(p)·R(p)` for the interior points `j ∈ 1..jmax−1`
+/// of one `(k, l)` row, dispatching [`residual_points_lanes`] at the
+/// given width with a scalar remainder — the `rhs`-kernel body both
+/// steppers share. Boundary entries of `row` are left untouched;
+/// results are bit-identical to the scalar per-point path at every
+/// width.
+///
+/// # Panics
+/// Panics if `row` is shorter than the J extent.
+pub fn residual_rhs_row_w(
+    zone: &ZoneSolver,
+    k: usize,
+    l: usize,
+    eps2: f64,
+    width: usize,
+    row: &mut [Vec5],
+) {
+    let jmax = zone.dims().j;
+    assert!(row.len() >= jmax, "row buffer too small");
+    match width {
+        2 => residual_rhs_row_lanes::<2>(zone, k, l, eps2, row),
+        4 => residual_rhs_row_lanes::<4>(zone, k, l, eps2, row),
+        8 => residual_rhs_row_lanes::<8>(zone, k, l, eps2, row),
+        _ => {
+            for (j, out) in row.iter_mut().enumerate().take(jmax - 1).skip(1) {
+                let p = Ijk::new(j, k, l);
+                let r = residual_point(zone, p, eps2);
+                let dt_p = local_dt(zone, p);
+                for c in 0..NCONS {
+                    out[c] = -dt_p * r[c];
+                }
+            }
+        }
+    }
+}
+
+fn residual_rhs_row_lanes<const W: usize>(
+    zone: &ZoneSolver,
+    k: usize,
+    l: usize,
+    eps2: f64,
+    row: &mut [Vec5],
+) {
+    let jmax = zone.dims().j;
+    let mut j = 1;
+    while j + W < jmax {
+        let r = residual_points_lanes::<W>(zone, Ijk::new(j, k, l), eps2);
+        for lane in 0..W {
+            let p = Ijk::new(j + lane, k, l);
+            let dt_p = local_dt(zone, p);
+            for c in 0..NCONS {
+                row[j + lane][c] = -dt_p * r[lane][c];
+            }
+        }
+        j += W;
+    }
+    while j < jmax - 1 {
+        let p = Ijk::new(j, k, l);
+        let r = residual_point(zone, p, eps2);
+        let dt_p = local_dt(zone, p);
+        for c in 0..NCONS {
+            row[j][c] = -dt_p * r[c];
+        }
+        j += 1;
+    }
 }
 
 /// L∞ norm of a residual field stored as a `StateField`.
@@ -856,6 +1321,87 @@ mod tests {
             visc_contrib > 0.0,
             "viscous term must damp the peak: {visc_contrib}"
         );
+    }
+
+    fn perturbed_zone(config: SolverConfig, d: Dims) -> ZoneSolver {
+        let mut zone = cartesian_zone(config, d);
+        for p in d.iter_jkl() {
+            let mut q = zone.q.get(p);
+            q[0] *= 1.0 + 0.01 * ((p.j * 3 + p.k * 5 + p.l * 7) as f64).sin();
+            q[4] *= 1.0 + 0.005 * ((p.j + 2 * p.k + 3 * p.l) as f64).cos();
+            zone.q.set(p, q);
+        }
+        zone
+    }
+
+    #[test]
+    fn wide_pencil_kernels_are_bit_exact() {
+        // Pencil lengths chosen so every width leaves a different
+        // remainder (interior counts 5, 6, 7 against W = 2, 4, 8).
+        for d in [Dims::new(7, 6, 5), Dims::new(8, 7, 6), Dims::new(9, 6, 5)] {
+            let zone = perturbed_zone(SolverConfig::subsonic(), d);
+            let n = d.j;
+            let base = Ijk::new(0, 1, 1);
+            let mut reference = PencilScratch::new(n);
+            reference.gather(&zone, Axis::J, base);
+            let mut wide = reference.clone();
+            let run = |s: &mut PencilScratch, kernel: usize, width: usize| {
+                s.rhs_line.iter_mut().for_each(|r| *r = [0.0; NCONS]);
+                if kernel >= 2 {
+                    for (i, r) in s.rhs_line.iter_mut().enumerate() {
+                        *r = [0.01 * (i as f64 + 1.0); NCONS];
+                    }
+                }
+                match kernel {
+                    0 => rhs_upwind_pencil_w(s, n, width),
+                    1 => rhs_central_pencil_w(s, n, 0.08, width),
+                    2 => implicit_upwind_pencil_w(s, n, width),
+                    _ => implicit_central_pencil_w(s, n, 0.3, 0.002, width),
+                }
+            };
+            for kernel in 0..4 {
+                run(&mut reference, kernel, 1);
+                for width in [2, 4, 8] {
+                    run(&mut wide, kernel, width);
+                    for i in 0..n {
+                        assert_eq!(
+                            wide.rhs_line[i].map(f64::to_bits),
+                            reference.rhs_line[i].map(f64::to_bits),
+                            "kernel {kernel} width {width} point {i} dims {d:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_row_is_bit_exact_across_widths() {
+        // Viscous + local time stepping exercises every branch of the
+        // lane residual; jmax = 9 leaves remainders at widths 2 and 4
+        // and falls back entirely to scalar at width 8.
+        let config = SolverConfig::viscous(2.0, 1.0e4).with_local_time_stepping(2.0);
+        let d = Dims::new(9, 6, 6);
+        let zone = perturbed_zone(config, d);
+        let jmax = d.j;
+        let mut reference = vec![[0.0; NCONS]; jmax];
+        let mut wide = vec![[0.0; NCONS]; jmax];
+        for k in 1..d.k - 1 {
+            for l in 1..d.l - 1 {
+                residual_rhs_row_w(&zone, k, l, 0.08, 1, &mut reference);
+                for width in [2, 4, 8] {
+                    wide.iter_mut().for_each(|r| *r = [f64::NAN; NCONS]);
+                    residual_rhs_row_w(&zone, k, l, 0.08, width, &mut wide);
+                    for j in 1..jmax - 1 {
+                        assert_eq!(
+                            wide[j].map(f64::to_bits),
+                            reference[j].map(f64::to_bits),
+                            "width {width} at j={j} k={k} l={l}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,9 +19,10 @@
 //! kernels in [`crate::solver`].
 
 use crate::bc::{self, ZoneBcs};
+use crate::kernels::WidthMap;
 use crate::solver::{
-    implicit_central_pencil, implicit_upwind_pencil, pencil_point, residual_point, PencilScratch,
-    SolverConfig, ZoneSolver,
+    implicit_central_pencil_w, implicit_upwind_pencil_w, pencil_point, residual_rhs_row_w,
+    PencilScratch, SolverConfig, ZoneSolver,
 };
 use mesh::{Arrangement, Axis, Ijk, Layout, Metrics, StateField, NCONS};
 
@@ -34,6 +35,10 @@ pub struct VectorStepper {
     plane_scratch: Vec<PencilScratch>,
     /// The residual / ΔQ field (SoA like the solution).
     rhs: StateField,
+    /// J-row buffer for the lane residual kernel.
+    row_scratch: Vec<[f64; NCONS]>,
+    /// Per-kernel SLP lane widths (scalar unless overridden).
+    widths: WidthMap,
 }
 
 impl VectorStepper {
@@ -60,7 +65,15 @@ impl VectorStepper {
                 .map(|_| PencilScratch::new(max_pencil))
                 .collect(),
             rhs: StateField::zeros(d, zone.q.layout(), zone.q.arrangement()),
+            row_scratch: vec![[0.0; NCONS]; d.j],
+            widths: WidthMap::new(),
         }
+    }
+
+    /// Select the SLP lane width each kernel's variant runs at — same
+    /// contract as `RiscStepper::set_widths`: bit-exact at every width.
+    pub fn set_widths(&mut self, widths: &WidthMap) {
+        self.widths = widths.clone();
     }
 
     /// Bytes of scratch this stepper holds — plane-proportional, for
@@ -78,22 +91,25 @@ impl VectorStepper {
         let mu_vis = zone.config.viscosity;
 
         // --- Explicit residual: rhs = -dt * R(Q), faces zero. ---
-        // Legacy loop order: L outer, K middle, J inner (long vectors).
+        // Legacy loop order: L outer, K middle, J inner (long vectors);
+        // interior J-rows run the lane variant at the selected width.
+        let w_rhs = self.widths.get("rhs");
+        let w_j = self.widths.get("j_factor");
+        let w_k = self.widths.get("k_factor");
+        let w_l = self.widths.get("l_factor_solve");
         for l in 0..d.l {
             for k in 0..d.k {
-                for j in 0..d.j {
-                    let p = Ijk::new(j, k, l);
-                    if d.on_boundary(p) {
-                        self.rhs.set(p, [0.0; NCONS]);
-                    } else {
-                        let r = residual_point(zone, p, eps2);
-                        let dt_p = crate::solver::local_dt(zone, p);
-                        let mut v = [0.0; NCONS];
-                        for c in 0..NCONS {
-                            v[c] = -dt_p * r[c];
-                        }
-                        self.rhs.set(p, v);
+                if l == 0 || l == d.l - 1 || k == 0 || k == d.k - 1 {
+                    for j in 0..d.j {
+                        self.rhs.set(Ijk::new(j, k, l), [0.0; NCONS]);
                     }
+                    continue;
+                }
+                self.rhs.set(Ijk::new(0, k, l), [0.0; NCONS]);
+                self.rhs.set(Ijk::new(d.j - 1, k, l), [0.0; NCONS]);
+                residual_rhs_row_w(zone, k, l, eps2, w_rhs, &mut self.row_scratch);
+                for j in 1..d.j - 1 {
+                    self.rhs.set(Ijk::new(j, k, l), self.row_scratch[j]);
                 }
             }
         }
@@ -113,7 +129,7 @@ impl VectorStepper {
             }
             // solve the whole plane
             for s in self.plane_scratch[..d.k].iter_mut() {
-                implicit_upwind_pencil(s, d.j);
+                implicit_upwind_pencil_w(s, d.j, w_j);
             }
             // scatter the whole plane
             for k in 0..d.k {
@@ -136,7 +152,7 @@ impl VectorStepper {
                 }
             }
             for s in self.plane_scratch[..d.j].iter_mut() {
-                implicit_central_pencil(s, d.k, eps_imp, 0.0);
+                implicit_central_pencil_w(s, d.k, eps_imp, 0.0, w_k);
             }
             for j in 0..d.j {
                 let base = Ijk::new(j, 0, l);
@@ -158,7 +174,7 @@ impl VectorStepper {
                 }
             }
             for s in self.plane_scratch[..d.j].iter_mut() {
-                implicit_central_pencil(s, d.l, eps_imp, mu_vis);
+                implicit_central_pencil_w(s, d.l, eps_imp, mu_vis, w_l);
             }
             for j in 0..d.j {
                 let base = Ijk::new(j, k, 0);

@@ -81,7 +81,9 @@ pub struct SolveRequest {
 /// floor — `chunk` is only meaningful for the self-scheduled policies
 /// and is rejected alongside `"static"`. `"schedule": "auto"` defers
 /// per-kernel configuration to the server's tune database and takes
-/// no chunk either.
+/// no chunk either. `vector_width` selects the SLP kernel-variant lane
+/// width (1, 2, 4, or 8; default 1 — results are bit-exact at every
+/// width).
 ///
 /// # Errors
 /// Unknown fields, mistyped values, and out-of-cap cases are rejected
@@ -98,6 +100,7 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
             "chunk",
             "cache",
             "zone_schedule",
+            "vector_width",
         ],
     )?;
     let bypass = match body.get("cache") {
@@ -155,6 +158,10 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
         workers: field("workers", default_workers)?,
         schedule,
         zone_schedule,
+        // The scalar default: an explicit `"vector_width": 1` and an
+        // omitted field parse to the same case (and hash to the same
+        // cache key — the canonical string always spells the width).
+        vector_width: field("vector_width", 1)?,
     };
     case.validate()?;
     Ok(SolveRequest { case, auto, bypass })
@@ -220,6 +227,7 @@ pub fn tuned_resolution(db: Option<&TuneDb>) -> Json {
                             if let Some(chunk) = e.schedule.chunk_param() {
                                 pairs.push(("chunk", Json::from_usize(chunk)));
                             }
+                            pairs.push(("vector_width", Json::from_usize(e.vector_width)));
                             Json::object(pairs)
                         })
                         .collect(),
@@ -256,6 +264,7 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json, cach
             ZoneSchedule::Zones(shards) => Json::from_usize(shards),
         },
     ));
+    case.push(("vector_width", Json::from_usize(run.case.vector_width)));
     let zone_level = run.zone_stats.map_or(Json::Null, |s| {
         Json::object(vec![
             ("shards", Json::from_usize(s.shards)),
@@ -556,6 +565,7 @@ fn measured_json(m: &MeasuredAdvice) -> Json {
         pairs.push(("chunk", Json::from_usize(chunk)));
     }
     pairs.extend([
+        ("vector_width", Json::from_usize(m.choice.vector_width)),
         (
             "measured_cost_ns",
             Json::from_u64(m.choice.measured_cost_ns),
@@ -803,6 +813,7 @@ mod tests {
                 workers: 4,
                 schedule: Policy::Static,
                 zone_schedule: ZoneSchedule::Sequential,
+                vector_width: 1,
             }
         );
         let req = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
@@ -814,6 +825,7 @@ mod tests {
                 workers: 1,
                 schedule: Policy::Static,
                 zone_schedule: ZoneSchedule::Sequential,
+                vector_width: 1,
             }
         );
         assert!(parse_solve_body(r#"{"zones": 99}"#, 4).is_err());
@@ -917,6 +929,7 @@ mod tests {
                 kernel: "rhs".to_string(),
                 workers: 2,
                 schedule: Policy::Dynamic { chunk: 2 },
+                vector_width: 4,
                 iterations: 10,
                 candidates_tried: 4,
                 measured_cost_ns: 100,
@@ -935,6 +948,26 @@ mod tests {
             Some("dynamic")
         );
         assert_eq!(kernels[0].get("chunk").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            kernels[0].get("vector_width").and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn solve_body_selects_a_vector_width() {
+        let req = parse_solve_body(r#"{"vector_width": 4}"#, 4).unwrap();
+        assert_eq!(req.case.vector_width, 4);
+        // An explicit scalar width parses to the same case as omission.
+        let explicit = parse_solve_body(r#"{"vector_width": 1}"#, 4).unwrap();
+        let omitted = parse_solve_body("{}", 4).unwrap();
+        assert_eq!(explicit.case, omitted.case);
+        assert_eq!(explicit.case.content_hash(), omitted.case.content_hash());
+        // Out-of-vocabulary widths are rejected by case validation.
+        assert!(parse_solve_body(r#"{"vector_width": 0}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"vector_width": 3}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"vector_width": 16}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"vector_width": "wide"}"#, 4).is_err());
     }
 
     #[test]

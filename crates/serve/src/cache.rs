@@ -179,6 +179,7 @@ mod tests {
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
+            vector_width: 1,
         }
     }
 
@@ -191,9 +192,23 @@ mod tests {
         let base = key(2);
         assert_eq!(
             base.canonical(),
-            "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;auto=false;tune_gen=0"
+            "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
         );
         assert_ne!(base, key(3));
+        // The width is a semantic field, always spelled in the key: an
+        // explicit scalar width and an omitted one build the same case
+        // (api parsing) and therefore the same key, while a wide solve
+        // keys separately.
+        let wide = ContentKey::for_case(
+            &ServiceCase {
+                vector_width: 4,
+                ..case(2)
+            },
+            false,
+            0,
+        );
+        assert_ne!(base, wide);
+        assert!(wide.canonical().contains("vector_width=4"));
         // The zone schedule is a semantic field: a zone-parallel solve
         // keys separately from the sequential one (same answer, but the
         // response's zone_level block differs).

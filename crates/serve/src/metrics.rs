@@ -8,6 +8,7 @@
 //! they must agree with the pool's own synchronization-event counter —
 //! an invariant the integration tests check end to end.
 
+use f3d::kernels::SUPPORTED_WIDTHS;
 use llp::obs::json::Json;
 use llp::obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +45,9 @@ pub struct Metrics {
     zone_tasks_total: AtomicU64,
     zone_shards_last: AtomicU64,
     zone_peak_ready_last: AtomicU64,
+    /// Executed solves by the vector width they ran at, indexed in
+    /// [`SUPPORTED_WIDTHS`] order.
+    solves_by_width: [AtomicU64; SUPPORTED_WIDTHS.len()],
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
     by_status: [AtomicU64; TRACKED_STATUSES.len()],
     /// End-to-end request latency (parse through response build), ms.
@@ -85,6 +89,7 @@ impl Metrics {
             zone_tasks_total: AtomicU64::new(0),
             zone_shards_last: AtomicU64::new(0),
             zone_peak_ready_last: AtomicU64::new(0),
+            solves_by_width: std::array::from_fn(|_| AtomicU64::new(0)),
             by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
             by_status: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::latency_ms(),
@@ -227,6 +232,18 @@ impl Metrics {
             .store(peak_ready, Ordering::Relaxed);
     }
 
+    /// Count one executed solve at `width` lanes. Unsupported widths
+    /// cannot reach the executor (admission validates them), but an
+    /// unknown value folds into the scalar bucket rather than panicking
+    /// in the metrics path.
+    pub fn solve_width(&self, width: usize) {
+        let idx = SUPPORTED_WIDTHS
+            .iter()
+            .position(|&w| w == width)
+            .unwrap_or(0);
+        self.solves_by_width[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one solve served straight from the content-addressed
     /// cache (no execution).
     pub fn cache_hit(&self) {
@@ -304,6 +321,16 @@ impl Metrics {
                 ]),
             ),
             (
+                "solves_by_vector_width",
+                Json::Object(
+                    SUPPORTED_WIDTHS
+                        .iter()
+                        .zip(&self.solves_by_width)
+                        .map(|(&w, counter)| (w.to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
                 "endpoints",
                 Json::Object(
                     ENDPOINTS
@@ -375,6 +402,21 @@ mod tests {
         assert_eq!(j.get("obs_seconds_total").unwrap().as_f64(), Some(0.5));
         assert_eq!(j.get("executor_shards").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn solve_width_counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.solve_width(1);
+        m.solve_width(4);
+        m.solve_width(4);
+        m.solve_width(999); // unknown widths fold into the scalar bucket
+        let j = m.to_json(1, 1, 0, 0);
+        let by_width = j.get("solves_by_vector_width").unwrap();
+        assert_eq!(by_width.get("1").unwrap().as_u64(), Some(2));
+        assert_eq!(by_width.get("2").unwrap().as_u64(), Some(0));
+        assert_eq!(by_width.get("4").unwrap().as_u64(), Some(2));
+        assert_eq!(by_width.get("8").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -575,16 +575,21 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
             // default path — the overlay changes cost, never answers.
             let db = if *auto { shared.tune_db() } else { None };
             let map = db.as_ref().map(|d| d.schedule_map());
+            // Tuned per-kernel widths overlay the case-level width the
+            // same way tuned schedules overlay the case-level policy:
+            // both change only the performance shape, never the answer.
+            let widths = db.as_ref().map(|d| d.width_map());
             let tuned = if *auto {
                 api::tuned_resolution(db.as_deref())
             } else {
                 llp::obs::json::Json::Null
             };
-            match f3d::service::run_scheduled(case, &view, map.as_ref()) {
+            match f3d::service::run_tuned(case, &view, map.as_ref(), widths.as_ref()) {
                 Ok(run) => {
                     shared
                         .metrics
                         .job_done(run.sync_events, run.report.total_seconds());
+                    shared.metrics.solve_width(run.case.vector_width);
                     if let Some(stats) = run.zone_stats {
                         shared.metrics.zone_job(
                             stats.shards as u64,

@@ -27,6 +27,9 @@ struct Fields {
     chunk: usize,
     /// 0 = sequential (the default), n > 0 = `"zone_schedule": n`.
     zone_shards: usize,
+    /// SLP lane width; rendered only when > 1 so the omitted-field
+    /// spelling of the scalar default is exercised by construction.
+    vector_width: usize,
 }
 
 impl Fields {
@@ -55,6 +58,9 @@ impl Fields {
         if self.zone_shards > 0 {
             pairs.push(format!("\"zone_schedule\":{ws}{}", self.zone_shards));
         }
+        if self.vector_width > 1 {
+            pairs.push(format!("\"vector_width\":{ws}{}", self.vector_width));
+        }
         // Rotate + optionally reverse: enough permutations to cover
         // every adjacency without a factorial generator.
         let n = pairs.len();
@@ -74,15 +80,17 @@ fn fields() -> impl Strategy<Value = Fields> {
         0usize..4,
         1usize..=8,
         0usize..=4,
+        0usize..f3d::kernels::SUPPORTED_WIDTHS.len(),
     )
         .prop_map(
-            |(zones, steps, workers, schedule, chunk, zone_shards)| Fields {
+            |(zones, steps, workers, schedule, chunk, zone_shards, width_at)| Fields {
                 zones,
                 steps,
                 workers,
                 schedule,
                 chunk,
                 zone_shards,
+                vector_width: f3d::kernels::SUPPORTED_WIDTHS[width_at],
             },
         )
 }
@@ -146,10 +154,27 @@ proptest! {
         prop_assert_eq!(&implicit, &explicit);
     }
 
-    /// Every semantic mutation — dims, steps, workers, schedule family,
-    /// chunk, zone schedule — moves the request to a distinct key.
+    /// Omitting `vector_width` and spelling out the scalar default are
+    /// the same solve, so they must share a key — the fix for the
+    /// cache split where `"vector_width": 1` hashed apart from the
+    /// omitted spelling.
     #[test]
-    fn semantic_changes_change_the_key(f in fields(), which in 0usize..6) {
+    fn default_width_and_explicit_scalar_width_share_one_key(
+        zones in 1usize..=4,
+        steps in 1usize..=6,
+    ) {
+        let implicit = key_of(&format!("{{\"zones\": {zones}, \"steps\": {steps}}}"));
+        let explicit = key_of(&format!(
+            "{{\"zones\": {zones}, \"steps\": {steps}, \"vector_width\": 1}}"
+        ));
+        prop_assert_eq!(&implicit, &explicit);
+    }
+
+    /// Every semantic mutation — dims, steps, workers, schedule family,
+    /// chunk, zone schedule, vector width — moves the request to a
+    /// distinct key.
+    #[test]
+    fn semantic_changes_change_the_key(f in fields(), which in 0usize..7) {
         let mut g = f;
         match which {
             0 => g.zones = g.zones % 4 + 1,
@@ -157,6 +182,13 @@ proptest! {
             2 => g.workers = g.workers % 4 + 1,
             3 => g.schedule = (g.schedule + 1) % 4,
             4 => g.zone_shards = (g.zone_shards + 1) % 5,
+            5 => {
+                // Step to the next supported width (cyclically): always
+                // a different, valid width.
+                let widths = f3d::kernels::SUPPORTED_WIDTHS;
+                let at = widths.iter().position(|&w| w == g.vector_width).unwrap();
+                g.vector_width = widths[(at + 1) % widths.len()];
+            }
             _ => {
                 // Chunk only matters for chunked schedules; a chunk
                 // mutation on any other base is meaningless, so discard
@@ -198,7 +230,7 @@ fn golden_key_is_pinned() {
     let key = key_of(r#"{"zones": 2, "steps": 3, "workers": 2}"#);
     assert_eq!(
         key.canonical(),
-        "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;auto=false;tune_gen=0"
+        "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
     );
-    assert_eq!(key.digest(), "0f191aeb8d222c53");
+    assert_eq!(key.digest(), "1a72737c1baf24a8");
 }

@@ -252,6 +252,7 @@ fn solve_matches_direct_invocation_exactly() {
         workers: 2,
         schedule: Policy::Static,
         zone_schedule: f3d::service::ZoneSchedule::Sequential,
+        vector_width: 1,
     };
     let reply = post(
         server.addr(),
@@ -775,6 +776,7 @@ fn solve_is_bit_exact_across_shards_and_policies() {
         workers: 2,
         schedule: Policy::Static,
         zone_schedule: f3d::service::ZoneSchedule::Sequential,
+        vector_width: 1,
     };
     let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
 
@@ -830,6 +832,7 @@ fn sample_tune_db() -> TuneDb {
         kernel: kernel.to_string(),
         workers,
         schedule,
+        vector_width: 1,
         iterations: 10,
         candidates_tried: 5,
         measured_cost_ns: 80_000,
@@ -860,6 +863,7 @@ fn auto_solve_resolves_tuned_configs_and_stays_bit_exact() {
         workers: 2,
         schedule: Policy::Static,
         zone_schedule: f3d::service::ZoneSchedule::Sequential,
+        vector_width: 1,
     };
     let direct = f3d::service::run(&case, &llp::Workers::recorded(2)).unwrap();
     let body = r#"{"zones": 2, "steps": 2, "workers": 2, "schedule": "auto"}"#;

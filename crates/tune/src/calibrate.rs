@@ -22,7 +22,8 @@
 //!    since the default configuration is always a candidate, the
 //!    winner's cost never exceeds the default's. Ties and near-ties
 //!    break deterministically (modeled cost, then fewer workers, then
-//!    policy order, then smaller chunk). The analytic model ranks the
+//!    policy order, then smaller chunk, then smaller vector width).
+//!    The analytic model ranks the
 //!    same candidates by predicted cost `W/speedup(U,P) +
 //!    S·events(U,P)`; the db records whether it agrees.
 //!
@@ -37,6 +38,7 @@
 
 use crate::db::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
 use crate::space::{candidates, Candidate};
+use f3d::kernels::WidthMap;
 use f3d::service::{self, ServiceCase, MAX_STEPS, MAX_WORKERS, MAX_ZONES};
 use llp::obs::attr::{kernel_overheads, AttributionReport};
 use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
@@ -95,6 +97,7 @@ impl CalibrationSpec {
             workers,
             schedule: Policy::Static,
             zone_schedule: f3d::service::ZoneSchedule::Sequential,
+            vector_width: 1,
         }
     }
 }
@@ -181,12 +184,14 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
         .collect();
     for round in 0..rounds {
         let mut map = ScheduleMap::new();
+        let mut widths = WidthMap::new();
         for seed in &seeds {
             let cand = seed.candidates[round % seed.candidates.len()];
             map.set(&seed.kernel, cand.workers, cand.policy);
+            widths.set(&seed.kernel, cand.vector_width);
         }
         for _ in 0..spec.trials {
-            let run = service::run_scheduled(&case, &view, Some(&map))?;
+            let run = service::run_tuned(&case, &view, Some(&map), Some(&widths))?;
             let attr = AttributionReport::from_timeline(&run.timeline);
             let rows = kernel_overheads(&run.report, &attr);
             for (si, seed) in seeds.iter().enumerate() {
@@ -238,6 +243,7 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
             kernel: seed.kernel.clone(),
             workers: seed.candidates[win].workers,
             schedule: seed.candidates[win].policy,
+            vector_width: seed.candidates[win].vector_width,
             iterations: seed.units,
             candidates_tried: seed.candidates.len(),
             measured_cost_ns: measured[win],
@@ -264,6 +270,13 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
 /// sync cost per scheduling event, scaled by the kernel's region count
 /// — everything in nanoseconds so it is directly comparable with the
 /// measured wall cost.
+///
+/// The model is deliberately **width-agnostic**: the paper's laws
+/// price loop-level parallelism (workers, chunks, sync events) and
+/// have no superword term, so candidates differing only in
+/// `vector_width` are modeled identically and the *measured* cost is
+/// what separates them. The width-1 bias in [`select`]'s tie key keeps
+/// the ranking total anyway.
 fn modeled_cost_ns(seed: &KernelSeed, cand: &Candidate, sync_cost_ns: u64) -> u64 {
     let u = usize::try_from(seed.units).unwrap_or(usize::MAX);
     let speedup = cand.policy.ideal_speedup(u, cand.workers);
@@ -286,8 +299,11 @@ fn structural_cost(units: u64, cand: &Candidate) -> u64 {
 
 /// Pick the winning candidate index: minimum primary cost, near-ties
 /// (within 2 %) broken by secondary cost, then fewer workers, then
-/// policy order (static < dynamic < guided), then smaller chunk — a
-/// total, deterministic order.
+/// policy order (static < dynamic < guided), then smaller chunk, then
+/// smaller vector width — a total, deterministic order. The width
+/// tiebreak means a wide variant only wins when it *measures* better:
+/// both cost models are width-agnostic, so without it the order would
+/// not be total and deterministic mode could not reproduce decisions.
 fn select(cands: &[Candidate], primary: &[u64], secondary: &[u64]) -> usize {
     let rank = |c: &Candidate| match c.policy {
         Policy::Static => (0usize, 0usize),
@@ -299,7 +315,14 @@ fn select(cands: &[Candidate], primary: &[u64], secondary: &[u64]) -> usize {
         let (lo, hi) = (primary[i].min(primary[best]), primary[i].max(primary[best]));
         let near_tie = hi.saturating_sub(lo) * 50 <= hi; // within 2%
         let better = if near_tie {
-            let key = |j: usize| (secondary[j], cands[j].workers, rank(&cands[j]));
+            let key = |j: usize| {
+                (
+                    secondary[j],
+                    cands[j].workers,
+                    rank(&cands[j]),
+                    cands[j].vector_width,
+                )
+            };
             key(i) < key(best)
         } else {
             primary[i] < primary[best]
@@ -359,14 +382,17 @@ mod tests {
             Candidate {
                 workers: 4,
                 policy: Policy::Static,
+                vector_width: 1,
             },
             Candidate {
                 workers: 2,
                 policy: Policy::Static,
+                vector_width: 1,
             },
             Candidate {
                 workers: 4,
                 policy: Policy::Dynamic { chunk: 1 },
+                vector_width: 1,
             },
         ];
         // Clear winner by primary cost.
@@ -378,21 +404,51 @@ mod tests {
     }
 
     #[test]
+    fn width_ties_break_toward_scalar() {
+        // Same (workers, policy) at two widths with identical costs —
+        // the width-agnostic models guarantee this shape — must pick
+        // the scalar variant, never the wide one.
+        let cands = [
+            Candidate {
+                workers: 2,
+                policy: Policy::Static,
+                vector_width: 4,
+            },
+            Candidate {
+                workers: 2,
+                policy: Policy::Static,
+                vector_width: 1,
+            },
+        ];
+        assert_eq!(select(&cands, &[100, 100], &[5, 5]), 1);
+        // But a measured win at a wide width takes it.
+        assert_eq!(select(&cands, &[80, 100], &[5, 5]), 0);
+        // Width never changes the width-agnostic structural cost.
+        assert_eq!(
+            structural_cost(10, &cands[0]),
+            structural_cost(10, &cands[1])
+        );
+    }
+
+    #[test]
     fn structural_cost_rewards_plateau_edges() {
         // U = 10: P=5 halves the makespan of P=2 under static.
         let c2 = Candidate {
             workers: 2,
             policy: Policy::Static,
+            vector_width: 1,
         };
         let c5 = Candidate {
             workers: 5,
             policy: Policy::Static,
+            vector_width: 1,
         };
         assert!(structural_cost(10, &c5) < structural_cost(10, &c2));
         // Dynamic unit chunks pay for their hand-outs.
         let d5 = Candidate {
             workers: 5,
             policy: Policy::Dynamic { chunk: 1 },
+            vector_width: 1,
         };
         assert!(structural_cost(10, &d5) > structural_cost(10, &c5));
     }
@@ -426,6 +482,12 @@ mod tests {
             assert!(e.workers >= 1 && e.workers <= 2);
             assert!(e.candidates_tried >= 2);
             assert!(e.iterations > 0);
+            assert!(
+                f3d::kernels::SUPPORTED_WIDTHS.contains(&e.vector_width),
+                "{}: width {}",
+                e.kernel,
+                e.vector_width
+            );
             // Measured selection: the winner never loses to the default.
             assert!(
                 e.measured_cost_ns <= e.default_cost_ns,

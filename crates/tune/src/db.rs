@@ -2,12 +2,14 @@
 //! their measured and modeled costs, serialized with the suite's own
 //! JSON layer so `llpd` can persist and reload it.
 
+use f3d::kernels::WidthMap;
 use llp::obs::json::Json;
 use llp::{MeasuredChoice, Policy, ScheduleMap};
 use std::path::Path;
 
 /// Schema version of [`TuneDb::to_json`]; bumped on layout changes.
-pub const TUNE_SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the per-entry `vector_width` (the SLP axis).
+pub const TUNE_SCHEMA_VERSION: u64 = 2;
 
 /// One kernel's calibration outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +20,8 @@ pub struct TuneEntry {
     pub workers: usize,
     /// Winning schedule.
     pub schedule: Policy,
+    /// Winning SLP lane width (1 = the scalar kernel variant).
+    pub vector_width: usize,
     /// Mean parallel-loop iterations per region (the stair-step `U`).
     pub iterations: u64,
     /// Candidates the search measured for this kernel.
@@ -47,6 +51,7 @@ impl TuneEntry {
             pairs.push(("chunk", Json::from_usize(chunk)));
         }
         pairs.extend([
+            ("vector_width", Json::from_usize(self.vector_width)),
             ("iterations", Json::from_u64(self.iterations)),
             ("candidates_tried", Json::from_usize(self.candidates_tried)),
             ("measured_cost_ns", Json::from_u64(self.measured_cost_ns)),
@@ -72,6 +77,9 @@ impl TuneEntry {
                 .as_usize()
                 .ok_or("workers must be an integer")?,
             schedule: Policy::parse(name, chunk)?,
+            vector_width: field("vector_width")?
+                .as_usize()
+                .ok_or("vector_width must be an integer")?,
             iterations: field("iterations")?
                 .as_u64()
                 .ok_or("iterations must be an integer")?,
@@ -206,6 +214,19 @@ impl TuneDb {
         map
     }
 
+    /// The per-kernel SLP widths a solver consumes
+    /// ([`f3d::service::run_tuned`]). Scalar winners are recorded too —
+    /// an explicit width-1 entry and no entry resolve identically, but
+    /// the map should say what the calibration decided.
+    #[must_use]
+    pub fn width_map(&self) -> WidthMap {
+        let mut map = WidthMap::new();
+        for e in &self.entries {
+            map.set(&e.kernel, e.vector_width);
+        }
+        map
+    }
+
     /// The measured choices for the advisor
     /// ([`llp::Advisor::advise_with_measured`]).
     #[must_use]
@@ -218,6 +239,7 @@ impl TuneDb {
                     MeasuredChoice {
                         workers: e.workers,
                         schedule: e.schedule,
+                        vector_width: e.vector_width,
                         measured_cost_ns: e.measured_cost_ns,
                         modeled_cost_ns: e.modeled_cost_ns,
                     },
@@ -244,6 +266,7 @@ impl TuneDb {
                 a.kernel == b.kernel
                     && a.workers == b.workers
                     && a.schedule == b.schedule
+                    && a.vector_width == b.vector_width
                     && a.iterations == b.iterations
                     && a.candidates_tried == b.candidates_tried
             })
@@ -277,6 +300,7 @@ mod tests {
                     kernel: "rhs".to_string(),
                     workers: 4,
                     schedule: Policy::Guided { min_chunk: 1 },
+                    vector_width: 4,
                     iterations: 10,
                     candidates_tried: 12,
                     measured_cost_ns: 80_000,
@@ -288,6 +312,7 @@ mod tests {
                     kernel: "update".to_string(),
                     workers: 2,
                     schedule: Policy::Static,
+                    vector_width: 1,
                     iterations: 10,
                     candidates_tried: 12,
                     measured_cost_ns: 40_000,
@@ -330,6 +355,7 @@ mod tests {
             "kernel",
             "workers",
             "schedule",
+            "vector_width",
             "iterations",
             "candidates_tried",
             "measured_cost_ns",
@@ -342,6 +368,12 @@ mod tests {
         // Static entries omit the chunk; dynamic ones carry it.
         assert_eq!(e.get("chunk").and_then(Json::as_u64), Some(1));
         assert!(entries[1].get("chunk").is_none());
+        // The width is always explicit, even for scalar winners.
+        assert_eq!(e.get("vector_width").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            entries[1].get("vector_width").and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
@@ -375,6 +407,11 @@ mod tests {
         assert_eq!(choices.len(), 2);
         assert_eq!(choices[0].0, "rhs");
         assert_eq!(choices[0].1.measured_cost_ns, 80_000);
+        assert_eq!(choices[0].1.vector_width, 4);
+        let widths = db.width_map();
+        assert_eq!(widths.get("rhs"), 4);
+        assert_eq!(widths.get("update"), 1);
+        assert_eq!(widths.get("unknown"), 1, "unmapped kernels stay scalar");
     }
 
     #[test]
@@ -387,5 +424,8 @@ mod tests {
         assert!(a.same_decisions(&b));
         b.entries[0].workers = 2;
         assert!(!a.same_decisions(&b));
+        let mut c = sample();
+        c.entries[0].vector_width = 2;
+        assert!(!a.same_decisions(&c), "the width is a decision");
     }
 }

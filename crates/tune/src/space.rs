@@ -14,29 +14,39 @@
 //!
 //! The surviving worker counts are crossed with the schedule policies
 //! (static, dynamic, guided — small chunk vocabularies, since the
-//! service caps loop extents).
+//! service caps loop extents) and with the SLP lane widths
+//! ([`f3d::kernels::SUPPORTED_WIDTHS`]) — the paper's loop-level axis
+//! times the superword axis, searched as one space because the best
+//! `(P, schedule)` can change with the width and vice versa.
 
+use f3d::kernels::SUPPORTED_WIDTHS;
 use llp::Policy;
 use perfmodel::stairstep::plateau_edges;
 use perfmodel::OverheadBound;
 
-/// One point of the search space: a worker count and a policy.
+/// One point of the search space: a worker count, a policy, and an SLP
+/// lane width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
     /// Worker count.
     pub workers: usize,
     /// Chunk-scheduling policy.
     pub policy: Policy,
+    /// SLP lane width the kernel's variant runs at (bit-exact at every
+    /// width, so purely a cost axis).
+    pub vector_width: usize,
 }
 
 impl Candidate {
     /// The default configuration the search must always include and
-    /// compare against: every pool worker, static block scheduling.
+    /// compare against: every pool worker, static block scheduling,
+    /// the scalar kernel variant.
     #[must_use]
     pub fn default_config(pool_width: usize) -> Self {
         Self {
             workers: pool_width.max(1),
             policy: Policy::Static,
+            vector_width: 1,
         }
     }
 }
@@ -47,6 +57,14 @@ impl Candidate {
 /// the Table 1 budget when `bound` is given (`P = 1` always survives;
 /// so does `pool_width`, the default config, which the calibration
 /// must measure even when the model dislikes it).
+///
+/// Degenerate inputs never panic: `units == 0` proposes only the
+/// serial count `[1]` (there is nothing to split), and `pool_width ==
+/// 0` is treated as a 1-wide pool. The plateau scan is bounded by
+/// `min(pool_width, units)` — no edge exists past `P = units`, where
+/// `ceil(units/P)` has already reached 1 — so an absurd `pool_width`
+/// (untrusted input, or a wrapped conversion upstream) costs O(units),
+/// not O(pool_width).
 #[must_use]
 pub fn worker_counts(
     units: u64,
@@ -57,13 +75,17 @@ pub fn worker_counts(
     if units == 0 {
         return vec![1];
     }
-    let max_p = u32::try_from(width).unwrap_or(u32::MAX);
-    let mut counts: Vec<usize> = plateau_edges(units, max_p)
+    // Saturating narrowing on both axes: a u64 unit count or a usize
+    // pool width beyond u32::MAX clamps instead of wrapping.
+    let scan_cap = u32::try_from(units)
+        .unwrap_or(u32::MAX)
+        .min(u32::try_from(width).unwrap_or(u32::MAX));
+    let mut counts: Vec<usize> = plateau_edges(units, scan_cap)
         .into_iter()
-        .map(|p| p as usize)
+        .map(|p| usize::try_from(p).unwrap_or(usize::MAX))
         .collect();
     if let Some((bound, work_cycles)) = bound {
-        let cap = bound.max_processors(work_cycles).max(1) as usize;
+        let cap = usize::try_from(bound.max_processors(work_cycles).max(1)).unwrap_or(usize::MAX);
         counts.retain(|&p| p <= cap);
     }
     if !counts.contains(&1) {
@@ -96,6 +118,11 @@ pub struct ZoneSplit {
 /// same pruning [`worker_counts`] applies to loops, lifted one level
 /// up. Shard count 1 (the sequential zone order) always survives; it
 /// is the degenerate split every other entry is measured against.
+///
+/// Degenerate inputs never panic: `zones == 0` and `pool_width == 0`
+/// both collapse to the single sequential split (`pool_width` treated
+/// as 1), and the plateau scan is bounded by `min(pool_width, zones)`
+/// for the same reason as in [`worker_counts`].
 #[must_use]
 pub fn zone_splits(zones: u64, pool_width: usize) -> Vec<ZoneSplit> {
     let width = pool_width.max(1);
@@ -105,14 +132,16 @@ pub fn zone_splits(zones: u64, pool_width: usize) -> Vec<ZoneSplit> {
             loop_workers: width,
         }];
     }
-    let max_s = u32::try_from(width).unwrap_or(u32::MAX);
+    let max_s = u32::try_from(zones)
+        .unwrap_or(u32::MAX)
+        .min(u32::try_from(width).unwrap_or(u32::MAX));
     let mut splits: Vec<ZoneSplit> = plateau_edges(zones, max_s)
         .into_iter()
         .map(|s| {
-            let zone_shards = s as usize;
+            let zone_shards = usize::try_from(s).unwrap_or(usize::MAX);
             ZoneSplit {
                 zone_shards,
-                loop_workers: (width / zone_shards).max(1),
+                loop_workers: (width / zone_shards.max(1)).max(1),
             }
         })
         .collect();
@@ -129,10 +158,13 @@ pub fn zone_splits(zones: u64, pool_width: usize) -> Vec<ZoneSplit> {
 }
 
 /// Enumerate the candidates for one kernel: the pruned worker counts
-/// crossed with the policy vocabulary. Serial (`P = 1`) gets only
-/// [`Policy::Static`] — scheduling is meaningless without concurrency.
-/// Parallel counts get static, unit and coarse dynamic chunks, and
-/// guided hand-outs. The default configuration is always present.
+/// crossed with the policy vocabulary, crossed with the SLP lane
+/// widths. Serial (`P = 1`) gets only [`Policy::Static`] — scheduling
+/// is meaningless without concurrency — but still every width: the
+/// superword axis pays off regardless of worker count (a serial sweep
+/// still runs the wide inner loops). Parallel counts get static, unit
+/// and coarse dynamic chunks, and guided hand-outs, each at every
+/// width. The default configuration is always present.
 #[must_use]
 pub fn candidates(
     units: u64,
@@ -141,22 +173,32 @@ pub fn candidates(
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     for p in worker_counts(units, pool_width, bound) {
-        if p <= 1 {
-            out.push(Candidate {
-                workers: 1,
-                policy: Policy::Static,
-            });
-            continue;
-        }
-        let mut policies = vec![Policy::Static, Policy::Dynamic { chunk: 1 }];
-        // A coarse dynamic chunk: ~2 hand-outs per worker.
-        let coarse = (units as usize).div_ceil(2 * p).max(1);
-        if coarse > 1 {
-            policies.push(Policy::Dynamic { chunk: coarse });
-        }
-        policies.push(Policy::Guided { min_chunk: 1 });
+        let policies = if p <= 1 {
+            vec![Policy::Static]
+        } else {
+            let mut policies = vec![Policy::Static, Policy::Dynamic { chunk: 1 }];
+            // A coarse dynamic chunk: ~2 hand-outs per worker. The
+            // unit count saturates into usize and the divisor guards
+            // against overflow, so absurd inputs degrade to chunk 1
+            // instead of wrapping.
+            let coarse = usize::try_from(units)
+                .unwrap_or(usize::MAX)
+                .div_ceil(p.saturating_mul(2))
+                .max(1);
+            if coarse > 1 {
+                policies.push(Policy::Dynamic { chunk: coarse });
+            }
+            policies.push(Policy::Guided { min_chunk: 1 });
+            policies
+        };
         for policy in policies {
-            out.push(Candidate { workers: p, policy });
+            for vector_width in SUPPORTED_WIDTHS {
+                out.push(Candidate {
+                    workers: p.max(1),
+                    policy,
+                    vector_width,
+                });
+            }
         }
     }
     let default = Candidate::default_config(pool_width);
@@ -269,5 +311,66 @@ mod tests {
         for (i, a) in c.iter().enumerate() {
             assert!(!c[i + 1..].contains(a), "duplicate {a:?}");
         }
+    }
+
+    #[test]
+    fn every_configuration_comes_at_every_width() {
+        // The SLP axis crosses the whole (workers × policy) space:
+        // each distinct (workers, policy) pair appears once per
+        // supported width — including serial.
+        let c = candidates(12, 4, None);
+        let mut pairs: Vec<(usize, Policy)> = c.iter().map(|c| (c.workers, c.policy)).collect();
+        pairs.sort_by_key(|(w, p)| (*w, format!("{p:?}")));
+        pairs.dedup();
+        assert_eq!(c.len(), pairs.len() * SUPPORTED_WIDTHS.len());
+        for (w, p) in &pairs {
+            for vw in SUPPORTED_WIDTHS {
+                assert!(
+                    c.contains(&Candidate {
+                        workers: *w,
+                        policy: *p,
+                        vector_width: vw
+                    }),
+                    "missing ({w}, {p:?}) at width {vw}"
+                );
+            }
+        }
+        // The default config is the scalar one.
+        assert_eq!(Candidate::default_config(4).vector_width, 1);
+    }
+
+    #[test]
+    fn degenerate_pools_and_overflow_boundaries_never_panic_or_hang() {
+        // pool_width == 0: treated as a 1-wide pool, serial only.
+        assert_eq!(worker_counts(10, 0, None), vec![1]);
+        assert_eq!(worker_counts(0, 0, None), vec![1]);
+        let splits = zone_splits(4, 0);
+        assert_eq!(splits[0].zone_shards, 1);
+        assert_eq!(splits[0].loop_workers, 1);
+        assert!(splits.iter().all(|s| s.loop_workers >= 1));
+        let c = candidates(10, 0, None);
+        assert!(c.contains(&Candidate::default_config(0)));
+        assert!(c.iter().all(|c| c.workers == 1));
+
+        // Saturating narrowing: unit counts and pool widths past
+        // u32::MAX clamp instead of wrapping, and the plateau scan is
+        // bounded by units, so an absurd pool width returns quickly.
+        let counts = worker_counts(u64::MAX, 4, None);
+        assert!(counts.contains(&1) && counts.contains(&4));
+        let counts = worker_counts(3, usize::MAX, None);
+        assert!(counts.contains(&1) && counts.contains(&usize::MAX));
+        assert!(counts.iter().all(|&p| p == usize::MAX || p <= 3));
+        let splits = zone_splits(u64::MAX, 2);
+        assert!(splits.iter().all(|s| s.zone_shards <= 2));
+        let splits = zone_splits(2, usize::MAX);
+        assert!(splits
+            .iter()
+            .all(|s| s.zone_shards <= 2 && s.loop_workers >= 1));
+        // The coarse-chunk divisor saturates rather than overflowing.
+        let c = candidates(u64::MAX, 2, None);
+        assert!(c.iter().all(|c| match c.policy {
+            Policy::Dynamic { chunk } => chunk >= 1,
+            _ => true,
+        }));
     }
 }
