@@ -210,7 +210,7 @@ fn run_sweep_point(
         seconds = started.elapsed().as_secs_f64();
         // Every client connection is still open; sample the gauge and
         // the cache counters over one extra keep-alive connection.
-        let (status, _, body) = Client::connect(addr).roundtrip(&get("/metrics"));
+        let (status, _, body) = Client::connect(addr).roundtrip(&get("/metrics?format=json"));
         assert_eq!(status, 200, "probe /metrics");
         *probe_metrics.lock().unwrap() = Some(Json::parse(&body).expect("metrics JSON"));
         release.wait();

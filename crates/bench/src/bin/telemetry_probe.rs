@@ -1,0 +1,383 @@
+//! Telemetry probe: boots `llpd` in-process with short telemetry
+//! windows and exercises the continuous-telemetry stack end to end —
+//! windowed series, Prometheus exposition, and the model-drift
+//! watchdog — then emits a versioned `BENCH_telemetry.json` verdict.
+//!
+//! ```text
+//! cargo run --release -p bench --bin telemetry_probe -- \
+//!     [--requests N] [--window-ms N] [--workers N] [<output-path>]
+//! ```
+//!
+//! Two phases run against the same machine-calibrated tune database:
+//!
+//! 1. **genuine** — the database exactly as `tune::calibrate` wrote
+//!    it, watched with the *default* drift configuration. Auto solves
+//!    run the tuned configurations the calibration actually measured,
+//!    so the analytic expectation tracks live cost and the watchdog
+//!    must flag nothing: `false_positives` must be 0 and `/v1/health`
+//!    must stay `ok`.
+//! 2. **falsified** — the same database with its model inputs
+//!    corrupted (every entry claims 64 workers, the calibrated sync
+//!    cost is replaced with 1 ns), watched with a tightened
+//!    configuration. Live auto solves now cost a multiple of the
+//!    falsified expectation, so the watchdog must trip: entries go
+//!    stale, `tune_entries_stale` rises, `/v1/health` degrades.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```text
+//! { schema_version, bench, window_ms, requests, workers,
+//!   calibration: { pool_width, sync_cost_ns, kernels },
+//!   genuine:   { windows_sealed, requests_seen, solves_seen,
+//!                quantiles_sane, health_status, stale_kernels,
+//!                false_positives, tune_entries_stale },
+//!   falsified: { windows_sealed, requests_seen, solves_seen,
+//!                quantiles_sane, health_status, stale_kernels,
+//!                tripped, tune_entries_stale, solves_to_trip } }
+//! ```
+
+use bench::BenchArgs;
+use llp::obs::json::Json;
+use serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use tune::{calibrate, CalibrationSpec, DriftConfig, TuneDb};
+
+/// Auto solve with cache bypass: every request resolves the tuned
+/// configurations and actually executes, so every request feeds the
+/// drift watchdog a fresh measurement.
+const AUTO_SOLVE_BODY: &str = r#"{"zones": 2, "steps": 2, "schedule": "auto", "cache": "bypass"}"#;
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to llpd");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("framed response");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn get_json(addr: SocketAddr, target: &str) -> Json {
+    let (status, body) = request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"),
+    );
+    assert_eq!(status, 200, "GET {target}: {body}");
+    Json::parse(&body).expect("JSON body")
+}
+
+fn post_solve(addr: SocketAddr) {
+    let (status, body) = request(
+        addr,
+        &format!(
+            "POST /v1/solve HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{AUTO_SOLVE_BODY}",
+            AUTO_SOLVE_BODY.len()
+        ),
+    );
+    assert_eq!(status, 200, "auto solve failed: {body}");
+}
+
+fn health_status(addr: SocketAddr) -> String {
+    get_json(addr, "/v1/health")
+        .get("status")
+        .and_then(Json::as_str)
+        .expect("health.status")
+        .to_string()
+}
+
+fn windows_sealed(addr: SocketAddr) -> u64 {
+    get_json(addr, "/v1/health")
+        .get("windows_sealed")
+        .and_then(Json::as_u64)
+        .expect("health.windows_sealed")
+}
+
+/// Every sealed window must carry internally consistent latency
+/// aggregates: a window that saw requests has `0 <= p50 <= p99` (the
+/// quantiles come from one histogram, so they must be monotone) and a
+/// sum no smaller than its largest single observation. The quantiles
+/// are bucket-interpolated, so they are *not* compared against the
+/// exact `max` — a lone sample low in a bucket interpolates above it.
+fn quantiles_sane(stats: &Json) -> bool {
+    let Some(windows) = stats
+        .get("series")
+        .and_then(|s| s.get("windows"))
+        .and_then(Json::as_array)
+    else {
+        return false;
+    };
+    windows.iter().all(|w| {
+        let lat = |key: &str| {
+            w.get("latency_ms")
+                .and_then(|l| l.get(key))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        let count = w
+            .get("latency_ms")
+            .and_then(|l| l.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if count == 0 {
+            return true;
+        }
+        let (p50, p99, max, sum) = (lat("p50"), lat("p99"), lat("max"), lat("sum"));
+        p50 >= 0.0 && p50 <= p99 && max >= 0.0 && sum >= max
+    })
+}
+
+/// Sum a per-window counter over every window in a stats reply.
+fn window_sum(stats: &Json, key: &str) -> u64 {
+    stats
+        .get("series")
+        .and_then(|s| s.get("windows"))
+        .and_then(Json::as_array)
+        .map_or(0, |ws| {
+            ws.iter()
+                .map(|w| w.get(key).and_then(Json::as_u64).unwrap_or(0))
+                .sum()
+        })
+}
+
+struct PhaseOutcome {
+    report: Json,
+    ok: bool,
+}
+
+/// Boot a server around `db`, drive `requests` auto solves paced to
+/// span several telemetry windows, and read the watchdog's verdict.
+/// `expect_trip` selects the pass criterion: a falsified database must
+/// degrade health, a genuine one must not.
+fn run_phase(
+    name: &str,
+    db: TuneDb,
+    drift_config: DriftConfig,
+    window_ms: u64,
+    requests: usize,
+    workers: usize,
+    expect_trip: bool,
+) -> PhaseOutcome {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        telemetry_window_ms: window_ms,
+        drift_config,
+        tune_db: Some(db),
+        ..ServerConfig::default()
+    })
+    .expect("bind probe server");
+    let addr = server.addr();
+
+    // Pace the solves so the stream spans multiple windows; a tripping
+    // phase may stop early once health degrades, a genuine phase runs
+    // the full budget. The cap gives a stuck watchdog a bounded run.
+    let pace = Duration::from_millis((window_ms / 8).max(1));
+    let budget = if expect_trip { requests * 4 } else { requests };
+    let mut solves = 0usize;
+    let mut solves_to_trip = None;
+    for i in 0..budget {
+        post_solve(addr);
+        solves += 1;
+        if i % 4 == 3 {
+            // Keep the inline endpoints in the mix — the windows must
+            // aggregate scrapes alongside solves.
+            let _ = get_json(addr, "/metrics?format=json");
+            if expect_trip && health_status(addr) == "degraded" {
+                solves_to_trip = Some(solves);
+                break;
+            }
+        }
+        std::thread::sleep(pace);
+    }
+
+    // Let the final window seal so the stats reply covers everything.
+    let sealed_floor = windows_sealed(addr).max(2);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while windows_sealed(addr) < sealed_floor && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let health = get_json(addr, "/v1/health");
+    let stats = get_json(addr, "/v1/stats?windows=64");
+    let metrics = get_json(addr, "/metrics?format=json");
+    server.shutdown();
+
+    let status = health
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("missing")
+        .to_string();
+    let stale: Vec<String> = health
+        .get("stale_kernels")
+        .and_then(Json::as_array)
+        .map_or_else(Vec::new, |a| {
+            a.iter()
+                .filter_map(|k| k.as_str().map(ToString::to_string))
+                .collect()
+        });
+    let stale_gauge = metrics
+        .get("tune_entries_stale")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let sealed = health
+        .get("windows_sealed")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let sane = quantiles_sane(&stats);
+    let tripped = status == "degraded" && !stale.is_empty() && stale_gauge > 0;
+    let ok = sealed >= 2
+        && sane
+        && if expect_trip {
+            tripped
+        } else {
+            stale.is_empty()
+        };
+
+    eprintln!(
+        "telemetry_probe: {name}: {solves} solves, {sealed} windows, health {status}, \
+         {} stale ({})",
+        stale.len(),
+        if ok { "pass" } else { "FAIL" }
+    );
+    let mut fields = vec![
+        ("windows_sealed", Json::from_u64(sealed)),
+        (
+            "requests_seen",
+            Json::from_u64(window_sum(&stats, "requests")),
+        ),
+        ("solves_seen", Json::from_u64(window_sum(&stats, "solves"))),
+        ("quantiles_sane", Json::Bool(sane)),
+        ("health_status", Json::Str(status)),
+        (
+            "stale_kernels",
+            Json::Array(stale.iter().map(|k| Json::str(k)).collect()),
+        ),
+        ("tune_entries_stale", Json::from_u64(stale_gauge)),
+    ];
+    if expect_trip {
+        fields.push(("tripped", Json::Bool(tripped)));
+        fields.push((
+            "solves_to_trip",
+            solves_to_trip.map_or(Json::Null, Json::from_usize),
+        ));
+    } else {
+        fields.push(("false_positives", Json::from_usize(stale.len())));
+    }
+    PhaseOutcome {
+        report: Json::object(fields),
+        ok,
+    }
+}
+
+/// Corrupt the model inputs the drift score divides by, leaving the
+/// executed configurations intact (the pool clamps the absurd worker
+/// claim): live cost becomes a multiple of the falsified expectation.
+fn falsify(mut db: TuneDb) -> TuneDb {
+    db.sync_cost_ns = 1;
+    for entry in &mut db.entries {
+        entry.workers = 64;
+    }
+    db
+}
+
+fn main() {
+    let args = BenchArgs::from_env(
+        &["requests", "window-ms", "workers"],
+        "BENCH_telemetry.json",
+    );
+    let die = |e: String| -> usize {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let requests = args.positive_usize("requests", 48).unwrap_or_else(die);
+    let window_ms = args.positive_usize("window-ms", 120).unwrap_or_else(die) as u64;
+    let workers = args.positive_usize("workers", 2).unwrap_or_else(die);
+
+    eprintln!(
+        "telemetry_probe: calibrating on a {workers}-wide pool \
+         (window {window_ms} ms, {requests} solves per phase)"
+    );
+    let pool = llp::Workers::new(workers);
+    let honest = calibrate(
+        &pool,
+        &CalibrationSpec {
+            zones: 2,
+            steps: 2,
+            trials: 1,
+            deterministic: false,
+        },
+    )
+    .expect("calibration");
+    drop(pool);
+
+    let calibration = Json::object(vec![
+        ("pool_width", Json::from_usize(honest.pool_width)),
+        ("sync_cost_ns", Json::from_u64(honest.sync_cost_ns)),
+        (
+            "kernels",
+            Json::Array(
+                honest
+                    .entries
+                    .iter()
+                    .map(|e| Json::str(&e.kernel))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let genuine = run_phase(
+        "genuine",
+        honest.clone(),
+        DriftConfig::default(),
+        window_ms,
+        requests,
+        workers,
+        false,
+    );
+    // Tightened watchdog for the injected fault: the probe should trip
+    // in seconds, not in the default three ten-second windows.
+    let falsified = run_phase(
+        "falsified",
+        falsify(honest),
+        DriftConfig {
+            threshold: 0.5,
+            windows: 2,
+            alpha: 0.5,
+            min_samples: 3,
+        },
+        window_ms,
+        requests,
+        workers,
+        true,
+    );
+
+    let passed = genuine.ok && falsified.ok;
+    let json = Json::object(vec![
+        ("schema_version", Json::from_u64(1)),
+        ("bench", Json::str("telemetry_probe")),
+        ("window_ms", Json::from_u64(window_ms)),
+        ("requests", Json::from_usize(requests)),
+        ("workers", Json::from_usize(workers)),
+        ("calibration", calibration),
+        ("genuine", genuine.report),
+        ("falsified", falsified.report),
+    ]);
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(args.output(), &text).expect("write telemetry report");
+    eprintln!("wrote {}", args.output());
+    if !passed {
+        eprintln!("telemetry_probe: FAILED (see phase verdicts above)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Schema validation for the `telemetry_probe` JSON report: runs the
+//! probe (real llpd in-process, machine calibration, short telemetry
+//! windows) and pins the versioned structure — including the drift
+//! watchdog's two-sided verdict — that future observability PRs
+//! regress against.
+//!
+//! The probe exits non-zero when either phase fails its own criterion
+//! (a genuine database flagged, a falsified one not flagged), so a
+//! green run here is also an end-to-end proof that the watchdog both
+//! trips and stays quiet when it should.
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_probe() -> Json {
+    let out_path = format!("{}/telemetry_schema_test.json", env!("CARGO_TARGET_TMPDIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_telemetry_probe"))
+        .args(["--requests", "32", "--window-ms", "100", &out_path])
+        .env("LLPD_LOG", "error")
+        .output()
+        .expect("run telemetry_probe");
+    assert!(
+        out.status.success(),
+        "telemetry_probe exited {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1_and_the_watchdog_cuts_both_ways() {
+    let report = run_probe();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("telemetry_probe")
+    );
+    assert_eq!(report.get("window_ms").and_then(Json::as_u64), Some(100));
+    assert_eq!(report.get("requests").and_then(Json::as_u64), Some(32));
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(2));
+
+    let calibration = report.get("calibration").expect("calibration block");
+    assert_eq!(
+        calibration.get("pool_width").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(calibration
+        .get("sync_cost_ns")
+        .and_then(Json::as_u64)
+        .is_some());
+    let kernels = calibration
+        .get("kernels")
+        .and_then(Json::as_array)
+        .expect("calibrated kernels");
+    assert!(!kernels.is_empty());
+
+    // Genuine phase: windows advanced, quantiles held together, and
+    // the watchdog flagged nothing.
+    let genuine = report.get("genuine").expect("genuine block");
+    assert!(
+        genuine
+            .get("windows_sealed")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 2
+    );
+    assert!(genuine.get("solves_seen").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(genuine.get("quantiles_sane"), Some(&Json::Bool(true)));
+    assert_eq!(
+        genuine.get("health_status").and_then(Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        genuine.get("false_positives").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // Falsified phase: the injected model corruption tripped the
+    // watchdog — stale entries, a raised gauge, degraded health.
+    let falsified = report.get("falsified").expect("falsified block");
+    assert_eq!(falsified.get("tripped"), Some(&Json::Bool(true)));
+    assert_eq!(
+        falsified.get("health_status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    assert!(
+        falsified
+            .get("tune_entries_stale")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    let stale = falsified
+        .get("stale_kernels")
+        .and_then(Json::as_array)
+        .expect("stale kernels");
+    assert!(!stale.is_empty());
+    // Every stale kernel is one the calibration actually tuned.
+    for k in stale {
+        assert!(kernels.contains(k), "unknown stale kernel {k}");
+    }
+    assert!(falsified
+        .get("solves_to_trip")
+        .and_then(Json::as_u64)
+        .is_some());
+}

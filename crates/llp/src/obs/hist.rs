@@ -6,6 +6,24 @@
 //! allocation, no lock, safe to call from every connection thread
 //! concurrently. Snapshots render cumulative (`le`) buckets in the
 //! Prometheus style, plus count/sum and estimated quantiles.
+//!
+//! # Quantile rule (no interpolation)
+//!
+//! [`Histogram::quantile`] resolves `q ∈ [0, 1]` to the **smallest
+//! bucket upper bound** whose cumulative count reaches the rank
+//! `max(1, ceil(q · n))` over `n` recorded observations. There is no
+//! intra-bucket interpolation: every returned value is one of the
+//! configured bounds, never a value between them, so the estimate for
+//! a true sample quantile `x` is the bucket ceiling `min{b : b ≥ x}`
+//! — an upper bound on the exact order statistic as long as the
+//! observation lies within the bounded range. Observations beyond the
+//! last bound land in the implicit `+Inf` bucket and are reported as
+//! the last finite bound (the histogram cannot resolve further), which
+//! is the one case where the estimate may under-report. An empty
+//! histogram has no quantiles (`None`). The exact contract — bucket
+//! ceiling of the sorted-sample order statistic at rank
+//! `max(1, ceil(q·n))` — is property-tested against a sorted-sample
+//! oracle in `crates/llp/tests/hist_oracle.rs`.
 
 use crate::obs::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +135,32 @@ impl Histogram {
             }
         }
         Some(self.bounds[self.bounds.len() - 1])
+    }
+
+    /// Upper bounds this histogram was built with (exclusive of the
+    /// implicit `+Inf` bucket).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative bucket snapshot for text exposition: one
+    /// `(upper_bound, cumulative_count)` pair per configured bound,
+    /// then `(f64::INFINITY, total)`. Counts are monotone
+    /// non-decreasing by construction, matching the Prometheus
+    /// `_bucket{le=...}` contract.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cumulative = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, counter)| {
+                cumulative += counter.load(Ordering::Relaxed);
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (bound, cumulative)
+            })
+            .collect()
     }
 
     /// Cumulative snapshot: `{"buckets": [{"le", "count"}...], "count",

@@ -25,7 +25,9 @@
 //! overhead [`attr`]ibution report (compute vs. barrier vs. claim, per
 //! worker and per region, checked against `perfmodel`'s Table 1 bound)
 //! and the [`chrome`] trace exporter; [`hist`] adds the fixed-bucket
-//! histograms the serve layer publishes.
+//! histograms the serve layer publishes, and [`series`] rolls those
+//! signals up into a fixed-capacity ring of time windows for
+//! continuous telemetry (`/v1/stats`, the drift watchdog).
 
 pub mod attr;
 pub mod chrome;
@@ -33,6 +35,7 @@ pub mod hist;
 pub mod json;
 mod recorder;
 mod report;
+pub mod series;
 pub mod timeline;
 
 pub use attr::{
@@ -41,6 +44,7 @@ pub use attr::{
 pub use hist::Histogram;
 pub use recorder::{Recorder, SpanGuard};
 pub use report::{KernelSummary, ObsReport, SpanKind, SpanNode, REPORT_SCHEMA_VERSION};
+pub use series::{Series, SERIES_SCHEMA_VERSION};
 pub use timeline::{
     EventKind, FlightRecorder, LaneTimeline, RegionMark, RegionSession, Timeline, TimelineEvent,
 };

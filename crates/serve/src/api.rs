@@ -338,12 +338,18 @@ pub fn parse_tune_body(text: &str) -> Result<CalibrationSpec, String> {
 }
 
 /// Render the `GET /v1/tune` body: the calibration status (`"idle"`,
-/// `"calibrating"`, or `"ready"`) and the current database, if any.
+/// `"calibrating"`, or `"ready"`), the current database, if any, and
+/// the kernels the drift watchdog currently flags stale.
 #[must_use]
 pub fn tune_status_response(status: &str, db: Option<&TuneDb>) -> Json {
+    let stale = db.map_or_else(Vec::new, TuneDb::stale_kernels);
     Json::object(vec![
         ("status", Json::str(status)),
         ("db", db.map_or(Json::Null, TuneDb::to_json)),
+        (
+            "stale_kernels",
+            Json::Array(stale.into_iter().map(Json::Str).collect()),
+        ),
     ])
 }
 
@@ -357,6 +363,81 @@ pub fn tune_started_response(spec: &CalibrationSpec) -> Json {
         ("steps", Json::from_usize(spec.steps)),
         ("trials", Json::from_usize(spec.trials)),
         ("deterministic", Json::Bool(spec.deterministic)),
+    ])
+}
+
+// ------------------------------------------------------------ telemetry
+
+/// Default number of windows `GET /v1/stats` returns when the query
+/// does not say.
+pub const DEFAULT_STATS_WINDOWS: usize = 12;
+
+/// Parse the `GET /v1/stats` query: an optional `windows=N` (newest-
+/// first count of sealed windows to return, at least 1).
+///
+/// # Errors
+/// Unknown parameters, duplicates, and non-positive counts.
+pub fn parse_stats_query(query: &str) -> Result<usize, String> {
+    let pairs = parse_query(query, &["windows"])?;
+    match query_value(&pairs, "windows") {
+        None => Ok(DEFAULT_STATS_WINDOWS),
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| "`windows` must be a positive integer".to_string())?;
+            if n == 0 {
+                return Err("`windows` must be a positive integer".to_string());
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Render the `GET /v1/stats` body: whether continuous telemetry is
+/// enabled and the series snapshot (`null` when disabled — the shape a
+/// scraper can branch on without guessing).
+#[must_use]
+pub fn stats_response(series: Json, enabled: bool) -> Json {
+    Json::object(vec![
+        (
+            "telemetry",
+            Json::str(if enabled { "enabled" } else { "disabled" }),
+        ),
+        ("series", series),
+    ])
+}
+
+/// Render the `GET /v1/health` body.
+///
+/// `status` is `"ok"` unless the drift watchdog flags stale tune
+/// entries (`"degraded"`) or the server is draining (`"draining"` —
+/// strongest verdict wins). Degraded is still HTTP 200: the service
+/// answers correctly, just possibly slower than its calibration
+/// promised.
+#[must_use]
+pub fn health_response(
+    stale_kernels: &[String],
+    draining: bool,
+    telemetry_enabled: bool,
+    windows_sealed: u64,
+    drift: &Json,
+) -> Json {
+    let status = if draining {
+        "draining"
+    } else if stale_kernels.is_empty() {
+        "ok"
+    } else {
+        "degraded"
+    };
+    Json::object(vec![
+        ("status", Json::str(status)),
+        (
+            "stale_kernels",
+            Json::Array(stale_kernels.iter().map(|k| Json::str(k)).collect()),
+        ),
+        ("telemetry", Json::Bool(telemetry_enabled)),
+        ("windows_sealed", Json::from_u64(windows_sealed)),
+        ("drift", drift.clone()),
     ])
 }
 
@@ -936,6 +1017,7 @@ mod tests {
                 default_cost_ns: 120,
                 modeled_cost_ns: 90,
                 model_agrees: true,
+                stale: false,
             }],
         };
         let some = tuned_resolution(Some(&db));

@@ -3,6 +3,7 @@
 //! ```text
 //! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N]
 //!      [--deadline-secs N] [--cache-capacity N] [--tune-db PATH]
+//!      [--telemetry-window-ms N] [--telemetry-out PATH]
 //! ```
 //!
 //! `--cache-capacity` bounds the content-addressed solve-result cache
@@ -14,18 +15,35 @@
 //! `/v1/advise` resolve against it. A database that fails to load is
 //! warned about and skipped — the server still starts.
 //!
-//! Runs until SIGINT/SIGTERM, then drains in-flight work and exits.
+//! `--telemetry-window-ms` sets the width of the continuous-telemetry
+//! windows (`/v1/stats`, the drift watchdog); 0 disables telemetry.
+//! `--telemetry-out` names a file the final drain snapshot is written
+//! to on shutdown; without it the snapshot goes to stderr.
+//!
+//! The NDJSON access log on stderr is gated by `LLPD_LOG`
+//! (`error`/`info`/`debug`, default `info`).
+//!
+//! Runs until SIGINT/SIGTERM, then drains in-flight work, emits the
+//! telemetry drain snapshot, and exits.
 
 use serve::{signal, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
-fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
+/// Paths parsed alongside the [`ServerConfig`]: the tune database to
+/// load and where to write the drain telemetry snapshot.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Paths {
+    tune_db: Option<PathBuf>,
+    telemetry_out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Paths), String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:8080".to_string(),
         ..ServerConfig::default()
     };
-    let mut tune_db_path = None;
+    let mut paths = Paths::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -64,17 +82,25 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String
                     .parse()
                     .map_err(|_| "--cache-capacity must be an integer (0 disables)".to_string())?;
             }
-            "--tune-db" => tune_db_path = Some(PathBuf::from(value("--tune-db")?)),
+            "--telemetry-window-ms" => {
+                config.telemetry_window_ms = value("--telemetry-window-ms")?.parse().map_err(
+                    |_| "--telemetry-window-ms must be an integer (0 disables)".to_string(),
+                )?;
+            }
+            "--telemetry-out" => {
+                paths.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?));
+            }
+            "--tune-db" => paths.tune_db = Some(PathBuf::from(value("--tune-db")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--cache-capacity N] [--tune-db PATH]"
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--cache-capacity N] [--tune-db PATH] [--telemetry-window-ms N] [--telemetry-out PATH]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    Ok((config, tune_db_path))
+    Ok((config, paths))
 }
 
 /// Load the startup tune database: the `--tune-db` flag wins, else
@@ -99,16 +125,33 @@ fn load_tune_db(flag: Option<PathBuf>) -> Option<tune::TuneDb> {
     }
 }
 
+/// Deliver the drain snapshot: to `--telemetry-out` when given (errors
+/// fall back to stderr — a full disk must not eat the final windows),
+/// else to stderr.
+fn write_drain_snapshot(snapshot: &llp::obs::json::Json, out: Option<&PathBuf>) {
+    let text = snapshot.to_pretty_string();
+    if let Some(path) = out {
+        match std::fs::write(path, &text) {
+            Ok(()) => {
+                eprintln!("llpd: drain telemetry written to {}", path.display());
+                return;
+            }
+            Err(e) => eprintln!("llpd: warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    eprintln!("{}", snapshot);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut config, tune_db_path) = match parse_args(&args) {
+    let (mut config, paths) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
     };
-    config.tune_db = load_tune_db(tune_db_path);
+    config.tune_db = load_tune_db(paths.tune_db);
     let workers = config.workers;
     let server = match Server::start(config) {
         Ok(server) => server,
@@ -127,7 +170,8 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     println!("llpd: shutdown requested, draining");
-    server.shutdown();
+    let snapshot = server.shutdown_with_telemetry();
+    write_drain_snapshot(&snapshot, paths.telemetry_out.as_ref());
     println!("llpd: drained, exiting");
 }
 
@@ -148,23 +192,43 @@ mod tests {
             "3",
             "--cache-capacity",
             "5",
+            "--telemetry-window-ms",
+            "250",
         ]
         .iter()
         .map(ToString::to_string)
         .collect();
-        let (config, tune_db) = parse_args(&args).unwrap();
+        let (config, paths) = parse_args(&args).unwrap();
         assert_eq!(config.addr, "0.0.0.0:9999");
         assert_eq!(config.workers, 4);
         assert_eq!(config.shards, 2);
         assert_eq!(config.resolved_shards(), 2);
         assert_eq!(config.queue_capacity, 3);
         assert_eq!(config.cache_capacity, 5);
-        assert!(tune_db.is_none());
+        assert_eq!(config.telemetry_window_ms, 250);
+        assert_eq!(paths, Paths::default());
         assert!(parse_args(&["--cache-capacity".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--shards".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
+        assert!(parse_args(&["--telemetry-window-ms".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--bogus".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string()]).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_default_off_path() {
+        let args: Vec<String> = ["--telemetry-out", "/tmp/drain.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (config, paths) = parse_args(&args).unwrap();
+        assert_eq!(paths.telemetry_out, Some(PathBuf::from("/tmp/drain.json")));
+        // The window default comes from the library, not the flag.
+        assert_eq!(
+            config.telemetry_window_ms,
+            llp::obs::series::DEFAULT_WINDOW_MS
+        );
+        assert!(parse_args(&["--telemetry-out".to_string()]).is_err());
     }
 
     #[test]
@@ -173,8 +237,8 @@ mod tests {
             .iter()
             .map(ToString::to_string)
             .collect();
-        let (_, path) = parse_args(&args).unwrap();
-        assert_eq!(path, Some(PathBuf::from("/tmp/db.json")));
+        let (_, paths) = parse_args(&args).unwrap();
+        assert_eq!(paths.tune_db, Some(PathBuf::from("/tmp/db.json")));
         assert!(parse_args(&["--tune-db".to_string()]).is_err());
         // A missing file warns and serves untuned instead of dying.
         assert!(load_tune_db(Some(PathBuf::from("/nonexistent/tune.json"))).is_none());

@@ -36,22 +36,34 @@ pub struct Request {
     pub query: String,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: String,
+    /// Lowercased `Accept` header value, empty if absent — `/metrics`
+    /// negotiates Prometheus text vs JSON on it.
+    pub accept: String,
     /// Whether the connection should persist after the response:
     /// HTTP/1.1 defaults to `true`, `Connection: close` forces `false`,
     /// HTTP/1.0 defaults to `false` unless `Connection: keep-alive`.
     pub keep_alive: bool,
 }
 
-/// A response: status code plus a JSON body, with the handful of extra
-/// headers the service emits.
+/// The `Content-Type` of the Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A response: status code plus a body (JSON unless marked otherwise),
+/// with the handful of extra headers the service emits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this service).
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// `Retry-After` seconds, sent with 429/503 responses.
     pub retry_after: Option<u64>,
+    /// Trace id of the execution that produced this response, if one
+    /// exists — carried so the access log can correlate request lines
+    /// with `/v1/trace` lookups. Not an HTTP header.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
@@ -61,7 +73,21 @@ impl Response {
         Self {
             status: 200,
             body,
+            content_type: "application/json",
             retry_after: None,
+            trace_id: None,
+        }
+    }
+
+    /// A 200 response in the Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            content_type: PROMETHEUS_CONTENT_TYPE,
+            retry_after: None,
+            trace_id: None,
         }
     }
 
@@ -73,7 +99,9 @@ impl Response {
         Self {
             status,
             body: body.to_string(),
+            content_type: "application/json",
             retry_after: None,
+            trace_id: None,
         }
     }
 
@@ -81,6 +109,13 @@ impl Response {
     #[must_use]
     pub fn with_retry_after(mut self, seconds: u64) -> Self {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// The same response tagged with the trace id of its execution.
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: Option<u64>) -> Self {
+        self.trace_id = trace_id;
         self
     }
 }
@@ -148,6 +183,8 @@ struct HeaderFields {
     content_length: usize,
     /// Lowercased `Connection` header value, if sent.
     connection: Option<String>,
+    /// Lowercased `Accept` header value, if sent.
+    accept: Option<String>,
 }
 
 impl HeaderFields {
@@ -163,6 +200,8 @@ impl HeaderFields {
                 .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             self.connection = Some(value.trim().to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("accept") {
+            self.accept = Some(value.trim().to_ascii_lowercase());
         }
         Ok(())
     }
@@ -186,6 +225,7 @@ fn assemble(line: RequestLine, headers: &HeaderFields, body: String) -> Request 
         path,
         query,
         body,
+        accept: headers.accept.clone().unwrap_or_default(),
         keep_alive: headers.keep_alive(line.http10),
     }
 }
@@ -348,9 +388,10 @@ fn io_to_http(err: std::io::Error) -> HttpError {
 #[must_use]
 pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     );
@@ -410,6 +451,20 @@ mod tests {
         assert!(!keep("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
         assert!(!keep("GET / HTTP/1.0\r\n\r\n"));
         assert!(keep("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn captures_the_accept_header_lowercased() {
+        let r = parse("GET /metrics HTTP/1.1\r\nAccept: Application/JSON\r\n\r\n").unwrap();
+        assert_eq!(r.accept, "application/json");
+        let r = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.accept, "");
+        // Both parsers agree on the capture.
+        let wire = b"GET /metrics HTTP/1.1\r\nAccept: text/plain, application/json;q=0.5\r\n\r\n";
+        let Parse::Complete(req, _) = parse_request_bytes(wire, 1024).unwrap() else {
+            panic!("expected completion");
+        };
+        assert_eq!(req.accept, "text/plain, application/json;q=0.5");
     }
 
     #[test]

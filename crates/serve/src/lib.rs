@@ -19,9 +19,14 @@
 //!   returns the current database;
 //! * `GET /v1/model/{stairstep,overhead,work_per_sync}` — batched
 //!   performance-model queries ([`perfmodel`]);
-//! * `GET /metrics` — service counters, request-latency and
-//!   queue-depth histograms, plus the shared pool's
-//!   synchronization-event totals;
+//! * `GET /metrics` — Prometheus text exposition of the service
+//!   counters, request-latency and queue-depth histograms, and the
+//!   shared pool's synchronization-event totals (`Accept:
+//!   application/json` or `?format=json` selects the JSON form);
+//! * `GET /v1/health` — liveness plus the drift watchdog's verdict:
+//!   `degraded` when tune entries have gone stale;
+//! * `GET /v1/stats` — recent telemetry windows from the in-process
+//!   time series ([`llp::obs::series`]);
 //! * `GET /v1/trace/{id}` — per-worker overhead attribution for a
 //!   recent solve (append `?trace=chrome` for a Chrome trace-event
 //!   download), backed by a bounded in-memory [`trace`] ring fed by
@@ -43,6 +48,7 @@ pub mod api;
 pub mod cache;
 pub mod evloop;
 pub mod http;
+pub mod log;
 pub mod metrics;
 pub mod server;
 pub mod signal;

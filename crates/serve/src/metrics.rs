@@ -17,9 +17,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const TRACKED_STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 500, 503];
 
 /// Request endpoint families, each with its own counter.
-pub const ENDPOINTS: [&str; 7] = [
-    "solve", "advise", "model", "metrics", "trace", "tune", "other",
+pub const ENDPOINTS: [&str; 9] = [
+    "solve", "advise", "model", "metrics", "trace", "tune", "health", "stats", "other",
 ];
+
+/// The parallel kernels with per-kernel solve-seconds counters, plus a
+/// fold-in slot for anything outside the fixed vocabulary.
+pub const KERNELS: [&str; 7] = [
+    "j_factor",
+    "k_factor",
+    "l_factor_scatter",
+    "l_factor_solve",
+    "rhs",
+    "update",
+    "other",
+];
+
+/// Requested-schedule labels for executed solves.
+pub const SCHEDULES: [&str; 4] = ["static", "dynamic", "guided", "auto"];
 
 /// All service counters and gauges.
 #[derive(Debug)]
@@ -48,6 +63,14 @@ pub struct Metrics {
     /// Executed solves by the vector width they ran at, indexed in
     /// [`SUPPORTED_WIDTHS`] order.
     solves_by_width: [AtomicU64; SUPPORTED_WIDTHS.len()],
+    /// Executed solves by the schedule the request asked for, indexed
+    /// in [`SCHEDULES`] order.
+    solves_by_schedule: [AtomicU64; SCHEDULES.len()],
+    /// Attributed wall seconds per kernel (f64 bits), indexed in
+    /// [`KERNELS`] order.
+    kernel_seconds_bits: [AtomicU64; KERNELS.len()],
+    /// Tune entries currently flagged stale by the drift watchdog.
+    tune_entries_stale: AtomicU64,
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
     by_status: [AtomicU64; TRACKED_STATUSES.len()],
     /// End-to-end request latency (parse through response build), ms.
@@ -90,6 +113,9 @@ impl Metrics {
             zone_shards_last: AtomicU64::new(0),
             zone_peak_ready_last: AtomicU64::new(0),
             solves_by_width: std::array::from_fn(|_| AtomicU64::new(0)),
+            solves_by_schedule: std::array::from_fn(|_| AtomicU64::new(0)),
+            kernel_seconds_bits: std::array::from_fn(|_| AtomicU64::new(0)),
+            tune_entries_stale: AtomicU64::new(0),
             by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
             by_status: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::latency_ms(),
@@ -244,6 +270,36 @@ impl Metrics {
         self.solves_by_width[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one executed solve under the requested schedule label
+    /// (see [`SCHEDULES`]; unknown labels fold into `static`).
+    pub fn solve_schedule(&self, schedule: &str) {
+        let idx = SCHEDULES.iter().position(|&s| s == schedule).unwrap_or(0);
+        self.solves_by_schedule[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold attributed wall seconds into `kernel`'s counter (see
+    /// [`KERNELS`]; names outside the vocabulary fold into `other`).
+    pub fn kernel_seconds(&self, kernel: &str, seconds: f64) {
+        let idx = KERNELS
+            .iter()
+            .position(|&k| k == kernel)
+            .unwrap_or(KERNELS.len() - 1);
+        let cell = &self.kernel_seconds_bits[idx];
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + seconds).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Set the stale-tune-entries gauge (the drift watchdog's count).
+    pub fn set_tune_entries_stale(&self, n: usize) {
+        self.tune_entries_stale.store(n as u64, Ordering::Relaxed);
+    }
+
     /// Count one solve served straight from the content-addressed
     /// cache (no execution).
     pub fn cache_hit(&self) {
@@ -331,6 +387,32 @@ impl Metrics {
                 ),
             ),
             (
+                "solves_by_schedule",
+                Json::Object(
+                    SCHEDULES
+                        .iter()
+                        .zip(&self.solves_by_schedule)
+                        .map(|(&name, counter)| (name.to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
+                "kernel_seconds",
+                Json::Object(
+                    KERNELS
+                        .iter()
+                        .zip(&self.kernel_seconds_bits)
+                        .map(|(&name, bits)| {
+                            (
+                                name.to_string(),
+                                Json::Num(f64::from_bits(bits.load(Ordering::Relaxed))),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("tune_entries_stale", load(&self.tune_entries_stale)),
+            (
                 "endpoints",
                 Json::Object(
                     ENDPOINTS
@@ -365,6 +447,279 @@ impl Metrics {
             ("queue_depths", self.queue_depths.to_json()),
         ])
     }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE`d family per signal, labels for
+    /// endpoint / status / kernel / schedule / `vector_width`, and the
+    /// two histograms as cumulative `_bucket` / `_sum` / `_count`
+    /// series. Takes the same pool context as [`Metrics::to_json`] —
+    /// the two renderings are views of one set of counters.
+    #[must_use]
+    pub fn to_prometheus(
+        &self,
+        pool_workers: usize,
+        executor_shards: usize,
+        pool_sync_events: u64,
+        pool_regions: u64,
+    ) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(4096);
+        let mut plain = |name: &str, kind: &str, help: &str, value: String| {
+            out.push_str(&format!(
+                "# HELP llpd_{name} {help}\n# TYPE llpd_{name} {kind}\nllpd_{name} {value}\n"
+            ));
+        };
+        plain(
+            "requests_total",
+            "counter",
+            "Requests routed, all endpoints.",
+            load(&self.requests_total).to_string(),
+        );
+        plain(
+            "rejected_total",
+            "counter",
+            "Requests rejected with 429 back-pressure.",
+            load(&self.rejected_total).to_string(),
+        );
+        plain(
+            "timeouts_total",
+            "counter",
+            "Requests abandoned at their deadline.",
+            load(&self.timeouts_total).to_string(),
+        );
+        plain(
+            "jobs_total",
+            "counter",
+            "Executor jobs completed.",
+            load(&self.jobs_total).to_string(),
+        );
+        plain(
+            "executor_panics_total",
+            "counter",
+            "Jobs that panicked and were contained.",
+            load(&self.executor_panics_total).to_string(),
+        );
+        plain(
+            "queue_depth",
+            "gauge",
+            "Jobs currently queued.",
+            load(&self.queue_depth).to_string(),
+        );
+        plain(
+            "executor_busy",
+            "gauge",
+            "Executor shards currently mid-job.",
+            load(&self.executor_busy).to_string(),
+        );
+        plain(
+            "executor_shards",
+            "gauge",
+            "Executor shards configured.",
+            executor_shards.to_string(),
+        );
+        plain(
+            "open_connections",
+            "gauge",
+            "Connections currently open.",
+            self.open_connections().to_string(),
+        );
+        plain(
+            "pool_workers",
+            "gauge",
+            "Worker lanes in the shared pool.",
+            pool_workers.to_string(),
+        );
+        plain(
+            "pool_sync_events_total",
+            "counter",
+            "Synchronization events executed by the pool.",
+            pool_sync_events.to_string(),
+        );
+        plain(
+            "pool_regions_total",
+            "counter",
+            "Parallel regions executed by the pool.",
+            pool_regions.to_string(),
+        );
+        plain(
+            "obs_reports_total",
+            "counter",
+            "Span reports folded into the totals.",
+            load(&self.obs_reports_total).to_string(),
+        );
+        plain(
+            "obs_sync_events_total",
+            "counter",
+            "Sync events attributed by span reports.",
+            load(&self.obs_sync_events_total).to_string(),
+        );
+        plain(
+            "obs_seconds_total",
+            "counter",
+            "Solver wall seconds attributed by span reports.",
+            prom_f64(f64::from_bits(
+                self.obs_seconds_total_bits.load(Ordering::Relaxed),
+            )),
+        );
+        plain(
+            "tune_entries_stale",
+            "gauge",
+            "Tune entries the drift watchdog has flagged stale.",
+            load(&self.tune_entries_stale).to_string(),
+        );
+        // Cache and zone counter families.
+        for (name, help, cell) in [
+            (
+                "cache_hits_total",
+                "Solves served from the result cache.",
+                &self.cache_hits_total,
+            ),
+            (
+                "cache_misses_total",
+                "Solves that missed the cache and executed.",
+                &self.cache_misses_total,
+            ),
+            (
+                "cache_coalesced_total",
+                "Solves coalesced onto in-flight executions.",
+                &self.cache_coalesced_total,
+            ),
+            (
+                "cache_bypass_total",
+                "Solves that bypassed the cache on request.",
+                &self.cache_bypass_total,
+            ),
+            (
+                "cache_evictions_total",
+                "Cache entries evicted.",
+                &self.cache_evictions_total,
+            ),
+            (
+                "zone_jobs_total",
+                "Zone-scheduled solves executed.",
+                &self.zone_jobs_total,
+            ),
+            (
+                "zone_tasks_total",
+                "Zone tasks stepped across zone-scheduled solves.",
+                &self.zone_tasks_total,
+            ),
+        ] {
+            plain(name, "counter", help, load(cell).to_string());
+        }
+        for (name, help, cell) in [
+            (
+                "cache_entries",
+                "Cache entries currently resident.",
+                &self.cache_entries,
+            ),
+            (
+                "zone_shards_last",
+                "Shards the most recent zone job dispatched over.",
+                &self.zone_shards_last,
+            ),
+            (
+                "zone_peak_ready_last",
+                "Peak ready-queue occupancy of the most recent zone job.",
+                &self.zone_peak_ready_last,
+            ),
+        ] {
+            plain(name, "gauge", help, load(cell).to_string());
+        }
+        // Labeled families.
+        out.push_str(
+            "# HELP llpd_requests_by_endpoint_total Requests routed, by endpoint family.\n\
+             # TYPE llpd_requests_by_endpoint_total counter\n",
+        );
+        for (name, counter) in ENDPOINTS.iter().zip(&self.by_endpoint) {
+            out.push_str(&format!(
+                "llpd_requests_by_endpoint_total{{endpoint=\"{name}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str(
+            "# HELP llpd_responses_total Responses sent, by status code.\n\
+             # TYPE llpd_responses_total counter\n",
+        );
+        for (status, counter) in TRACKED_STATUSES.iter().zip(&self.by_status) {
+            out.push_str(&format!(
+                "llpd_responses_total{{status=\"{status}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str(
+            "# HELP llpd_solves_by_vector_width_total Executed solves, by SLP lane width.\n\
+             # TYPE llpd_solves_by_vector_width_total counter\n",
+        );
+        for (width, counter) in SUPPORTED_WIDTHS.iter().zip(&self.solves_by_width) {
+            out.push_str(&format!(
+                "llpd_solves_by_vector_width_total{{vector_width=\"{width}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str(
+            "# HELP llpd_solves_by_schedule_total Executed solves, by requested schedule.\n\
+             # TYPE llpd_solves_by_schedule_total counter\n",
+        );
+        for (schedule, counter) in SCHEDULES.iter().zip(&self.solves_by_schedule) {
+            out.push_str(&format!(
+                "llpd_solves_by_schedule_total{{schedule=\"{schedule}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str(
+            "# HELP llpd_kernel_seconds_total Attributed wall seconds, by kernel.\n\
+             # TYPE llpd_kernel_seconds_total counter\n",
+        );
+        for (kernel, bits) in KERNELS.iter().zip(&self.kernel_seconds_bits) {
+            out.push_str(&format!(
+                "llpd_kernel_seconds_total{{kernel=\"{kernel}\"}} {}\n",
+                prom_f64(f64::from_bits(bits.load(Ordering::Relaxed)))
+            ));
+        }
+        // Histograms.
+        prom_histogram(
+            &mut out,
+            "request_latency_ms",
+            "End-to-end request latency in milliseconds.",
+            &self.latency,
+        );
+        prom_histogram(
+            &mut out,
+            "queue_depth_observed",
+            "Queue depth sampled at each admission attempt.",
+            &self.queue_depths,
+        );
+        out
+    }
+}
+
+/// Format an `f64` for the exposition format (finite shortest form;
+/// infinities as `+Inf`/`-Inf`).
+fn prom_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append one histogram family: cumulative `_bucket{le=...}` series
+/// (ending at `le="+Inf"`), `_sum`, and `_count`.
+fn prom_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    out.push_str(&format!(
+        "# HELP llpd_{name} {help}\n# TYPE llpd_{name} histogram\n"
+    ));
+    for (bound, cumulative) in hist.cumulative_buckets() {
+        out.push_str(&format!(
+            "llpd_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            prom_f64(bound)
+        ));
+    }
+    out.push_str(&format!("llpd_{name}_sum {}\n", prom_f64(hist.sum())));
+    out.push_str(&format!("llpd_{name}_count {}\n", hist.count()));
 }
 
 #[cfg(test)]
@@ -474,6 +829,85 @@ mod tests {
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("executor_busy").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("executor_panics_total").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn schedule_kernel_and_stale_counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.solve_schedule("dynamic");
+        m.solve_schedule("auto");
+        m.solve_schedule("weird"); // folds into static
+        m.kernel_seconds("rhs", 0.25);
+        m.kernel_seconds("rhs", 0.25);
+        m.kernel_seconds("no_such_kernel", 0.125);
+        m.set_tune_entries_stale(3);
+        let j = m.to_json(1, 1, 0, 0);
+        let sched = j.get("solves_by_schedule").unwrap();
+        assert_eq!(sched.get("dynamic").unwrap().as_u64(), Some(1));
+        assert_eq!(sched.get("auto").unwrap().as_u64(), Some(1));
+        assert_eq!(sched.get("static").unwrap().as_u64(), Some(1));
+        let kernels = j.get("kernel_seconds").unwrap();
+        assert_eq!(kernels.get("rhs").unwrap().as_f64(), Some(0.5));
+        assert_eq!(kernels.get("other").unwrap().as_f64(), Some(0.125));
+        assert_eq!(j.get("tune_entries_stale").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_typed_labeled_and_cumulative() {
+        let m = Metrics::new();
+        m.request("solve");
+        m.request("metrics");
+        m.response(200);
+        m.response(429);
+        m.solve_width(4);
+        m.solve_schedule("auto");
+        m.kernel_seconds("rhs", 0.5);
+        m.set_tune_entries_stale(1);
+        m.observe_latency_ms(3.0);
+        m.observe_latency_ms(700.0);
+        let text = m.to_prometheus(4, 2, 36, 18);
+        // Typed families.
+        assert!(text.contains("# TYPE llpd_requests_total counter\n"));
+        assert!(text.contains("# TYPE llpd_queue_depth gauge\n"));
+        assert!(text.contains("# TYPE llpd_request_latency_ms histogram\n"));
+        assert!(text.contains("# TYPE llpd_tune_entries_stale gauge\n"));
+        // Values and labels.
+        assert!(text.contains("\nllpd_requests_total 2\n"), "{text}");
+        assert!(text.contains("llpd_requests_by_endpoint_total{endpoint=\"solve\"} 1\n"));
+        assert!(text.contains("llpd_responses_total{status=\"429\"} 1\n"));
+        assert!(text.contains("llpd_solves_by_vector_width_total{vector_width=\"4\"} 1\n"));
+        assert!(text.contains("llpd_solves_by_schedule_total{schedule=\"auto\"} 1\n"));
+        assert!(text.contains("llpd_kernel_seconds_total{kernel=\"rhs\"} 0.5\n"));
+        assert!(text.contains("llpd_tune_entries_stale 1\n"));
+        assert!(text.contains("llpd_pool_workers 4\n"));
+        assert!(text.contains("llpd_pool_sync_events_total 36\n"));
+        // Histogram: cumulative buckets end at +Inf and match count.
+        assert!(text.contains("llpd_request_latency_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("llpd_request_latency_ms_count 2\n"));
+        assert!(text.contains("llpd_request_latency_ms_sum 703\n"));
+        let mut last = 0u64;
+        let mut buckets = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("llpd_request_latency_ms_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(count >= last, "buckets must be cumulative: {line}");
+                last = count;
+                buckets += 1;
+            }
+        }
+        assert!(buckets > 2, "expected a bucket ladder");
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            assert!(name.starts_with("llpd_"), "{line}");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value in {line}"
+            );
+        }
     }
 
     #[test]

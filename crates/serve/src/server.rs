@@ -67,7 +67,11 @@ use crate::http::{parse_request_bytes, render_response, Parse, Request, Response
 use crate::metrics::Metrics;
 use crate::trace::{TraceEntry, TraceStore};
 use f3d::service::MAX_WORKERS;
+use llp::obs::attr::kernel_overheads;
+use llp::obs::json::Json;
+use llp::obs::series::DEFAULT_WINDOW_MS;
 use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
+use llp::obs::{AttributionReport, Series};
 use llp::{FlightRecorder, Recorder, Workers};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
@@ -75,7 +79,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-use tune::{calibrate, CalibrationSpec, TuneDb};
+use tune::{calibrate, expected_cost_ns, CalibrationSpec, DriftConfig, DriftTracker, TuneDb};
 
 /// Default shard width used when [`ServerConfig::shards`] is 0 and
 /// `LLPD_SHARDS` is unset: the pool is cut into slices of this many
@@ -143,6 +147,16 @@ pub struct ServerConfig {
     /// solves resolve against until a `POST /v1/tune` calibration
     /// replaces it.
     pub tune_db: Option<TuneDb>,
+    /// Width of one telemetry window in milliseconds (`/v1/stats`, the
+    /// drift watchdog). `0` disables continuous telemetry entirely —
+    /// the series records nothing and allocates nothing, and the drift
+    /// watchdog (which advances on window boundaries) never fires.
+    pub telemetry_window_ms: u64,
+    /// Drift-watchdog thresholds; the defaults flag a tune entry after
+    /// [`tune::DriftConfig::windows`] consecutive windows in which live
+    /// solves cost more than `1 + threshold` times the model's
+    /// prediction.
+    pub drift_config: DriftConfig,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +172,8 @@ impl Default for ServerConfig {
             job_gate: None,
             job_fault: None,
             tune_db: None,
+            telemetry_window_ms: DEFAULT_WINDOW_MS,
+            drift_config: DriftConfig::default(),
         }
     }
 }
@@ -333,6 +349,15 @@ struct Shared {
     waker: Waker,
     /// Monotone per-process request ids for the access log.
     request_seq: AtomicU64,
+    /// Windowed telemetry ring (`/v1/stats`); disabled (and free) when
+    /// [`ServerConfig::telemetry_window_ms`] is 0.
+    series: Series,
+    /// Drift watchdog: per-(kernel, config) EWMA of live solves'
+    /// measured-over-predicted cost excess, advanced on telemetry
+    /// window boundaries by the event loop.
+    drift: Mutex<DriftTracker>,
+    /// Server start instant — the telemetry series' time origin.
+    started: Instant,
     config: ServerConfig,
 }
 
@@ -340,6 +365,12 @@ impl Shared {
     /// Snapshot the current tune database (cheap Arc clone).
     fn tune_db(&self) -> Option<Arc<TuneDb>> {
         lock_clean(&self.tune.db).clone()
+    }
+
+    /// Kernels whose tune entries the watchdog currently flags stale.
+    fn stale_kernels(&self) -> Vec<String> {
+        self.tune_db()
+            .map_or_else(Vec::new, |db| db.stale_kernels())
     }
 }
 
@@ -386,6 +417,16 @@ impl Server {
             completions: completions_tx,
             waker,
             request_seq: AtomicU64::new(1),
+            series: if config.telemetry_window_ms == 0 {
+                Series::disabled()
+            } else {
+                Series::enabled(
+                    config.telemetry_window_ms,
+                    llp::obs::series::DEFAULT_CAPACITY,
+                )
+            },
+            drift: Mutex::new(DriftTracker::new(config.drift_config)),
+            started: Instant::now(),
             config,
         });
 
@@ -441,7 +482,17 @@ impl Server {
     /// Drain and stop: new work is refused with 503, everything already
     /// admitted completes and its response is written, idle keep-alive
     /// connections are closed, then threads are joined.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        let _ = self.shutdown_with_telemetry();
+    }
+
+    /// [`Server::shutdown`], returning a final telemetry snapshot after
+    /// the drain: the open window is force-sealed (so requests served
+    /// moments before the drain are visible), every sealed window is
+    /// included, and the drift watchdog's state rides along. `llpd`
+    /// writes this to `--telemetry-out` (or stderr) on SIGTERM so an
+    /// operator keeps the last windows of a dying process.
+    pub fn shutdown_with_telemetry(mut self) -> Json {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.queue_signal.notify_all();
         self.shared.waker.wake();
@@ -454,6 +505,25 @@ impl Server {
         if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
+        // Everything is drained; seal the in-progress window by ticking
+        // one full window past "now" so the drain snapshot includes it.
+        let shared = &self.shared;
+        if shared.series.is_enabled() {
+            let now_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            shared
+                .series
+                .tick(now_ms.saturating_add(shared.config.telemetry_window_ms));
+        }
+        let windows = shared.series.snapshot(usize::MAX);
+        Json::object(vec![
+            ("event", Json::str("llpd.drain")),
+            ("series", windows),
+            ("drift", lock_clean(&shared.drift).to_json()),
+            (
+                "stale_kernels",
+                Json::Array(shared.stale_kernels().into_iter().map(Json::Str).collect()),
+            ),
+        ])
     }
 }
 
@@ -559,6 +629,79 @@ fn retain_trace(shared: &Arc<Shared>, run: &f3d::service::ServiceRun) -> Option<
     Some(id)
 }
 
+/// Feed one completed solve into the windowed telemetry series and the
+/// drift watchdog. Gated on the series being enabled, so a server with
+/// telemetry off pays nothing — not even the attribution derivation.
+fn observe_solve(
+    shared: &Arc<Shared>,
+    run: &f3d::service::ServiceRun,
+    auto: bool,
+    db: Option<&TuneDb>,
+) {
+    if !shared.series.is_enabled() {
+        return;
+    }
+    let attr = AttributionReport::from_timeline(&run.timeline);
+    let overheads = kernel_overheads(&run.report, &attr);
+    let check = attr.model_check();
+    for k in &overheads {
+        shared
+            .metrics
+            .kernel_seconds(&k.kernel, k.wall_ns as f64 / 1e9);
+    }
+    shared.series.record_solve(
+        run.report.total_seconds(),
+        check.as_ref().map(|c| c.measured_fraction),
+        || {
+            overheads
+                .iter()
+                .map(|k| (k.kernel.clone(), k.wall_ns as f64 / 1e9))
+                .collect()
+        },
+    );
+    if let Some(stats) = &run.zone_stats {
+        shared
+            .series
+            .record_zone_job(stats.zone_tasks * run.case.steps as u64);
+    }
+    let mut drift = lock_clean(&shared.drift);
+    // Score each tuned kernel's live cost against the analytic form the
+    // calibration trusted. Only `auto` solves run the tuned
+    // configurations, so only they can indict a tune entry.
+    if auto {
+        if let Some(db) = db {
+            for k in &overheads {
+                let Some(entry) = db.entries.iter().find(|e| e.kernel == k.kernel) else {
+                    continue;
+                };
+                if k.regions == 0 {
+                    continue;
+                }
+                let u = k.iterations as f64 / k.regions as f64;
+                let expected = expected_cost_ns(
+                    k.compute_ns as f64,
+                    u,
+                    entry.workers,
+                    k.regions,
+                    db.sync_cost_ns,
+                );
+                drift.observe(&k.kernel, &entry.config_label(), k.wall_ns as f64, expected);
+            }
+        }
+    }
+    // The pool-wide sync fraction is scored as a pseudo-kernel: it maps
+    // to no tune entry (so it can never flag one) but its EWMA shows up
+    // in /v1/health as an overall model-health signal.
+    if let Some(check) = &check {
+        drift.observe(
+            "sync_fraction",
+            "pool",
+            check.measured_fraction,
+            check.modeled_fraction,
+        );
+    }
+}
+
 fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completion> {
     if let Some(fault) = &shared.config.job_fault {
         assert!(
@@ -590,6 +733,11 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                         .metrics
                         .job_done(run.sync_events, run.report.total_seconds());
                     shared.metrics.solve_width(run.case.vector_width);
+                    shared.metrics.solve_schedule(if *auto {
+                        "auto"
+                    } else {
+                        run.case.schedule.name()
+                    });
                     if let Some(stats) = run.zone_stats {
                         shared.metrics.zone_job(
                             stats.shards as u64,
@@ -597,13 +745,14 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                             stats.peak_ready,
                         );
                     }
+                    observe_solve(shared, &run, *auto, db.as_deref());
                     match &job.origin {
                         JobOrigin::Direct(waiter) => {
                             let trace_id = retain_trace(shared, &run);
                             let body = api::solve_response(&run, trace_id, tuned, "bypass");
                             vec![Completion {
                                 waiter: *waiter,
-                                response: Response::ok(body.to_string()),
+                                response: Response::ok(body.to_string()).with_trace_id(trace_id),
                             }]
                         }
                         JobOrigin::Keyed(key) => {
@@ -626,7 +775,8 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                                         api::solve_response(&run, trace_id, tuned.clone(), "miss");
                                     Completion {
                                         waiter,
-                                        response: Response::ok(body.to_string()),
+                                        response: Response::ok(body.to_string())
+                                            .with_trace_id(trace_id),
                                     }
                                 })
                                 .collect()
@@ -789,6 +939,57 @@ impl EventLoop {
             }
             self.expire_deadlines();
             self.sweep_idle();
+            self.tick_telemetry();
+        }
+    }
+
+    /// Advance the telemetry clock on the poll tick: seal windows that
+    /// have elapsed, advance the drift watchdog once per sealed window,
+    /// and reconcile the tune database's stale flags with the
+    /// watchdog's verdict.
+    fn tick_telemetry(&mut self) {
+        if !self.shared.series.is_enabled() {
+            return;
+        }
+        let now_ms = u64::try_from(self.shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let sealed = self.shared.series.tick(now_ms);
+        if sealed == 0 {
+            return;
+        }
+        {
+            let mut drift = lock_clean(&self.shared.drift);
+            // One drift window per sealed telemetry window; a long poll
+            // stall seals many at once, and each empty window freezes
+            // (not resets) streaks, so iterating is cheap and correct.
+            // Cap defensively against clock jumps.
+            for _ in 0..sealed.min(128) {
+                drift.end_window();
+            }
+        }
+        // Reconcile staleness wholesale — flagging and healing both —
+        // and clone-and-swap the shared database only when a flag
+        // actually moved. The tune *generation* is untouched: staleness
+        // never changes answers, so cached solves stay valid.
+        let verdict = lock_clean(&self.shared.drift).stale_kernels();
+        let mut guard = lock_clean(&self.shared.tune.db);
+        if let Some(current) = guard.as_ref() {
+            let mut next = (**current).clone();
+            let mut changed = false;
+            for kernel in next
+                .entries
+                .iter()
+                .map(|e| e.kernel.clone())
+                .collect::<Vec<_>>()
+            {
+                let stale = verdict.iter().any(|k| k == &kernel);
+                changed |= next.set_stale(&kernel, stale);
+            }
+            if changed {
+                *guard = Some(Arc::new(next));
+            }
+            let stale_count = guard.as_ref().map_or(0, |db| db.stale_kernels().len());
+            drop(guard);
+            self.shared.metrics.set_tune_entries_stale(stale_count);
         }
     }
 
@@ -990,6 +1191,7 @@ impl EventLoop {
                 let key = ContentKey::for_case(case, *auto, generation);
                 if let Some(body) = self.shared.cache.get(&key) {
                     self.shared.metrics.cache_hit();
+                    self.shared.series.record_cache(true);
                     let response = Response::ok((*body).clone());
                     self.finish_request(id, response, request.keep_alive, started, log);
                     return;
@@ -1024,6 +1226,7 @@ impl EventLoop {
                 }
                 inflight.insert(key.canonical().to_string(), vec![waiter]);
                 self.shared.metrics.cache_miss();
+                self.shared.series.record_cache(false);
                 queue.push_back(Job {
                     kind,
                     origin: JobOrigin::Keyed(key),
@@ -1101,8 +1304,9 @@ impl EventLoop {
         let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
         self.shared.metrics.response(status);
         self.shared.metrics.observe_latency_ms(elapsed_ms);
-        // Structured one-line access log: parse/queue/compute end to
-        // end.
+        self.shared.series.record_request(status, elapsed_ms);
+        // Structured NDJSON access line: parse/queue/compute end to
+        // end, one JSON object per request (gated by LLPD_LOG).
         let (req_id, method, path) = log.unwrap_or_else(|| {
             (
                 self.shared.request_seq.fetch_add(1, Ordering::Relaxed),
@@ -1110,8 +1314,13 @@ impl EventLoop {
                 "-".to_string(),
             )
         });
-        eprintln!(
-            "llpd req={req_id} method={method} path={path} status={status} ms={elapsed_ms:.2}"
+        crate::log::access(
+            req_id,
+            &method,
+            &path,
+            status,
+            elapsed_ms,
+            response.trace_id,
         );
         let keep = keep_alive && !self.draining();
         let Some(state) = self.conns.get_mut(&id) else {
@@ -1221,6 +1430,8 @@ impl EventLoop {
 fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
     let (endpoint, expect_post) = match request.path.as_str() {
         "/metrics" => ("metrics", false),
+        "/v1/health" => ("health", false),
+        "/v1/stats" => ("stats", false),
         "/v1/solve" => ("solve", true),
         "/v1/advise" => ("advise", true),
         // /v1/tune speaks both verbs: POST starts a calibration, GET
@@ -1247,17 +1458,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
     }
 
     match endpoint {
-        "metrics" => RouteOutcome::Inline(Response::ok(
-            shared
-                .metrics
-                .to_json(
-                    shared.pool.processors(),
-                    shared.shards,
-                    shared.pool.sync_event_count(),
-                    shared.pool.region_count(),
-                )
-                .to_string(),
-        )),
+        "metrics" => RouteOutcome::Inline(metrics_response(request, shared)),
+        "health" => RouteOutcome::Inline(health_response(shared)),
+        "stats" => RouteOutcome::Inline(match api::parse_stats_query(&request.query) {
+            Err(msg) => Response::error(400, &msg),
+            Ok(windows) => Response::ok(
+                api::stats_response(shared.series.snapshot(windows), shared.series.is_enabled())
+                    .to_string(),
+            ),
+        }),
         "model" => {
             let kind = &request.path["/v1/model/".len()..];
             RouteOutcome::Inline(match api::model_response(kind, &request.query) {
@@ -1321,6 +1530,58 @@ fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
     }
 }
 
+/// `GET /metrics`: Prometheus text exposition by default, the JSON
+/// form via `?format=json` or an `Accept: application/json` header.
+/// `?format=prometheus` forces the text form regardless of `Accept`.
+fn metrics_response(request: &Request, shared: &Arc<Shared>) -> Response {
+    let json = match request.query.as_str() {
+        "format=json" => true,
+        "format=prometheus" => false,
+        "" => request.accept.contains("application/json"),
+        other => {
+            return Response::error(
+                400,
+                &format!("unknown query `{other}` (use ?format=json or ?format=prometheus)"),
+            )
+        }
+    };
+    if json {
+        Response::ok(
+            shared
+                .metrics
+                .to_json(
+                    shared.pool.processors(),
+                    shared.shards,
+                    shared.pool.sync_event_count(),
+                    shared.pool.region_count(),
+                )
+                .to_string(),
+        )
+    } else {
+        Response::prometheus(shared.metrics.to_prometheus(
+            shared.pool.processors(),
+            shared.shards,
+            shared.pool.sync_event_count(),
+            shared.pool.region_count(),
+        ))
+    }
+}
+
+/// `GET /v1/health`: liveness plus the drift watchdog's verdict. The
+/// service reports `degraded` (still HTTP 200 — it serves correctly,
+/// just possibly slower than tuned) when any tune entry is stale.
+fn health_response(shared: &Arc<Shared>) -> Response {
+    let stale = shared.stale_kernels();
+    let body = api::health_response(
+        &stale,
+        shared.draining.load(Ordering::SeqCst),
+        shared.series.is_enabled(),
+        shared.series.windows_sealed(),
+        &lock_clean(&shared.drift).to_json(),
+    );
+    Response::ok(body.to_string())
+}
+
 /// `POST /v1/tune`: start a bounded background calibration.
 ///
 /// At most one calibration runs at a time — a second request while one
@@ -1360,6 +1621,10 @@ fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
             Ok(Ok(db)) => {
                 *lock_clean(&shared.tune.db) = Some(Arc::new(db));
                 shared.tune.generation.fetch_add(1, Ordering::SeqCst);
+                // Fresh measurements supersede every drift verdict: the
+                // watchdog restarts from scratch against the new entries.
+                lock_clean(&shared.drift).reset();
+                shared.metrics.set_tune_entries_stale(0);
             }
             Ok(Err(msg)) => eprintln!("llpd: calibration failed: {msg}"),
             Err(_) => eprintln!("llpd: calibration panicked"),

@@ -56,10 +56,13 @@ fn valid_request() -> impl Strategy<Value = ValidRequest> {
         prop::collection::vec(0u8..255, 0..8),   // path token
         prop::collection::vec(0u8..255, 0..6),   // query token ("" = none)
         0usize..4,                               // version/connection variant
-        0usize..3,                               // extra header count
+        0usize..3,                               // extra header count + accept variant
         prop::collection::vec(32u8..127, 0..48), // body (printable ASCII)
     )
         .prop_map(|(m, path_tok, query_tok, variant, extra, body_bytes)| {
+            // Reuse the header-count draw as the Accept variant so the
+            // capture is exercised across cases.
+            let accept = ["", "application/json", "Text/Plain"][extra];
             let method = ["GET", "POST", "PUT", "DELETE"][m].to_string();
             let path = format!("/{}", ascii_token(path_tok));
             let query = ascii_token(query_tok);
@@ -82,6 +85,9 @@ fn valid_request() -> impl Strategy<Value = ValidRequest> {
             if let Some(c) = connection {
                 raw.push_str(&format!("Connection: {c}\r\n"));
             }
+            if !accept.is_empty() {
+                raw.push_str(&format!("Accept: {accept}\r\n"));
+            }
             if !body.is_empty() || m == 1 {
                 raw.push_str(&format!("Content-Length: {}\r\n", body.len()));
             }
@@ -94,6 +100,7 @@ fn valid_request() -> impl Strategy<Value = ValidRequest> {
                     path,
                     query,
                     body,
+                    accept: accept.to_ascii_lowercase(),
                     keep_alive,
                 },
             }

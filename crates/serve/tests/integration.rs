@@ -98,7 +98,7 @@ fn wait_until(what: &str, mut condition: impl FnMut() -> bool) {
 }
 
 fn metric(addr: SocketAddr, key: &str) -> u64 {
-    get(addr, "/metrics")
+    get(addr, "/metrics?format=json")
         .json()
         .get(key)
         .and_then(Json::as_u64)
@@ -198,7 +198,7 @@ impl Client {
 
 /// A nested `cache` counter from `/metrics`.
 fn cache_metric(addr: SocketAddr, key: &str) -> u64 {
-    get(addr, "/metrics")
+    get(addr, "/metrics?format=json")
         .json()
         .get("cache")
         .expect("/metrics has a `cache` block")
@@ -366,7 +366,7 @@ fn zone_scheduled_solve_matches_sequential_and_reports_the_split() {
     );
     assert!(zone_level.get("loop_workers").and_then(Json::as_u64) >= Some(1));
     // The zone gauges moved.
-    let metrics = get(server.addr(), "/metrics").json();
+    let metrics = get(server.addr(), "/metrics?format=json").json();
     let zones = metrics.get("zones").unwrap();
     assert_eq!(zones.get("jobs").and_then(Json::as_u64), Some(1));
     assert_eq!(zones.get("tasks").and_then(Json::as_u64), Some(8));
@@ -663,7 +663,7 @@ fn metrics_totals_agree_with_span_reports_and_pool_counters() {
     // All pool work flowed through sized views of the one shared pool,
     // so the pool's counter, the accumulated span reports, and the sum
     // of per-response counters are all the same number.
-    let metrics = get(addr, "/metrics").json();
+    let metrics = get(addr, "/metrics?format=json").json();
     assert_eq!(
         metrics.get("obs_sync_events_total").and_then(Json::as_u64),
         Some(reported_sync_events)
@@ -839,6 +839,7 @@ fn sample_tune_db() -> TuneDb {
         default_cost_ns: 95_000,
         modeled_cost_ns: 78_000,
         model_agrees: true,
+        stale: false,
     };
     TuneDb {
         schema_version: TUNE_SCHEMA_VERSION,
@@ -1424,7 +1425,7 @@ fn trace_endpoint_rejects_unknowns_cleanly() {
     let other = solve_trace_id(addr, r#"{"zones": 1, "steps": 1, "cache": "bypass"}"#);
     assert_ne!(id, other);
     // The trace endpoint has its own request counter.
-    let metrics = get(addr, "/metrics").json();
+    let metrics = get(addr, "/metrics?format=json").json();
     let traces = metrics
         .get("endpoints")
         .unwrap()
@@ -1443,7 +1444,7 @@ fn metrics_histograms_fill_under_traffic() {
     assert_eq!(reply.status, 200);
     let _ = get(addr, "/metrics");
 
-    let metrics = get(addr, "/metrics").json();
+    let metrics = get(addr, "/metrics?format=json").json();
     let latency = metrics.get("latency_ms").expect("latency histogram");
     assert!(latency.get("count").and_then(Json::as_u64).unwrap() >= 2);
     assert!(latency.get("p50").unwrap().as_f64().is_some());
@@ -1577,7 +1578,7 @@ fn pipelined_requests_answer_in_order() {
     // Three requests written back-to-back before reading anything; the
     // responses come back in order, one per request.
     client.send(concat!(
-        "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /metrics?format=json HTTP/1.1\r\nHost: t\r\n\r\n",
         "GET /v1/model/stairstep?units=15&processors=4 HTTP/1.1\r\nHost: t\r\n\r\n",
         "POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 24\r\n\r\n{\"zones\": 1, \"steps\": 1}",
     ));
@@ -1732,6 +1733,294 @@ fn retry_after_is_monotone_on_a_kept_alive_connection() {
     drop(held);
     assert_eq!(first.join().unwrap().status, 200);
     assert_eq!(second.join().unwrap().status, 200);
+    server.shutdown();
+}
+
+// ------------------------------------------------------------ telemetry
+
+/// Extract one unlabeled sample value from a Prometheus exposition
+/// body. `series` may include a label set (`name{label="v"}`); the
+/// value is whatever follows the single space after it.
+fn prom_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.strip_prefix(' '))
+        })
+        .unwrap_or_else(|| panic!("exposition has no `{series}`"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("`{series}` value is not a number"))
+}
+
+/// Sum the per-status response counters out of an exposition body.
+fn prom_status_sum(text: &str) -> f64 {
+    serve::metrics::TRACKED_STATUSES
+        .iter()
+        .map(|s| prom_value(text, &format!("llpd_responses_total{{status=\"{s}\"}}")))
+        .sum()
+}
+
+#[test]
+fn metrics_defaults_to_prometheus_and_negotiates_json() {
+    let server = small_server();
+    let addr = server.addr();
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#).status,
+        200
+    );
+
+    // Default: the text exposition format, with typed families, labeled
+    // series, and cumulative histogram buckets ending at +Inf.
+    let prom = get(addr, "/metrics");
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.header("Content-Type")
+            .unwrap()
+            .starts_with("text/plain; version=0.0.4"),
+        "{:?}",
+        prom.header("Content-Type")
+    );
+    assert!(prom.body.contains("# TYPE llpd_requests_total counter"));
+    assert!(prom
+        .body
+        .contains("# TYPE llpd_request_latency_ms histogram"));
+    assert!(prom
+        .body
+        .contains("llpd_request_latency_ms_bucket{le=\"+Inf\"}"));
+    assert!(prom.body.contains("llpd_responses_total{status=\"200\"}"));
+    assert!(prom
+        .body
+        .contains("llpd_solves_by_schedule_total{schedule=\"static\"}"));
+    assert!(prom
+        .body
+        .contains("llpd_kernel_seconds_total{kernel=\"rhs\"}"));
+    assert_eq!(prom_value(&prom.body, "llpd_jobs_total"), 1.0);
+
+    // An Accept: application/json header selects the JSON body on the
+    // bare path — existing JSON consumers keep working.
+    let via_accept = send_raw(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(via_accept.status, 200);
+    assert_eq!(via_accept.header("Content-Type"), Some("application/json"));
+    assert!(via_accept.json().get("jobs_total").is_some());
+
+    // ?format=json needs no header; ?format=prometheus wins over the
+    // Accept header; unknown formats are a clean 400.
+    let json = get(addr, "/metrics?format=json");
+    assert_eq!(json.header("Content-Type"), Some("application/json"));
+    assert!(json.json().get("jobs_total").is_some());
+    let forced = send_raw(
+        addr,
+        "GET /metrics?format=prometheus HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\nConnection: close\r\n\r\n",
+    );
+    assert!(forced.body.contains("# TYPE llpd_requests_total counter"));
+    assert_eq!(get(addr, "/metrics?format=xml").status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn health_and_stats_expose_the_telemetry_windows() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        telemetry_window_ms: 50,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#).status,
+        200
+    );
+
+    let health = get(addr, "/v1/health").json();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("telemetry"), Some(&Json::Bool(true)));
+    assert!(
+        matches!(health.get("stale_kernels"), Some(Json::Array(a)) if a.is_empty()),
+        "no tune db, nothing can be stale"
+    );
+    assert!(health.get("drift").is_some());
+
+    // Windows seal on the event-loop poll tick.
+    wait_until("a telemetry window sealed", || {
+        get(addr, "/v1/health")
+            .json()
+            .get("windows_sealed")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    });
+    let stats = get(addr, "/v1/stats?windows=4").json();
+    assert_eq!(
+        stats.get("telemetry").and_then(Json::as_str),
+        Some("enabled")
+    );
+    let series = stats.get("series").expect("series block");
+    assert_eq!(series.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(series.get("window_ms").and_then(Json::as_u64), Some(50));
+    let windows = series.get("windows").and_then(Json::as_array).unwrap();
+    assert!(!windows.is_empty() && windows.len() <= 4);
+    for w in windows {
+        assert!(w.get("requests").and_then(Json::as_u64).is_some());
+        assert!(w.get("latency_ms").is_some());
+        assert!(w.get("cache").is_some());
+    }
+
+    // Query and method validation.
+    assert_eq!(get(addr, "/v1/stats?windows=0").status, 400);
+    assert_eq!(get(addr, "/v1/stats?bogus=1").status, 400);
+    for path in ["/v1/stats", "/v1/health"] {
+        let reply = send_raw(
+            addr,
+            &format!("POST {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"),
+        );
+        assert_eq!(reply.status, 405, "{path}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn disabled_telemetry_reports_itself_cleanly() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        telemetry_window_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#).status,
+        200
+    );
+    let stats = get(addr, "/v1/stats").json();
+    assert_eq!(
+        stats.get("telemetry").and_then(Json::as_str),
+        Some("disabled")
+    );
+    assert!(matches!(stats.get("series"), Some(Json::Null)));
+    let health = get(addr, "/v1/health").json();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("telemetry"), Some(&Json::Bool(false)));
+    assert_eq!(health.get("windows_sealed").and_then(Json::as_u64), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn drain_snapshot_keeps_requests_served_moments_before_shutdown() {
+    // A window far longer than the test guarantees nothing seals while
+    // serving: the drain's force-seal is the only way these requests
+    // become visible. This is the regression the satellite fixed —
+    // telemetry from the final partial window used to vanish.
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        telemetry_window_ms: 60_000,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#).status,
+        200
+    );
+    assert_eq!(get(addr, "/metrics").status, 200);
+
+    let snapshot = server.shutdown_with_telemetry();
+    assert_eq!(
+        snapshot.get("event").and_then(Json::as_str),
+        Some("llpd.drain")
+    );
+    let series = snapshot.get("series").expect("series");
+    let windows = series.get("windows").and_then(Json::as_array).unwrap();
+    let requests: u64 = windows
+        .iter()
+        .map(|w| w.get("requests").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(requests >= 2, "drain snapshot dropped requests: {requests}");
+    let solves: u64 = windows
+        .iter()
+        .map(|w| w.get("solves").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(solves, 1);
+    assert!(snapshot.get("drift").is_some());
+    assert!(snapshot.get("stale_kernels").is_some());
+}
+
+#[test]
+fn prometheus_counters_stay_consistent_under_concurrent_scrapes() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 2,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // A background client keeps solves in flight while the main thread
+    // scrapes; bypass defeats the cache so executions overlap scrapes.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sent = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let reply = post(
+                    addr,
+                    "/v1/solve",
+                    r#"{"zones": 1, "steps": 1, "cache": "bypass"}"#,
+                );
+                assert!(
+                    matches!(reply.status, 200 | 429 | 503),
+                    "unexpected status {}: {}",
+                    reply.status,
+                    reply.body
+                );
+                sent += 1;
+            }
+            sent
+        })
+    };
+
+    let mut last_requests = 0.0;
+    let mut last_sum = 0.0;
+    for _ in 0..15 {
+        let prom = get(addr, "/metrics");
+        assert_eq!(prom.status, 200);
+        let requests = prom_value(&prom.body, "llpd_requests_total");
+        let sum = prom_status_sum(&prom.body);
+        // Counters are monotone across scrapes...
+        assert!(requests >= last_requests, "{requests} < {last_requests}");
+        assert!(sum >= last_sum, "{sum} < {last_sum}");
+        // ...and a request is counted at routing, its response at
+        // completion, so mid-flight the routed count only ever leads.
+        assert!(
+            requests >= sum,
+            "responses outran requests: {requests} < {sum}"
+        );
+        (last_requests, last_sum) = (requests, sum);
+    }
+    stop.store(true, Ordering::SeqCst);
+    assert!(
+        load.join().unwrap() > 0,
+        "no load flowed during the scrapes"
+    );
+
+    wait_until("queue drained", || {
+        metric(addr, "queue_depth") == 0 && metric(addr, "executor_busy") == 0
+    });
+    // Quiescent: every routed request has recorded its response except
+    // the final scrape itself, counted at route time but rendered
+    // before its own response exists.
+    let prom = get(addr, "/metrics");
+    let requests = prom_value(&prom.body, "llpd_requests_total");
+    let sum = prom_status_sum(&prom.body);
+    assert!(
+        (requests - (sum + 1.0)).abs() < f64::EPSILON,
+        "quiescent mismatch: requests_total={requests}, sum over statuses={sum}"
+    );
     server.shutdown();
 }
 

@@ -250,6 +250,7 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
             default_cost_ns: measured[default_ci],
             modeled_cost_ns: modeled[win],
             model_agrees: seed.candidates[model_win] == seed.candidates[win],
+            stale: false,
         });
     }
     entries.sort_by(|a, b| a.kernel.cmp(&b.kernel));

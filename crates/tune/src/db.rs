@@ -8,8 +8,11 @@ use llp::{MeasuredChoice, Policy, ScheduleMap};
 use std::path::Path;
 
 /// Schema version of [`TuneDb::to_json`]; bumped on layout changes.
-/// Version 2 added the per-entry `vector_width` (the SLP axis).
-pub const TUNE_SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the per-entry `vector_width` (the SLP axis);
+/// version 3 added the per-entry `stale` flag the drift watchdog
+/// maintains (see [`crate::drift`]). Version-2 files still load —
+/// their entries simply start fresh, `stale: false`.
+pub const TUNE_SCHEMA_VERSION: u64 = 3;
 
 /// One kernel's calibration outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,9 +41,37 @@ pub struct TuneEntry {
     /// Whether the analytic model, ranking the same candidates by
     /// predicted cost, agrees with the measured winner.
     pub model_agrees: bool,
+    /// Whether the drift watchdog has flagged this entry as stale —
+    /// live solves under this configuration persistently cost more
+    /// than the calibration-time model predicted, so the entry is due
+    /// a recalibration. Runtime state, not a calibration decision:
+    /// [`TuneDb::same_decisions`] ignores it, and a fresh calibration
+    /// always writes `false`.
+    pub stale: bool,
 }
 
 impl TuneEntry {
+    /// Compact label of the chosen configuration, the drift tracker's
+    /// key vocabulary: `w{workers}:{schedule}[.{chunk}]:v{width}`.
+    #[must_use]
+    pub fn config_label(&self) -> String {
+        match self.schedule.chunk_param() {
+            Some(chunk) => format!(
+                "w{}:{}.{}:v{}",
+                self.workers,
+                self.schedule.name(),
+                chunk,
+                self.vector_width
+            ),
+            None => format!(
+                "w{}:{}:v{}",
+                self.workers,
+                self.schedule.name(),
+                self.vector_width
+            ),
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("kernel", Json::Str(self.kernel.clone())),
@@ -58,6 +89,7 @@ impl TuneEntry {
             ("default_cost_ns", Json::from_u64(self.default_cost_ns)),
             ("modeled_cost_ns", Json::from_u64(self.modeled_cost_ns)),
             ("model_agrees", Json::Bool(self.model_agrees)),
+            ("stale", Json::Bool(self.stale)),
         ]);
         Json::object(pairs)
     }
@@ -98,6 +130,8 @@ impl TuneEntry {
             model_agrees: field("model_agrees")?
                 .as_bool()
                 .ok_or("model_agrees must be a boolean")?,
+            // Absent in schema v2 files: entries start un-flagged.
+            stale: j.get("stale").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -153,7 +187,10 @@ impl TuneDb {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("tune db missing schema_version")?;
-        if version != TUNE_SCHEMA_VERSION {
+        // v2 is a strict subset of v3 (no `stale` flags): load it and
+        // let every entry start un-flagged. Anything else is rejected
+        // rather than misread.
+        if version != TUNE_SCHEMA_VERSION && version != 2 {
             return Err(format!(
                 "unsupported tune db schema_version {version} (expected {TUNE_SCHEMA_VERSION})"
             ));
@@ -171,7 +208,8 @@ impl TuneDb {
             .map(TuneEntry::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
-            schema_version: version,
+            // Normalized on load: a v2 file round-trips out as v3.
+            schema_version: TUNE_SCHEMA_VERSION,
             pool_width: field("pool_width")?,
             zones: field("zones")?,
             steps: field("steps")?,
@@ -248,12 +286,39 @@ impl TuneDb {
             .collect()
     }
 
+    /// Mark the entry for `kernel` stale (or fresh). Returns whether
+    /// an entry changed — the serve layer uses this to know when the
+    /// `tune_entries_stale` gauge moved.
+    pub fn set_stale(&mut self, kernel: &str, stale: bool) -> bool {
+        match self.entries.iter_mut().find(|e| e.kernel == kernel) {
+            Some(e) if e.stale != stale => {
+                e.stale = stale;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Kernels whose entries the drift watchdog has flagged, sorted.
+    #[must_use]
+    pub fn stale_kernels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| e.stale)
+            .map(|e| e.kernel.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Whether two databases made the same *decisions* — identical
     /// structural fields (winners, kernels, iteration counts, search
     /// sizes, calibration context), ignoring the timing fields
     /// (`*_cost_ns`, `sync_cost_ns`, `model_agrees`) that no two
-    /// wall-clock runs reproduce exactly. This is the determinism
-    /// contract the job-gate calibration mode is tested against.
+    /// wall-clock runs reproduce exactly, and ignoring the runtime
+    /// `stale` flags. This is the determinism contract the job-gate
+    /// calibration mode is tested against.
     #[must_use]
     pub fn same_decisions(&self, other: &Self) -> bool {
         self.schema_version == other.schema_version
@@ -307,6 +372,7 @@ mod tests {
                     default_cost_ns: 95_000,
                     modeled_cost_ns: 78_000,
                     model_agrees: true,
+                    stale: false,
                 },
                 TuneEntry {
                     kernel: "update".to_string(),
@@ -319,6 +385,7 @@ mod tests {
                     default_cost_ns: 41_000,
                     modeled_cost_ns: 52_000,
                     model_agrees: false,
+                    stale: true,
                 },
             ],
         }
@@ -362,6 +429,7 @@ mod tests {
             "default_cost_ns",
             "modeled_cost_ns",
             "model_agrees",
+            "stale",
         ] {
             assert!(e.get(key).is_some(), "missing entry key {key}");
         }
@@ -374,6 +442,55 @@ mod tests {
             entries[1].get("vector_width").and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn schema_v2_files_load_with_fresh_staleness() {
+        // A v3 document with the v3-only fields removed is exactly
+        // what a PR-8-era file on disk looks like.
+        let mut j = sample().to_json();
+        if let Json::Object(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::from_u64(2);
+                }
+                if k == "entries" {
+                    if let Json::Array(entries) = v {
+                        for e in entries {
+                            if let Json::Object(fields) = e {
+                                fields.retain(|(k, _)| k != "stale");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let db = TuneDb::from_json(&j).unwrap();
+        assert_eq!(db.schema_version, TUNE_SCHEMA_VERSION, "normalized up");
+        assert!(db.entries.iter().all(|e| !e.stale));
+        assert!(db.same_decisions(&sample()));
+    }
+
+    #[test]
+    fn staleness_helpers_flag_and_list() {
+        let mut db = sample();
+        assert_eq!(db.stale_kernels(), vec!["update".to_string()]);
+        assert!(db.set_stale("rhs", true), "fresh -> stale changed");
+        assert!(!db.set_stale("rhs", true), "idempotent");
+        assert!(!db.set_stale("absent", true), "unknown kernel is a no-op");
+        assert_eq!(
+            db.stale_kernels(),
+            vec!["rhs".to_string(), "update".to_string()]
+        );
+        assert!(db.set_stale("update", false), "healing clears the flag");
+        assert_eq!(db.stale_kernels(), vec!["rhs".to_string()]);
+    }
+
+    #[test]
+    fn config_labels_name_the_whole_choice() {
+        let db = sample();
+        assert_eq!(db.entries[0].config_label(), "w4:guided.1:v4");
+        assert_eq!(db.entries[1].config_label(), "w2:static:v1");
     }
 
     #[test]
@@ -427,5 +544,8 @@ mod tests {
         let mut c = sample();
         c.entries[0].vector_width = 2;
         assert!(!a.same_decisions(&c), "the width is a decision");
+        let mut d = sample();
+        d.entries[0].stale = true;
+        assert!(a.same_decisions(&d), "staleness is runtime state");
     }
 }

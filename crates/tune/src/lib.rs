@@ -24,14 +24,24 @@
 //! winner, and whether the model would have picked the same
 //! configuration — so every calibration doubles as a validation run
 //! for the paper's models.
+//!
+//! Validation does not stop at calibration time: [`drift`] keeps
+//! scoring every *live* solve against the same analytic cost form,
+//! maintaining a per-(kernel, config) EWMA of the
+//! measured-over-predicted excess, and flags a [`TuneEntry`] as stale
+//! when the prediction stays badly wrong for consecutive telemetry
+//! windows — the signal that a recalibration (or a plan re-race,
+//! ROADMAP item 4) is due.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;
 pub mod db;
+pub mod drift;
 pub mod space;
 
 pub use calibrate::{calibrate, CalibrationSpec};
 pub use db::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
+pub use drift::{expected_cost_ns, DriftConfig, DriftTracker};
 pub use space::{candidates, worker_counts, zone_splits, Candidate, ZoneSplit};
