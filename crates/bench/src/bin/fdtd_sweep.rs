@@ -1,0 +1,201 @@
+//! `fdtd_sweep` — loop-level speedup and tuned-vs-default cost for the
+//! FDTD Maxwell workload, emitted as a versioned JSON report.
+//!
+//! The sweep runs one TEz case measured (span recorder on) at each
+//! pool width and reports total and per-kernel seconds with the
+//! loop-level speedup each kernel achieves over the serial run — the
+//! paper's stair-step axis applied to the second physics on the stack.
+//! A measured-mode calibration ([`tune::calibrate_fdtd`]) then rides
+//! along; the selection invariant — the tuned configuration never
+//! measures worse than the default — is asserted per kernel before the
+//! report is written.
+//!
+//! ```text
+//! fdtd_sweep [--size N] [--steps N] [--trials K] [OUTPUT.json]
+//! ```
+//!
+//! Output defaults to `BENCH_fdtd.json`; the JSON is also printed to
+//! stdout (schema pinned by `crates/bench/tests/fdtd_schema.rs`).
+//! Wall times are machine-dependent; the schema and the structural
+//! fields (kernel set, sync events, the tuned invariant) are what the
+//! regression test pins.
+
+use fdtd::{FdtdCase, FdtdRun};
+use llp::obs::json::Json;
+use llp::{Policy, Workers};
+use tune::{calibrate_fdtd, CalibrationSpec, TuneDb};
+
+/// Pool widths the sweep measures (the serial run normalizes the
+/// speedups).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_case(size: usize, steps: usize, workers: usize) -> FdtdRun {
+    let case = FdtdCase {
+        size,
+        steps,
+        workers,
+        schedule: Policy::Static,
+        vector_width: 1,
+    };
+    let pool = Workers::recorded(workers);
+    // One warm-up run primes allocation and the thread pool; the
+    // second run's report is the measurement.
+    fdtd::service::run(&case, &pool).expect("fdtd warmup failed");
+    fdtd::service::run(&case, &pool).expect("fdtd run failed")
+}
+
+/// Per-kernel seconds from a run's report, by kernel name.
+fn kernel_seconds(run: &FdtdRun) -> Vec<(String, f64)> {
+    run.report
+        .kernel_summaries()
+        .into_iter()
+        .map(|k| (k.name, k.seconds))
+        .collect()
+}
+
+fn seconds_of(table: &[(String, f64)], name: &str) -> f64 {
+    table
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0.0, |&(_, s)| s)
+}
+
+fn run_json(run: &FdtdRun, serial: &FdtdRun) -> Json {
+    let serial_table = kernel_seconds(serial);
+    let kernels = kernel_seconds(run)
+        .into_iter()
+        .map(|(name, seconds)| {
+            let serial_s = seconds_of(&serial_table, &name);
+            let llp = if seconds > 0.0 && serial_s > 0.0 {
+                serial_s / seconds
+            } else {
+                1.0
+            };
+            Json::object(vec![
+                ("name", Json::Str(name)),
+                ("seconds", Json::Num(seconds)),
+                ("llp_speedup", Json::Num(llp)),
+            ])
+        })
+        .collect();
+    let seconds = run.report.total_seconds();
+    let serial_seconds = serial.report.total_seconds();
+    Json::object(vec![
+        ("workers", Json::from_usize(run.case.workers)),
+        ("seconds", Json::Num(seconds)),
+        ("sync_events", Json::from_u64(run.sync_events)),
+        (
+            "speedup_vs_1",
+            Json::Num(if seconds > 0.0 {
+                serial_seconds / seconds
+            } else {
+                1.0
+            }),
+        ),
+        ("kernels", Json::Array(kernels)),
+    ])
+}
+
+fn tuned_json(db: &TuneDb) -> Json {
+    let kernels = db
+        .entries
+        .iter()
+        .map(|e| {
+            assert!(
+                e.measured_cost_ns <= e.default_cost_ns,
+                "tuned config for {} measured {} ns, worse than default {} ns",
+                e.kernel,
+                e.measured_cost_ns,
+                e.default_cost_ns
+            );
+            let mut pairs = vec![
+                ("kernel", Json::Str(e.kernel.clone())),
+                ("workers", Json::from_usize(e.workers)),
+                ("schedule", Json::str(e.schedule.name())),
+            ];
+            if let Some(chunk) = e.schedule.chunk_param() {
+                pairs.push(("chunk", Json::from_usize(chunk)));
+            }
+            pairs.extend([
+                ("vector_width", Json::from_usize(e.vector_width)),
+                ("default_cost_ns", Json::from_u64(e.default_cost_ns)),
+                ("tuned_cost_ns", Json::from_u64(e.measured_cost_ns)),
+                ("modeled_cost_ns", Json::from_u64(e.modeled_cost_ns)),
+                ("model_agrees", Json::Bool(e.model_agrees)),
+            ]);
+            Json::object(pairs)
+        })
+        .collect();
+    Json::object(vec![
+        ("solver", Json::Str(db.solver.clone())),
+        ("pool_width", Json::from_usize(db.pool_width)),
+        ("sync_cost_ns", Json::from_u64(db.sync_cost_ns)),
+        ("kernels", Json::Array(kernels)),
+    ])
+}
+
+fn sweep(size: usize, steps: usize, trials: usize) -> Json {
+    let runs: Vec<FdtdRun> = WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let run = run_case(size, steps, w);
+            eprintln!(
+                "fdtd_sweep: workers {w}: {:.3} ms, {} sync events",
+                run.report.total_seconds() * 1e3,
+                run.sync_events
+            );
+            run
+        })
+        .collect();
+    let serial = &runs[0];
+
+    // The calibration grid edge is 16 * spec.zones; match the swept
+    // size so the tuned entries describe the measured workload.
+    let spec = CalibrationSpec {
+        zones: (size / 16).max(1),
+        steps,
+        trials,
+        deterministic: false,
+    };
+    let pool = Workers::new(WORKER_COUNTS[WORKER_COUNTS.len() - 1]);
+    let db = calibrate_fdtd(&pool, &spec).expect("fdtd calibration failed");
+    eprintln!(
+        "fdtd_sweep: calibrated {} kernels, sync cost {} ns",
+        db.entries.len(),
+        db.sync_cost_ns
+    );
+
+    Json::object(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("bench", Json::Str("fdtd_sweep".into())),
+        ("size", Json::from_usize(size)),
+        ("steps", Json::from_usize(steps)),
+        ("trials", Json::from_usize(trials)),
+        (
+            "worker_counts",
+            Json::Array(WORKER_COUNTS.iter().map(|&p| Json::from_usize(p)).collect()),
+        ),
+        (
+            "runs",
+            Json::Array(runs.iter().map(|r| run_json(r, serial)).collect()),
+        ),
+        ("tuned", tuned_json(&db)),
+    ])
+}
+
+fn main() {
+    let args = bench::BenchArgs::from_env(&["size", "steps", "trials"], "BENCH_fdtd.json");
+    let fail = |e: String| -> usize {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let size = args.positive_usize("size", 32).unwrap_or_else(fail);
+    let steps = args.positive_usize("steps", 8).unwrap_or_else(fail);
+    let trials = args.positive_usize("trials", 3).unwrap_or_else(fail);
+    let out_path = args.output();
+    let json = sweep(size, steps, trials);
+    let text = json.to_pretty_string();
+    print!("{text}");
+    std::fs::write(out_path, &text).expect("write fdtd report");
+    eprintln!("wrote {out_path}");
+}

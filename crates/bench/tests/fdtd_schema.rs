@@ -1,0 +1,99 @@
+//! Schema validation for the `fdtd_sweep` JSON report: runs the sweep
+//! (minimal case, real measured runs and a real calibration) and pins
+//! the versioned structure future multi-physics PRs regress against —
+//! including the tuned-never-worse-than-default invariant the binary
+//! asserts.
+
+use llp::obs::json::Json;
+use std::process::Command;
+
+fn run_fdtd_sweep() -> Json {
+    let out_path = format!("{}/fdtd_schema_test.json", env!("CARGO_TARGET_TMPDIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_fdtd_sweep"))
+        .args(["--size", "16", "--steps", "2", "--trials", "1", &out_path])
+        .output()
+        .expect("run fdtd_sweep");
+    assert!(
+        out.status.success(),
+        "fdtd_sweep exited {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let parsed = Json::parse(&stdout).expect("stdout is valid JSON");
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(Json::parse(&written).expect("file is valid JSON"), parsed);
+    parsed
+}
+
+#[test]
+fn report_conforms_to_schema_v1() {
+    let report = run_fdtd_sweep();
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("bench").and_then(Json::as_str),
+        Some("fdtd_sweep")
+    );
+    assert_eq!(report.get("size").and_then(Json::as_u64), Some(16));
+    assert_eq!(report.get("steps").and_then(Json::as_u64), Some(2));
+    assert_eq!(report.get("trials").and_then(Json::as_u64), Some(1));
+    let counts: Vec<u64> = report
+        .get("worker_counts")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(counts, [1, 2, 4, 8]);
+
+    let runs = report.get("runs").and_then(Json::as_array).unwrap();
+    assert_eq!(runs.len(), 4, "one run per pool width");
+    for (run, expected_workers) in runs.iter().zip([1u64, 2, 4, 8]) {
+        assert_eq!(
+            run.get("workers").and_then(Json::as_u64),
+            Some(expected_workers)
+        );
+        assert!(run.get("seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        // Doacross stepping bills two sync events per step (H then E).
+        assert_eq!(run.get("sync_events").and_then(Json::as_u64), Some(4));
+        assert!(run.get("speedup_vs_1").and_then(Json::as_f64).unwrap() > 0.0);
+        let kernels = run.get("kernels").and_then(Json::as_array).unwrap();
+        let names: Vec<&str> = kernels
+            .iter()
+            .filter_map(|k| k.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(
+            names.contains(&"update_e") && names.contains(&"update_h"),
+            "both field-update kernels report: {names:?}"
+        );
+        for k in kernels {
+            assert!(k.get("seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(k.get("llp_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    let tuned = report.get("tuned").expect("tuned section");
+    assert_eq!(tuned.get("solver").and_then(Json::as_str), Some("fdtd"));
+    assert_eq!(tuned.get("pool_width").and_then(Json::as_u64), Some(8));
+    assert!(tuned.get("sync_cost_ns").and_then(Json::as_u64).is_some());
+    let kernels = tuned.get("kernels").and_then(Json::as_array).unwrap();
+    assert_eq!(kernels.len(), 2, "both fdtd kernels calibrate");
+    for k in kernels {
+        let name = k.get("kernel").and_then(Json::as_str).unwrap();
+        assert!(["update_e", "update_h"].contains(&name));
+        let workers = k.get("workers").and_then(Json::as_u64).unwrap();
+        assert!((1..=8).contains(&workers));
+        let schedule = k.get("schedule").and_then(Json::as_str).unwrap();
+        assert!(["static", "dynamic", "guided"].contains(&schedule));
+        let width = k.get("vector_width").and_then(Json::as_u64).unwrap();
+        assert!([1, 2, 4, 8].contains(&width));
+        let tuned_ns = k.get("tuned_cost_ns").and_then(Json::as_u64).unwrap();
+        let default_ns = k.get("default_cost_ns").and_then(Json::as_u64).unwrap();
+        assert!(
+            tuned_ns <= default_ns,
+            "{name}: tuned {tuned_ns} ns worse than default {default_ns} ns"
+        );
+        assert!(k.get("modeled_cost_ns").and_then(Json::as_u64).is_some());
+        assert!(k.get("model_agrees").and_then(Json::as_bool).is_some());
+    }
+}

@@ -24,6 +24,7 @@ use crate::solver::SolverConfig;
 use crate::validation::{FieldChecksum, ResidualHistory};
 use llp::{ObsReport, Policy, Timeline, Workers};
 use mesh::{Axis, Dims, MultiZoneGrid};
+use solver::{Solver, SolverInstance, SolverSpec};
 
 /// Maximum zones a service case may request.
 pub const MAX_ZONES: usize = 4;
@@ -179,6 +180,181 @@ impl ServiceCase {
     }
 }
 
+impl SolverSpec for ServiceCase {
+    fn validate(&self) -> Result<(), String> {
+        ServiceCase::validate(self)
+    }
+    fn canonical_string(&self) -> String {
+        ServiceCase::canonical_string(self)
+    }
+    fn label(&self) -> String {
+        ServiceCase::label(self)
+    }
+    fn workers(&self) -> usize {
+        self.workers
+    }
+    fn schedule(&self) -> Policy {
+        self.schedule
+    }
+    fn steps(&self) -> usize {
+        self.steps
+    }
+    fn vector_width(&self) -> usize {
+        self.vector_width
+    }
+}
+
+/// The F3D flow workload as a [`solver::Solver`]: the marker type the
+/// generic run driver and the serving layer dispatch on.
+pub struct F3dSolver;
+
+/// One allocated F3D solve: the multi-zone state plus the per-step
+/// residual history and zone-scheduler statistics the output carries.
+pub struct F3dInstance {
+    case: ServiceCase,
+    solver: MultiZoneSolver,
+    residuals: ResidualHistory,
+    zone_stats: Option<zones::StepStats>,
+}
+
+/// The physics half of a completed F3D run — everything
+/// [`ServiceRun`] carries except the uniform observability payload.
+pub struct F3dOutput {
+    /// Zone names, in grid order.
+    pub zone_names: Vec<String>,
+    /// Freestream deviation after each step.
+    pub residuals: Vec<f64>,
+    /// Drag coefficient on the low-L wall faces.
+    pub drag: f64,
+    /// Lift coefficient on the low-L wall faces.
+    pub lift: f64,
+    /// Per-zone field checksums after the final step.
+    pub checksums: Vec<FieldChecksum>,
+    /// Per-step zone-scheduler statistics (`None` when sequential).
+    pub zone_stats: Option<zones::StepStats>,
+}
+
+impl Solver for F3dSolver {
+    type Config = ServiceCase;
+    type Instance = F3dInstance;
+
+    fn kind() -> &'static str {
+        "f3d"
+    }
+
+    fn kernel_names() -> &'static [&'static str] {
+        // The six parallel kernels of the RISC stepper, sorted — the
+        // vocabulary the tune database and the metrics labels use.
+        // The serial `bc` phase is deliberately absent: it is never
+        // tuned and the metrics fold it into "other".
+        &[
+            "j_factor",
+            "k_factor",
+            "l_factor_scatter",
+            "l_factor_solve",
+            "rhs",
+            "update",
+        ]
+    }
+
+    fn memory_usage_estimate(case: &ServiceCase) -> u64 {
+        // Two full conservative-state fields per zone (Q and the RHS
+        // accumulator, 5 components of f64 per point) dominate; the
+        // pencil scratch is per worker and cache-sized by design. A
+        // deterministic formula, not a measurement — the admission
+        // contract only needs it to scale with the request.
+        let points: usize = case
+            .grid()
+            .zones()
+            .iter()
+            .map(|z| {
+                let d = z.dims;
+                d.j * d.k * d.l
+            })
+            .sum();
+        const NCONS: u64 = 5;
+        const F64: u64 = 8;
+        const SCRATCH_PER_WORKER: u64 = 64 * 1024;
+        (points as u64) * NCONS * F64 * 2 + (case.workers as u64) * SCRATCH_PER_WORKER
+    }
+
+    fn create_instance(case: &ServiceCase, widths: &WidthMap) -> F3dInstance {
+        let grid = case.grid();
+        let config = SolverConfig::supersonic();
+        let mut solver = MultiZoneSolver::from_grid(&grid, config, 0.3);
+        solver.set_kernel_widths(widths);
+
+        // Deterministic perturbed initial condition — without it every
+        // field stays exactly freestream and the checksums test
+        // nothing.
+        for zi in 0..solver.zone_count() {
+            let zone = solver.zone_mut(zi);
+            for p in zone.dims().iter_jkl() {
+                let mut q = zone.q.get(p);
+                q[0] *= 1.0 + 0.01 * ((p.j + 2 * p.k + 3 * p.l + zi) as f64).sin();
+                zone.q.set(p, q);
+            }
+        }
+        F3dInstance {
+            case: *case,
+            solver,
+            residuals: ResidualHistory::new(),
+            zone_stats: None,
+        }
+    }
+}
+
+impl SolverInstance for F3dInstance {
+    type Output = F3dOutput;
+
+    fn step(&mut self, pool: &Workers, step: usize, schedules: Option<&llp::ScheduleMap>) {
+        match self.case.zone_schedule {
+            ZoneSchedule::Sequential => self.solver.step_loop_level_scheduled(pool, None, schedules),
+            ZoneSchedule::Zones(shards) => {
+                self.zone_stats =
+                    Some(self.solver
+                        .step_zone_parallel(pool, shards, schedules, step as u64));
+            }
+        }
+        self.residuals.push(self.solver.freestream_deviation());
+    }
+
+    fn finish(self) -> F3dOutput {
+        let solver = &self.solver;
+        // Wall observable: pressure force summed over every zone's
+        // low-L face, normalized by the total wall area.
+        let wall = Face {
+            axis: Axis::L,
+            high: false,
+        };
+        let mut total = SurfaceForces {
+            force: [0.0; 3],
+            area: 0.0,
+        };
+        for zi in 0..solver.zone_count() {
+            let f = forces::pressure_force(solver.zone(zi), wall);
+            for c in 0..3 {
+                total.force[c] += f.force[c];
+            }
+            total.area += f.area;
+        }
+        let (drag, lift) = total.drag_lift(solver.zone(0), total.area);
+
+        let checksums = (0..solver.zone_count())
+            .map(|zi| FieldChecksum::of(&solver.zone(zi).q))
+            .collect();
+
+        F3dOutput {
+            zone_names: solver.zone_names().to_vec(),
+            residuals: self.residuals.values,
+            drag,
+            lift,
+            checksums,
+            zone_stats: self.zone_stats,
+        }
+    }
+}
+
 /// 64-bit FNV-1a over `bytes`: tiny, dependency-free, and stable — the
 /// right shape for a content checksum that must never move between
 /// builds (unlike [`std::hash::Hasher`], whose output is unspecified).
@@ -273,85 +449,24 @@ pub fn run_tuned(
     schedules: Option<&llp::ScheduleMap>,
     widths: Option<&WidthMap>,
 ) -> Result<ServiceRun, String> {
-    case.validate()?;
-    // The case's scheduling policy governs every doacross region of the
-    // run; the view shares the caller pool's counters and recorder.
-    let pool = &pool.with_policy(case.schedule);
-    let grid = case.grid();
-    let config = SolverConfig::supersonic();
-    let mut solver = MultiZoneSolver::from_grid(&grid, config, 0.3);
-    let mut width_map = widths.cloned().unwrap_or_default();
-    width_map.set_default(case.vector_width);
-    solver.set_kernel_widths(&width_map);
-
-    // Deterministic perturbed initial condition — without it every
-    // field stays exactly freestream and the checksums test nothing.
-    for zi in 0..solver.zone_count() {
-        let zone = solver.zone_mut(zi);
-        for p in zone.dims().iter_jkl() {
-            let mut q = zone.q.get(p);
-            q[0] *= 1.0 + 0.01 * ((p.j + 2 * p.k + 3 * p.l + zi) as f64).sin();
-            zone.q.set(p, q);
-        }
-    }
-
-    // Count this run's events on the policy view's *local* counter:
-    // the shared pool counter also moves when other views of the same
-    // pool run concurrently (e.g. another executor shard), and this
-    // run's bill must cover exactly its own regions.
-    let sync_before = pool.local_sync_event_count();
-    let mut residuals = ResidualHistory::new();
-    let mut zone_stats = None;
-    for step in 0..case.steps {
-        match case.zone_schedule {
-            ZoneSchedule::Sequential => solver.step_loop_level_scheduled(pool, None, schedules),
-            ZoneSchedule::Zones(shards) => {
-                zone_stats = Some(solver.step_zone_parallel(pool, shards, schedules, step as u64));
-            }
-        }
-        residuals.push(solver.freestream_deviation());
-    }
-    let sync_events = pool.local_sync_event_count() - sync_before;
-    let report = pool
-        .recorder()
-        .take_report(&case.label(), pool.processors())
-        .with_requested_workers(pool.requested_processors());
-    let timeline = pool.flight().take_timeline();
-
-    // Wall observable: pressure force summed over every zone's low-L
-    // face, normalized by the total wall area.
-    let wall = Face {
-        axis: Axis::L,
-        high: false,
-    };
-    let mut total = SurfaceForces {
-        force: [0.0; 3],
-        area: 0.0,
-    };
-    for zi in 0..solver.zone_count() {
-        let f = forces::pressure_force(solver.zone(zi), wall);
-        for c in 0..3 {
-            total.force[c] += f.force[c];
-        }
-        total.area += f.area;
-    }
-    let (drag, lift) = total.drag_lift(solver.zone(0), total.area);
-
-    let checksums = (0..solver.zone_count())
-        .map(|zi| FieldChecksum::of(&solver.zone(zi).q))
-        .collect();
-
+    // The generic driver owns the exact instrumentation sequence this
+    // function always executed (policy view, width resolution, local
+    // sync billing, report/timeline drain) — the refactor behind the
+    // `solver` trait changes no result, pinned by the bit-exactness
+    // tests below and in the serve integration suite.
+    let run = solver::run_instrumented::<F3dSolver>(case, pool, schedules, widths)?;
+    let out = run.output;
     Ok(ServiceRun {
         case: *case,
-        zone_names: solver.zone_names().to_vec(),
-        residuals: residuals.values,
-        drag,
-        lift,
-        checksums,
-        sync_events,
-        report,
-        timeline,
-        zone_stats,
+        zone_names: out.zone_names,
+        residuals: out.residuals,
+        drag: out.drag,
+        lift: out.lift,
+        checksums: out.checksums,
+        sync_events: run.sync_events,
+        report: run.report,
+        timeline: run.timeline,
+        zone_stats: out.zone_stats,
     })
 }
 

@@ -1,0 +1,288 @@
+//! The two FDTD update sweeps as width-parameterized doacross
+//! kernels.
+//!
+//! Each sweep parallelizes its *outer* loop over grid rows with
+//! [`llp::doacross_slabs`] — one row is one slab, the paper's
+//! loop-level discipline — and runs its inner x loop through a
+//! const-generic lane kernel (`W ∈ {1, 2, 4, 8}` points per lane
+//! group, `chunks_exact_mut` + scalar remainder) that rustc can lower
+//! to SIMD.
+//!
+//! **Exactness.** The lane kernels vectorize across *independent
+//! outputs* (points of a row) and never across a reduction: every
+//! point executes the identical floating-point operation sequence at
+//! every width, so results are bit-exact across `W` — the suite-wide
+//! policy, pinned for these kernels by `tests/simd_props.rs`. They
+//! are equally bit-exact across worker counts and schedules, because
+//! a row's updates depend only on the *previous* half-step's other
+//! field, never on a concurrently mutated row.
+//!
+//! The aliasing discipline makes that structurally true: `update_h`
+//! mutates only `hz` while reading `e`, `update_e` mutates only `e`
+//! while reading `hz` — each doacross body takes `&mut` to its own
+//! row and shared references to the other array.
+
+use crate::grid::{Boundary, TezGrid};
+use llp::{doacross_slabs, Workers};
+use solver::Variant;
+
+/// Advance `Hz` one half-step: `∂Hz/∂t = ∂Ex/∂y − ∂Ey/∂x`, parallel
+/// over rows at SLP lane width `width` (one of
+/// [`solver::SUPPORTED_WIDTHS`]; anything else runs scalar).
+pub fn update_h(workers: &Workers, grid: &mut TezGrid, width: usize) {
+    let TezGrid {
+        nx,
+        ny,
+        e,
+        hz,
+        boundary,
+        courant,
+    } = grid;
+    let (nx, ny, s) = (*nx, *ny, *courant);
+    let periodic = *boundary == Boundary::Periodic;
+    let e: &[[f64; 2]] = e;
+    let variant = Variant::from_width(width).unwrap_or_default();
+    doacross_slabs(workers, hz.as_mut_slice(), nx, move |j, row| {
+        // PEC: the top Hz row sits outside the staggered interior.
+        if !periodic && j == ny - 1 {
+            return;
+        }
+        let jp1 = if j + 1 == ny { 0 } else { j + 1 };
+        let e_row = &e[j * nx..(j + 1) * nx];
+        let e_up = &e[jp1 * nx..jp1 * nx + nx];
+        let end = nx - 1;
+        match variant {
+            Variant::Scalar => h_row_lanes::<1>(row, e_row, e_up, s, end),
+            Variant::Wide2 => h_row_lanes::<2>(row, e_row, e_up, s, end),
+            Variant::Wide4 => h_row_lanes::<4>(row, e_row, e_up, s, end),
+            Variant::Wide8 => h_row_lanes::<8>(row, e_row, e_up, s, end),
+        }
+        if periodic {
+            // Wrap column: Ey neighbor comes from i = 0.
+            let i = nx - 1;
+            row[i] += s * ((e_up[i][0] - e_row[i][0]) - (e_row[0][1] - e_row[i][1]));
+        }
+    });
+}
+
+/// Advance `E` one half-step: `∂Ex/∂t = ∂Hz/∂y`, `∂Ey/∂t = −∂Hz/∂x`,
+/// parallel over rows at SLP lane width `width`. PEC walls keep
+/// tangential `E` clamped by never updating it.
+pub fn update_e(workers: &Workers, grid: &mut TezGrid, width: usize) {
+    let TezGrid {
+        nx,
+        ny,
+        e,
+        hz,
+        boundary,
+        courant,
+    } = grid;
+    let (nx, ny, s) = (*nx, *ny, *courant);
+    let periodic = *boundary == Boundary::Periodic;
+    let hz: &[f64] = hz;
+    let variant = Variant::from_width(width).unwrap_or_default();
+    doacross_slabs(workers, e.as_mut_slice(), nx, move |j, row| {
+        let hz_row = &hz[j * nx..(j + 1) * nx];
+        let jm1 = if j == 0 { ny - 1 } else { j - 1 };
+        let hz_dn = &hz[jm1 * nx..jm1 * nx + nx];
+        // Which components this row updates (see the grid's stagger
+        // docs): under PEC, Ex is tangential to the y walls and Ey's
+        // top row sits outside the box.
+        let do_ex = periodic || (j >= 1 && j < ny - 1);
+        let do_ey = periodic || j < ny - 1;
+        if !do_ex && !do_ey {
+            return;
+        }
+        // Scalar prologue at the x edge, lanes over the interior.
+        let (start, end) = if periodic {
+            // i = 0 wraps Ey's neighbor to nx-1; Ex has no x stencil.
+            if do_ex {
+                row[0][0] += s * (hz_row[0] - hz_dn[0]);
+            }
+            if do_ey {
+                row[0][1] -= s * (hz_row[0] - hz_row[nx - 1]);
+            }
+            (1, nx)
+        } else {
+            // PEC: Ex also lives at i = 0 (interior in x); Ey starts
+            // at i = 1 and both stop short of the right wall.
+            if do_ex {
+                row[0][0] += s * (hz_row[0] - hz_dn[0]);
+            }
+            (1, nx - 1)
+        };
+        match variant {
+            Variant::Scalar => e_row_lanes::<1>(row, hz_row, hz_dn, s, start, end, do_ex, do_ey),
+            Variant::Wide2 => e_row_lanes::<2>(row, hz_row, hz_dn, s, start, end, do_ex, do_ey),
+            Variant::Wide4 => e_row_lanes::<4>(row, hz_row, hz_dn, s, start, end, do_ex, do_ey),
+            Variant::Wide8 => e_row_lanes::<8>(row, hz_row, hz_dn, s, start, end, do_ex, do_ey),
+        }
+    });
+}
+
+/// `Hz` lane kernel over `i ∈ [0, end)`: `W` independent points per
+/// group, identical per-point operation sequence at every `W`.
+fn h_row_lanes<const W: usize>(
+    hz: &mut [f64],
+    e_row: &[[f64; 2]],
+    e_up: &[[f64; 2]],
+    s: f64,
+    end: usize,
+) {
+    let span = &mut hz[..end];
+    let mut chunks = span.chunks_exact_mut(W);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        for (l, out) in chunk.iter_mut().enumerate() {
+            let i = base + l;
+            *out += s * ((e_up[i][0] - e_row[i][0]) - (e_row[i + 1][1] - e_row[i][1]));
+        }
+        base += W;
+    }
+    for (off, out) in chunks.into_remainder().iter_mut().enumerate() {
+        let i = base + off;
+        *out += s * ((e_up[i][0] - e_row[i][0]) - (e_row[i + 1][1] - e_row[i][1]));
+    }
+}
+
+/// `E` lane kernel over `i ∈ [start, end)`: both components of `W`
+/// independent points per group, identical per-point operation
+/// sequence at every `W`.
+#[allow(clippy::too_many_arguments)]
+fn e_row_lanes<const W: usize>(
+    e: &mut [[f64; 2]],
+    hz_row: &[f64],
+    hz_dn: &[f64],
+    s: f64,
+    start: usize,
+    end: usize,
+    do_ex: bool,
+    do_ey: bool,
+) {
+    let span = &mut e[start..end];
+    let mut chunks = span.chunks_exact_mut(W);
+    let mut base = start;
+    for chunk in &mut chunks {
+        for (l, p) in chunk.iter_mut().enumerate() {
+            let i = base + l;
+            if do_ex {
+                p[0] += s * (hz_row[i] - hz_dn[i]);
+            }
+            if do_ey {
+                p[1] -= s * (hz_row[i] - hz_row[i - 1]);
+            }
+        }
+        base += W;
+    }
+    for (off, p) in chunks.into_remainder().iter_mut().enumerate() {
+        let i = base + off;
+        if do_ex {
+            p[0] += s * (hz_row[i] - hz_dn[i]);
+        }
+        if do_ey {
+            p[1] -= s * (hz_row[i] - hz_row[i - 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Boundary;
+
+    fn pulsed(nx: usize, ny: usize, boundary: Boundary) -> TezGrid {
+        let mut g = TezGrid::new(nx, ny, boundary, 0.5);
+        g.inject_soft_source(10); // peak amplitude at the center
+        g
+    }
+
+    #[test]
+    fn pec_walls_keep_tangential_e_clamped() {
+        let mut g = pulsed(12, 9, Boundary::PecBox);
+        let w = Workers::serial();
+        for _ in 0..40 {
+            update_h(&w, &mut g, 1);
+            update_e(&w, &mut g, 1);
+        }
+        let (nx, ny) = (g.nx, g.ny);
+        for i in 0..nx {
+            assert_eq!(g.e[i][0], 0.0, "Ex bottom wall, i={i}");
+            assert_eq!(g.e[(ny - 1) * nx + i][0], 0.0, "Ex top wall, i={i}");
+        }
+        for j in 0..ny {
+            assert_eq!(g.e[j * nx][1], 0.0, "Ey left wall, j={j}");
+            assert_eq!(g.e[j * nx + nx - 1][1], 0.0, "Ey right wall, j={j}");
+        }
+        // The pulse spread: interior fields moved.
+        assert!(g.energy() > 0.0);
+    }
+
+    #[test]
+    fn pec_cavity_conserves_energy_after_the_source_dies() {
+        let mut g = pulsed(16, 16, Boundary::PecBox);
+        let w = Workers::serial();
+        for _ in 0..30 {
+            update_h(&w, &mut g, 1);
+            update_e(&w, &mut g, 1);
+        }
+        let before = g.energy();
+        for _ in 0..100 {
+            update_h(&w, &mut g, 1);
+            update_e(&w, &mut g, 1);
+        }
+        let after = g.energy();
+        // Leapfrog energy is not exactly the continuum energy, but it
+        // is bounded: a lossy (unstable) scheme would drift far.
+        assert!(
+            (after - before).abs() < 0.05 * before.max(1e-12),
+            "energy drifted: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn results_are_bit_exact_across_worker_counts_and_schedules() {
+        let reference = {
+            let mut g = pulsed(13, 7, Boundary::PecBox);
+            let w = Workers::serial();
+            for _ in 0..20 {
+                update_h(&w, &mut g, 1);
+                update_e(&w, &mut g, 1);
+            }
+            g
+        };
+        for workers in [2, 3] {
+            for policy in [
+                llp::Policy::Static,
+                llp::Policy::Dynamic { chunk: 1 },
+                llp::Policy::Guided { min_chunk: 2 },
+            ] {
+                let mut g = pulsed(13, 7, Boundary::PecBox);
+                let w = Workers::new(workers).with_policy(policy);
+                for _ in 0..20 {
+                    update_h(&w, &mut g, 1);
+                    update_e(&w, &mut g, 1);
+                }
+                assert_eq!(g.e, reference.e, "{workers} workers, {policy:?}");
+                assert_eq!(g.hz, reference.hz, "{workers} workers, {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_preserves_a_uniform_field() {
+        // A spatially uniform Ey has zero curl everywhere under
+        // periodic closure: nothing may move, including at the wrap
+        // columns a PEC box would clamp.
+        let mut g = TezGrid::new(9, 5, Boundary::Periodic, 0.5);
+        for p in &mut g.e {
+            p[1] = 3.0;
+        }
+        let w = Workers::serial();
+        for _ in 0..10 {
+            update_h(&w, &mut g, 1);
+            update_e(&w, &mut g, 1);
+        }
+        assert!(g.hz.iter().all(|&h| h == 0.0));
+        assert!(g.e.iter().all(|p| p[0] == 0.0 && p[1] == 3.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! A 2-D FDTD Maxwell solver (TEz polarization on a Yee grid) — the
+//! second physics workload of the multi-physics serving stack.
+//!
+//! The paper's claim is that its loop-level parallelization machinery
+//! is workload-agnostic: the doacross/scheduling laws were derived on
+//! a CFD code but apply to any vectorizable nest. This crate is the
+//! proof by construction. The finite-difference time-domain method
+//! marches Maxwell's curl equations on a staggered (Yee) grid — for
+//! the TEz polarization the fields are `Ex`, `Ey`, `Hz`, leapfrogged
+//! in time — and its two update sweeps are exactly the paper's shape:
+//! outer loops over grid rows carry the doacross parallelism, inner
+//! loops over the contiguous x direction are vectorizable but short.
+//!
+//! The update kernels (`update_e`, `update_h`) run on the same
+//! [`llp::Workers`] pool as F3D, dispatch per-kernel schedule
+//! overrides through [`llp::ScheduleMap`] and SLP lane widths through
+//! [`solver::WidthMap`], and emit the same span/flight-recorder
+//! vocabulary — so the autotuner, drift watchdog, and Prometheus
+//! telemetry apply unchanged.
+//!
+//! **Exactness policy**, inherited from the suite: every wide kernel
+//! variant vectorizes across *independent outputs* (points of a row)
+//! and never across a reduction, so results are bit-exact at every
+//! width, worker count, and schedule — pinned by the `simd_props`
+//! property suite. The physics is pinned separately by an analytic
+//! plane-wave regression: the discrete scheme's exact eigenmode
+//! propagates to machine precision, and its numerical dispersion
+//! stays within the textbook bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kernels;
+pub mod service;
+
+pub use grid::{Boundary, FieldChecksum, TezGrid};
+pub use service::{FdtdCase, FdtdRun, FdtdSolver, MAX_SIZE, MAX_STEPS, MIN_SIZE};

@@ -1,0 +1,434 @@
+//! Bounded, validated FDTD solves for the serving layer — the same
+//! contract [`f3d::service`] exposes, implemented over the generic
+//! [`solver::Solver`] driver.
+
+use crate::grid::{Boundary, FieldChecksum, TezGrid};
+use crate::kernels;
+use llp::{ObsReport, Policy, ScheduleMap, SpanKind, Timeline, Workers};
+use solver::{validate_width, Solver, SolverInstance, SolverSpec, WidthMap};
+
+/// Smallest served grid edge: below this the doacross rows cannot
+/// cover even a modest worker count and the case tests nothing.
+pub const MIN_SIZE: usize = 8;
+/// Largest served grid edge (`size × size` points), keeping a maximal
+/// case well under a second.
+pub const MAX_SIZE: usize = 128;
+/// Largest served step count.
+pub const MAX_STEPS: usize = 64;
+/// Largest served worker count (matches the F3D service cap).
+pub const MAX_WORKERS: usize = 64;
+/// Largest chunk / min-chunk parameter a schedule may carry.
+pub const MAX_CHUNK: usize = 1024;
+
+/// Courant number every served case runs at — safely inside the 2-D
+/// stability bound `1/√2` and pinned so cached results never depend on
+/// an ambient default.
+pub const SERVICE_COURANT: f64 = 0.5;
+
+/// A validated request for one bounded FDTD run: a `size × size` PEC
+/// cavity excited by the deterministic center source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdtdCase {
+    /// Grid edge in points ([`MIN_SIZE`]..=[`MAX_SIZE`]; the domain is
+    /// `size × size`).
+    pub size: usize,
+    /// Number of leapfrog steps (1..=[`MAX_STEPS`]).
+    pub steps: usize,
+    /// Worker count to run with (1..=[`MAX_WORKERS`]).
+    pub workers: usize,
+    /// Chunk-scheduling policy for the two doacross sweeps
+    /// ([`Policy::Static`] unless the request selects otherwise; chunk
+    /// parameters are capped at [`MAX_CHUNK`]).
+    pub schedule: Policy,
+    /// SLP lane width the update kernels run at (one of
+    /// [`solver::SUPPORTED_WIDTHS`]; 1 is the scalar reference).
+    /// Bit-exact at every width — a pure performance knob.
+    pub vector_width: usize,
+}
+
+impl FdtdCase {
+    /// Check every field against its cap.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field and its bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(MIN_SIZE..=MAX_SIZE).contains(&self.size) {
+            return Err(format!(
+                "size must be in {MIN_SIZE}..={MAX_SIZE}, got {}",
+                self.size
+            ));
+        }
+        let check = |name: &str, v: usize, max: usize| {
+            if (1..=max).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in 1..={max}, got {v}"))
+            }
+        };
+        check("steps", self.steps, MAX_STEPS)?;
+        check("workers", self.workers, MAX_WORKERS)?;
+        validate_width(self.vector_width)?;
+        match self.schedule.chunk_param() {
+            None => Ok(()),
+            Some(chunk) => check("chunk", chunk, MAX_CHUNK),
+        }
+    }
+
+    /// Stable label for this case, the obs-report case name — same
+    /// suffix grammar as the F3D labels (`-dyn{chunk}` / `-gui{min}` /
+    /// `-vw{width}`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let base = format!("fdtd/n{}s{}w{}", self.size, self.steps, self.workers);
+        let base = match self.schedule {
+            Policy::Static => base,
+            Policy::Dynamic { chunk } => format!("{base}-dyn{chunk}"),
+            Policy::Guided { min_chunk } => format!("{base}-gui{min_chunk}"),
+        };
+        if self.vector_width > 1 {
+            format!("{base}-vw{}", self.vector_width)
+        } else {
+            base
+        }
+    }
+
+    /// Canonical content string: every semantic field in a fixed order
+    /// with a fixed spelling (the schedule grammar shared with F3D), so
+    /// equal cases canonicalize byte-identically whatever their JSON
+    /// spelling, and `vector_width` always appears — explicitly, even
+    /// at the scalar default.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        let schedule = match self.schedule {
+            Policy::Static => "static".to_string(),
+            Policy::Dynamic { chunk } => format!("dynamic,chunk={chunk}"),
+            Policy::Guided { min_chunk } => format!("guided,chunk={min_chunk}"),
+        };
+        format!(
+            "size={};steps={};workers={};schedule={};vector_width={}",
+            self.size, self.steps, self.workers, schedule, self.vector_width
+        )
+    }
+}
+
+impl SolverSpec for FdtdCase {
+    fn validate(&self) -> Result<(), String> {
+        FdtdCase::validate(self)
+    }
+    fn canonical_string(&self) -> String {
+        FdtdCase::canonical_string(self)
+    }
+    fn label(&self) -> String {
+        FdtdCase::label(self)
+    }
+    fn workers(&self) -> usize {
+        self.workers
+    }
+    fn schedule(&self) -> Policy {
+        self.schedule
+    }
+    fn steps(&self) -> usize {
+        self.steps
+    }
+    fn vector_width(&self) -> usize {
+        self.vector_width
+    }
+}
+
+/// The FDTD Maxwell workload as a [`solver::Solver`]: the marker type
+/// the generic run driver and the serving layer dispatch on.
+pub struct FdtdSolver;
+
+/// One allocated FDTD solve: the Yee-grid state, the per-kernel lane
+/// widths, and the per-step energy history the output carries.
+pub struct FdtdInstance {
+    grid: TezGrid,
+    w_e: usize,
+    w_h: usize,
+    energy: Vec<f64>,
+}
+
+/// The physics half of a completed FDTD run.
+pub struct FdtdOutput {
+    /// Total field energy after each step — the residual-history
+    /// analogue (for a soft-sourced PEC cavity it rises during the
+    /// pulse, then stays bounded).
+    pub energy: Vec<f64>,
+    /// Per-field checksums (`ex`, `ey`, `hz`) after the final step.
+    pub checksums: Vec<FieldChecksum>,
+}
+
+impl Solver for FdtdSolver {
+    type Config = FdtdCase;
+    type Instance = FdtdInstance;
+
+    fn kind() -> &'static str {
+        "fdtd"
+    }
+
+    fn kernel_names() -> &'static [&'static str] {
+        // The two parallel sweeps, sorted — the vocabulary the tune
+        // database and the metrics labels use. The serial `source`
+        // phase is deliberately absent, like F3D's `bc`.
+        &["update_e", "update_h"]
+    }
+
+    fn memory_usage_estimate(case: &FdtdCase) -> u64 {
+        // Three scalar fields of f64 per point (Ex, Ey, Hz) dominate;
+        // the pool's per-worker footprint for these kernels is a few
+        // control words, budgeted generously. Deterministic by
+        // construction — the admission contract only needs it to scale
+        // with the request.
+        const FIELDS: u64 = 3;
+        const F64: u64 = 8;
+        const PER_WORKER: u64 = 4096;
+        (case.size as u64) * (case.size as u64) * FIELDS * F64
+            + (case.workers as u64) * PER_WORKER
+    }
+
+    fn create_instance(case: &FdtdCase, widths: &WidthMap) -> FdtdInstance {
+        FdtdInstance {
+            grid: TezGrid::new(case.size, case.size, Boundary::PecBox, SERVICE_COURANT),
+            w_e: widths.get("update_e"),
+            w_h: widths.get("update_h"),
+            energy: Vec::with_capacity(case.steps),
+        }
+    }
+}
+
+impl SolverInstance for FdtdInstance {
+    type Output = FdtdOutput;
+
+    fn step(&mut self, pool: &Workers, step: usize, schedules: Option<&ScheduleMap>) {
+        let rec = pool.recorder();
+        // Kernels named in the schedule map run on a kernel_view
+        // carrying their tuned worker count and policy; everything
+        // else inherits the pool's configuration — the same dispatch
+        // seam as the F3D stepper.
+        let kernel_pool = |name: &str| match schedules.and_then(|m| m.get(name)) {
+            Some((p, policy)) => pool.kernel_view(p, policy),
+            None => pool.kernel_view(pool.processors(), pool.policy()),
+        };
+        {
+            let _span = rec.span("source", SpanKind::Kernel);
+            self.grid.inject_soft_source(step);
+        }
+        {
+            let _span = rec.span("update_h", SpanKind::Kernel);
+            let kw = kernel_pool("update_h");
+            kernels::update_h(&kw, &mut self.grid, self.w_h);
+        }
+        {
+            let _span = rec.span("update_e", SpanKind::Kernel);
+            let kw = kernel_pool("update_e");
+            kernels::update_e(&kw, &mut self.grid, self.w_e);
+        }
+        self.energy.push(self.grid.energy());
+    }
+
+    fn finish(self) -> FdtdOutput {
+        FdtdOutput {
+            energy: self.energy,
+            checksums: self.grid.checksums(),
+        }
+    }
+}
+
+/// Everything one bounded FDTD run produces — the FDTD analogue of
+/// [`f3d::service::ServiceRun`], carrying the identical observability
+/// payload so the serving layer treats both uniformly.
+#[derive(Debug, Clone)]
+pub struct FdtdRun {
+    /// The case that was run.
+    pub case: FdtdCase,
+    /// Total field energy after each step.
+    pub energy: Vec<f64>,
+    /// Per-field checksums (`ex`, `ey`, `hz`) after the final step.
+    pub checksums: Vec<FieldChecksum>,
+    /// Synchronization events this run added to the pool.
+    pub sync_events: u64,
+    /// Span report drained from the pool's recorder (empty when the
+    /// pool does not record).
+    pub report: ObsReport,
+    /// Flight-recorder timeline drained from the pool (empty when the
+    /// pool carries no flight recorder).
+    pub timeline: Timeline,
+}
+
+/// Execute a validated case on `pool` and collect the results.
+///
+/// Deterministic in `(size, steps)`: the source is a fixed Gaussian
+/// pulse and the kernels are worker-count-invariant, so checksum
+/// equality across invocations is exact.
+///
+/// # Errors
+/// Returns the [`FdtdCase::validate`] error for out-of-bounds cases.
+pub fn run(case: &FdtdCase, pool: &Workers) -> Result<FdtdRun, String> {
+    run_tuned(case, pool, None, None)
+}
+
+/// [`run`] with per-kernel schedule and SLP-width overrides — the
+/// `"schedule": "auto"` path, fed from the tune database exactly as
+/// for F3D. Both axes are bit-exact, so tuning never changes a result.
+///
+/// # Errors
+/// Returns the [`FdtdCase::validate`] error for out-of-bounds cases.
+pub fn run_tuned(
+    case: &FdtdCase,
+    pool: &Workers,
+    schedules: Option<&ScheduleMap>,
+    widths: Option<&WidthMap>,
+) -> Result<FdtdRun, String> {
+    let run = solver::run_instrumented::<FdtdSolver>(case, pool, schedules, widths)?;
+    let out = run.output;
+    Ok(FdtdRun {
+        case: *case,
+        energy: out.energy,
+        checksums: out.checksums,
+        sync_events: run.sync_events,
+        report: run.report,
+        timeline: run.timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_case() -> FdtdCase {
+        FdtdCase {
+            size: 16,
+            steps: 8,
+            workers: 2,
+            schedule: Policy::Static,
+            vector_width: 1,
+        }
+    }
+
+    #[test]
+    fn validation_enforces_caps() {
+        assert!(base_case().validate().is_ok());
+        for (case, needle) in [
+            (
+                FdtdCase {
+                    size: MIN_SIZE - 1,
+                    ..base_case()
+                },
+                "size",
+            ),
+            (
+                FdtdCase {
+                    size: MAX_SIZE + 1,
+                    ..base_case()
+                },
+                "size",
+            ),
+            (
+                FdtdCase {
+                    steps: MAX_STEPS + 1,
+                    ..base_case()
+                },
+                "steps",
+            ),
+            (
+                FdtdCase {
+                    workers: 0,
+                    ..base_case()
+                },
+                "workers",
+            ),
+            (
+                FdtdCase {
+                    vector_width: 3,
+                    ..base_case()
+                },
+                "vector_width",
+            ),
+            (
+                FdtdCase {
+                    schedule: Policy::Dynamic {
+                        chunk: MAX_CHUNK + 1,
+                    },
+                    ..base_case()
+                },
+                "chunk",
+            ),
+        ] {
+            let err = case.validate().unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn canonical_string_is_fixed_and_total() {
+        let case = FdtdCase {
+            size: 32,
+            steps: 4,
+            workers: 3,
+            schedule: Policy::Guided { min_chunk: 2 },
+            vector_width: 4,
+        };
+        assert_eq!(
+            case.canonical_string(),
+            "size=32;steps=4;workers=3;schedule=guided,chunk=2;vector_width=4"
+        );
+        // The scalar default still spells its width.
+        assert!(base_case().canonical_string().ends_with("vector_width=1"));
+        assert_eq!(case.label(), "fdtd/n32s4w3-gui2-vw4");
+        assert_eq!(base_case().label(), "fdtd/n16s8w2");
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_billed() {
+        let pool = Workers::recorded(2);
+        let a = run(&base_case(), &pool).unwrap();
+        let b = run(&base_case(), &pool).unwrap();
+        assert_eq!(a.checksums, b.checksums);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.energy.len(), base_case().steps);
+        // Two doacross sweeps per step, each one synchronization.
+        assert_eq!(a.sync_events, 2 * base_case().steps as u64);
+        // The report carries all three spans under the case label.
+        let spans: Vec<&str> = a.report.spans.iter().map(|s| s.name.as_str()).collect();
+        for name in ["source", "update_h", "update_e"] {
+            assert!(spans.contains(&name), "missing span {name}: {spans:?}");
+        }
+        assert_eq!(a.report.case, base_case().label());
+    }
+
+    #[test]
+    fn tuned_overrides_never_change_results() {
+        let pool = Workers::recorded(3);
+        let reference = run(&base_case(), &pool).unwrap();
+
+        let mut schedules = ScheduleMap::new();
+        schedules.set("update_h", 2, Policy::Dynamic { chunk: 1 });
+        schedules.set("update_e", 1, Policy::Static);
+        let mut widths = WidthMap::new();
+        widths.set("update_h", 8);
+        widths.set("update_e", 2);
+        let tuned = run_tuned(&base_case(), &pool, Some(&schedules), Some(&widths)).unwrap();
+        assert_eq!(tuned.checksums, reference.checksums);
+        assert_eq!(tuned.energy, reference.energy);
+
+        // The case-level width knob is equally inert on results.
+        let wide = FdtdCase {
+            vector_width: 4,
+            ..base_case()
+        };
+        let wide_run = run(&wide, &pool).unwrap();
+        assert_eq!(wide_run.checksums, reference.checksums);
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_the_request() {
+        let small = FdtdSolver::memory_usage_estimate(&base_case());
+        let big = FdtdSolver::memory_usage_estimate(&FdtdCase {
+            size: MAX_SIZE,
+            ..base_case()
+        });
+        assert!(big > small);
+        // 3 f64 fields on a size² grid, plus the per-worker term.
+        assert_eq!(small, 16 * 16 * 3 * 8 + 2 * 4096);
+    }
+}

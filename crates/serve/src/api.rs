@@ -8,8 +8,10 @@
 //! and every list is capped before anything is allocated
 //! proportionally to it.
 
+use crate::solvers::{AnyCase, AnyRun, KINDS};
 use f3d::service::{ServiceCase, ServiceRun, ZoneSchedule};
 use f3d::validation::FieldChecksum;
+use fdtd::{FdtdCase, FdtdRun};
 use llp::advisor::{Advice, Advisor, LoopDecision, MeasuredAdvice};
 use llp::obs::attr::{kernel_overheads, KernelOverhead};
 use llp::obs::chrome::chrome_trace_with_summary;
@@ -54,13 +56,14 @@ fn require_finite(body: &Json, key: &str) -> Result<f64, String> {
 
 // ---------------------------------------------------------------- solve
 
-/// A parsed `POST /v1/solve` body: the bounded case, plus whether the
-/// client asked for `"schedule": "auto"` — per-kernel configurations
-/// resolved from the server's loaded tune database.
+/// A parsed `POST /v1/solve` body: the bounded case for whichever
+/// solver the `"solver"` field selected (`"f3d"` when omitted), plus
+/// whether the client asked for `"schedule": "auto"` — per-kernel
+/// configurations resolved from that solver's tune database.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolveRequest {
     /// The validated case to run.
-    pub case: ServiceCase,
+    pub case: AnyCase,
     /// `true` when the schedule was `"auto"`: the executor overlays
     /// the tune database's per-kernel configurations (falling back to
     /// the case defaults when no database is loaded).
@@ -73,50 +76,32 @@ pub struct SolveRequest {
     pub bypass: bool,
 }
 
-/// Parse a `POST /v1/solve` body into a bounded case. Omitted fields
-/// fall back to a small default case; `workers` defaults to
-/// `default_workers` (the shared pool's size). `schedule` selects the
-/// chunk-scheduling policy (`"static"`, `"dynamic"`, `"guided"`;
-/// default static) with `chunk` as the dynamic chunk size / guided
-/// floor — `chunk` is only meaningful for the self-scheduled policies
-/// and is rejected alongside `"static"`. `"schedule": "auto"` defers
-/// per-kernel configuration to the server's tune database and takes
-/// no chunk either. `vector_width` selects the SLP kernel-variant lane
-/// width (1, 2, 4, or 8; default 1 — results are bit-exact at every
-/// width).
-///
-/// # Errors
-/// Unknown fields, mistyped values, and out-of-cap cases are rejected
-/// with a message naming the problem.
-pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveRequest, String> {
-    let body = Json::parse(text)?;
-    parse_object(
-        &body,
-        &[
-            "zones",
-            "steps",
-            "workers",
-            "schedule",
-            "chunk",
-            "cache",
-            "zone_schedule",
-            "vector_width",
-        ],
-    )?;
-    let bypass = match body.get("cache") {
-        None => false,
+/// Parse the shared `"cache"` directive: `"use"` (default) or
+/// `"bypass"`.
+fn parse_cache_directive(body: &Json) -> Result<bool, String> {
+    match body.get("cache") {
+        None => Ok(false),
         Some(v) => match v.as_str() {
-            Some("use") => false,
-            Some("bypass") => true,
-            _ => return Err("`cache` must be \"use\" or \"bypass\"".to_string()),
+            Some("use") => Ok(false),
+            Some("bypass") => Ok(true),
+            _ => Err("`cache` must be \"use\" or \"bypass\"".to_string()),
         },
-    };
-    let field = |key: &str, default: usize| match body.get(key) {
+    }
+}
+
+fn usize_field(body: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match body.get(key) {
         None => Ok(default),
         Some(v) => v
             .as_usize()
             .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
-    };
+    }
+}
+
+/// Parse the shared `"schedule"`/`"chunk"` pair: `(auto, policy)`.
+/// `"auto"` defers per-kernel configuration to the tune database and
+/// takes no chunk.
+fn parse_schedule(body: &Json) -> Result<(bool, Policy), String> {
     let schedule_name = match body.get("schedule") {
         None => "static",
         Some(v) => v.as_str().ok_or("`schedule` must be a string")?,
@@ -140,6 +125,59 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
     } else {
         Policy::parse(schedule_name, chunk)?
     };
+    Ok((auto, schedule))
+}
+
+/// Parse a `POST /v1/solve` body into a bounded case. The `"solver"`
+/// field selects the physics (`"f3d"` when omitted); every other key
+/// belongs to the selected solver's vocabulary, so a typo'd or
+/// foreign field is still a 400. Omitted fields fall back to a small
+/// default case; `workers` defaults to `default_workers` (the shared
+/// pool's size). `schedule` selects the chunk-scheduling policy
+/// (`"static"`, `"dynamic"`, `"guided"`; default static) with `chunk`
+/// as the dynamic chunk size / guided floor — `chunk` is only
+/// meaningful for the self-scheduled policies and is rejected
+/// alongside `"static"`. `"schedule": "auto"` defers per-kernel
+/// configuration to the solver's tune database and takes no chunk
+/// either. `vector_width` selects the SLP kernel-variant lane width
+/// (1, 2, 4, or 8; default 1 — results are bit-exact at every width).
+///
+/// # Errors
+/// Unknown solvers, unknown fields, mistyped values, and out-of-cap
+/// cases are rejected with a message naming the problem.
+pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveRequest, String> {
+    let body = Json::parse(text)?;
+    let solver = match body.get("solver") {
+        None => "f3d",
+        Some(v) => v.as_str().ok_or("`solver` must be a string")?,
+    };
+    match solver {
+        "f3d" => parse_f3d_solve(&body, default_workers),
+        "fdtd" => parse_fdtd_solve(&body, default_workers),
+        other => Err(format!(
+            "unknown solver `{other}`; known solvers: {}",
+            KINDS.join(", ")
+        )),
+    }
+}
+
+fn parse_f3d_solve(body: &Json, default_workers: usize) -> Result<SolveRequest, String> {
+    parse_object(
+        body,
+        &[
+            "solver",
+            "zones",
+            "steps",
+            "workers",
+            "schedule",
+            "chunk",
+            "cache",
+            "zone_schedule",
+            "vector_width",
+        ],
+    )?;
+    let bypass = parse_cache_directive(body)?;
+    let (auto, schedule) = parse_schedule(body)?;
     let zone_schedule = match body.get("zone_schedule") {
         None => ZoneSchedule::Sequential,
         Some(v) => match (v.as_str(), v.as_usize()) {
@@ -153,18 +191,53 @@ pub fn parse_solve_body(text: &str, default_workers: usize) -> Result<SolveReque
         },
     };
     let case = ServiceCase {
-        zones: field("zones", 3)?,
-        steps: field("steps", 4)?,
-        workers: field("workers", default_workers)?,
+        zones: usize_field(body, "zones", 3)?,
+        steps: usize_field(body, "steps", 4)?,
+        workers: usize_field(body, "workers", default_workers)?,
         schedule,
         zone_schedule,
         // The scalar default: an explicit `"vector_width": 1` and an
         // omitted field parse to the same case (and hash to the same
         // cache key — the canonical string always spells the width).
-        vector_width: field("vector_width", 1)?,
+        vector_width: usize_field(body, "vector_width", 1)?,
     };
     case.validate()?;
-    Ok(SolveRequest { case, auto, bypass })
+    Ok(SolveRequest {
+        case: AnyCase::F3d(case),
+        auto,
+        bypass,
+    })
+}
+
+fn parse_fdtd_solve(body: &Json, default_workers: usize) -> Result<SolveRequest, String> {
+    parse_object(
+        body,
+        &[
+            "solver",
+            "size",
+            "steps",
+            "workers",
+            "schedule",
+            "chunk",
+            "cache",
+            "vector_width",
+        ],
+    )?;
+    let bypass = parse_cache_directive(body)?;
+    let (auto, schedule) = parse_schedule(body)?;
+    let case = FdtdCase {
+        size: usize_field(body, "size", 16)?,
+        steps: usize_field(body, "steps", 4)?,
+        workers: usize_field(body, "workers", default_workers)?,
+        schedule,
+        vector_width: usize_field(body, "vector_width", 1)?,
+    };
+    case.validate()?;
+    Ok(SolveRequest {
+        case: AnyCase::Fdtd(case),
+        auto,
+        bypass,
+    })
 }
 
 fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
@@ -183,19 +256,19 @@ fn checksum_json(zone: &str, sum: &FieldChecksum) -> Json {
 /// overhead split, measured-vs-modeled check, per-kernel overheads)
 /// and the `?trace=chrome` trace-event document.
 #[must_use]
-pub fn trace_documents(run: &ServiceRun, trace_id: u64) -> (Json, Json) {
-    let attr = AttributionReport::from_timeline(&run.timeline);
-    let kernels = kernel_overheads(&run.report, &attr);
+pub fn trace_documents(run: &AnyRun, trace_id: u64) -> (Json, Json) {
+    let attr = AttributionReport::from_timeline(run.timeline());
+    let kernels = kernel_overheads(run.report(), &attr);
     let attribution = Json::object(vec![
         ("trace_id", Json::from_u64(trace_id)),
-        ("case", Json::str(&run.case.label())),
+        ("case", Json::str(&run.label())),
         ("attribution", attr.to_json()),
         (
             "kernels",
             Json::Array(kernels.iter().map(KernelOverhead::to_json).collect()),
         ),
     ]);
-    let chrome = chrome_trace_with_summary(&run.timeline, &attr);
+    let chrome = chrome_trace_with_summary(run.timeline(), &attr);
     (attribution, chrome)
 }
 
@@ -276,6 +349,7 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json, cach
         ])
     });
     Json::object(vec![
+        ("solver", Json::str("f3d")),
         ("case", Json::object(case)),
         ("zone_level", zone_level),
         (
@@ -307,43 +381,115 @@ pub fn solve_response(run: &ServiceRun, trace_id: Option<u64>, tuned: Json, cach
     ])
 }
 
-// ----------------------------------------------------------------- tune
-
-/// Parse a `POST /v1/tune` body: an optional object overriding the
-/// calibration case (`zones`, `steps`, `trials`); an empty body means
-/// the defaults. The `deterministic` flag is the server's to set (it
-/// follows the job-gate test hook), never the client's.
-///
-/// # Errors
-/// Unknown fields, mistyped values, and out-of-cap specs are rejected
-/// with a message naming the problem.
-pub fn parse_tune_body(text: &str) -> Result<CalibrationSpec, String> {
-    let mut spec = CalibrationSpec::default();
-    if text.trim().is_empty() {
-        return Ok(spec);
+/// Render a completed FDTD run as the `/v1/solve` response body — the
+/// `"solver": "fdtd"` counterpart of [`solve_response`], same
+/// provenance contract (`trace_id`, `tuned`, `cache`). The physics
+/// payload is the per-step electromagnetic energy history and one
+/// whole-field checksum per field (`ex`, `ey`, `hz`).
+#[must_use]
+pub fn fdtd_solve_response(run: &FdtdRun, trace_id: Option<u64>, tuned: Json, cache: &str) -> Json {
+    let mut case = vec![
+        ("size", Json::from_usize(run.case.size)),
+        ("steps", Json::from_usize(run.case.steps)),
+        ("workers", Json::from_usize(run.case.workers)),
+        ("schedule", Json::str(run.case.schedule.name())),
+    ];
+    if let Some(chunk) = run.case.schedule.chunk_param() {
+        case.push(("chunk", Json::from_usize(chunk)));
     }
-    let body = Json::parse(text)?;
-    parse_object(&body, &["zones", "steps", "trials"])?;
-    let field = |key: &str, default: usize| match body.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .as_usize()
-            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
-    };
-    spec.zones = field("zones", spec.zones)?;
-    spec.steps = field("steps", spec.steps)?;
-    spec.trials = field("trials", spec.trials)?;
-    spec.validate()?;
-    Ok(spec)
+    case.push(("vector_width", Json::from_usize(run.case.vector_width)));
+    Json::object(vec![
+        ("solver", Json::str("fdtd")),
+        ("case", Json::object(case)),
+        (
+            "energy",
+            Json::Array(run.energy.iter().map(|&e| Json::Num(e)).collect()),
+        ),
+        (
+            "checksums",
+            Json::Array(
+                run.checksums
+                    .iter()
+                    .map(|sum| {
+                        Json::object(vec![
+                            ("field", Json::str(&sum.field)),
+                            ("sum", Json::Num(sum.sum)),
+                            ("sum_sq", Json::Num(sum.sum_sq)),
+                            ("min", Json::Num(sum.min)),
+                            ("max", Json::Num(sum.max)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("sync_events", Json::from_u64(run.sync_events)),
+        ("report", run.report.to_json()),
+        ("trace_id", trace_id.map_or(Json::Null, Json::from_u64)),
+        ("tuned", tuned),
+        ("cache", Json::str(cache)),
+    ])
 }
 
-/// Render the `GET /v1/tune` body: the calibration status (`"idle"`,
-/// `"calibrating"`, or `"ready"`), the current database, if any, and
-/// the kernels the drift watchdog currently flags stale.
+// ----------------------------------------------------------------- tune
+
+/// A parsed `POST /v1/tune` body: the calibration spec plus the
+/// solver whose database the calibration (re)builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneRequest {
+    /// Which solver to calibrate (`"f3d"` when the field is omitted).
+    pub solver: String,
+    /// The bounded calibration case.
+    pub spec: CalibrationSpec,
+}
+
+/// Parse a `POST /v1/tune` body: an optional object overriding the
+/// calibration case (`zones`, `steps`, `trials`) and selecting the
+/// solver to calibrate (`"solver"`, default `"f3d"`); an empty body
+/// means the defaults. The `deterministic` flag is the server's to set
+/// (it follows the job-gate test hook), never the client's.
+///
+/// # Errors
+/// Unknown solvers, unknown fields, mistyped values, and out-of-cap
+/// specs are rejected with a message naming the problem.
+pub fn parse_tune_body(text: &str) -> Result<TuneRequest, String> {
+    let mut spec = CalibrationSpec::default();
+    if text.trim().is_empty() {
+        return Ok(TuneRequest {
+            solver: "f3d".to_string(),
+            spec,
+        });
+    }
+    let body = Json::parse(text)?;
+    parse_object(&body, &["solver", "zones", "steps", "trials"])?;
+    let solver = match body.get("solver") {
+        None => "f3d",
+        Some(v) => v.as_str().ok_or("`solver` must be a string")?,
+    };
+    if !KINDS.contains(&solver) {
+        return Err(format!(
+            "unknown solver `{solver}`; known solvers: {}",
+            KINDS.join(", ")
+        ));
+    }
+    spec.zones = usize_field(&body, "zones", spec.zones)?;
+    spec.steps = usize_field(&body, "steps", spec.steps)?;
+    spec.trials = usize_field(&body, "trials", spec.trials)?;
+    spec.validate()?;
+    Ok(TuneRequest {
+        solver: solver.to_string(),
+        spec,
+    })
+}
+
+/// Render the `GET /v1/tune` body: the queried solver, its calibration
+/// status (`"idle"`, `"calibrating"`, or `"ready"`), its current
+/// database, if any, and the kernels the drift watchdog currently
+/// flags stale.
 #[must_use]
-pub fn tune_status_response(status: &str, db: Option<&TuneDb>) -> Json {
+pub fn tune_status_response(solver: &str, status: &str, db: Option<&TuneDb>) -> Json {
     let stale = db.map_or_else(Vec::new, TuneDb::stale_kernels);
     Json::object(vec![
+        ("solver", Json::str(solver)),
         ("status", Json::str(status)),
         ("db", db.map_or(Json::Null, TuneDb::to_json)),
         (
@@ -356,9 +502,10 @@ pub fn tune_status_response(status: &str, db: Option<&TuneDb>) -> Json {
 /// Render the immediate `POST /v1/tune` acknowledgement: calibration
 /// was accepted and runs in the background; poll `GET /v1/tune`.
 #[must_use]
-pub fn tune_started_response(spec: &CalibrationSpec) -> Json {
+pub fn tune_started_response(solver: &str, spec: &CalibrationSpec) -> Json {
     Json::object(vec![
         ("status", Json::str("calibrating")),
+        ("solver", Json::str(solver)),
         ("zones", Json::from_usize(spec.zones)),
         ("steps", Json::from_usize(spec.steps)),
         ("trials", Json::from_usize(spec.trials)),
@@ -882,12 +1029,27 @@ pub fn model_response(kind: &str, query: &str) -> Result<Json, String> {
 mod tests {
     use super::*;
 
+    /// Unwrap the f3d case a parsed request carries.
+    fn f3d_case(req: &SolveRequest) -> ServiceCase {
+        match &req.case {
+            AnyCase::F3d(c) => *c,
+            other => panic!("expected an f3d case, got {other:?}"),
+        }
+    }
+
+    fn fdtd_case(req: &SolveRequest) -> FdtdCase {
+        match &req.case {
+            AnyCase::Fdtd(c) => *c,
+            other => panic!("expected an fdtd case, got {other:?}"),
+        }
+    }
+
     #[test]
     fn solve_body_defaults_and_caps() {
         let req = parse_solve_body("{}", 4).unwrap();
         assert!(!req.auto);
         assert_eq!(
-            req.case,
+            f3d_case(&req),
             ServiceCase {
                 zones: 3,
                 steps: 4,
@@ -899,7 +1061,7 @@ mod tests {
         );
         let req = parse_solve_body(r#"{"zones": 2, "steps": 8, "workers": 1}"#, 4).unwrap();
         assert_eq!(
-            req.case,
+            f3d_case(&req),
             ServiceCase {
                 zones: 2,
                 steps: 8,
@@ -918,16 +1080,67 @@ mod tests {
     }
 
     #[test]
+    fn solve_body_selects_a_solver() {
+        // An explicit f3d spelling parses identically to the omitted
+        // default.
+        let explicit = parse_solve_body(r#"{"solver": "f3d", "zones": 2}"#, 4).unwrap();
+        let omitted = parse_solve_body(r#"{"zones": 2}"#, 4).unwrap();
+        assert_eq!(explicit, omitted);
+
+        let req = parse_solve_body(r#"{"solver": "fdtd"}"#, 4).unwrap();
+        assert_eq!(
+            fdtd_case(&req),
+            FdtdCase {
+                size: 16,
+                steps: 4,
+                workers: 4,
+                schedule: Policy::Static,
+                vector_width: 1,
+            }
+        );
+        let req = parse_solve_body(
+            r#"{"solver": "fdtd", "size": 32, "steps": 2, "workers": 2,
+                "schedule": "dynamic", "chunk": 3, "vector_width": 4}"#,
+            4,
+        )
+        .unwrap();
+        let case = fdtd_case(&req);
+        assert_eq!((case.size, case.steps, case.workers), (32, 2, 2));
+        assert_eq!(case.schedule, Policy::Dynamic { chunk: 3 });
+        assert_eq!(case.vector_width, 4);
+        // auto and cache directives work for every solver.
+        let req = parse_solve_body(r#"{"solver": "fdtd", "schedule": "auto"}"#, 4).unwrap();
+        assert!(req.auto);
+        let req = parse_solve_body(r#"{"solver": "fdtd", "cache": "bypass"}"#, 4).unwrap();
+        assert!(req.bypass);
+
+        // The unknown-solver error names the known vocabulary.
+        let err = parse_solve_body(r#"{"solver": "mhd"}"#, 4).unwrap_err();
+        assert!(err.contains("`mhd`"), "{err}");
+        assert!(err.contains("f3d") && err.contains("fdtd"), "{err}");
+        assert!(parse_solve_body(r#"{"solver": 3}"#, 4).is_err());
+        // Foreign fields are rejected per solver: `zones` belongs to
+        // f3d, `size` to fdtd.
+        assert!(parse_solve_body(r#"{"solver": "fdtd", "zones": 2}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"solver": "fdtd", "zone_schedule": 2}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"size": 16}"#, 4).is_err());
+        // Out-of-cap fdtd cases are rejected by case validation.
+        assert!(parse_solve_body(r#"{"solver": "fdtd", "size": 4}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"solver": "fdtd", "size": 9999}"#, 4).is_err());
+        assert!(parse_solve_body(r#"{"solver": "fdtd", "vector_width": 3}"#, 4).is_err());
+    }
+
+    #[test]
     fn solve_body_selects_a_schedule() {
         let req = parse_solve_body(r#"{"schedule": "dynamic", "chunk": 2}"#, 4).unwrap();
-        assert_eq!(req.case.schedule, Policy::Dynamic { chunk: 2 });
+        assert_eq!(req.case.schedule(), Policy::Dynamic { chunk: 2 });
         assert!(!req.auto);
         let req = parse_solve_body(r#"{"schedule": "dynamic"}"#, 4).unwrap();
-        assert_eq!(req.case.schedule, Policy::Dynamic { chunk: 1 });
+        assert_eq!(req.case.schedule(), Policy::Dynamic { chunk: 1 });
         let req = parse_solve_body(r#"{"schedule": "guided", "chunk": 3}"#, 4).unwrap();
-        assert_eq!(req.case.schedule, Policy::Guided { min_chunk: 3 });
+        assert_eq!(req.case.schedule(), Policy::Guided { min_chunk: 3 });
         let req = parse_solve_body(r#"{"schedule": "static"}"#, 4).unwrap();
-        assert_eq!(req.case.schedule, Policy::Static);
+        assert_eq!(req.case.schedule(), Policy::Static);
         // chunk is a self-scheduling parameter: meaningless for static,
         // never zero, bounded by the case validation.
         assert!(parse_solve_body(r#"{"schedule": "static", "chunk": 2}"#, 4).is_err());
@@ -945,7 +1158,7 @@ mod tests {
         assert!(req.auto);
         // The case itself carries the static default; the executor
         // overlays the per-kernel configurations at run time.
-        assert_eq!(req.case.schedule, Policy::Static);
+        assert_eq!(req.case.schedule(), Policy::Static);
         // auto takes no chunk, and the error says whose fault it is.
         let err = parse_solve_body(r#"{"schedule": "auto", "chunk": 2}"#, 4).unwrap_err();
         assert!(err.contains("auto"), "{err}");
@@ -955,11 +1168,11 @@ mod tests {
     #[test]
     fn solve_body_selects_a_zone_schedule() {
         let req = parse_solve_body(r#"{"zones": 4, "zone_schedule": 2}"#, 4).unwrap();
-        assert_eq!(req.case.zone_schedule, ZoneSchedule::Zones(2));
+        assert_eq!(f3d_case(&req).zone_schedule, ZoneSchedule::Zones(2));
         let req = parse_solve_body(r#"{"zone_schedule": "sequential"}"#, 4).unwrap();
-        assert_eq!(req.case.zone_schedule, ZoneSchedule::Sequential);
+        assert_eq!(f3d_case(&req).zone_schedule, ZoneSchedule::Sequential);
         let req = parse_solve_body("{}", 4).unwrap();
-        assert_eq!(req.case.zone_schedule, ZoneSchedule::Sequential);
+        assert_eq!(f3d_case(&req).zone_schedule, ZoneSchedule::Sequential);
         // Shard counts ride the case validation: 1..=MAX_ZONES.
         assert!(parse_solve_body(r#"{"zone_schedule": 0}"#, 4).is_err());
         assert!(parse_solve_body(r#"{"zone_schedule": 99}"#, 4).is_err());
@@ -984,11 +1197,19 @@ mod tests {
 
     #[test]
     fn tune_body_defaults_overrides_and_caps() {
-        let spec = parse_tune_body("").unwrap();
-        assert_eq!(spec, CalibrationSpec::default());
-        let spec = parse_tune_body(r#"{"zones": 1, "steps": 3, "trials": 1}"#).unwrap();
+        let req = parse_tune_body("").unwrap();
+        assert_eq!(req.spec, CalibrationSpec::default());
+        assert_eq!(req.solver, "f3d");
+        let req = parse_tune_body(r#"{"zones": 1, "steps": 3, "trials": 1}"#).unwrap();
+        let spec = req.spec;
         assert_eq!((spec.zones, spec.steps, spec.trials), (1, 3, 1));
         assert!(!spec.deterministic, "deterministic is the server's call");
+        // The solver field picks whose database gets rebuilt.
+        let req = parse_tune_body(r#"{"solver": "fdtd", "trials": 1}"#).unwrap();
+        assert_eq!(req.solver, "fdtd");
+        let err = parse_tune_body(r#"{"solver": "mhd"}"#).unwrap_err();
+        assert!(err.contains("f3d") && err.contains("fdtd"), "{err}");
+        assert!(parse_tune_body(r#"{"solver": 1}"#).is_err());
         assert!(parse_tune_body(r#"{"zones": 99}"#).is_err());
         assert!(parse_tune_body(r#"{"trials": 0}"#).is_err());
         assert!(parse_tune_body(r#"{"deterministic": true}"#).is_err());
@@ -1001,6 +1222,7 @@ mod tests {
         assert_eq!(none.get("source").and_then(Json::as_str), Some("default"));
         let db = TuneDb {
             schema_version: tune::TUNE_SCHEMA_VERSION,
+            solver: "f3d".to_string(),
             pool_width: 2,
             zones: 1,
             steps: 1,
@@ -1039,12 +1261,15 @@ mod tests {
     #[test]
     fn solve_body_selects_a_vector_width() {
         let req = parse_solve_body(r#"{"vector_width": 4}"#, 4).unwrap();
-        assert_eq!(req.case.vector_width, 4);
+        assert_eq!(req.case.vector_width(), 4);
         // An explicit scalar width parses to the same case as omission.
         let explicit = parse_solve_body(r#"{"vector_width": 1}"#, 4).unwrap();
         let omitted = parse_solve_body("{}", 4).unwrap();
         assert_eq!(explicit.case, omitted.case);
-        assert_eq!(explicit.case.content_hash(), omitted.case.content_hash());
+        assert_eq!(
+            f3d_case(&explicit).content_hash(),
+            f3d_case(&omitted).content_hash()
+        );
         // Out-of-vocabulary widths are rejected by case validation.
         assert!(parse_solve_body(r#"{"vector_width": 0}"#, 4).is_err());
         assert!(parse_solve_body(r#"{"vector_width": 3}"#, 4).is_err());

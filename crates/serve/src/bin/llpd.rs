@@ -3,12 +3,18 @@
 //! ```text
 //! llpd [--addr 127.0.0.1:8080] [--workers N] [--shards N] [--queue N]
 //!      [--deadline-secs N] [--cache-capacity N] [--tune-db PATH]
-//!      [--telemetry-window-ms N] [--telemetry-out PATH]
+//!      [--memory-budget BYTES] [--telemetry-window-ms N]
+//!      [--telemetry-out PATH]
 //! ```
 //!
 //! `--cache-capacity` bounds the content-addressed solve-result cache
 //! (entries; 0 disables caching — identical in-flight solves still
 //! coalesce).
+//!
+//! `--memory-budget` (or the `LLPD_MEM_BUDGET` environment variable)
+//! caps the estimated per-solve memory footprint in bytes; over-budget
+//! solves are rejected with 413 before any pool work. Unset admits
+//! everything.
 //!
 //! `--tune-db` (or the `LLPD_TUNE_DB` environment variable) names a
 //! tune database to load at startup; `"schedule": "auto"` solves and
@@ -91,9 +97,18 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Paths), String> {
                 paths.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?));
             }
             "--tune-db" => paths.tune_db = Some(PathBuf::from(value("--tune-db")?)),
+            "--memory-budget" => {
+                let bytes: u64 = value("--memory-budget")?
+                    .parse()
+                    .map_err(|_| "--memory-budget must be a positive byte count".to_string())?;
+                if bytes == 0 {
+                    return Err("--memory-budget must be a positive byte count".to_string());
+                }
+                config.memory_budget = Some(bytes);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--cache-capacity N] [--tune-db PATH] [--telemetry-window-ms N] [--telemetry-out PATH]"
+                    "usage: llpd [--addr HOST:PORT] [--workers N] [--shards N] [--queue N] [--deadline-secs N] [--cache-capacity N] [--tune-db PATH] [--memory-budget BYTES] [--telemetry-window-ms N] [--telemetry-out PATH]"
                         .to_string(),
                 )
             }
@@ -152,6 +167,9 @@ fn main() {
         }
     };
     config.tune_db = load_tune_db(paths.tune_db);
+    if config.memory_budget.is_none() {
+        config.memory_budget = llp::env::positive_usize("LLPD_MEM_BUDGET").map(|v| v as u64);
+    }
     let workers = config.workers;
     let server = match Server::start(config) {
         Ok(server) => server,
@@ -194,6 +212,8 @@ mod tests {
             "5",
             "--telemetry-window-ms",
             "250",
+            "--memory-budget",
+            "1048576",
         ]
         .iter()
         .map(ToString::to_string)
@@ -206,8 +226,11 @@ mod tests {
         assert_eq!(config.queue_capacity, 3);
         assert_eq!(config.cache_capacity, 5);
         assert_eq!(config.telemetry_window_ms, 250);
+        assert_eq!(config.memory_budget, Some(1_048_576));
         assert_eq!(paths, Paths::default());
         assert!(parse_args(&["--cache-capacity".to_string(), "x".to_string()]).is_err());
+        assert!(parse_args(&["--memory-budget".to_string(), "0".to_string()]).is_err());
+        assert!(parse_args(&["--memory-budget".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--shards".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(&["--workers".to_string(), "0".to_string()]).is_err());
         assert!(parse_args(&["--telemetry-window-ms".to_string(), "x".to_string()]).is_err());

@@ -9,13 +9,15 @@
 //! Two structures implement the reuse:
 //!
 //! * [`ContentKey`] — a stable canonicalization of a solve request.
-//!   The key is built from the *parsed* [`ServiceCase`], not the raw
+//!   The key is built from the *parsed* [`AnyCase`], not the raw
 //!   body bytes, so JSON key order and whitespace cannot split the
-//!   cache; it embeds the tune-database generation for `auto` solves so
-//!   a recalibration invalidates tuned entries without flushing
-//!   anything else, and carries an FNV-1a checksum of the canonical
-//!   form for compact external reporting. Lookup and storage use the
-//!   full canonical string, so hash collisions cannot alias results.
+//!   cache; it prefixes the solver kind so equal field spellings of
+//!   different physics can never alias; it embeds the tune-database
+//!   generation for `auto` solves so a recalibration invalidates tuned
+//!   entries without flushing anything else, and carries an FNV-1a
+//!   checksum of the canonical form for compact external reporting.
+//!   Lookup and storage use the full canonical string, so hash
+//!   collisions cannot alias results.
 //! * [`SolveCache`] — a bounded LRU mapping canonical keys to
 //!   pre-rendered response bodies (`Arc<String>`: a hit is a clone and
 //!   a socket write, no recomputation and no JSON re-serialization).
@@ -24,7 +26,7 @@
 //! admission queue it guards; this module owns only the pure data
 //! structures, which keeps them directly testable.
 
-use f3d::service::ServiceCase;
+use crate::solvers::AnyCase;
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -39,16 +41,21 @@ pub struct ContentKey {
 }
 
 impl ContentKey {
-    /// Build the key for a validated case. `auto` distinguishes
-    /// tune-db-overlaid solves, and `tune_generation` (bumped every
-    /// time the server's tune database is replaced) keeps stale tuned
-    /// results from outliving a recalibration. Non-auto solves pass
-    /// generation 0: their results do not depend on the database.
+    /// Build the key for a validated case. The canonical form leads
+    /// with the solver kind (`solve/f3d/…`, `solve/fdtd/…`) so two
+    /// physics whose field spellings coincide key injectively — an
+    /// omitted `"solver"` field parses to the `f3d` default and
+    /// therefore shares the explicit spelling's key. `auto`
+    /// distinguishes tune-db-overlaid solves, and `tune_generation`
+    /// (bumped every time a tune database is replaced) keeps stale
+    /// tuned results from outliving a recalibration. Non-auto solves
+    /// pass generation 0: their results do not depend on the database.
     #[must_use]
-    pub fn for_case(case: &ServiceCase, auto: bool, tune_generation: u64) -> Self {
+    pub fn for_case(case: &AnyCase, auto: bool, tune_generation: u64) -> Self {
         let generation = if auto { tune_generation } else { 0 };
         let canonical = format!(
-            "solve/{};auto={};tune_gen={}",
+            "solve/{}/{};auto={};tune_gen={}",
+            case.kind(),
             case.canonical_string(),
             auto,
             generation
@@ -168,19 +175,27 @@ impl SolveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use f3d::service::ZoneSchedule;
+    use f3d::service::{ServiceCase, ZoneSchedule};
     use llp::Policy;
     use std::sync::Arc;
 
-    fn case(zones: usize) -> ServiceCase {
-        ServiceCase {
+    fn case(zones: usize) -> AnyCase {
+        AnyCase::F3d(ServiceCase {
             zones,
             steps: 3,
             workers: 2,
             schedule: Policy::Static,
             zone_schedule: ZoneSchedule::Sequential,
             vector_width: 1,
-        }
+        })
+    }
+
+    fn f3d_variant(f: impl FnOnce(&mut ServiceCase)) -> AnyCase {
+        let AnyCase::F3d(mut c) = case(2) else {
+            unreachable!()
+        };
+        f(&mut c);
+        AnyCase::F3d(c)
     }
 
     fn key(zones: usize) -> ContentKey {
@@ -192,31 +207,21 @@ mod tests {
         let base = key(2);
         assert_eq!(
             base.canonical(),
-            "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
+            "solve/f3d/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
         );
         assert_ne!(base, key(3));
         // The width is a semantic field, always spelled in the key: an
         // explicit scalar width and an omitted one build the same case
         // (api parsing) and therefore the same key, while a wide solve
         // keys separately.
-        let wide = ContentKey::for_case(
-            &ServiceCase {
-                vector_width: 4,
-                ..case(2)
-            },
-            false,
-            0,
-        );
+        let wide = ContentKey::for_case(&f3d_variant(|c| c.vector_width = 4), false, 0);
         assert_ne!(base, wide);
         assert!(wide.canonical().contains("vector_width=4"));
         // The zone schedule is a semantic field: a zone-parallel solve
         // keys separately from the sequential one (same answer, but the
         // response's zone_level block differs).
         let zoned = ContentKey::for_case(
-            &ServiceCase {
-                zone_schedule: ZoneSchedule::Zones(2),
-                ..case(2)
-            },
+            &f3d_variant(|c| c.zone_schedule = ZoneSchedule::Zones(2)),
             false,
             0,
         );
@@ -233,6 +238,26 @@ mod tests {
             ContentKey::for_case(&case(2), false, 0)
         );
         assert_eq!(base.digest().len(), 16);
+    }
+
+    #[test]
+    fn solver_kind_prefixes_the_key() {
+        let fdtd = ContentKey::for_case(
+            &AnyCase::Fdtd(fdtd::FdtdCase {
+                size: 16,
+                steps: 3,
+                workers: 2,
+                schedule: Policy::Static,
+                vector_width: 1,
+            }),
+            false,
+            0,
+        );
+        assert_eq!(
+            fdtd.canonical(),
+            "solve/fdtd/size=16;steps=3;workers=2;schedule=static;vector_width=1;auto=false;tune_gen=0"
+        );
+        assert_ne!(fdtd, key(2), "solver kinds namespace the cache");
     }
 
     #[test]

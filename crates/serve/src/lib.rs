@@ -4,12 +4,16 @@
 //! The binary `llpd` exposes three kinds of queries over one shared
 //! doacross pool:
 //!
-//! * `POST /v1/solve` — a bounded F3D multi-zone solver run
-//!   ([`f3d::service`]) returning residual history, force coefficients,
-//!   field checksums, and the run's observability span report;
+//! * `POST /v1/solve` — a bounded solver run for any registered
+//!   physics ([`solvers`]): the default `"solver": "f3d"` multi-zone
+//!   flow solve ([`f3d::service`]) returning residual history, force
+//!   coefficients, field checksums, and the run's observability span
+//!   report, or `"solver": "fdtd"` for the 2-D FDTD Maxwell solve
+//!   ([`fdtd`]) returning the energy history and field checksums;
 //!   `"schedule": "auto"` resolves per-kernel configurations from the
-//!   loaded tune database ([`tune`]) — bit-exact with the defaults,
-//!   only cheaper;
+//!   solver's tune database ([`tune`]) — bit-exact with the defaults,
+//!   only cheaper. Solves whose estimated memory footprint exceeds
+//!   `--memory-budget` are rejected with 413 before any pool work;
 //! * `POST /v1/advise` — §4-style parallelize-or-not advice
 //!   ([`llp::advisor`]) for a submitted loop profile, overlaid with the
 //!   tune database's measured choices when kernels match;
@@ -52,6 +56,7 @@ pub mod log;
 pub mod metrics;
 pub mod server;
 pub mod signal;
+pub mod solvers;
 pub mod trace;
 
 pub use server::{Server, ServerConfig};

@@ -8,6 +8,7 @@
 //! they must agree with the pool's own synchronization-event counter —
 //! an invariant the integration tests check end to end.
 
+use crate::solvers::KINDS as SOLVERS;
 use f3d::kernels::SUPPORTED_WIDTHS;
 use llp::obs::json::Json;
 use llp::obs::Histogram;
@@ -21,15 +22,18 @@ pub const ENDPOINTS: [&str; 9] = [
     "solve", "advise", "model", "metrics", "trace", "tune", "health", "stats", "other",
 ];
 
-/// The parallel kernels with per-kernel solve-seconds counters, plus a
-/// fold-in slot for anything outside the fixed vocabulary.
-pub const KERNELS: [&str; 7] = [
+/// The parallel kernels with per-kernel solve-seconds counters — the
+/// f3d vocabulary followed by the fdtd one — plus a fold-in slot for
+/// anything outside the fixed set.
+pub const KERNELS: [&str; 9] = [
     "j_factor",
     "k_factor",
     "l_factor_scatter",
     "l_factor_solve",
     "rhs",
     "update",
+    "update_e",
+    "update_h",
     "other",
 ];
 
@@ -60,6 +64,11 @@ pub struct Metrics {
     zone_tasks_total: AtomicU64,
     zone_shards_last: AtomicU64,
     zone_peak_ready_last: AtomicU64,
+    /// Executed solves by solver kind, indexed in
+    /// [`crate::solvers::KINDS`] order.
+    solves_by_solver: [AtomicU64; SOLVERS.len()],
+    /// Solves rejected by memory-budget admission control (413).
+    solves_rejected_memory_total: AtomicU64,
     /// Executed solves by the vector width they ran at, indexed in
     /// [`SUPPORTED_WIDTHS`] order.
     solves_by_width: [AtomicU64; SUPPORTED_WIDTHS.len()],
@@ -112,6 +121,8 @@ impl Metrics {
             zone_tasks_total: AtomicU64::new(0),
             zone_shards_last: AtomicU64::new(0),
             zone_peak_ready_last: AtomicU64::new(0),
+            solves_by_solver: std::array::from_fn(|_| AtomicU64::new(0)),
+            solves_rejected_memory_total: AtomicU64::new(0),
             solves_by_width: std::array::from_fn(|_| AtomicU64::new(0)),
             solves_by_schedule: std::array::from_fn(|_| AtomicU64::new(0)),
             kernel_seconds_bits: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -258,6 +269,21 @@ impl Metrics {
             .store(peak_ready, Ordering::Relaxed);
     }
 
+    /// Count one executed solve of `kind` (see [`crate::solvers::KINDS`];
+    /// unknown kinds fold into the first slot — they cannot reach the
+    /// executor, admission rejects them).
+    pub fn solve_solver(&self, kind: &str) {
+        let idx = SOLVERS.iter().position(|&k| k == kind).unwrap_or(0);
+        self.solves_by_solver[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one solve rejected with 413 because its estimated memory
+    /// footprint exceeded the configured budget.
+    pub fn solve_rejected_memory(&self) {
+        self.solves_rejected_memory_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one executed solve at `width` lanes. Unsupported widths
     /// cannot reach the executor (admission validates them), but an
     /// unknown value folds into the scalar bucket rather than panicking
@@ -375,6 +401,20 @@ impl Metrics {
                     ("shards_last", load(&self.zone_shards_last)),
                     ("peak_ready_last", load(&self.zone_peak_ready_last)),
                 ]),
+            ),
+            (
+                "solves_by_solver",
+                Json::Object(
+                    SOLVERS
+                        .iter()
+                        .zip(&self.solves_by_solver)
+                        .map(|(&kind, counter)| (kind.to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
+                "solves_rejected_memory_total",
+                load(&self.solves_rejected_memory_total),
             ),
             (
                 "solves_by_vector_width",
@@ -567,6 +607,12 @@ impl Metrics {
             "Tune entries the drift watchdog has flagged stale.",
             load(&self.tune_entries_stale).to_string(),
         );
+        plain(
+            "solves_rejected_memory_total",
+            "counter",
+            "Solves rejected by memory-budget admission control.",
+            load(&self.solves_rejected_memory_total).to_string(),
+        );
         // Cache and zone counter families.
         for (name, help, cell) in [
             (
@@ -644,6 +690,16 @@ impl Metrics {
         for (status, counter) in TRACKED_STATUSES.iter().zip(&self.by_status) {
             out.push_str(&format!(
                 "llpd_responses_total{{status=\"{status}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str(
+            "# HELP llpd_solves_by_solver_total Executed solves, by solver kind.\n\
+             # TYPE llpd_solves_by_solver_total counter\n",
+        );
+        for (kind, counter) in SOLVERS.iter().zip(&self.solves_by_solver) {
+            out.push_str(&format!(
+                "llpd_solves_by_solver_total{{solver=\"{kind}\"}} {}\n",
                 load(counter)
             ));
         }
@@ -772,6 +828,39 @@ mod tests {
         assert_eq!(by_width.get("2").unwrap().as_u64(), Some(0));
         assert_eq!(by_width.get("4").unwrap().as_u64(), Some(2));
         assert_eq!(by_width.get("8").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn solver_counters_land_in_the_snapshot() {
+        let m = Metrics::new();
+        m.solve_solver("f3d");
+        m.solve_solver("fdtd");
+        m.solve_solver("fdtd");
+        m.solve_solver("nonsense"); // folds into the first slot
+        m.solve_rejected_memory();
+        let j = m.to_json(1, 1, 0, 0);
+        let by_solver = j.get("solves_by_solver").unwrap();
+        assert_eq!(by_solver.get("f3d").unwrap().as_u64(), Some(2));
+        assert_eq!(by_solver.get("fdtd").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            j.get("solves_rejected_memory_total").unwrap().as_u64(),
+            Some(1)
+        );
+        let text = m.to_prometheus(1, 1, 0, 0);
+        assert!(text.contains("llpd_solves_by_solver_total{solver=\"f3d\"} 2\n"));
+        assert!(text.contains("llpd_solves_by_solver_total{solver=\"fdtd\"} 2\n"));
+        assert!(text.contains("llpd_solves_rejected_memory_total 1\n"));
+    }
+
+    #[test]
+    fn fdtd_kernels_have_their_own_seconds_buckets() {
+        let m = Metrics::new();
+        m.kernel_seconds("update_e", 0.25);
+        m.kernel_seconds("update_h", 0.5);
+        let kernels = m.to_json(1, 1, 0, 0).get("kernel_seconds").unwrap().clone();
+        assert_eq!(kernels.get("update_e").unwrap().as_f64(), Some(0.25));
+        assert_eq!(kernels.get("update_h").unwrap().as_f64(), Some(0.5));
+        assert_eq!(kernels.get("other").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -65,6 +65,7 @@ use crate::cache::{ContentKey, SolveCache, DEFAULT_CACHE_CAPACITY};
 use crate::evloop::{self, Conn, PollFd, ReadOutcome, WakeReceiver, Waker, POLLIN, POLLOUT};
 use crate::http::{parse_request_bytes, render_response, Parse, Request, Response, MAX_HEAD_BYTES};
 use crate::metrics::Metrics;
+use crate::solvers::{AnyCase, AnyRun, KINDS};
 use crate::trace::{TraceEntry, TraceStore};
 use f3d::service::MAX_WORKERS;
 use llp::obs::attr::kernel_overheads;
@@ -79,7 +80,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-use tune::{calibrate, expected_cost_ns, CalibrationSpec, DriftConfig, DriftTracker, TuneDb};
+use tune::{
+    calibrate, calibrate_fdtd, expected_cost_ns, CalibrationSpec, DriftConfig, DriftTracker, TuneDb,
+};
 
 /// Default shard width used when [`ServerConfig::shards`] is 0 and
 /// `LLPD_SHARDS` is unset: the pool is cut into slices of this many
@@ -145,8 +148,15 @@ pub struct ServerConfig {
     /// Tune database loaded at startup (`llpd --tune-db` /
     /// `LLPD_TUNE_DB`): per-kernel configurations `"schedule": "auto"`
     /// solves resolve against until a `POST /v1/tune` calibration
-    /// replaces it.
+    /// replaces it. The database names its solver; it seeds that
+    /// solver's slot and other solvers start untuned.
     pub tune_db: Option<TuneDb>,
+    /// Peak estimated solve footprint in bytes admitted per request
+    /// (`llpd --memory-budget` / `LLPD_MEM_BUDGET`): a solve whose
+    /// [`AnyCase::memory_usage_estimate`] exceeds the budget is
+    /// rejected with `413` before it touches the cache, the queue, or
+    /// the pool. `None` (the default) admits everything.
+    pub memory_budget: Option<u64>,
     /// Width of one telemetry window in milliseconds (`/v1/stats`, the
     /// drift watchdog). `0` disables continuous telemetry entirely —
     /// the series records nothing and allocates nothing, and the drift
@@ -172,6 +182,7 @@ impl Default for ServerConfig {
             job_gate: None,
             job_fault: None,
             tune_db: None,
+            memory_budget: None,
             telemetry_window_ms: DEFAULT_WINDOW_MS,
             drift_config: DriftConfig::default(),
         }
@@ -289,8 +300,8 @@ struct Waiter {
 
 enum JobKind {
     Solve {
-        case: f3d::service::ServiceCase,
-        /// `"schedule": "auto"`: overlay the tune database's
+        case: AnyCase,
+        /// `"schedule": "auto"`: overlay the solver's tune database's
         /// per-kernel configurations.
         auto: bool,
     },
@@ -318,13 +329,14 @@ struct Completion {
 }
 
 /// The autotuner's server-side state: whether a calibration is
-/// running (one at a time; concurrent requests get 429), the current
-/// database — seeded from [`ServerConfig::tune_db`], replaced by each
-/// completed calibration — and a generation counter the solve-cache
-/// keys embed so a recalibration invalidates `auto` entries.
+/// running (one at a time across every solver; concurrent requests get
+/// 429), one database slot per solver kind — seeded from
+/// [`ServerConfig::tune_db`], each replaced by its solver's completed
+/// calibrations — and a generation counter the solve-cache keys embed
+/// so a recalibration invalidates `auto` entries.
 struct TuneState {
     running: AtomicBool,
-    db: Mutex<Option<Arc<TuneDb>>>,
+    db: Mutex<HashMap<String, Arc<TuneDb>>>,
     generation: AtomicU64,
 }
 
@@ -362,15 +374,20 @@ struct Shared {
 }
 
 impl Shared {
-    /// Snapshot the current tune database (cheap Arc clone).
-    fn tune_db(&self) -> Option<Arc<TuneDb>> {
-        lock_clean(&self.tune.db).clone()
+    /// Snapshot a solver's current tune database (cheap Arc clone).
+    fn tune_db(&self, kind: &str) -> Option<Arc<TuneDb>> {
+        lock_clean(&self.tune.db).get(kind).cloned()
     }
 
-    /// Kernels whose tune entries the watchdog currently flags stale.
+    /// Kernels whose tune entries the watchdog currently flags stale,
+    /// across every solver's database (kernel vocabularies are
+    /// disjoint), in a stable order.
     fn stale_kernels(&self) -> Vec<String> {
-        self.tune_db()
-            .map_or_else(Vec::new, |db| db.stale_kernels())
+        let guard = lock_clean(&self.tune.db);
+        let mut all: Vec<String> = guard.values().flat_map(|db| db.stale_kernels()).collect();
+        drop(guard);
+        all.sort();
+        all
     }
 }
 
@@ -409,7 +426,13 @@ impl Server {
             traces: TraceStore::default(),
             tune: TuneState {
                 running: AtomicBool::new(false),
-                db: Mutex::new(config.tune_db.clone().map(Arc::new)),
+                db: Mutex::new(
+                    config
+                        .tune_db
+                        .clone()
+                        .map(|db| HashMap::from([(db.solver.clone(), Arc::new(db))]))
+                        .unwrap_or_default(),
+                ),
                 generation: AtomicU64::new(0),
             },
             cache: SolveCache::new(cache_capacity),
@@ -614,15 +637,15 @@ fn fail_job(shared: &Arc<Shared>, origin: &JobOrigin, response: &Response) -> Ve
 /// fan-out gets its *own* trace entry and id: the documents describe
 /// the one shared execution, but every client can fetch and correlate
 /// independently.
-fn retain_trace(shared: &Arc<Shared>, run: &f3d::service::ServiceRun) -> Option<u64> {
-    if run.timeline.is_empty() {
+fn retain_trace(shared: &Arc<Shared>, run: &AnyRun) -> Option<u64> {
+    if run.timeline().is_empty() {
         return None;
     }
     let id = shared.traces.allocate_id();
     let (attribution, chrome) = api::trace_documents(run, id);
     shared.traces.insert(TraceEntry {
         id,
-        case: run.case.label(),
+        case: run.label(),
         attribution,
         chrome,
     });
@@ -632,37 +655,40 @@ fn retain_trace(shared: &Arc<Shared>, run: &f3d::service::ServiceRun) -> Option<
 /// Feed one completed solve into the windowed telemetry series and the
 /// drift watchdog. Gated on the series being enabled, so a server with
 /// telemetry off pays nothing — not even the attribution derivation.
-fn observe_solve(
-    shared: &Arc<Shared>,
-    run: &f3d::service::ServiceRun,
-    auto: bool,
-    db: Option<&TuneDb>,
-) {
+fn observe_solve(shared: &Arc<Shared>, run: &AnyRun, auto: bool, db: Option<&TuneDb>) {
     if !shared.series.is_enabled() {
         return;
     }
-    let attr = AttributionReport::from_timeline(&run.timeline);
-    let overheads = kernel_overheads(&run.report, &attr);
+    let attr = AttributionReport::from_timeline(run.timeline());
+    let overheads = kernel_overheads(run.report(), &attr);
     let check = attr.model_check();
     for k in &overheads {
         shared
             .metrics
             .kernel_seconds(&k.kernel, k.wall_ns as f64 / 1e9);
     }
+    let total_seconds = run.report().total_seconds();
     shared.series.record_solve(
-        run.report.total_seconds(),
+        total_seconds,
         check.as_ref().map(|c| c.measured_fraction),
         || {
-            overheads
+            // A per-solver pseudo-kernel rides along with the real
+            // kernel rows, so /v1/stats windows carry one series per
+            // physics without a schema change.
+            let mut rows: Vec<(String, f64)> = overheads
                 .iter()
                 .map(|k| (k.kernel.clone(), k.wall_ns as f64 / 1e9))
-                .collect()
+                .collect();
+            rows.push((format!("solver/{}", run.kind()), total_seconds));
+            rows
         },
     );
-    if let Some(stats) = &run.zone_stats {
-        shared
-            .series
-            .record_zone_job(stats.zone_tasks * run.case.steps as u64);
+    if let AnyRun::F3d(r) = run {
+        if let Some(stats) = &r.zone_stats {
+            shared
+                .series
+                .record_zone_job(stats.zone_tasks * r.case.steps as u64);
+        }
     }
     let mut drift = lock_clean(&shared.drift);
     // Score each tuned kernel's live cost against the analytic form the
@@ -711,12 +737,12 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
     }
     match &job.kind {
         JobKind::Solve { case, auto } => {
-            let view = slice.sized_view(case.workers);
-            // "auto": overlay the tune database's per-kernel
+            let view = slice.sized_view(case.workers());
+            // "auto": overlay the solver's tune database's per-kernel
             // configurations. The schedules only reorder work within
             // each doacross region, so results stay bit-exact with the
             // default path — the overlay changes cost, never answers.
-            let db = if *auto { shared.tune_db() } else { None };
+            let db = if *auto { shared.tune_db(case.kind()) } else { None };
             let map = db.as_ref().map(|d| d.schedule_map());
             // Tuned per-kernel widths overlay the case-level width the
             // same way tuned schedules overlay the case-level policy:
@@ -727,29 +753,46 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
             } else {
                 llp::obs::json::Json::Null
             };
-            match f3d::service::run_tuned(case, &view, map.as_ref(), widths.as_ref()) {
+            let outcome = match case {
+                AnyCase::F3d(c) => {
+                    f3d::service::run_tuned(c, &view, map.as_ref(), widths.as_ref())
+                        .map(AnyRun::F3d)
+                }
+                AnyCase::Fdtd(c) => {
+                    fdtd::service::run_tuned(c, &view, map.as_ref(), widths.as_ref())
+                        .map(AnyRun::Fdtd)
+                }
+            };
+            match outcome {
                 Ok(run) => {
                     shared
                         .metrics
-                        .job_done(run.sync_events, run.report.total_seconds());
-                    shared.metrics.solve_width(run.case.vector_width);
+                        .job_done(run.sync_events(), run.report().total_seconds());
+                    shared.metrics.solve_solver(run.kind());
+                    shared.metrics.solve_width(case.vector_width());
                     shared.metrics.solve_schedule(if *auto {
                         "auto"
                     } else {
-                        run.case.schedule.name()
+                        case.schedule().name()
                     });
-                    if let Some(stats) = run.zone_stats {
-                        shared.metrics.zone_job(
-                            stats.shards as u64,
-                            stats.zone_tasks * run.case.steps as u64,
-                            stats.peak_ready,
-                        );
+                    if let AnyRun::F3d(r) = &run {
+                        if let Some(stats) = &r.zone_stats {
+                            shared.metrics.zone_job(
+                                stats.shards as u64,
+                                stats.zone_tasks * r.case.steps as u64,
+                                stats.peak_ready,
+                            );
+                        }
                     }
                     observe_solve(shared, &run, *auto, db.as_deref());
+                    let render = |trace_id: Option<u64>, tuned: Json, cache: &str| match &run {
+                        AnyRun::F3d(r) => api::solve_response(r, trace_id, tuned, cache),
+                        AnyRun::Fdtd(r) => api::fdtd_solve_response(r, trace_id, tuned, cache),
+                    };
                     match &job.origin {
                         JobOrigin::Direct(waiter) => {
                             let trace_id = retain_trace(shared, &run);
-                            let body = api::solve_response(&run, trace_id, tuned, "bypass");
+                            let body = render(trace_id, tuned, "bypass");
                             vec![Completion {
                                 waiter: *waiter,
                                 response: Response::ok(body.to_string()).with_trace_id(trace_id),
@@ -762,7 +805,7 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                             // The cached body is rendered with a null
                             // trace_id and a "hit" marker — a hit serves
                             // no fresh trace.
-                            let cached = api::solve_response(&run, None, tuned.clone(), "hit");
+                            let cached = render(None, tuned.clone(), "hit");
                             let evicted = shared.cache.insert(key, Arc::new(cached.to_string()));
                             shared
                                 .metrics
@@ -771,8 +814,7 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
                                 .into_iter()
                                 .map(|waiter| {
                                     let trace_id = retain_trace(shared, &run);
-                                    let body =
-                                        api::solve_response(&run, trace_id, tuned.clone(), "miss");
+                                    let body = render(trace_id, tuned.clone(), "miss");
                                     Completion {
                                         waiter,
                                         response: Response::ok(body.to_string())
@@ -791,9 +833,10 @@ fn execute_job(shared: &Arc<Shared>, slice: &Workers, job: &Job) -> Vec<Completi
         JobKind::Advise(query) => {
             shared.metrics.job_executed();
             // Measured tune-db entries overlay the analytic advice —
-            // the response reports both and their (dis)agreement.
+            // the response reports both and their (dis)agreement. The
+            // advisor speaks the f3d kernel vocabulary.
             let measured = shared
-                .tune_db()
+                .tune_db("f3d")
                 .map_or_else(Vec::new, |db| db.measured_choices());
             let advice = query
                 .advisor
@@ -967,13 +1010,17 @@ impl EventLoop {
             }
         }
         // Reconcile staleness wholesale — flagging and healing both —
-        // and clone-and-swap the shared database only when a flag
-        // actually moved. The tune *generation* is untouched: staleness
-        // never changes answers, so cached solves stay valid.
+        // across every solver's database (kernel vocabularies are
+        // disjoint, so one verdict list serves all slots), and
+        // clone-and-swap a shared database only when a flag actually
+        // moved. The tune *generation* is untouched: staleness never
+        // changes answers, so cached solves stay valid.
         let verdict = lock_clean(&self.shared.drift).stale_kernels();
         let mut guard = lock_clean(&self.shared.tune.db);
-        if let Some(current) = guard.as_ref() {
-            let mut next = (**current).clone();
+        let any_db = !guard.is_empty();
+        let mut stale_count = 0;
+        for slot in guard.values_mut() {
+            let mut next = (**slot).clone();
             let mut changed = false;
             for kernel in next
                 .entries
@@ -985,10 +1032,12 @@ impl EventLoop {
                 changed |= next.set_stale(&kernel, stale);
             }
             if changed {
-                *guard = Some(Arc::new(next));
+                *slot = Arc::new(next);
             }
-            let stale_count = guard.as_ref().map_or(0, |db| db.stale_kernels().len());
-            drop(guard);
+            stale_count += slot.stale_kernels().len();
+        }
+        drop(guard);
+        if any_db {
             self.shared.metrics.set_tune_entries_stale(stale_count);
         }
     }
@@ -1184,6 +1233,36 @@ impl EventLoop {
                 Response::error(503, "shutting down").with_retry_after(self.retry_after(queued));
             self.finish_request(id, response, request.keep_alive, started, log);
             return;
+        }
+        // Memory-budget admission control: an over-budget solve is
+        // refused with 413 before it can touch the cache, coalesce, or
+        // occupy a queue slot — bypass solves included. The estimate is
+        // the solver's own formula over the validated case, so the
+        // check costs arithmetic, never pool work.
+        if let JobKind::Solve { case, .. } = &kind {
+            if let Some(budget) = self.shared.config.memory_budget {
+                let estimated = case.memory_usage_estimate();
+                if estimated > budget {
+                    self.shared.metrics.solve_rejected_memory();
+                    let body = Json::object(vec![
+                        (
+                            "error",
+                            Json::str("estimated solve memory exceeds the server budget"),
+                        ),
+                        ("estimated_bytes", Json::from_u64(estimated)),
+                        ("budget_bytes", Json::from_u64(budget)),
+                    ]);
+                    let response = Response {
+                        status: 413,
+                        body: body.to_string(),
+                        content_type: "application/json",
+                        retry_after: None,
+                        trace_id: None,
+                    };
+                    self.finish_request(id, response, request.keep_alive, started, log);
+                    return;
+                }
+            }
         }
         let origin = match &kind {
             JobKind::Solve { case, auto } if !bypass => {
@@ -1427,6 +1506,22 @@ impl EventLoop {
 
 // -------------------------------------------------------------- routing
 
+/// Resolve the `?solver=` query on `GET /v1/tune` to a registered
+/// solver kind; an empty query means the `f3d` default.
+fn tune_query_solver(query: &str) -> Result<&'static str, String> {
+    if query.is_empty() {
+        return Ok(KINDS[0]);
+    }
+    let Some(kind) = query.strip_prefix("solver=") else {
+        return Err(format!("unknown query `{query}` (use ?solver=<kind>)"));
+    };
+    KINDS
+        .iter()
+        .find(|k| **k == kind)
+        .copied()
+        .ok_or_else(|| format!("unknown solver `{kind}`; known solvers: {}", KINDS.join(", ")))
+}
+
 fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
     let (endpoint, expect_post) = match request.path.as_str() {
         "/metrics" => ("metrics", false),
@@ -1507,15 +1602,20 @@ fn route(request: &Request, shared: &Arc<Shared>) -> RouteOutcome {
             }
         }
         "tune" => RouteOutcome::Inline(if request.method == "GET" {
-            let db = shared.tune_db();
-            let status = if shared.tune.running.load(Ordering::SeqCst) {
-                "calibrating"
-            } else if db.is_some() {
-                "ready"
-            } else {
-                "idle"
-            };
-            Response::ok(api::tune_status_response(status, db.as_deref()).to_string())
+            match tune_query_solver(&request.query) {
+                Err(msg) => Response::error(400, &msg),
+                Ok(solver) => {
+                    let db = shared.tune_db(solver);
+                    let status = if shared.tune.running.load(Ordering::SeqCst) {
+                        "calibrating"
+                    } else if db.is_some() {
+                        "ready"
+                    } else {
+                        "idle"
+                    };
+                    Response::ok(api::tune_status_response(solver, status, db.as_deref()).to_string())
+                }
+            }
         } else {
             start_calibration(shared, &request.body)
         }),
@@ -1598,16 +1698,19 @@ fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::error(503, "shutting down");
     }
-    let spec = match api::parse_tune_body(body) {
-        Ok(spec) => CalibrationSpec {
-            deterministic: shared.config.job_gate.is_some(),
-            ..spec
-        },
+    let req = match api::parse_tune_body(body) {
+        Ok(req) => req,
         Err(msg) => return Response::error(400, &msg),
+    };
+    let spec = CalibrationSpec {
+        deterministic: shared.config.job_gate.is_some(),
+        ..req.spec
     };
     if shared.tune.running.swap(true, Ordering::SeqCst) {
         return Response::error(429, "calibration already running").with_retry_after(1);
     }
+    let started = api::tune_started_response(&req.solver, &spec);
+    let solver = req.solver;
     let shared = Arc::clone(shared);
     thread::spawn(move || {
         if let Some(gate) = &shared.config.job_gate {
@@ -1615,23 +1718,32 @@ fn start_calibration(shared: &Arc<Shared>, body: &str) -> Response {
         }
         let width = (shared.pool.processors() / shared.shards).max(1);
         let slice = shared.pool.sized_view(width);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| calibrate(&slice, &spec)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || match solver.as_str() {
+                "fdtd" => calibrate_fdtd(&slice, &spec),
+                _ => calibrate(&slice, &spec),
+            },
+        ));
         match outcome {
             Ok(Ok(db)) => {
-                *lock_clean(&shared.tune.db) = Some(Arc::new(db));
+                let mut guard = lock_clean(&shared.tune.db);
+                guard.insert(db.solver.clone(), Arc::new(db));
+                // Freshly-measured entries are never stale; the other
+                // solvers' verdicts carry over untouched.
+                let stale: usize = guard.values().map(|d| d.stale_kernels().len()).sum();
+                drop(guard);
                 shared.tune.generation.fetch_add(1, Ordering::SeqCst);
                 // Fresh measurements supersede every drift verdict: the
                 // watchdog restarts from scratch against the new entries.
                 lock_clean(&shared.drift).reset();
-                shared.metrics.set_tune_entries_stale(0);
+                shared.metrics.set_tune_entries_stale(stale);
             }
             Ok(Err(msg)) => eprintln!("llpd: calibration failed: {msg}"),
             Err(_) => eprintln!("llpd: calibration panicked"),
         }
         shared.tune.running.store(false, Ordering::SeqCst);
     });
-    Response::ok(api::tune_started_response(&spec).to_string())
+    Response::ok(started.to_string())
 }
 
 #[cfg(test)]

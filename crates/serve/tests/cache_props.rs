@@ -222,15 +222,77 @@ proptest! {
     }
 }
 
-/// Golden pin: the canonical form and digest of one fixed solve. If
-/// this changes, every deployed cache key changes — that must be a
-/// deliberate decision, not drift.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `"solver"` field's default spelling is canonical: omitting
+    /// it and writing `"solver": "f3d"` must share a key.
+    #[test]
+    fn omitted_solver_and_explicit_f3d_share_one_key(f in fields(), order in 0usize..10) {
+        let implicit = f.render(order, " ");
+        let explicit = format!(
+            "{{\"solver\": \"f3d\", {}",
+            f.render(order, " ").trim_start_matches('{')
+        );
+        prop_assert_eq!(&key_of(&implicit), &key_of(&explicit));
+    }
+
+    /// FDTD spellings canonicalize the same way: key order and
+    /// whitespace never split the cache, and every semantic field
+    /// lands in the key.
+    #[test]
+    fn fdtd_spelling_variants_share_one_key(
+        size in 0usize..4,
+        steps in 1usize..=6,
+        workers in 1usize..=4,
+        flip in 0usize..2,
+        ws_a in 0usize..6,
+        ws_b in 0usize..6,
+    ) {
+        let size = [8, 16, 24, 32][size];
+        let ws = |w: &str| format!(
+            "{{{w}\"solver\":{w}\"fdtd\",{w}\"size\":{w}{size},{w}\"steps\":{w}{steps},{w}\"workers\":{w}{workers}{w}}}"
+        );
+        let flipped = format!(
+            "{{\"workers\": {workers}, \"steps\": {steps}, \"size\": {size}, \"solver\": \"fdtd\"}}"
+        );
+        let a = key_of(&ws(whitespace(ws_a)));
+        let b = if flip == 1 { key_of(&flipped) } else { key_of(&ws(whitespace(ws_b))) };
+        prop_assert_eq!(&a, &b, "fdtd spelling split the cache");
+    }
+
+    /// Cross-solver injectivity: an f3d key and an fdtd key can never
+    /// collide, whatever the field values — the solver kind namespaces
+    /// the canonical form.
+    #[test]
+    fn solver_kinds_key_injectively(f in fields(), size in 0usize..4, steps in 1usize..=6) {
+        let size = [8, 16, 24, 32][size];
+        let f3d = key_of(&f.render(0, " "));
+        let fdtd = key_of(&format!(
+            "{{\"solver\": \"fdtd\", \"size\": {size}, \"steps\": {steps}}}"
+        ));
+        prop_assert_ne!(&f3d, &fdtd);
+        prop_assert!(f3d.canonical().starts_with("solve/f3d/"));
+        prop_assert!(fdtd.canonical().starts_with("solve/fdtd/"));
+    }
+}
+
+/// Golden pin: the canonical form and digest of one fixed solve per
+/// solver. If this changes, every deployed cache key changes — that
+/// must be a deliberate decision, not drift.
 #[test]
 fn golden_key_is_pinned() {
     let key = key_of(r#"{"zones": 2, "steps": 3, "workers": 2}"#);
     assert_eq!(
         key.canonical(),
-        "solve/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
+        "solve/f3d/zones=2;steps=3;workers=2;schedule=static;zone_schedule=sequential;vector_width=1;auto=false;tune_gen=0"
     );
-    assert_eq!(key.digest(), "1a72737c1baf24a8");
+    assert_eq!(key.digest(), "79ac019b26e403d6");
+
+    let fdtd = key_of(r#"{"solver": "fdtd", "size": 16, "steps": 3, "workers": 2}"#);
+    assert_eq!(
+        fdtd.canonical(),
+        "solve/fdtd/size=16;steps=3;workers=2;schedule=static;vector_width=1;auto=false;tune_gen=0"
+    );
+    assert_eq!(fdtd.digest(), "e2f11a29fd9f9263");
 }

@@ -843,6 +843,7 @@ fn sample_tune_db() -> TuneDb {
     };
     TuneDb {
         schema_version: TUNE_SCHEMA_VERSION,
+        solver: "f3d".to_string(),
         pool_width: 2,
         zones: 1,
         steps: 1,
@@ -2042,4 +2043,254 @@ fn shutdown_closes_idle_keep_alive_connections() {
     let mut rest = Vec::new();
     client.stream.read_to_end(&mut rest).expect("read EOF");
     assert!(rest.is_empty());
+}
+
+// ------------------------------------------------------- multi-physics
+
+#[test]
+fn fdtd_solve_round_trips_and_caches() {
+    let case = fdtd::FdtdCase {
+        size: 16,
+        steps: 4,
+        workers: 2,
+        schedule: Policy::Static,
+        vector_width: 1,
+    };
+    let direct = fdtd::service::run(&case, &llp::Workers::recorded(2)).unwrap();
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        telemetry_window_ms: 50,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let body = r#"{"solver": "fdtd", "size": 16, "steps": 4, "workers": 2}"#;
+
+    let reply = post(addr, "/v1/solve", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    assert_eq!(served.get("solver").and_then(Json::as_str), Some("fdtd"));
+    assert_eq!(served.get("cache").and_then(Json::as_str), Some("miss"));
+    let energy: Vec<f64> = served
+        .get("energy")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|e| e.as_f64().unwrap())
+        .collect();
+    assert_eq!(energy, direct.energy, "served energy history is bit-exact");
+    let checksums = served.get("checksums").and_then(Json::as_array).unwrap();
+    assert_eq!(checksums.len(), direct.checksums.len());
+    for (served_field, direct_field) in checksums.iter().zip(&direct.checksums) {
+        assert_eq!(
+            served_field.get("field").and_then(Json::as_str),
+            Some(direct_field.field.as_str())
+        );
+        assert_eq!(
+            served_field.get("sum").and_then(Json::as_f64),
+            Some(direct_field.sum)
+        );
+    }
+    assert!(served.get("sync_events").and_then(Json::as_u64).unwrap() > 0);
+
+    // An identical request is a cache hit — no re-execution.
+    let repeat = post(addr, "/v1/solve", body);
+    assert_eq!(repeat.status, 200);
+    assert_eq!(
+        repeat.json().get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    let hits = get(addr, "/metrics?format=json")
+        .json()
+        .get("cache")
+        .and_then(|c| c.get("hits").and_then(Json::as_u64));
+    assert_eq!(hits, Some(1));
+
+    // Both physics tick their own per-solver counter series.
+    assert_eq!(post(addr, "/v1/solve", r#"{"zones": 1, "steps": 1}"#).status, 200);
+    let by_solver = get(addr, "/metrics?format=json")
+        .json()
+        .get("solves_by_solver")
+        .cloned()
+        .expect("/metrics has `solves_by_solver`");
+    assert_eq!(by_solver.get("fdtd").and_then(Json::as_u64), Some(1));
+    assert_eq!(by_solver.get("f3d").and_then(Json::as_u64), Some(1));
+    let prom = get(addr, "/metrics").body;
+    assert_eq!(
+        prom_value(&prom, "llpd_solves_by_solver_total{solver=\"fdtd\"}"),
+        1.0
+    );
+    assert_eq!(
+        prom_value(&prom, "llpd_solves_by_solver_total{solver=\"f3d\"}"),
+        1.0
+    );
+
+    // The telemetry windows carry a per-solver pseudo-kernel series.
+    wait_until("fdtd series in /v1/stats", || {
+        get(addr, "/v1/stats").body.contains("solver/fdtd")
+    });
+    server.shutdown();
+}
+
+#[test]
+fn fdtd_tune_calibrates_and_auto_solves_bit_exact() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Querying an unregistered solver's tune slot is a 400.
+    assert_eq!(get(addr, "/v1/tune?solver=mhd").status, 400);
+    assert_eq!(get(addr, "/v1/tune?bogus=1").status, 400);
+    // The fdtd slot starts untuned even after f3d would be seeded.
+    let idle = get(addr, "/v1/tune?solver=fdtd").json();
+    assert_eq!(idle.get("solver").and_then(Json::as_str), Some("fdtd"));
+    assert_eq!(idle.get("status").and_then(Json::as_str), Some("idle"));
+
+    let started = post(
+        addr,
+        "/v1/tune",
+        r#"{"solver": "fdtd", "zones": 1, "steps": 1, "trials": 1}"#,
+    );
+    assert_eq!(started.status, 200, "{}", started.body);
+    assert_eq!(
+        started.json().get("solver").and_then(Json::as_str),
+        Some("fdtd")
+    );
+    wait_until("fdtd calibration to finish", || {
+        get(addr, "/v1/tune?solver=fdtd")
+            .json()
+            .get("status")
+            .and_then(Json::as_str)
+            == Some("ready")
+    });
+    let status = get(addr, "/v1/tune?solver=fdtd").json();
+    let db = status.get("db").expect("ready status carries the db");
+    assert_eq!(db.get("solver").and_then(Json::as_str), Some("fdtd"));
+    let kernels: Vec<&str> = db
+        .get("entries")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("kernel").and_then(Json::as_str))
+        .collect();
+    assert!(kernels.contains(&"update_e") && kernels.contains(&"update_h"));
+    // The f3d slot is untouched by an fdtd calibration.
+    assert_eq!(
+        get(addr, "/v1/tune").json().get("solver").and_then(Json::as_str),
+        Some("f3d")
+    );
+
+    // An auto fdtd solve resolves the fresh entries and stays bit-exact.
+    let case = fdtd::FdtdCase {
+        size: 16,
+        steps: 3,
+        workers: 2,
+        schedule: Policy::Static,
+        vector_width: 1,
+    };
+    let direct = fdtd::service::run(&case, &llp::Workers::recorded(2)).unwrap();
+    let reply = post(
+        addr,
+        "/v1/solve",
+        r#"{"solver": "fdtd", "size": 16, "steps": 3, "workers": 2, "schedule": "auto"}"#,
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = reply.json();
+    let energy: Vec<f64> = served
+        .get("energy")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|e| e.as_f64().unwrap())
+        .collect();
+    assert_eq!(energy, direct.energy, "tuned fdtd solve is bit-exact");
+    let tuned = served.get("tuned").expect("auto solve reports `tuned`");
+    assert_eq!(tuned.get("source").and_then(Json::as_str), Some("tune-db"));
+    server.shutdown();
+}
+
+#[test]
+fn memory_budget_rejects_oversized_solves_with_413() {
+    // Budget exactly at the size-16 fdtd estimate: that case is
+    // admitted, the size-32 one is not.
+    let in_budget = (16u64 * 16 * 3 * 8) + 2 * 4096;
+    let over = (32u64 * 32 * 3 * 8) + 2 * 4096;
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        shards: 1,
+        memory_budget: Some(in_budget),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let ok = post(
+        addr,
+        "/v1/solve",
+        r#"{"solver": "fdtd", "size": 16, "steps": 2, "workers": 2}"#,
+    );
+    assert_eq!(ok.status, 200, "at-budget solve must run: {}", ok.body);
+
+    let rejected = post(
+        addr,
+        "/v1/solve",
+        r#"{"solver": "fdtd", "size": 32, "steps": 2, "workers": 2}"#,
+    );
+    assert_eq!(rejected.status, 413, "{}", rejected.body);
+    let body = rejected.json();
+    assert_eq!(
+        body.get("estimated_bytes").and_then(Json::as_u64),
+        Some(over)
+    );
+    assert_eq!(
+        body.get("budget_bytes").and_then(Json::as_u64),
+        Some(in_budget)
+    );
+
+    // Bypass is not a loophole: the budget gates pool work itself.
+    let bypassed = post(
+        addr,
+        "/v1/solve",
+        r#"{"solver": "fdtd", "size": 32, "steps": 2, "workers": 2, "cache": "bypass"}"#,
+    );
+    assert_eq!(bypassed.status, 413);
+    // f3d estimates run through the same gate (a large case blows the
+    // small fdtd-scaled budget).
+    assert_eq!(
+        post(addr, "/v1/solve", r#"{"zones": 4, "steps": 2}"#).status,
+        413
+    );
+
+    assert_eq!(metric(addr, "solves_rejected_memory_total"), 3);
+    let prom = get(addr, "/metrics").body;
+    assert_eq!(prom_value(&prom, "llpd_solves_rejected_memory_total"), 3.0);
+    // Rejections never consumed an executor.
+    assert_eq!(metric(addr, "jobs_total"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_solver_answers_400_naming_the_registry() {
+    let server = small_server();
+    let addr = server.addr();
+    let reply = post(addr, "/v1/solve", r#"{"solver": "mhd", "size": 16}"#);
+    assert_eq!(reply.status, 400);
+    assert!(
+        reply.body.contains("unknown solver `mhd`")
+            && reply.body.contains("f3d")
+            && reply.body.contains("fdtd"),
+        "error must name the registry: {}",
+        reply.body
+    );
+    // A tune request for an unknown solver is refused the same way.
+    let tune = post(addr, "/v1/tune", r#"{"solver": "mhd"}"#);
+    assert_eq!(tune.status, 400);
+    assert!(tune.body.contains("unknown solver"), "{}", tune.body);
+    server.shutdown();
 }

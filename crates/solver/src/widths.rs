@@ -1,0 +1,202 @@
+//! The SLP (superword) width axis, shared by every solver.
+//!
+//! The paper parallelizes *outer* loops because the inner loops of the
+//! sweeps were "vectorizable but short" — on a RISC SMP the vector
+//! hardware is gone, but the instruction-level form of that inner
+//! parallelism is not. This module names the widths the explicitly
+//! vectorized kernel variants come in (`W ∈ {1, 2, 4, 8}` lanes of
+//! array-chunked safe Rust that rustc can lower to SIMD) and carries
+//! the per-kernel selection ([`WidthMap`]) from the tune database down
+//! into the steppers, the same road the per-kernel
+//! [`llp::ScheduleMap`] travels. It lives in the workload-agnostic
+//! `solver` crate because the axis is: every physics dispatches its
+//! kernel variants through the same vocabulary.
+//!
+//! **Exactness policy.** Every wide variant vectorizes across
+//! *independent outputs* (points of a pencil, rows or columns of a
+//! block) and never across a reduction, so each output's
+//! floating-point operation sequence is identical to the scalar
+//! reference and the results are bit-exact at every width — asserted
+//! per workload by its property suite. No kernel needs a tolerance.
+//!
+//! Kernels whose inner loop is pure data movement have no arithmetic
+//! to widen: they accept a width entry but execute the same code at
+//! every width.
+
+/// The lane widths the kernel variants are compiled for. Width 1 is
+/// the scalar reference; kernels whose natural unit is smaller than a
+/// lane group degenerate to the scalar remainder (documented on the
+/// variants).
+pub const SUPPORTED_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Check a width against [`SUPPORTED_WIDTHS`].
+///
+/// # Errors
+/// Returns a message naming the supported vocabulary.
+pub fn validate_width(width: usize) -> Result<(), String> {
+    if SUPPORTED_WIDTHS.contains(&width) {
+        Ok(())
+    } else {
+        Err(format!(
+            "vector_width must be one of {SUPPORTED_WIDTHS:?}, got {width}"
+        ))
+    }
+}
+
+/// One compiled kernel variant: the scalar reference or a fixed-width
+/// lane version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// The scalar reference (width 1).
+    #[default]
+    Scalar,
+    /// Two-lane variant.
+    Wide2,
+    /// Four-lane variant.
+    Wide4,
+    /// Eight-lane variant.
+    Wide8,
+}
+
+impl Variant {
+    /// The variant for a supported width.
+    ///
+    /// # Errors
+    /// Rejects widths outside [`SUPPORTED_WIDTHS`].
+    pub fn from_width(width: usize) -> Result<Self, String> {
+        validate_width(width)?;
+        Ok(match width {
+            2 => Self::Wide2,
+            4 => Self::Wide4,
+            8 => Self::Wide8,
+            _ => Self::Scalar,
+        })
+    }
+
+    /// The lane width this variant runs at.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            Self::Scalar => 1,
+            Self::Wide2 => 2,
+            Self::Wide4 => 4,
+            Self::Wide8 => 8,
+        }
+    }
+}
+
+/// Per-kernel width selection: kernel names (the span-tree vocabulary
+/// — `rhs`, `update_e`, …) mapped to lane widths, with a default width
+/// for unmapped kernels. The SLP analogue of [`llp::ScheduleMap`]:
+/// the tune database resolves into one of these and the steppers
+/// dispatch each kernel's variant from it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WidthMap {
+    default_width: usize,
+    entries: Vec<(String, usize)>,
+}
+
+impl WidthMap {
+    /// An empty map: every kernel at the scalar width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            default_width: 0, // 0 encodes "unset": get() clamps to 1
+            entries: Vec::new(),
+        }
+    }
+
+    /// A map sending every kernel to `width`.
+    #[must_use]
+    pub fn uniform(width: usize) -> Self {
+        let mut m = Self::new();
+        m.set_default(width);
+        m
+    }
+
+    /// Set one kernel's width (last write wins).
+    pub fn set(&mut self, kernel: &str, width: usize) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == kernel) {
+            e.1 = width;
+        } else {
+            self.entries.push((kernel.to_string(), width));
+        }
+    }
+
+    /// Set the width unmapped kernels fall back to.
+    pub fn set_default(&mut self, width: usize) {
+        self.default_width = width;
+    }
+
+    /// The width `kernel` should run at: its entry, else the default,
+    /// else 1.
+    #[must_use]
+    pub fn get(&self, kernel: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == kernel)
+            .map_or(self.default_width.max(1), |(_, w)| *w)
+    }
+
+    /// Number of per-kernel entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no per-kernel entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every kernel resolves to the scalar width.
+    #[must_use]
+    pub fn is_scalar(&self) -> bool {
+        self.default_width <= 1 && self.entries.iter().all(|(_, w)| *w <= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_vocabulary_is_validated() {
+        for w in SUPPORTED_WIDTHS {
+            assert!(validate_width(w).is_ok());
+            assert_eq!(Variant::from_width(w).unwrap().width(), w);
+        }
+        for w in [0, 3, 5, 16, usize::MAX] {
+            let err = validate_width(w).unwrap_err();
+            assert!(err.contains("vector_width"), "{err}");
+            assert!(Variant::from_width(w).is_err());
+        }
+        assert_eq!(Variant::default(), Variant::Scalar);
+    }
+
+    #[test]
+    fn width_map_defaults_and_overrides() {
+        let mut m = WidthMap::new();
+        assert!(m.is_scalar());
+        assert!(m.is_empty());
+        assert_eq!(m.get("rhs"), 1);
+        m.set("rhs", 4);
+        m.set("rhs", 2); // last write wins
+        m.set("j_factor", 8);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("rhs"), 2);
+        assert_eq!(m.get("j_factor"), 8);
+        assert_eq!(m.get("update"), 1, "unmapped kernels fall back");
+        assert!(!m.is_scalar());
+
+        let u = WidthMap::uniform(4);
+        assert_eq!(u.get("anything"), 4);
+        assert!(u.is_empty(), "uniform is a default, not entries");
+        let mut u = u;
+        u.set("rhs", 1);
+        assert_eq!(u.get("rhs"), 1, "entries win over the default");
+        assert_eq!(u.get("update"), 4);
+        assert!(WidthMap::uniform(1).is_scalar());
+    }
+}

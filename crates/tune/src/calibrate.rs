@@ -38,12 +38,13 @@
 
 use crate::db::{TuneDb, TuneEntry, TUNE_SCHEMA_VERSION};
 use crate::space::{candidates, Candidate};
-use f3d::kernels::WidthMap;
-use f3d::service::{self, ServiceCase, MAX_STEPS, MAX_WORKERS, MAX_ZONES};
+use f3d::service::{F3dSolver, ServiceCase, MAX_STEPS, MAX_WORKERS, MAX_ZONES};
+use fdtd::service::FdtdSolver;
 use llp::obs::attr::{kernel_overheads, AttributionReport};
 use llp::obs::timeline::DEFAULT_EVENT_CAPACITY;
 use llp::{FlightRecorder, Policy, Recorder, ScheduleMap, Workers};
 use perfmodel::OverheadBound;
+use solver::{Solver, WidthMap};
 
 /// What to calibrate and how hard to try.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,15 +133,54 @@ struct KernelSeed {
 /// Invalid specs, service failures, and a seed pass that yields no
 /// flight data are reported as a message.
 pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, String> {
+    calibrate_solver::<F3dSolver, _>(pool, spec, |workers| spec.case(workers))
+}
+
+/// [`calibrate`] for the FDTD Maxwell workload: the identical
+/// measurement protocol over the `update_e` / `update_h` sweeps. The
+/// spec's `zones` knob sets the calibration grid scale (edge
+/// `16 × zones` points), so the same `/v1/tune` vocabulary drives both
+/// solvers.
+///
+/// # Errors
+/// As [`calibrate`].
+pub fn calibrate_fdtd(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, String> {
+    calibrate_solver::<FdtdSolver, _>(pool, spec, |workers| fdtd::service::FdtdCase {
+        size: 16 * spec.zones,
+        steps: spec.steps,
+        workers,
+        schedule: Policy::Static,
+        vector_width: 1,
+    })
+}
+
+/// The solver-generic calibration core both entry points share: seed
+/// pass, candidate search, and selection run through
+/// [`solver::run_instrumented`], so any workload implementing the
+/// [`Solver`] trait calibrates with the same protocol and lands in the
+/// same versioned database (keyed by [`Solver::kind`]).
+///
+/// # Errors
+/// Invalid specs, solver failures, and a seed pass that yields no
+/// flight data are reported as a message.
+pub fn calibrate_solver<S, F>(
+    pool: &Workers,
+    spec: &CalibrationSpec,
+    case_for: F,
+) -> Result<TuneDb, String>
+where
+    S: Solver,
+    F: Fn(usize) -> S::Config,
+{
     spec.validate()?;
     let width = pool.processors().min(MAX_WORKERS);
     let mut view = pool.sized_view(width);
     view.set_recorder(Recorder::enabled());
     view.set_flight(FlightRecorder::enabled(width, DEFAULT_EVENT_CAPACITY));
-    let case = spec.case(width);
+    let case = case_for(width);
 
     // --- Seed pass: measure U, W and S at the default config. ---
-    let seed_run = service::run(&case, &view)?;
+    let seed_run = solver::run_instrumented::<S>(&case, &view, None, None)?;
     let seed_attr = AttributionReport::from_timeline(&seed_run.timeline);
     let seed_rows = kernel_overheads(&seed_run.report, &seed_attr);
     if seed_rows.is_empty() || seed_attr.regions.is_empty() {
@@ -191,7 +231,7 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
             widths.set(&seed.kernel, cand.vector_width);
         }
         for _ in 0..spec.trials {
-            let run = service::run_tuned(&case, &view, Some(&map), Some(&widths))?;
+            let run = solver::run_instrumented::<S>(&case, &view, Some(&map), Some(&widths))?;
             let attr = AttributionReport::from_timeline(&run.timeline);
             let rows = kernel_overheads(&run.report, &attr);
             for (si, seed) in seeds.iter().enumerate() {
@@ -257,6 +297,7 @@ pub fn calibrate(pool: &Workers, spec: &CalibrationSpec) -> Result<TuneDb, Strin
 
     Ok(TuneDb {
         schema_version: TUNE_SCHEMA_VERSION,
+        solver: S::kind().to_string(),
         pool_width: width,
         zones: spec.zones,
         steps: spec.steps,
@@ -465,6 +506,7 @@ mod tests {
         };
         let db = calibrate(&pool, &spec).unwrap();
         assert_eq!(db.schema_version, TUNE_SCHEMA_VERSION);
+        assert_eq!(db.solver, "f3d");
         assert_eq!(db.pool_width, 2);
         // The six parallel kernels, sorted; serial bc/inject excluded.
         let names: Vec<&str> = db.entries.iter().map(|e| e.kernel.as_str()).collect();
@@ -498,6 +540,42 @@ mod tests {
                 e.default_cost_ns
             );
         }
+    }
+
+    #[test]
+    fn fdtd_calibration_covers_both_sweeps() {
+        let pool = Workers::new(2);
+        let spec = CalibrationSpec {
+            zones: 1,
+            steps: 2,
+            trials: 1,
+            deterministic: true,
+        };
+        let db = calibrate_fdtd(&pool, &spec).unwrap();
+        assert_eq!(db.solver, "fdtd");
+        assert_eq!(db.zones, 1, "the calibration scale is recorded");
+        // The two parallel sweeps, sorted; the serial source excluded.
+        let names: Vec<&str> = db.entries.iter().map(|e| e.kernel.as_str()).collect();
+        assert_eq!(names, ["update_e", "update_h"]);
+        for e in &db.entries {
+            assert!(e.iterations > 0);
+            assert!(e.candidates_tried >= 2);
+        }
+        // Deterministic mode reproduces FDTD decisions too.
+        let again = calibrate_fdtd(&pool, &spec).unwrap();
+        assert!(db.same_decisions(&again));
+        // And the two solvers' databases are never decision-equal.
+        let f3d_db = calibrate(
+            &pool,
+            &CalibrationSpec {
+                zones: 1,
+                steps: 1,
+                trials: 1,
+                deterministic: true,
+            },
+        )
+        .unwrap();
+        assert!(!db.same_decisions(&f3d_db));
     }
 
     #[test]

@@ -10,9 +10,11 @@ use std::path::Path;
 /// Schema version of [`TuneDb::to_json`]; bumped on layout changes.
 /// Version 2 added the per-entry `vector_width` (the SLP axis);
 /// version 3 added the per-entry `stale` flag the drift watchdog
-/// maintains (see [`crate::drift`]). Version-2 files still load —
-/// their entries simply start fresh, `stale: false`.
-pub const TUNE_SCHEMA_VERSION: u64 = 3;
+/// maintains (see [`crate::drift`]); version 4 added the top-level
+/// `solver` kind for multi-physics serving. Version-2 and -3 files
+/// still load — entries start fresh (`stale: false`) and the solver
+/// defaults to `"f3d"`, the only workload those files could describe.
+pub const TUNE_SCHEMA_VERSION: u64 = 4;
 
 /// One kernel's calibration outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +145,10 @@ impl TuneEntry {
 pub struct TuneDb {
     /// [`TUNE_SCHEMA_VERSION`] at write time.
     pub schema_version: u64,
+    /// Solver kind this calibration belongs to (`"f3d"`, `"fdtd"`) —
+    /// tuned decisions for one physics say nothing about another, so
+    /// the serve layer keys its databases by this field.
+    pub solver: String,
     /// Pool width the calibration ran on — configs tuned for a 2-wide
     /// pool say nothing about an 8-wide one.
     pub pool_width: usize,
@@ -165,6 +171,7 @@ impl TuneDb {
     pub fn to_json(&self) -> Json {
         Json::object(vec![
             ("schema_version", Json::from_u64(self.schema_version)),
+            ("solver", Json::Str(self.solver.clone())),
             ("pool_width", Json::from_usize(self.pool_width)),
             ("zones", Json::from_usize(self.zones)),
             ("steps", Json::from_usize(self.steps)),
@@ -187,10 +194,12 @@ impl TuneDb {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("tune db missing schema_version")?;
-        // v2 is a strict subset of v3 (no `stale` flags): load it and
-        // let every entry start un-flagged. Anything else is rejected
-        // rather than misread.
-        if version != TUNE_SCHEMA_VERSION && version != 2 {
+        // v2 and v3 are strict subsets of v4 (no `stale` flags / no
+        // `solver` kind): load them, let every entry start un-flagged,
+        // and attribute the file to F3D — the only solver those
+        // schemas could describe. Anything else is rejected rather
+        // than misread.
+        if version != TUNE_SCHEMA_VERSION && version != 2 && version != 3 {
             return Err(format!(
                 "unsupported tune db schema_version {version} (expected {TUNE_SCHEMA_VERSION})"
             ));
@@ -208,8 +217,13 @@ impl TuneDb {
             .map(TuneEntry::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
-            // Normalized on load: a v2 file round-trips out as v3.
+            // Normalized on load: a v2/v3 file round-trips out as v4.
             schema_version: TUNE_SCHEMA_VERSION,
+            solver: j
+                .get("solver")
+                .and_then(Json::as_str)
+                .unwrap_or("f3d")
+                .to_string(),
             pool_width: field("pool_width")?,
             zones: field("zones")?,
             steps: field("steps")?,
@@ -322,6 +336,7 @@ impl TuneDb {
     #[must_use]
     pub fn same_decisions(&self, other: &Self) -> bool {
         self.schema_version == other.schema_version
+            && self.solver == other.solver
             && self.pool_width == other.pool_width
             && self.zones == other.zones
             && self.steps == other.steps
@@ -355,6 +370,7 @@ mod tests {
     fn sample() -> TuneDb {
         TuneDb {
             schema_version: TUNE_SCHEMA_VERSION,
+            solver: "f3d".to_string(),
             pool_width: 4,
             zones: 2,
             steps: 2,
@@ -407,6 +423,7 @@ mod tests {
             Some(TUNE_SCHEMA_VERSION)
         );
         for key in [
+            "solver",
             "pool_width",
             "zones",
             "steps",
@@ -446,10 +463,11 @@ mod tests {
 
     #[test]
     fn schema_v2_files_load_with_fresh_staleness() {
-        // A v3 document with the v3-only fields removed is exactly
+        // A v4 document with the v3+-only fields removed is exactly
         // what a PR-8-era file on disk looks like.
         let mut j = sample().to_json();
         if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "solver");
             for (k, v) in pairs.iter_mut() {
                 if k == "schema_version" {
                     *v = Json::from_u64(2);
@@ -467,8 +485,32 @@ mod tests {
         }
         let db = TuneDb::from_json(&j).unwrap();
         assert_eq!(db.schema_version, TUNE_SCHEMA_VERSION, "normalized up");
+        assert_eq!(db.solver, "f3d", "pre-multi-physics files are F3D's");
         assert!(db.entries.iter().all(|e| !e.stale));
         assert!(db.same_decisions(&sample()));
+    }
+
+    #[test]
+    fn schema_v3_files_load_as_f3d() {
+        // A v4 document minus the `solver` field is a v3 file: it
+        // loads, attributes itself to F3D, and normalizes up — while a
+        // different solver kind breaks decision equality.
+        let mut j = sample().to_json();
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "solver");
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::from_u64(3);
+                }
+            }
+        }
+        let db = TuneDb::from_json(&j).unwrap();
+        assert_eq!(db.schema_version, TUNE_SCHEMA_VERSION);
+        assert_eq!(db.solver, "f3d");
+        assert!(db.same_decisions(&sample()));
+        let mut other = sample();
+        other.solver = "fdtd".to_string();
+        assert!(!db.same_decisions(&other), "the solver kind is a decision");
     }
 
     #[test]
